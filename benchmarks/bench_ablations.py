@@ -1,0 +1,40 @@
+"""Ablation benchmarks for the design choices the paper calls out.
+
+* Sub-bucket count (Section 4): two or three sub-buckets per DVO/DADO bucket
+  perform comparably, finer subdivisions are worse.
+* Chi-square threshold alpha_min (Section 3): DC is insensitive to the value
+  as long as it is much smaller than 1.
+* Split-merge trigger bound (Section 4): the paper's most aggressive choice is
+  an upper bound of 0 on min delta phi; more negative bounds repartition less.
+"""
+
+from repro.experiments import figures
+
+
+def test_ablation_sub_buckets(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.ablation_sub_buckets(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    series = result.series["DADO"]
+    # Two and three sub-buckets are comparable (within a factor).
+    assert series[1] <= 2.0 * series[0] + 0.01
+    assert series[0] <= 2.0 * series[1] + 0.01
+
+
+def test_ablation_alpha_min(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.ablation_alpha_min(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    series = result.series["DC"]
+    # Insensitivity: the spread across thresholds stays small in absolute terms.
+    assert max(series) - min(series) < 0.05
+
+
+def test_ablation_repartition_threshold(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.ablation_repartition_threshold(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    assert len(result.series["DADO"]) == len(result.x_values)

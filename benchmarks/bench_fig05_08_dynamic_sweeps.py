@@ -1,0 +1,48 @@
+"""Figures 5-8: dynamic histograms (DC, DADO, AC, DVO) under random insertions.
+
+Each benchmark sweeps one parameter of the reference distribution -- the
+centre skew S (Fig. 5), the size skew Z (Fig. 6), the intra-cluster deviation
+SD (Fig. 7) and the memory budget (Fig. 8) -- replays the insert stream into
+every dynamic histogram and reports the KS statistic against the exact data.
+
+Expected shape (paper, Section 7.1): DADO is the most accurate across the
+sweeps; DVO tracks it but is consistently worse; AC is worse than both despite
+its backing sample; DC struggles most at intermediate skews.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig05_center_skew(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig05_center_skew(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    assert set(result.series) == {"DC", "DADO", "AC", "DVO"}
+
+
+def test_fig06_size_skew(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig06_size_skew(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    assert set(result.series) == {"DC", "DADO", "AC", "DVO"}
+
+
+def test_fig07_cluster_sd(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig07_cluster_sd(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    assert set(result.series) == {"DC", "DADO", "AC", "DVO"}
+
+
+def test_fig08_memory(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig08_memory(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    # More memory never hurts DADO much: the last point must not be worse than
+    # the first.
+    dado = result.series["DADO"]
+    assert dado[-1] <= dado[0] + 0.01

@@ -1,0 +1,44 @@
+"""Figures 9-12: DADO against the best static histograms (SADO, SVO, SC, SSBM).
+
+The paper fixes a smaller configuration (C = 50 clusters, SD = 1, 0.14 KB of
+memory) and sweeps the centre skew, size skew, cluster width and memory.
+
+Expected shape (paper, Section 7.1): the static V-Optimal family (SVO, SADO,
+SSBM) and SC are the best; DADO comes close to its static counterpart and is
+comparable to SC; SSBM is comparable to SVO at a fraction of the construction
+cost.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig09_static_center_skew(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig09_static_center_skew(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    assert set(result.series) == {"SADO", "SVO", "SC", "DADO", "SSBM"}
+
+
+def test_fig10_static_size_skew(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig10_static_size_skew(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    assert set(result.series) == {"SADO", "SVO", "SC", "DADO", "SSBM"}
+
+
+def test_fig11_static_cluster_sd(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig11_static_cluster_sd(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    assert set(result.series) == {"SADO", "SVO", "SC", "DADO", "SSBM"}
+
+
+def test_fig12_static_memory(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig12_static_memory(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    assert set(result.series) == {"SADO", "SVO", "SC", "DADO", "SSBM"}

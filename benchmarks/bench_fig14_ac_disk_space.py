@@ -1,0 +1,20 @@
+"""Figure 14: sensitivity of the Approximate Compressed histogram to disk space.
+
+AC histograms with backing samples worth 20x, 40x and 60x the main-memory
+budget are compared against SC and DADO while sweeping the centre skew.
+
+Expected shape (paper, Section 7.1): AC improves as the disk factor grows and
+slowly converges towards SC, but remains worse than DADO even at 60x.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig14_ac_disk_space(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig14_ac_disk_space(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    assert {"AC20X", "AC40X", "AC60X", "SC", "DADO"} <= set(result.series)
+    # A larger backing sample must not hurt on average.
+    assert result.mean("AC60X") <= result.mean("AC20X") + 0.01

@@ -1,0 +1,26 @@
+"""Figure 16: histogram precision as a function of the fraction of data loaded.
+
+Data is inserted in sorted order; the KS statistic of DADO, AC and a static
+Compressed histogram (rebuilt from scratch at every checkpoint) is measured
+after 10%, 25%, ... of the stream.
+
+Expected shape (paper, Section 7.2.1): the error grows while distinct values
+keep appearing and then stabilises -- DADO reaches a stable plateau instead of
+degrading without bound.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig16_precision_vs_inserted_fraction(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig16_precision_vs_inserted_fraction(figure_settings),
+        rounds=1,
+        iterations=1,
+    )
+    record_sweep(result)
+    dado = result.series["DADO"]
+    # Stabilisation: the final error must not be a large multiple of the error
+    # at the midpoint of the load.
+    midpoint = dado[len(dado) // 2]
+    assert dado[-1] <= 3.0 * max(midpoint, 0.005)

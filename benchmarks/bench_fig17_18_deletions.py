@@ -1,0 +1,33 @@
+"""Figures 17 and 18: accuracy under heavy deletions.
+
+Figure 17 deletes a growing random fraction of the data after random inserts;
+Figure 18 does the same after *sorted* inserts (the hardest case the paper
+identifies for DADO's closest-bucket spill policy).
+
+Expected shape (paper, Section 7.3): random deletions barely hurt DADO, while
+they degrade AC because the backing sample shrinks; after sorted inserts the
+heavy-deletion end of the sweep is harder for DADO.
+"""
+
+from repro.experiments import figures
+
+
+def test_fig17_random_deletions(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig17_random_deletions(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    assert set(result.series) == {"DADO", "AC"}
+    # Random deletions do not blow up DADO's error.
+    dado = result.series["DADO"]
+    assert max(dado) <= max(5.0 * dado[0], 0.1)
+
+
+def test_fig18_deletions_after_sorted_inserts(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig18_deletions_after_sorted_inserts(figure_settings),
+        rounds=1,
+        iterations=1,
+    )
+    record_sweep(result)
+    assert set(result.series) == {"DADO", "AC"}

@@ -1,0 +1,56 @@
+"""Figures 20-23: global histograms in a shared-nothing environment.
+
+Two strategies are compared while sweeping the histogram memory (Fig. 20), the
+intra-site skew Z_Freq (Fig. 21), the number of sites (Fig. 22) and the skew in
+site sizes Z_Site (Fig. 23):
+
+* "histogram + union": per-site SSBM histograms, superimposed losslessly and
+  reduced back to the memory budget with SSBM merging;
+* "union + histogram": pool all the data and build one SSBM histogram.
+
+Expected shape (paper, Section 8): the two alternatives produce histograms of
+approximately the same quality across all four sweeps.
+"""
+
+from repro.experiments import figures
+
+_SERIES = {"histogram + union", "union + histogram"}
+
+
+def _assert_strategies_comparable(result):
+    for index in range(len(result.x_values)):
+        row = result.row(index)
+        assert abs(row["histogram + union"] - row["union + histogram"]) < 0.12
+
+
+def test_fig20_distributed_memory(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig20_distributed_memory(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    assert set(result.series) == _SERIES
+    _assert_strategies_comparable(result)
+
+
+def test_fig21_distributed_intrasite_skew(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig21_distributed_intrasite_skew(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    _assert_strategies_comparable(result)
+
+
+def test_fig22_distributed_site_count(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig22_distributed_site_count(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    _assert_strategies_comparable(result)
+
+
+def test_fig23_distributed_site_size_skew(benchmark, figure_settings, record_sweep):
+    result = benchmark.pedantic(
+        lambda: figures.fig23_distributed_site_size_skew(figure_settings), rounds=1, iterations=1
+    )
+    record_sweep(result)
+    _assert_strategies_comparable(result)

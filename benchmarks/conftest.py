@@ -1,0 +1,72 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one figure (or ablation) of the paper: it runs the
+corresponding experiment from :mod:`repro.experiments.figures`, records the
+sweep table, and reports the wall-clock time through pytest-benchmark.  The
+tables are written to ``benchmarks/results/`` and echoed in the terminal
+summary, so a plain ``pytest benchmarks/ --benchmark-only`` run shows the same
+rows/series the paper plots.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_SCALE``
+    Fraction of the paper's data volume (default 0.06).  Set to 1.0 to run the
+    experiments at the paper's full 100,000-point scale.
+``REPRO_BENCH_RUNS``
+    Number of random seeds averaged per configuration (default 2; the paper
+    uses 10).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import List
+
+import pytest
+
+from repro import ExperimentSettings
+from repro.experiments import format_sweep_table, sweep_to_csv
+from repro.experiments.config import SweepResult
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Tables recorded during this session, echoed in the terminal summary.
+_RECORDED_TABLES: List[str] = []
+
+
+def _bench_settings() -> ExperimentSettings:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.06"))
+    n_runs = int(os.environ.get("REPRO_BENCH_RUNS", "2"))
+    return ExperimentSettings(scale=scale, n_runs=n_runs)
+
+
+@pytest.fixture(scope="session")
+def figure_settings() -> ExperimentSettings:
+    """Experiment settings shared by all figure benchmarks."""
+    return _bench_settings()
+
+
+@pytest.fixture(scope="session")
+def record_sweep():
+    """Record a sweep result: persist table + CSV and echo it at session end."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(result: SweepResult) -> SweepResult:
+        table = format_sweep_table(result)
+        _RECORDED_TABLES.append(table)
+        (RESULTS_DIR / f"{result.name}.txt").write_text(table + "\n", encoding="utf-8")
+        sweep_to_csv(result, path=str(RESULTS_DIR / f"{result.name}.csv"))
+        return result
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: D103
+    if not _RECORDED_TABLES:
+        return
+    terminalreporter.section("paper figure reproductions (KS statistic per algorithm)")
+    for table in _RECORDED_TABLES:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)

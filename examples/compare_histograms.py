@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Compare every histogram in the library on one evolving data set.
+
+Builds the full line-up -- static baselines (Equi-Width, Equi-Depth, SC, SVO,
+SADO, SSBM) and dynamic histograms (DC, DVO, DADO, AC) -- on the paper's
+reference distribution, gives every algorithm the same memory, and prints a
+leaderboard of KS statistics together with construction / maintenance times.
+
+Run with::
+
+    python examples/compare_histograms.py [memory_kb]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import (
+    DataDistribution,
+    build_dynamic_histogram,
+    build_static_histogram,
+    generate_cluster_values,
+    ks_statistic,
+    random_insertions,
+    reference_config,
+)
+
+STATIC_KINDS = ("equi_width", "equi_depth", "sc", "ssbm", "svo", "sado")
+DYNAMIC_KINDS = ("dc", "dvo", "dado", "ac")
+
+
+def main() -> None:
+    memory_kb = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+
+    config = reference_config(n_clusters=200, scale=0.05, seed=3)
+    values = generate_cluster_values(config)
+    truth = DataDistribution(values)
+    stream = random_insertions(values, seed=3)
+    print(
+        f"data: {truth.total_count} points, {truth.distinct_count} distinct values; "
+        f"memory budget: {memory_kb} KB\n"
+    )
+
+    rows = []
+    for kind in STATIC_KINDS:
+        start = time.perf_counter()
+        histogram = build_static_histogram(kind, truth, memory_kb)
+        elapsed = time.perf_counter() - start
+        error = ks_statistic(truth, histogram, value_unit=1.0)
+        rows.append((kind.upper(), "static", error, elapsed))
+
+    for kind in DYNAMIC_KINDS:
+        start = time.perf_counter()
+        histogram = build_dynamic_histogram(kind, memory_kb, disk_factor=2.0, seed=3)
+        live = DataDistribution()
+        for op in stream:
+            histogram.insert(op.value)
+            live.add(op.value)
+        elapsed = time.perf_counter() - start
+        error = ks_statistic(live, histogram, value_unit=1.0)
+        rows.append((kind.upper(), "dynamic", error, elapsed))
+
+    rows.sort(key=lambda row: row[2])
+    print(f"{'histogram':<12} {'kind':<8} {'KS statistic':>12} {'build/maintain [s]':>20}")
+    print("-" * 56)
+    for name, kind, error, elapsed in rows:
+        print(f"{name:<12} {kind:<8} {error:>12.5f} {elapsed:>20.3f}")
+
+    print(
+        "\nExpected ordering (paper): the V-Optimal family and SC lead among static\n"
+        "histograms, DADO is the best dynamic histogram and comes close to them,\n"
+        "and Equi-Width trails everything."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Reproduce the paper's illustrative examples (Figures 1, 4 and 24) as text.
+
+* Figure 1: how a DC histogram redistributes bucket borders so that all regular
+  buckets carry the same count while the total stays fixed.
+* Figure 4: a DADO split & merge -- the high-variance bucket is split at its
+  sub-bucket border and the two most similar neighbours are merged.
+* Figure 24: the same small data distribution summarised by an Equi-Depth and a
+  V-Optimal histogram, showing how the partition constraint changes the buckets.
+
+Run with::
+
+    python examples/illustrate_repartitioning.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DataDistribution,
+    DCHistogram,
+    DADOHistogram,
+    EquiDepthHistogram,
+    VOptimalHistogram,
+)
+
+
+def show(title: str, histogram) -> None:
+    print(f"\n{title}")
+    for bucket in histogram.buckets():
+        if bucket.is_point_mass:
+            print(f"  value {bucket.left:6.1f}            count {bucket.count:7.2f}  (singular)")
+        else:
+            print(
+                f"  [{bucket.left:6.1f}, {bucket.right:6.1f})  count {bucket.count:7.2f}"
+            )
+
+
+def figure_1_dc_redistribution() -> None:
+    print("=" * 72)
+    print("Figure 1: DC bucket redistribution (equalising regular bucket counts)")
+    histogram = DCHistogram(4, alpha_min=1e-3)
+    # Load four seed points, then hammer one region so the counts diverge and
+    # the Chi-square test forces a repartition.
+    for value in (1, 4, 7, 10):
+        histogram.insert(value)
+    for _ in range(60):
+        histogram.insert(5)
+        histogram.insert(6)
+    show(f"after {histogram.total_count:.0f} insertions "
+         f"({histogram.repartition_count} repartitions)", histogram)
+    counts = [bucket.count for bucket in histogram.buckets() if not bucket.is_point_mass]
+    print(f"  regular bucket counts after redistribution: {[round(c, 1) for c in counts]}")
+
+
+def figure_4_dado_split_merge() -> None:
+    print("\n" + "=" * 72)
+    print("Figure 4: DADO split & merge around a high-variance bucket")
+    histogram = DADOHistogram(5)
+    for value in (0, 2, 4, 6, 8, 10):
+        histogram.insert(value)
+    before = histogram.repartition_count
+    # Pile points onto one spot: its bucket's sub-bucket counters diverge, the
+    # bucket is split, and the two most similar neighbours are merged.
+    for _ in range(40):
+        histogram.insert(3)
+    show(
+        f"after inserting 40 copies of value 3 "
+        f"({histogram.repartition_count - before} split-merge repartitions)",
+        histogram,
+    )
+
+
+def figure_24_partition_constraints() -> None:
+    print("\n" + "=" * 72)
+    print("Figure 24: Equi-Depth vs V-Optimal buckets on the same distribution")
+    data = DataDistribution.from_frequencies(
+        [(1, 1), (2, 1), (3, 4), (4, 4), (5, 1), (6, 1), (7, 1), (8, 4), (9, 4), (10, 1)]
+    )
+    show("Equi-Depth (equal counts per bucket)", EquiDepthHistogram.build(data, 4))
+    show("V-Optimal (minimal within-bucket frequency variance)", VOptimalHistogram.build(data, 4))
+
+
+def main() -> None:
+    figure_1_dc_redistribution()
+    figure_4_dado_split_merge()
+    figure_24_partition_constraints()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Selectivity estimation for a query optimizer, with and without maintenance.
+
+The motivation of the paper (Section 1): a query optimizer's cost estimates are
+only as good as its statistics, and a *stale* static histogram on a changing
+table silently degrades them.  This example simulates that situation on a
+"orders" table whose dollar-amount column drifts over time (new promotions move
+the popular price points), and compares three strategies:
+
+* a static Compressed histogram built once and never refreshed (what most
+  systems did at the time of the paper);
+* the same static histogram rebuilt from scratch at the end (the expensive
+  ideal);
+* a DADO dynamic histogram maintained incrementally as the table changes.
+
+Run with::
+
+    python examples/query_optimizer_selectivity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Between,
+    CompressedHistogram,
+    DataDistribution,
+    MailOrderConfig,
+    MemoryModel,
+    SelectivityEstimator,
+    build_dynamic_histogram,
+    generate_mail_order_values,
+    ks_statistic,
+)
+from repro.workloads import data_distributed_range_queries
+
+MEMORY_KB = 1.0
+VALUE_UNIT = 0.01  # dollar amounts have cent precision
+
+
+def build_initial_table(seed: int) -> np.ndarray:
+    """The orders table as it looks when statistics are first collected."""
+    return generate_mail_order_values(MailOrderConfig(n_records=15_000, seed=seed))
+
+
+def build_drifted_batch(seed: int) -> np.ndarray:
+    """A later batch of orders with different popular price points."""
+    config = MailOrderConfig(
+        n_records=15_000,
+        n_price_points=80,
+        spike_fraction=0.6,
+        body_median=120.0,  # the catalog moved up-market
+        seed=seed,
+    )
+    return generate_mail_order_values(config)
+
+
+def report(name: str, estimator: SelectivityEstimator, truth: DataDistribution) -> None:
+    queries = data_distributed_range_queries(truth, 200, seed=7)
+    errors = []
+    for query in queries:
+        result = estimator.report(Between(query.low, query.high), truth=truth)
+        errors.append(abs(result.estimated_selectivity - result.true_selectivity))
+    ks = ks_statistic(truth, estimator.histogram, value_unit=VALUE_UNIT)
+    print(
+        f"  {name:<28} KS = {ks:.4f}   "
+        f"mean |selectivity error| = {np.mean(errors):.4f}   "
+        f"max = {np.max(errors):.4f}"
+    )
+
+
+def main() -> None:
+    initial = build_initial_table(seed=1)
+    drifted = build_drifted_batch(seed=2)
+
+    # The table starts with the initial orders; statistics are collected now.
+    table = DataDistribution(initial)
+    n_buckets = MemoryModel().buckets_for_kb("sc", MEMORY_KB)
+    stale_static = CompressedHistogram.build(table, n_buckets, value_unit=VALUE_UNIT)
+
+    dynamic = build_dynamic_histogram("dado", MEMORY_KB, value_unit=VALUE_UNIT)
+    for value in initial:
+        dynamic.insert(float(value))
+
+    # The table evolves: half of the old orders are archived (deleted) and the
+    # drifted batch arrives.  The static histogram is NOT rebuilt; the dynamic
+    # histogram absorbs every change.
+    rng = np.random.default_rng(3)
+    archived = rng.choice(initial, size=len(initial) // 2, replace=False)
+    for value in archived:
+        table.remove(float(value))
+        dynamic.delete(float(value))
+    for value in drifted:
+        table.add(float(value))
+        dynamic.insert(float(value))
+
+    fresh_static = CompressedHistogram.build(table, n_buckets, value_unit=VALUE_UNIT)
+
+    print("estimation quality after the table has drifted:")
+    report("stale static Compressed", SelectivityEstimator(stale_static, value_unit=VALUE_UNIT), table)
+    report("DADO (maintained online)", SelectivityEstimator(dynamic, value_unit=VALUE_UNIT), table)
+    report("rebuilt static Compressed", SelectivityEstimator(fresh_static, value_unit=VALUE_UNIT), table)
+    print(
+        "\nThe dynamic histogram tracks the drifted table almost as well as a full\n"
+        "rebuild, without ever rescanning the data -- the stale histogram does not."
+    )
+
+
+if __name__ == "__main__":
+    main()

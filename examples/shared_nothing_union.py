@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Global histograms over a shared-nothing union of tables (Section 8).
+
+A parallel database (or a federation of web sources) partitions one logical
+table across several sites.  The coordinator needs a *global* histogram for
+planning, but shipping all the data to build one is expensive.  This example
+compares the two strategies the paper evaluates:
+
+* ``histogram + union``: each site builds a small local SSBM histogram; the
+  coordinator superimposes them (lossless) and reduces the result back to the
+  memory budget;
+* ``union + histogram``: the coordinator pools all raw data and builds a
+  single SSBM histogram directly.
+
+Run with::
+
+    python examples/shared_nothing_union.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GlobalHistogramCoordinator,
+    GlobalStrategy,
+    SiteGenerationConfig,
+    generate_sites,
+    ks_statistic,
+    superimpose,
+)
+
+MEMORY_KB = 250.0 / 1024.0  # the paper's default: 250 bytes per histogram
+
+
+def main() -> None:
+    # 1. Generate five sites, each holding a Zipf-distributed slice of the
+    #    global attribute range (the paper's Section 8 setup).
+    config = SiteGenerationConfig(
+        n_sites=5, total_points=25_000, intrasite_skew=1.0, site_size_skew=0.5, seed=7
+    )
+    sites = generate_sites(config)
+    for site in sites:
+        low, high = site.value_range
+        print(
+            f"site {site.site_id}: {site.size:>6} tuples over [{low:7.1f}, {high:7.1f}]"
+        )
+
+    coordinator = GlobalHistogramCoordinator(sites, MEMORY_KB)
+    pooled = coordinator.pooled_data()
+    print(f"\nglobal relation: {pooled.total_count} tuples, {pooled.distinct_count} distinct values")
+
+    # 2. The lossless superposition of the local histograms: as precise as the
+    #    members, but with many more buckets than the budget allows.
+    local_histograms = [site.build_local_histogram(MEMORY_KB) for site in sites]
+    union = superimpose(local_histograms)
+    print(
+        f"superimposed union histogram: {union.bucket_count} buckets "
+        f"(budget per histogram is {local_histograms[0].bucket_count})"
+    )
+    print(f"  KS of the raw superposition: {ks_statistic(pooled, union, value_unit=1.0):.4f}")
+
+    # 3. Compare the two strategies at the same memory budget.
+    print("\nglobal histograms within the memory budget:")
+    for strategy in GlobalStrategy:
+        histogram = coordinator.build(strategy)
+        error = ks_statistic(pooled, histogram, value_unit=1.0)
+        print(f"  {strategy.value:<22} buckets = {histogram.bucket_count:>3}   KS = {error:.4f}")
+
+    print(
+        "\nBoth strategies land in the same quality regime (the paper's conclusion),\n"
+        "so the cheap 'histogram + union' path -- which never moves raw data -- is the\n"
+        "practical choice for a shared-nothing system."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The build environment used for this reproduction has no ``wheel`` package and
+no network access, so PEP 660 editable installs (which build a wheel) are not
+available.  Keeping a ``setup.py`` lets ``pip install -e .`` fall back to the
+classic ``setup.py develop`` code path; all project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""Small shared validation helpers.
+
+These helpers keep argument checking uniform across the library: every public
+constructor validates its inputs eagerly and raises
+:class:`repro.exceptions.ConfigurationError` with a message that names the
+offending parameter, so mistakes surface at configuration time rather than deep
+inside an update loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from .exceptions import ConfigurationError
+
+__all__ = [
+    "require_positive_int",
+    "require_non_negative_int",
+    "require_positive_float",
+    "require_non_negative_float",
+    "require_probability",
+    "require_finite",
+    "require_in_range",
+]
+
+
+def require_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a positive integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{name} must be an int, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_non_negative_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a non-negative integer, else raise."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{name} must be an int, got {value!r}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def require_positive_float(value: float, name: str) -> float:
+    """Return ``value`` as float if it is a finite positive number, else raise."""
+    result = require_finite(value, name)
+    if result <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return result
+
+
+def require_non_negative_float(value: float, name: str) -> float:
+    """Return ``value`` as float if it is a finite non-negative number, else raise."""
+    result = require_finite(value, name)
+    if result < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value}")
+    return result
+
+
+def require_probability(value: float, name: str) -> float:
+    """Return ``value`` as float if it lies in the closed interval [0, 1]."""
+    result = require_finite(value, name)
+    if not 0.0 <= result <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return result
+
+
+def require_finite(value: float, name: str) -> float:
+    """Return ``value`` as float if it is a finite real number, else raise."""
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be a real number, got {value!r}") from exc
+    if math.isnan(result) or math.isinf(result):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    return result
+
+
+def require_in_range(
+    value: float,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+) -> float:
+    """Return ``value`` as float if it lies in the closed range [low, high]."""
+    result = require_finite(value, name)
+    if low is not None and result < low:
+        raise ConfigurationError(f"{name} must be >= {low}, got {value}")
+    if high is not None and result > high:
+        raise ConfigurationError(f"{name} must be <= {high}, got {value}")
+    return result

@@ -1,0 +1,184 @@
+"""Command-line interface for running the paper's experiments.
+
+The CLI mirrors what the benchmark harness does, but as a user-facing tool:
+
+* ``repro-experiments list`` -- enumerate the available figure experiments;
+* ``repro-experiments run fig05 fig08`` -- run selected figures (or ``all``)
+  and print their sweep tables, optionally at a different scale / repetition
+  count and optionally exporting CSV files;
+* ``repro-experiments compare`` -- build every histogram class on the reference
+  distribution at equal memory and print a leaderboard.
+
+Invoke either through the installed ``repro-experiments`` script or with
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .core.factory import build_dynamic_histogram, build_static_histogram
+from .datagen.clusters import generate_cluster_values
+from .datagen.reference import reference_config
+from .experiments import figures
+from .experiments.config import ExperimentSettings, SweepResult
+from .experiments.reporting import format_sweep_table, sweep_to_csv
+from .metrics.distribution import DataDistribution
+from .metrics.ks import ks_statistic
+from .workloads.streams import random_insertions
+
+__all__ = ["main", "available_experiments"]
+
+
+def available_experiments() -> Dict[str, Callable[..., SweepResult]]:
+    """Mapping from experiment name to the function that runs it."""
+    names = [
+        "fig05_center_skew",
+        "fig06_size_skew",
+        "fig07_cluster_sd",
+        "fig08_memory",
+        "fig09_static_center_skew",
+        "fig10_static_size_skew",
+        "fig11_static_cluster_sd",
+        "fig12_static_memory",
+        "fig13_construction_time",
+        "fig14_ac_disk_space",
+        "fig15_sorted_insertions",
+        "fig16_precision_vs_inserted_fraction",
+        "fig17_random_deletions",
+        "fig18_deletions_after_sorted_inserts",
+        "fig19_mail_order",
+        "fig20_distributed_memory",
+        "fig21_distributed_intrasite_skew",
+        "fig22_distributed_site_count",
+        "fig23_distributed_site_size_skew",
+        "ablation_sub_buckets",
+        "ablation_alpha_min",
+        "ablation_repartition_threshold",
+    ]
+    return {name.split("_")[0] if name.startswith("fig") else name: getattr(figures, name)
+            for name in names}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the experiments of 'Dynamic Histograms: Capturing Evolving Data Sets'.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available figure experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one or more figure experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment names (e.g. fig05 fig19 ablation_alpha_min) or 'all'",
+    )
+    run_parser.add_argument("--scale", type=float, default=0.06,
+                            help="fraction of the paper's data volume (default 0.06)")
+    run_parser.add_argument("--runs", type=int, default=2,
+                            help="random seeds averaged per configuration (default 2)")
+    run_parser.add_argument("--memory-kb", type=float, default=1.0,
+                            help="histogram memory for non-memory-sweep experiments (default 1.0)")
+    run_parser.add_argument("--csv-dir", type=Path, default=None,
+                            help="directory to write one CSV per experiment")
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="leaderboard of every histogram class at equal memory"
+    )
+    compare_parser.add_argument("--memory-kb", type=float, default=0.5)
+    compare_parser.add_argument("--scale", type=float, default=0.05)
+    compare_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _command_list(out) -> int:
+    registry = available_experiments()
+    out.write("available experiments:\n")
+    for name, function in registry.items():
+        summary = (function.__doc__ or "").strip().splitlines()[0]
+        out.write(f"  {name:<28} {summary}\n")
+    return 0
+
+
+def _command_run(args, out) -> int:
+    registry = available_experiments()
+    if len(args.experiments) == 1 and args.experiments[0].lower() == "all":
+        selected = list(registry)
+    else:
+        selected = args.experiments
+    unknown = [name for name in selected if name not in registry]
+    if unknown:
+        out.write(f"unknown experiment(s): {', '.join(unknown)}\n")
+        out.write("use 'repro-experiments list' to see the available names\n")
+        return 2
+
+    settings = ExperimentSettings(scale=args.scale, n_runs=args.runs, memory_kb=args.memory_kb)
+    if args.csv_dir is not None:
+        args.csv_dir.mkdir(parents=True, exist_ok=True)
+
+    for name in selected:
+        start = time.perf_counter()
+        result = registry[name](settings)
+        elapsed = time.perf_counter() - start
+        out.write(format_sweep_table(result) + "\n")
+        out.write(f"  (completed in {elapsed:.1f}s)\n\n")
+        if args.csv_dir is not None:
+            sweep_to_csv(result, path=str(args.csv_dir / f"{result.name}.csv"))
+    return 0
+
+
+_COMPARE_STATIC = ("equi_width", "equi_depth", "sc", "ssbm", "svo", "sado")
+_COMPARE_DYNAMIC = ("dc", "dvo", "dado", "ac")
+
+
+def _command_compare(args, out) -> int:
+    config = reference_config(n_clusters=200, scale=args.scale, seed=args.seed)
+    values = generate_cluster_values(config)
+    truth = DataDistribution(values)
+    stream = random_insertions(values, seed=args.seed)
+
+    rows = []
+    for kind in _COMPARE_STATIC:
+        histogram = build_static_histogram(kind, truth, args.memory_kb)
+        rows.append((kind.upper(), "static", ks_statistic(truth, histogram, value_unit=1.0)))
+    for kind in _COMPARE_DYNAMIC:
+        histogram = build_dynamic_histogram(kind, args.memory_kb, disk_factor=2.0, seed=args.seed)
+        live = DataDistribution()
+        for op in stream:
+            histogram.insert(op.value)
+            live.add(op.value)
+        rows.append((kind.upper(), "dynamic", ks_statistic(live, histogram, value_unit=1.0)))
+
+    rows.sort(key=lambda row: row[2])
+    out.write(
+        f"reference distribution at scale {args.scale}, memory {args.memory_kb} KB\n"
+    )
+    out.write(f"{'histogram':<12} {'kind':<8} {'KS statistic':>12}\n")
+    for name, kind, error in rows:
+        out.write(f"{name:<12} {kind:<8} {error:>12.5f}\n")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out or sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _command_list(out)
+    if args.command == "run":
+        return _command_run(args, out)
+    if args.command == "compare":
+        return _command_compare(args, out)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

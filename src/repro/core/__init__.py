@@ -1,0 +1,49 @@
+"""Core histogram machinery and the paper's dynamic histograms.
+
+This package contains the primary contribution of the paper:
+
+* :class:`~repro.core.dynamic_compressed.DCHistogram` -- the Dynamic
+  Compressed histogram of Section 3, with its Chi-square repartitioning
+  trigger;
+* :class:`~repro.core.dynamic_vopt.DVOHistogram` and
+  :class:`~repro.core.dynamic_vopt.DADOHistogram` -- the Dynamic V-Optimal and
+  Dynamic Average-Deviation Optimal histograms of Section 4, built on
+  sub-bucketed buckets and split/merge repartitioning;
+
+together with the shared machinery they are built on: bucket value types, the
+histogram read API, the deviation (phi) algebra of Eq. (3)-(5), and the memory
+model that converts a byte budget into bucket counts.
+"""
+
+from .bucket import Bucket, SubBucketedBucket
+from .base import Histogram, DynamicHistogram
+from .memory import MemoryModel, buckets_for_memory
+from .deviation import (
+    DeviationMetric,
+    segments_phi,
+    bucket_phi,
+    merged_phi,
+    merge_sub_buckets,
+)
+from .dynamic_compressed import DCHistogram
+from .dynamic_vopt import DVOHistogram, DADOHistogram
+from .factory import build_dynamic_histogram, build_static_histogram
+
+__all__ = [
+    "Bucket",
+    "SubBucketedBucket",
+    "Histogram",
+    "DynamicHistogram",
+    "MemoryModel",
+    "buckets_for_memory",
+    "DeviationMetric",
+    "segments_phi",
+    "bucket_phi",
+    "merged_phi",
+    "merge_sub_buckets",
+    "DCHistogram",
+    "DVOHistogram",
+    "DADOHistogram",
+    "build_dynamic_histogram",
+    "build_static_histogram",
+]

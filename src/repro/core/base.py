@@ -1,0 +1,215 @@
+"""Abstract histogram interfaces: the shared read API and the update API.
+
+Every histogram in the library -- static baselines, the paper's dynamic
+histograms and the sampling-based Approximate Compressed comparator -- exposes
+the same *read* interface defined by :class:`Histogram`: bucket inspection,
+range-count estimation under the uniform + continuous-value assumptions, and
+CDF evaluation (which is what the KS metric consumes).  Dynamic histograms
+additionally implement the *update* interface of :class:`DynamicHistogram`:
+``insert`` and ``delete`` of individual values and stream replay.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..exceptions import EmptyHistogramError
+from ..metrics.distribution import DataDistribution
+from .bucket import Bucket
+
+__all__ = ["Histogram", "DynamicHistogram"]
+
+
+class Histogram(abc.ABC):
+    """Read-only histogram interface.
+
+    Concrete histograms implement :meth:`buckets`, returning their
+    piecewise-uniform segments in ascending value order; every estimation
+    method is derived from that single primitive, so all histogram classes
+    behave identically at evaluation time.
+    """
+
+    # ------------------------------------------------------------------
+    # abstract surface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def buckets(self) -> List[Bucket]:
+        """The histogram's buckets (piecewise-uniform segments), in value order.
+
+        Histograms with internal sub-bucket structure (DVO / DADO) expose their
+        sub-buckets here, because the sub-bucket counters are part of the
+        stored approximation.
+        """
+
+    # ------------------------------------------------------------------
+    # derived read API
+    # ------------------------------------------------------------------
+    @property
+    def bucket_count(self) -> int:
+        """Number of exposed segments."""
+        return len(self.buckets())
+
+    @property
+    def total_count(self) -> float:
+        """Total number of points represented by the histogram."""
+        return float(sum(bucket.count for bucket in self.buckets()))
+
+    @property
+    def min_value(self) -> float:
+        """Left border of the first bucket."""
+        buckets = self.buckets()
+        if not buckets:
+            raise EmptyHistogramError("histogram has no buckets")
+        return buckets[0].left
+
+    @property
+    def max_value(self) -> float:
+        """Right border of the last bucket."""
+        buckets = self.buckets()
+        if not buckets:
+            raise EmptyHistogramError("histogram has no buckets")
+        return buckets[-1].right
+
+    def estimate_range(self, low: float, high: float) -> float:
+        """Estimated number of points in the closed range ``[low, high]``."""
+        if high < low:
+            return 0.0
+        return float(sum(bucket.count_in_range(low, high) for bucket in self.buckets()))
+
+    def estimate_selectivity(self, low: float, high: float) -> float:
+        """Estimated fraction of points in the closed range ``[low, high]``."""
+        total = self.total_count
+        if total <= 0:
+            return 0.0
+        return self.estimate_range(low, high) / total
+
+    def estimate_equal(self, value: float, *, value_granularity: float = 1.0) -> float:
+        """Estimated number of points equal to ``value``.
+
+        Under the continuous-value assumption the estimate for an equality
+        predicate is the bucket density times the granularity of a single
+        domain value (1 for the paper's integer domains).  Point-mass buckets
+        contribute their full count when they sit exactly on ``value``.
+        """
+        estimate = 0.0
+        for bucket in self.buckets():
+            if bucket.is_point_mass:
+                if bucket.left == value:
+                    estimate += bucket.count
+            elif bucket.left <= value <= bucket.right:
+                estimate += bucket.density * min(value_granularity, bucket.width)
+        return float(estimate)
+
+    def count_at_most(self, x: float) -> float:
+        """Estimated number of points with value <= x."""
+        return float(sum(bucket.count_at_most(x) for bucket in self.buckets()))
+
+    def cdf(self, x: float) -> float:
+        """Approximate CDF at ``x`` (0 for an empty histogram)."""
+        total = self.total_count
+        if total <= 0:
+            return 0.0
+        return self.count_at_most(x) / total
+
+    def cdf_many(self, xs: Sequence[float]) -> np.ndarray:
+        """Vectorised CDF evaluation at each point of ``xs``."""
+        return self._cdf_many(xs, include_point_mass_at=True)
+
+    def cdf_left_many(self, xs: Sequence[float]) -> np.ndarray:
+        """Vectorised left limit of the CDF, ``P(X < x)``, at each point of ``xs``.
+
+        The approximate CDF is continuous inside regular buckets but jumps at
+        point-mass (singular) buckets; the KS metric needs both one-sided
+        limits to locate the supremum exactly.
+        """
+        return self._cdf_many(xs, include_point_mass_at=False)
+
+    def _cdf_many(self, xs: Sequence[float], *, include_point_mass_at: bool) -> np.ndarray:
+        xs_arr = np.asarray(xs, dtype=float)
+        buckets = self.buckets()
+        total = sum(bucket.count for bucket in buckets)
+        if not buckets or total <= 0:
+            return np.zeros(xs_arr.shape, dtype=float)
+
+        cumulative = np.zeros(xs_arr.shape, dtype=float)
+        for bucket in buckets:
+            if bucket.is_point_mass:
+                if include_point_mass_at:
+                    cumulative += np.where(xs_arr >= bucket.left, bucket.count, 0.0)
+                else:
+                    cumulative += np.where(xs_arr > bucket.left, bucket.count, 0.0)
+            else:
+                fraction = np.clip((xs_arr - bucket.left) / bucket.width, 0.0, 1.0)
+                cumulative += bucket.count * fraction
+        return cumulative / total
+
+    def cdf_breakpoints(self) -> np.ndarray:
+        """Value points at which the approximate CDF changes slope."""
+        buckets = self.buckets()
+        if not buckets:
+            return np.empty(0, dtype=float)
+        points = [b.left for b in buckets] + [b.right for b in buckets]
+        return np.unique(np.asarray(points, dtype=float))
+
+    def to_distribution(self, *, points_per_bucket: int = 8) -> DataDistribution:
+        """A discretised :class:`DataDistribution` view of the approximation.
+
+        Each non-point-mass bucket is expanded into ``points_per_bucket``
+        equally spaced representative values carrying equal shares of the
+        bucket count (rounded to integers with the remainder assigned to the
+        first representatives).  Useful for plotting and for treating a
+        histogram as a data set (the distributed-union reduction does this).
+        """
+        dist = DataDistribution()
+        for bucket in self.buckets():
+            count = int(round(bucket.count))
+            if count <= 0:
+                continue
+            if bucket.is_point_mass:
+                dist.add(bucket.left, count)
+                continue
+            n_points = min(points_per_bucket, count)
+            positions = np.linspace(bucket.left, bucket.right, n_points + 2)[1:-1]
+            base, remainder = divmod(count, n_points)
+            for index, position in enumerate(positions):
+                share = base + (1 if index < remainder else 0)
+                if share > 0:
+                    dist.add(float(position), share)
+        return dist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        try:
+            return (
+                f"{type(self).__name__}(buckets={self.bucket_count}, "
+                f"count={self.total_count:.0f})"
+            )
+        except EmptyHistogramError:
+            return f"{type(self).__name__}(empty)"
+
+
+class DynamicHistogram(Histogram):
+    """A histogram that is maintained incrementally under insertions and deletions."""
+
+    @abc.abstractmethod
+    def insert(self, value: float) -> None:
+        """Insert one occurrence of ``value``."""
+
+    @abc.abstractmethod
+    def delete(self, value: float) -> None:
+        """Delete one occurrence of ``value``."""
+
+    def insert_many(self, values: Iterable[float]) -> None:
+        """Insert every value of an iterable, in order."""
+        for value in values:
+            self.insert(value)
+
+    def apply(self, stream: Iterable) -> None:
+        """Replay an update stream of :class:`~repro.workloads.streams.UpdateOp`."""
+        for op in stream:
+            if op.is_insert:
+                self.insert(op.value)
+            else:
+                self.delete(op.value)

@@ -1,0 +1,157 @@
+"""Bucket value types shared by every histogram in the library.
+
+A histogram approximates a data distribution by a sequence of contiguous,
+non-overlapping buckets.  Two flavours are used:
+
+* :class:`Bucket` -- the classic bucket that stores its value range and a point
+  count.  Under the uniform-distribution and continuous-value assumptions of
+  Section 2.1, points are spread uniformly over the value range.  A bucket
+  whose range has zero width is a *point mass* (the paper's singular buckets of
+  width one collapse to this in the continuous view).
+* :class:`SubBucketedBucket` -- the bucket used by the DVO / DADO histograms of
+  Section 4: the value range is divided at its midpoint into two sub-buckets of
+  equal width, and the counts of both halves are stored.  This is the minimal
+  internal structure that makes the V-Optimal / Average-Deviation partition
+  constraints checkable without storing individual frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["Bucket", "SubBucketedBucket"]
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """A histogram bucket: the closed value range ``[left, right]`` and a count.
+
+    ``left == right`` denotes a point mass (all ``count`` points share the
+    single value ``left``).
+    """
+
+    left: float
+    right: float
+    count: float
+
+    def __post_init__(self) -> None:
+        if self.right < self.left:
+            raise ConfigurationError(
+                f"bucket range is inverted: left={self.left}, right={self.right}"
+            )
+        if self.count < 0:
+            raise ConfigurationError(f"bucket count must be non-negative, got {self.count}")
+
+    @property
+    def width(self) -> float:
+        """Width of the value range (zero for a point mass)."""
+        return self.right - self.left
+
+    @property
+    def is_point_mass(self) -> bool:
+        """True when the bucket covers a single value."""
+        return self.right == self.left
+
+    @property
+    def density(self) -> float:
+        """Points per unit of value range (infinite ranges never occur)."""
+        if self.is_point_mass:
+            raise ConfigurationError("a point-mass bucket has no finite density")
+        return self.count / self.width
+
+    def count_at_most(self, x: float) -> float:
+        """Number of the bucket's points with value <= x (uniform assumption)."""
+        if x < self.left:
+            return 0.0
+        if x >= self.right:
+            return self.count
+        if self.is_point_mass:
+            return self.count if x >= self.left else 0.0
+        return self.count * (x - self.left) / self.width
+
+    def count_in_range(self, low: float, high: float) -> float:
+        """Number of the bucket's points inside the closed range [low, high]."""
+        if high < low:
+            return 0.0
+        if self.is_point_mass:
+            return self.count if low <= self.left <= high else 0.0
+        overlap_low = max(low, self.left)
+        overlap_high = min(high, self.right)
+        if overlap_high <= overlap_low:
+            return 0.0
+        return self.count * (overlap_high - overlap_low) / self.width
+
+    def with_count(self, count: float) -> "Bucket":
+        """Return a copy of this bucket with a different count."""
+        return replace(self, count=count)
+
+
+@dataclass(frozen=True)
+class SubBucketedBucket:
+    """A DVO/DADO bucket: a value range split at its midpoint into two counters.
+
+    Attributes
+    ----------
+    left, right:
+        The closed value range of the whole bucket.
+    left_count, right_count:
+        Number of points in the left and right halves of the range.
+    """
+
+    left: float
+    right: float
+    left_count: float
+    right_count: float
+
+    def __post_init__(self) -> None:
+        if self.right < self.left:
+            raise ConfigurationError(
+                f"bucket range is inverted: left={self.left}, right={self.right}"
+            )
+        if self.left_count < 0 or self.right_count < 0:
+            raise ConfigurationError(
+                "sub-bucket counts must be non-negative, got "
+                f"({self.left_count}, {self.right_count})"
+            )
+
+    @property
+    def midpoint(self) -> float:
+        """The sub-bucket border (midpoint of the value range)."""
+        return (self.left + self.right) / 2.0
+
+    @property
+    def count(self) -> float:
+        """Total number of points in the bucket."""
+        return self.left_count + self.right_count
+
+    @property
+    def width(self) -> float:
+        return self.right - self.left
+
+    @property
+    def is_point_mass(self) -> bool:
+        return self.right == self.left
+
+    def as_segments(self) -> List[Tuple[float, float, float]]:
+        """The bucket's piecewise-uniform segments as ``(left, right, count)``.
+
+        A point-mass bucket yields a single zero-width segment.
+        """
+        if self.is_point_mass:
+            return [(self.left, self.right, self.count)]
+        mid = self.midpoint
+        return [
+            (self.left, mid, self.left_count),
+            (mid, self.right, self.right_count),
+        ]
+
+    def as_buckets(self) -> List[Bucket]:
+        """The two sub-buckets as plain :class:`Bucket` objects."""
+        return [Bucket(left, right, count) for left, right, count in self.as_segments()]
+
+    def with_counts(self, left_count: float, right_count: float) -> "SubBucketedBucket":
+        """Return a copy with different sub-bucket counts."""
+        return replace(self, left_count=left_count, right_count=right_count)

@@ -1,0 +1,228 @@
+"""The deviation (phi) algebra of Eqs. (3)-(5) and the split/merge operations.
+
+V-Optimal-style histograms characterise a bucket by how much the frequencies of
+the values inside it deviate from the bucket's average frequency: the *variance*
+of frequencies (Eq. 3, V-Optimal) or the sum of *absolute deviations* (Eq. 5,
+Average-Deviation Optimal).  The paper's dynamic histograms approximate those
+per-value frequencies with the bucket's two sub-bucket counters; under the
+uniform and continuous-value assumptions the frequency of every value inside a
+sub-bucket equals the sub-bucket count divided by the number of values the
+sub-bucket spans.
+
+This module implements that algebra once, so DVO, DADO, SSBM, SADO and the
+distributed reduction all share it:
+
+* :func:`segments_phi` -- phi of an arbitrary set of piecewise-uniform segments
+  relative to their common average frequency;
+* :func:`bucket_phi` -- phi of a single sub-bucketed bucket;
+* :func:`merged_phi` -- phi of the *hypothetical* bucket obtained by merging
+  two neighbouring buckets (the phi_M of Eq. 4);
+* :func:`merge_sub_buckets` -- the actual merge: derive the merged bucket's two
+  sub-bucket counters from the four original segments;
+* :func:`split_bucket` -- the split: divide a bucket at its sub-bucket border
+  into two buckets whose sub-buckets have equal counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from ..exceptions import ConfigurationError
+from .bucket import SubBucketedBucket
+
+__all__ = [
+    "DeviationMetric",
+    "segments_phi",
+    "bucket_phi",
+    "merged_phi",
+    "merge_sub_buckets",
+    "split_bucket",
+]
+
+Segment = Tuple[float, float, float]
+
+
+class DeviationMetric(enum.Enum):
+    """How per-value deviations from the bucket average are aggregated."""
+
+    #: Sum of squared deviations (Eq. 3) -- the V-Optimal constraint.
+    VARIANCE = "variance"
+    #: Sum of absolute deviations (Eq. 5) -- the Average-Deviation constraint.
+    ABSOLUTE = "absolute"
+
+    @classmethod
+    def coerce(cls, value: Union["DeviationMetric", str]) -> "DeviationMetric":
+        """Accept either an enum member or its string value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError as exc:
+            valid = ", ".join(member.value for member in cls)
+            raise ConfigurationError(
+                f"unknown deviation metric {value!r}; expected one of: {valid}"
+            ) from exc
+
+    def aggregate(self, deviation: float) -> float:
+        """Contribution of a single per-value deviation."""
+        if self is DeviationMetric.VARIANCE:
+            return deviation * deviation
+        return abs(deviation)
+
+
+def _segment_value_count(left: float, right: float, value_unit: float) -> float:
+    """Number of domain values a segment spans (never less than one).
+
+    A segment narrower than one value unit still covers at least one domain
+    value; flooring at one keeps the per-value frequencies (and therefore phi)
+    of very narrow buckets from exploding, which matters for the stability of
+    the dynamic split/merge decisions.
+    """
+    width = right - left
+    if width <= 0:
+        return 1.0
+    return max(width / value_unit, 1.0)
+
+
+def segments_phi(
+    segments: Iterable[Segment],
+    metric: Union[DeviationMetric, str] = DeviationMetric.VARIANCE,
+    *,
+    value_unit: float = 1.0,
+) -> float:
+    """Phi of a set of piecewise-uniform segments around their common average.
+
+    Each segment is ``(left, right, count)``: ``count`` points spread uniformly
+    over the values in ``[left, right]``.  The phi is the sum, over all values
+    covered by the segments, of the squared (or absolute) deviation of that
+    value's frequency from the average frequency of the whole segment set.
+
+    Parameters
+    ----------
+    segments:
+        The piecewise-uniform segments.
+    metric:
+        ``VARIANCE`` for Eq. (3) or ``ABSOLUTE`` for Eq. (5).
+    value_unit:
+        Spacing between adjacent domain values (1 for the paper's integer
+        domains); a segment of width ``w`` spans ``w / value_unit`` values.
+    """
+    metric = DeviationMetric.coerce(metric)
+    if value_unit <= 0:
+        raise ConfigurationError(f"value_unit must be positive, got {value_unit}")
+
+    segment_list = list(segments)
+    if not segment_list:
+        return 0.0
+
+    value_counts = [
+        _segment_value_count(left, right, value_unit) for left, right, _ in segment_list
+    ]
+    total_values = sum(value_counts)
+    total_count = sum(count for _, _, count in segment_list)
+    if total_values <= 0 or total_count <= 0:
+        return 0.0
+    average_frequency = total_count / total_values
+
+    phi = 0.0
+    for (left, right, count), n_values in zip(segment_list, value_counts):
+        frequency = count / n_values
+        phi += n_values * metric.aggregate(frequency - average_frequency)
+    return phi
+
+
+def bucket_phi(
+    bucket: SubBucketedBucket,
+    metric: Union[DeviationMetric, str] = DeviationMetric.VARIANCE,
+    *,
+    value_unit: float = 1.0,
+) -> float:
+    """Phi of a single sub-bucketed bucket (its internal non-uniformity)."""
+    return segments_phi(bucket.as_segments(), metric, value_unit=value_unit)
+
+
+def merged_phi(
+    first: SubBucketedBucket,
+    second: SubBucketedBucket,
+    metric: Union[DeviationMetric, str] = DeviationMetric.VARIANCE,
+    *,
+    value_unit: float = 1.0,
+) -> float:
+    """Phi of the hypothetical bucket obtained by merging two neighbours.
+
+    This is the phi_M of Eq. (4): the frequencies of all values covered by the
+    two buckets (as currently approximated by their four sub-bucket segments)
+    measured against the average frequency of the *combined* range.  Merging
+    never decreases phi, so ``merged_phi(a, b) >= bucket_phi(a) +
+    bucket_phi(b)`` up to floating-point error.
+    """
+    return segments_phi(
+        list(first.as_segments()) + list(second.as_segments()),
+        metric,
+        value_unit=value_unit,
+    )
+
+
+def _overlap_count(segment: Segment, low: float, high: float) -> float:
+    """Points of a piecewise-uniform segment that fall inside [low, high]."""
+    left, right, count = segment
+    if count <= 0:
+        return 0.0
+    if right == left:
+        return count if low <= left <= high else 0.0
+    overlap = min(high, right) - max(low, left)
+    if overlap <= 0:
+        return 0.0
+    return count * overlap / (right - left)
+
+
+def merge_sub_buckets(first: SubBucketedBucket, second: SubBucketedBucket) -> SubBucketedBucket:
+    """Merge two neighbouring buckets into one sub-bucketed bucket.
+
+    The merged bucket spans both ranges; its two sub-bucket counts are deduced
+    from the four original segments under the uniform assumption (this is the
+    "counters in the merged bucket are deduced from the old configuration"
+    step of Section 4.2).  Total count is preserved exactly.
+    """
+    if second.left < first.left:
+        first, second = second, first
+    if second.left < first.right:
+        raise ConfigurationError(
+            "merge_sub_buckets requires non-overlapping neighbouring buckets, got "
+            f"[{first.left}, {first.right}] and [{second.left}, {second.right}]"
+        )
+
+    left, right = first.left, second.right
+    segments = list(first.as_segments()) + list(second.as_segments())
+    total = sum(count for _, _, count in segments)
+    if right == left:
+        return SubBucketedBucket(left, right, total, 0.0)
+
+    midpoint = (left + right) / 2.0
+    left_count = sum(_overlap_count(segment, left, midpoint) for segment in segments)
+    # Point masses sitting exactly on the midpoint must not be double counted:
+    # assign them to the left half (matching _overlap_count's closed-interval
+    # treatment) and give the right half the remainder.
+    left_count = min(left_count, total)
+    right_count = total - left_count
+    return SubBucketedBucket(left, right, left_count, right_count)
+
+
+def split_bucket(bucket: SubBucketedBucket) -> Tuple[SubBucketedBucket, SubBucketedBucket]:
+    """Split a bucket at its sub-bucket border into two new buckets.
+
+    Each new bucket covers one of the old sub-bucket ranges and its own
+    sub-buckets receive equal halves of the old sub-bucket count, so each new
+    bucket has phi zero (splitting never increases phi -- Section 4).
+    """
+    if bucket.is_point_mass:
+        raise ConfigurationError("cannot split a point-mass bucket")
+    midpoint = bucket.midpoint
+    left_half = SubBucketedBucket(
+        bucket.left, midpoint, bucket.left_count / 2.0, bucket.left_count / 2.0
+    )
+    right_half = SubBucketedBucket(
+        midpoint, bucket.right, bucket.right_count / 2.0, bucket.right_count / 2.0
+    )
+    return left_half, right_half

@@ -1,0 +1,403 @@
+"""Dynamic Compressed (DC) histogram (Section 3 of the paper).
+
+A Compressed histogram keeps the highest-frequency values in *singular*
+(singleton) buckets and partitions the rest equi-depth into *regular* buckets.
+The dynamic version maintains this structure incrementally:
+
+* the first ``n`` distinct points build the initial buckets (loading phase);
+* every subsequent point is routed to its bucket by binary search and the
+  bucket counter is incremented (end buckets stretch to cover out-of-range
+  points);
+* when the counts of the regular buckets deviate from uniformity so strongly
+  that a Chi-square test rejects the null hypothesis of equal counts at
+  significance ``alpha_min`` (1e-6 by default), the histogram *repartitions*:
+  singular buckets that fell below the threshold ``T = N / n`` are degraded to
+  regular mass, bucket borders are recomputed so all regular buckets have equal
+  counts again (using the uniform assumption inside the old buckets, so total
+  count is preserved), and narrow heavy buckets are promoted to singular.
+
+Cost: O(log n) per insertion plus occasional O(n) repartitions -- the
+O(N log n) total the paper reports in Section 3.1.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Tuple
+
+from .._validation import require_positive_float, require_positive_int, require_probability
+from ..exceptions import DeletionError, InsufficientDataError
+from ..metrics.chi_square import chi_square_probability
+from .base import DynamicHistogram
+from .bucket import Bucket
+
+__all__ = ["DCHistogram"]
+
+#: Default significance threshold below which repartitioning is triggered.
+DEFAULT_ALPHA_MIN = 1.0e-6
+
+
+class DCHistogram(DynamicHistogram):
+    """Dynamic Compressed histogram with a Chi-square repartitioning trigger.
+
+    Parameters
+    ----------
+    n_buckets:
+        Total bucket budget (singular + regular), fixed by available memory.
+    alpha_min:
+        Significance threshold of the Chi-square uniformity test; lower values
+        repartition less often.  The paper uses 1e-6 and reports that results
+        are insensitive to the exact value as long as it is much below 1.
+    value_unit:
+        Spacing between adjacent domain values; a regular bucket whose width is
+        at most one value unit and whose count exceeds the singular threshold
+        is promoted to a singular bucket (``1.0`` for integer domains).
+    """
+
+    def __init__(
+        self,
+        n_buckets: int,
+        *,
+        alpha_min: float = DEFAULT_ALPHA_MIN,
+        value_unit: float = 1.0,
+    ) -> None:
+        require_positive_int(n_buckets, "n_buckets")
+        require_probability(alpha_min, "alpha_min")
+        require_positive_float(value_unit, "value_unit")
+        self._budget = n_buckets
+        self._alpha_min = alpha_min
+        self._value_unit = value_unit
+
+        # Loading phase buffer: distinct value -> count.
+        self._loading: Optional[Dict[float, int]] = {}
+
+        # Regular buckets: contiguous ranges.  Bucket i spans
+        # [_lefts[i], _lefts[i + 1]) except the last, which spans
+        # [_lefts[-1], _right].
+        self._lefts: List[float] = []
+        self._counts: List[float] = []
+        self._right: float = 0.0
+
+        # Singular buckets: point masses keyed by value.
+        self._singular: Dict[float, float] = {}
+
+        # Running statistics of regular counts for the O(1) Chi-square check.
+        self._regular_total = 0.0
+        self._regular_sumsq = 0.0
+
+        self._repartition_count = 0
+
+    # ------------------------------------------------------------------
+    # public accessors
+    # ------------------------------------------------------------------
+    @property
+    def bucket_budget(self) -> int:
+        """Total number of buckets the histogram may use."""
+        return self._budget
+
+    @property
+    def alpha_min(self) -> float:
+        """Significance threshold of the repartitioning trigger."""
+        return self._alpha_min
+
+    @property
+    def repartition_count(self) -> int:
+        """Number of repartitions performed so far (border relocations)."""
+        return self._repartition_count
+
+    @property
+    def is_loading(self) -> bool:
+        """True while the initial loading phase is still buffering points."""
+        return self._loading is not None
+
+    @property
+    def singular_value_count(self) -> int:
+        """Number of singular (singleton) buckets currently in use."""
+        return 0 if self._loading is not None else len(self._singular)
+
+    # ------------------------------------------------------------------
+    # read API
+    # ------------------------------------------------------------------
+    def buckets(self) -> List[Bucket]:
+        if self._loading is not None:
+            # During loading every buffered distinct value is its own bucket.
+            return [
+                Bucket(value, value, float(count))
+                for value, count in sorted(self._loading.items())
+            ]
+        result: List[Bucket] = []
+        for index, left in enumerate(self._lefts):
+            right = self._lefts[index + 1] if index + 1 < len(self._lefts) else self._right
+            result.append(Bucket(left, right, self._counts[index]))
+        for value, count in self._singular.items():
+            result.append(Bucket(value, value, count))
+        result.sort(key=lambda bucket: (bucket.left, bucket.right))
+        return result
+
+    # ------------------------------------------------------------------
+    # update API
+    # ------------------------------------------------------------------
+    def insert(self, value: float) -> None:
+        value = float(value)
+        if self._loading is not None:
+            self._loading[value] = self._loading.get(value, 0) + 1
+            if len(self._loading) >= self._budget:
+                self._finish_loading()
+            return
+
+        if value in self._singular:
+            self._singular[value] += 1.0
+            return
+
+        index = self._locate_regular(value, extend=True)
+        self._increment_regular(index, 1.0)
+        if self._should_repartition():
+            self._repartition()
+
+    def delete(self, value: float) -> None:
+        value = float(value)
+        if self._loading is not None:
+            count = self._loading.get(value, 0)
+            if count > 1:
+                self._loading[value] = count - 1
+            elif count == 1:
+                del self._loading[value]
+            else:
+                raise DeletionError(f"value {value!r} is not present in the loading buffer")
+            return
+
+        if self.total_count < 1.0 - 1e-9:
+            raise DeletionError("cannot delete from an empty histogram")
+
+        # Remove one unit of mass.  Counters may hold fractional counts after
+        # a repartition, so keep taking from the closest non-empty buckets
+        # until a full unit has been removed (Section 7.3 spill policy).
+        remaining = 1.0
+        if value in self._singular and self._singular[value] > 0:
+            taken = min(self._singular[value], remaining)
+            self._singular[value] -= taken
+            remaining -= taken
+        if remaining > 1e-12:
+            index = self._locate_regular(value, extend=False)
+            available = self._counts[index]
+            if available > 0:
+                taken = min(available, remaining)
+                self._increment_regular(index, -taken)
+                remaining -= taken
+        while remaining > 1e-12:
+            spill = self._closest_non_empty(value)
+            if spill is None:
+                raise DeletionError("all buckets are empty; nothing to delete")
+            kind, key = spill
+            if kind == "singular":
+                taken = min(self._singular[key], remaining)
+                self._singular[key] -= taken
+            else:
+                taken = min(self._counts[int(key)], remaining)
+                self._increment_regular(int(key), -taken)
+            remaining -= taken
+
+    # ------------------------------------------------------------------
+    # loading phase
+    # ------------------------------------------------------------------
+    def _finish_loading(self) -> None:
+        """Convert the loading buffer into the initial regular buckets."""
+        assert self._loading is not None
+        items = sorted(self._loading.items())
+        self._loading = None
+        if not items:
+            raise InsufficientDataError("loading phase ended with no data")
+
+        values = [value for value, _ in items]
+        counts = [float(count) for _, count in items]
+        if len(values) == 1:
+            self._lefts = [values[0]]
+            self._right = values[0]
+            self._counts = [counts[0]]
+        else:
+            # One bucket per distinct point: borders sit at the points, the
+            # last point is folded into the final bucket.
+            self._lefts = values[:-1]
+            self._right = values[-1]
+            self._counts = counts[:-1]
+            self._counts[-1] += counts[-1]
+        self._regular_total = sum(self._counts)
+        self._regular_sumsq = sum(count * count for count in self._counts)
+
+    # ------------------------------------------------------------------
+    # regular bucket helpers
+    # ------------------------------------------------------------------
+    def _locate_regular(self, value: float, *, extend: bool) -> int:
+        """Index of the regular bucket for ``value``; optionally extend end buckets."""
+        if not self._lefts:
+            raise InsufficientDataError("histogram has no regular buckets yet")
+        if value < self._lefts[0]:
+            if extend:
+                self._lefts[0] = value
+            return 0
+        if value > self._right:
+            if extend:
+                self._right = value
+            return len(self._lefts) - 1
+        index = bisect.bisect_right(self._lefts, value) - 1
+        return max(0, min(index, len(self._lefts) - 1))
+
+    def _increment_regular(self, index: int, delta: float) -> None:
+        old = self._counts[index]
+        new = old + delta
+        self._counts[index] = new
+        self._regular_total += delta
+        self._regular_sumsq += new * new - old * old
+
+    def _closest_non_empty(self, value: float) -> Optional[Tuple[str, float]]:
+        """Locate the non-empty bucket whose range lies closest to ``value``."""
+        best: Optional[Tuple[float, str, float]] = None
+        for index, count in enumerate(self._counts):
+            if count <= 0:
+                continue
+            left = self._lefts[index]
+            right = self._lefts[index + 1] if index + 1 < len(self._lefts) else self._right
+            distance = 0.0 if left <= value <= right else min(abs(value - left), abs(value - right))
+            if best is None or distance < best[0]:
+                best = (distance, "regular", float(index))
+        for singular_value, count in self._singular.items():
+            if count <= 0:
+                continue
+            distance = abs(singular_value - value)
+            if best is None or distance < best[0]:
+                best = (distance, "singular", singular_value)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    # ------------------------------------------------------------------
+    # repartitioning
+    # ------------------------------------------------------------------
+    def _should_repartition(self) -> bool:
+        """Chi-square uniformity test on the regular bucket counts."""
+        n_regular = len(self._counts)
+        if n_regular < 2 or self._regular_total <= 0:
+            return False
+        mean = self._regular_total / n_regular
+        chi2 = (self._regular_sumsq - n_regular * mean * mean) / mean
+        if chi2 <= 0:
+            return False
+        dof = n_regular - 1
+        # Cheap pre-filter: when chi2 is below its expectation the significance
+        # is far above any sensible alpha_min.
+        if chi2 <= dof:
+            return False
+        return chi_square_probability(chi2, dof) < self._alpha_min
+
+    def _repartition(self) -> None:
+        """Re-establish the Compressed partition constraint.
+
+        Degrades light singular buckets to regular mass, recomputes regular
+        borders so every regular bucket carries the same count, and promotes
+        narrow heavy regular buckets to singular buckets.  The total count is
+        preserved exactly.
+        """
+        self._repartition_count += 1
+        total = self._regular_total + sum(self._singular.values())
+        if total <= 0:
+            return
+        threshold = total / self._budget
+
+        # Collect the regular mass as contiguous piecewise-uniform segments.
+        segments: List[List[float]] = []
+        for index, count in enumerate(self._counts):
+            left = self._lefts[index]
+            right = self._lefts[index + 1] if index + 1 < len(self._lefts) else self._right
+            segments.append([left, right, count])
+
+        surviving_singular: Dict[float, float] = {}
+        for value, count in self._singular.items():
+            if count > threshold:
+                surviving_singular[value] = count
+            elif count > 0:
+                # Degrade: fold the mass back into the regular bucket whose
+                # range contains (or is closest to) the singular value, keeping
+                # the regular segments contiguous and sorted.
+                target = bisect.bisect_right([segment[0] for segment in segments], value) - 1
+                target = max(0, min(target, len(segments) - 1))
+                segments[target][2] += count
+
+        # Promote narrow heavy regular segments to singular buckets.  The
+        # singular value is snapped to the domain grid, mirroring the paper's
+        # "width one" buckets whose borders sit on actual attribute values.
+        regular_segments: List[Tuple[float, float, float]] = []
+        for left, right, count in segments:
+            is_narrow = (right - left) <= self._value_unit
+            if is_narrow and count > threshold and len(surviving_singular) < self._budget - 1:
+                midpoint = (left + right) / 2.0
+                snapped = round(midpoint / self._value_unit) * self._value_unit
+                surviving_singular[snapped] = surviving_singular.get(snapped, 0.0) + count
+            else:
+                regular_segments.append((left, right, count))
+
+        n_regular = max(1, self._budget - len(surviving_singular))
+        lefts, counts, right = _equalize_segments(regular_segments, n_regular)
+
+        self._lefts = lefts
+        self._counts = counts
+        self._right = right
+        self._singular = surviving_singular
+        self._regular_total = sum(counts)
+        self._regular_sumsq = sum(count * count for count in counts)
+
+
+def _equalize_segments(
+    segments: List[Tuple[float, float, float]], n_buckets: int
+) -> Tuple[List[float], List[float], float]:
+    """Partition piecewise-uniform segments into equal-count contiguous buckets.
+
+    Returns the new left borders, per-bucket counts and the right border of the
+    last bucket.  The sum of the returned counts equals the total mass of the
+    segments (up to floating point), preserving the "total area stays the
+    same" invariant of Figure 1.
+    """
+    segments = sorted((s for s in segments if s[2] > 0), key=lambda s: (s[0], s[1]))
+    if not segments:
+        lowest = 0.0
+        return [lowest], [0.0], lowest
+
+    total = sum(count for _, _, count in segments)
+    low = segments[0][0]
+    high = max(right for _, right, _ in segments)
+    if n_buckets == 1 or total <= 0 or high == low:
+        return [low], [total], high
+
+    target = total / n_buckets
+    lefts = [low]
+    counts: List[float] = []
+    accumulated = 0.0     # mass assigned to completed buckets
+    current = 0.0         # mass accumulated in the bucket being built
+
+    for left, right, count in segments:
+        remaining = count
+        seg_left = left
+        while current + remaining >= target - 1e-12 and len(lefts) < n_buckets:
+            need = target - current
+            if remaining > 0 and right > seg_left:
+                # Uniform assumption: take the needed share of the remaining
+                # mass proportionally along the remaining segment range.
+                border = seg_left + (need / remaining) * (right - seg_left)
+            else:
+                border = right
+            counts.append(target)
+            lefts.append(border)
+            accumulated += target
+            remaining -= need
+            seg_left = border
+            current = 0.0
+            if remaining <= 1e-12:
+                remaining = 0.0
+                break
+        current += remaining
+
+    # Close the final bucket with whatever mass is left.
+    counts.append(max(total - accumulated, 0.0))
+    # Guard against numerical drift producing an extra border.
+    while len(lefts) > len(counts):
+        lefts.pop()
+    return lefts, counts, high

@@ -1,0 +1,109 @@
+"""Convenience factories: build histograms by name and memory budget.
+
+The experiment harness and the examples refer to histogram classes by the
+short names the paper uses (DC, DVO, DADO, AC, SC, SVO, SADO, SSBM, ...).
+These helpers translate a ``(kind, memory_kb)`` pair into a configured
+instance, using the shared :class:`~repro.core.memory.MemoryModel` so every
+algorithm in an experiment gets exactly the same memory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+from ..metrics.distribution import DataDistribution
+from .base import DynamicHistogram, Histogram
+from .dynamic_compressed import DCHistogram
+from .dynamic_vopt import DADOHistogram, DVOHistogram
+from .memory import MemoryModel
+
+__all__ = ["build_dynamic_histogram", "build_static_histogram"]
+
+_DEFAULT_MEMORY_MODEL = MemoryModel()
+
+
+def build_dynamic_histogram(
+    kind: str,
+    memory_kb: float,
+    *,
+    value_unit: float = 1.0,
+    disk_factor: float = 20.0,
+    seed: int = 0,
+    memory_model: Optional[MemoryModel] = None,
+) -> DynamicHistogram:
+    """Build a dynamic histogram of the given kind for a memory budget in KB.
+
+    Supported kinds: ``"dc"``, ``"dvo"``, ``"dado"`` and ``"ac"`` (the
+    Approximate Compressed comparator; ``disk_factor`` controls its backing
+    sample, 20x memory by default as in the paper).
+    """
+    model = memory_model or _DEFAULT_MEMORY_MODEL
+    normalized = kind.lower()
+    if normalized == "dc":
+        return DCHistogram(model.buckets_for_kb("dc", memory_kb), value_unit=value_unit)
+    if normalized == "dvo":
+        return DVOHistogram(model.buckets_for_kb("dvo", memory_kb), value_unit=value_unit)
+    if normalized == "dado":
+        return DADOHistogram(model.buckets_for_kb("dado", memory_kb), value_unit=value_unit)
+    if normalized == "ac":
+        # Imported lazily to avoid a circular import at package load time.
+        from ..sampling.approximate import ApproximateCompressedHistogram
+
+        return ApproximateCompressedHistogram(
+            model.buckets_for_kb("ac", memory_kb),
+            sample_size=model.backing_sample_size(memory_kb, disk_factor),
+            seed=seed,
+        )
+    raise ConfigurationError(
+        f"unknown dynamic histogram kind {kind!r}; expected one of: dc, dvo, dado, ac"
+    )
+
+
+def build_static_histogram(
+    kind: str,
+    data: DataDistribution,
+    memory_kb: float,
+    *,
+    memory_model: Optional[MemoryModel] = None,
+) -> Histogram:
+    """Build a static histogram of the given kind from exact data.
+
+    Supported kinds: ``"equi_width"``, ``"equi_depth"``, ``"sc"`` (static
+    Compressed), ``"svo"`` (static V-Optimal), ``"sado"``, ``"ssbm"`` and
+    ``"exact"``.
+    """
+    # Imported lazily to avoid a circular import at package load time.
+    from ..static import (
+        CompressedHistogram,
+        EquiDepthHistogram,
+        EquiWidthHistogram,
+        ExactHistogram,
+        SADOHistogram,
+        SSBMHistogram,
+        VOptimalHistogram,
+    )
+
+    model = memory_model or _DEFAULT_MEMORY_MODEL
+    normalized = kind.lower()
+    classes = {
+        "equi_width": EquiWidthHistogram,
+        "equi_depth": EquiDepthHistogram,
+        "sc": CompressedHistogram,
+        "compressed": CompressedHistogram,
+        "svo": VOptimalHistogram,
+        "v_optimal": VOptimalHistogram,
+        "sado": SADOHistogram,
+        "ssbm": SSBMHistogram,
+        "exact": ExactHistogram,
+    }
+    if normalized not in classes:
+        raise ConfigurationError(
+            f"unknown static histogram kind {kind!r}; expected one of: {sorted(classes)}"
+        )
+    histogram_class = classes[normalized]
+    if normalized == "exact":
+        return histogram_class.build(data)
+    budget_kind = "sc" if normalized in ("compressed", "v_optimal") else normalized
+    n_buckets = model.buckets_for_kb(budget_kind, memory_kb)
+    return histogram_class.build(data, n_buckets)

@@ -1,0 +1,121 @@
+"""Memory model: translating a byte budget into bucket counts per histogram class.
+
+The paper compares algorithms at equal *memory*, expressed in kilobytes
+(Figures 8, 12, 19, 20).  Different histogram classes spend that memory
+differently:
+
+* a Compressed-family bucket (DC, SC, Equi-Depth, Equi-Width, SSBM, SVO, SADO)
+  stores one border and one counter -- ``(n + 1) * sizeof(float) + n *
+  sizeof(int)`` bytes for ``n`` buckets (Section 3.1);
+* a DVO / DADO bucket stores one border and two sub-bucket counters --
+  ``(n + 1) * sizeof(float) + 2n * sizeof(int)`` bytes (Section 4.4);
+* the Approximate Compressed histogram spends the same in-memory budget as a
+  Compressed histogram and additionally keeps a backing sample on disk whose
+  size is a configurable multiple of the memory budget (Section 7).
+
+:class:`MemoryModel` centralises those conversions so every experiment gives
+all algorithms exactly the same memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import require_positive_float, require_positive_int
+from ..exceptions import ConfigurationError
+
+__all__ = ["MemoryModel", "buckets_for_memory"]
+
+#: Histogram kinds that store one counter per bucket.
+_SINGLE_COUNTER_KINDS = frozenset(
+    {"dc", "sc", "compressed", "equi_depth", "equi_width", "ssbm", "svo", "sado", "ac", "exact"}
+)
+#: Histogram kinds that store two sub-bucket counters per bucket.
+_DOUBLE_COUNTER_KINDS = frozenset({"dvo", "dado"})
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Byte-level cost model for histogram buckets.
+
+    Attributes
+    ----------
+    bytes_per_border:
+        Size of a stored bucket border (the paper assumes 4-byte floats).
+    bytes_per_counter:
+        Size of a stored point counter (4-byte integers in the paper).
+    """
+
+    bytes_per_border: int = 4
+    bytes_per_counter: int = 4
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.bytes_per_border, "bytes_per_border")
+        require_positive_int(self.bytes_per_counter, "bytes_per_counter")
+
+    # ------------------------------------------------------------------
+    # bucket budgets
+    # ------------------------------------------------------------------
+    def buckets_for_kb(self, kind: str, memory_kb: float) -> int:
+        """Largest bucket count of the given histogram kind fitting in ``memory_kb``."""
+        require_positive_float(memory_kb, "memory_kb")
+        return self.buckets_for_bytes(kind, memory_kb * 1024.0)
+
+    def buckets_for_bytes(self, kind: str, memory_bytes: float) -> int:
+        """Largest bucket count of the given histogram kind fitting in ``memory_bytes``."""
+        require_positive_float(memory_bytes, "memory_bytes")
+        counters = self._counters_per_bucket(kind)
+        per_bucket = self.bytes_per_border + counters * self.bytes_per_counter
+        usable = memory_bytes - self.bytes_per_border  # the extra closing border
+        n_buckets = int(usable // per_bucket)
+        if n_buckets < 1:
+            raise ConfigurationError(
+                f"{memory_bytes} bytes is not enough for a single {kind!r} bucket"
+            )
+        return n_buckets
+
+    def bytes_for_buckets(self, kind: str, n_buckets: int) -> int:
+        """Exact number of bytes used by ``n_buckets`` buckets of the given kind."""
+        require_positive_int(n_buckets, "n_buckets")
+        counters = self._counters_per_bucket(kind)
+        return (n_buckets + 1) * self.bytes_per_border + counters * n_buckets * self.bytes_per_counter
+
+    # ------------------------------------------------------------------
+    # backing-sample budget (Approximate Compressed histogram)
+    # ------------------------------------------------------------------
+    def backing_sample_size(self, memory_kb: float, disk_factor: float) -> int:
+        """Number of sample tuples the AC histogram's backing sample may hold.
+
+        The paper gives the AC histogram disk space equal to ``disk_factor``
+        times the main-memory budget (20 by default); each sampled value costs
+        one border-sized slot.
+        """
+        require_positive_float(memory_kb, "memory_kb")
+        require_positive_float(disk_factor, "disk_factor")
+        disk_bytes = memory_kb * 1024.0 * disk_factor
+        sample_size = int(disk_bytes // self.bytes_per_border)
+        if sample_size < 1:
+            raise ConfigurationError(
+                f"disk budget {disk_bytes} bytes cannot hold a single sample value"
+            )
+        return sample_size
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _counters_per_bucket(self, kind: str) -> int:
+        normalized = kind.lower()
+        if normalized in _SINGLE_COUNTER_KINDS:
+            return 1
+        if normalized in _DOUBLE_COUNTER_KINDS:
+            return 2
+        raise ConfigurationError(f"unknown histogram kind {kind!r}")
+
+
+#: Module-level default model matching the paper's 4-byte borders and counters.
+_DEFAULT_MODEL = MemoryModel()
+
+
+def buckets_for_memory(kind: str, memory_kb: float) -> int:
+    """Bucket budget of ``kind`` for ``memory_kb`` kilobytes (default cost model)."""
+    return _DEFAULT_MODEL.buckets_for_kb(kind, memory_kb)

@@ -1,0 +1,35 @@
+"""Synthetic and real-world-like data generators used by the paper's evaluation.
+
+Section 6.1 of the paper describes a parameterisable family of distributions:
+clusters of data whose positions and sizes follow Zipf laws, with a
+configurable shape and width.  This package implements that family, the
+paper's reference parameter settings, and a synthetic substitute for the
+proprietary mail-order trace of Section 7.4.
+"""
+
+from .zipf import zipf_weights, zipf_counts, sample_zipf
+from .clusters import ClusterDistributionConfig, generate_cluster_distribution, generate_cluster_values
+from .mailorder import MailOrderConfig, generate_mail_order_values
+from .reference import (
+    reference_config,
+    static_comparison_config,
+    distributed_site_config,
+    PAPER_DOMAIN,
+    PAPER_NUM_POINTS,
+)
+
+__all__ = [
+    "zipf_weights",
+    "zipf_counts",
+    "sample_zipf",
+    "ClusterDistributionConfig",
+    "generate_cluster_distribution",
+    "generate_cluster_values",
+    "MailOrderConfig",
+    "generate_mail_order_values",
+    "reference_config",
+    "static_comparison_config",
+    "distributed_site_config",
+    "PAPER_DOMAIN",
+    "PAPER_NUM_POINTS",
+]

@@ -1,0 +1,217 @@
+"""Cluster-based synthetic data distributions (Section 6.1 of the paper).
+
+The paper evaluates histograms on a parameterisable family of distributions:
+data is organised in clusters whose *centres* and *sizes* follow Zipf laws
+(with skews ``S`` and ``Z`` respectively), whose *shape* is uniform, normal or
+exponential, and whose *width* is controlled by a standard deviation ``SD``.
+The correlation between cluster sizes and the gaps separating them can be
+none, positive or negative.
+
+:class:`ClusterDistributionConfig` captures all of these knobs;
+:func:`generate_cluster_values` produces the raw integer attribute values and
+:func:`generate_cluster_distribution` the corresponding exact
+:class:`~repro.metrics.distribution.DataDistribution`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._validation import (
+    require_non_negative_float,
+    require_positive_int,
+)
+from ..exceptions import ConfigurationError
+from ..metrics.distribution import DataDistribution
+from .zipf import zipf_counts, zipf_gaps
+
+__all__ = [
+    "ClusterDistributionConfig",
+    "generate_cluster_values",
+    "generate_cluster_distribution",
+]
+
+_VALID_SHAPES = ("normal", "uniform", "exponential")
+_VALID_CORRELATIONS = ("none", "positive", "negative")
+
+
+@dataclass(frozen=True)
+class ClusterDistributionConfig:
+    """Parameters of the paper's synthetic cluster distribution family.
+
+    Attributes
+    ----------
+    n_points:
+        Total number of data points (the paper uses 100,000).
+    n_clusters:
+        Number of clusters ``C`` (the paper uses 2000 or 50).
+    center_skew:
+        ``S`` -- Zipf skew of the gaps between cluster centres.
+    size_skew:
+        ``Z`` -- Zipf skew of the cluster sizes.
+    cluster_sd:
+        ``SD`` -- standard deviation of values within a cluster; 0 collapses
+        each cluster to a single value.
+    shape:
+        Shape of each cluster: ``"normal"`` (paper default), ``"uniform"`` or
+        ``"exponential"``.
+    correlation:
+        Correlation between cluster sizes and the gaps that separate them:
+        ``"none"`` (paper default, called "random"), ``"positive"`` or
+        ``"negative"``.
+    domain:
+        Closed integer interval ``(low, high)`` the values are drawn from; the
+        paper uses ``(0, 5000)``.
+    seed:
+        Seed for the dataset's random generator.
+    """
+
+    n_points: int = 100_000
+    n_clusters: int = 2000
+    center_skew: float = 1.0
+    size_skew: float = 1.0
+    cluster_sd: float = 2.0
+    shape: str = "normal"
+    correlation: str = "none"
+    domain: Tuple[int, int] = (0, 5000)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.n_points, "n_points")
+        require_positive_int(self.n_clusters, "n_clusters")
+        require_non_negative_float(self.center_skew, "center_skew")
+        require_non_negative_float(self.size_skew, "size_skew")
+        require_non_negative_float(self.cluster_sd, "cluster_sd")
+        if self.shape not in _VALID_SHAPES:
+            raise ConfigurationError(
+                f"shape must be one of {_VALID_SHAPES}, got {self.shape!r}"
+            )
+        if self.correlation not in _VALID_CORRELATIONS:
+            raise ConfigurationError(
+                f"correlation must be one of {_VALID_CORRELATIONS}, got {self.correlation!r}"
+            )
+        low, high = self.domain
+        if high <= low:
+            raise ConfigurationError(
+                f"domain must satisfy low < high, got {self.domain!r}"
+            )
+
+    @property
+    def domain_low(self) -> int:
+        return int(self.domain[0])
+
+    @property
+    def domain_high(self) -> int:
+        return int(self.domain[1])
+
+    def with_seed(self, seed: int) -> "ClusterDistributionConfig":
+        """Return a copy of this configuration with a different seed."""
+        return replace(self, seed=seed)
+
+    def scaled(self, factor: float) -> "ClusterDistributionConfig":
+        """Return a copy with the point and cluster counts scaled by ``factor``.
+
+        Used by the benchmark harness to run paper experiments at laptop scale
+        while keeping skews, shapes and the domain untouched.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"factor must be positive, got {factor}")
+        return replace(
+            self,
+            n_points=max(1, int(round(self.n_points * factor))),
+            n_clusters=max(1, int(round(self.n_clusters * factor))),
+        )
+
+
+def _cluster_centers(
+    rng: np.random.Generator, config: ClusterDistributionConfig
+) -> np.ndarray:
+    """Place cluster centres with Zipf-distributed gaps over the domain."""
+    low, high = config.domain_low, config.domain_high
+    span = float(high - low)
+    if config.n_clusters == 1:
+        return np.array([low + span / 2.0])
+    gaps = zipf_gaps(rng, config.n_clusters - 1, config.center_skew, span, shuffle=True)
+    centers = low + np.concatenate(([0.0], np.cumsum(gaps)))
+    return centers
+
+
+def _cluster_sizes(
+    rng: np.random.Generator,
+    config: ClusterDistributionConfig,
+    centers: np.ndarray,
+) -> np.ndarray:
+    """Assign Zipf-distributed sizes to clusters, honouring the correlation mode."""
+    sizes = zipf_counts(config.n_points, config.n_clusters, config.size_skew)
+    if config.n_clusters == 1:
+        return sizes
+
+    # "Gap" of a cluster: space to its right neighbour (the last cluster gets
+    # the average gap so every cluster has a comparable notion of spread).
+    gaps = np.empty(config.n_clusters, dtype=float)
+    gaps[:-1] = np.diff(centers)
+    gaps[-1] = gaps[:-1].mean() if config.n_clusters > 1 else 0.0
+
+    if config.correlation == "none":
+        return rng.permutation(sizes)
+    order_by_gap = np.argsort(gaps)
+    sorted_sizes = np.sort(sizes)
+    assigned = np.empty_like(sizes)
+    if config.correlation == "positive":
+        assigned[order_by_gap] = sorted_sizes
+    else:  # negative: largest clusters sit in the smallest gaps
+        assigned[order_by_gap] = sorted_sizes[::-1]
+    return assigned
+
+
+def _cluster_offsets(
+    rng: np.random.Generator, config: ClusterDistributionConfig, size: int
+) -> np.ndarray:
+    """Draw value offsets around a cluster centre according to the shape."""
+    if size == 0:
+        return np.empty(0, dtype=float)
+    sd = config.cluster_sd
+    if sd == 0:
+        return np.zeros(size, dtype=float)
+    if config.shape == "normal":
+        return rng.normal(0.0, sd, size)
+    if config.shape == "uniform":
+        half_width = sd * np.sqrt(3.0)  # uniform on [-w, w] has sd = w / sqrt(3)
+        return rng.uniform(-half_width, half_width, size)
+    # exponential: centred two-sided exponential with the requested sd
+    scale = sd / np.sqrt(2.0)
+    magnitudes = rng.exponential(scale, size)
+    signs = rng.choice((-1.0, 1.0), size)
+    return magnitudes * signs
+
+
+def generate_cluster_values(config: ClusterDistributionConfig) -> np.ndarray:
+    """Generate the raw integer attribute values of a cluster distribution.
+
+    The returned array has exactly ``config.n_points`` entries, each an integer
+    inside the configured domain.  The order of the array is arbitrary (grouped
+    by cluster); workload generators decide the presentation order.
+    """
+    rng = np.random.default_rng(config.seed)
+    centers = _cluster_centers(rng, config)
+    sizes = _cluster_sizes(rng, config, centers)
+
+    pieces = []
+    for center, size in zip(centers, sizes):
+        if size == 0:
+            continue
+        offsets = _cluster_offsets(rng, config, int(size))
+        pieces.append(center + offsets)
+    if not pieces:
+        return np.empty(0, dtype=int)
+    values = np.concatenate(pieces)
+    values = np.rint(values).astype(int)
+    return np.clip(values, config.domain_low, config.domain_high)
+
+
+def generate_cluster_distribution(config: ClusterDistributionConfig) -> DataDistribution:
+    """Generate the exact :class:`DataDistribution` of a cluster configuration."""
+    return DataDistribution(generate_cluster_values(config))

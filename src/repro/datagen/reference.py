@@ -1,0 +1,136 @@
+"""The paper's reference parameter settings (Sections 6.1, 7 and 8).
+
+The evaluation fixes a *reference distribution* -- ``S = 1, Z = 1, SD = 2,
+C = 2000, N = 100,000`` points over the integer domain ``[0, 5000]`` with 1 KB
+of histogram memory -- and varies one parameter at a time.  The comparison with
+static histograms (Figures 9-12) uses a smaller configuration (``C = 50,
+SD = 1, M = 0.14 KB``), and the shared-nothing experiments (Figures 20-23) use
+per-site Zipf data with intra-site skew ``Z_Freq``, site-size skew ``Z_Site``
+and ``N_Site`` sites.
+
+These helpers return the corresponding configuration objects, optionally scaled
+down for laptop-sized benchmark runs (skews and the domain are never scaled).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .clusters import ClusterDistributionConfig
+
+__all__ = [
+    "PAPER_DOMAIN",
+    "PAPER_NUM_POINTS",
+    "PAPER_REFERENCE_MEMORY_KB",
+    "reference_config",
+    "static_comparison_config",
+    "distributed_site_config",
+]
+
+#: Integer attribute domain used throughout the paper's synthetic experiments.
+PAPER_DOMAIN: Tuple[int, int] = (0, 5000)
+
+#: Number of points in the synthetic test file (Section 7).
+PAPER_NUM_POINTS: int = 100_000
+
+#: Default histogram memory for the dynamic-histogram experiments (Section 7).
+PAPER_REFERENCE_MEMORY_KB: float = 1.0
+
+
+def reference_config(
+    *,
+    center_skew: float = 1.0,
+    size_skew: float = 1.0,
+    cluster_sd: float = 2.0,
+    n_clusters: int = 2000,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> ClusterDistributionConfig:
+    """The reference distribution of Section 7 (Figures 5-8, 14-18).
+
+    Parameters mirror the paper's knobs: ``center_skew`` is ``S``,
+    ``size_skew`` is ``Z``, ``cluster_sd`` is ``SD`` and ``n_clusters`` is
+    ``C``.  ``scale`` shrinks the number of points and clusters proportionally
+    for fast benchmark runs.
+    """
+    config = ClusterDistributionConfig(
+        n_points=PAPER_NUM_POINTS,
+        n_clusters=n_clusters,
+        center_skew=center_skew,
+        size_skew=size_skew,
+        cluster_sd=cluster_sd,
+        shape="normal",
+        correlation="none",
+        domain=PAPER_DOMAIN,
+        seed=seed,
+    )
+    if scale != 1.0:
+        config = config.scaled(scale)
+    return config
+
+
+def static_comparison_config(
+    *,
+    center_skew: float = 1.0,
+    size_skew: float = 1.0,
+    cluster_sd: float = 1.0,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> ClusterDistributionConfig:
+    """The smaller configuration of the static-histogram comparison (Figs. 9-12).
+
+    The paper fixes ``C = 50`` clusters and gives every histogram 0.14 KB of
+    memory; the distribution otherwise matches the reference family.
+    """
+    config = ClusterDistributionConfig(
+        n_points=PAPER_NUM_POINTS,
+        n_clusters=50,
+        center_skew=center_skew,
+        size_skew=size_skew,
+        cluster_sd=cluster_sd,
+        shape="normal",
+        correlation="none",
+        domain=PAPER_DOMAIN,
+        seed=seed,
+    )
+    if scale != 1.0:
+        # Keep the cluster count at the paper's value; only shrink the points.
+        config = ClusterDistributionConfig(
+            n_points=max(1, int(round(config.n_points * scale))),
+            n_clusters=config.n_clusters,
+            center_skew=config.center_skew,
+            size_skew=config.size_skew,
+            cluster_sd=config.cluster_sd,
+            shape=config.shape,
+            correlation=config.correlation,
+            domain=config.domain,
+            seed=config.seed,
+        )
+    return config
+
+
+def distributed_site_config(
+    *,
+    n_points: int,
+    intrasite_skew: float,
+    domain: Tuple[int, int],
+    seed: int,
+    n_clusters: int = 50,
+    cluster_sd: float = 1.0,
+) -> ClusterDistributionConfig:
+    """Configuration of a single union member in the shared-nothing experiments.
+
+    Each site holds data distributed within a sub-range of the global domain
+    according to a Zipf law parameterised by ``Z_Freq`` (``intrasite_skew``).
+    """
+    return ClusterDistributionConfig(
+        n_points=n_points,
+        n_clusters=min(n_clusters, max(1, domain[1] - domain[0])),
+        center_skew=1.0,
+        size_skew=intrasite_skew,
+        cluster_sd=cluster_sd,
+        shape="normal",
+        correlation="none",
+        domain=domain,
+        seed=seed,
+    )

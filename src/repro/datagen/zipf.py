@@ -1,0 +1,121 @@
+"""Zipf-law utilities.
+
+The paper's synthetic data family (Section 6.1) uses Zipf distributions in two
+roles: the sizes of clusters and the spreads (gaps) between cluster centres are
+both governed by Zipf laws with independent skew parameters (Z and S).  A skew
+of 0 degenerates to the uniform distribution; larger skews concentrate mass in
+a few ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._validation import require_non_negative_float, require_positive_int
+
+__all__ = ["zipf_weights", "zipf_counts", "sample_zipf"]
+
+
+def zipf_weights(n: int, skew: float) -> np.ndarray:
+    """Normalised Zipf weights for ``n`` ranks with the given skew.
+
+    The weight of rank ``i`` (1-based) is proportional to ``1 / i**skew``.
+    ``skew = 0`` yields uniform weights.
+
+    Parameters
+    ----------
+    n:
+        Number of ranks; must be positive.
+    skew:
+        Zipf skew parameter; must be non-negative.
+    """
+    require_positive_int(n, "n")
+    require_non_negative_float(skew, "skew")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-skew)
+    return weights / weights.sum()
+
+
+def zipf_counts(total: int, n: int, skew: float) -> np.ndarray:
+    """Split ``total`` items into ``n`` groups with Zipf-distributed sizes.
+
+    The result is an integer array of length ``n`` that sums exactly to
+    ``total``.  Rounding residues are assigned to the groups with the largest
+    fractional parts (largest-remainder method), so the allocation is as close
+    to the real-valued Zipf proportions as an integer split can be.
+    """
+    require_positive_int(n, "n")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    weights = zipf_weights(n, skew)
+    ideal = weights * total
+    counts = np.floor(ideal).astype(int)
+    remainder = int(total - counts.sum())
+    if remainder > 0:
+        fractional = ideal - counts
+        top_up = np.argsort(-fractional)[:remainder]
+        counts[top_up] += 1
+    return counts
+
+
+def sample_zipf(
+    rng: np.random.Generator,
+    n_samples: int,
+    n_ranks: int,
+    skew: float,
+    *,
+    shuffle_ranks: bool = False,
+) -> np.ndarray:
+    """Draw ``n_samples`` rank indices (0-based) from a Zipf distribution.
+
+    Parameters
+    ----------
+    rng:
+        Numpy random generator.
+    n_samples:
+        Number of samples to draw; may be zero.
+    n_ranks:
+        Number of distinct ranks.
+    skew:
+        Zipf skew; 0 is uniform.
+    shuffle_ranks:
+        When True, the mapping from probability rank to returned index is a
+        random permutation, so the most popular index is not always 0.
+    """
+    if n_samples < 0:
+        raise ValueError(f"n_samples must be non-negative, got {n_samples}")
+    weights = zipf_weights(n_ranks, skew)
+    if shuffle_ranks:
+        permutation = rng.permutation(n_ranks)
+        weights = weights[np.argsort(permutation)]
+    if n_samples == 0:
+        return np.empty(0, dtype=int)
+    return rng.choice(n_ranks, size=n_samples, p=weights)
+
+
+def zipf_gaps(
+    rng: Optional[np.random.Generator],
+    n_gaps: int,
+    skew: float,
+    total_span: float,
+    *,
+    shuffle: bool = True,
+) -> np.ndarray:
+    """Zipf-distributed gap widths that sum to ``total_span``.
+
+    Used to place cluster centres: the distances between consecutive centres
+    follow a Zipf law with skew ``skew``.  When ``shuffle`` is True (the
+    paper's "random spread-frequency correlation") the gaps are randomly
+    permuted so large and small gaps are interleaved.
+    """
+    require_positive_int(n_gaps, "n_gaps")
+    if total_span <= 0:
+        raise ValueError(f"total_span must be positive, got {total_span}")
+    gaps = zipf_weights(n_gaps, skew) * total_span
+    if shuffle:
+        if rng is None:
+            raise ValueError("rng is required when shuffle is True")
+        gaps = rng.permutation(gaps)
+    return gaps

@@ -1,0 +1,31 @@
+"""Global histograms in a shared-nothing environment (Section 8 of the paper).
+
+Large unions of tables -- across web sources or the partitions of a
+shared-nothing parallel database -- need a *global* histogram built from
+per-member information.  The paper evaluates two strategies:
+
+* **histogram + union**: each member builds a local histogram; the global
+  histogram is the (lossless) superposition of the local ones, reduced back to
+  the memory budget with the SSBM merging technique;
+* **union + histogram**: all member data is pooled first and a single
+  histogram is built directly.
+
+This package provides the member (:class:`~repro.distributed.site.Site`), the
+superposition and reduction operators, and a coordinator implementing both
+strategies so Figures 20-23 can be reproduced.
+"""
+
+from .site import Site, generate_sites, SiteGenerationConfig
+from .union import superimpose, reduce_segments, UnionHistogram
+from .coordinator import GlobalHistogramCoordinator, GlobalStrategy
+
+__all__ = [
+    "Site",
+    "SiteGenerationConfig",
+    "generate_sites",
+    "superimpose",
+    "reduce_segments",
+    "UnionHistogram",
+    "GlobalHistogramCoordinator",
+    "GlobalStrategy",
+]

@@ -1,0 +1,130 @@
+"""Coordinator for building global histograms over a union of sites (Section 8).
+
+Two strategies are compared in Figures 20-23 of the paper:
+
+* ``HISTOGRAM_THEN_UNION`` -- every site builds a local SSBM histogram within
+  the memory budget, the coordinator superimposes them (lossless) and reduces
+  the result back to the budget with SSBM merging;
+* ``UNION_THEN_HISTOGRAM`` -- the coordinator pools all site data and builds a
+  single SSBM histogram directly.
+
+The paper concludes both yield histograms of approximately the same quality;
+the coordinator exposes both so the experiment can verify that.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Sequence
+
+from ..core.base import Histogram
+from ..core.memory import MemoryModel
+from ..exceptions import ConfigurationError
+from ..metrics.distribution import DataDistribution
+from ..metrics.ks import ks_statistic
+from ..static.ssbm import SSBMHistogram
+from .site import Site
+from .union import reduce_segments, superimpose
+
+__all__ = ["GlobalStrategy", "GlobalHistogramCoordinator"]
+
+
+class GlobalStrategy(enum.Enum):
+    """How the global histogram is assembled."""
+
+    #: Build local histograms first, then superimpose and reduce.
+    HISTOGRAM_THEN_UNION = "histogram_then_union"
+    #: Pool all data first, then build one histogram.
+    UNION_THEN_HISTOGRAM = "union_then_histogram"
+
+
+class GlobalHistogramCoordinator:
+    """Builds and evaluates global histograms over a set of sites.
+
+    Parameters
+    ----------
+    sites:
+        The union members.
+    memory_kb:
+        Memory budget of every histogram involved (local histograms, the
+        reduced global histogram and the directly-built global histogram all
+        get the same budget, as in the paper).
+    memory_model:
+        Byte cost model used to convert the budget into bucket counts.
+    """
+
+    def __init__(
+        self,
+        sites: Sequence[Site],
+        memory_kb: float,
+        *,
+        memory_model: MemoryModel = MemoryModel(),
+    ) -> None:
+        if not sites:
+            raise ConfigurationError("the coordinator needs at least one site")
+        if memory_kb <= 0:
+            raise ConfigurationError(f"memory_kb must be positive, got {memory_kb}")
+        self._sites = list(sites)
+        self._memory_kb = memory_kb
+        self._memory_model = memory_model
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def sites(self) -> List[Site]:
+        return list(self._sites)
+
+    @property
+    def memory_kb(self) -> float:
+        return self._memory_kb
+
+    def pooled_data(self) -> DataDistribution:
+        """The exact union of all site data (the evaluation ground truth)."""
+        pooled = DataDistribution()
+        for site in self._sites:
+            for value, frequency in site.data.to_pairs():
+                pooled.add(value, frequency)
+        return pooled
+
+    # ------------------------------------------------------------------
+    # strategies
+    # ------------------------------------------------------------------
+    def build(self, strategy: GlobalStrategy) -> Histogram:
+        """Build the global histogram with the requested strategy."""
+        if strategy is GlobalStrategy.HISTOGRAM_THEN_UNION:
+            return self._build_histogram_then_union()
+        if strategy is GlobalStrategy.UNION_THEN_HISTOGRAM:
+            return self._build_union_then_histogram()
+        raise ConfigurationError(f"unknown strategy {strategy!r}")
+
+    def _global_bucket_budget(self) -> int:
+        return self._memory_model.buckets_for_kb("ssbm", self._memory_kb)
+
+    def _build_histogram_then_union(self) -> Histogram:
+        local_histograms = [
+            site.build_local_histogram(self._memory_kb, memory_model=self._memory_model)
+            for site in self._sites
+        ]
+        union = superimpose(local_histograms)
+        return reduce_segments(union, self._global_bucket_budget())
+
+    def _build_union_then_histogram(self) -> Histogram:
+        pooled = self.pooled_data()
+        return SSBMHistogram.build(pooled, self._global_bucket_budget())
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        strategies: Iterable[GlobalStrategy] = tuple(GlobalStrategy),
+        *,
+        value_unit: float = 1.0,
+    ) -> dict:
+        """KS statistic of each strategy's global histogram against the pooled data."""
+        pooled = self.pooled_data()
+        return {
+            strategy.value: ks_statistic(pooled, self.build(strategy), value_unit=value_unit)
+            for strategy in strategies
+        }

@@ -1,0 +1,134 @@
+"""Union members (sites) of the shared-nothing experiments (Section 8).
+
+Each site holds data distributed over a random sub-range of the global
+attribute domain according to a Zipf law with intra-site skew ``Z_Freq``; the
+amount of data per site follows a Zipf law with skew ``Z_Site``.  A site can
+build a local histogram from its data (the paper uses SSBM(V, F) histograms
+for both the members and the merge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from .._validation import require_non_negative_float, require_positive_int
+from ..core.memory import MemoryModel
+from ..datagen.clusters import generate_cluster_values
+from ..datagen.reference import distributed_site_config
+from ..datagen.zipf import zipf_counts
+from ..exceptions import ConfigurationError
+from ..metrics.distribution import DataDistribution
+from ..static.ssbm import SSBMHistogram
+
+__all__ = ["Site", "SiteGenerationConfig", "generate_sites"]
+
+_DEFAULT_MEMORY_MODEL = MemoryModel()
+
+
+@dataclass(frozen=True)
+class SiteGenerationConfig:
+    """Parameters of the shared-nothing data layout.
+
+    Attributes
+    ----------
+    n_sites:
+        Number of union members (``N_Site``; the paper's default is 5).
+    total_points:
+        Total number of tuples across all sites.
+    intrasite_skew:
+        ``Z_Freq`` -- skew of the value distribution within each site
+        (default 1 in the paper).
+    site_size_skew:
+        ``Z_Site`` -- skew of the distribution of data volume across sites
+        (default 0, i.e. equal volumes).
+    domain:
+        Global attribute domain.
+    min_range_fraction:
+        Smallest fraction of the global domain a site's sub-range may span.
+    seed:
+        Seed for placing site ranges and generating site data.
+    """
+
+    n_sites: int = 5
+    total_points: int = 50_000
+    intrasite_skew: float = 1.0
+    site_size_skew: float = 0.0
+    domain: Tuple[int, int] = (0, 5000)
+    min_range_fraction: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.n_sites, "n_sites")
+        require_positive_int(self.total_points, "total_points")
+        require_non_negative_float(self.intrasite_skew, "intrasite_skew")
+        require_non_negative_float(self.site_size_skew, "site_size_skew")
+        if not 0 < self.min_range_fraction <= 1:
+            raise ConfigurationError(
+                f"min_range_fraction must be in (0, 1], got {self.min_range_fraction}"
+            )
+        if self.domain[1] <= self.domain[0]:
+            raise ConfigurationError(f"domain must satisfy low < high, got {self.domain!r}")
+
+
+@dataclass(frozen=True)
+class Site:
+    """One union member: an identifier, its value sub-range and its data."""
+
+    site_id: int
+    value_range: Tuple[float, float]
+    data: DataDistribution
+
+    @property
+    def size(self) -> int:
+        """Number of tuples held by the site."""
+        return self.data.total_count
+
+    def build_local_histogram(
+        self,
+        memory_kb: float,
+        *,
+        memory_model: MemoryModel = _DEFAULT_MEMORY_MODEL,
+    ) -> SSBMHistogram:
+        """Build this site's local SSBM(V, F) histogram for a memory budget."""
+        n_buckets = memory_model.buckets_for_kb("ssbm", memory_kb)
+        return SSBMHistogram.build(self.data, n_buckets)
+
+
+def generate_sites(config: SiteGenerationConfig) -> List[Site]:
+    """Generate the union members of a shared-nothing experiment."""
+    rng = np.random.default_rng(config.seed)
+    domain_low, domain_high = config.domain
+    span = domain_high - domain_low
+    min_width = max(1.0, config.min_range_fraction * span)
+
+    site_sizes = zipf_counts(config.total_points, config.n_sites, config.site_size_skew)
+    site_sizes = rng.permutation(site_sizes)
+
+    sites: List[Site] = []
+    for site_id, size in enumerate(site_sizes):
+        low = float(rng.uniform(domain_low, domain_high - min_width))
+        width = float(rng.uniform(min_width, domain_high - low))
+        high = low + width
+        site_domain = (int(round(low)), int(round(high)))
+        if site_domain[1] <= site_domain[0]:
+            site_domain = (site_domain[0], site_domain[0] + 1)
+
+        site_points = max(int(size), 1)
+        site_config = distributed_site_config(
+            n_points=site_points,
+            intrasite_skew=config.intrasite_skew,
+            domain=site_domain,
+            seed=config.seed * 10_007 + site_id,
+        )
+        values = generate_cluster_values(site_config)
+        sites.append(
+            Site(
+                site_id=site_id,
+                value_range=(float(site_domain[0]), float(site_domain[1])),
+                data=DataDistribution(values),
+            )
+        )
+    return sites

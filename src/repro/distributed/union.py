@@ -1,0 +1,183 @@
+"""Superposition and reduction of histograms (Section 8).
+
+*Superposition* builds a union histogram whose borders are the union of the
+member histograms' borders; every member bucket is sliced at those borders
+under the uniform assumption, so no information beyond what the members
+already lost is discarded -- the union histogram is exactly as precise as the
+member histograms.  The price is a bucket count that grows with the number of
+members, so the paper *reduces* the union histogram back to the memory budget
+by treating it as a data set and merging similar neighbouring buckets with the
+SSBM technique.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.base import Histogram
+from ..core.bucket import Bucket
+from ..core.deviation import DeviationMetric, segments_phi
+from ..exceptions import ConfigurationError
+from ..static.base import StaticHistogram
+
+__all__ = ["UnionHistogram", "superimpose", "reduce_segments"]
+
+Segment = Tuple[float, float, float]
+
+
+class UnionHistogram(StaticHistogram):
+    """A histogram produced by superimposing (and optionally reducing) members."""
+
+
+def superimpose(histograms: Sequence[Histogram]) -> UnionHistogram:
+    """Superimpose member histograms into one union histogram.
+
+    The result has a bucket border wherever any member has one; member bucket
+    mass is split across the finer borders under the uniform assumption and
+    added up.  Total count equals the sum of the member totals.
+    """
+    if not histograms:
+        raise ConfigurationError("superimpose requires at least one histogram")
+
+    border_values: List[float] = []
+    point_masses: List[Bucket] = []
+    interval_buckets: List[Bucket] = []
+    for histogram in histograms:
+        for bucket in histogram.buckets():
+            if bucket.is_point_mass:
+                point_masses.append(bucket)
+            else:
+                interval_buckets.append(bucket)
+                border_values.extend((bucket.left, bucket.right))
+
+    merged: List[Bucket] = []
+    if interval_buckets:
+        borders = np.unique(np.asarray(border_values, dtype=float))
+        counts = np.zeros(len(borders) - 1, dtype=float)
+        for bucket in interval_buckets:
+            start = int(np.searchsorted(borders, bucket.left, side="left"))
+            end = int(np.searchsorted(borders, bucket.right, side="left"))
+            for slot in range(start, end):
+                counts[slot] += bucket.count_in_range(borders[slot], borders[slot + 1])
+        merged.extend(
+            Bucket(float(borders[i]), float(borders[i + 1]), float(counts[i]))
+            for i in range(len(counts))
+        )
+
+    # Combine point masses that share the same value.
+    if point_masses:
+        by_value: dict = {}
+        for bucket in point_masses:
+            by_value[bucket.left] = by_value.get(bucket.left, 0.0) + bucket.count
+        merged.extend(Bucket(value, value, count) for value, count in by_value.items())
+
+    merged.sort(key=lambda bucket: (bucket.left, bucket.right))
+    if not merged:
+        raise ConfigurationError("superimpose produced no buckets (all members empty)")
+    return UnionHistogram(merged)
+
+
+def reduce_segments(
+    histogram: Histogram,
+    n_buckets: int,
+    *,
+    metric: Union[DeviationMetric, str] = DeviationMetric.VARIANCE,
+    value_unit: float = 1.0,
+) -> UnionHistogram:
+    """Reduce a histogram to ``n_buckets`` buckets by SSBM-style merging.
+
+    The histogram's segments are treated as the data set to be partitioned:
+    neighbouring groups of segments are successively merged, always choosing
+    the pair of adjacent groups whose combined phi (Eq. 4) is smallest, until
+    the target bucket count is reached.
+    """
+    if n_buckets < 1:
+        raise ConfigurationError(f"n_buckets must be positive, got {n_buckets}")
+    metric = DeviationMetric.coerce(metric)
+    segments: List[Segment] = [
+        (bucket.left, bucket.right, bucket.count) for bucket in histogram.buckets()
+    ]
+    if not segments:
+        raise ConfigurationError("cannot reduce an empty histogram")
+    if len(segments) <= n_buckets:
+        return UnionHistogram(
+            [Bucket(left, right, count) for left, right, count in segments]
+        )
+
+    # Each group is a contiguous run of segments, tracked as index ranges into
+    # the segment list, linked into a doubly linked list for neighbour lookup.
+    n_segments = len(segments)
+    start_of = list(range(n_segments))
+    end_of = list(range(n_segments))
+    next_group: List[int] = [i + 1 for i in range(n_segments)]
+    prev_group: List[int] = [i - 1 for i in range(n_segments)]
+    alive = [True] * n_segments
+    version = [0] * n_segments
+
+    def group_cost(left_group: int, right_group: int) -> float:
+        merged_segments = segments[start_of[left_group] : end_of[right_group] + 1]
+        return segments_phi(merged_segments, metric, value_unit=value_unit)
+
+    heap: List[Tuple[float, int, int, int, int]] = []
+    for group in range(n_segments - 1):
+        heapq.heappush(heap, (group_cost(group, group + 1), group, group + 1, 0, 0))
+
+    remaining = n_segments
+    while remaining > n_buckets and heap:
+        _, left_group, right_group, left_version, right_version = heapq.heappop(heap)
+        if not (alive[left_group] and alive[right_group]):
+            continue
+        if version[left_group] != left_version or version[right_group] != right_version:
+            continue
+        if next_group[left_group] != right_group:
+            continue
+
+        end_of[left_group] = end_of[right_group]
+        alive[right_group] = False
+        version[left_group] += 1
+        successor = next_group[right_group]
+        next_group[left_group] = successor
+        if successor < n_segments:
+            prev_group[successor] = left_group
+        remaining -= 1
+
+        predecessor = prev_group[left_group]
+        if predecessor >= 0:
+            heapq.heappush(
+                heap,
+                (
+                    group_cost(predecessor, left_group),
+                    predecessor,
+                    left_group,
+                    version[predecessor],
+                    version[left_group],
+                ),
+            )
+        if successor < n_segments:
+            heapq.heappush(
+                heap,
+                (
+                    group_cost(left_group, successor),
+                    left_group,
+                    successor,
+                    version[left_group],
+                    version[successor],
+                ),
+            )
+
+    buckets: List[Bucket] = []
+    group = 0
+    while group < n_segments:
+        if alive[group]:
+            covered = segments[start_of[group] : end_of[group] + 1]
+            left = covered[0][0]
+            right = max(segment[1] for segment in covered)
+            count = sum(segment[2] for segment in covered)
+            buckets.append(Bucket(left, right, count))
+            group = next_group[group]
+        else:
+            group += 1
+    return UnionHistogram(buckets)

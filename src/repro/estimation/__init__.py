@@ -1,0 +1,35 @@
+"""Selectivity estimation on top of histograms.
+
+This is the database use case that motivates the paper (Section 1): a query
+optimizer needs the selectivities of predicates over numeric attributes, and a
+histogram answers them approximately.  The package provides a small predicate
+algebra (equality, ranges, open ranges and conjunctions over one attribute)
+and a :class:`~repro.estimation.estimator.SelectivityEstimator` that evaluates
+predicates against any histogram of the library, along with an error report
+against the exact distribution.
+"""
+
+from .predicates import (
+    Predicate,
+    Equals,
+    LessThan,
+    LessOrEqual,
+    GreaterThan,
+    GreaterOrEqual,
+    Between,
+    And,
+)
+from .estimator import SelectivityEstimator, EstimationReport
+
+__all__ = [
+    "Predicate",
+    "Equals",
+    "LessThan",
+    "LessOrEqual",
+    "GreaterThan",
+    "GreaterOrEqual",
+    "Between",
+    "And",
+    "SelectivityEstimator",
+    "EstimationReport",
+]

@@ -1,0 +1,130 @@
+"""Selectivity estimation of predicates against a histogram.
+
+The estimator clamps a predicate's interval to the histogram's value range,
+estimates the number of qualifying tuples under the uniform + continuous-value
+assumptions, and -- when an exact :class:`DataDistribution` is available --
+reports the estimation error, which is how the cost of a bad histogram shows
+up in a query optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..core.base import Histogram
+from ..exceptions import EmptyHistogramError
+from ..metrics.distribution import DataDistribution
+from .predicates import Equals, Predicate
+
+__all__ = ["SelectivityEstimator", "EstimationReport"]
+
+
+@dataclass(frozen=True)
+class EstimationReport:
+    """Result of estimating one predicate, optionally with the true answer."""
+
+    predicate: Predicate
+    estimated_count: float
+    estimated_selectivity: float
+    true_count: Optional[float] = None
+    true_selectivity: Optional[float] = None
+
+    @property
+    def absolute_error(self) -> Optional[float]:
+        """Absolute count error (None when the truth is unknown)."""
+        if self.true_count is None:
+            return None
+        return abs(self.estimated_count - self.true_count)
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        """Relative count error, with a floor of one tuple in the denominator."""
+        if self.true_count is None:
+            return None
+        return self.absolute_error / max(self.true_count, 1.0)
+
+
+class SelectivityEstimator:
+    """Estimate predicate selectivities from a histogram.
+
+    Parameters
+    ----------
+    histogram:
+        Any histogram of the library.
+    value_unit:
+        Granularity of a single domain value, used for equality predicates
+        (1 for integer domains).
+    """
+
+    def __init__(self, histogram: Histogram, *, value_unit: float = 1.0) -> None:
+        if value_unit <= 0:
+            raise ValueError(f"value_unit must be positive, got {value_unit}")
+        self._histogram = histogram
+        self._value_unit = value_unit
+
+    @property
+    def histogram(self) -> Histogram:
+        return self._histogram
+
+    def estimate_count(self, predicate: Predicate) -> float:
+        """Estimated number of tuples satisfying ``predicate``."""
+        try:
+            domain_low = self._histogram.min_value
+            domain_high = self._histogram.max_value
+        except EmptyHistogramError:
+            return 0.0
+        if isinstance(predicate, Equals):
+            return self._histogram.estimate_equal(
+                predicate.value, value_granularity=self._value_unit
+            )
+        low, high = predicate.interval()
+        low = max(low, domain_low)
+        high = min(high, domain_high)
+        if high < low:
+            return 0.0
+        return self._histogram.estimate_range(low, high)
+
+    def estimate_selectivity(self, predicate: Predicate) -> float:
+        """Estimated fraction of tuples satisfying ``predicate``."""
+        total = self._histogram.total_count
+        if total <= 0:
+            return 0.0
+        return self.estimate_count(predicate) / total
+
+    def report(
+        self,
+        predicate: Predicate,
+        *,
+        truth: Optional[DataDistribution] = None,
+    ) -> EstimationReport:
+        """Estimate one predicate and, if the truth is supplied, its error."""
+        estimated_count = self.estimate_count(predicate)
+        estimated_selectivity = self.estimate_selectivity(predicate)
+        true_count = None
+        true_selectivity = None
+        if truth is not None:
+            if isinstance(predicate, Equals):
+                true_count = float(truth.frequency(predicate.value))
+            else:
+                low, high = predicate.interval()
+                true_count = truth.range_count(low, high)
+            true_selectivity = (
+                true_count / truth.total_count if truth.total_count else 0.0
+            )
+        return EstimationReport(
+            predicate=predicate,
+            estimated_count=estimated_count,
+            estimated_selectivity=estimated_selectivity,
+            true_count=true_count,
+            true_selectivity=true_selectivity,
+        )
+
+    def report_many(
+        self,
+        predicates: Iterable[Predicate],
+        *,
+        truth: Optional[DataDistribution] = None,
+    ) -> List[EstimationReport]:
+        """Estimate a batch of predicates."""
+        return [self.report(predicate, truth=truth) for predicate in predicates]

@@ -1,0 +1,165 @@
+"""A small predicate algebra over a single numeric attribute.
+
+Every predicate normalises itself to a closed interval ``[low, high]`` over
+the attribute domain (possibly unbounded on one side), which is exactly what a
+histogram can estimate under the uniform and continuous-value assumptions.
+Conjunctions intersect intervals.  The algebra is deliberately minimal -- it
+exists to give the selectivity-estimation examples realistic predicate inputs,
+not to be a full expression language.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "Predicate",
+    "Equals",
+    "LessThan",
+    "LessOrEqual",
+    "GreaterThan",
+    "GreaterOrEqual",
+    "Between",
+    "And",
+]
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+
+class Predicate(abc.ABC):
+    """Base class: a predicate over one numeric attribute."""
+
+    @abc.abstractmethod
+    def interval(self) -> Tuple[float, float]:
+        """The closed interval of attribute values satisfying the predicate.
+
+        Open comparisons are tightened by an infinitesimal amount only at
+        evaluation time; the interval representation keeps the exact bounds
+        and flags, so the estimator can decide how to treat them.
+        """
+
+    @abc.abstractmethod
+    def matches(self, value: float) -> bool:
+        """Exact evaluation of the predicate on a single value."""
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And((self, other))
+
+
+@dataclass(frozen=True)
+class Equals(Predicate):
+    """``X = value``."""
+
+    value: float
+
+    def interval(self) -> Tuple[float, float]:
+        return (self.value, self.value)
+
+    def matches(self, value: float) -> bool:
+        return value == self.value
+
+
+@dataclass(frozen=True)
+class LessOrEqual(Predicate):
+    """``X <= bound``."""
+
+    bound: float
+
+    def interval(self) -> Tuple[float, float]:
+        return (_NEG_INF, self.bound)
+
+    def matches(self, value: float) -> bool:
+        return value <= self.bound
+
+
+@dataclass(frozen=True)
+class LessThan(Predicate):
+    """``X < bound`` (treated as ``X <= bound`` minus the point mass at the bound)."""
+
+    bound: float
+
+    def interval(self) -> Tuple[float, float]:
+        return (_NEG_INF, math.nextafter(self.bound, _NEG_INF))
+
+    def matches(self, value: float) -> bool:
+        return value < self.bound
+
+
+@dataclass(frozen=True)
+class GreaterOrEqual(Predicate):
+    """``X >= bound``."""
+
+    bound: float
+
+    def interval(self) -> Tuple[float, float]:
+        return (self.bound, _POS_INF)
+
+    def matches(self, value: float) -> bool:
+        return value >= self.bound
+
+
+@dataclass(frozen=True)
+class GreaterThan(Predicate):
+    """``X > bound`` (treated as ``X >= bound`` minus the point mass at the bound)."""
+
+    bound: float
+
+    def interval(self) -> Tuple[float, float]:
+        return (math.nextafter(self.bound, _POS_INF), _POS_INF)
+
+    def matches(self, value: float) -> bool:
+        return value > self.bound
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``low <= X <= high``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ConfigurationError(
+                f"Between requires low <= high, got [{self.low}, {self.high}]"
+            )
+
+    def interval(self) -> Tuple[float, float]:
+        return (self.low, self.high)
+
+    def matches(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+class And(Predicate):
+    """Conjunction of predicates over the same attribute (interval intersection)."""
+
+    def __init__(self, parts: Sequence[Predicate]) -> None:
+        if not parts:
+            raise ConfigurationError("And requires at least one predicate")
+        self._parts = tuple(parts)
+
+    @property
+    def parts(self) -> Tuple[Predicate, ...]:
+        return self._parts
+
+    def interval(self) -> Tuple[float, float]:
+        low = _NEG_INF
+        high = _POS_INF
+        for part in self._parts:
+            part_low, part_high = part.interval()
+            low = max(low, part_low)
+            high = min(high, part_high)
+        return (low, high)
+
+    def matches(self, value: float) -> bool:
+        return all(part.matches(value) for part in self._parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return " AND ".join(repr(part) for part in self._parts)

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` dynamic-histogram library.
+
+All library-specific errors derive from :class:`HistogramError`, so callers can
+catch a single base class.  More specific subclasses indicate configuration
+problems, invalid update operations, or inconsistent internal state.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HistogramError",
+    "ConfigurationError",
+    "EmptyHistogramError",
+    "DomainError",
+    "DeletionError",
+    "InsufficientDataError",
+]
+
+
+class HistogramError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(HistogramError, ValueError):
+    """An invalid parameter was supplied when configuring a component.
+
+    Examples: a non-positive bucket budget, a negative memory size, an unknown
+    histogram kind passed to a factory, or a Zipf skew below zero.
+    """
+
+
+class EmptyHistogramError(HistogramError):
+    """An operation that requires data was invoked on an empty histogram."""
+
+
+class DomainError(HistogramError, ValueError):
+    """A value falls outside the domain a component was configured for."""
+
+
+class DeletionError(HistogramError):
+    """A deletion could not be applied.
+
+    Raised, for instance, when deleting from a histogram that contains no
+    points at all (deleting from an empty *bucket* is handled by the
+    closest-bucket spill policy described in Section 7.3 of the paper and does
+    not raise).
+    """
+
+
+class InsufficientDataError(HistogramError):
+    """Not enough data has been observed to perform the requested operation.
+
+    Dynamic histograms raise this when asked to produce estimates before the
+    initial loading phase (the first ``n`` distinct points) has completed and
+    no buckets exist yet.
+    """

@@ -1,0 +1,35 @@
+"""Experiment harness: seeded sweeps reproducing every figure of the paper.
+
+The modules in this package separate three concerns:
+
+* :mod:`~repro.experiments.runner` -- low-level helpers that replay update
+  streams against a histogram and the exact ground truth and measure the KS
+  statistic, optionally at checkpoints and averaged over seeds;
+* :mod:`~repro.experiments.figures` -- one function per figure of the paper
+  (Figures 5-23) plus the ablation studies listed in DESIGN.md, each returning
+  a :class:`~repro.experiments.config.SweepResult`;
+* :mod:`~repro.experiments.reporting` -- plain-text tables and CSV export of
+  sweep results, used by the benchmark harness and EXPERIMENTS.md.
+"""
+
+from .config import ExperimentSettings, SweepResult
+from .runner import (
+    replay,
+    final_ks,
+    checkpointed_ks,
+    average_over_seeds,
+    build_truth,
+)
+from .reporting import format_sweep_table, sweep_to_csv
+
+__all__ = [
+    "ExperimentSettings",
+    "SweepResult",
+    "replay",
+    "final_ks",
+    "checkpointed_ks",
+    "average_over_seeds",
+    "build_truth",
+    "format_sweep_table",
+    "sweep_to_csv",
+]

@@ -1,0 +1,115 @@
+"""Experiment configuration and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence
+
+from .._validation import require_positive_float, require_positive_int
+from ..exceptions import ConfigurationError
+
+__all__ = ["ExperimentSettings", "SweepResult"]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Shared knobs of the figure experiments.
+
+    Attributes
+    ----------
+    scale:
+        Fraction of the paper's data volume to use (1.0 = the paper's
+        100,000-point files).  The default keeps benchmark runtimes laptop
+        friendly; the relative ordering of algorithms is insensitive to it.
+    n_runs:
+        Number of random seeds each configuration is averaged over (the paper
+        uses 10).
+    memory_kb:
+        Histogram memory, in KB, for experiments that do not sweep memory.
+    base_seed:
+        First seed; run ``i`` uses ``base_seed + i``.
+    """
+
+    scale: float = 0.08
+    n_runs: int = 3
+    memory_kb: float = 1.0
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive_float(self.scale, "scale")
+        require_positive_int(self.n_runs, "n_runs")
+        require_positive_float(self.memory_kb, "memory_kb")
+        if self.scale > 1.0:
+            raise ConfigurationError(f"scale must be at most 1.0, got {self.scale}")
+
+    @property
+    def seeds(self) -> List[int]:
+        """The seeds of the individual runs."""
+        return [self.base_seed + run for run in range(self.n_runs)]
+
+    def with_scale(self, scale: float) -> "ExperimentSettings":
+        """Copy of the settings with a different data-volume scale."""
+        return replace(self, scale=scale)
+
+    def with_runs(self, n_runs: int) -> "ExperimentSettings":
+        """Copy of the settings with a different number of repetitions."""
+        return replace(self, n_runs=n_runs)
+
+
+#: Paper-scale settings: the full 100,000-point files averaged over 10 seeds.
+PAPER_SCALE_SETTINGS = ExperimentSettings(scale=1.0, n_runs=10)
+
+
+@dataclass
+class SweepResult:
+    """Result of sweeping one parameter and measuring one metric per algorithm.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (e.g. ``"fig05"``).
+    x_label:
+        Name of the swept parameter (e.g. ``"S (centre skew)"``).
+    x_values:
+        The sweep points.
+    series:
+        Mapping from algorithm name to the measured metric at each sweep point.
+    y_label:
+        Name of the measured metric (KS statistic unless stated otherwise).
+    metadata:
+        Free-form annotations (fixed parameters, scale, number of runs).
+    """
+
+    name: str
+    x_label: str
+    x_values: List[float]
+    series: Dict[str, List[float]]
+    y_label: str = "KS statistic"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for algorithm, values in self.series.items():
+            if len(values) != len(self.x_values):
+                raise ConfigurationError(
+                    f"series {algorithm!r} has {len(values)} values for "
+                    f"{len(self.x_values)} sweep points"
+                )
+
+    @property
+    def algorithms(self) -> List[str]:
+        """The algorithm names in insertion order."""
+        return list(self.series)
+
+    def row(self, index: int) -> Dict[str, float]:
+        """All measurements at sweep point ``index`` keyed by algorithm."""
+        return {algorithm: values[index] for algorithm, values in self.series.items()}
+
+    def best_algorithm(self, index: int) -> str:
+        """Algorithm with the smallest metric at sweep point ``index``."""
+        row = self.row(index)
+        return min(row, key=row.get)
+
+    def mean(self, algorithm: str) -> float:
+        """Mean of an algorithm's series across the sweep."""
+        values = self.series[algorithm]
+        return sum(values) / len(values)

@@ -1,0 +1,794 @@
+"""One experiment function per figure of the paper (plus the ablation studies).
+
+Every function returns a :class:`~repro.experiments.config.SweepResult` whose
+series carry the same algorithms the corresponding figure plots.  The default
+:class:`~repro.experiments.config.ExperimentSettings` run the experiments at a
+reduced data volume (``scale``) and with fewer repetitions than the paper so
+that the full benchmark suite completes on a laptop; pass
+``ExperimentSettings(scale=1.0, n_runs=10)`` to reproduce the paper-scale
+configuration exactly.
+
+The x-value grids default to a coarser version of the paper's grids for the
+same reason; every function accepts an explicit grid.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.dynamic_compressed import DCHistogram
+from ..core.dynamic_vopt import DADOHistogram, DVOHistogram
+from ..core.factory import build_dynamic_histogram, build_static_histogram
+from ..core.memory import MemoryModel
+from ..datagen.clusters import ClusterDistributionConfig, generate_cluster_values
+from ..datagen.mailorder import MailOrderConfig, generate_mail_order_values
+from ..datagen.reference import reference_config, static_comparison_config
+from ..distributed.coordinator import GlobalHistogramCoordinator, GlobalStrategy
+from ..distributed.site import SiteGenerationConfig, generate_sites
+from ..metrics.distribution import DataDistribution
+from ..metrics.ks import ks_statistic
+from ..static.compressed import CompressedHistogram
+from ..workloads.streams import (
+    UpdateStream,
+    insertions_then_random_deletions,
+    random_insertions,
+    sorted_insertions,
+)
+from .config import ExperimentSettings, SweepResult
+from .runner import replay
+
+__all__ = [
+    "fig05_center_skew",
+    "fig06_size_skew",
+    "fig07_cluster_sd",
+    "fig08_memory",
+    "fig09_static_center_skew",
+    "fig10_static_size_skew",
+    "fig11_static_cluster_sd",
+    "fig12_static_memory",
+    "fig13_construction_time",
+    "fig14_ac_disk_space",
+    "fig15_sorted_insertions",
+    "fig16_precision_vs_inserted_fraction",
+    "fig17_random_deletions",
+    "fig18_deletions_after_sorted_inserts",
+    "fig19_mail_order",
+    "fig20_distributed_memory",
+    "fig21_distributed_intrasite_skew",
+    "fig22_distributed_site_count",
+    "fig23_distributed_site_size_skew",
+    "ablation_sub_buckets",
+    "ablation_alpha_min",
+    "ablation_repartition_threshold",
+]
+
+_MEMORY_MODEL = MemoryModel()
+
+#: Memory used by the static-comparison experiments (Figures 9-12).
+STATIC_COMPARISON_MEMORY_KB = 0.14
+
+
+# ----------------------------------------------------------------------
+# shared machinery
+# ----------------------------------------------------------------------
+def _run_dynamic(
+    kind: str,
+    stream: UpdateStream,
+    memory_kb: float,
+    *,
+    value_unit: float = 1.0,
+    disk_factor: float = 20.0,
+    seed: int = 0,
+) -> float:
+    """Replay a stream into a freshly built dynamic histogram; return the KS."""
+    histogram = build_dynamic_histogram(
+        kind, memory_kb, value_unit=value_unit, disk_factor=disk_factor, seed=seed
+    )
+    truth = DataDistribution()
+    replay(histogram, stream, truth=truth)
+    return ks_statistic(truth, histogram, value_unit=value_unit)
+
+
+def _dynamic_parameter_sweep(
+    name: str,
+    x_label: str,
+    x_values: Sequence[float],
+    config_for_x: Callable[[float, int], ClusterDistributionConfig],
+    settings: ExperimentSettings,
+    *,
+    algorithms: Sequence[str] = ("DC", "DADO", "AC", "DVO"),
+    memory_for_x: Optional[Callable[[float], float]] = None,
+    sorted_streams: bool = False,
+    disk_factor: float = 20.0,
+    metadata: Optional[Dict[str, object]] = None,
+) -> SweepResult:
+    """Generic dynamic-histogram sweep used by Figures 5-8, 14, 15 and 19."""
+    series: Dict[str, List[float]] = {algorithm: [] for algorithm in algorithms}
+    for x in x_values:
+        totals = {algorithm: 0.0 for algorithm in algorithms}
+        for seed in settings.seeds:
+            config = config_for_x(x, seed)
+            values = generate_cluster_values(config)
+            if sorted_streams:
+                stream = sorted_insertions(values)
+            else:
+                stream = random_insertions(values, seed=seed)
+            memory_kb = memory_for_x(x) if memory_for_x is not None else settings.memory_kb
+            for algorithm in algorithms:
+                # The AC backing sample is a fixed multiple of memory in the
+                # paper; shrink it with the data scale so the sample-to-data
+                # ratio stays in the paper's regime.
+                effective_disk = _disk_factor_for(algorithm, disk_factor) * settings.scale
+                totals[algorithm] += _run_dynamic(
+                    algorithm.lower().rstrip("x0123456789"),
+                    stream,
+                    memory_kb,
+                    disk_factor=max(effective_disk, 0.25),
+                    seed=seed,
+                )
+        for algorithm in algorithms:
+            series[algorithm].append(totals[algorithm] / settings.n_runs)
+    return SweepResult(
+        name=name,
+        x_label=x_label,
+        x_values=list(x_values),
+        series=series,
+        metadata={"scale": settings.scale, "runs": settings.n_runs, **(metadata or {})},
+    )
+
+
+def _disk_factor_for(algorithm: str, default: float) -> float:
+    """Parse AC disk factors out of series names such as ``AC40X``."""
+    upper = algorithm.upper()
+    if upper.startswith("AC") and upper.endswith("X") and upper[2:-1].isdigit():
+        return float(upper[2:-1])
+    return default
+
+
+# ----------------------------------------------------------------------
+# Figures 5-8: dynamic histograms under random insertions
+# ----------------------------------------------------------------------
+def fig05_center_skew(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.0, 1.0, 2.0, 3.0),
+) -> SweepResult:
+    """Figure 5: KS statistic as a function of the centre-skew ``S``."""
+    return _dynamic_parameter_sweep(
+        "fig05",
+        "S (skew of cluster centres)",
+        x_values,
+        lambda s, seed: reference_config(center_skew=s, seed=seed, scale=settings.scale),
+        settings,
+        metadata={"Z": 1, "SD": 2, "memory_kb": settings.memory_kb},
+    )
+
+
+def fig06_size_skew(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.0, 1.0, 2.0, 3.0),
+) -> SweepResult:
+    """Figure 6: KS statistic as a function of the cluster-size skew ``Z``."""
+    return _dynamic_parameter_sweep(
+        "fig06",
+        "Z (cluster size skew)",
+        x_values,
+        lambda z, seed: reference_config(size_skew=z, seed=seed, scale=settings.scale),
+        settings,
+        metadata={"S": 1, "SD": 2, "memory_kb": settings.memory_kb},
+    )
+
+
+def fig07_cluster_sd(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.0, 2.0, 5.0, 10.0, 20.0),
+) -> SweepResult:
+    """Figure 7: KS statistic as a function of the intra-cluster deviation ``SD``."""
+    return _dynamic_parameter_sweep(
+        "fig07",
+        "SD (standard deviation within clusters)",
+        x_values,
+        lambda sd, seed: reference_config(cluster_sd=sd, seed=seed, scale=settings.scale),
+        settings,
+        metadata={"S": 1, "Z": 1, "memory_kb": settings.memory_kb},
+    )
+
+
+def fig08_memory(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+) -> SweepResult:
+    """Figure 8: KS statistic as a function of the available memory."""
+    return _dynamic_parameter_sweep(
+        "fig08",
+        "Memory [KB]",
+        x_values,
+        lambda _memory, seed: reference_config(seed=seed, scale=settings.scale),
+        settings,
+        memory_for_x=lambda memory: memory,
+        metadata={"S": 1, "Z": 1, "SD": 2},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 9-12: comparison with static histograms
+# ----------------------------------------------------------------------
+_STATIC_ALGORITHMS = ("SADO", "SVO", "SC", "DADO", "SSBM")
+
+
+def _static_comparison_sweep(
+    name: str,
+    x_label: str,
+    x_values: Sequence[float],
+    config_for_x: Callable[[float, int], ClusterDistributionConfig],
+    settings: ExperimentSettings,
+    *,
+    memory_for_x: Optional[Callable[[float], float]] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> SweepResult:
+    """Generic sweep comparing DADO against the best static histograms."""
+    series: Dict[str, List[float]] = {algorithm: [] for algorithm in _STATIC_ALGORITHMS}
+    for x in x_values:
+        totals = {algorithm: 0.0 for algorithm in _STATIC_ALGORITHMS}
+        for seed in settings.seeds:
+            config = config_for_x(x, seed)
+            values = generate_cluster_values(config)
+            truth = DataDistribution(values)
+            memory_kb = (
+                memory_for_x(x) if memory_for_x is not None else STATIC_COMPARISON_MEMORY_KB
+            )
+
+            for kind, algorithm in (("sado", "SADO"), ("svo", "SVO"), ("sc", "SC"), ("ssbm", "SSBM")):
+                static_histogram = build_static_histogram(kind, truth, memory_kb)
+                totals[algorithm] += ks_statistic(truth, static_histogram, value_unit=1.0)
+
+            stream = random_insertions(values, seed=seed)
+            totals["DADO"] += _run_dynamic("dado", stream, memory_kb, seed=seed)
+        for algorithm in _STATIC_ALGORITHMS:
+            series[algorithm].append(totals[algorithm] / settings.n_runs)
+    return SweepResult(
+        name=name,
+        x_label=x_label,
+        x_values=list(x_values),
+        series=series,
+        metadata={"scale": settings.scale, "runs": settings.n_runs, **(metadata or {})},
+    )
+
+
+def fig09_static_center_skew(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.0, 1.0, 2.0, 3.0),
+) -> SweepResult:
+    """Figure 9: static comparison, KS as a function of the centre skew ``S``."""
+    return _static_comparison_sweep(
+        "fig09",
+        "S (skew of cluster centres)",
+        x_values,
+        lambda s, seed: static_comparison_config(center_skew=s, seed=seed, scale=settings.scale),
+        settings,
+        metadata={"Z": 1, "SD": 1, "C": 50, "memory_kb": STATIC_COMPARISON_MEMORY_KB},
+    )
+
+
+def fig10_static_size_skew(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.0, 1.0, 2.0, 3.0),
+) -> SweepResult:
+    """Figure 10: static comparison, KS as a function of the size skew ``Z``."""
+    return _static_comparison_sweep(
+        "fig10",
+        "Z (cluster size skew)",
+        x_values,
+        lambda z, seed: static_comparison_config(size_skew=z, seed=seed, scale=settings.scale),
+        settings,
+        metadata={"S": 1, "SD": 1, "C": 50, "memory_kb": STATIC_COMPARISON_MEMORY_KB},
+    )
+
+
+def fig11_static_cluster_sd(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.0, 1.0, 2.0, 5.0),
+) -> SweepResult:
+    """Figure 11: static comparison, KS as a function of the cluster width ``SD``."""
+    return _static_comparison_sweep(
+        "fig11",
+        "SD (standard deviation within clusters)",
+        x_values,
+        lambda sd, seed: static_comparison_config(cluster_sd=sd, seed=seed, scale=settings.scale),
+        settings,
+        metadata={"S": 1, "Z": 1, "C": 50, "memory_kb": STATIC_COMPARISON_MEMORY_KB},
+    )
+
+
+def fig12_static_memory(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.11, 0.13, 0.15, 0.17),
+) -> SweepResult:
+    """Figure 12: static comparison, KS as a function of the available memory."""
+    return _static_comparison_sweep(
+        "fig12",
+        "Memory [KB]",
+        x_values,
+        lambda _memory, seed: static_comparison_config(seed=seed, scale=settings.scale),
+        settings,
+        memory_for_x=lambda memory: memory,
+        metadata={"S": 1, "Z": 1, "SD": 1, "C": 50},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 13: construction / maintenance times
+# ----------------------------------------------------------------------
+def fig13_construction_time(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.1, 0.2, 0.3, 0.5),
+) -> SweepResult:
+    """Figure 13: execution time of SVO, SSBM, SC and DADO as memory grows.
+
+    Absolute times reflect this pure-Python implementation, not the paper's
+    1999 testbed; the series ordering (SVO slowest by far, DADO cheapest) and
+    the growth trends are the reproducible part.
+    """
+    algorithms = ("SVO", "SSBM", "SC", "DADO")
+    series: Dict[str, List[float]] = {algorithm: [] for algorithm in algorithms}
+    config = ClusterDistributionConfig(
+        n_points=max(1, int(round(100_000 * settings.scale))),
+        n_clusters=200,
+        center_skew=1.0,
+        size_skew=1.0,
+        cluster_sd=1.0,
+        seed=settings.base_seed,
+    )
+    values = generate_cluster_values(config)
+    truth = DataDistribution(values)
+    stream = random_insertions(values, seed=settings.base_seed)
+
+    for memory_kb in x_values:
+        for kind, algorithm in (("svo", "SVO"), ("ssbm", "SSBM"), ("sc", "SC")):
+            start = time.perf_counter()
+            build_static_histogram(kind, truth, memory_kb)
+            series[algorithm].append(time.perf_counter() - start)
+        start = time.perf_counter()
+        histogram = build_dynamic_histogram("dado", memory_kb)
+        histogram.apply(stream)
+        series["DADO"].append(time.perf_counter() - start)
+
+    return SweepResult(
+        name="fig13",
+        x_label="Memory [KB]",
+        x_values=list(x_values),
+        series=series,
+        y_label="execution time [s]",
+        metadata={"scale": settings.scale, "C": 200},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 14: sensitivity of AC to its disk budget
+# ----------------------------------------------------------------------
+def fig14_ac_disk_space(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.0, 1.0, 2.0, 3.0),
+) -> SweepResult:
+    """Figure 14: AC with 20x/40x/60x disk space vs SC and DADO, sweeping ``S``."""
+    dynamic = _dynamic_parameter_sweep(
+        "fig14",
+        "S (skew of cluster centres)",
+        x_values,
+        lambda s, seed: reference_config(
+            center_skew=s, n_clusters=1000, seed=seed, scale=settings.scale
+        ),
+        settings,
+        algorithms=("AC20X", "AC40X", "AC60X", "DADO"),
+        metadata={"Z": 1, "SD": 2, "C": 1000, "memory_kb": settings.memory_kb},
+    )
+    # Add the static Compressed reference series.
+    sc_series: List[float] = []
+    for x in x_values:
+        total = 0.0
+        for seed in settings.seeds:
+            config = reference_config(
+                center_skew=x, n_clusters=1000, seed=seed, scale=settings.scale
+            )
+            truth = DataDistribution(generate_cluster_values(config))
+            histogram = build_static_histogram("sc", truth, settings.memory_kb)
+            total += ks_statistic(truth, histogram, value_unit=1.0)
+        sc_series.append(total / settings.n_runs)
+    dynamic.series["SC"] = sc_series
+    return dynamic
+
+
+# ----------------------------------------------------------------------
+# Figure 15: sorted insertions
+# ----------------------------------------------------------------------
+def fig15_sorted_insertions(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.0, 1.0, 2.0, 3.0),
+) -> SweepResult:
+    """Figure 15: KS under sorted insertions as a function of the size skew ``Z``."""
+    return _dynamic_parameter_sweep(
+        "fig15",
+        "Z (cluster size skew)",
+        x_values,
+        lambda z, seed: reference_config(size_skew=z, seed=seed, scale=settings.scale),
+        settings,
+        algorithms=("DADO", "AC20X", "DC", "DVO"),
+        sorted_streams=True,
+        metadata={"S": 1, "SD": 2, "memory_kb": settings.memory_kb, "order": "sorted"},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 16: precision degradation while data is loaded
+# ----------------------------------------------------------------------
+def fig16_precision_vs_inserted_fraction(
+    settings: ExperimentSettings = ExperimentSettings(),
+    fractions: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 1.0),
+) -> SweepResult:
+    """Figure 16: KS as a function of the fraction of (sorted) data inserted."""
+    algorithms = ("DADO", "AC", "SC")
+    series: Dict[str, List[float]] = {algorithm: [0.0] * len(fractions) for algorithm in algorithms}
+
+    for seed in settings.seeds:
+        config = reference_config(seed=seed, scale=settings.scale)
+        values = np.sort(generate_cluster_values(config))
+        total = len(values)
+
+        dado = build_dynamic_histogram("dado", settings.memory_kb)
+        ac = build_dynamic_histogram(
+            "ac", settings.memory_kb, disk_factor=max(20.0 * settings.scale, 0.25), seed=seed
+        )
+        truth = DataDistribution()
+
+        position = 0
+        for index, fraction in enumerate(fractions):
+            target = int(round(fraction * total))
+            while position < target:
+                value = float(values[position])
+                dado.insert(value)
+                ac.insert(value)
+                truth.add(value)
+                position += 1
+            series["DADO"][index] += ks_statistic(truth, dado, value_unit=1.0)
+            series["AC"][index] += ks_statistic(truth, ac, value_unit=1.0)
+            sc_buckets = _MEMORY_MODEL.buckets_for_kb("sc", settings.memory_kb)
+            static_compressed = CompressedHistogram.build(truth, sc_buckets)
+            series["SC"][index] += ks_statistic(truth, static_compressed, value_unit=1.0)
+
+    for algorithm in algorithms:
+        series[algorithm] = [value / settings.n_runs for value in series[algorithm]]
+    return SweepResult(
+        name="fig16",
+        x_label="fraction of data inserted",
+        x_values=list(fractions),
+        series=series,
+        metadata={"scale": settings.scale, "runs": settings.n_runs, "order": "sorted"},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 17 and 18: deletions
+# ----------------------------------------------------------------------
+def _deletion_sweep(
+    name: str,
+    settings: ExperimentSettings,
+    fractions: Sequence[float],
+    *,
+    sorted_inserts: bool,
+) -> SweepResult:
+    """KS as a function of the fraction of data deleted after loading."""
+    algorithms = ("DADO", "AC")
+    series: Dict[str, List[float]] = {algorithm: [0.0] * len(fractions) for algorithm in algorithms}
+
+    for seed in settings.seeds:
+        config = reference_config(n_clusters=1000, seed=seed, scale=settings.scale)
+        values = generate_cluster_values(config)
+        rng = np.random.default_rng(seed)
+        insert_order = np.sort(values) if sorted_inserts else rng.permutation(values)
+        max_fraction = max(fractions)
+        victims = rng.permutation(insert_order)[: int(round(max_fraction * len(insert_order)))]
+
+        dado = build_dynamic_histogram("dado", settings.memory_kb)
+        ac = build_dynamic_histogram(
+            "ac", settings.memory_kb, disk_factor=max(20.0 * settings.scale, 0.25), seed=seed
+        )
+        truth = DataDistribution()
+        for value in insert_order:
+            dado.insert(float(value))
+            ac.insert(float(value))
+            truth.add(float(value))
+
+        deleted = 0
+        for index, fraction in enumerate(fractions):
+            target = int(round(fraction * len(insert_order)))
+            while deleted < target and deleted < len(victims):
+                value = float(victims[deleted])
+                dado.delete(value)
+                ac.delete(value)
+                truth.remove(value)
+                deleted += 1
+            series["DADO"][index] += ks_statistic(truth, dado, value_unit=1.0)
+            series["AC"][index] += ks_statistic(truth, ac, value_unit=1.0)
+
+    for algorithm in algorithms:
+        series[algorithm] = [value / settings.n_runs for value in series[algorithm]]
+    return SweepResult(
+        name=name,
+        x_label="fraction of data deleted",
+        x_values=list(fractions),
+        series=series,
+        metadata={
+            "scale": settings.scale,
+            "runs": settings.n_runs,
+            "C": 1000,
+            "insert_order": "sorted" if sorted_inserts else "random",
+        },
+    )
+
+
+def fig17_random_deletions(
+    settings: ExperimentSettings = ExperimentSettings(),
+    fractions: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
+) -> SweepResult:
+    """Figure 17: KS vs volume of random deletes (after random inserts)."""
+    return _deletion_sweep("fig17", settings, fractions, sorted_inserts=False)
+
+
+def fig18_deletions_after_sorted_inserts(
+    settings: ExperimentSettings = ExperimentSettings(),
+    fractions: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
+) -> SweepResult:
+    """Figure 18: KS vs volume of random deletes after sorted inserts."""
+    return _deletion_sweep("fig18", settings, fractions, sorted_inserts=True)
+
+
+# ----------------------------------------------------------------------
+# Figure 19: the mail-order trace
+# ----------------------------------------------------------------------
+def fig19_mail_order(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+) -> SweepResult:
+    """Figure 19: KS on the (synthetic) mail-order trace as memory grows."""
+    algorithms = ("AC", "DC", "DADO")
+    series: Dict[str, List[float]] = {algorithm: [] for algorithm in algorithms}
+
+    for memory_kb in x_values:
+        totals = {algorithm: 0.0 for algorithm in algorithms}
+        for seed in settings.seeds:
+            config = MailOrderConfig(
+                n_records=max(100, int(round(61_105 * settings.scale))), seed=seed
+            )
+            values = generate_mail_order_values(config)
+            stream = random_insertions(values, seed=seed)
+            truth = DataDistribution(stream.live_values())
+            for algorithm in algorithms:
+                histogram = build_dynamic_histogram(
+                    algorithm.lower(),
+                    memory_kb,
+                    value_unit=0.01,
+                    disk_factor=max(20.0 * settings.scale, 0.25),
+                    seed=seed,
+                )
+                histogram.apply(stream)
+                totals[algorithm] += ks_statistic(truth, histogram, value_unit=0.01)
+        for algorithm in algorithms:
+            series[algorithm].append(totals[algorithm] / settings.n_runs)
+
+    return SweepResult(
+        name="fig19",
+        x_label="Memory [KB]",
+        x_values=list(x_values),
+        series=series,
+        metadata={"scale": settings.scale, "runs": settings.n_runs, "trace": "mail-order"},
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 20-23: global histograms in a shared-nothing environment
+# ----------------------------------------------------------------------
+_DISTRIBUTED_SERIES = {
+    GlobalStrategy.HISTOGRAM_THEN_UNION: "histogram + union",
+    GlobalStrategy.UNION_THEN_HISTOGRAM: "union + histogram",
+}
+
+#: Default per-histogram memory of the shared-nothing experiments (250 bytes).
+DISTRIBUTED_MEMORY_KB = 250.0 / 1024.0
+
+
+def _distributed_sweep(
+    name: str,
+    x_label: str,
+    x_values: Sequence[float],
+    site_config_for_x: Callable[[float, int], SiteGenerationConfig],
+    settings: ExperimentSettings,
+    *,
+    memory_for_x: Optional[Callable[[float], float]] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> SweepResult:
+    series: Dict[str, List[float]] = {label: [] for label in _DISTRIBUTED_SERIES.values()}
+    for x in x_values:
+        totals = {label: 0.0 for label in _DISTRIBUTED_SERIES.values()}
+        for seed in settings.seeds:
+            sites = generate_sites(site_config_for_x(x, seed))
+            memory_kb = memory_for_x(x) if memory_for_x is not None else DISTRIBUTED_MEMORY_KB
+            coordinator = GlobalHistogramCoordinator(sites, memory_kb)
+            measured = coordinator.evaluate()
+            for strategy, label in _DISTRIBUTED_SERIES.items():
+                totals[label] += measured[strategy.value]
+        for label in _DISTRIBUTED_SERIES.values():
+            series[label].append(totals[label] / settings.n_runs)
+    return SweepResult(
+        name=name,
+        x_label=x_label,
+        x_values=list(x_values),
+        series=series,
+        metadata={"scale": settings.scale, "runs": settings.n_runs, **(metadata or {})},
+    )
+
+
+def _base_site_config(settings: ExperimentSettings, seed: int, **overrides) -> SiteGenerationConfig:
+    defaults = dict(
+        n_sites=5,
+        total_points=max(500, int(round(50_000 * settings.scale))),
+        intrasite_skew=1.0,
+        site_size_skew=0.0,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return SiteGenerationConfig(**defaults)
+
+
+def fig20_distributed_memory(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.1, 0.25, 0.5, 1.0),
+) -> SweepResult:
+    """Figure 20: global histogram error as a function of histogram memory."""
+    return _distributed_sweep(
+        "fig20",
+        "Histogram memory [KB]",
+        x_values,
+        lambda _x, seed: _base_site_config(settings, seed),
+        settings,
+        memory_for_x=lambda memory: memory,
+        metadata={"n_sites": 5, "Z_Freq": 1, "Z_Site": 0},
+    )
+
+
+def fig21_distributed_intrasite_skew(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.0, 1.0, 2.0, 3.0),
+) -> SweepResult:
+    """Figure 21: global histogram error as a function of the intra-site skew."""
+    return _distributed_sweep(
+        "fig21",
+        "Z_Freq (skew within members)",
+        x_values,
+        lambda z, seed: _base_site_config(settings, seed, intrasite_skew=z),
+        settings,
+        metadata={"n_sites": 5, "Z_Site": 0, "memory_kb": DISTRIBUTED_MEMORY_KB},
+    )
+
+
+def fig22_distributed_site_count(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (1, 2, 5, 10, 20),
+) -> SweepResult:
+    """Figure 22: global histogram error as a function of the number of sites."""
+    return _distributed_sweep(
+        "fig22",
+        "Number of sites",
+        x_values,
+        lambda n, seed: _base_site_config(settings, seed, n_sites=int(n)),
+        settings,
+        metadata={"Z_Freq": 1, "Z_Site": 0, "memory_kb": DISTRIBUTED_MEMORY_KB},
+    )
+
+
+def fig23_distributed_site_size_skew(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.0, 1.0, 2.0, 3.0),
+) -> SweepResult:
+    """Figure 23: global histogram error as a function of the site-size skew."""
+    return _distributed_sweep(
+        "fig23",
+        "Z_Site (skew in member sizes)",
+        x_values,
+        lambda z, seed: _base_site_config(settings, seed, site_size_skew=z),
+        settings,
+        metadata={"n_sites": 5, "Z_Freq": 1, "memory_kb": DISTRIBUTED_MEMORY_KB},
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablations (design-choice benchmarks beyond the paper's figures)
+# ----------------------------------------------------------------------
+def ablation_sub_buckets(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (2, 3, 4, 6),
+) -> SweepResult:
+    """KS of DADO as the number of sub-buckets per bucket varies (Section 4 claim)."""
+    series: Dict[str, List[float]] = {"DADO": []}
+    for sub_buckets in x_values:
+        total = 0.0
+        for seed in settings.seeds:
+            config = reference_config(seed=seed, scale=settings.scale)
+            values = generate_cluster_values(config)
+            stream = random_insertions(values, seed=seed)
+            n_buckets = _MEMORY_MODEL.buckets_for_kb("dado", settings.memory_kb)
+            histogram = DADOHistogram(n_buckets, sub_buckets=int(sub_buckets))
+            truth = DataDistribution()
+            replay(histogram, stream, truth=truth)
+            total += ks_statistic(truth, histogram, value_unit=1.0)
+        series["DADO"].append(total / settings.n_runs)
+    return SweepResult(
+        name="ablation_sub_buckets",
+        x_label="sub-buckets per bucket",
+        x_values=list(x_values),
+        series=series,
+        metadata={"scale": settings.scale, "runs": settings.n_runs},
+    )
+
+
+def ablation_alpha_min(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (1e-2, 1e-4, 1e-6, 1e-8),
+) -> SweepResult:
+    """KS of DC as the Chi-square significance threshold alpha_min varies."""
+    series: Dict[str, List[float]] = {"DC": []}
+    repartitions: List[float] = []
+    for alpha_min in x_values:
+        total = 0.0
+        total_repartitions = 0.0
+        for seed in settings.seeds:
+            config = reference_config(seed=seed, scale=settings.scale)
+            values = generate_cluster_values(config)
+            stream = random_insertions(values, seed=seed)
+            n_buckets = _MEMORY_MODEL.buckets_for_kb("dc", settings.memory_kb)
+            histogram = DCHistogram(n_buckets, alpha_min=alpha_min)
+            truth = DataDistribution()
+            replay(histogram, stream, truth=truth)
+            total += ks_statistic(truth, histogram, value_unit=1.0)
+            total_repartitions += histogram.repartition_count
+        series["DC"].append(total / settings.n_runs)
+        repartitions.append(total_repartitions / settings.n_runs)
+    return SweepResult(
+        name="ablation_alpha_min",
+        x_label="alpha_min",
+        x_values=list(x_values),
+        series=series,
+        metadata={
+            "scale": settings.scale,
+            "runs": settings.n_runs,
+            "mean_repartitions": repartitions,
+        },
+    )
+
+
+def ablation_repartition_threshold(
+    settings: ExperimentSettings = ExperimentSettings(),
+    x_values: Sequence[float] = (0.0, -1.0, -5.0, -20.0),
+) -> SweepResult:
+    """KS of DADO as the split-merge trigger bound on min delta phi varies."""
+    series: Dict[str, List[float]] = {"DADO": []}
+    for threshold in x_values:
+        total = 0.0
+        for seed in settings.seeds:
+            config = reference_config(seed=seed, scale=settings.scale)
+            values = generate_cluster_values(config)
+            stream = random_insertions(values, seed=seed)
+            n_buckets = _MEMORY_MODEL.buckets_for_kb("dado", settings.memory_kb)
+            histogram = DADOHistogram(n_buckets, repartition_threshold=float(threshold))
+            truth = DataDistribution()
+            replay(histogram, stream, truth=truth)
+            total += ks_statistic(truth, histogram, value_unit=1.0)
+        series["DADO"].append(total / settings.n_runs)
+    return SweepResult(
+        name="ablation_repartition_threshold",
+        x_label="repartition threshold (upper bound on min delta phi)",
+        x_values=list(x_values),
+        series=series,
+        metadata={"scale": settings.scale, "runs": settings.n_runs},
+    )

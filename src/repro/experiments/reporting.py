@@ -1,0 +1,69 @@
+"""Plain-text and CSV reporting of sweep results.
+
+The benchmark harness prints these tables so that every figure of the paper
+has a textual equivalent (x value per row, one column per algorithm), and
+EXPERIMENTS.md embeds them.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from .config import SweepResult
+
+__all__ = ["format_sweep_table", "sweep_to_csv"]
+
+
+def format_sweep_table(result: SweepResult, *, precision: int = 5) -> str:
+    """Render a sweep result as an aligned plain-text table."""
+    header = [result.x_label] + result.algorithms
+    rows = []
+    for index, x_value in enumerate(result.x_values):
+        row = [_format_number(x_value, precision)]
+        row.extend(
+            _format_number(result.series[algorithm][index], precision)
+            for algorithm in result.algorithms
+        )
+        rows.append(row)
+
+    widths = [
+        max(len(header[column]), *(len(row[column]) for row in rows)) if rows else len(header[column])
+        for column in range(len(header))
+    ]
+
+    lines = []
+    title = f"{result.name}: {result.y_label} vs {result.x_label}"
+    lines.append(title)
+    if result.metadata:
+        annotations = ", ".join(f"{key}={value}" for key, value in sorted(result.metadata.items()))
+        lines.append(f"  [{annotations}]")
+    lines.append("  " + "  ".join(header[i].ljust(widths[i]) for i in range(len(header))))
+    lines.append("  " + "  ".join("-" * widths[i] for i in range(len(header))))
+    for row in rows:
+        lines.append("  " + "  ".join(row[i].rjust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def sweep_to_csv(result: SweepResult, *, path: Optional[str] = None) -> str:
+    """Serialise a sweep result to CSV; optionally also write it to ``path``."""
+    buffer = io.StringIO()
+    header = [result.x_label] + result.algorithms
+    buffer.write(",".join(header) + "\n")
+    for index, x_value in enumerate(result.x_values):
+        row = [repr(float(x_value))]
+        row.extend(repr(float(result.series[a][index])) for a in result.algorithms)
+        buffer.write(",".join(row) + "\n")
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return text
+
+
+def _format_number(value: float, precision: int) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if 0 < abs(value) < 10 ** (-precision + 2):
+        return f"{value:.{max(precision - 3, 1)}e}"
+    return f"{value:.{precision}f}"

@@ -1,0 +1,31 @@
+"""Goodness-of-fit metrics and the canonical data-distribution representation.
+
+The paper evaluates histogram quality by comparing the *true* data distribution
+with the approximate distribution represented by a histogram, primarily using
+the Kolmogorov-Smirnov statistic (Section 6.2).  This package provides:
+
+* :class:`~repro.metrics.distribution.DataDistribution` -- an exact,
+  incrementally updateable value -> frequency map with CDF support; this is the
+  ground truth every metric compares against.
+* :func:`~repro.metrics.ks.ks_statistic` and
+  :func:`~repro.metrics.ks.ks_statistic_between` -- Eq. (6).
+* :func:`~repro.metrics.chi_square.chi_square_statistic` and
+  :func:`~repro.metrics.chi_square.chi_square_probability` -- Eq. (1) and the
+  survival function used by the DC repartitioning trigger.
+* :func:`~repro.metrics.error.average_relative_error` -- Eq. (7).
+"""
+
+from .distribution import DataDistribution
+from .ks import ks_statistic, ks_statistic_between
+from .chi_square import chi_square_probability, chi_square_statistic, chi_square_uniform_statistic
+from .error import average_relative_error
+
+__all__ = [
+    "DataDistribution",
+    "ks_statistic",
+    "ks_statistic_between",
+    "chi_square_statistic",
+    "chi_square_uniform_statistic",
+    "chi_square_probability",
+    "average_relative_error",
+]

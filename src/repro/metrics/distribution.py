@@ -1,0 +1,286 @@
+"""Exact data distributions (value -> frequency maps) with CDF support.
+
+A :class:`DataDistribution` is the ground truth against which histograms are
+evaluated.  It supports incremental insertion and deletion so the evaluation
+harness can keep it in sync with an update stream while a dynamic histogram
+processes the same stream, and it exposes vectorised CDF evaluation used by the
+Kolmogorov-Smirnov metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DeletionError, EmptyHistogramError
+
+__all__ = ["DataDistribution"]
+
+
+class DataDistribution:
+    """An exact frequency distribution over numeric attribute values.
+
+    The distribution is a multiset of numeric values stored as a mapping from
+    distinct value to its (positive integer) frequency.  Sorted-array views
+    used for CDF evaluation are rebuilt lazily after updates.
+
+    Parameters
+    ----------
+    values:
+        Optional iterable of initial values; duplicates accumulate frequency.
+    """
+
+    def __init__(self, values: Optional[Iterable[float]] = None) -> None:
+        self._freq: Dict[float, int] = {}
+        self._total = 0
+        self._dirty = True
+        self._sorted_values = np.empty(0, dtype=float)
+        self._cum_counts = np.empty(0, dtype=float)
+        if values is not None:
+            self.add_many(values)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_frequencies(cls, pairs: Iterable[Tuple[float, int]]) -> "DataDistribution":
+        """Build a distribution from ``(value, frequency)`` pairs.
+
+        Frequencies must be non-negative; zero-frequency pairs are ignored.
+        """
+        dist = cls()
+        for value, freq in pairs:
+            if freq < 0:
+                raise ValueError(f"frequency must be non-negative, got {freq} for value {value}")
+            if freq:
+                dist._freq[float(value)] = dist._freq.get(float(value), 0) + int(freq)
+                dist._total += int(freq)
+        dist._dirty = True
+        return dist
+
+    def copy(self) -> "DataDistribution":
+        """Return an independent copy of this distribution."""
+        clone = DataDistribution()
+        clone._freq = dict(self._freq)
+        clone._total = self._total
+        clone._dirty = True
+        return clone
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def add(self, value: float, count: int = 1) -> None:
+        """Insert ``count`` occurrences of ``value``."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        key = float(value)
+        self._freq[key] = self._freq.get(key, 0) + count
+        self._total += count
+        self._dirty = True
+
+    def add_many(self, values: Iterable[float]) -> None:
+        """Insert every value from an iterable (duplicates accumulate)."""
+        freq = self._freq
+        added = 0
+        for value in values:
+            key = float(value)
+            freq[key] = freq.get(key, 0) + 1
+            added += 1
+        self._total += added
+        if added:
+            self._dirty = True
+
+    def remove(self, value: float, count: int = 1) -> None:
+        """Remove ``count`` occurrences of ``value``.
+
+        Raises
+        ------
+        DeletionError
+            If the value is not present with at least ``count`` occurrences.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        key = float(value)
+        present = self._freq.get(key, 0)
+        if present < count:
+            raise DeletionError(
+                f"cannot remove {count} occurrence(s) of {value!r}: only {present} present"
+            )
+        if present == count:
+            del self._freq[key]
+        else:
+            self._freq[key] = present - count
+        self._total -= count
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def total_count(self) -> int:
+        """Total number of points (sum of all frequencies)."""
+        return self._total
+
+    @property
+    def distinct_count(self) -> int:
+        """Number of distinct values with non-zero frequency."""
+        return len(self._freq)
+
+    @property
+    def min_value(self) -> float:
+        """Smallest value present; raises if the distribution is empty."""
+        self._ensure_arrays()
+        if self._total == 0:
+            raise EmptyHistogramError("distribution is empty")
+        return float(self._sorted_values[0])
+
+    @property
+    def max_value(self) -> float:
+        """Largest value present; raises if the distribution is empty."""
+        self._ensure_arrays()
+        if self._total == 0:
+            raise EmptyHistogramError("distribution is empty")
+        return float(self._sorted_values[-1])
+
+    def frequency(self, value: float) -> int:
+        """Frequency of a single value (0 if absent)."""
+        return self._freq.get(float(value), 0)
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __bool__(self) -> bool:
+        return self._total > 0
+
+    def __contains__(self, value: float) -> bool:
+        return float(value) in self._freq
+
+    def __iter__(self) -> Iterator[float]:
+        """Iterate over distinct values in ascending order."""
+        self._ensure_arrays()
+        return iter(self._sorted_values.tolist())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataDistribution):
+            return NotImplemented
+        return self._freq == other._freq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DataDistribution(total={self._total}, distinct={self.distinct_count})"
+        )
+
+    # ------------------------------------------------------------------
+    # vectorised views
+    # ------------------------------------------------------------------
+    def _ensure_arrays(self) -> None:
+        if not self._dirty:
+            return
+        if self._freq:
+            values = np.array(sorted(self._freq), dtype=float)
+            counts = np.array([self._freq[v] for v in values], dtype=float)
+            self._sorted_values = values
+            self._cum_counts = np.cumsum(counts)
+        else:
+            self._sorted_values = np.empty(0, dtype=float)
+            self._cum_counts = np.empty(0, dtype=float)
+        self._dirty = False
+
+    @property
+    def values(self) -> np.ndarray:
+        """Sorted array of distinct values (read-only view)."""
+        self._ensure_arrays()
+        return self._sorted_values.copy()
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        """Frequencies aligned with :attr:`values`."""
+        self._ensure_arrays()
+        if len(self._cum_counts) == 0:
+            return np.empty(0, dtype=float)
+        return np.diff(np.concatenate(([0.0], self._cum_counts)))
+
+    def to_pairs(self) -> List[Tuple[float, int]]:
+        """Return ``(value, frequency)`` pairs sorted by value."""
+        self._ensure_arrays()
+        freqs = self.frequencies
+        return [(float(v), int(f)) for v, f in zip(self._sorted_values, freqs)]
+
+    def expand(self) -> np.ndarray:
+        """Materialise the multiset as a sorted array of individual values.
+
+        Useful for feeding static-construction algorithms or samplers that
+        expect raw tuples rather than a frequency map.
+        """
+        self._ensure_arrays()
+        freqs = self.frequencies.astype(int)
+        if len(freqs) == 0:
+            return np.empty(0, dtype=float)
+        return np.repeat(self._sorted_values, freqs)
+
+    # ------------------------------------------------------------------
+    # CDF / range counts
+    # ------------------------------------------------------------------
+    def count_at_most(self, x: float) -> float:
+        """Number of points with value <= x."""
+        self._ensure_arrays()
+        if self._total == 0:
+            return 0.0
+        idx = int(np.searchsorted(self._sorted_values, x, side="right"))
+        if idx == 0:
+            return 0.0
+        return float(self._cum_counts[idx - 1])
+
+    def cdf(self, x: float) -> float:
+        """Empirical cumulative distribution function at ``x``.
+
+        Returns 0 for an empty distribution so that comparisons against an
+        empty histogram are well defined.
+        """
+        if self._total == 0:
+            return 0.0
+        return self.count_at_most(x) / self._total
+
+    def cdf_many(self, xs: Sequence[float]) -> np.ndarray:
+        """Vectorised CDF evaluation at each point of ``xs``."""
+        self._ensure_arrays()
+        xs_arr = np.asarray(xs, dtype=float)
+        if self._total == 0:
+            return np.zeros(xs_arr.shape, dtype=float)
+        idx = np.searchsorted(self._sorted_values, xs_arr, side="right")
+        cum = np.concatenate(([0.0], self._cum_counts))
+        return cum[idx] / self._total
+
+    def range_count(self, low: float, high: float, *, include_low: bool = True,
+                    include_high: bool = True) -> float:
+        """Number of points in the interval between ``low`` and ``high``.
+
+        Both endpoints are inclusive by default, matching the closed range
+        predicates (``a <= X <= b``) discussed with Eq. (7) in the paper.
+        """
+        if high < low:
+            return 0.0
+        self._ensure_arrays()
+        if self._total == 0:
+            return 0.0
+        left_side = "left" if include_low else "right"
+        right_side = "right" if include_high else "left"
+        lo_idx = int(np.searchsorted(self._sorted_values, low, side=left_side))
+        hi_idx = int(np.searchsorted(self._sorted_values, high, side=right_side))
+        cum = np.concatenate(([0.0], self._cum_counts))
+        return float(cum[hi_idx] - cum[lo_idx])
+
+    def range_selectivity(self, low: float, high: float, **kwargs: bool) -> float:
+        """Fraction of points in the (by default closed) interval [low, high]."""
+        if self._total == 0:
+            return 0.0
+        return self.range_count(low, high, **kwargs) / self._total
+
+    # ------------------------------------------------------------------
+    # evaluation support
+    # ------------------------------------------------------------------
+    def breakpoints(self) -> np.ndarray:
+        """Sorted array of distinct values: natural CDF evaluation points."""
+        self._ensure_arrays()
+        return self._sorted_values.copy()

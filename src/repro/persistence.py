@@ -1,0 +1,185 @@
+"""Saving and restoring histograms (catalog persistence).
+
+A real DBMS keeps its statistics in the system catalog: a histogram built or
+maintained in one session must be written out and restored later.  This module
+provides that layer for every histogram class in the library:
+
+* :func:`freeze` converts any histogram into an immutable
+  :class:`~repro.static.base.StaticHistogram` snapshot (just its buckets);
+* :func:`histogram_to_dict` / :func:`histogram_from_dict` serialise histograms
+  to plain JSON-compatible dictionaries, preserving the *full* internal state
+  of the dynamic histograms (DC, DVO, DADO) so that maintenance can continue
+  after a restore;
+* :func:`save_histogram` / :func:`load_histogram` wrap the above with JSON
+  files.
+
+The AC histogram is serialised as a frozen snapshot: its backing sample
+represents data that notionally lives on disk already, and the paper treats a
+restart as a rebuild from that sample.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .core.base import Histogram
+from .core.bucket import Bucket
+from .core.dynamic_compressed import DCHistogram
+from .core.dynamic_vopt import DADOHistogram, DVOHistogram
+from .exceptions import ConfigurationError
+from .static.base import StaticHistogram
+
+__all__ = [
+    "freeze",
+    "histogram_to_dict",
+    "histogram_from_dict",
+    "save_histogram",
+    "load_histogram",
+    "FrozenHistogram",
+]
+
+_FORMAT_VERSION = 1
+
+
+class FrozenHistogram(StaticHistogram):
+    """An immutable snapshot of any histogram's buckets."""
+
+
+def freeze(histogram: Histogram) -> FrozenHistogram:
+    """Return an immutable snapshot of ``histogram``'s current buckets."""
+    return FrozenHistogram(histogram.buckets())
+
+
+# ----------------------------------------------------------------------
+# dict serialisation
+# ----------------------------------------------------------------------
+def histogram_to_dict(histogram: Histogram) -> Dict[str, Any]:
+    """Serialise a histogram to a JSON-compatible dictionary."""
+    if isinstance(histogram, DCHistogram):
+        return _dc_to_dict(histogram)
+    if isinstance(histogram, DVOHistogram):
+        return _dvo_to_dict(histogram)
+    # Generic fallback: persist the bucket snapshot.
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": "frozen",
+        "source_class": type(histogram).__name__,
+        "buckets": [[b.left, b.right, b.count] for b in histogram.buckets()],
+    }
+
+
+def histogram_from_dict(state: Dict[str, Any]) -> Histogram:
+    """Reconstruct a histogram from :func:`histogram_to_dict` output."""
+    version = state.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(f"unsupported histogram format version: {version!r}")
+    kind = state.get("kind")
+    if kind == "frozen":
+        buckets = [Bucket(left, right, count) for left, right, count in state["buckets"]]
+        return FrozenHistogram(buckets)
+    if kind == "dc":
+        return _dc_from_dict(state)
+    if kind in ("dvo", "dado"):
+        return _dvo_from_dict(state)
+    raise ConfigurationError(f"unknown serialised histogram kind: {kind!r}")
+
+
+def save_histogram(histogram: Histogram, path: Union[str, Path]) -> None:
+    """Serialise ``histogram`` to a JSON file at ``path``."""
+    payload = histogram_to_dict(histogram)
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_histogram(path: Union[str, Path]) -> Histogram:
+    """Load a histogram previously written by :func:`save_histogram`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return histogram_from_dict(payload)
+
+
+# ----------------------------------------------------------------------
+# Dynamic Compressed
+# ----------------------------------------------------------------------
+def _dc_to_dict(histogram: DCHistogram) -> Dict[str, Any]:
+    state: Dict[str, Any] = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "dc",
+        "bucket_budget": histogram.bucket_budget,
+        "alpha_min": histogram.alpha_min,
+        "value_unit": histogram._value_unit,
+        "repartition_count": histogram.repartition_count,
+    }
+    if histogram.is_loading:
+        state["loading"] = sorted(histogram._loading.items())
+    else:
+        state["lefts"] = list(histogram._lefts)
+        state["counts"] = list(histogram._counts)
+        state["right"] = histogram._right
+        state["singular"] = sorted(histogram._singular.items())
+    return state
+
+
+def _dc_from_dict(state: Dict[str, Any]) -> DCHistogram:
+    histogram = DCHistogram(
+        int(state["bucket_budget"]),
+        alpha_min=float(state["alpha_min"]),
+        value_unit=float(state["value_unit"]),
+    )
+    histogram._repartition_count = int(state.get("repartition_count", 0))
+    if "loading" in state:
+        histogram._loading = {float(v): int(c) for v, c in state["loading"]}
+        return histogram
+    histogram._loading = None
+    histogram._lefts = [float(v) for v in state["lefts"]]
+    histogram._counts = [float(v) for v in state["counts"]]
+    histogram._right = float(state["right"])
+    histogram._singular = {float(v): float(c) for v, c in state["singular"]}
+    histogram._regular_total = sum(histogram._counts)
+    histogram._regular_sumsq = sum(count * count for count in histogram._counts)
+    return histogram
+
+
+# ----------------------------------------------------------------------
+# DVO / DADO
+# ----------------------------------------------------------------------
+def _dvo_to_dict(histogram: DVOHistogram) -> Dict[str, Any]:
+    state: Dict[str, Any] = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "dado" if isinstance(histogram, DADOHistogram) else "dvo",
+        "bucket_budget": histogram.bucket_budget,
+        "sub_buckets": histogram.sub_bucket_count,
+        "value_unit": histogram._value_unit,
+        "repartition_threshold": histogram._threshold,
+        "repartition_count": histogram.repartition_count,
+    }
+    if histogram.is_loading:
+        state["loading"] = sorted(histogram._loading.items())
+    else:
+        state["buckets"] = [
+            [bucket.left, bucket.right, list(bucket.counts)] for bucket in histogram._buckets
+        ]
+    return state
+
+
+def _dvo_from_dict(state: Dict[str, Any]) -> DVOHistogram:
+    histogram_class = DADOHistogram if state["kind"] == "dado" else DVOHistogram
+    histogram = histogram_class(
+        int(state["bucket_budget"]),
+        sub_buckets=int(state["sub_buckets"]),
+        value_unit=float(state["value_unit"]),
+        repartition_threshold=float(state["repartition_threshold"]),
+    )
+    histogram._repartition_count = int(state.get("repartition_count", 0))
+    if "loading" in state:
+        histogram._loading = {float(v): int(c) for v, c in state["loading"]}
+        return histogram
+    from .core.dynamic_vopt import _VBucket
+
+    histogram._loading = None
+    histogram._buckets = [
+        _VBucket(float(left), float(right), [float(c) for c in counts])
+        for left, right, counts in state["buckets"]
+    ]
+    histogram._rebuild_caches()
+    return histogram

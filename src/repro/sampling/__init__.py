@@ -1,0 +1,22 @@
+"""Reservoir sampling and the Approximate Compressed histogram comparator.
+
+The paper compares its dynamic histograms against the Approximate Histograms
+of Gibbons, Matias and Poosala [10], which maintain a large *backing sample*
+on disk via reservoir sampling [1] plus a small approximate Equi-Depth /
+Compressed histogram in memory.  This package implements the whole stack from
+scratch:
+
+* :class:`~repro.sampling.reservoir.ReservoirSampler` -- Vitter's algorithm R;
+* :class:`~repro.sampling.backing_sample.BackingSample` -- a reservoir that
+  also supports deletions (with a simulated relation rescan when it shrinks
+  too far);
+* :class:`~repro.sampling.approximate.ApproximateCompressedHistogram` -- the
+  in-memory approximate histogram with split/merge maintenance and
+  recomputation from the backing sample.
+"""
+
+from .reservoir import ReservoirSampler
+from .backing_sample import BackingSample
+from .approximate import ApproximateCompressedHistogram
+
+__all__ = ["ReservoirSampler", "BackingSample", "ApproximateCompressedHistogram"]

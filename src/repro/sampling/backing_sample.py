@@ -1,0 +1,140 @@
+"""The backing sample of the Approximate Histograms of Gibbons et al. [10].
+
+The backing sample is a reservoir sample of the relation that is kept on disk
+(it is allowed to be much larger than the in-memory histogram; the paper gives
+it twenty times the histogram's memory by default).  Insertions feed the
+reservoir; deletions remove the tuple from the sample if it happens to be
+sampled, and when deletions have shrunk the sample below a low-water mark the
+relation is rescanned to refill it.
+
+In this reproduction the "relation on disk" is simulated by an in-memory
+multiset of the live tuples, which is exactly what a rescan of the real
+relation would observe (see DESIGN.md, substitution 3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional
+
+import numpy as np
+
+from .._validation import require_positive_int, require_probability
+from ..exceptions import DeletionError
+from .reservoir import ReservoirSampler
+
+__all__ = ["BackingSample"]
+
+
+class BackingSample:
+    """A reservoir sample maintained under insertions and deletions.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of sampled tuples (the disk budget divided by the size
+        of one value).
+    low_water_fraction:
+        When deletions shrink the sample below ``low_water_fraction *
+        capacity`` (and the relation still has at least that many tuples), the
+        relation is rescanned to refill the sample.
+    seed:
+        Seed of the private random generator.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        low_water_fraction: float = 0.8,
+        seed: Optional[int] = 0,
+    ) -> None:
+        require_positive_int(capacity, "capacity")
+        require_probability(low_water_fraction, "low_water_fraction")
+        self._capacity = capacity
+        self._low_water = low_water_fraction
+        self._rng = np.random.default_rng(seed)
+        self._reservoir = ReservoirSampler(capacity, rng=self._rng)
+        self._relation: Counter = Counter()
+        self._relation_size = 0
+        self._rescan_count = 0
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def sample_size(self) -> int:
+        """Current number of sampled tuples."""
+        return self._reservoir.size
+
+    @property
+    def relation_size(self) -> int:
+        """Number of live tuples in the (simulated) relation."""
+        return self._relation_size
+
+    @property
+    def rescan_count(self) -> int:
+        """How many times the relation had to be rescanned."""
+        return self._rescan_count
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped whenever the sample content changes."""
+        return self._version
+
+    @property
+    def scale_factor(self) -> float:
+        """Factor by which sample counts must be scaled to estimate the relation."""
+        if self.sample_size == 0:
+            return 0.0
+        return self._relation_size / self.sample_size
+
+    def values(self) -> List[float]:
+        """A copy of the sampled values."""
+        return self._reservoir.values()
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, value: float) -> None:
+        """Insert a tuple into the relation and offer it to the reservoir."""
+        value = float(value)
+        self._relation[value] += 1
+        self._relation_size += 1
+        if self._reservoir.offer(value):
+            self._version += 1
+
+    def delete(self, value: float) -> None:
+        """Delete a tuple from the relation, updating the sample as needed."""
+        value = float(value)
+        if self._relation[value] <= 0:
+            raise DeletionError(f"value {value!r} is not present in the relation")
+        self._relation[value] -= 1
+        if self._relation[value] == 0:
+            del self._relation[value]
+        self._relation_size -= 1
+
+        if self._reservoir.discard_value(value):
+            self._version += 1
+            threshold = self._low_water * min(self._capacity, self._relation_size)
+            if self._reservoir.size < threshold:
+                self.rescan()
+
+    def rescan(self) -> None:
+        """Refill the sample with a fresh uniform draw from the live relation."""
+        self._rescan_count += 1
+        population: List[float] = []
+        for value, count in self._relation.items():
+            population.extend([value] * count)
+        if len(population) <= self._capacity:
+            new_sample = population
+        else:
+            indices = self._rng.choice(len(population), size=self._capacity, replace=False)
+            new_sample = [population[i] for i in indices]
+        self._reservoir.reset(new_sample, self._relation_size)
+        self._version += 1

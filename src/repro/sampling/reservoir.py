@@ -1,0 +1,119 @@
+"""Reservoir sampling (Vitter's algorithm R) [1].
+
+A reservoir sampler maintains, in one pass over a stream of unknown length, a
+uniform random sample of fixed capacity: after ``N`` insertions every element
+of the stream is present in the reservoir with probability
+``min(1, capacity / N)``.  This is the building block of the backing sample
+used by the Approximate Compressed histogram.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .._validation import require_positive_int
+
+__all__ = ["ReservoirSampler"]
+
+
+class ReservoirSampler:
+    """Fixed-capacity uniform sample of a stream (algorithm R).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of elements retained.
+    seed:
+        Seed of the sampler's private random generator (or a generator).
+    """
+
+    def __init__(self, capacity: int, *, seed: Optional[int] = 0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        require_positive_int(capacity, "capacity")
+        self._capacity = capacity
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._sample: List[float] = []
+        self._seen = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained elements."""
+        return self._capacity
+
+    @property
+    def seen_count(self) -> int:
+        """Number of stream elements offered so far."""
+        return self._seen
+
+    @property
+    def size(self) -> int:
+        """Current number of retained elements."""
+        return len(self._sample)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._sample) >= self._capacity
+
+    def values(self) -> List[float]:
+        """A copy of the retained sample values."""
+        return list(self._sample)
+
+    def offer(self, value: float) -> bool:
+        """Offer one stream element; return True if it was retained.
+
+        While the reservoir has free capacity every element is retained;
+        afterwards the element replaces a uniformly random slot with
+        probability ``capacity / seen``.
+        """
+        self._seen += 1
+        value = float(value)
+        if len(self._sample) < self._capacity:
+            self._sample.append(value)
+            return True
+        slot = int(self._rng.integers(self._seen))
+        if slot < self._capacity:
+            self._sample[slot] = value
+            return True
+        return False
+
+    def offer_many(self, values: Iterable[float]) -> int:
+        """Offer every element of an iterable; return how many were retained."""
+        retained = 0
+        for value in values:
+            if self.offer(value):
+                retained += 1
+        return retained
+
+    def discard_value(self, value: float) -> bool:
+        """Remove one occurrence of ``value`` from the reservoir if present.
+
+        Used by the backing sample to mirror deletions of sampled tuples.
+        Returns True when an occurrence was removed.  The count of seen
+        elements is decremented either way, because the deleted tuple no
+        longer belongs to the underlying relation.
+        """
+        self._seen = max(self._seen - 1, 0)
+        value = float(value)
+        try:
+            self._sample.remove(value)
+        except ValueError:
+            return False
+        return True
+
+    def reset(self, values: Iterable[float], population_size: int) -> None:
+        """Replace the reservoir content after a rescan of the relation.
+
+        ``values`` must be an unbiased sample (at most ``capacity`` elements)
+        of a relation of ``population_size`` tuples.
+        """
+        new_values = [float(v) for v in values]
+        if len(new_values) > self._capacity:
+            raise ValueError(
+                f"reset with {len(new_values)} values exceeds capacity {self._capacity}"
+            )
+        if population_size < len(new_values):
+            raise ValueError("population_size cannot be smaller than the sample size")
+        self._sample = new_values
+        self._seen = population_size

@@ -1,0 +1,44 @@
+"""Static histogram constructions.
+
+These are the baselines the paper compares against (Section 7, Figures 9-13)
+plus the two *new* static histograms the paper introduces:
+
+* :class:`~repro.static.exact.ExactHistogram` -- one bucket per distinct value.
+* :class:`~repro.static.equi_width.EquiWidthHistogram` -- Equi-Sum(V, S).
+* :class:`~repro.static.equi_depth.EquiDepthHistogram` -- Equi-Sum(V, F).
+* :class:`~repro.static.compressed.CompressedHistogram` -- Compressed(V, F),
+  the paper's "SC".
+* :class:`~repro.static.v_optimal.VOptimalHistogram` -- V-Optimal(V, F) via
+  dynamic programming, the paper's "SVO".
+* :class:`~repro.static.sado.SADOHistogram` -- Static Average-Deviation
+  Optimal, introduced in Section 4.1.
+* :class:`~repro.static.ssbm.SSBMHistogram` -- Successive Similar Bucket
+  Merge, introduced in Section 5.
+
+All are built from an exact :class:`~repro.metrics.distribution.DataDistribution`
+and expose the shared read API of :class:`~repro.core.base.Histogram`.
+"""
+
+from .base import StaticHistogram
+from .exact import ExactHistogram
+from .equi_width import EquiWidthHistogram
+from .equi_depth import EquiDepthHistogram
+from .compressed import CompressedHistogram
+from .v_optimal import VOptimalHistogram
+from .sado import SADOHistogram
+from .ssbm import SSBMHistogram
+from .optimal_dp import optimal_partition, variance_cost_matrix, absolute_cost_matrix
+
+__all__ = [
+    "StaticHistogram",
+    "ExactHistogram",
+    "EquiWidthHistogram",
+    "EquiDepthHistogram",
+    "CompressedHistogram",
+    "VOptimalHistogram",
+    "SADOHistogram",
+    "SSBMHistogram",
+    "optimal_partition",
+    "variance_cost_matrix",
+    "absolute_cost_matrix",
+]

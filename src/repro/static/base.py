@@ -1,0 +1,143 @@
+"""Shared base class for static histograms.
+
+A static histogram is built once from a complete :class:`DataDistribution` and
+is immutable afterwards.  Concrete classes implement a ``build`` classmethod
+that computes the bucket list; everything else (estimation, CDFs, KS support)
+comes from :class:`~repro.core.base.Histogram`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import require_positive_int
+from ..core.base import Histogram
+from ..core.bucket import Bucket
+from ..exceptions import ConfigurationError, InsufficientDataError
+from ..metrics.distribution import DataDistribution
+
+__all__ = [
+    "StaticHistogram",
+    "extract_value_frequencies",
+    "frequency_elements",
+    "value_range_bucket",
+]
+
+
+def value_range_bucket(
+    value_start: float,
+    value_end: float,
+    count: float,
+    *,
+    value_unit: float = 1.0,
+) -> Bucket:
+    """Build a bucket covering the *cells* of a run of domain values.
+
+    A bucket that groups the domain values ``value_start .. value_end`` under
+    the continuous-value assumption should spread its count over those values'
+    cells, i.e. the continuous range ``[value_start - unit/2, value_end +
+    unit/2]``; a bucket holding a single distinct value stays an exact point
+    mass.  Centering the cells this way keeps the approximate CDF unbiased at
+    the domain values themselves, which matters for the KS metric.
+    """
+    if value_end < value_start:
+        raise ConfigurationError(
+            f"value range is inverted: [{value_start}, {value_end}]"
+        )
+    if value_end == value_start:
+        return Bucket(float(value_start), float(value_end), float(count))
+    half_cell = value_unit / 2.0
+    return Bucket(float(value_start) - half_cell, float(value_end) + half_cell, float(count))
+
+
+def extract_value_frequencies(data: DataDistribution) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted distinct values and their frequencies, validating non-emptiness."""
+    if data.total_count == 0:
+        raise InsufficientDataError("cannot build a static histogram from an empty distribution")
+    return data.values, data.frequencies
+
+
+def frequency_elements(
+    data: DataDistribution,
+    *,
+    value_unit: float = 1.0,
+    include_gaps: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Expand a distribution into frequency *elements* for optimal partitioning.
+
+    The V-Optimal family measures the deviation of per-value frequencies from
+    the bucket average over *all domain values inside the bucket*, including
+    values that never appear in the data (Section 4, Eq. 3).  Materialising
+    every absent value would be wasteful, so this helper returns a compressed
+    representation: one element per present distinct value (frequency = its
+    count, weight = 1) and, when ``include_gaps`` is set, one element per
+    maximal run of absent values between two present neighbours (frequency 0,
+    weight = number of absent values in the run).
+
+    Returns
+    -------
+    (starts, ends, frequencies, weights):
+        Parallel arrays; element ``i`` covers the closed value range
+        ``[starts[i], ends[i]]``, each of its ``weights[i]`` domain values
+        carrying frequency ``frequencies[i]``.
+    """
+    if value_unit <= 0:
+        raise ConfigurationError(f"value_unit must be positive, got {value_unit}")
+    values, freqs = extract_value_frequencies(data)
+
+    starts: List[float] = []
+    ends: List[float] = []
+    frequencies: List[float] = []
+    weights: List[float] = []
+    for index, (value, frequency) in enumerate(zip(values, freqs)):
+        if include_gaps and index > 0:
+            previous = values[index - 1]
+            missing = int(round((value - previous) / value_unit)) - 1
+            if missing > 0:
+                gap_start = previous + value_unit
+                gap_end = max(gap_start, value - value_unit)
+                starts.append(float(gap_start))
+                ends.append(float(gap_end))
+                frequencies.append(0.0)
+                weights.append(float(missing))
+        starts.append(float(value))
+        ends.append(float(value))
+        frequencies.append(float(frequency))
+        weights.append(1.0)
+    return (
+        np.asarray(starts, dtype=float),
+        np.asarray(ends, dtype=float),
+        np.asarray(frequencies, dtype=float),
+        np.asarray(weights, dtype=float),
+    )
+
+
+class StaticHistogram(Histogram):
+    """A histogram whose buckets are fixed at construction time."""
+
+    def __init__(self, buckets: Sequence[Bucket]) -> None:
+        if not buckets:
+            raise ConfigurationError("a static histogram needs at least one bucket")
+        ordered = list(buckets)
+        for previous, current in zip(ordered, ordered[1:]):
+            if current.left < previous.left:
+                raise ConfigurationError("buckets must be supplied in ascending value order")
+        self._buckets: List[Bucket] = ordered
+
+    def buckets(self) -> List[Bucket]:
+        return list(self._buckets)
+
+    @classmethod
+    def build(cls, data: DataDistribution, n_buckets: int) -> "StaticHistogram":
+        """Build the histogram from an exact distribution.
+
+        Subclasses must override this; the base implementation exists only to
+        document the signature.
+        """
+        raise NotImplementedError(f"{cls.__name__} does not implement build()")
+
+    @staticmethod
+    def _validate_bucket_budget(n_buckets: int) -> int:
+        return require_positive_int(n_buckets, "n_buckets")

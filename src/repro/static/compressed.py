@@ -1,0 +1,89 @@
+"""Static Compressed histogram: Compressed(V, F), the paper's "SC".
+
+A Compressed histogram stores the highest-frequency values individually in
+*singular* (singleton) buckets and partitions the remaining values as an
+Equi-Depth histogram (Section 2.1 and [9]).  A value deserves a singleton
+bucket when its frequency exceeds the equi-depth share ``T = N / n`` of the
+remaining data; the selection is iterated because removing a heavy value
+changes the share of the rest.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+import numpy as np
+
+from ..core.bucket import Bucket
+from ..metrics.distribution import DataDistribution
+from .base import StaticHistogram, extract_value_frequencies, value_range_bucket
+from .equi_depth import equi_depth_partition
+
+__all__ = ["CompressedHistogram"]
+
+
+class CompressedHistogram(StaticHistogram):
+    """Singleton buckets for heavy values plus equi-depth buckets for the rest."""
+
+    @classmethod
+    def build(
+        cls, data: DataDistribution, n_buckets: int, *, value_unit: float = 1.0
+    ) -> "CompressedHistogram":
+        """Build a Compressed(V, F) histogram with at most ``n_buckets`` buckets."""
+        cls._validate_bucket_budget(n_buckets)
+        values, frequencies = extract_value_frequencies(data)
+        n_values = len(values)
+        n_buckets = min(n_buckets, n_values)
+
+        singular = _select_singular_values(frequencies, n_buckets)
+
+        buckets: List[Bucket] = []
+        regular_mask = np.ones(n_values, dtype=bool)
+        for index in sorted(singular):
+            regular_mask[index] = False
+            buckets.append(Bucket(float(values[index]), float(values[index]), float(frequencies[index])))
+
+        regular_values = values[regular_mask]
+        regular_frequencies = frequencies[regular_mask]
+        remaining_buckets = n_buckets - len(singular)
+        if len(regular_values) and remaining_buckets > 0:
+            for start, end in equi_depth_partition(regular_values, regular_frequencies, remaining_buckets):
+                buckets.append(
+                    value_range_bucket(
+                        float(regular_values[start]),
+                        float(regular_values[end]),
+                        float(regular_frequencies[start : end + 1].sum()),
+                        value_unit=value_unit,
+                    )
+                )
+
+        buckets.sort(key=lambda bucket: (bucket.left, bucket.right))
+        return cls(buckets)
+
+
+def _select_singular_values(frequencies: np.ndarray, n_buckets: int) -> Set[int]:
+    """Indices of values that earn singleton buckets.
+
+    Iteratively moves the most frequent remaining value to a singleton bucket
+    while its frequency exceeds the equi-depth share of the remaining data and
+    at least one regular bucket is left.
+    """
+    singular: Set[int] = set()
+    order = np.argsort(-frequencies, kind="stable")
+    remaining_total = float(frequencies.sum())
+    remaining_values = len(frequencies)
+
+    for index in order:
+        remaining_buckets = n_buckets - len(singular)
+        if remaining_buckets <= 1:
+            break
+        if remaining_values <= remaining_buckets:
+            break
+        threshold = remaining_total / remaining_buckets
+        if frequencies[index] > threshold:
+            singular.add(int(index))
+            remaining_total -= float(frequencies[index])
+            remaining_values -= 1
+        else:
+            break
+    return singular

@@ -1,0 +1,32 @@
+"""The exact histogram: one point-mass bucket per distinct value.
+
+This is the starting configuration of the SSBM construction (Section 5) and a
+convenient "perfect" baseline: its KS statistic against the data it was built
+from is exactly zero.
+"""
+
+from __future__ import annotations
+
+from ..core.bucket import Bucket
+from ..metrics.distribution import DataDistribution
+from .base import StaticHistogram, extract_value_frequencies
+
+__all__ = ["ExactHistogram"]
+
+
+class ExactHistogram(StaticHistogram):
+    """A lossless histogram with one singleton bucket per distinct value."""
+
+    @classmethod
+    def build(cls, data: DataDistribution, n_buckets: int = 0) -> "ExactHistogram":
+        """Build the exact histogram.
+
+        ``n_buckets`` is accepted for interface uniformity but ignored -- the
+        exact histogram always uses one bucket per distinct value.
+        """
+        values, frequencies = extract_value_frequencies(data)
+        buckets = [
+            Bucket(float(value), float(value), float(frequency))
+            for value, frequency in zip(values, frequencies)
+        ]
+        return cls(buckets)

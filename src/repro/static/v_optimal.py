@@ -1,0 +1,68 @@
+"""Static V-Optimal histogram: V-Optimal(V, F), the paper's "SVO".
+
+The partition of the value domain into buckets minimises the total
+within-bucket variance of per-value frequencies (Eq. 2 / Eq. 3), where the
+frequencies range over *all* domain values inside a bucket -- values absent
+from the data contribute frequency zero, which is what makes the optimal
+partition respect the spatial structure of the data.  Among the classical
+static histograms this is the most accurate for selectivity estimation [8, 9]
+and also by far the most expensive to construct, which motivates the SSBM
+histogram of Section 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.deviation import DeviationMetric
+from ..metrics.distribution import DataDistribution
+from .base import StaticHistogram, frequency_elements, value_range_bucket
+from .optimal_dp import optimal_partition
+
+__all__ = ["VOptimalHistogram"]
+
+
+class VOptimalHistogram(StaticHistogram):
+    """Optimal partition under the variance constraint, via dynamic programming."""
+
+    #: Deviation metric optimised by this class.
+    metric = DeviationMetric.VARIANCE
+
+    @classmethod
+    def build(
+        cls,
+        data: DataDistribution,
+        n_buckets: int,
+        *,
+        value_unit: float = 1.0,
+        include_gaps: bool = True,
+    ) -> "VOptimalHistogram":
+        """Build the optimal ``n_buckets``-bucket histogram for ``data``.
+
+        Parameters
+        ----------
+        data:
+            The exact distribution to approximate.
+        n_buckets:
+            Bucket budget.
+        value_unit:
+            Spacing between adjacent domain values (1 for integer domains).
+        include_gaps:
+            Whether absent domain values participate as zero frequencies
+            (the paper's formulation); disable to partition only the present
+            values.
+        """
+        cls._validate_bucket_budget(n_buckets)
+        starts, ends, frequencies, weights = frequency_elements(
+            data, value_unit=value_unit, include_gaps=include_gaps
+        )
+        partition = optimal_partition(frequencies, n_buckets, cls.metric, weights=weights)
+        buckets = []
+        for start, end in partition:
+            count = float(np.dot(frequencies[start : end + 1], weights[start : end + 1]))
+            buckets.append(
+                value_range_bucket(
+                    float(starts[start]), float(ends[end]), count, value_unit=value_unit
+                )
+            )
+        return cls(buckets)

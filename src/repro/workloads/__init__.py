@@ -1,0 +1,41 @@
+"""Update-stream and query workloads used in the paper's evaluation (Section 7).
+
+The paper evaluates dynamic histograms under five update patterns -- random
+insertions, sorted insertions, random insertions intermixed with random
+deletions, random insertions followed by random deletions, and sorted
+insertions followed by sorted deletions -- plus a real-world trace.  This
+package turns a set of raw attribute values into a concrete stream of
+:class:`~repro.workloads.streams.UpdateOp` operations for each of those
+patterns, and generates the range-query workloads used by the Eq. (7) error
+metric and the selectivity-estimation examples.
+"""
+
+from .streams import (
+    UpdateOp,
+    UpdateStream,
+    random_insertions,
+    sorted_insertions,
+    insertions_with_interleaved_deletions,
+    insertions_then_random_deletions,
+    sorted_insertions_then_sorted_deletions,
+)
+from .queries import (
+    RangeQuery,
+    uniform_range_queries,
+    data_distributed_range_queries,
+    open_range_queries,
+)
+
+__all__ = [
+    "UpdateOp",
+    "UpdateStream",
+    "random_insertions",
+    "sorted_insertions",
+    "insertions_with_interleaved_deletions",
+    "insertions_then_random_deletions",
+    "sorted_insertions_then_sorted_deletions",
+    "RangeQuery",
+    "uniform_range_queries",
+    "data_distributed_range_queries",
+    "open_range_queries",
+]

@@ -1,0 +1,103 @@
+"""Range-query workloads for error metrics and selectivity-estimation examples.
+
+The Eq. (7) error metric depends on a set of range queries; the paper discusses
+two natural choices for the distribution of query endpoints -- uniform over the
+domain and the data distribution itself -- as well as open versus closed
+ranges.  All three generators are provided so that users can reproduce that
+discussion and so the estimation examples have realistic predicate workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._validation import require_positive_int
+from ..exceptions import ConfigurationError
+from ..metrics.distribution import DataDistribution
+
+__all__ = [
+    "RangeQuery",
+    "uniform_range_queries",
+    "data_distributed_range_queries",
+    "open_range_queries",
+]
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A closed range predicate ``low <= X <= high``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ConfigurationError(
+                f"range query must satisfy low <= high, got [{self.low}, {self.high}]"
+            )
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.low, self.high)
+
+
+def _to_tuples(queries: Sequence[RangeQuery]) -> List[Tuple[float, float]]:
+    return [q.as_tuple() for q in queries]
+
+
+def uniform_range_queries(
+    domain: Tuple[float, float],
+    n_queries: int,
+    *,
+    seed: int = 0,
+) -> List[RangeQuery]:
+    """Range queries whose endpoints are uniform over the domain."""
+    require_positive_int(n_queries, "n_queries")
+    low, high = domain
+    if high <= low:
+        raise ConfigurationError(f"domain must satisfy low < high, got {domain!r}")
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(low, high, n_queries)
+    b = rng.uniform(low, high, n_queries)
+    lows = np.minimum(a, b)
+    highs = np.maximum(a, b)
+    return [RangeQuery(float(lo), float(hi)) for lo, hi in zip(lows, highs)]
+
+
+def data_distributed_range_queries(
+    data: DataDistribution,
+    n_queries: int,
+    *,
+    seed: int = 0,
+) -> List[RangeQuery]:
+    """Range queries whose endpoints are drawn from the data distribution itself."""
+    require_positive_int(n_queries, "n_queries")
+    if data.total_count == 0:
+        raise ConfigurationError("data distribution must be non-empty")
+    rng = np.random.default_rng(seed)
+    values = data.values
+    frequencies = data.frequencies
+    probabilities = frequencies / frequencies.sum()
+    a = rng.choice(values, size=n_queries, p=probabilities)
+    b = rng.choice(values, size=n_queries, p=probabilities)
+    lows = np.minimum(a, b)
+    highs = np.maximum(a, b)
+    return [RangeQuery(float(lo), float(hi)) for lo, hi in zip(lows, highs)]
+
+
+def open_range_queries(
+    domain: Tuple[float, float],
+    n_queries: int,
+    *,
+    seed: int = 0,
+) -> List[RangeQuery]:
+    """One-sided range queries ``X <= b`` expressed as ``[domain_low, b]``."""
+    require_positive_int(n_queries, "n_queries")
+    low, high = domain
+    if high <= low:
+        raise ConfigurationError(f"domain must satisfy low < high, got {domain!r}")
+    rng = np.random.default_rng(seed)
+    uppers = rng.uniform(low, high, n_queries)
+    return [RangeQuery(float(low), float(b)) for b in uppers]

@@ -1,0 +1,217 @@
+"""Update streams: sequences of insertions and deletions over attribute values.
+
+An :class:`UpdateStream` is an ordered sequence of :class:`UpdateOp` records.
+It can be replayed against any dynamic histogram (and, in parallel, against the
+exact :class:`~repro.metrics.distribution.DataDistribution` ground truth) by
+the experiment runner.  The factory functions below build the update patterns
+evaluated in Section 7 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .._validation import require_probability
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "UpdateOp",
+    "UpdateStream",
+    "random_insertions",
+    "sorted_insertions",
+    "insertions_with_interleaved_deletions",
+    "insertions_then_random_deletions",
+    "sorted_insertions_then_sorted_deletions",
+]
+
+INSERT = "insert"
+DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """A single update: insert or delete one occurrence of ``value``."""
+
+    kind: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in (INSERT, DELETE):
+            raise ConfigurationError(f"kind must be 'insert' or 'delete', got {self.kind!r}")
+
+    @property
+    def is_insert(self) -> bool:
+        return self.kind == INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        return self.kind == DELETE
+
+
+class UpdateStream:
+    """An ordered sequence of update operations.
+
+    The stream is immutable once built; iteration yields :class:`UpdateOp`
+    records in order.  Convenience accessors report the number of insertions
+    and deletions and the multiset of values that remain live after replaying
+    the whole stream.
+    """
+
+    def __init__(self, operations: Iterable[UpdateOp]) -> None:
+        self._ops: List[UpdateOp] = list(operations)
+
+    def __iter__(self) -> Iterator[UpdateOp]:
+        return iter(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __getitem__(self, index: int) -> UpdateOp:
+        return self._ops[index]
+
+    @property
+    def operations(self) -> List[UpdateOp]:
+        """A copy of the operation list."""
+        return list(self._ops)
+
+    @property
+    def insert_count(self) -> int:
+        return sum(1 for op in self._ops if op.is_insert)
+
+    @property
+    def delete_count(self) -> int:
+        return sum(1 for op in self._ops if op.is_delete)
+
+    def live_values(self) -> List[float]:
+        """Values that remain after all insertions and deletions are applied."""
+        from collections import Counter
+
+        counts: "Counter[float]" = Counter()
+        for op in self._ops:
+            if op.is_insert:
+                counts[op.value] += 1
+            else:
+                counts[op.value] -= 1
+        result: List[float] = []
+        for value, count in counts.items():
+            if count < 0:
+                raise ConfigurationError(
+                    f"stream deletes value {value!r} more often than it inserts it"
+                )
+            result.extend([value] * count)
+        return result
+
+    def prefix(self, n_operations: int) -> "UpdateStream":
+        """The stream consisting of the first ``n_operations`` operations."""
+        if n_operations < 0:
+            raise ConfigurationError(f"n_operations must be non-negative, got {n_operations}")
+        return UpdateStream(self._ops[:n_operations])
+
+    @staticmethod
+    def inserts(values: Iterable[float]) -> "UpdateStream":
+        """A stream that inserts each value in the given order."""
+        return UpdateStream(UpdateOp(INSERT, float(v)) for v in values)
+
+
+def _as_array(values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ConfigurationError(f"values must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def random_insertions(values: Sequence[float], *, seed: int = 0) -> UpdateStream:
+    """Insert every value exactly once, in uniformly random order (§7.1)."""
+    arr = _as_array(values)
+    rng = np.random.default_rng(seed)
+    return UpdateStream.inserts(rng.permutation(arr))
+
+
+def sorted_insertions(values: Sequence[float], *, descending: bool = False) -> UpdateStream:
+    """Insert every value exactly once, in sorted order (§7.2)."""
+    arr = np.sort(_as_array(values))
+    if descending:
+        arr = arr[::-1]
+    return UpdateStream.inserts(arr)
+
+
+def insertions_with_interleaved_deletions(
+    values: Sequence[float],
+    *,
+    delete_probability: float = 0.25,
+    seed: int = 0,
+    sorted_inserts: bool = False,
+) -> UpdateStream:
+    """Insertions with each followed, with some probability, by a random deletion.
+
+    This reproduces the workload of Section 7.3.1: data is inserted (optionally
+    in sorted order) and after every insertion one previously inserted, not yet
+    deleted tuple is chosen uniformly at random and deleted with probability
+    ``delete_probability``.
+    """
+    require_probability(delete_probability, "delete_probability")
+    arr = _as_array(values)
+    rng = np.random.default_rng(seed)
+    order = np.sort(arr) if sorted_inserts else rng.permutation(arr)
+
+    operations: List[UpdateOp] = []
+    live: List[float] = []
+    for value in order:
+        operations.append(UpdateOp(INSERT, float(value)))
+        live.append(float(value))
+        if live and rng.random() < delete_probability:
+            victim_index = int(rng.integers(len(live)))
+            victim = live.pop(victim_index)
+            operations.append(UpdateOp(DELETE, victim))
+    return UpdateStream(operations)
+
+
+def insertions_then_random_deletions(
+    values: Sequence[float],
+    *,
+    delete_fraction: float = 0.5,
+    seed: int = 0,
+    sorted_inserts: bool = False,
+) -> UpdateStream:
+    """Insert everything, then delete a random fraction of the inserted values.
+
+    Covers both "random insertions followed by random deletions" (Fig. 17) and
+    "random deletions after sorted insertions" (Fig. 18), depending on
+    ``sorted_inserts``.
+    """
+    require_probability(delete_fraction, "delete_fraction")
+    arr = _as_array(values)
+    rng = np.random.default_rng(seed)
+    order = np.sort(arr) if sorted_inserts else rng.permutation(arr)
+
+    n_delete = int(round(delete_fraction * len(order)))
+    victims = rng.permutation(order)[:n_delete]
+
+    operations = [UpdateOp(INSERT, float(v)) for v in order]
+    operations.extend(UpdateOp(DELETE, float(v)) for v in victims)
+    return UpdateStream(operations)
+
+
+def sorted_insertions_then_sorted_deletions(
+    values: Sequence[float],
+    *,
+    delete_fraction: float = 0.5,
+    descending_deletes: bool = False,
+) -> UpdateStream:
+    """Sorted insertions followed by sorted deletions of a prefix of the data.
+
+    This is the hardest pattern the paper identifies for DADO (§7.3): the
+    deletions drain the buckets from one end, exposing the closest-bucket spill
+    policy.
+    """
+    require_probability(delete_fraction, "delete_fraction")
+    arr = np.sort(_as_array(values))
+    n_delete = int(round(delete_fraction * len(arr)))
+    victims = arr[:n_delete] if not descending_deletes else arr[::-1][:n_delete]
+
+    operations = [UpdateOp(INSERT, float(v)) for v in arr]
+    operations.extend(UpdateOp(DELETE, float(v)) for v in victims)
+    return UpdateStream(operations)

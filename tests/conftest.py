@@ -1,0 +1,58 @@
+"""Shared pytest fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ClusterDistributionConfig,
+    DataDistribution,
+    generate_cluster_values,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for ad-hoc randomness in tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_cluster_config() -> ClusterDistributionConfig:
+    """A small, fast-to-generate cluster distribution configuration."""
+    return ClusterDistributionConfig(
+        n_points=2000,
+        n_clusters=20,
+        center_skew=1.0,
+        size_skew=1.0,
+        cluster_sd=2.0,
+        domain=(0, 1000),
+        seed=7,
+    )
+
+
+@pytest.fixture
+def small_values(small_cluster_config) -> np.ndarray:
+    """Raw values of the small cluster distribution."""
+    return generate_cluster_values(small_cluster_config)
+
+
+@pytest.fixture
+def small_distribution(small_values) -> DataDistribution:
+    """Exact distribution of the small cluster data."""
+    return DataDistribution(small_values)
+
+
+@pytest.fixture
+def skewed_distribution() -> DataDistribution:
+    """A hand-built skewed distribution with one dominant value."""
+    pairs = [(10, 5), (11, 3), (12, 2), (20, 40), (21, 6), (35, 1), (36, 1), (50, 12)]
+    return DataDistribution.from_frequencies(pairs)
+
+
+@pytest.fixture
+def uniform_values() -> np.ndarray:
+    """A deterministic, nearly uniform integer data set."""
+    rng = np.random.default_rng(3)
+    return rng.integers(0, 200, size=1500)

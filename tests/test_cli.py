@@ -1,0 +1,70 @@
+"""Unit tests for the repro-experiments command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import available_experiments, main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestRegistry:
+    def test_all_figures_and_ablations_are_registered(self):
+        registry = available_experiments()
+        for figure in range(5, 24):
+            assert f"fig{figure:02d}" in registry
+        assert "ablation_alpha_min" in registry
+        assert "ablation_sub_buckets" in registry
+        assert "ablation_repartition_threshold" in registry
+
+
+class TestListCommand:
+    def test_list_prints_every_experiment(self):
+        code, output = _run(["list"])
+        assert code == 0
+        assert "fig05" in output
+        assert "fig23" in output
+        assert "ablation_alpha_min" in output
+
+
+class TestRunCommand:
+    def test_run_single_figure(self, tmp_path):
+        code, output = _run(
+            [
+                "run",
+                "fig22",
+                "--scale",
+                "0.01",
+                "--runs",
+                "1",
+                "--csv-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "fig22" in output
+        assert "histogram + union" in output
+        assert (tmp_path / "fig22.csv").exists()
+
+    def test_run_unknown_experiment_fails_cleanly(self):
+        code, output = _run(["run", "fig99"])
+        assert code == 2
+        assert "unknown experiment" in output
+
+    def test_run_requires_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+
+class TestCompareCommand:
+    def test_compare_prints_leaderboard(self):
+        code, output = _run(["compare", "--scale", "0.02", "--memory-kb", "0.25"])
+        assert code == 0
+        assert "DADO" in output
+        assert "EQUI_WIDTH" in output
+        assert "KS statistic" in output

@@ -1,0 +1,100 @@
+"""Unit tests for the shared histogram read API (estimation, CDFs)."""
+
+import numpy as np
+import pytest
+
+from repro import Bucket, DataDistribution, EquiDepthHistogram, ExactHistogram
+from repro.exceptions import EmptyHistogramError
+from repro.static.base import StaticHistogram
+
+
+def _simple_histogram():
+    """Two uniform buckets and one point mass, 100 points in total."""
+    return StaticHistogram(
+        [Bucket(0.0, 10.0, 40.0), Bucket(10.0, 20.0, 40.0), Bucket(25.0, 25.0, 20.0)]
+    )
+
+
+class TestReadAPI:
+    def test_totals_and_bounds(self):
+        histogram = _simple_histogram()
+        assert histogram.total_count == 100.0
+        assert histogram.bucket_count == 3
+        assert histogram.min_value == 0.0
+        assert histogram.max_value == 25.0
+
+    def test_estimate_range(self):
+        histogram = _simple_histogram()
+        assert histogram.estimate_range(0.0, 10.0) == pytest.approx(40.0)
+        assert histogram.estimate_range(5.0, 15.0) == pytest.approx(40.0)
+        assert histogram.estimate_range(20.0, 30.0) == pytest.approx(20.0)
+        assert histogram.estimate_range(30.0, 40.0) == 0.0
+        assert histogram.estimate_range(10.0, 0.0) == 0.0
+
+    def test_estimate_selectivity(self):
+        histogram = _simple_histogram()
+        assert histogram.estimate_selectivity(0.0, 10.0) == pytest.approx(0.4)
+
+    def test_estimate_equal(self):
+        histogram = _simple_histogram()
+        # Density of the first bucket is 4 points per unit of value range.
+        assert histogram.estimate_equal(5.0) == pytest.approx(4.0)
+        assert histogram.estimate_equal(25.0) == pytest.approx(20.0)
+        assert histogram.estimate_equal(100.0) == 0.0
+
+    def test_cdf_monotone_and_bounded(self):
+        histogram = _simple_histogram()
+        xs = np.linspace(-5, 30, 200)
+        cdf = histogram.cdf_many(xs)
+        assert np.all(np.diff(cdf) >= -1e-12)
+        assert cdf[0] == 0.0
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_cdf_left_limit_at_point_mass(self):
+        histogram = _simple_histogram()
+        right = histogram.cdf_many([25.0])[0]
+        left = histogram.cdf_left_many([25.0])[0]
+        assert right == pytest.approx(1.0)
+        assert left == pytest.approx(0.8)
+
+    def test_cdf_scalar_matches_vector(self):
+        histogram = _simple_histogram()
+        for x in (-1.0, 0.0, 7.5, 13.0, 25.0, 26.0):
+            assert histogram.cdf(x) == pytest.approx(histogram.cdf_many([x])[0])
+
+    def test_cdf_breakpoints(self):
+        histogram = _simple_histogram()
+        np.testing.assert_array_equal(
+            histogram.cdf_breakpoints(), [0.0, 10.0, 20.0, 25.0]
+        )
+
+    def test_count_at_most(self):
+        histogram = _simple_histogram()
+        assert histogram.count_at_most(10.0) == pytest.approx(40.0)
+        assert histogram.count_at_most(25.0) == pytest.approx(100.0)
+
+    def test_to_distribution_preserves_total(self):
+        histogram = _simple_histogram()
+        dist = histogram.to_distribution()
+        assert dist.total_count == 100
+
+    def test_empty_histogram_errors(self):
+        with pytest.raises(Exception):
+            StaticHistogram([])
+
+    def test_repr_contains_bucket_count(self, small_distribution):
+        histogram = EquiDepthHistogram.build(small_distribution, 8)
+        assert "buckets=" in repr(histogram)
+
+
+class TestDynamicHistogramHelpers:
+    def test_insert_many_and_apply(self, uniform_values):
+        from repro import DCHistogram, UpdateStream
+
+        histogram = DCHistogram(32)
+        histogram.insert_many(float(v) for v in uniform_values[:500])
+        assert histogram.total_count == pytest.approx(500, abs=1e-6)
+
+        other = DCHistogram(32)
+        other.apply(UpdateStream.inserts(float(v) for v in uniform_values[:500]))
+        assert other.total_count == pytest.approx(500, abs=1e-6)

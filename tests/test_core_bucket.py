@@ -1,0 +1,92 @@
+"""Unit tests for the bucket value types."""
+
+import pytest
+
+from repro import Bucket, SubBucketedBucket
+from repro.exceptions import ConfigurationError
+
+
+class TestBucket:
+    def test_basic_properties(self):
+        bucket = Bucket(0.0, 10.0, 50.0)
+        assert bucket.width == 10.0
+        assert not bucket.is_point_mass
+        assert bucket.density == 5.0
+
+    def test_point_mass(self):
+        bucket = Bucket(3.0, 3.0, 7.0)
+        assert bucket.is_point_mass
+        assert bucket.width == 0.0
+        with pytest.raises(ConfigurationError):
+            bucket.density
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bucket(5.0, 4.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            Bucket(0.0, 1.0, -1.0)
+
+    def test_count_at_most_uniform(self):
+        bucket = Bucket(0.0, 10.0, 100.0)
+        assert bucket.count_at_most(-1.0) == 0.0
+        assert bucket.count_at_most(5.0) == 50.0
+        assert bucket.count_at_most(10.0) == 100.0
+        assert bucket.count_at_most(99.0) == 100.0
+
+    def test_count_at_most_point_mass(self):
+        bucket = Bucket(3.0, 3.0, 7.0)
+        assert bucket.count_at_most(2.9) == 0.0
+        assert bucket.count_at_most(3.0) == 7.0
+
+    def test_count_in_range(self):
+        bucket = Bucket(0.0, 10.0, 100.0)
+        assert bucket.count_in_range(2.0, 4.0) == pytest.approx(20.0)
+        assert bucket.count_in_range(-5.0, 20.0) == 100.0
+        assert bucket.count_in_range(20.0, 30.0) == 0.0
+        assert bucket.count_in_range(4.0, 2.0) == 0.0
+
+    def test_count_in_range_point_mass(self):
+        bucket = Bucket(3.0, 3.0, 7.0)
+        assert bucket.count_in_range(0.0, 5.0) == 7.0
+        assert bucket.count_in_range(4.0, 5.0) == 0.0
+
+    def test_with_count(self):
+        bucket = Bucket(0.0, 1.0, 5.0)
+        assert bucket.with_count(9.0).count == 9.0
+        assert bucket.count == 5.0
+
+
+class TestSubBucketedBucket:
+    def test_basic_properties(self):
+        bucket = SubBucketedBucket(0.0, 10.0, 30.0, 10.0)
+        assert bucket.midpoint == 5.0
+        assert bucket.count == 40.0
+        assert bucket.width == 10.0
+
+    def test_segments(self):
+        bucket = SubBucketedBucket(0.0, 10.0, 30.0, 10.0)
+        assert bucket.as_segments() == [(0.0, 5.0, 30.0), (5.0, 10.0, 10.0)]
+
+    def test_point_mass_segments(self):
+        bucket = SubBucketedBucket(4.0, 4.0, 3.0, 0.0)
+        assert bucket.as_segments() == [(4.0, 4.0, 3.0)]
+        assert bucket.is_point_mass
+
+    def test_as_buckets(self):
+        bucket = SubBucketedBucket(0.0, 4.0, 6.0, 2.0)
+        halves = bucket.as_buckets()
+        assert len(halves) == 2
+        assert halves[0].count == 6.0
+        assert halves[1].left == 2.0
+
+    def test_with_counts(self):
+        bucket = SubBucketedBucket(0.0, 4.0, 6.0, 2.0)
+        updated = bucket.with_counts(1.0, 1.0)
+        assert updated.count == 2.0
+        assert bucket.count == 8.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            SubBucketedBucket(5.0, 4.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            SubBucketedBucket(0.0, 1.0, -1.0, 1.0)

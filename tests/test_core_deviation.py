@@ -1,0 +1,136 @@
+"""Unit tests for the phi algebra (Eqs. 3-5) and split/merge operations."""
+
+import pytest
+
+from repro import DeviationMetric, SubBucketedBucket
+from repro.core.deviation import (
+    bucket_phi,
+    merge_sub_buckets,
+    merged_phi,
+    segments_phi,
+    split_bucket,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestDeviationMetric:
+    def test_coerce_from_string(self):
+        assert DeviationMetric.coerce("variance") is DeviationMetric.VARIANCE
+        assert DeviationMetric.coerce("absolute") is DeviationMetric.ABSOLUTE
+        assert DeviationMetric.coerce(DeviationMetric.VARIANCE) is DeviationMetric.VARIANCE
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            DeviationMetric.coerce("median")
+
+    def test_aggregate(self):
+        assert DeviationMetric.VARIANCE.aggregate(-3.0) == 9.0
+        assert DeviationMetric.ABSOLUTE.aggregate(-3.0) == 3.0
+
+
+class TestSegmentsPhi:
+    def test_uniform_segments_have_zero_phi(self):
+        segments = [(0.0, 5.0, 10.0), (5.0, 10.0, 10.0)]
+        assert segments_phi(segments, "variance") == pytest.approx(0.0)
+        assert segments_phi(segments, "absolute") == pytest.approx(0.0)
+
+    def test_known_variance_value(self):
+        # Two sub-ranges of 5 values each, frequencies 4 and 2, average 3:
+        # phi = 5 * (4 - 3)^2 + 5 * (2 - 3)^2 = 10.
+        segments = [(0.0, 5.0, 20.0), (5.0, 10.0, 10.0)]
+        assert segments_phi(segments, "variance") == pytest.approx(10.0)
+
+    def test_known_absolute_value(self):
+        segments = [(0.0, 5.0, 20.0), (5.0, 10.0, 10.0)]
+        assert segments_phi(segments, "absolute") == pytest.approx(10.0)
+
+    def test_empty_segments(self):
+        assert segments_phi([], "variance") == 0.0
+
+    def test_zero_count_segments(self):
+        assert segments_phi([(0.0, 1.0, 0.0), (1.0, 2.0, 0.0)], "variance") == 0.0
+
+    def test_variance_penalises_outliers_more(self):
+        mild = [(0.0, 1.0, 6.0), (1.0, 2.0, 4.0)]
+        extreme = [(0.0, 1.0, 9.0), (1.0, 2.0, 1.0)]
+        variance_ratio = segments_phi(extreme, "variance") / segments_phi(mild, "variance")
+        absolute_ratio = segments_phi(extreme, "absolute") / segments_phi(mild, "absolute")
+        assert variance_ratio > absolute_ratio
+
+    def test_invalid_value_unit(self):
+        with pytest.raises(ConfigurationError):
+            segments_phi([(0.0, 1.0, 1.0)], "variance", value_unit=0.0)
+
+
+class TestBucketAndMergePhi:
+    def test_balanced_bucket_has_zero_phi(self):
+        bucket = SubBucketedBucket(0.0, 10.0, 25.0, 25.0)
+        assert bucket_phi(bucket) == pytest.approx(0.0)
+
+    def test_unbalanced_bucket_has_positive_phi(self):
+        bucket = SubBucketedBucket(0.0, 10.0, 40.0, 10.0)
+        assert bucket_phi(bucket) > 0.0
+        assert bucket_phi(bucket, "absolute") > 0.0
+
+    def test_merge_never_decreases_phi(self):
+        first = SubBucketedBucket(0.0, 10.0, 30.0, 10.0)
+        second = SubBucketedBucket(10.0, 20.0, 5.0, 45.0)
+        for metric in ("variance", "absolute"):
+            combined = merged_phi(first, second, metric)
+            separate = bucket_phi(first, metric) + bucket_phi(second, metric)
+            assert combined >= separate - 1e-9
+
+    def test_merging_similar_buckets_is_cheap(self):
+        similar_a = SubBucketedBucket(0.0, 10.0, 20.0, 20.0)
+        similar_b = SubBucketedBucket(10.0, 20.0, 20.0, 20.0)
+        different = SubBucketedBucket(10.0, 20.0, 200.0, 200.0)
+        assert merged_phi(similar_a, similar_b) < merged_phi(similar_a, different)
+
+
+class TestMergeOperation:
+    def test_merge_preserves_count_and_range(self):
+        first = SubBucketedBucket(0.0, 10.0, 30.0, 10.0)
+        second = SubBucketedBucket(10.0, 18.0, 5.0, 45.0)
+        merged = merge_sub_buckets(first, second)
+        assert merged.left == 0.0
+        assert merged.right == 18.0
+        assert merged.count == pytest.approx(90.0)
+
+    def test_merge_is_order_insensitive(self):
+        first = SubBucketedBucket(0.0, 10.0, 30.0, 10.0)
+        second = SubBucketedBucket(10.0, 18.0, 5.0, 45.0)
+        assert merge_sub_buckets(first, second) == merge_sub_buckets(second, first)
+
+    def test_merge_with_point_mass(self):
+        point = SubBucketedBucket(20.0, 20.0, 7.0, 0.0)
+        regular = SubBucketedBucket(0.0, 10.0, 4.0, 4.0)
+        merged = merge_sub_buckets(regular, point)
+        assert merged.count == pytest.approx(15.0)
+        assert merged.right == 20.0
+
+    def test_overlapping_buckets_rejected(self):
+        first = SubBucketedBucket(0.0, 10.0, 1.0, 1.0)
+        second = SubBucketedBucket(5.0, 15.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            merge_sub_buckets(first, second)
+
+
+class TestSplitOperation:
+    def test_split_halves_have_zero_phi(self):
+        bucket = SubBucketedBucket(0.0, 10.0, 30.0, 10.0)
+        left, right = split_bucket(bucket)
+        assert bucket_phi(left) == pytest.approx(0.0)
+        assert bucket_phi(right) == pytest.approx(0.0)
+
+    def test_split_preserves_count_and_borders(self):
+        bucket = SubBucketedBucket(0.0, 10.0, 30.0, 10.0)
+        left, right = split_bucket(bucket)
+        assert left.count + right.count == pytest.approx(40.0)
+        assert left.left == 0.0
+        assert left.right == 5.0
+        assert right.left == 5.0
+        assert right.right == 10.0
+
+    def test_point_mass_cannot_be_split(self):
+        with pytest.raises(ConfigurationError):
+            split_bucket(SubBucketedBucket(3.0, 3.0, 5.0, 0.0))

@@ -1,0 +1,159 @@
+"""Unit tests for the Dynamic Compressed (DC) histogram (Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro import DataDistribution, DCHistogram, ks_statistic
+from repro.exceptions import ConfigurationError, DeletionError
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DCHistogram(0)
+        with pytest.raises(ConfigurationError):
+            DCHistogram(10, alpha_min=2.0)
+        with pytest.raises(ConfigurationError):
+            DCHistogram(10, value_unit=0.0)
+
+    def test_accessors(self):
+        histogram = DCHistogram(16, alpha_min=1e-4)
+        assert histogram.bucket_budget == 16
+        assert histogram.alpha_min == 1e-4
+        assert histogram.repartition_count == 0
+        assert histogram.is_loading
+
+
+class TestLoadingPhase:
+    def test_loading_buffers_distinct_points(self):
+        histogram = DCHistogram(8)
+        for value in [5, 5, 5, 7]:
+            histogram.insert(value)
+        assert histogram.is_loading
+        assert histogram.total_count == 4
+        assert histogram.bucket_count == 2  # point masses while loading
+
+    def test_loading_ends_at_budget_distinct_values(self):
+        histogram = DCHistogram(8)
+        for value in range(8):
+            histogram.insert(value)
+        assert not histogram.is_loading
+        assert histogram.total_count == pytest.approx(8)
+
+    def test_delete_during_loading(self):
+        histogram = DCHistogram(8)
+        histogram.insert(5)
+        histogram.insert(5)
+        histogram.delete(5)
+        assert histogram.total_count == 1
+        histogram.delete(5)
+        with pytest.raises(DeletionError):
+            histogram.delete(5)
+
+
+class TestInsertions:
+    def test_count_is_conserved(self, uniform_values):
+        histogram = DCHistogram(32)
+        for value in uniform_values:
+            histogram.insert(float(value))
+        assert histogram.total_count == pytest.approx(len(uniform_values), rel=1e-9)
+
+    def test_out_of_range_values_extend_end_buckets(self):
+        histogram = DCHistogram(4)
+        for value in [10, 20, 30, 40]:
+            histogram.insert(value)
+        histogram.insert(5)
+        histogram.insert(100)
+        assert histogram.min_value <= 5
+        assert histogram.max_value >= 100
+        assert histogram.total_count == pytest.approx(6)
+
+    def test_repartitioning_occurs_under_skewed_load(self, rng):
+        histogram = DCHistogram(16, alpha_min=1e-6)
+        values = np.concatenate(
+            [np.arange(16), rng.integers(3, 5, size=3000)]  # hammer a narrow region
+        )
+        for value in values:
+            histogram.insert(float(value))
+        assert histogram.repartition_count > 0
+        assert histogram.total_count == pytest.approx(len(values), rel=1e-6)
+
+    def test_repartitioning_keeps_regular_counts_balanced(self, rng):
+        histogram = DCHistogram(16, alpha_min=1e-3)
+        values = rng.integers(0, 50, size=4000)
+        for value in values:
+            histogram.insert(float(value))
+        buckets = histogram.buckets()
+        regular_counts = [b.count for b in buckets if not b.is_point_mass and b.count > 0]
+        # After (possibly many) repartitions the spread of regular counts must
+        # stay well below the total count.
+        assert max(regular_counts) - min(regular_counts) < histogram.total_count / 2
+
+    def test_lower_alpha_min_means_fewer_repartitions(self, rng):
+        values = rng.integers(0, 80, size=4000)
+        eager = DCHistogram(16, alpha_min=1e-2)
+        lazy = DCHistogram(16, alpha_min=1e-12)
+        for value in values:
+            eager.insert(float(value))
+            lazy.insert(float(value))
+        assert lazy.repartition_count <= eager.repartition_count
+
+    def test_accuracy_on_uniform_data(self, uniform_values):
+        histogram = DCHistogram(64)
+        truth = DataDistribution()
+        for value in uniform_values:
+            histogram.insert(float(value))
+            truth.add(float(value))
+        assert ks_statistic(truth, histogram, value_unit=1.0) < 0.05
+
+
+class TestSingularBuckets:
+    def test_heavy_value_becomes_singular(self, rng):
+        histogram = DCHistogram(16)
+        background = rng.integers(0, 100, size=2000)
+        heavy = np.full(1500, 42)
+        for value in np.concatenate([background, heavy]):
+            histogram.insert(float(value))
+        assert histogram.singular_value_count >= 1
+        singular_values = [b.left for b in histogram.buckets() if b.is_point_mass]
+        assert 42.0 in singular_values
+
+    def test_estimate_of_heavy_value_is_accurate(self, rng):
+        histogram = DCHistogram(16)
+        background = rng.integers(0, 100, size=2000)
+        heavy = np.full(1500, 42)
+        truth = DataDistribution()
+        for value in np.concatenate([background, heavy]):
+            histogram.insert(float(value))
+            truth.add(float(value))
+        estimated = histogram.estimate_equal(42.0)
+        assert estimated == pytest.approx(truth.frequency(42.0), rel=0.35)
+
+
+class TestDeletions:
+    def test_delete_reverses_insert(self, uniform_values):
+        histogram = DCHistogram(32)
+        for value in uniform_values:
+            histogram.insert(float(value))
+        for value in uniform_values[:500]:
+            histogram.delete(float(value))
+        assert histogram.total_count == pytest.approx(len(uniform_values) - 500, rel=1e-9)
+
+    def test_delete_from_empty_histogram_raises(self):
+        histogram = DCHistogram(4)
+        for value in [1, 2, 3, 4]:
+            histogram.insert(value)
+        for value in [1, 2, 3, 4]:
+            histogram.delete(value)
+        with pytest.raises(DeletionError):
+            histogram.delete(1)
+
+    def test_delete_spills_to_closest_bucket(self):
+        histogram = DCHistogram(4)
+        for value in [10, 20, 30, 40]:
+            histogram.insert(value)
+        # Bucket around 40 has a single point; delete it twice -- the second
+        # delete must spill to a neighbouring bucket instead of failing.
+        histogram.delete(40)
+        histogram.delete(40)
+        assert histogram.total_count == pytest.approx(2)

@@ -1,0 +1,171 @@
+"""Unit tests for the DVO and DADO dynamic histograms (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro import DADOHistogram, DataDistribution, DVOHistogram, ks_statistic
+from repro.core.deviation import DeviationMetric
+from repro.exceptions import ConfigurationError, DeletionError
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DVOHistogram(0)
+        with pytest.raises(ConfigurationError):
+            DVOHistogram(8, sub_buckets=0)
+        with pytest.raises(ConfigurationError):
+            DVOHistogram(8, value_unit=-1.0)
+        with pytest.raises(ConfigurationError):
+            DVOHistogram(8, repartition_threshold=1.0)
+
+    def test_metrics(self):
+        assert DVOHistogram.metric is DeviationMetric.VARIANCE
+        assert DADOHistogram.metric is DeviationMetric.ABSOLUTE
+
+    def test_accessors(self):
+        histogram = DADOHistogram(12, sub_buckets=3)
+        assert histogram.bucket_budget == 12
+        assert histogram.sub_bucket_count == 3
+        assert histogram.is_loading
+
+
+class TestLoadingAndBootstrap:
+    def test_bootstrap_happens_after_budget_distinct_values(self):
+        histogram = DADOHistogram(5)
+        for value in [10, 20, 30, 40, 50]:
+            histogram.insert(value)
+        assert histogram.is_loading
+        histogram.insert(60)
+        assert not histogram.is_loading
+        assert histogram.total_count == pytest.approx(6)
+
+    def test_buckets_available_during_loading(self):
+        histogram = DADOHistogram(5)
+        histogram.insert(10)
+        histogram.insert(10)
+        assert histogram.total_count == 2
+        assert histogram.bucket_count == 1
+
+    def test_sub_bucketed_view_requires_two_sub_buckets(self):
+        histogram = DADOHistogram(4, sub_buckets=3)
+        for value in range(6):
+            histogram.insert(value)
+        with pytest.raises(ConfigurationError):
+            histogram.sub_bucketed_buckets()
+
+    def test_sub_bucketed_view(self):
+        histogram = DADOHistogram(4)
+        for value in [0, 10, 20, 30, 40, 40]:
+            histogram.insert(value)
+        views = histogram.sub_bucketed_buckets()
+        assert len(views) == len(histogram.buckets()) / 2 or len(views) >= 1
+        assert sum(view.count for view in views) == pytest.approx(histogram.total_count)
+
+
+class TestInsertions:
+    @pytest.mark.parametrize("histogram_class", [DVOHistogram, DADOHistogram])
+    def test_count_is_conserved(self, histogram_class, uniform_values):
+        histogram = histogram_class(24)
+        for value in uniform_values:
+            histogram.insert(float(value))
+        assert histogram.total_count == pytest.approx(len(uniform_values), rel=1e-9)
+
+    def test_bucket_budget_is_respected(self, uniform_values):
+        histogram = DADOHistogram(16)
+        for value in uniform_values:
+            histogram.insert(float(value))
+        # Each bucket is exposed as its sub-bucket segments.
+        assert len(histogram.buckets()) <= 16 * histogram.sub_bucket_count
+
+    def test_out_of_range_points_are_absorbed(self):
+        histogram = DADOHistogram(6)
+        for value in [10, 20, 30, 40, 50, 60, 70]:
+            histogram.insert(value)
+        histogram.insert(500.0)
+        histogram.insert(-100.0)
+        assert histogram.total_count == pytest.approx(9)
+        assert histogram.min_value <= -100.0
+        assert histogram.max_value >= 500.0
+
+    def test_repartitioning_happens_on_skewed_data(self, rng):
+        histogram = DADOHistogram(16)
+        values = np.concatenate([np.arange(0, 170, 10), rng.integers(40, 45, size=2000)])
+        for value in values:
+            histogram.insert(float(value))
+        assert histogram.repartition_count > 0
+
+    def test_accuracy_beats_naive_wide_buckets(self, rng):
+        # A strongly clustered distribution: DADO must place narrow buckets on
+        # the clusters and achieve a small KS statistic.
+        centers = rng.choice(np.arange(0, 1000, 50), size=4000)
+        noise = rng.integers(-2, 3, size=4000)
+        values = np.clip(centers + noise, 0, 1000)
+        histogram = DADOHistogram(40)
+        truth = DataDistribution()
+        for value in values:
+            histogram.insert(float(value))
+            truth.add(float(value))
+        assert ks_statistic(truth, histogram, value_unit=1.0) < 0.08
+
+    def test_dado_tracks_dvo_or_better_on_skewed_stream(self, small_values):
+        dado = DADOHistogram(32)
+        dvo = DVOHistogram(32)
+        truth = DataDistribution()
+        for value in small_values:
+            dado.insert(float(value))
+            dvo.insert(float(value))
+            truth.add(float(value))
+        ks_dado = ks_statistic(truth, dado, value_unit=1.0)
+        ks_dvo = ks_statistic(truth, dvo, value_unit=1.0)
+        # The paper's headline: absolute deviations are more robust on streams.
+        assert ks_dado <= ks_dvo * 1.5
+
+
+class TestDeletions:
+    def test_delete_reverses_insert(self, uniform_values):
+        histogram = DADOHistogram(24)
+        for value in uniform_values:
+            histogram.insert(float(value))
+        for value in uniform_values[:400]:
+            histogram.delete(float(value))
+        assert histogram.total_count == pytest.approx(len(uniform_values) - 400, rel=1e-9)
+
+    def test_delete_during_loading(self):
+        histogram = DADOHistogram(8)
+        histogram.insert(3)
+        histogram.delete(3)
+        assert histogram.total_count == 0
+        with pytest.raises(DeletionError):
+            histogram.delete(3)
+
+    def test_delete_spills_to_closest_bucket(self):
+        histogram = DADOHistogram(4)
+        for value in [10, 20, 30, 40, 50]:
+            histogram.insert(value)
+        # Delete more copies of 50 than were inserted into its bucket; the
+        # spill policy must keep the total consistent rather than failing.
+        histogram.delete(50)
+        histogram.delete(50)
+        assert histogram.total_count == pytest.approx(3)
+
+    def test_delete_from_exhausted_histogram_raises(self):
+        histogram = DADOHistogram(3)
+        for value in [1, 2, 3, 4]:
+            histogram.insert(value)
+        for value in [1, 2, 3, 4]:
+            histogram.delete(value)
+        with pytest.raises(DeletionError):
+            histogram.delete(1)
+
+
+class TestSubBucketAblation:
+    @pytest.mark.parametrize("sub_buckets", [2, 3, 4])
+    def test_all_sub_bucket_counts_work(self, sub_buckets, uniform_values):
+        histogram = DADOHistogram(16, sub_buckets=sub_buckets)
+        truth = DataDistribution()
+        for value in uniform_values:
+            histogram.insert(float(value))
+            truth.add(float(value))
+        assert histogram.total_count == pytest.approx(len(uniform_values), rel=1e-9)
+        assert ks_statistic(truth, histogram, value_unit=1.0) < 0.2

@@ -1,0 +1,84 @@
+"""Unit tests for the histogram factories."""
+
+import pytest
+
+from repro import (
+    ApproximateCompressedHistogram,
+    CompressedHistogram,
+    DADOHistogram,
+    DCHistogram,
+    DVOHistogram,
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    ExactHistogram,
+    MemoryModel,
+    SADOHistogram,
+    SSBMHistogram,
+    VOptimalHistogram,
+    build_dynamic_histogram,
+    build_static_histogram,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestDynamicFactory:
+    @pytest.mark.parametrize(
+        "kind, expected_class",
+        [
+            ("dc", DCHistogram),
+            ("dvo", DVOHistogram),
+            ("dado", DADOHistogram),
+            ("ac", ApproximateCompressedHistogram),
+        ],
+    )
+    def test_builds_expected_class(self, kind, expected_class):
+        histogram = build_dynamic_histogram(kind, 1.0)
+        assert isinstance(histogram, expected_class)
+
+    def test_memory_budgets_match_memory_model(self):
+        model = MemoryModel()
+        assert build_dynamic_histogram("dc", 1.0).bucket_budget == model.buckets_for_kb("dc", 1.0)
+        assert build_dynamic_histogram("dado", 1.0).bucket_budget == model.buckets_for_kb(
+            "dado", 1.0
+        )
+
+    def test_ac_disk_factor_controls_sample_size(self):
+        small = build_dynamic_histogram("ac", 1.0, disk_factor=5.0)
+        large = build_dynamic_histogram("ac", 1.0, disk_factor=40.0)
+        assert large.backing_sample.capacity == 8 * small.backing_sample.capacity
+
+    def test_case_insensitive(self):
+        assert isinstance(build_dynamic_histogram("DADO", 1.0), DADOHistogram)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_dynamic_histogram("equi_width", 1.0)
+
+
+class TestStaticFactory:
+    @pytest.mark.parametrize(
+        "kind, expected_class",
+        [
+            ("equi_width", EquiWidthHistogram),
+            ("equi_depth", EquiDepthHistogram),
+            ("sc", CompressedHistogram),
+            ("compressed", CompressedHistogram),
+            ("svo", VOptimalHistogram),
+            ("sado", SADOHistogram),
+            ("ssbm", SSBMHistogram),
+            ("exact", ExactHistogram),
+        ],
+    )
+    def test_builds_expected_class(self, kind, expected_class, skewed_distribution):
+        histogram = build_static_histogram(kind, skewed_distribution, 0.05)
+        assert isinstance(histogram, expected_class)
+        assert histogram.total_count == pytest.approx(skewed_distribution.total_count)
+
+    def test_memory_controls_bucket_count(self, small_distribution):
+        small = build_static_histogram("ssbm", small_distribution, 0.1)
+        large = build_static_histogram("ssbm", small_distribution, 0.5)
+        assert large.bucket_count > small.bucket_count
+
+    def test_unknown_kind_rejected(self, skewed_distribution):
+        with pytest.raises(ConfigurationError):
+            build_static_histogram("dado", skewed_distribution, 1.0)

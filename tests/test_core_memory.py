@@ -1,0 +1,76 @@
+"""Unit tests for the memory model (Sections 3.1 and 4.4)."""
+
+import pytest
+
+from repro import MemoryModel, buckets_for_memory
+from repro.exceptions import ConfigurationError
+
+
+class TestBucketBudgets:
+    def test_paper_1kb_budgets(self):
+        model = MemoryModel()
+        # (n + 1) * 4 + n * 4 <= 1024  =>  n = 127 for single-counter buckets.
+        assert model.buckets_for_kb("dc", 1.0) == 127
+        assert model.buckets_for_kb("sc", 1.0) == 127
+        # (n + 1) * 4 + 2n * 4 <= 1024  =>  n = 85 for DADO / DVO buckets.
+        assert model.buckets_for_kb("dado", 1.0) == 85
+        assert model.buckets_for_kb("dvo", 1.0) == 85
+
+    def test_dado_buckets_cost_more_than_dc_buckets(self):
+        model = MemoryModel()
+        for memory_kb in (0.14, 0.5, 1.0, 4.0):
+            assert model.buckets_for_kb("dado", memory_kb) < model.buckets_for_kb("dc", memory_kb)
+
+    def test_bytes_round_trip(self):
+        model = MemoryModel()
+        for kind in ("dc", "dado"):
+            n_buckets = model.buckets_for_kb(kind, 1.0)
+            used = model.bytes_for_buckets(kind, n_buckets)
+            assert used <= 1024
+            assert model.bytes_for_buckets(kind, n_buckets + 1) > 1024
+
+    def test_case_insensitive_kinds(self):
+        model = MemoryModel()
+        assert model.buckets_for_kb("DC", 1.0) == model.buckets_for_kb("dc", 1.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel().buckets_for_kb("tdigest", 1.0)
+
+    def test_too_small_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel().buckets_for_kb("dc", 0.005)
+
+    def test_non_positive_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel().buckets_for_kb("dc", 0.0)
+
+    def test_module_level_helper(self):
+        assert buckets_for_memory("dc", 1.0) == 127
+
+
+class TestBackingSampleBudget:
+    def test_paper_default_20x(self):
+        model = MemoryModel()
+        # 20 KB of disk at 4 bytes per value = 5120 sampled tuples.
+        assert model.backing_sample_size(1.0, 20.0) == 5120
+
+    def test_scales_linearly_with_factor(self):
+        model = MemoryModel()
+        assert model.backing_sample_size(1.0, 40.0) == 2 * model.backing_sample_size(1.0, 20.0)
+
+    def test_too_small_disk_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel().backing_sample_size(0.0005, 1.0)
+
+
+class TestModelValidation:
+    def test_invalid_byte_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModel(bytes_per_border=0)
+        with pytest.raises(ConfigurationError):
+            MemoryModel(bytes_per_counter=-4)
+
+    def test_custom_byte_sizes(self):
+        wide = MemoryModel(bytes_per_border=8, bytes_per_counter=8)
+        assert wide.buckets_for_kb("dc", 1.0) < MemoryModel().buckets_for_kb("dc", 1.0)

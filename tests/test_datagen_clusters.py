@@ -1,0 +1,108 @@
+"""Unit tests for the cluster-based synthetic distribution generator (Section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterDistributionConfig, generate_cluster_values
+from repro.datagen.clusters import generate_cluster_distribution
+from repro.exceptions import ConfigurationError
+
+
+class TestConfigValidation:
+    def test_defaults_match_paper_reference(self):
+        config = ClusterDistributionConfig()
+        assert config.n_points == 100_000
+        assert config.n_clusters == 2000
+        assert config.domain == (0, 5000)
+        assert config.shape == "normal"
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterDistributionConfig(shape="triangular")
+
+    def test_invalid_correlation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterDistributionConfig(correlation="sideways")
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterDistributionConfig(domain=(10, 10))
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterDistributionConfig(center_skew=-1.0)
+
+    def test_with_seed_and_scaled(self):
+        config = ClusterDistributionConfig(n_points=1000, n_clusters=100)
+        reseeded = config.with_seed(42)
+        assert reseeded.seed == 42
+        assert reseeded.n_points == 1000
+        scaled = config.scaled(0.1)
+        assert scaled.n_points == 100
+        assert scaled.n_clusters == 10
+        with pytest.raises(ConfigurationError):
+            config.scaled(0.0)
+
+
+class TestGeneration:
+    def test_point_count_and_domain(self, small_cluster_config):
+        values = generate_cluster_values(small_cluster_config)
+        assert len(values) == small_cluster_config.n_points
+        assert values.min() >= small_cluster_config.domain_low
+        assert values.max() <= small_cluster_config.domain_high
+        assert values.dtype.kind in "iu"
+
+    def test_determinism_per_seed(self, small_cluster_config):
+        first = generate_cluster_values(small_cluster_config)
+        second = generate_cluster_values(small_cluster_config)
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_seeds_differ(self, small_cluster_config):
+        other = generate_cluster_values(small_cluster_config.with_seed(99))
+        base = generate_cluster_values(small_cluster_config)
+        assert not np.array_equal(base, other)
+
+    def test_zero_sd_collapses_clusters(self):
+        config = ClusterDistributionConfig(
+            n_points=500, n_clusters=5, cluster_sd=0.0, domain=(0, 100), seed=1
+        )
+        values = generate_cluster_values(config)
+        assert len(np.unique(values)) <= 5
+
+    def test_skew_concentrates_points(self):
+        flat = ClusterDistributionConfig(
+            n_points=5000, n_clusters=50, size_skew=0.0, domain=(0, 1000), seed=4
+        )
+        steep = ClusterDistributionConfig(
+            n_points=5000, n_clusters=50, size_skew=2.5, domain=(0, 1000), seed=4
+        )
+        flat_max = np.bincount(generate_cluster_values(flat)).max()
+        steep_max = np.bincount(generate_cluster_values(steep)).max()
+        assert steep_max > flat_max
+
+    @pytest.mark.parametrize("shape", ["normal", "uniform", "exponential"])
+    def test_all_shapes_generate(self, shape):
+        config = ClusterDistributionConfig(
+            n_points=800, n_clusters=10, shape=shape, domain=(0, 500), seed=2
+        )
+        values = generate_cluster_values(config)
+        assert len(values) == 800
+
+    @pytest.mark.parametrize("correlation", ["none", "positive", "negative"])
+    def test_all_correlations_generate(self, correlation):
+        config = ClusterDistributionConfig(
+            n_points=800, n_clusters=10, correlation=correlation, domain=(0, 500), seed=2
+        )
+        assert len(generate_cluster_values(config)) == 800
+
+    def test_single_cluster(self):
+        config = ClusterDistributionConfig(
+            n_points=300, n_clusters=1, cluster_sd=1.0, domain=(0, 100), seed=5
+        )
+        values = generate_cluster_values(config)
+        assert len(values) == 300
+        assert values.std() < 5
+
+    def test_distribution_wrapper(self, small_cluster_config):
+        dist = generate_cluster_distribution(small_cluster_config)
+        assert dist.total_count == small_cluster_config.n_points

@@ -1,0 +1,87 @@
+"""Unit tests for the mail-order trace substitute and the reference configurations."""
+
+import numpy as np
+import pytest
+
+from repro import MailOrderConfig, generate_mail_order_values, reference_config, static_comparison_config
+from repro.datagen.mailorder import generate_mail_order_distribution
+from repro.datagen.reference import (
+    PAPER_DOMAIN,
+    PAPER_NUM_POINTS,
+    distributed_site_config,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestMailOrderConfig:
+    def test_defaults_match_paper_trace_size(self):
+        assert MailOrderConfig().n_records == 61_105
+        assert MailOrderConfig().max_amount == 500.0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            MailOrderConfig(spike_fraction=0.9, tail_fraction=0.2)
+        with pytest.raises(ConfigurationError):
+            MailOrderConfig(body_median=600.0)
+        with pytest.raises(ConfigurationError):
+            MailOrderConfig(body_sigma=0.0)
+
+
+class TestMailOrderGeneration:
+    def test_record_count_and_domain(self):
+        config = MailOrderConfig(n_records=5000, seed=1)
+        values = generate_mail_order_values(config)
+        assert len(values) == 5000
+        assert values.min() >= 0.0
+        assert values.max() <= config.max_amount
+
+    def test_values_are_cent_precision(self):
+        values = generate_mail_order_values(MailOrderConfig(n_records=2000, seed=2))
+        np.testing.assert_allclose(values, np.round(values, 2))
+
+    def test_distribution_is_spiky(self):
+        dist = generate_mail_order_distribution(MailOrderConfig(n_records=20_000, seed=3))
+        frequencies = dist.frequencies
+        # The synthetic trace must have pronounced point masses (spikes): the
+        # most popular price point should carry far more than a uniform share.
+        assert frequencies.max() > 20 * frequencies.mean()
+
+    def test_determinism(self):
+        config = MailOrderConfig(n_records=3000, seed=9)
+        np.testing.assert_array_equal(
+            generate_mail_order_values(config), generate_mail_order_values(config)
+        )
+
+
+class TestReferenceConfigs:
+    def test_reference_defaults(self):
+        config = reference_config()
+        assert config.n_points == PAPER_NUM_POINTS
+        assert config.domain == PAPER_DOMAIN
+        assert config.n_clusters == 2000
+        assert config.center_skew == 1.0
+        assert config.cluster_sd == 2.0
+
+    def test_reference_scaling(self):
+        config = reference_config(scale=0.1)
+        assert config.n_points == 10_000
+        assert config.n_clusters == 200
+        assert config.domain == PAPER_DOMAIN
+
+    def test_static_comparison_defaults(self):
+        config = static_comparison_config()
+        assert config.n_clusters == 50
+        assert config.cluster_sd == 1.0
+
+    def test_static_comparison_scaling_keeps_cluster_count(self):
+        config = static_comparison_config(scale=0.05)
+        assert config.n_clusters == 50
+        assert config.n_points == 5000
+
+    def test_distributed_site_config(self):
+        config = distributed_site_config(
+            n_points=1000, intrasite_skew=1.5, domain=(100, 300), seed=3
+        )
+        assert config.n_points == 1000
+        assert config.size_skew == 1.5
+        assert config.domain == (100, 300)

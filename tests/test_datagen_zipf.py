@@ -1,0 +1,87 @@
+"""Unit tests for the Zipf-law utilities."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.zipf import sample_zipf, zipf_counts, zipf_gaps, zipf_weights
+from repro.exceptions import ConfigurationError
+
+
+class TestZipfWeights:
+    def test_weights_sum_to_one(self):
+        for skew in (0.0, 0.5, 1.0, 3.0):
+            assert zipf_weights(25, skew).sum() == pytest.approx(1.0)
+
+    def test_zero_skew_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        np.testing.assert_allclose(weights, np.full(10, 0.1))
+
+    def test_weights_are_decreasing_for_positive_skew(self):
+        weights = zipf_weights(20, 1.5)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_higher_skew_concentrates_more_mass(self):
+        mild = zipf_weights(50, 0.5)
+        steep = zipf_weights(50, 2.5)
+        assert steep[0] > mild[0]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            zipf_weights(5, -0.1)
+
+
+class TestZipfCounts:
+    def test_counts_sum_exactly_to_total(self):
+        for total in (0, 1, 97, 10_000):
+            counts = zipf_counts(total, 13, 1.0)
+            assert counts.sum() == total
+            assert np.all(counts >= 0)
+
+    def test_counts_follow_weight_order(self):
+        counts = zipf_counts(5000, 10, 1.2)
+        assert counts[0] == counts.max()
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_counts(-1, 5, 1.0)
+
+
+class TestSampleZipf:
+    def test_sample_shape_and_range(self, rng):
+        samples = sample_zipf(rng, 500, 8, 1.0)
+        assert samples.shape == (500,)
+        assert samples.min() >= 0
+        assert samples.max() < 8
+
+    def test_zero_samples(self, rng):
+        assert sample_zipf(rng, 0, 8, 1.0).shape == (0,)
+
+    def test_negative_samples_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_zipf(rng, -1, 8, 1.0)
+
+    def test_skew_shifts_mass_to_low_ranks(self, rng):
+        samples = sample_zipf(rng, 5000, 10, 2.0)
+        counts = np.bincount(samples, minlength=10)
+        assert counts[0] > counts[-1]
+
+
+class TestZipfGaps:
+    def test_gaps_cover_the_span(self, rng):
+        gaps = zipf_gaps(rng, 12, 1.0, 100.0)
+        assert gaps.sum() == pytest.approx(100.0)
+        assert np.all(gaps > 0)
+
+    def test_unshuffled_gaps_are_sorted(self):
+        gaps = zipf_gaps(None, 6, 1.0, 60.0, shuffle=False)
+        assert np.all(np.diff(gaps) < 0)
+
+    def test_shuffle_requires_rng(self):
+        with pytest.raises(ValueError):
+            zipf_gaps(None, 6, 1.0, 60.0, shuffle=True)
+
+    def test_invalid_span(self, rng):
+        with pytest.raises(ValueError):
+            zipf_gaps(rng, 6, 1.0, 0.0)

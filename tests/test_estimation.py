@@ -1,0 +1,102 @@
+"""Unit tests for predicates and the selectivity estimator."""
+
+import pytest
+
+from repro import (
+    Between,
+    DataDistribution,
+    EquiDepthHistogram,
+    Equals,
+    ExactHistogram,
+    SelectivityEstimator,
+)
+from repro.estimation import And, GreaterOrEqual, GreaterThan, LessOrEqual, LessThan
+from repro.exceptions import ConfigurationError
+
+
+class TestPredicates:
+    def test_equals(self):
+        predicate = Equals(5.0)
+        assert predicate.interval() == (5.0, 5.0)
+        assert predicate.matches(5.0)
+        assert not predicate.matches(5.1)
+
+    def test_between(self):
+        predicate = Between(2.0, 8.0)
+        assert predicate.matches(2.0)
+        assert predicate.matches(8.0)
+        assert not predicate.matches(8.1)
+        with pytest.raises(ConfigurationError):
+            Between(8.0, 2.0)
+
+    def test_one_sided_predicates(self):
+        assert LessOrEqual(4.0).matches(4.0)
+        assert not LessThan(4.0).matches(4.0)
+        assert GreaterOrEqual(4.0).matches(4.0)
+        assert not GreaterThan(4.0).matches(4.0)
+        low, high = LessThan(4.0).interval()
+        assert high < 4.0
+        low, high = GreaterThan(4.0).interval()
+        assert low > 4.0
+
+    def test_conjunction_intersects_intervals(self):
+        predicate = GreaterOrEqual(2.0) & LessOrEqual(10.0)
+        assert isinstance(predicate, And)
+        assert predicate.interval() == (2.0, 10.0)
+        assert predicate.matches(5.0)
+        assert not predicate.matches(11.0)
+
+    def test_empty_conjunction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            And([])
+
+
+class TestSelectivityEstimator:
+    @pytest.fixture
+    def truth(self):
+        return DataDistribution(list(range(100)) + [50] * 100)
+
+    def test_exact_histogram_estimates_are_exact(self, truth):
+        estimator = SelectivityEstimator(ExactHistogram.build(truth))
+        report = estimator.report(Between(20, 40), truth=truth)
+        assert report.estimated_count == pytest.approx(report.true_count)
+        assert report.relative_error == pytest.approx(0.0)
+
+    def test_equality_predicate_on_heavy_value(self, truth):
+        estimator = SelectivityEstimator(ExactHistogram.build(truth))
+        report = estimator.report(Equals(50.0), truth=truth)
+        assert report.true_count == 101
+        assert report.estimated_count == pytest.approx(101)
+
+    def test_open_range_clamped_to_domain(self, truth):
+        estimator = SelectivityEstimator(EquiDepthHistogram.build(truth, 10))
+        report = estimator.report(LessOrEqual(1000.0), truth=truth)
+        assert report.estimated_count == pytest.approx(truth.total_count, rel=0.01)
+        assert report.estimated_selectivity == pytest.approx(1.0, rel=0.01)
+
+    def test_range_outside_domain_is_zero(self, truth):
+        estimator = SelectivityEstimator(EquiDepthHistogram.build(truth, 10))
+        assert estimator.estimate_count(Between(500.0, 600.0)) == 0.0
+
+    def test_estimates_are_reasonable_for_equi_depth(self, truth):
+        estimator = SelectivityEstimator(EquiDepthHistogram.build(truth, 20))
+        report = estimator.report(Between(10, 30), truth=truth)
+        assert report.absolute_error is not None
+        assert report.absolute_error <= 0.2 * truth.total_count
+
+    def test_report_many(self, truth):
+        estimator = SelectivityEstimator(EquiDepthHistogram.build(truth, 10))
+        reports = estimator.report_many([Between(0, 10), Equals(50.0)], truth=truth)
+        assert len(reports) == 2
+        assert all(r.estimated_count >= 0 for r in reports)
+
+    def test_report_without_truth_has_no_errors(self, truth):
+        estimator = SelectivityEstimator(EquiDepthHistogram.build(truth, 10))
+        report = estimator.report(Between(0, 10))
+        assert report.true_count is None
+        assert report.absolute_error is None
+        assert report.relative_error is None
+
+    def test_invalid_value_unit(self, truth):
+        with pytest.raises(ValueError):
+            SelectivityEstimator(ExactHistogram.build(truth), value_unit=0.0)

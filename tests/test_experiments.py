@@ -1,0 +1,171 @@
+"""Unit tests for the experiment harness (settings, runner, reporting, figures)."""
+
+import pytest
+
+from repro import DADOHistogram, DataDistribution, ExperimentSettings, SweepResult
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    average_over_seeds,
+    build_truth,
+    checkpointed_ks,
+    final_ks,
+    format_sweep_table,
+    replay,
+    sweep_to_csv,
+)
+from repro.experiments import figures
+from repro.workloads import insertions_then_random_deletions, random_insertions
+
+#: Tiny settings so the figure smoke tests stay fast.
+TINY = ExperimentSettings(scale=0.01, n_runs=1, memory_kb=0.5)
+
+
+class TestExperimentSettings:
+    def test_defaults(self):
+        settings = ExperimentSettings()
+        assert 0 < settings.scale <= 1
+        assert settings.n_runs >= 1
+        assert settings.seeds == list(range(settings.base_seed, settings.base_seed + settings.n_runs))
+
+    def test_with_helpers(self):
+        settings = ExperimentSettings().with_scale(0.5).with_runs(7)
+        assert settings.scale == 0.5
+        assert settings.n_runs == 7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(scale=1.5)
+        with pytest.raises(ConfigurationError):
+            ExperimentSettings(n_runs=0)
+
+
+class TestSweepResult:
+    def test_series_length_validation(self):
+        with pytest.raises(ConfigurationError):
+            SweepResult("x", "p", [1, 2, 3], {"A": [0.1, 0.2]})
+
+    def test_row_and_best(self):
+        result = SweepResult("x", "p", [1, 2], {"A": [0.1, 0.3], "B": [0.2, 0.1]})
+        assert result.row(0) == {"A": 0.1, "B": 0.2}
+        assert result.best_algorithm(0) == "A"
+        assert result.best_algorithm(1) == "B"
+        assert result.mean("A") == pytest.approx(0.2)
+        assert result.algorithms == ["A", "B"]
+
+
+class TestRunner:
+    def test_replay_and_truth(self, uniform_values):
+        stream = random_insertions(uniform_values, seed=1)
+        histogram = DADOHistogram(16)
+        truth = DataDistribution()
+        replay(histogram, stream, truth=truth)
+        assert truth.total_count == len(uniform_values)
+        assert histogram.total_count == pytest.approx(len(uniform_values), rel=1e-9)
+
+    def test_build_truth_accounts_for_deletions(self, uniform_values):
+        stream = insertions_then_random_deletions(uniform_values, delete_fraction=0.5, seed=2)
+        truth = build_truth(stream)
+        assert truth.total_count == len(uniform_values) - stream.delete_count
+
+    def test_final_ks_bounded(self, uniform_values):
+        stream = random_insertions(uniform_values, seed=3)
+        assert 0.0 <= final_ks(DADOHistogram(16), stream) <= 1.0
+
+    def test_checkpointed_ks_is_ordered(self, uniform_values):
+        stream = random_insertions(uniform_values, seed=4)
+        checkpoints = checkpointed_ks(DADOHistogram(16), stream, [0.25, 0.5, 1.0])
+        assert [fraction for fraction, _ in checkpoints] == [0.25, 0.5, 1.0]
+        assert all(0.0 <= ks <= 1.0 for _, ks in checkpoints)
+
+    def test_checkpointed_ks_rejects_bad_fractions(self, uniform_values):
+        stream = random_insertions(uniform_values, seed=5)
+        with pytest.raises(ValueError):
+            checkpointed_ks(DADOHistogram(16), stream, [0.0, 0.5])
+
+    def test_average_over_seeds(self):
+        assert average_over_seeds(lambda seed: float(seed), [1, 2, 3]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            average_over_seeds(lambda seed: 0.0, [])
+
+
+class TestReporting:
+    def test_format_table_contains_all_series(self):
+        result = SweepResult("figX", "S", [0, 1], {"DADO": [0.1, 0.2], "DC": [0.3, 0.4]})
+        table = format_sweep_table(result)
+        assert "figX" in table
+        assert "DADO" in table and "DC" in table
+        assert "0.10000" in table
+
+    def test_csv_round_trip(self, tmp_path):
+        result = SweepResult("figX", "S", [0, 1], {"DADO": [0.1, 0.2]})
+        path = tmp_path / "out.csv"
+        text = sweep_to_csv(result, path=str(path))
+        assert path.read_text() == text
+        assert text.splitlines()[0] == "S,DADO"
+        assert len(text.splitlines()) == 3
+
+
+class TestFigureSmoke:
+    """Tiny-scale smoke runs of every figure experiment."""
+
+    def test_fig05_center_skew(self):
+        result = figures.fig05_center_skew(TINY, x_values=(0.0, 2.0))
+        assert set(result.series) == {"DC", "DADO", "AC", "DVO"}
+        assert len(result.x_values) == 2
+        assert all(0 <= v <= 1 for series in result.series.values() for v in series)
+
+    def test_fig08_memory(self):
+        result = figures.fig08_memory(TINY, x_values=(0.5, 1.0))
+        assert len(result.series["DADO"]) == 2
+
+    def test_fig09_static(self):
+        result = figures.fig09_static_center_skew(TINY, x_values=(1.0,))
+        assert set(result.series) == {"SADO", "SVO", "SC", "DADO", "SSBM"}
+
+    def test_fig13_times(self):
+        result = figures.fig13_construction_time(TINY, x_values=(0.1, 0.2))
+        assert result.y_label.startswith("execution time")
+        assert all(v >= 0 for series in result.series.values() for v in series)
+
+    def test_fig14_disk_space(self):
+        result = figures.fig14_ac_disk_space(TINY, x_values=(1.0,))
+        assert {"AC20X", "AC40X", "AC60X", "DADO", "SC"} <= set(result.series)
+
+    def test_fig15_sorted(self):
+        result = figures.fig15_sorted_insertions(TINY, x_values=(1.0,))
+        assert set(result.series) == {"DADO", "AC20X", "DC", "DVO"}
+
+    def test_fig16_fractions(self):
+        result = figures.fig16_precision_vs_inserted_fraction(TINY, fractions=(0.5, 1.0))
+        assert set(result.series) == {"DADO", "AC", "SC"}
+        assert len(result.x_values) == 2
+
+    def test_fig17_and_18_deletions(self):
+        for function in (figures.fig17_random_deletions, figures.fig18_deletions_after_sorted_inserts):
+            result = function(TINY, fractions=(0.0, 0.5))
+            assert set(result.series) == {"DADO", "AC"}
+
+    def test_fig19_mailorder(self):
+        result = figures.fig19_mail_order(TINY, x_values=(0.5,))
+        assert set(result.series) == {"AC", "DC", "DADO"}
+
+    def test_fig20_to_23_distributed(self):
+        for function in (
+            figures.fig20_distributed_memory,
+            figures.fig21_distributed_intrasite_skew,
+            figures.fig23_distributed_site_size_skew,
+        ):
+            result = function(TINY, x_values=(1.0,))
+            assert set(result.series) == {"histogram + union", "union + histogram"}
+        result = figures.fig22_distributed_site_count(TINY, x_values=(2,))
+        assert len(result.series["histogram + union"]) == 1
+
+    def test_ablations(self):
+        sub_buckets = figures.ablation_sub_buckets(TINY, x_values=(2, 3))
+        assert len(sub_buckets.series["DADO"]) == 2
+        alpha = figures.ablation_alpha_min(TINY, x_values=(1e-2, 1e-8))
+        assert len(alpha.series["DC"]) == 2
+        threshold = figures.ablation_repartition_threshold(TINY, x_values=(0.0, -5.0))
+        assert len(threshold.series["DADO"]) == 2

@@ -1,0 +1,189 @@
+"""Integration tests: end-to-end scenarios spanning several subsystems.
+
+These tests assert the paper's qualitative findings at a small scale: the
+relative ordering of algorithms, the stability of dynamic histograms under
+evolving data, and the equivalence of the distributed strategies.  They are
+deliberately generous in their thresholds -- the absolute numbers depend on the
+(scaled-down) data volume, the orderings should not.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ApproximateCompressedHistogram,
+    CompressedHistogram,
+    DADOHistogram,
+    DataDistribution,
+    DCHistogram,
+    DVOHistogram,
+    EquiWidthHistogram,
+    GlobalHistogramCoordinator,
+    MemoryModel,
+    SADOHistogram,
+    SelectivityEstimator,
+    SiteGenerationConfig,
+    SSBMHistogram,
+    VOptimalHistogram,
+    Between,
+    generate_cluster_values,
+    generate_sites,
+    ks_statistic,
+    reference_config,
+    random_insertions,
+    sorted_insertions,
+    insertions_then_random_deletions,
+)
+from repro.experiments import replay
+
+MEMORY = MemoryModel()
+MEMORY_KB = 1.0
+
+
+def _run_stream(histogram, stream):
+    truth = DataDistribution()
+    replay(histogram, stream, truth=truth)
+    return ks_statistic(truth, histogram, value_unit=1.0), truth
+
+
+@pytest.fixture(scope="module")
+def reference_values():
+    return generate_cluster_values(reference_config(scale=0.06, seed=11))
+
+
+@pytest.fixture(scope="module")
+def reference_stream(reference_values):
+    return random_insertions(reference_values, seed=11)
+
+
+class TestDynamicOrdering:
+    """The headline result: DADO is the most effective dynamic histogram."""
+
+    def test_dado_beats_ac_and_dvo(self, reference_values, reference_stream):
+        dado_ks, _ = _run_stream(
+            DADOHistogram(MEMORY.buckets_for_kb("dado", MEMORY_KB)), reference_stream
+        )
+        dvo_ks, _ = _run_stream(
+            DVOHistogram(MEMORY.buckets_for_kb("dvo", MEMORY_KB)), reference_stream
+        )
+        ac = ApproximateCompressedHistogram(
+            MEMORY.buckets_for_kb("ac", MEMORY_KB), 384, seed=11
+        )
+        ac_ks, _ = _run_stream(ac, reference_stream)
+        assert dado_ks < ac_ks
+        assert dado_ks <= dvo_ks + 0.005
+
+    def test_all_dynamic_histograms_are_reasonably_accurate(self, reference_stream):
+        for kind, histogram in (
+            ("dc", DCHistogram(MEMORY.buckets_for_kb("dc", MEMORY_KB))),
+            ("dado", DADOHistogram(MEMORY.buckets_for_kb("dado", MEMORY_KB))),
+        ):
+            ks, _ = _run_stream(histogram, reference_stream)
+            assert ks < 0.06, f"{kind} is far less accurate than expected"
+
+    def test_dado_close_to_static_compressed(self, reference_values, reference_stream):
+        dado_ks, truth = _run_stream(
+            DADOHistogram(MEMORY.buckets_for_kb("dado", MEMORY_KB)), reference_stream
+        )
+        static = CompressedHistogram.build(truth, MEMORY.buckets_for_kb("sc", MEMORY_KB))
+        static_ks = ks_statistic(truth, static, value_unit=1.0)
+        # Section 7.1: the dynamic DADO histogram comes close to its static
+        # counterparts; allow a generous factor at this reduced scale.
+        assert dado_ks <= 4 * static_ks + 0.01
+
+
+class TestStaticOrdering:
+    def test_vopt_family_beats_equi_width(self, reference_values):
+        truth = DataDistribution(reference_values)
+        budget = MEMORY.buckets_for_kb("sc", 0.25)
+        equi_width_ks = ks_statistic(
+            truth, EquiWidthHistogram.build(truth, budget), value_unit=1.0
+        )
+        for cls in (SSBMHistogram, CompressedHistogram):
+            assert ks_statistic(truth, cls.build(truth, budget), value_unit=1.0) <= equi_width_ks
+
+    def test_ssbm_matches_svo_quality_but_is_cheaper(self):
+        config = reference_config(n_clusters=200, scale=0.03, seed=5)
+        truth = DataDistribution(generate_cluster_values(config))
+        budget = 20
+        import time
+
+        start = time.perf_counter()
+        svo = VOptimalHistogram.build(truth, budget)
+        svo_time = time.perf_counter() - start
+        start = time.perf_counter()
+        ssbm = SSBMHistogram.build(truth, budget)
+        ssbm_time = time.perf_counter() - start
+
+        svo_ks = ks_statistic(truth, svo, value_unit=1.0)
+        ssbm_ks = ks_statistic(truth, ssbm, value_unit=1.0)
+        assert ssbm_ks <= 3 * svo_ks + 0.01
+        assert ssbm_time < svo_time
+
+    def test_static_sado_and_svo_agree(self, reference_values):
+        truth = DataDistribution(np.asarray(reference_values)[:3000])
+        sado = ks_statistic(truth, SADOHistogram.build(truth, 20), value_unit=1.0)
+        svo = ks_statistic(truth, VOptimalHistogram.build(truth, 20), value_unit=1.0)
+        assert abs(sado - svo) < 0.03
+
+
+class TestEvolvingData:
+    def test_sorted_insertions_are_harder_but_survivable(self, reference_values):
+        random_ks, _ = _run_stream(
+            DADOHistogram(MEMORY.buckets_for_kb("dado", MEMORY_KB)),
+            random_insertions(reference_values, seed=1),
+        )
+        sorted_ks, _ = _run_stream(
+            DADOHistogram(MEMORY.buckets_for_kb("dado", MEMORY_KB)),
+            sorted_insertions(reference_values),
+        )
+        assert sorted_ks < 0.2
+        assert random_ks <= sorted_ks + 0.02
+
+    def test_error_stabilises_as_data_grows(self, reference_values):
+        histogram = DADOHistogram(MEMORY.buckets_for_kb("dado", MEMORY_KB))
+        truth = DataDistribution()
+        errors = []
+        ordered = np.sort(reference_values)
+        checkpoints = {len(ordered) // 4, len(ordered) // 2, len(ordered) - 1}
+        for index, value in enumerate(ordered):
+            histogram.insert(float(value))
+            truth.add(float(value))
+            if index in checkpoints:
+                errors.append(ks_statistic(truth, histogram, value_unit=1.0))
+        # The error at the end must not explode relative to the midway point.
+        assert errors[-1] <= 2.5 * max(errors[0], 0.01)
+
+    def test_deletions_do_not_break_accuracy(self, reference_values):
+        stream = insertions_then_random_deletions(
+            reference_values, delete_fraction=0.4, seed=3
+        )
+        histogram = DADOHistogram(MEMORY.buckets_for_kb("dado", MEMORY_KB))
+        ks, truth = _run_stream(histogram, stream)
+        assert truth.total_count == len(reference_values) - stream.delete_count
+        assert ks < 0.1
+
+
+class TestDistributedEquivalence:
+    def test_histogram_union_matches_union_histogram(self):
+        sites = generate_sites(
+            SiteGenerationConfig(n_sites=5, total_points=5000, intrasite_skew=1.0, seed=9)
+        )
+        coordinator = GlobalHistogramCoordinator(sites, 250.0 / 1024.0)
+        results = coordinator.evaluate()
+        assert abs(
+            results["histogram_then_union"] - results["union_then_histogram"]
+        ) < 0.08
+
+
+class TestSelectivityWorkflow:
+    def test_optimizer_style_usage(self, reference_values, reference_stream):
+        histogram = DADOHistogram(MEMORY.buckets_for_kb("dado", MEMORY_KB))
+        truth = DataDistribution()
+        replay(histogram, reference_stream, truth=truth)
+        estimator = SelectivityEstimator(histogram)
+        low, high = 1000.0, 2500.0
+        report = estimator.report(Between(low, high), truth=truth)
+        # The KS statistic bounds the selectivity error of any range predicate.
+        ks = ks_statistic(truth, histogram, value_unit=1.0)
+        assert abs(report.estimated_selectivity - report.true_selectivity) <= 2 * ks + 0.01

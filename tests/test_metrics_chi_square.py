@@ -1,0 +1,98 @@
+"""Unit tests for the chi-square statistic and probability function (Eq. 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import chi_square_probability, chi_square_statistic
+from repro.exceptions import ConfigurationError
+from repro.metrics.chi_square import (
+    chi_square_uniform_statistic,
+    regularized_gamma_p,
+    regularized_gamma_q,
+)
+
+
+class TestChiSquareStatistic:
+    def test_perfectly_uniform_counts_give_zero(self):
+        assert chi_square_statistic([5, 5, 5], [5, 5, 5]) == 0.0
+        assert chi_square_uniform_statistic([7, 7, 7, 7]) == 0.0
+
+    def test_known_value(self):
+        # ((6-5)^2 + (4-5)^2) / 5 = 0.4
+        assert chi_square_statistic([6, 4], [5, 5]) == pytest.approx(0.4)
+
+    def test_uniform_statistic_matches_explicit_expected(self):
+        counts = [10, 2, 6, 6]
+        expected = [6, 6, 6, 6]
+        assert chi_square_uniform_statistic(counts) == pytest.approx(
+            chi_square_statistic(counts, expected)
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            chi_square_statistic([1, 2], [1, 2, 3])
+
+    def test_zero_expected_categories_are_skipped(self):
+        assert chi_square_statistic([3, 1], [0, 1]) == pytest.approx(0.0)
+
+    def test_empty_counts(self):
+        assert chi_square_uniform_statistic([]) == 0.0
+
+
+class TestChiSquareProbability:
+    def test_zero_statistic_has_probability_one(self):
+        assert chi_square_probability(0.0, 5) == pytest.approx(1.0)
+
+    def test_probability_decreases_with_statistic(self):
+        probabilities = [chi_square_probability(x, 4) for x in (1.0, 4.0, 10.0, 30.0)]
+        assert all(b < a for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_probability_bounded(self):
+        for chi2 in (0.1, 1.0, 5.0, 50.0, 500.0):
+            for dof in (1, 3, 10, 100):
+                q = chi_square_probability(chi2, dof)
+                assert 0.0 <= q <= 1.0
+
+    def test_one_degree_of_freedom_matches_erfc(self):
+        # For dof = 1, Q(chi2) = erfc(sqrt(chi2 / 2)).
+        for chi2 in (0.5, 1.0, 2.0, 5.0, 10.0):
+            expected = math.erfc(math.sqrt(chi2 / 2.0))
+            assert chi_square_probability(chi2, 1) == pytest.approx(expected, rel=1e-9)
+
+    def test_two_degrees_of_freedom_matches_exponential(self):
+        # For dof = 2, Q(chi2) = exp(-chi2 / 2).
+        for chi2 in (0.5, 1.0, 3.0, 8.0):
+            assert chi_square_probability(chi2, 2) == pytest.approx(
+                math.exp(-chi2 / 2.0), rel=1e-9
+            )
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ConfigurationError):
+            chi_square_probability(1.0, 0)
+        with pytest.raises(ConfigurationError):
+            chi_square_probability(-1.0, 3)
+
+
+class TestRegularizedGamma:
+    def test_p_and_q_sum_to_one(self):
+        for a in (0.5, 1.0, 2.5, 10.0):
+            for x in (0.1, 1.0, 5.0, 20.0):
+                assert regularized_gamma_p(a, x) + regularized_gamma_q(a, x) == pytest.approx(
+                    1.0, abs=1e-9
+                )
+
+    def test_boundaries(self):
+        assert regularized_gamma_p(2.0, 0.0) == 0.0
+        assert regularized_gamma_q(2.0, 0.0) == 1.0
+
+    def test_monotonic_in_x(self):
+        values = [regularized_gamma_p(3.0, x) for x in np.linspace(0.1, 20, 25)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ConfigurationError):
+            regularized_gamma_p(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            regularized_gamma_q(1.0, -1.0)

@@ -1,0 +1,149 @@
+"""Unit tests for the exact DataDistribution representation."""
+
+import numpy as np
+import pytest
+
+from repro import DataDistribution
+from repro.exceptions import DeletionError, EmptyHistogramError
+
+
+class TestConstruction:
+    def test_empty_distribution(self):
+        dist = DataDistribution()
+        assert dist.total_count == 0
+        assert dist.distinct_count == 0
+        assert not dist
+        assert len(dist) == 0
+
+    def test_from_values_accumulates_duplicates(self):
+        dist = DataDistribution([1, 2, 2, 3, 3, 3])
+        assert dist.total_count == 6
+        assert dist.distinct_count == 3
+        assert dist.frequency(3) == 3
+        assert dist.frequency(99) == 0
+
+    def test_from_frequencies(self):
+        dist = DataDistribution.from_frequencies([(5, 2), (7, 4)])
+        assert dist.total_count == 6
+        assert dist.frequency(5) == 2
+        assert dist.frequency(7) == 4
+
+    def test_from_frequencies_ignores_zero_counts(self):
+        dist = DataDistribution.from_frequencies([(5, 0), (7, 1)])
+        assert dist.distinct_count == 1
+
+    def test_from_frequencies_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DataDistribution.from_frequencies([(5, -1)])
+
+    def test_copy_is_independent(self):
+        original = DataDistribution([1, 2, 3])
+        clone = original.copy()
+        clone.add(4)
+        assert original.total_count == 3
+        assert clone.total_count == 4
+        assert original == DataDistribution([1, 2, 3])
+
+
+class TestUpdates:
+    def test_add_and_remove_round_trip(self):
+        dist = DataDistribution()
+        dist.add(10, 3)
+        dist.remove(10, 2)
+        assert dist.frequency(10) == 1
+        dist.remove(10)
+        assert dist.frequency(10) == 0
+        assert 10 not in dist
+
+    def test_add_rejects_non_positive_count(self):
+        dist = DataDistribution()
+        with pytest.raises(ValueError):
+            dist.add(1, 0)
+
+    def test_remove_missing_value_raises(self):
+        dist = DataDistribution([1])
+        with pytest.raises(DeletionError):
+            dist.remove(2)
+
+    def test_remove_more_than_present_raises(self):
+        dist = DataDistribution([1, 1])
+        with pytest.raises(DeletionError):
+            dist.remove(1, 3)
+
+    def test_add_many(self):
+        dist = DataDistribution()
+        dist.add_many([1, 1, 2])
+        assert dist.total_count == 3
+        assert dist.frequency(1) == 2
+
+
+class TestAccessors:
+    def test_min_max(self):
+        dist = DataDistribution([5, 1, 9])
+        assert dist.min_value == 1
+        assert dist.max_value == 9
+
+    def test_min_on_empty_raises(self):
+        with pytest.raises(EmptyHistogramError):
+            DataDistribution().min_value
+
+    def test_iteration_is_sorted(self):
+        dist = DataDistribution([5, 1, 9, 1])
+        assert list(dist) == [1.0, 5.0, 9.0]
+
+    def test_values_and_frequencies_aligned(self):
+        dist = DataDistribution([3, 3, 1, 2])
+        np.testing.assert_array_equal(dist.values, [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(dist.frequencies, [1.0, 1.0, 2.0])
+
+    def test_to_pairs(self):
+        dist = DataDistribution([3, 3, 1])
+        assert dist.to_pairs() == [(1.0, 1), (3.0, 2)]
+
+    def test_expand_reconstructs_multiset(self):
+        dist = DataDistribution([4, 4, 7])
+        np.testing.assert_array_equal(dist.expand(), [4.0, 4.0, 7.0])
+
+    def test_equality(self):
+        assert DataDistribution([1, 2]) == DataDistribution([2, 1])
+        assert DataDistribution([1]) != DataDistribution([1, 1])
+
+
+class TestCDF:
+    def test_cdf_basic_steps(self):
+        dist = DataDistribution([1, 2, 3, 4])
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(1) == 0.25
+        assert dist.cdf(2.5) == 0.5
+        assert dist.cdf(4) == 1.0
+        assert dist.cdf(100) == 1.0
+
+    def test_cdf_empty_is_zero(self):
+        assert DataDistribution().cdf(3) == 0.0
+
+    def test_cdf_many_matches_scalar(self):
+        dist = DataDistribution([1, 5, 5, 9])
+        xs = [0, 1, 4, 5, 9, 10]
+        expected = [dist.cdf(x) for x in xs]
+        np.testing.assert_allclose(dist.cdf_many(xs), expected)
+
+    def test_count_at_most(self):
+        dist = DataDistribution([1, 5, 5, 9])
+        assert dist.count_at_most(5) == 3
+        assert dist.count_at_most(0) == 0
+
+    def test_range_count_closed(self):
+        dist = DataDistribution([1, 2, 3, 4, 5])
+        assert dist.range_count(2, 4) == 3
+        assert dist.range_count(2, 4, include_low=False) == 2
+        assert dist.range_count(2, 4, include_high=False) == 2
+        assert dist.range_count(4, 2) == 0
+
+    def test_range_selectivity(self):
+        dist = DataDistribution([1, 2, 3, 4])
+        assert dist.range_selectivity(1, 2) == 0.5
+        assert DataDistribution().range_selectivity(0, 10) == 0.0
+
+    def test_breakpoints(self):
+        dist = DataDistribution([2, 7, 2])
+        np.testing.assert_array_equal(dist.breakpoints(), [2.0, 7.0])

@@ -1,0 +1,60 @@
+"""Unit tests for the average relative range-query error (Eq. 7)."""
+
+import pytest
+
+from repro import (
+    DataDistribution,
+    EquiDepthHistogram,
+    ExactHistogram,
+    average_relative_error,
+)
+from repro.workloads import uniform_range_queries
+
+
+def _queries_as_tuples(queries):
+    return [q.as_tuple() for q in queries]
+
+
+class TestAverageRelativeError:
+    def test_exact_histogram_has_zero_error(self, small_distribution):
+        histogram = ExactHistogram.build(small_distribution)
+        queries = _queries_as_tuples(
+            uniform_range_queries((0, 1000), 50, seed=1)
+        )
+        assert average_relative_error(small_distribution, histogram, queries) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_error_is_non_negative_and_finite(self, small_distribution):
+        histogram = EquiDepthHistogram.build(small_distribution, 8)
+        queries = _queries_as_tuples(uniform_range_queries((0, 1000), 100, seed=2))
+        error = average_relative_error(small_distribution, histogram, queries)
+        assert error >= 0.0
+        assert error < 1e6
+
+    def test_more_buckets_reduce_error(self, small_distribution):
+        queries = _queries_as_tuples(uniform_range_queries((0, 1000), 200, seed=3))
+        coarse = EquiDepthHistogram.build(small_distribution, 4)
+        fine = EquiDepthHistogram.build(small_distribution, 64)
+        assert average_relative_error(
+            small_distribution, fine, queries
+        ) <= average_relative_error(small_distribution, coarse, queries) + 1e-9
+
+    def test_inverted_query_bounds_are_normalised(self):
+        truth = DataDistribution([1, 2, 3, 4, 5])
+        histogram = ExactHistogram.build(truth)
+        assert average_relative_error(truth, histogram, [(4, 2)]) == pytest.approx(0.0)
+
+    def test_empty_query_list_raises(self, small_distribution):
+        histogram = EquiDepthHistogram.build(small_distribution, 8)
+        with pytest.raises(ValueError):
+            average_relative_error(small_distribution, histogram, [])
+
+    def test_minimum_true_size_guard(self):
+        truth = DataDistribution([100, 200])
+        histogram = EquiDepthHistogram.build(truth, 2)
+        # Query over an empty region: the error is normalised by the floor.
+        error = average_relative_error(truth, histogram, [(300, 400)], minimum_true_size=1.0)
+        assert error >= 0.0
+        with pytest.raises(ValueError):
+            average_relative_error(truth, histogram, [(300, 400)], minimum_true_size=0.0)

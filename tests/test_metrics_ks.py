@@ -1,0 +1,93 @@
+"""Unit tests for the Kolmogorov-Smirnov statistic (Eq. 6)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompressedHistogram,
+    DataDistribution,
+    EquiDepthHistogram,
+    ExactHistogram,
+    ks_statistic,
+    ks_statistic_between,
+)
+
+
+class TestKSBetweenDistributions:
+    def test_identical_distributions_have_zero_ks(self):
+        dist = DataDistribution([1, 2, 2, 3])
+        assert ks_statistic_between(dist, dist.copy()) == 0.0
+
+    def test_disjoint_distributions_have_ks_one(self):
+        first = DataDistribution([1, 2, 3])
+        second = DataDistribution([10, 11, 12])
+        assert ks_statistic_between(first, second) == pytest.approx(1.0)
+
+    def test_known_shift(self):
+        first = DataDistribution([1, 2, 3, 4])
+        second = DataDistribution([2, 3, 4, 5])
+        # At x in [4, 5) the first CDF is 1.0 and the second is 0.75.
+        assert ks_statistic_between(first, second) == pytest.approx(0.25)
+
+    def test_symmetry(self):
+        first = DataDistribution([1, 1, 2, 5])
+        second = DataDistribution([2, 3, 3, 7])
+        assert ks_statistic_between(first, second) == pytest.approx(
+            ks_statistic_between(second, first)
+        )
+
+    def test_empty_distributions(self):
+        assert ks_statistic_between(DataDistribution(), DataDistribution()) == 0.0
+
+
+class TestKSAgainstHistogram:
+    def test_exact_histogram_has_zero_ks(self, small_distribution):
+        histogram = ExactHistogram.build(small_distribution)
+        assert ks_statistic(small_distribution, histogram) == pytest.approx(0.0, abs=1e-12)
+
+    def test_exact_histogram_zero_ks_with_value_unit(self, small_distribution):
+        histogram = ExactHistogram.build(small_distribution)
+        assert ks_statistic(
+            small_distribution, histogram, value_unit=1.0
+        ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_ks_is_bounded(self, small_distribution):
+        histogram = EquiDepthHistogram.build(small_distribution, 8)
+        ks = ks_statistic(small_distribution, histogram)
+        assert 0.0 <= ks <= 1.0
+
+    def test_more_buckets_do_not_hurt_much(self, small_distribution):
+        coarse = EquiDepthHistogram.build(small_distribution, 4)
+        fine = EquiDepthHistogram.build(small_distribution, 64)
+        ks_coarse = ks_statistic(small_distribution, coarse, value_unit=1.0)
+        ks_fine = ks_statistic(small_distribution, fine, value_unit=1.0)
+        assert ks_fine <= ks_coarse + 1e-9
+
+    def test_point_mass_heavy_value_is_captured_by_compressed(self, skewed_distribution):
+        histogram = CompressedHistogram.build(skewed_distribution, 5)
+        ks = ks_statistic(skewed_distribution, histogram, value_unit=1.0)
+        # The dominant value (frequency 40/70) is a singleton bucket, so the
+        # error must be far below its relative frequency.
+        assert ks < 40 / 70 / 2
+
+    def test_ks_against_other_distribution_object(self):
+        first = DataDistribution([1, 2, 3, 4])
+        second = DataDistribution([1, 2, 3, 8])
+        assert ks_statistic(first, second) == pytest.approx(0.25)
+
+    def test_value_unit_must_be_positive(self, small_distribution):
+        histogram = EquiDepthHistogram.build(small_distribution, 8)
+        with pytest.raises(ValueError):
+            ks_statistic(small_distribution, histogram, value_unit=0.0)
+
+    def test_empty_truth_and_histogram(self):
+        truth = DataDistribution()
+        assert ks_statistic(truth, truth) == 0.0
+
+    def test_extra_points_do_not_change_result_much(self, small_distribution):
+        histogram = EquiDepthHistogram.build(small_distribution, 16)
+        base = ks_statistic(small_distribution, histogram)
+        extended = ks_statistic(
+            small_distribution, histogram, extra_points=np.linspace(0, 1000, 50)
+        )
+        assert extended >= base - 1e-12

@@ -1,0 +1,121 @@
+"""Unit tests for histogram persistence (catalog save / restore)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DADOHistogram,
+    DataDistribution,
+    DCHistogram,
+    DVOHistogram,
+    FrozenHistogram,
+    SSBMHistogram,
+    freeze,
+    histogram_from_dict,
+    histogram_to_dict,
+    ks_statistic,
+    load_histogram,
+    save_histogram,
+)
+from repro.exceptions import ConfigurationError
+
+
+def _buckets_equal(first, second):
+    a, b = first.buckets(), second.buckets()
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.left == pytest.approx(y.left)
+        assert x.right == pytest.approx(y.right)
+        assert x.count == pytest.approx(y.count)
+
+
+class TestFreeze:
+    def test_freeze_snapshot_matches_source(self, uniform_values):
+        histogram = DADOHistogram(24)
+        for value in uniform_values:
+            histogram.insert(float(value))
+        snapshot = freeze(histogram)
+        assert isinstance(snapshot, FrozenHistogram)
+        _buckets_equal(histogram, snapshot)
+
+    def test_freeze_is_decoupled_from_further_updates(self, uniform_values):
+        histogram = DCHistogram(24)
+        for value in uniform_values[:800]:
+            histogram.insert(float(value))
+        snapshot = freeze(histogram)
+        before = snapshot.total_count
+        for value in uniform_values[800:]:
+            histogram.insert(float(value))
+        assert snapshot.total_count == before
+
+
+class TestDictRoundTrip:
+    @pytest.mark.parametrize("histogram_class", [DCHistogram, DVOHistogram, DADOHistogram])
+    def test_dynamic_round_trip_preserves_buckets(self, histogram_class, uniform_values):
+        histogram = histogram_class(20)
+        for value in uniform_values:
+            histogram.insert(float(value))
+        restored = histogram_from_dict(histogram_to_dict(histogram))
+        assert type(restored) is histogram_class
+        _buckets_equal(histogram, restored)
+        assert restored.repartition_count == histogram.repartition_count
+
+    @pytest.mark.parametrize("histogram_class", [DCHistogram, DADOHistogram])
+    def test_restored_histogram_keeps_accepting_updates(self, histogram_class, uniform_values):
+        original = histogram_class(20)
+        for value in uniform_values[:1000]:
+            original.insert(float(value))
+        restored = histogram_from_dict(histogram_to_dict(original))
+
+        truth = DataDistribution(uniform_values[:1000])
+        for value in uniform_values[1000:]:
+            original.insert(float(value))
+            restored.insert(float(value))
+            truth.add(float(value))
+        assert restored.total_count == pytest.approx(original.total_count)
+        assert ks_statistic(truth, restored, value_unit=1.0) < 0.1
+
+    def test_round_trip_during_loading_phase(self):
+        histogram = DADOHistogram(16)
+        histogram.insert(3.0)
+        histogram.insert(5.0)
+        restored = histogram_from_dict(histogram_to_dict(histogram))
+        assert restored.is_loading
+        assert restored.total_count == 2
+
+    def test_static_histogram_round_trip_is_frozen(self, small_distribution):
+        histogram = SSBMHistogram.build(small_distribution, 16)
+        restored = histogram_from_dict(histogram_to_dict(histogram))
+        assert isinstance(restored, FrozenHistogram)
+        _buckets_equal(histogram, restored)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            histogram_from_dict({"format_version": 1, "kind": "mystery"})
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ConfigurationError):
+            histogram_from_dict({"format_version": 99, "kind": "dc"})
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path, uniform_values):
+        histogram = DADOHistogram(20)
+        for value in uniform_values:
+            histogram.insert(float(value))
+        path = tmp_path / "stats.json"
+        save_histogram(histogram, path)
+        restored = load_histogram(path)
+        _buckets_equal(histogram, restored)
+
+    def test_saved_file_is_json(self, tmp_path, uniform_values):
+        import json
+
+        histogram = DCHistogram(20)
+        for value in uniform_values[:500]:
+            histogram.insert(float(value))
+        path = tmp_path / "stats.json"
+        save_histogram(histogram, path)
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "dc"
+        assert payload["bucket_budget"] == 20

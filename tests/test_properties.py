@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Bucket,
+    DataDistribution,
+    DADOHistogram,
+    DCHistogram,
+    ReservoirSampler,
+    SubBucketedBucket,
+    ks_statistic_between,
+)
+from repro.core.deviation import bucket_phi, merge_sub_buckets, merged_phi, split_bucket
+from repro.datagen.zipf import zipf_counts, zipf_weights
+from repro.static.ssbm import ssbm_partition
+from repro.static.optimal_dp import optimal_partition
+
+# Strategies -----------------------------------------------------------------
+
+values_strategy = st.lists(
+    st.integers(min_value=0, max_value=300), min_size=1, max_size=300
+)
+
+counts_strategy = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def sub_bucketed_pair(draw):
+    """Two adjacent, non-overlapping sub-bucketed buckets with sane counts."""
+    left = draw(st.floats(min_value=-1000, max_value=1000, allow_nan=False))
+    width_a = draw(st.floats(min_value=0.5, max_value=500))
+    gap = draw(st.floats(min_value=0.0, max_value=50))
+    width_b = draw(st.floats(min_value=0.5, max_value=500))
+    counts = [draw(counts_strategy) for _ in range(4)]
+    first = SubBucketedBucket(left, left + width_a, counts[0], counts[1])
+    second_left = left + width_a + gap
+    second = SubBucketedBucket(second_left, second_left + width_b, counts[2], counts[3])
+    return first, second
+
+
+# DataDistribution ------------------------------------------------------------
+
+
+@given(values_strategy)
+def test_distribution_total_matches_input_length(values):
+    dist = DataDistribution(values)
+    assert dist.total_count == len(values)
+    assert dist.distinct_count == len(set(values))
+
+
+@given(values_strategy)
+def test_distribution_cdf_is_monotone_and_normalised(values):
+    dist = DataDistribution(values)
+    points = np.linspace(min(values) - 1, max(values) + 1, 50)
+    cdf = dist.cdf_many(points)
+    assert np.all(np.diff(cdf) >= -1e-12)
+    assert cdf[0] == 0.0 or min(values) <= points[0]
+    assert cdf[-1] == 1.0
+
+
+@given(values_strategy, st.integers(min_value=0, max_value=300))
+def test_distribution_add_remove_round_trip(values, extra):
+    dist = DataDistribution(values)
+    before = dist.to_pairs()
+    dist.add(extra)
+    dist.remove(extra)
+    assert dist.to_pairs() == before
+
+
+@given(values_strategy)
+def test_ks_between_identical_distributions_is_zero(values):
+    dist = DataDistribution(values)
+    assert ks_statistic_between(dist, dist.copy()) == 0.0
+
+
+@given(values_strategy)
+def test_range_count_matches_expanded_multiset(values):
+    dist = DataDistribution(values)
+    arr = np.asarray(values, dtype=float)
+    low, high = np.percentile(arr, [20, 80])
+    expected = np.count_nonzero((arr >= low) & (arr <= high))
+    assert dist.range_count(low, high) == expected
+
+
+# Buckets ---------------------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    st.floats(min_value=0.0, max_value=100),
+    counts_strategy,
+    st.floats(min_value=-150, max_value=250),
+    st.floats(min_value=0.0, max_value=100),
+)
+def test_bucket_range_counts_are_bounded(left, width, count, query_low, query_width):
+    bucket = Bucket(left, left + width, count)
+    in_range = bucket.count_in_range(query_low, query_low + query_width)
+    assert 0.0 <= in_range <= count + 1e-9
+    assert bucket.count_at_most(bucket.right) >= count - 1e-6
+
+
+# Deviation algebra -----------------------------------------------------------
+
+
+@given(sub_bucketed_pair(), st.sampled_from(["variance", "absolute"]))
+@settings(max_examples=200)
+def test_merge_never_decreases_phi(pair, metric):
+    first, second = pair
+    combined = merged_phi(first, second, metric)
+    separate = bucket_phi(first, metric) + bucket_phi(second, metric)
+    assert combined >= separate - 1e-6 * max(1.0, abs(separate))
+
+
+@given(sub_bucketed_pair())
+def test_merge_preserves_count(pair):
+    first, second = pair
+    merged = merge_sub_buckets(first, second)
+    np.testing.assert_allclose(merged.count, first.count + second.count, rtol=1e-9, atol=1e-9)
+
+
+@given(sub_bucketed_pair(), st.sampled_from(["variance", "absolute"]))
+def test_split_produces_zero_phi_halves(pair, metric):
+    bucket, _ = pair
+    assume(not bucket.is_point_mass)
+    left, right = split_bucket(bucket)
+    assert bucket_phi(left, metric) <= 1e-9 * max(1.0, bucket.count)
+    assert bucket_phi(right, metric) <= 1e-9 * max(1.0, bucket.count)
+    np.testing.assert_allclose(left.count + right.count, bucket.count, rtol=1e-9)
+
+
+# Zipf ------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=1, max_value=500), st.floats(min_value=0.0, max_value=4.0))
+def test_zipf_weights_are_a_distribution(n, skew):
+    weights = zipf_weights(n, skew)
+    assert len(weights) == n
+    assert abs(weights.sum() - 1.0) < 1e-9
+    assert np.all(weights > 0)
+
+
+@given(
+    st.integers(min_value=0, max_value=100_000),
+    st.integers(min_value=1, max_value=200),
+    st.floats(min_value=0.0, max_value=3.0),
+)
+def test_zipf_counts_sum_exactly(total, n, skew):
+    counts = zipf_counts(total, n, skew)
+    assert counts.sum() == total
+    assert np.all(counts >= 0)
+
+
+# Partitions ------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False), min_size=2, max_size=60),
+    st.integers(min_value=1, max_value=12),
+)
+def test_ssbm_partition_is_a_partition(frequencies, n_buckets):
+    freqs = np.asarray(frequencies)
+    partition = ssbm_partition(freqs, n_buckets)
+    assert partition[0][0] == 0
+    assert partition[-1][1] == len(freqs) - 1
+    covered = sum(end - start + 1 for start, end in partition)
+    assert covered == len(freqs)
+    assert len(partition) == min(n_buckets, len(freqs))
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False), min_size=2, max_size=25),
+    st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_optimal_partition_is_a_partition(frequencies, n_buckets):
+    freqs = np.asarray(frequencies)
+    partition = optimal_partition(freqs, n_buckets)
+    assert partition[0][0] == 0
+    assert partition[-1][1] == len(freqs) - 1
+    covered = sum(end - start + 1 for start, end in partition)
+    assert covered == len(freqs)
+
+
+# Dynamic histograms ----------------------------------------------------------
+
+
+@given(values_strategy)
+@settings(max_examples=40, deadline=None)
+def test_dado_count_conservation(values):
+    histogram = DADOHistogram(12)
+    for value in values:
+        histogram.insert(float(value))
+    np.testing.assert_allclose(histogram.total_count, len(values), rtol=1e-9)
+
+
+@given(values_strategy)
+@settings(max_examples=40, deadline=None)
+def test_dc_count_conservation(values):
+    histogram = DCHistogram(12)
+    for value in values:
+        histogram.insert(float(value))
+    np.testing.assert_allclose(histogram.total_count, len(values), rtol=1e-6)
+
+
+@given(values_strategy, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_dado_insert_then_delete_everything(values, seed):
+    histogram = DADOHistogram(10)
+    rng = np.random.default_rng(seed)
+    for value in values:
+        histogram.insert(float(value))
+    for value in rng.permutation(np.asarray(values, dtype=float)):
+        histogram.delete(float(value))
+    assert abs(histogram.total_count) < 1e-6
+
+
+# Reservoir sampling ----------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=1, max_value=50),
+    st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), max_size=300),
+)
+def test_reservoir_never_exceeds_capacity(capacity, stream):
+    sampler = ReservoirSampler(capacity, seed=0)
+    sampler.offer_many(stream)
+    assert sampler.size == min(capacity, len(stream))
+    assert sampler.seen_count == len(stream)
+    assert all(value in [float(v) for v in stream] for value in sampler.values())

@@ -1,0 +1,45 @@
+"""Tests of the package-level public API surface."""
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    def test_key_classes_are_exported(self):
+        for name in (
+            "DCHistogram",
+            "DVOHistogram",
+            "DADOHistogram",
+            "SSBMHistogram",
+            "SADOHistogram",
+            "VOptimalHistogram",
+            "CompressedHistogram",
+            "ApproximateCompressedHistogram",
+            "DataDistribution",
+            "ks_statistic",
+            "SelectivityEstimator",
+            "GlobalHistogramCoordinator",
+        ):
+            assert name in repro.__all__
+
+    def test_quickstart_docstring_example(self):
+        from repro import DADOHistogram, DataDistribution, ks_statistic
+
+        histogram = DADOHistogram(n_buckets=32)
+        truth = DataDistribution()
+        for value in range(1000):
+            histogram.insert(value % 97)
+            truth.add(value % 97)
+        assert ks_statistic(truth, histogram) < 0.1
+
+    def test_exceptions_form_a_hierarchy(self):
+        assert issubclass(repro.ConfigurationError, repro.HistogramError)
+        assert issubclass(repro.DeletionError, repro.HistogramError)
+        assert issubclass(repro.EmptyHistogramError, repro.HistogramError)
+        assert issubclass(repro.InsufficientDataError, repro.HistogramError)

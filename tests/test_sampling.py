@@ -1,0 +1,170 @@
+"""Unit tests for reservoir sampling, the backing sample and the AC histogram."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ApproximateCompressedHistogram,
+    BackingSample,
+    DataDistribution,
+    ReservoirSampler,
+    ks_statistic,
+)
+from repro.exceptions import DeletionError
+
+
+class TestReservoirSampler:
+    def test_fills_up_to_capacity(self):
+        sampler = ReservoirSampler(10, seed=1)
+        for value in range(7):
+            assert sampler.offer(value)
+        assert sampler.size == 7
+        assert not sampler.is_full
+
+    def test_never_exceeds_capacity(self):
+        sampler = ReservoirSampler(10, seed=1)
+        sampler.offer_many(range(1000))
+        assert sampler.size == 10
+        assert sampler.seen_count == 1000
+
+    def test_sample_values_come_from_the_stream(self):
+        sampler = ReservoirSampler(20, seed=2)
+        sampler.offer_many(range(500))
+        assert all(0 <= value < 500 for value in sampler.values())
+
+    def test_uniformity_over_many_runs(self):
+        # Each element of a 100-element stream should be retained with
+        # probability 10/100; check the aggregate inclusion counts.
+        inclusion = np.zeros(100)
+        for seed in range(300):
+            sampler = ReservoirSampler(10, seed=seed)
+            sampler.offer_many(range(100))
+            for value in sampler.values():
+                inclusion[int(value)] += 1
+        expected = 300 * 10 / 100
+        assert abs(inclusion.mean() - expected) < 1e-9
+        assert inclusion.std() < expected  # no value is systematically favoured
+
+    def test_discard_value(self):
+        sampler = ReservoirSampler(5, seed=3)
+        sampler.offer_many([1, 2, 3])
+        assert sampler.discard_value(2)
+        assert not sampler.discard_value(99)
+        assert sampler.size == 2
+
+    def test_reset(self):
+        sampler = ReservoirSampler(5, seed=4)
+        sampler.offer_many(range(100))
+        sampler.reset([1, 2, 3], population_size=50)
+        assert sampler.values() == [1.0, 2.0, 3.0]
+        assert sampler.seen_count == 50
+        with pytest.raises(ValueError):
+            sampler.reset(range(10), population_size=100)
+        with pytest.raises(ValueError):
+            sampler.reset([1, 2], population_size=1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(Exception):
+            ReservoirSampler(0)
+
+
+class TestBackingSample:
+    def test_insertions_feed_the_reservoir(self):
+        sample = BackingSample(50, seed=1)
+        for value in range(200):
+            sample.insert(value)
+        assert sample.sample_size == 50
+        assert sample.relation_size == 200
+        assert sample.scale_factor == pytest.approx(4.0)
+
+    def test_delete_unknown_value_raises(self):
+        sample = BackingSample(10, seed=1)
+        sample.insert(5)
+        with pytest.raises(DeletionError):
+            sample.delete(7)
+
+    def test_deletions_shrink_the_relation(self):
+        sample = BackingSample(10, seed=2)
+        for value in range(20):
+            sample.insert(value)
+        for value in range(5):
+            sample.delete(value)
+        assert sample.relation_size == 15
+
+    def test_heavy_deletions_trigger_rescan(self):
+        sample = BackingSample(50, low_water_fraction=0.9, seed=3)
+        values = list(range(100))
+        for value in values:
+            sample.insert(value)
+        for value in values[:80]:
+            sample.delete(value)
+        assert sample.rescan_count >= 1
+        # After the rescan the sample only contains live tuples.
+        assert all(value >= 80 for value in sample.values())
+
+    def test_version_changes_when_sample_changes(self):
+        sample = BackingSample(5, seed=4)
+        before = sample.version
+        sample.insert(1)
+        assert sample.version > before
+
+
+class TestApproximateCompressedHistogram:
+    def test_counts_track_the_relation(self):
+        histogram = ApproximateCompressedHistogram(16, 200, seed=1)
+        for value in range(500):
+            histogram.insert(value % 90)
+        assert histogram.total_count == pytest.approx(500, rel=0.01)
+
+    def test_accuracy_on_clustered_data(self, small_values):
+        histogram = ApproximateCompressedHistogram(32, 400, seed=2)
+        truth = DataDistribution()
+        for value in small_values:
+            histogram.insert(float(value))
+            truth.add(float(value))
+        assert ks_statistic(truth, histogram, value_unit=1.0) < 0.15
+
+    def test_larger_sample_is_more_accurate_on_average(self, small_values):
+        errors = {}
+        for capacity in (50, 1000):
+            total = 0.0
+            for seed in range(3):
+                histogram = ApproximateCompressedHistogram(32, capacity, seed=seed)
+                truth = DataDistribution()
+                for value in small_values:
+                    histogram.insert(float(value))
+                    truth.add(float(value))
+                total += ks_statistic(truth, histogram, value_unit=1.0)
+            errors[capacity] = total / 3
+        assert errors[1000] <= errors[50]
+
+    def test_deletions_are_supported(self, uniform_values):
+        histogram = ApproximateCompressedHistogram(16, 300, seed=3)
+        for value in uniform_values:
+            histogram.insert(float(value))
+        for value in uniform_values[:300]:
+            histogram.delete(float(value))
+        assert histogram.total_count == pytest.approx(len(uniform_values) - 300, rel=0.02)
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            ApproximateCompressedHistogram(8, 100, gamma=-2.0)
+
+    def test_split_merge_mode_with_positive_gamma(self, uniform_values):
+        histogram = ApproximateCompressedHistogram(16, 300, gamma=0.5, seed=4)
+        truth = DataDistribution()
+        for value in uniform_values:
+            histogram.insert(float(value))
+            truth.add(float(value))
+        assert histogram.total_count == pytest.approx(len(uniform_values), rel=0.05)
+        assert ks_statistic(truth, histogram, value_unit=1.0) < 0.3
+
+    def test_lazy_recompute_counter(self):
+        histogram = ApproximateCompressedHistogram(8, 50, seed=5)
+        for value in range(200):
+            histogram.insert(value)
+        first_read = histogram.recompute_count
+        histogram.buckets()
+        histogram.buckets()
+        # Reads without sample changes must not trigger new recomputations.
+        assert histogram.recompute_count == max(first_read, 1)

@@ -1,0 +1,134 @@
+"""Unit tests for the static histogram constructions (exact, EW, ED, SC)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompressedHistogram,
+    DataDistribution,
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    ExactHistogram,
+    ks_statistic,
+)
+from repro.exceptions import ConfigurationError, InsufficientDataError
+from repro.static.equi_depth import equi_depth_partition
+
+
+class TestExactHistogram:
+    def test_one_bucket_per_distinct_value(self, skewed_distribution):
+        histogram = ExactHistogram.build(skewed_distribution)
+        assert histogram.bucket_count == skewed_distribution.distinct_count
+        assert all(bucket.is_point_mass for bucket in histogram.buckets())
+
+    def test_zero_ks(self, skewed_distribution):
+        histogram = ExactHistogram.build(skewed_distribution)
+        assert ks_statistic(skewed_distribution, histogram) == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            ExactHistogram.build(DataDistribution())
+
+
+class TestEquiWidthHistogram:
+    def test_equal_widths(self, small_distribution):
+        histogram = EquiWidthHistogram.build(small_distribution, 10)
+        widths = [bucket.width for bucket in histogram.buckets()]
+        assert len(set(np.round(widths, 6))) == 1
+
+    def test_count_preserved(self, small_distribution):
+        histogram = EquiWidthHistogram.build(small_distribution, 10)
+        assert histogram.total_count == pytest.approx(small_distribution.total_count)
+
+    def test_single_value_distribution(self):
+        histogram = EquiWidthHistogram.build(DataDistribution([7, 7, 7]), 5)
+        assert histogram.bucket_count == 1
+        assert histogram.total_count == 3
+
+    def test_invalid_bucket_budget(self, small_distribution):
+        with pytest.raises(ConfigurationError):
+            EquiWidthHistogram.build(small_distribution, 0)
+
+
+class TestEquiDepthPartition:
+    def test_partition_covers_all_values(self):
+        values = np.arange(20, dtype=float)
+        freqs = np.ones(20)
+        groups = equi_depth_partition(values, freqs, 5)
+        assert groups[0][0] == 0
+        assert groups[-1][1] == 19
+        for (start_a, end_a), (start_b, _end_b) in zip(groups, groups[1:]):
+            assert start_b == end_a + 1
+
+    def test_equal_counts_on_uniform_frequencies(self):
+        values = np.arange(20, dtype=float)
+        freqs = np.ones(20)
+        groups = equi_depth_partition(values, freqs, 4)
+        sizes = [freqs[start : end + 1].sum() for start, end in groups]
+        assert sizes == [5, 5, 5, 5]
+
+    def test_heavy_value_does_not_straddle_buckets(self):
+        values = np.array([1.0, 2.0, 3.0])
+        freqs = np.array([1.0, 100.0, 1.0])
+        groups = equi_depth_partition(values, freqs, 3)
+        # value 2.0 stays in exactly one group
+        containing = [g for g in groups if g[0] <= 1 <= g[1]]
+        assert len(containing) == 1
+
+    def test_empty_input(self):
+        assert equi_depth_partition(np.array([]), np.array([]), 4) == []
+
+
+class TestEquiDepthHistogram:
+    def test_counts_roughly_equal(self, small_distribution):
+        histogram = EquiDepthHistogram.build(small_distribution, 10)
+        counts = [bucket.count for bucket in histogram.buckets()]
+        assert max(counts) <= 2.5 * (small_distribution.total_count / 10)
+
+    def test_count_preserved(self, small_distribution):
+        histogram = EquiDepthHistogram.build(small_distribution, 10)
+        assert histogram.total_count == pytest.approx(small_distribution.total_count)
+
+    def test_better_than_equi_width_on_skewed_data(self, small_distribution):
+        equi_width = EquiWidthHistogram.build(small_distribution, 12)
+        equi_depth = EquiDepthHistogram.build(small_distribution, 12)
+        assert ks_statistic(small_distribution, equi_depth, value_unit=1.0) <= ks_statistic(
+            small_distribution, equi_width, value_unit=1.0
+        )
+
+    def test_budget_larger_than_distinct_values(self):
+        data = DataDistribution([1, 2, 3])
+        histogram = EquiDepthHistogram.build(data, 50)
+        assert histogram.bucket_count <= 3
+
+
+class TestCompressedHistogram:
+    def test_heavy_values_get_singleton_buckets(self, skewed_distribution):
+        histogram = CompressedHistogram.build(skewed_distribution, 5)
+        singletons = [b for b in histogram.buckets() if b.is_point_mass]
+        assert any(b.left == 20.0 for b in singletons)
+
+    def test_singleton_count_is_exact(self, skewed_distribution):
+        histogram = CompressedHistogram.build(skewed_distribution, 5)
+        singleton = next(b for b in histogram.buckets() if b.left == 20.0 and b.is_point_mass)
+        assert singleton.count == skewed_distribution.frequency(20)
+
+    def test_count_preserved(self, small_distribution):
+        histogram = CompressedHistogram.build(small_distribution, 20)
+        assert histogram.total_count == pytest.approx(small_distribution.total_count)
+
+    def test_no_heavy_values_degenerates_to_equi_depth(self):
+        data = DataDistribution(list(range(100)))
+        compressed = CompressedHistogram.build(data, 10)
+        equi_depth = EquiDepthHistogram.build(data, 10)
+        assert compressed.bucket_count == equi_depth.bucket_count
+        assert not any(b.is_point_mass for b in compressed.buckets())
+
+    def test_beats_equi_depth_on_highly_skewed_data(self, rng):
+        values = np.concatenate([rng.integers(0, 500, 2000), np.full(3000, 250)])
+        truth = DataDistribution(values)
+        compressed = CompressedHistogram.build(truth, 12)
+        equi_depth = EquiDepthHistogram.build(truth, 12)
+        assert ks_statistic(truth, compressed, value_unit=1.0) <= ks_statistic(
+            truth, equi_depth, value_unit=1.0
+        )

@@ -1,0 +1,221 @@
+"""Unit tests for the optimal DP partitioning, SVO, SADO and SSBM histograms."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DataDistribution,
+    EquiWidthHistogram,
+    SADOHistogram,
+    SSBMHistogram,
+    VOptimalHistogram,
+    ks_statistic,
+)
+from repro.core.deviation import DeviationMetric
+from repro.exceptions import ConfigurationError
+from repro.static.base import frequency_elements
+from repro.static.optimal_dp import (
+    absolute_cost_matrix,
+    optimal_partition,
+    variance_cost_matrix,
+)
+from repro.static.ssbm import ssbm_partition
+
+
+def _partition_cost(freqs, weights, partition, metric):
+    cost = 0.0
+    for start, end in partition:
+        segment_freqs = freqs[start : end + 1]
+        segment_weights = weights[start : end + 1]
+        mean = np.average(segment_freqs, weights=segment_weights)
+        if metric is DeviationMetric.VARIANCE:
+            cost += float(np.sum(segment_weights * (segment_freqs - mean) ** 2))
+        else:
+            cost += float(np.sum(segment_weights * np.abs(segment_freqs - mean)))
+    return cost
+
+
+class TestCostMatrices:
+    def test_variance_cost_known_values(self):
+        freqs = np.array([1.0, 3.0, 5.0])
+        cost = variance_cost_matrix(freqs)
+        assert cost[0, 0] == 0.0
+        assert cost[0, 1] == pytest.approx(2.0)  # mean 2, (1-2)^2 + (3-2)^2
+        assert cost[0, 2] == pytest.approx(8.0)  # mean 3, 4 + 0 + 4
+
+    def test_absolute_cost_known_values(self):
+        freqs = np.array([1.0, 3.0, 5.0])
+        cost = absolute_cost_matrix(freqs)
+        assert cost[0, 1] == pytest.approx(2.0)
+        assert cost[0, 2] == pytest.approx(4.0)
+
+    def test_weighted_variance_matches_expanded_form(self):
+        freqs = np.array([2.0, 0.0, 7.0])
+        weights = np.array([1.0, 5.0, 2.0])
+        expanded = np.repeat(freqs, weights.astype(int))
+        weighted_cost = variance_cost_matrix(freqs, weights)[0, 2]
+        expected = np.sum((expanded - expanded.mean()) ** 2)
+        assert weighted_cost == pytest.approx(expected)
+
+    def test_weighted_absolute_matches_expanded_form(self):
+        freqs = np.array([2.0, 0.0, 7.0])
+        weights = np.array([1.0, 5.0, 2.0])
+        expanded = np.repeat(freqs, weights.astype(int))
+        weighted_cost = absolute_cost_matrix(freqs, weights)[0, 2]
+        expected = np.sum(np.abs(expanded - expanded.mean()))
+        assert weighted_cost == pytest.approx(expected)
+
+    def test_weight_validation(self):
+        with pytest.raises(ConfigurationError):
+            variance_cost_matrix(np.array([1.0, 2.0]), np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            variance_cost_matrix(np.array([1.0, 2.0]), np.array([1.0, 0.0]))
+
+
+class TestOptimalPartition:
+    def test_partition_is_contiguous_and_complete(self):
+        freqs = np.array([5.0, 5.0, 1.0, 1.0, 9.0, 9.0])
+        partition = optimal_partition(freqs, 3)
+        assert partition[0][0] == 0
+        assert partition[-1][1] == len(freqs) - 1
+        for (_, end_a), (start_b, _) in zip(partition, partition[1:]):
+            assert start_b == end_a + 1
+
+    def test_obvious_grouping_is_found(self):
+        freqs = np.array([5.0, 5.0, 1.0, 1.0, 9.0, 9.0])
+        partition = optimal_partition(freqs, 3)
+        assert partition == [(0, 1), (2, 3), (4, 5)]
+
+    def test_enough_buckets_gives_zero_cost(self):
+        freqs = np.array([3.0, 1.0, 4.0, 1.0])
+        partition = optimal_partition(freqs, 10)
+        assert partition == [(i, i) for i in range(4)]
+
+    def test_optimal_beats_greedy_ssbm_or_ties(self, rng):
+        freqs = rng.integers(0, 50, size=40).astype(float)
+        weights = np.ones(40)
+        for metric in (DeviationMetric.VARIANCE, DeviationMetric.ABSOLUTE):
+            optimal = optimal_partition(freqs, 6, metric)
+            greedy = ssbm_partition(freqs, 6, metric)
+            assert _partition_cost(freqs, weights, optimal, metric) <= _partition_cost(
+                freqs, weights, greedy, metric
+            ) + 1e-9
+
+    def test_empty_input(self):
+        assert optimal_partition(np.array([]), 3) == []
+
+
+class TestSSBMPartition:
+    def test_partition_is_contiguous_and_complete(self, rng):
+        freqs = rng.integers(0, 30, size=60).astype(float)
+        partition = ssbm_partition(freqs, 7)
+        assert partition[0][0] == 0
+        assert partition[-1][1] == 59
+        assert len(partition) == 7
+        for (_, end_a), (start_b, _) in zip(partition, partition[1:]):
+            assert start_b == end_a + 1
+
+    def test_merges_most_similar_neighbours_first(self):
+        freqs = np.array([10.0, 10.0, 50.0, 10.0])
+        partition = ssbm_partition(freqs, 3)
+        assert (0, 1) in partition
+
+    def test_budget_not_smaller_than_values(self):
+        freqs = np.array([1.0, 2.0, 3.0])
+        assert ssbm_partition(freqs, 5) == [(0, 0), (1, 1), (2, 2)]
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            ssbm_partition(np.array([1.0]), 0)
+
+
+class TestFrequencyElements:
+    def test_no_gaps_for_contiguous_values(self):
+        data = DataDistribution([1, 2, 2, 3])
+        starts, ends, freqs, weights = frequency_elements(data)
+        np.testing.assert_array_equal(starts, [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(freqs, [1.0, 2.0, 1.0])
+        np.testing.assert_array_equal(weights, [1.0, 1.0, 1.0])
+
+    def test_gap_elements_cover_missing_values(self):
+        data = DataDistribution([1, 5])
+        starts, ends, freqs, weights = frequency_elements(data)
+        assert len(starts) == 3
+        assert freqs[1] == 0.0
+        assert weights[1] == 3.0  # values 2, 3, 4 are missing
+        assert starts[1] == 2.0
+        assert ends[1] == 4.0
+
+    def test_gaps_can_be_disabled(self):
+        data = DataDistribution([1, 5])
+        starts, _, freqs, weights = frequency_elements(data, include_gaps=False)
+        assert len(starts) == 2
+        assert np.all(weights == 1.0)
+
+    def test_custom_value_unit(self):
+        data = DataDistribution([1.0, 1.03])
+        _, _, freqs, weights = frequency_elements(data, value_unit=0.01)
+        assert len(freqs) == 3
+        assert weights[1] == pytest.approx(2.0)
+
+
+class TestOptimalHistograms:
+    def test_svo_and_sado_preserve_counts(self, small_distribution):
+        for cls in (VOptimalHistogram, SADOHistogram):
+            histogram = cls.build(small_distribution, 12)
+            assert histogram.total_count == pytest.approx(small_distribution.total_count)
+            assert histogram.bucket_count <= small_distribution.distinct_count * 2 + 1
+
+    def test_svo_isolates_extreme_outlier(self):
+        values = list(range(50)) + [25] * 500
+        truth = DataDistribution(values)
+        histogram = VOptimalHistogram.build(truth, 8)
+        outlier_buckets = [
+            b for b in histogram.buckets() if b.left <= 25 <= b.right and b.count >= 400
+        ]
+        assert outlier_buckets and outlier_buckets[0].is_point_mass
+
+    def test_svo_beats_equi_width(self, small_distribution):
+        svo = VOptimalHistogram.build(small_distribution, 12)
+        equi_width = EquiWidthHistogram.build(small_distribution, 12)
+        assert ks_statistic(small_distribution, svo, value_unit=1.0) <= ks_statistic(
+            small_distribution, equi_width, value_unit=1.0
+        )
+
+    def test_static_sado_close_to_svo(self, small_distribution):
+        # Section 4.1: in the static case the two objectives give essentially
+        # the same quality.
+        svo = ks_statistic(
+            small_distribution, VOptimalHistogram.build(small_distribution, 12), value_unit=1.0
+        )
+        sado = ks_statistic(
+            small_distribution, SADOHistogram.build(small_distribution, 12), value_unit=1.0
+        )
+        assert sado <= 2.5 * svo + 0.02
+        assert svo <= 2.5 * sado + 0.02
+
+
+class TestSSBMHistogram:
+    def test_count_preserved(self, small_distribution):
+        histogram = SSBMHistogram.build(small_distribution, 20)
+        assert histogram.total_count == pytest.approx(small_distribution.total_count)
+
+    def test_exact_when_budget_allows(self, skewed_distribution):
+        histogram = SSBMHistogram.build(
+            skewed_distribution, 100, include_gaps=False
+        )
+        assert ks_statistic(skewed_distribution, histogram) == pytest.approx(0.0, abs=1e-12)
+
+    def test_quality_close_to_svo(self, small_distribution):
+        # Section 5: SSBM is comparable in quality to V-Optimal.
+        ssbm = ks_statistic(
+            small_distribution, SSBMHistogram.build(small_distribution, 12), value_unit=1.0
+        )
+        svo = ks_statistic(
+            small_distribution, VOptimalHistogram.build(small_distribution, 12), value_unit=1.0
+        )
+        assert ssbm <= 3.0 * svo + 0.01
+
+    def test_absolute_metric_variant(self, small_distribution):
+        histogram = SSBMHistogram.build(small_distribution, 12, metric="absolute")
+        assert histogram.total_count == pytest.approx(small_distribution.total_count)

@@ -1,0 +1,67 @@
+"""Unit tests for the range-query workload generators."""
+
+import pytest
+
+from repro import DataDistribution
+from repro.exceptions import ConfigurationError
+from repro.workloads import (
+    RangeQuery,
+    data_distributed_range_queries,
+    open_range_queries,
+    uniform_range_queries,
+)
+
+
+class TestRangeQuery:
+    def test_valid_query(self):
+        query = RangeQuery(1.0, 5.0)
+        assert query.as_tuple() == (1.0, 5.0)
+
+    def test_inverted_query_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RangeQuery(5.0, 1.0)
+
+
+class TestUniformQueries:
+    def test_count_and_bounds(self):
+        queries = uniform_range_queries((0, 100), 50, seed=1)
+        assert len(queries) == 50
+        for query in queries:
+            assert 0 <= query.low <= query.high <= 100
+
+    def test_deterministic_per_seed(self):
+        first = uniform_range_queries((0, 100), 10, seed=7)
+        second = uniform_range_queries((0, 100), 10, seed=7)
+        assert [q.as_tuple() for q in first] == [q.as_tuple() for q in second]
+
+    def test_invalid_domain(self):
+        with pytest.raises(ConfigurationError):
+            uniform_range_queries((10, 10), 5)
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            uniform_range_queries((0, 10), 0)
+
+
+class TestDataDistributedQueries:
+    def test_endpoints_are_data_values(self):
+        data = DataDistribution([1, 5, 5, 9, 20])
+        queries = data_distributed_range_queries(data, 30, seed=2)
+        values = {1.0, 5.0, 9.0, 20.0}
+        for query in queries:
+            assert query.low in values
+            assert query.high in values
+            assert query.low <= query.high
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ConfigurationError):
+            data_distributed_range_queries(DataDistribution(), 5)
+
+
+class TestOpenRangeQueries:
+    def test_lower_bound_is_domain_low(self):
+        queries = open_range_queries((10, 50), 20, seed=3)
+        assert len(queries) == 20
+        for query in queries:
+            assert query.low == 10
+            assert 10 <= query.high <= 50

@@ -1,0 +1,126 @@
+"""Unit tests for the update-stream workload generators (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    UpdateOp,
+    UpdateStream,
+    insertions_then_random_deletions,
+    insertions_with_interleaved_deletions,
+    random_insertions,
+    sorted_insertions,
+    sorted_insertions_then_sorted_deletions,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestUpdateOp:
+    def test_kinds(self):
+        assert UpdateOp("insert", 3.0).is_insert
+        assert UpdateOp("delete", 3.0).is_delete
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UpdateOp("upsert", 3.0)
+
+
+class TestUpdateStream:
+    def test_inserts_factory_and_counts(self):
+        stream = UpdateStream.inserts([1, 2, 3])
+        assert len(stream) == 3
+        assert stream.insert_count == 3
+        assert stream.delete_count == 0
+        assert stream[0].value == 1.0
+
+    def test_live_values(self):
+        ops = [
+            UpdateOp("insert", 1.0),
+            UpdateOp("insert", 2.0),
+            UpdateOp("insert", 2.0),
+            UpdateOp("delete", 2.0),
+        ]
+        stream = UpdateStream(ops)
+        assert sorted(stream.live_values()) == [1.0, 2.0]
+
+    def test_live_values_rejects_over_deletion(self):
+        stream = UpdateStream([UpdateOp("delete", 1.0)])
+        with pytest.raises(ConfigurationError):
+            stream.live_values()
+
+    def test_prefix(self):
+        stream = UpdateStream.inserts([1, 2, 3, 4])
+        assert len(stream.prefix(2)) == 2
+        with pytest.raises(ConfigurationError):
+            stream.prefix(-1)
+
+
+class TestInsertionOrders:
+    def test_random_insertions_is_permutation(self, uniform_values):
+        stream = random_insertions(uniform_values, seed=1)
+        assert stream.insert_count == len(uniform_values)
+        assert sorted(op.value for op in stream) == sorted(float(v) for v in uniform_values)
+
+    def test_random_insertions_depends_on_seed(self, uniform_values):
+        first = [op.value for op in random_insertions(uniform_values, seed=1)]
+        second = [op.value for op in random_insertions(uniform_values, seed=2)]
+        assert first != second
+
+    def test_sorted_insertions(self, uniform_values):
+        values = [op.value for op in sorted_insertions(uniform_values)]
+        assert values == sorted(values)
+
+    def test_sorted_insertions_descending(self, uniform_values):
+        values = [op.value for op in sorted_insertions(uniform_values, descending=True)]
+        assert values == sorted(values, reverse=True)
+
+    def test_two_dimensional_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_insertions(np.zeros((3, 3)))
+
+
+class TestDeletionWorkloads:
+    def test_interleaved_deletions_respect_probability_zero(self, uniform_values):
+        stream = insertions_with_interleaved_deletions(
+            uniform_values, delete_probability=0.0, seed=1
+        )
+        assert stream.delete_count == 0
+
+    def test_interleaved_deletions_only_delete_live_values(self, uniform_values):
+        stream = insertions_with_interleaved_deletions(
+            uniform_values, delete_probability=0.4, seed=2
+        )
+        # Replaying must never delete something that is not currently live.
+        live = {}
+        for op in stream:
+            if op.is_insert:
+                live[op.value] = live.get(op.value, 0) + 1
+            else:
+                assert live.get(op.value, 0) > 0
+                live[op.value] -= 1
+
+    def test_insert_then_delete_fraction(self, uniform_values):
+        stream = insertions_then_random_deletions(
+            uniform_values, delete_fraction=0.5, seed=3
+        )
+        assert stream.insert_count == len(uniform_values)
+        assert stream.delete_count == round(0.5 * len(uniform_values))
+        # All deletions come after all insertions.
+        kinds = [op.kind for op in stream]
+        assert kinds == ["insert"] * stream.insert_count + ["delete"] * stream.delete_count
+
+    def test_sorted_insert_sorted_delete(self, uniform_values):
+        stream = sorted_insertions_then_sorted_deletions(
+            uniform_values, delete_fraction=0.25
+        )
+        inserts = [op.value for op in stream if op.is_insert]
+        deletes = [op.value for op in stream if op.is_delete]
+        assert inserts == sorted(inserts)
+        assert deletes == sorted(deletes)
+        assert len(deletes) == round(0.25 * len(uniform_values))
+        # Sorted deletions remove a prefix of the sorted data.
+        assert max(deletes) <= np.quantile(np.asarray(inserts), 0.3)
+
+    def test_delete_fraction_validation(self, uniform_values):
+        with pytest.raises(ConfigurationError):
+            insertions_then_random_deletions(uniform_values, delete_fraction=1.5)
