@@ -1,0 +1,327 @@
+"""Hot-path throughput benchmark: incremental caches + vectorised estimation.
+
+Measures the two serving-critical paths before and after the hot-path
+overhaul and records the trajectory in ``BENCH_hot_paths.json``:
+
+* **sustained inserts/sec** into a DADO histogram -- "before" is a faithful
+  in-repo replica of the seed maintenance (per-insert border-list rebuild and
+  full ``_rebuild_caches()`` after every split/merge/out-of-range borrow),
+  "after" is the incremental implementation (cached ``_lefts`` array and
+  O(1)-neighbourhood phi splices), plus the batched ``insert_many`` fast path;
+* **range-estimates/sec** against a built histogram -- "before" replicates the
+  seed's per-call Python loop over freshly materialised buckets, "after" is
+  the cached segment view's ``searchsorted`` path, plus the vectorised batch
+  API.
+
+Run directly (``python benchmarks/bench_hot_paths.py [--quick]``); it is not a
+pytest benchmark because it must embed the *legacy* implementations to give a
+stable before/after comparison regardless of the repo's current state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.bucket import Bucket  # noqa: E402
+from repro.core.dynamic_vopt import DADOHistogram, _VBucket  # noqa: E402
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_hot_paths.json"
+
+
+# ----------------------------------------------------------------------
+# legacy (seed) reference implementations
+# ----------------------------------------------------------------------
+class LegacyDADOHistogram(DADOHistogram):
+    """The seed's maintenance strategy, for the "before" measurements.
+
+    Restores the three seed behaviours the overhaul removed: a border list is
+    rebuilt on every bucket location, and every merge / split / out-of-range
+    borrow recomputes *all* bucket and pair phis from scratch.
+    """
+
+    def _locate_bucket(self, value: float) -> int:
+        import bisect
+
+        lefts = [bucket.left for bucket in self._buckets]
+        index = bisect.bisect_right(lefts, value) - 1
+        index = max(0, min(index, len(self._buckets) - 1))
+        bucket = self._buckets[index]
+        if value > bucket.right and index + 1 < len(self._buckets):
+            next_bucket = self._buckets[index + 1]
+            if abs(value - bucket.right) <= abs(next_bucket.left - value):
+                self._resize_bucket(index, bucket.left, value)
+            else:
+                self._resize_bucket(index + 1, value, next_bucket.right)
+                return index + 1
+        return index
+
+    def _merge_pair(self, index: int) -> None:
+        from repro.core.dynamic_vopt import _project_segments
+
+        first, second = self._buckets[index], self._buckets[index + 1]
+        merged = _VBucket(first.left, second.right, [0.0] * self._k)
+        merged.counts = _project_segments(
+            first.segments() + second.segments(), merged.borders()
+        )
+        self._buckets[index : index + 2] = [merged]
+        self._rebuild_caches()
+
+    def _split_bucket(self, index: int) -> None:
+        bucket = self._buckets[index]
+        if bucket.is_point_mass:
+            return
+        borders = bucket.borders()
+        k = len(bucket.counts)
+        total = bucket.count
+        best_border_index = 1
+        best_imbalance = float("inf")
+        cumulative = 0.0
+        for border_index in range(1, k):
+            cumulative += bucket.counts[border_index - 1]
+            imbalance = abs(cumulative - (total - cumulative))
+            if imbalance < best_imbalance:
+                best_imbalance = imbalance
+                best_border_index = border_index
+        split_value = borders[best_border_index]
+        left_count = sum(bucket.counts[:best_border_index])
+        right_count = total - left_count
+        left_bucket = _VBucket(bucket.left, split_value, [left_count / k] * k)
+        right_bucket = _VBucket(split_value, bucket.right, [right_count / k] * k)
+        self._buckets[index : index + 1] = [left_bucket, right_bucket]
+        self._rebuild_caches()
+
+    def _insert_out_of_range(self, value: float) -> None:
+        new_bucket = _VBucket(value, value, [1.0] + [0.0] * (self._k - 1))
+        if value < self._buckets[0].left:
+            self._buckets.insert(0, new_bucket)
+        else:
+            self._buckets.append(new_bucket)
+        self._rebuild_caches()
+        if len(self._buckets) > self._budget:
+            merge_index = self._find_best_merge()
+            if merge_index is not None:
+                self._merge_pair(merge_index)
+        self._repartition_count += 1
+
+
+def legacy_estimate_range(histogram, low: float, high: float) -> float:
+    """The seed's estimate_range: a Python loop over fresh Bucket objects."""
+    if high < low:
+        return 0.0
+    return float(sum(bucket.count_in_range(low, high) for bucket in histogram.buckets()))
+
+
+def legacy_total_count(histogram) -> float:
+    return float(sum(bucket.count for bucket in histogram.buckets()))
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+def insert_stream(n: int, seed: int = 11) -> np.ndarray:
+    """A skewed integer stream with occasional out-of-range excursions."""
+    rng = np.random.default_rng(seed)
+    clusters = rng.choice(np.arange(0, 5000, 250), size=n)
+    noise = rng.integers(-40, 41, size=n)
+    values = (clusters + noise).astype(float)
+    # A slowly growing tail beyond the current maximum: exercises the
+    # borrow-a-bucket path the way a timestamp-like attribute would.
+    tail = rng.random(size=n) < 0.002
+    values[tail] = 6000.0 + np.cumsum(tail)[tail] * 10.0
+    return values
+
+
+def range_queries(n: int, low: float, high: float, seed: int = 13):
+    rng = np.random.default_rng(seed)
+    lows = rng.uniform(low, high, size=n)
+    widths = rng.uniform(0.0, (high - low) / 4.0, size=n)
+    return lows, lows + widths
+
+
+def _throughput(fn, n_ops: int, repeats: int = 3) -> float:
+    """Best-of-N ops/sec for ``fn`` (which performs ``n_ops`` operations)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return n_ops / best
+
+
+# ----------------------------------------------------------------------
+# benchmark sections
+# ----------------------------------------------------------------------
+def bench_inserts(n_values: int, n_buckets: int) -> dict:
+    values = insert_stream(n_values)
+
+    def run_legacy():
+        histogram = LegacyDADOHistogram(n_buckets)
+        insert = histogram.insert
+        for value in values:
+            insert(value)
+        return histogram
+
+    def run_incremental():
+        histogram = DADOHistogram(n_buckets)
+        insert = histogram.insert
+        for value in values:
+            insert(value)
+        return histogram
+
+    def run_batched():
+        histogram = DADOHistogram(n_buckets)
+        histogram.insert_many(values, repartition_interval=16)
+        return histogram
+
+    # Equivalence guard: the incremental caches must reproduce the seed
+    # estimates exactly (same split/merge decisions, same buckets).
+    legacy_hist = run_legacy()
+    incremental_hist = run_incremental()
+    legacy_buckets = [(b.left, b.right, b.count) for b in legacy_hist.buckets()]
+    incremental_buckets = [
+        (b.left, b.right, b.count) for b in incremental_hist.buckets()
+    ]
+    if legacy_buckets != incremental_buckets:
+        raise AssertionError(
+            "incremental maintenance diverged from the seed implementation"
+        )
+
+    before = _throughput(run_legacy, n_values)
+    after = _throughput(run_incremental, n_values)
+    batched = _throughput(run_batched, n_values)
+    return {
+        "workload": f"{n_values} skewed inserts into DADO({n_buckets})",
+        "before_per_sec": round(before, 1),
+        "after_per_sec": round(after, 1),
+        "after_batched_per_sec": round(batched, 1),
+        "speedup": round(after / before, 2),
+        "speedup_batched": round(batched / before, 2),
+    }
+
+
+def bench_range_estimates(n_values: int, n_buckets: int, n_queries: int) -> dict:
+    values = insert_stream(n_values)
+    histogram = DADOHistogram(n_buckets)
+    histogram.insert_many(values)
+    lows, highs = range_queries(n_queries, float(values.min()), float(values.max()))
+
+    # Equivalence guard: fast path must match the per-bucket loop.
+    for low, high in zip(lows[:50], highs[:50]):
+        fast = histogram.estimate_range(low, high)
+        slow = legacy_estimate_range(histogram, low, high)
+        if abs(fast - slow) > 1e-6 * max(1.0, abs(slow)):
+            raise AssertionError(f"estimate_range diverged: {fast} vs {slow}")
+
+    def run_legacy():
+        for low, high in zip(lows, highs):
+            legacy_estimate_range(histogram, low, high)
+
+    def run_fast():
+        estimate = histogram.estimate_range
+        for low, high in zip(lows, highs):
+            estimate(low, high)
+
+    def run_vectorised():
+        histogram.estimate_ranges(lows, highs)
+
+    before = _throughput(run_legacy, n_queries)
+    after = _throughput(run_fast, n_queries)
+    batched = _throughput(run_vectorised, n_queries)
+    return {
+        "workload": (
+            f"{n_queries} range estimates against DADO({n_buckets}) "
+            f"built from {n_values} points"
+        ),
+        "before_per_sec": round(before, 1),
+        "after_per_sec": round(after, 1),
+        "after_vectorised_per_sec": round(batched, 1),
+        "speedup": round(after / before, 2),
+        "speedup_vectorised": round(batched / before, 2),
+    }
+
+
+def bench_cdf(n_values: int, n_buckets: int, n_points: int) -> dict:
+    values = insert_stream(n_values)
+    histogram = DADOHistogram(n_buckets)
+    histogram.insert_many(values)
+    xs = np.linspace(float(values.min()) - 10, float(values.max()) + 10, n_points)
+
+    def run_legacy():
+        # Seed behaviour: every call re-materialises the bucket list and
+        # accumulates one numpy pass per bucket.
+        buckets = histogram.buckets()
+        total = sum(bucket.count for bucket in buckets)
+        cumulative = np.zeros(xs.shape, dtype=float)
+        for bucket in buckets:
+            if bucket.is_point_mass:
+                cumulative += np.where(xs >= bucket.left, bucket.count, 0.0)
+            else:
+                fraction = np.clip((xs - bucket.left) / bucket.width, 0.0, 1.0)
+                cumulative += bucket.count * fraction
+        return cumulative / total
+
+    def run_fast():
+        histogram.cdf_many(xs)
+
+    histogram.segment_view()  # warm the cache for the "after" runs
+    before = _throughput(run_legacy, n_points)
+    after = _throughput(run_fast, n_points)
+    return {
+        "workload": f"cdf_many over {n_points} points, DADO({n_buckets})",
+        "before_per_sec": round(before, 1),
+        "after_per_sec": round(after, 1),
+        "speedup": round(after / before, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=DEFAULT_OUTPUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n_insert, n_queries, n_cdf = 4_000, 2_000, 20_000
+        n_buckets = 32
+    else:
+        n_insert, n_queries, n_cdf = 40_000, 10_000, 200_000
+        n_buckets = 64
+
+    results = {
+        "benchmark": "hot_paths",
+        "quick": bool(args.quick),
+        "python": sys.version.split()[0],
+        "sections": {
+            "sustained_inserts": bench_inserts(n_insert, n_buckets),
+            "range_estimates": bench_range_estimates(n_insert, n_buckets, n_queries),
+            "cdf_many": bench_cdf(n_insert, n_buckets, n_cdf),
+        },
+    }
+
+    args.out.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(results, indent=2))
+
+    inserts = results["sections"]["sustained_inserts"]["speedup"]
+    ranges = results["sections"]["range_estimates"]["speedup"]
+    print(
+        f"\nsustained inserts: {inserts:.2f}x, range estimates: {ranges:.2f}x "
+        f"(targets: >= 2x and >= 5x)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

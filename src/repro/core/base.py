@@ -12,13 +12,14 @@ additionally implement the *update* interface of :class:`DynamicHistogram`:
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from ..exceptions import EmptyHistogramError
 from ..metrics.distribution import DataDistribution
 from .bucket import Bucket
+from .segment_view import SegmentView
 
 __all__ = ["Histogram", "DynamicHistogram"]
 
@@ -30,7 +31,21 @@ class Histogram(abc.ABC):
     piecewise-uniform segments in ascending value order; every estimation
     method is derived from that single primitive, so all histogram classes
     behave identically at evaluation time.
+
+    Estimation does not loop over the bucket list on every call: the buckets
+    are snapshotted into a cached :class:`~repro.core.segment_view.SegmentView`
+    (numpy border/count arrays plus prefix sums), which answers range, equality
+    and CDF queries with O(log B) ``searchsorted`` lookups.  The cache is keyed
+    on a *generation counter*; every mutation of a histogram must bump it via
+    :meth:`_invalidate_view` (the :class:`DynamicHistogram` update template
+    does this automatically).
     """
+
+    #: Generation counter of the current bucket configuration.  Class-level
+    #: default 0; mutators create the instance attribute via _invalidate_view.
+    _view_generation: int = 0
+    #: Cached SegmentView snapshot (valid while its generation matches).
+    _view_cache: Optional[SegmentView] = None
 
     # ------------------------------------------------------------------
     # abstract surface
@@ -45,39 +60,74 @@ class Histogram(abc.ABC):
         """
 
     # ------------------------------------------------------------------
+    # cached segment view
+    # ------------------------------------------------------------------
+    def segment_view(self) -> SegmentView:
+        """The cached vectorised snapshot of the current bucket list.
+
+        Rebuilt lazily whenever the generation counter has moved past the
+        cached snapshot's generation.
+        """
+        cache = self._view_cache
+        if cache is not None and cache.generation == self._view_generation:
+            return cache
+        view = SegmentView(self.buckets(), self._view_generation)
+        self._view_cache = view
+        return view
+
+    def _invalidate_view(self) -> None:
+        """Mark the cached segment view stale.  Every mutator must call this."""
+        self._view_generation = self._view_generation + 1
+
+    # ------------------------------------------------------------------
     # derived read API
     # ------------------------------------------------------------------
     @property
     def bucket_count(self) -> int:
         """Number of exposed segments."""
-        return len(self.buckets())
+        return self.segment_view().n_buckets
 
     @property
     def total_count(self) -> float:
         """Total number of points represented by the histogram."""
-        return float(sum(bucket.count for bucket in self.buckets()))
+        return self.segment_view().total
 
     @property
     def min_value(self) -> float:
         """Left border of the first bucket."""
-        buckets = self.buckets()
-        if not buckets:
+        view = self.segment_view()
+        if view.n_buckets == 0:
             raise EmptyHistogramError("histogram has no buckets")
-        return buckets[0].left
+        return view.first_left
 
     @property
     def max_value(self) -> float:
         """Right border of the last bucket."""
-        buckets = self.buckets()
-        if not buckets:
+        view = self.segment_view()
+        if view.n_buckets == 0:
             raise EmptyHistogramError("histogram has no buckets")
-        return buckets[-1].right
+        return view.last_right
 
     def estimate_range(self, low: float, high: float) -> float:
         """Estimated number of points in the closed range ``[low, high]``."""
         if high < low:
             return 0.0
+        view = self.segment_view()
+        if view.fast:
+            return view.range_count(low, high)
         return float(sum(bucket.count_in_range(low, high) for bucket in self.buckets()))
+
+    def estimate_ranges(self, lows: Sequence[float], highs: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`estimate_range` over parallel arrays of ranges."""
+        lows_arr = np.asarray(lows, dtype=float)
+        highs_arr = np.asarray(highs, dtype=float)
+        view = self.segment_view()
+        if view.fast:
+            return view.range_count_many(lows_arr, highs_arr)
+        return np.asarray(
+            [self.estimate_range(low, high) for low, high in zip(lows_arr, highs_arr)],
+            dtype=float,
+        )
 
     def estimate_selectivity(self, low: float, high: float) -> float:
         """Estimated fraction of points in the closed range ``[low, high]``."""
@@ -93,18 +143,37 @@ class Histogram(abc.ABC):
         predicate is the bucket density times the granularity of a single
         domain value (1 for the paper's integer domains).  Point-mass buckets
         contribute their full count when they sit exactly on ``value``.
+
+        A value lying exactly on a border shared by two adjacent buckets is
+        counted in the right bucket only (half-open convention); the closed
+        right border of the last bucket -- or of a bucket followed by a gap --
+        still counts in that bucket, so no value inside the histogram range is
+        estimated as zero spuriously.
         """
+        view = self.segment_view()
+        if view.fast:
+            return view.equal_estimate(value, value_granularity)
         estimate = 0.0
+        border_bucket: Optional[Bucket] = None
+        interior_hit = False
         for bucket in self.buckets():
             if bucket.is_point_mass:
                 if bucket.left == value:
                     estimate += bucket.count
-            elif bucket.left <= value <= bucket.right:
+            elif bucket.left <= value < bucket.right:
                 estimate += bucket.density * min(value_granularity, bucket.width)
+                interior_hit = True
+            elif value == bucket.right:
+                border_bucket = bucket
+        if border_bucket is not None and not interior_hit:
+            estimate += border_bucket.density * min(value_granularity, border_bucket.width)
         return float(estimate)
 
     def count_at_most(self, x: float) -> float:
         """Estimated number of points with value <= x."""
+        view = self.segment_view()
+        if view.fast:
+            return view.count_at_most(x)
         return float(sum(bucket.count_at_most(x) for bucket in self.buckets()))
 
     def cdf(self, x: float) -> float:
@@ -129,11 +198,17 @@ class Histogram(abc.ABC):
 
     def _cdf_many(self, xs: Sequence[float], *, include_point_mass_at: bool) -> np.ndarray:
         xs_arr = np.asarray(xs, dtype=float)
-        buckets = self.buckets()
-        total = sum(bucket.count for bucket in buckets)
-        if not buckets or total <= 0:
+        view = self.segment_view()
+        if view.n_buckets == 0 or view.total <= 0:
             return np.zeros(xs_arr.shape, dtype=float)
+        if view.fast:
+            numerators = view.count_at_most_many(
+                xs_arr, include_point_mass_at=include_point_mass_at
+            )
+            return numerators / view.total
 
+        buckets = self.buckets()
+        total = view.total
         cumulative = np.zeros(xs_arr.shape, dtype=float)
         for bucket in buckets:
             if bucket.is_point_mass:
@@ -191,25 +266,49 @@ class Histogram(abc.ABC):
 
 
 class DynamicHistogram(Histogram):
-    """A histogram that is maintained incrementally under insertions and deletions."""
+    """A histogram that is maintained incrementally under insertions and deletions.
+
+    ``insert`` / ``delete`` are template methods: they delegate to the
+    subclass hooks :meth:`_insert` / :meth:`_delete` and invalidate the cached
+    segment view afterwards, so subclasses cannot forget to bump the
+    generation counter.  The invalidation runs even when the hook raises,
+    because a failed update (e.g. a partial deletion) may still have mutated
+    state.
+    """
 
     @abc.abstractmethod
+    def _insert(self, value: float) -> None:
+        """Subclass hook: insert one occurrence of ``value``."""
+
+    @abc.abstractmethod
+    def _delete(self, value: float) -> None:
+        """Subclass hook: delete one occurrence of ``value``."""
+
     def insert(self, value: float) -> None:
         """Insert one occurrence of ``value``."""
+        try:
+            self._insert(value)
+        finally:
+            self._invalidate_view()
 
-    @abc.abstractmethod
     def delete(self, value: float) -> None:
         """Delete one occurrence of ``value``."""
+        try:
+            self._delete(value)
+        finally:
+            self._invalidate_view()
 
     def insert_many(self, values: Iterable[float]) -> None:
         """Insert every value of an iterable, in order."""
+        insert = self.insert
         for value in values:
-            self.insert(value)
+            insert(value)
 
     def apply(self, stream: Iterable) -> None:
         """Replay an update stream of :class:`~repro.workloads.streams.UpdateOp`."""
+        insert, delete = self.insert, self.delete
         for op in stream:
             if op.is_insert:
-                self.insert(op.value)
+                insert(op.value)
             else:
-                self.delete(op.value)
+                delete(op.value)

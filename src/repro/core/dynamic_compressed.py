@@ -137,7 +137,7 @@ class DCHistogram(DynamicHistogram):
     # ------------------------------------------------------------------
     # update API
     # ------------------------------------------------------------------
-    def insert(self, value: float) -> None:
+    def _insert(self, value: float) -> None:
         value = float(value)
         if self._loading is not None:
             self._loading[value] = self._loading.get(value, 0) + 1
@@ -154,7 +154,7 @@ class DCHistogram(DynamicHistogram):
         if self._should_repartition():
             self._repartition()
 
-    def delete(self, value: float) -> None:
+    def _delete(self, value: float) -> None:
         value = float(value)
         if self._loading is not None:
             count = self._loading.get(value, 0)
@@ -166,7 +166,9 @@ class DCHistogram(DynamicHistogram):
                 raise DeletionError(f"value {value!r} is not present in the loading buffer")
             return
 
-        if self.total_count < 1.0 - 1e-9:
+        # Sum the raw counters directly: total_count would build a segment
+        # view that the surrounding delete() template is about to invalidate.
+        if self._regular_total + sum(self._singular.values()) < 1.0 - 1e-9:
             raise DeletionError("cannot delete from an empty histogram")
 
         # Remove one unit of mass.  Counters may hold fractional counts after

@@ -56,12 +56,26 @@ def superimpose(histograms: Sequence[Histogram]) -> UnionHistogram:
     merged: List[Bucket] = []
     if interval_buckets:
         borders = np.unique(np.asarray(border_values, dtype=float))
-        counts = np.zeros(len(borders) - 1, dtype=float)
-        for bucket in interval_buckets:
-            start = int(np.searchsorted(borders, bucket.left, side="left"))
-            end = int(np.searchsorted(borders, bucket.right, side="left"))
-            for slot in range(start, end):
-                counts[slot] += bucket.count_in_range(borders[slot], borders[slot + 1])
+        # Vectorised overlap computation: every member bucket's borders are in
+        # the union border array, so each slot it covers is covered fully and
+        # receives slot_width * bucket_density mass.  Accumulate per-bucket
+        # densities as +density at the bucket's first slot and -density one
+        # past its last; the running sum is then the stacked density of every
+        # slot, without any per-bucket inner loop over slots.
+        lefts = np.asarray([bucket.left for bucket in interval_buckets], dtype=float)
+        rights = np.asarray([bucket.right for bucket in interval_buckets], dtype=float)
+        bucket_counts = np.asarray(
+            [bucket.count for bucket in interval_buckets], dtype=float
+        )
+        densities = bucket_counts / (rights - lefts)
+        starts = np.searchsorted(borders, lefts, side="left")
+        ends = np.searchsorted(borders, rights, side="left")
+        density_deltas = np.zeros(len(borders), dtype=float)
+        np.add.at(density_deltas, starts, densities)
+        np.add.at(density_deltas, ends, -densities)
+        # Cancellation in the running sum can leave slots covered by no bucket
+        # at a tiny negative density instead of exactly zero; clamp them.
+        counts = np.maximum(np.cumsum(density_deltas[:-1]) * np.diff(borders), 0.0)
         merged.extend(
             Bucket(float(borders[i]), float(borders[i + 1]), float(counts[i]))
             for i in range(len(counts))

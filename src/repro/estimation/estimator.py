@@ -10,7 +10,9 @@ up in a query optimizer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from ..core.base import Histogram
 from ..exceptions import EmptyHistogramError
@@ -92,6 +94,55 @@ class SelectivityEstimator:
             return 0.0
         return self.estimate_count(predicate) / total
 
+    def estimate_counts(self, predicates: Sequence[Predicate]) -> np.ndarray:
+        """Vectorised :meth:`estimate_count` over a batch of predicates.
+
+        Interval predicates are clamped and evaluated in one pass against the
+        histogram's cached segment view; equality predicates (already O(log B)
+        each) are filled in individually.
+        """
+        predicate_list = list(predicates)
+        results = np.zeros(len(predicate_list), dtype=float)
+        if not predicate_list:
+            return results
+        try:
+            domain_low = self._histogram.min_value
+            domain_high = self._histogram.max_value
+        except EmptyHistogramError:
+            return results
+
+        lows = np.empty(len(predicate_list), dtype=float)
+        highs = np.empty(len(predicate_list), dtype=float)
+        interval_mask = np.zeros(len(predicate_list), dtype=bool)
+        for index, predicate in enumerate(predicate_list):
+            if isinstance(predicate, Equals):
+                results[index] = self._histogram.estimate_equal(
+                    predicate.value, value_granularity=self._value_unit
+                )
+                continue
+            low, high = predicate.interval()
+            lows[index] = max(low, domain_low)
+            highs[index] = min(high, domain_high)
+            interval_mask[index] = True
+        if np.any(interval_mask):
+            results[interval_mask] = self._histogram.estimate_ranges(
+                lows[interval_mask], highs[interval_mask]
+            )
+        return results
+
+    @staticmethod
+    def _truth_for(predicate: Predicate, truth: Optional[DataDistribution]):
+        """Exact count and selectivity of ``predicate``, or ``(None, None)``."""
+        if truth is None:
+            return None, None
+        if isinstance(predicate, Equals):
+            true_count = float(truth.frequency(predicate.value))
+        else:
+            low, high = predicate.interval()
+            true_count = truth.range_count(low, high)
+        true_selectivity = true_count / truth.total_count if truth.total_count else 0.0
+        return true_count, true_selectivity
+
     def report(
         self,
         predicate: Predicate,
@@ -101,17 +152,7 @@ class SelectivityEstimator:
         """Estimate one predicate and, if the truth is supplied, its error."""
         estimated_count = self.estimate_count(predicate)
         estimated_selectivity = self.estimate_selectivity(predicate)
-        true_count = None
-        true_selectivity = None
-        if truth is not None:
-            if isinstance(predicate, Equals):
-                true_count = float(truth.frequency(predicate.value))
-            else:
-                low, high = predicate.interval()
-                true_count = truth.range_count(low, high)
-            true_selectivity = (
-                true_count / truth.total_count if truth.total_count else 0.0
-            )
+        true_count, true_selectivity = self._truth_for(predicate, truth)
         return EstimationReport(
             predicate=predicate,
             estimated_count=estimated_count,
@@ -126,5 +167,21 @@ class SelectivityEstimator:
         *,
         truth: Optional[DataDistribution] = None,
     ) -> List[EstimationReport]:
-        """Estimate a batch of predicates."""
-        return [self.report(predicate, truth=truth) for predicate in predicates]
+        """Estimate a batch of predicates (vectorised over the batch)."""
+        predicate_list = list(predicates)
+        estimated_counts = self.estimate_counts(predicate_list)
+        total = self._histogram.total_count
+        reports: List[EstimationReport] = []
+        for predicate, estimated_count in zip(predicate_list, estimated_counts):
+            estimated_count = float(estimated_count)
+            true_count, true_selectivity = self._truth_for(predicate, truth)
+            reports.append(
+                EstimationReport(
+                    predicate=predicate,
+                    estimated_count=estimated_count,
+                    estimated_selectivity=estimated_count / total if total > 0 else 0.0,
+                    true_count=true_count,
+                    true_selectivity=true_selectivity,
+                )
+            )
+        return reports

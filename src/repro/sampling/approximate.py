@@ -105,7 +105,7 @@ class ApproximateCompressedHistogram(DynamicHistogram):
     # ------------------------------------------------------------------
     # update API
     # ------------------------------------------------------------------
-    def insert(self, value: float) -> None:
+    def _insert(self, value: float) -> None:
         value = float(value)
         self._backing.insert(value)
         if self._gamma <= -1.0:
@@ -120,11 +120,14 @@ class ApproximateCompressedHistogram(DynamicHistogram):
         left = min(bucket.left, value)
         right = max(bucket.right, value)
         self._buckets[index] = Bucket(left, right, bucket.count + 1.0)
-        threshold = (2.0 + self._gamma) * self.total_count / self._budget
+        # Sum the bucket list directly: total_count would build a segment
+        # view mid-mutation that the insert() template immediately discards.
+        total = sum(bucket.count for bucket in self._buckets)
+        threshold = (2.0 + self._gamma) * total / self._budget
         if self._buckets[index].count > threshold:
             self._split_and_merge(index, threshold)
 
-    def delete(self, value: float) -> None:
+    def _delete(self, value: float) -> None:
         value = float(value)
         self._backing.delete(value)
         if self._gamma <= -1.0:

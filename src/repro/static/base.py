@@ -115,7 +115,14 @@ def frequency_elements(
 
 
 class StaticHistogram(Histogram):
-    """A histogram whose buckets are fixed at construction time."""
+    """A histogram whose buckets are fixed at construction time.
+
+    Because the bucket list never changes, the vectorised segment view (see
+    :meth:`~repro.core.base.Histogram.segment_view`) is built once, eagerly,
+    and every estimation call afterwards is an O(log B) array lookup; the
+    generation counter stays at its initial value for the histogram's
+    lifetime.
+    """
 
     def __init__(self, buckets: Sequence[Bucket]) -> None:
         if not buckets:
@@ -125,6 +132,7 @@ class StaticHistogram(Histogram):
             if current.left < previous.left:
                 raise ConfigurationError("buckets must be supplied in ascending value order")
         self._buckets: List[Bucket] = ordered
+        self.segment_view()
 
     def buckets(self) -> List[Bucket]:
         return list(self._buckets)

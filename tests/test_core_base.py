@@ -42,6 +42,31 @@ class TestReadAPI:
         assert histogram.estimate_equal(25.0) == pytest.approx(20.0)
         assert histogram.estimate_equal(100.0) == 0.0
 
+    def test_estimate_equal_on_shared_border_counts_once(self):
+        # Regression: a value lying exactly on the border shared by two
+        # adjacent buckets used to satisfy ``left <= value <= right`` in both
+        # and was double-counted.  The half-open convention counts it in the
+        # right bucket only.
+        histogram = StaticHistogram([Bucket(0.0, 10.0, 40.0), Bucket(10.0, 20.0, 60.0)])
+        assert histogram.estimate_equal(10.0) == pytest.approx(6.0)
+
+    def test_estimate_equal_last_bucket_right_border_still_counts(self):
+        histogram = StaticHistogram([Bucket(0.0, 10.0, 40.0), Bucket(10.0, 20.0, 60.0)])
+        assert histogram.estimate_equal(20.0) == pytest.approx(6.0)
+
+    def test_estimate_equal_border_before_gap_still_counts(self):
+        histogram = StaticHistogram([Bucket(0.0, 10.0, 40.0), Bucket(15.0, 20.0, 60.0)])
+        assert histogram.estimate_equal(10.0) == pytest.approx(4.0)
+        assert histogram.estimate_equal(12.0) == 0.0
+
+    def test_estimate_equal_point_mass_on_border_adds_to_one_bucket_share(self):
+        histogram = StaticHistogram(
+            [Bucket(0.0, 10.0, 40.0), Bucket(10.0, 10.0, 7.0), Bucket(10.0, 20.0, 60.0)]
+        )
+        # The point mass contributes fully; the shared border density is
+        # counted once (right bucket).
+        assert histogram.estimate_equal(10.0) == pytest.approx(7.0 + 6.0)
+
     def test_cdf_monotone_and_bounded(self):
         histogram = _simple_histogram()
         xs = np.linspace(-5, 30, 200)

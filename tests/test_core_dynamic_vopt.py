@@ -159,6 +159,72 @@ class TestDeletions:
             histogram.delete(1)
 
 
+class TestProjectSegmentsMassConservation:
+    def test_negative_drift_larger_than_last_slot_preserves_mass(self):
+        # Regression: the drift correction used to clamp ``counts[-1]`` at 0,
+        # silently losing mass whenever floating-point drift was negative and
+        # the last sub-range was empty.  This adversarial projection (a huge
+        # count over thirds of an irrational-ish width, onto borders whose
+        # last sub-range lies beyond the segment) produced drift = -2.0 on the
+        # seed implementation and lost those two units.
+        from repro.core.dynamic_vopt import _project_segments
+
+        left, right, count = 0.3, 1.0, 1e16
+        width = right - left
+        borders = [left, left + width / 3, left + 2 * width / 3, right, right + 1.0]
+        counts = _project_segments([(left, right, count)], borders)
+        assert sum(counts) == count
+        assert all(part >= 0.0 for part in counts)
+
+    def test_positive_drift_goes_to_last_slot(self):
+        from repro.core.dynamic_vopt import _project_segments
+
+        # A segment reaching beyond the last border: the unassigned tail mass
+        # must be folded back so the total is exact.
+        counts = _project_segments([(0.0, 10.0, 100.0)], [0.0, 2.5, 5.0])
+        assert sum(counts) == pytest.approx(100.0)
+
+    @pytest.mark.parametrize("metric_class", [DVOHistogram, DADOHistogram])
+    def test_merges_preserve_mass_exactly(self, metric_class, rng):
+        histogram = metric_class(8)
+        values = rng.integers(0, 10_000, size=3000)
+        inserted = 0
+        for value in values:
+            histogram.insert(float(value))
+            inserted += 1
+        assert histogram.total_count == pytest.approx(inserted, rel=1e-12)
+
+
+class TestOutOfRangeRepartitionCount:
+    def test_under_budget_borrow_is_not_a_repartition(self):
+        # Regression: borrowing a bucket for an out-of-range point used to
+        # increment the repartition counter even when the bucket count was
+        # still under budget and no merge was performed, inflating the
+        # Fig. 13-style construction-cost statistics.
+        histogram = DADOHistogram(8)
+        for value in [10.0, 20.0, 30.0]:
+            histogram.insert(value)
+        histogram.sub_bucketed_buckets()  # force the bootstrap under budget
+        assert not histogram.is_loading
+        assert len(histogram._buckets) < histogram.bucket_budget
+        histogram.insert(500.0)
+        assert histogram.repartition_count == 0
+        histogram.insert(-500.0)
+        assert histogram.repartition_count == 0
+        assert histogram.total_count == pytest.approx(5.0)
+
+    def test_over_budget_borrow_counts_once_merge_happens(self):
+        histogram = DVOHistogram(3)
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.insert(value)  # bootstraps into exactly 3 buckets
+        assert not histogram.is_loading
+        assert len(histogram._buckets) == histogram.bucket_budget
+        before = histogram.repartition_count
+        histogram.insert(100.0)
+        assert histogram.repartition_count == before + 1
+        assert len(histogram._buckets) == histogram.bucket_budget
+
+
 class TestSubBucketAblation:
     @pytest.mark.parametrize("sub_buckets", [2, 3, 4])
     def test_all_sub_bucket_counts_work(self, sub_buckets, uniform_values):

@@ -9,6 +9,7 @@ from repro import (
     DataDistribution,
     DADOHistogram,
     DCHistogram,
+    DVOHistogram,
     ReservoirSampler,
     SubBucketedBucket,
     ks_statistic_between,
@@ -215,6 +216,96 @@ def test_dado_insert_then_delete_everything(values, seed):
     for value in rng.permutation(np.asarray(values, dtype=float)):
         histogram.delete(float(value))
     assert abs(histogram.total_count) < 1e-6
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "insert_far", "delete"]),
+        st.integers(min_value=0, max_value=300),
+    ),
+    min_size=20,
+    max_size=250,
+)
+
+
+@st.composite
+def interleaved_stream(draw):
+    """A stream of inserts, far out-of-range inserts and safe deletes."""
+    ops = draw(ops_strategy)
+    return ops
+
+
+@given(st.sampled_from([DADOHistogram, DVOHistogram]), interleaved_stream())
+@settings(max_examples=40, deadline=None)
+def test_dynamic_vopt_mass_conservation_under_interleaved_stream(histogram_class, ops):
+    """Mass in == mass retained under long interleaved update streams.
+
+    Inserts (including far out-of-range ones, which exercise the borrow-and-
+    merge path) add exactly one unit each; deletes remove exactly one unit of
+    previously inserted mass.  No maintenance operation may leak mass.
+    """
+    histogram = histogram_class(10)
+    live = 0
+    far_offset = 100_000
+    n_far = 0
+    for op, value in ops:
+        if op == "insert":
+            histogram.insert(float(value))
+            live += 1
+        elif op == "insert_far":
+            # Alternate far beyond both ends so end buckets keep stretching.
+            n_far += 1
+            sign = 1 if n_far % 2 else -1
+            histogram.insert(float(sign * (far_offset + value * 10)))
+            live += 1
+        elif live > 0 and not histogram.is_loading:
+            histogram.delete(float(value))
+            live -= 1
+    np.testing.assert_allclose(histogram.total_count, live, rtol=1e-9, atol=1e-6)
+
+
+@given(interleaved_stream())
+@settings(max_examples=25, deadline=None)
+def test_incremental_phi_caches_match_full_rebuild(ops):
+    """The spliced phi / border caches always equal a from-scratch rebuild."""
+    histogram = DADOHistogram(8)
+    live = 0
+    for index, (op, value) in enumerate(ops):
+        if op == "insert":
+            histogram.insert(float(value))
+            live += 1
+        elif op == "insert_far":
+            histogram.insert(float(50_000 + value * 7))
+            live += 1
+        elif live > 0 and not histogram.is_loading:
+            histogram.delete(float(value))
+            live -= 1
+        if histogram.is_loading or index % 10:
+            continue
+        incremental = (
+            list(histogram._lefts),
+            list(histogram._phis),
+            list(histogram._pair_phis),
+        )
+        histogram._rebuild_caches()
+        rebuilt = (
+            list(histogram._lefts),
+            list(histogram._phis),
+            list(histogram._pair_phis),
+        )
+        assert incremental == rebuilt
+    if not histogram.is_loading:
+        incremental = (
+            list(histogram._lefts),
+            list(histogram._phis),
+            list(histogram._pair_phis),
+        )
+        histogram._rebuild_caches()
+        assert incremental == (
+            list(histogram._lefts),
+            list(histogram._phis),
+            list(histogram._pair_phis),
+        )
 
 
 # Reservoir sampling ----------------------------------------------------------
