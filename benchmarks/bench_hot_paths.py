@@ -42,10 +42,24 @@ DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_hot_paths.
 class LegacyDADOHistogram(DADOHistogram):
     """The seed's maintenance strategy, for the "before" measurements.
 
-    Restores the three seed behaviours the overhaul removed: a border list is
-    rebuilt on every bucket location, and every merge / split / out-of-range
-    borrow recomputes *all* bucket and pair phis from scratch.
+    Restores the seed behaviours the overhaul removed: a border list is
+    rebuilt on every bucket location, every merge / split / out-of-range
+    borrow recomputes *all* bucket and pair phis from scratch, and phi goes
+    through the generic :func:`~repro.core.deviation.segments_phi` path
+    (the service PR added an allocation-free specialisation for k=2).
     """
+
+    def _bucket_phi(self, bucket):
+        from repro.core.deviation import segments_phi
+
+        return segments_phi(bucket.segments(), self.metric, value_unit=self._value_unit)
+
+    def _merged_phi(self, first, second):
+        from repro.core.deviation import segments_phi
+
+        return segments_phi(
+            first.segments() + second.segments(), self.metric, value_unit=self._value_unit
+        )
 
     def _locate_bucket(self, value: float) -> int:
         import bisect

@@ -1,0 +1,237 @@
+"""Statistics service throughput benchmark: batched vs naive multi-attribute ingest.
+
+Measures the serving layer added by the service PR and records the trajectory
+in ``BENCH_service.json``:
+
+* **naive per-value ingest** -- one ``HistogramStore.insert`` call per value
+  with strict per-value maintenance (``repartition_interval=1``): every value
+  pays a registry lookup, a lock round-trip, template-method dispatch and a
+  maintenance check;
+* **batched pipeline ingest** -- the same per-value submission stream routed
+  through the :class:`~repro.service.ingest.IngestPipeline`, which buffers per
+  attribute and flushes through the vectorised ``insert_many`` path with the
+  store's maintenance batching interval;
+* **concurrent serve** -- writer threads ingesting through the pipeline while
+  reader threads run consistent estimate batches against the same store,
+  reporting sustained combined throughput.
+
+Both ingest strategies are checked to conserve every submitted value.  Run
+directly: ``python benchmarks/bench_service.py [--smoke]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import threading
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.service import HistogramStore, IngestPipeline  # noqa: E402
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+#: (name, kind) pairs: a mixed catalog, as a real system would hold.
+ATTRIBUTE_MIX = [
+    ("age", "dc"),
+    ("price", "dc"),
+    ("quantity", "dado"),
+    ("score", "dvo"),
+]
+
+
+def build_store() -> HistogramStore:
+    store = HistogramStore()
+    for name, kind in ATTRIBUTE_MIX:
+        store.create(name, kind, memory_kb=0.5)
+    return store
+
+
+def ingest_stream(n: int, seed: int = 21):
+    """Per-value (attribute, value) pairs round-robining over the catalog.
+
+    Values follow the paper's cluster-distributed shape (skewed cluster
+    centres plus local noise), the workload every figure experiment uses.
+    """
+    rng = np.random.default_rng(seed)
+    centres = rng.choice(np.arange(0, 5000, 250), size=n)
+    values = (centres + rng.integers(-40, 41, size=n)).astype(float)
+    names = [ATTRIBUTE_MIX[i % len(ATTRIBUTE_MIX)][0] for i in range(n)]
+    return list(zip(names, values))
+
+
+def _check_conservation(store: HistogramStore, n_values: int) -> None:
+    total = sum(store.total_count(name) for name, _ in ATTRIBUTE_MIX)
+    if abs(total - n_values) > 1e-6 * max(1.0, n_values):
+        raise AssertionError(
+            f"ingest lost values: store holds {total}, expected {n_values}"
+        )
+
+
+# ----------------------------------------------------------------------
+# benchmark sections
+# ----------------------------------------------------------------------
+def bench_ingest(n_values: int, max_batch: int) -> dict:
+    stream = ingest_stream(n_values)
+
+    def run_naive() -> HistogramStore:
+        store = build_store()
+        insert = store.insert
+        for name, value in stream:
+            insert(name, (value,), repartition_interval=1)
+        return store
+
+    def run_batched() -> HistogramStore:
+        store = build_store()
+        pipeline = IngestPipeline(store, max_batch=max_batch, repartition_interval=64)
+        with pipeline:
+            submit = pipeline.submit
+            for name, value in stream:
+                submit(name, (value,))
+        return store
+
+    # Both strategies must conserve every submitted value.
+    _check_conservation(run_naive(), n_values)
+    _check_conservation(run_batched(), n_values)
+
+    def throughput(fn, repeats: int = 3) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return n_values / best
+
+    naive = throughput(run_naive)
+    batched = throughput(run_batched)
+    return {
+        "workload": (
+            f"{n_values} per-value ingests round-robined over "
+            f"{len(ATTRIBUTE_MIX)} attributes ({'/'.join(k for _, k in ATTRIBUTE_MIX)})"
+        ),
+        "naive_per_value_per_sec": round(naive, 1),
+        "batched_pipeline_per_sec": round(batched, 1),
+        "max_batch": max_batch,
+        "speedup": round(batched / naive, 2),
+    }
+
+
+def bench_concurrent_serve(
+    n_values: int, max_batch: int, n_writers: int, n_readers: int
+) -> dict:
+    store = build_store()
+    per_writer = n_values // n_writers
+    queries_served = [0] * n_readers
+    stop = threading.Event()
+    errors: list = []
+
+    def writer(index: int, pipeline: IngestPipeline) -> None:
+        rng = np.random.default_rng(100 + index)
+        try:
+            name = ATTRIBUTE_MIX[index % len(ATTRIBUTE_MIX)][0]
+            centres = rng.choice(np.arange(0, 5000, 250), size=per_writer)
+            values = (centres + rng.integers(-40, 41, size=per_writer)).astype(float)
+            for value in values:
+                pipeline.submit(name, (value,))
+        except Exception as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+
+    def reader(index: int) -> None:
+        rng = np.random.default_rng(200 + index)
+        served = 0
+        try:
+            while not stop.is_set():
+                name = ATTRIBUTE_MIX[served % len(ATTRIBUTE_MIX)][0]
+                low = float(rng.uniform(0, 1500))
+                store.query(
+                    name,
+                    [
+                        {"op": "range", "low": low, "high": low + 200.0},
+                        {"op": "total"},
+                    ],
+                )
+                served += 1
+        except Exception as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+        queries_served[index] = served
+
+    start = time.perf_counter()
+    with IngestPipeline(store, max_batch=max_batch, repartition_interval=64) as pipeline:
+        writers = [
+            threading.Thread(target=writer, args=(index, pipeline))
+            for index in range(n_writers)
+        ]
+        readers = [
+            threading.Thread(target=reader, args=(index,)) for index in range(n_readers)
+        ]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+    ingest_elapsed = time.perf_counter() - start
+    stop.set()
+    for thread in readers:
+        thread.join()
+
+    if errors:
+        raise AssertionError(f"concurrent serve failed: {errors[0]!r}")
+    ingested = per_writer * n_writers
+    _check_conservation(store, ingested)
+    return {
+        "workload": (
+            f"{n_writers} writer threads ({ingested} values through the pipeline) "
+            f"+ {n_readers} reader threads (consistent 2-op estimate batches)"
+        ),
+        "ingest_per_sec": round(ingested / ingest_elapsed, 1),
+        "queries_per_sec": round(sum(queries_served) / ingest_elapsed, 1),
+        "queries_served_during_ingest": int(sum(queries_served)),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=DEFAULT_OUTPUT, help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n_ingest, max_batch = 6_000, 512
+        n_concurrent, n_writers, n_readers = 8_000, 2, 1
+    else:
+        n_ingest, max_batch = 40_000, 1024
+        n_concurrent, n_writers, n_readers = 60_000, 4, 2
+
+    results = {
+        "benchmark": "service",
+        "smoke": bool(args.smoke),
+        "python": sys.version.split()[0],
+        "sections": {
+            "multi_attribute_ingest": bench_ingest(n_ingest, max_batch),
+            "concurrent_serve": bench_concurrent_serve(
+                n_concurrent, max_batch, n_writers, n_readers
+            ),
+        },
+    }
+
+    args.out.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(results, indent=2))
+
+    speedup = results["sections"]["multi_attribute_ingest"]["speedup"]
+    print(
+        f"\nbatched pipeline ingest: {speedup:.2f}x naive per-value (target: >= 5x)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Statistics service: a concurrent multi-attribute catalog over HTTP.
+
+This example runs the full service stack in one process:
+
+1. a :class:`~repro.service.store.HistogramStore` managing three attributes
+   with different dynamic histogram classes,
+2. an :class:`~repro.service.ingest.IngestPipeline` batching a simulated
+   update stream into the vectorised ``insert_many`` path,
+3. a :class:`~repro.service.server.StatisticsServer` (stdlib
+   ``ThreadingHTTPServer``) exposing the JSON API, driven through the
+   matching :class:`~repro.service.client.StatisticsClient`,
+4. a snapshot/restore cycle, the catalog persistence a real optimizer
+   would rely on across restarts.
+
+Run with::
+
+    python examples/statistics_service.py
+
+The same server can be started standalone with
+``repro-experiments serve -a age:dc:1.0 -a price:dado:1.0`` and inspected
+with ``repro-experiments store-stats``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    HistogramStore,
+    IngestPipeline,
+    StatisticsClient,
+    StatisticsServer,
+)
+
+
+def main() -> None:
+    # 1. A store with one histogram per attribute, each 1 KB of memory.
+    store = HistogramStore()
+    store.create("age", "dc", memory_kb=1.0)
+    store.create("price", "dado", memory_kb=1.0)
+    store.create("quantity", "dvo", memory_kb=1.0)
+
+    # 2. Stream updates through the batching pipeline: submissions arrive one
+    #    value at a time (as an operational stream would), the pipeline
+    #    buffers them per attribute and flushes 1024-value batches through
+    #    insert_many.
+    rng = np.random.default_rng(7)
+    with IngestPipeline(store, max_batch=1024) as pipeline:
+        for value in rng.normal(40, 12, 20_000):
+            pipeline.submit("age", (float(value),))
+        for value in rng.lognormal(3.0, 0.6, 20_000):
+            pipeline.submit("price", (float(value),))
+        for value in rng.integers(1, 50, 20_000):
+            pipeline.submit("quantity", (float(value),))
+    print("ingested:", {name: round(store.total_count(name)) for name in store.names()})
+
+    # 3. Serve estimates over HTTP while more updates stream in.
+    with StatisticsServer(store) as server:
+        host, port = server.address
+        client = StatisticsClient(host, port)
+        print(f"server: http://{host}:{port}  health={client.health()['status']}")
+
+        # A consistent batch: every result describes one histogram state.
+        response = client.query(
+            "age",
+            [
+                {"op": "total"},
+                {"op": "range", "low": 30, "high": 50},
+                {"op": "selectivity", "low": 30, "high": 50},
+                {"op": "equal", "value": 40},
+            ],
+        )
+        total, in_range, selectivity, equal = response["results"]
+        print(
+            f"age: total={total:.0f}, range[30,50]={in_range:.0f} "
+            f"(selectivity {selectivity:.1%}), equal(40)={equal:.1f}"
+        )
+
+        # Updates over HTTP hit the same store the estimates come from.
+        client.ingest("price", insert=[19.99] * 500)
+        print(f"price total after HTTP ingest: {client.total_count('price'):.0f}")
+
+        # 4. Snapshot one attribute, lose it, restore it -- catalog persistence.
+        snapshot = client.snapshot("price")
+        client.drop("price")
+        client.restore("price", snapshot)
+        print(f"price total after drop + restore: {client.total_count('price'):.0f}")
+
+        for stats in store.stats_all():
+            print(
+                f"  {stats.name:<9} {stats.kind:<5} buckets={stats.bucket_count:<3} "
+                f"gen={stats.generation:<3} repartitions={stats.repartition_count}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -25,9 +25,12 @@ from .exceptions import (
     ConfigurationError,
     DeletionError,
     DomainError,
+    DuplicateAttributeError,
     EmptyHistogramError,
     HistogramError,
     InsufficientDataError,
+    ServiceError,
+    UnknownAttributeError,
 )
 from .metrics import (
     DataDistribution,
@@ -98,6 +101,20 @@ from .persistence import (
     load_histogram,
     save_histogram,
 )
+# The service layer (HTTP server, threading pipeline) is re-exported lazily
+# via module __getattr__ below, so `import repro` for the figure experiments
+# and library users never pays for the http.server/http.client stack.
+_SERVICE_EXPORTS = frozenset(
+    ["AttributeStats", "HistogramStore", "IngestPipeline", "StatisticsServer", "StatisticsClient"]
+)
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from . import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __version__ = "1.0.0"
 
@@ -110,6 +127,9 @@ __all__ = [
     "DomainError",
     "DeletionError",
     "InsufficientDataError",
+    "ServiceError",
+    "UnknownAttributeError",
+    "DuplicateAttributeError",
     # metrics
     "DataDistribution",
     "ks_statistic",
@@ -181,4 +201,10 @@ __all__ = [
     "histogram_from_dict",
     "save_histogram",
     "load_histogram",
+    # service
+    "AttributeStats",
+    "HistogramStore",
+    "IngestPipeline",
+    "StatisticsServer",
+    "StatisticsClient",
 ]

@@ -7,7 +7,11 @@ The CLI mirrors what the benchmark harness does, but as a user-facing tool:
   and print their sweep tables, optionally at a different scale / repetition
   count and optionally exporting CSV files;
 * ``repro-experiments compare`` -- build every histogram class on the reference
-  distribution at equal memory and print a leaderboard.
+  distribution at equal memory and print a leaderboard;
+* ``repro-experiments serve`` -- run the statistics service HTTP server
+  (:mod:`repro.service`) with a configurable set of attributes;
+* ``repro-experiments store-stats`` -- pretty-print the attribute stats of a
+  running statistics server.
 
 Invoke either through the installed ``repro-experiments`` script or with
 ``python -m repro.cli``.
@@ -31,7 +35,7 @@ from .metrics.distribution import DataDistribution
 from .metrics.ks import ks_statistic
 from .workloads.streams import random_insertions
 
-__all__ = ["main", "available_experiments"]
+__all__ = ["main", "available_experiments", "format_store_stats"]
 
 
 def available_experiments() -> Dict[str, Callable[..., SweepResult]]:
@@ -94,6 +98,36 @@ def _build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--memory-kb", type=float, default=0.5)
     compare_parser.add_argument("--scale", type=float, default=0.05)
     compare_parser.add_argument("--seed", type=int, default=0)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the statistics service HTTP server"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8181,
+                              help="TCP port to bind (0 picks an ephemeral port)")
+    serve_parser.add_argument(
+        "--attribute", "-a", action="append", default=[],
+        metavar="NAME[:KIND[:MEMORY_KB]]",
+        help="pre-create an attribute, e.g. 'age:dc:1.0' (repeatable; kind "
+             "defaults to dc, memory to 1.0 KB)",
+    )
+    serve_parser.add_argument("--max-batch", type=int, default=1024,
+                              help="ingest pipeline size trigger (default 1024)")
+    serve_parser.add_argument(
+        "--flush-interval", type=float, default=0.25,
+        help="seconds between background flushes of buffered ingests; "
+             "0 applies every ingest request synchronously (default 0.25)",
+    )
+    serve_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="serve for this many seconds then exit (default: run until interrupted)",
+    )
+
+    store_stats_parser = subparsers.add_parser(
+        "store-stats", help="pretty-print the stats of a running statistics server"
+    )
+    store_stats_parser.add_argument("--host", default="127.0.0.1")
+    store_stats_parser.add_argument("--port", type=int, default=8181)
     return parser
 
 
@@ -165,6 +199,93 @@ def _command_compare(args, out) -> int:
     return 0
 
 
+def _parse_attribute_spec(spec: str):
+    """Parse a ``NAME[:KIND[:MEMORY_KB]]`` attribute specification."""
+    parts = spec.split(":")
+    if not parts[0] or len(parts) > 3:
+        raise ValueError(f"invalid attribute spec {spec!r}; expected NAME[:KIND[:MEMORY_KB]]")
+    name = parts[0]
+    kind = parts[1] if len(parts) > 1 and parts[1] else "dc"
+    memory_kb = float(parts[2]) if len(parts) > 2 and parts[2] else 1.0
+    return name, kind, memory_kb
+
+
+def _command_serve(args, out) -> int:
+    from .service import HistogramStore, IngestPipeline, StatisticsServer
+
+    store = HistogramStore()
+    try:
+        specs = [_parse_attribute_spec(spec) for spec in args.attribute]
+    except ValueError as error:
+        out.write(f"{error}\n")
+        return 2
+    for name, kind, memory_kb in specs:
+        store.create(name, kind, memory_kb=memory_kb, exist_ok=True)
+
+    pipeline = None
+    if args.flush_interval and args.flush_interval > 0:
+        pipeline = IngestPipeline(
+            store, max_batch=args.max_batch, auto_flush_interval=args.flush_interval
+        )
+    server = StatisticsServer(store, host=args.host, port=args.port, pipeline=pipeline)
+    host, port = server.address
+    attributes = ", ".join(store.names()) or "none"
+    out.write(f"statistics service listening on http://{host}:{port}\n")
+    out.write(f"attributes: {attributes}\n")
+    if hasattr(out, "flush"):
+        out.flush()
+    if args.duration is not None:
+        server.start()
+        time.sleep(args.duration)
+        server.stop()
+        return 0
+    try:  # pragma: no cover - interactive foreground mode
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    finally:  # pragma: no cover
+        server.stop()
+    return 0  # pragma: no cover
+
+
+def format_store_stats(attributes) -> str:
+    """A ``compare``-style table of per-attribute store statistics.
+
+    ``attributes`` is a list of stat dictionaries as returned by the server's
+    ``/stats`` endpoint (or ``AttributeStats.to_dict()``).
+    """
+    header = (
+        f"{'attribute':<16} {'kind':<6} {'mem KB':>7} {'buckets':>8} "
+        f"{'total':>12} {'gen':>6} {'repart':>7} {'inserted':>10} {'deleted':>8} {'state':<8}"
+    )
+    lines = [header]
+    for stats in attributes:
+        state = "loading" if stats.get("is_loading") else "serving"
+        lines.append(
+            f"{stats['name']:<16} {stats['kind']:<6} {stats['memory_kb']:>7.2f} "
+            f"{stats['bucket_count']:>8d} {stats['total_count']:>12.0f} "
+            f"{stats['generation']:>6d} {stats['repartition_count']:>7d} "
+            f"{stats['inserted']:>10d} {stats['deleted']:>8d} {state:<8}"
+        )
+    return "\n".join(lines)
+
+
+def _command_store_stats(args, out) -> int:
+    from .exceptions import ServiceError
+    from .service import StatisticsClient
+
+    client = StatisticsClient(args.host, args.port)
+    try:
+        attributes = client.stats()["attributes"]
+    except (OSError, ServiceError) as error:
+        out.write(f"cannot reach statistics server at {args.host}:{args.port}: {error}\n")
+        return 2
+    out.write(f"statistics server at {args.host}:{args.port} "
+              f"({len(attributes)} attribute(s))\n")
+    out.write(format_store_stats(attributes) + "\n")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -176,6 +297,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_run(args, out)
     if args.command == "compare":
         return _command_compare(args, out)
+    if args.command == "serve":
+        return _command_serve(args, out)
+    if args.command == "store-stats":
+        return _command_store_stats(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -16,6 +16,7 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from .._validation import require_positive_int
 from ..exceptions import EmptyHistogramError
 from ..metrics.distribution import DataDistribution
 from .bucket import Bucket
@@ -298,8 +299,17 @@ class DynamicHistogram(Histogram):
         finally:
             self._invalidate_view()
 
-    def insert_many(self, values: Iterable[float]) -> None:
-        """Insert every value of an iterable, in order."""
+    def insert_many(self, values: Iterable[float], *, repartition_interval: int = 1) -> None:
+        """Insert every value of an iterable, in order.
+
+        ``repartition_interval`` is a batching hint shared by every dynamic
+        histogram: implementations with an amortisable maintenance step (the
+        DC Chi-square check, the DVO/DADO split-merge scan) may run it only
+        every that many insertions instead of after each one.  The base
+        implementation performs plain per-value inserts and ignores the hint,
+        so passing it is always safe.
+        """
+        require_positive_int(repartition_interval, "repartition_interval")
         insert = self.insert
         for value in values:
             insert(value)

@@ -24,15 +24,20 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from .._validation import require_positive_float, require_positive_int
 from ..exceptions import ConfigurationError, DeletionError, InsufficientDataError
 from .base import DynamicHistogram
 from .bucket import Bucket, SubBucketedBucket
-from .deviation import DeviationMetric, segments_phi
+from .deviation import DeviationMetric
 
 __all__ = ["DVOHistogram", "DADOHistogram"]
 
 Segment = Tuple[float, float, float]
+
+#: Below this batch size the vectorised insert path costs more than it saves.
+_VECTOR_MIN_BATCH = 32
 
 
 class _VBucket:
@@ -127,6 +132,104 @@ def _project_segments(segments: Sequence[Segment], borders: Sequence[float]) -> 
             counts[part] -= taken
             deficit -= taken
     return counts
+
+
+def _k2_value_counts(left: float, right: float, value_unit: float) -> Tuple[float, float]:
+    """Domain-value counts of a non-point-mass 2-sub-bucket bucket's segments.
+
+    Replicates exactly what :func:`_phi_of_segments` would derive from
+    ``bucket.segments()`` -- including the floating-point identities of the
+    border arithmetic in ``_VBucket.borders()`` -- without building the border
+    and segment lists.
+    """
+    width = right - left
+    middle = left + width / 2
+    first_width = middle - left
+    second_width = right - middle
+    if first_width <= 0:
+        n0 = 1.0
+    else:
+        n0 = first_width / value_unit
+        if n0 < 1.0:
+            n0 = 1.0
+    if second_width <= 0:
+        n1 = 1.0
+    else:
+        n1 = second_width / value_unit
+        if n1 < 1.0:
+            n1 = 1.0
+    return n0, n1
+
+
+def _phi_of_counts(
+    value_counts: Tuple[float, ...], counts: Tuple[float, ...], variance: bool
+) -> float:
+    """Phi of parallel (value-count, point-count) segment tuples.
+
+    The allocation-free core of :func:`_phi_of_segments`, used by the
+    per-insert phi refreshes; the accumulation order matches the generic
+    implementation so cached phis stay bit-identical to a full rebuild.
+    """
+    total_values = 0.0
+    total_count = 0.0
+    for n_values in value_counts:
+        total_values += n_values
+    for count in counts:
+        total_count += count
+    if total_values <= 0 or total_count <= 0:
+        return 0.0
+    average = total_count / total_values
+    phi = 0.0
+    if variance:
+        for n_values, count in zip(value_counts, counts):
+            deviation = count / n_values - average
+            phi += n_values * (deviation * deviation)
+    else:
+        for n_values, count in zip(value_counts, counts):
+            deviation = count / n_values - average
+            phi += n_values * abs(deviation)
+    return phi
+
+
+def _phi_of_segments(segments: List[Segment], variance: bool, value_unit: float) -> float:
+    """Specialised :func:`~repro.core.deviation.segments_phi` for the hot path.
+
+    Phi refreshes run once per inserted value, so the generic implementation's
+    per-call overhead (enum coercion, validation, per-segment method dispatch)
+    dominates bucket maintenance.  This inlined version performs the *exact*
+    same floating-point operations in the same order -- the cached phis must be
+    bit-identical to a from-scratch ``segments_phi`` rebuild
+    (``tests/test_properties.py`` asserts that equivalence).
+    """
+    if not segments:
+        return 0.0
+    value_counts: List[float] = []
+    total_values = 0.0
+    total_count = 0.0
+    for left, right, count in segments:
+        width = right - left
+        if width <= 0:
+            n_values = 1.0
+        else:
+            n_values = width / value_unit
+            if n_values < 1.0:
+                n_values = 1.0
+        value_counts.append(n_values)
+        total_values += n_values
+        total_count += count
+    if total_values <= 0 or total_count <= 0:
+        return 0.0
+    average = total_count / total_values
+    phi = 0.0
+    if variance:
+        for (_, _, count), n_values in zip(segments, value_counts):
+            deviation = count / n_values - average
+            phi += n_values * (deviation * deviation)
+    else:
+        for (_, _, count), n_values in zip(segments, value_counts):
+            deviation = count / n_values - average
+            phi += n_values * abs(deviation)
+    return phi
 
 
 class DVOHistogram(DynamicHistogram):
@@ -285,8 +388,98 @@ class DVOHistogram(DynamicHistogram):
         higher sustained insert throughput on bulk loads.  Out-of-range
         insertions still rebalance immediately, and the total count is always
         exact.
+
+        Between two maintenance points nothing reads the phi caches, so the
+        batch is processed one *interval chunk* at a time: a chunk whose
+        values all land inside existing buckets is binned with one
+        ``searchsorted`` + ``bincount`` pass (sub-bucket counter increments
+        commute, so the end-of-chunk state matches per-value insertion up to
+        floating-point associativity of the counter sums), and only then are
+        the phi/pair-phi caches refreshed for the distinct touched buckets and
+        the split/merge scan run.  Chunks containing out-of-range or
+        border-gap values fall back to strict per-value handling, since those
+        mutate bucket ranges mid-chunk.
         """
         require_positive_int(repartition_interval, "repartition_interval")
+        if isinstance(values, np.ndarray):
+            arr = values.astype(float, copy=False).ravel()
+            n_values = arr.shape[0]
+        else:
+            arr = list(values)
+            n_values = len(arr)
+        if repartition_interval == 1 or n_values < _VECTOR_MIN_BATCH:
+            # Small batches (and strict per-value maintenance) are faster
+            # without the numpy round-trip; this also keeps single-value
+            # insert_many calls as cheap as plain insert.
+            self._insert_many_scalar(arr, repartition_interval)
+            return
+        arr = np.asarray(arr, dtype=float)
+        dirty: set = set()
+        # Border arrays are reused across chunks; bucket ranges only change
+        # when maintenance runs (split/merge bumps repartition_count) or a
+        # chunk falls back to the per-value path (stretch / borrow), so the
+        # cache is dropped exactly there.
+        borders = None
+        try:
+            pending = 0
+            position = 0
+            while position < n_values:
+                if self._loading is not None:
+                    self._insert_value(float(arr[position]))
+                    position += 1
+                    continue
+                chunk = arr[position : position + repartition_interval]
+                position += chunk.shape[0]
+                if borders is None:
+                    buckets = self._buckets
+                    borders = (
+                        np.asarray(self._lefts, dtype=float),
+                        np.fromiter(
+                            (bucket.right for bucket in buckets),
+                            dtype=float,
+                            count=len(buckets),
+                        ),
+                    )
+                if self._apply_chunk_vectorised(chunk, borders, dirty):
+                    pending += chunk.shape[0]
+                else:
+                    borders = None
+                    for value in chunk:
+                        value = float(value)
+                        if self._loading is not None:  # pragma: no cover - defensive
+                            self._insert_value(value)
+                            continue
+                        if value < self._buckets[0].left or value > self._buckets[-1].right:
+                            self._refresh_dirty(dirty)
+                            self._insert_out_of_range(value)
+                            continue
+                        index = self._locate_bucket(value)
+                        bucket = self._buckets[index]
+                        bucket.counts[bucket.sub_bucket_index(value)] += 1.0
+                        dirty.add(index)
+                        pending += 1
+                        if pending >= repartition_interval:
+                            self._refresh_dirty(dirty)
+                            self._maybe_repartition()
+                            pending = 0
+                if pending >= repartition_interval:
+                    self._refresh_dirty(dirty)
+                    repartitions_before = self._repartition_count
+                    self._maybe_repartition()
+                    if self._repartition_count != repartitions_before:
+                        borders = None
+                    pending = 0
+            if pending:
+                self._refresh_dirty(dirty)
+                self._maybe_repartition()
+        finally:
+            # On an exception mid-batch the dirty buckets must still be
+            # refreshed, or later maintenance would read stale phis.
+            self._refresh_dirty(dirty)
+            self._invalidate_view()
+
+    def _insert_many_scalar(self, values, repartition_interval: int) -> None:
+        """Per-value batch insertion (strict maintenance, immediate refresh)."""
         try:
             pending = 0
             for value in values:
@@ -299,6 +492,71 @@ class DVOHistogram(DynamicHistogram):
                 self._maybe_repartition()
         finally:
             self._invalidate_view()
+
+    def _apply_chunk_vectorised(
+        self, chunk: "np.ndarray", borders: Tuple["np.ndarray", "np.ndarray"], dirty: set
+    ) -> bool:
+        """Bin a chunk of values into sub-bucket counters in one numpy pass.
+
+        ``borders`` is the caller-cached ``(lefts, rights)`` array pair of the
+        current bucket list.  Only applies when every value lands strictly
+        inside an existing bucket's range (no out-of-range extension, no
+        border-gap stretch); returns False otherwise so the caller can fall
+        back to per-value handling.  Touched bucket indices are added to
+        ``dirty`` -- the caller must refresh the phi caches before they are
+        next consumed.
+        """
+        buckets = self._buckets
+        n_buckets = len(buckets)
+        lefts, rights = borders
+        if np.any(chunk < lefts[0]) or np.any(chunk > rights[-1]):
+            return False
+        indices = np.searchsorted(lefts, chunk, side="right") - 1
+        np.clip(indices, 0, n_buckets - 1, out=indices)
+        bucket_rights = rights[indices]
+        if np.any(chunk > bucket_rights):
+            # Values inside a border gap: _locate_bucket would stretch a
+            # bucket, which must happen in submission order.
+            return False
+        k = self._k
+        if k == 1:
+            flat_indices = indices
+        else:
+            bucket_lefts = lefts[indices]
+            widths = bucket_rights - bucket_lefts
+            with np.errstate(divide="ignore", invalid="ignore"):
+                subs = ((chunk - bucket_lefts) / widths * k).astype(np.int64)
+            subs[widths <= 0] = 0
+            np.clip(subs, 0, k - 1, out=subs)
+            flat_indices = indices * k + subs
+        increments = np.bincount(flat_indices, minlength=n_buckets * k)
+        for flat_index in np.nonzero(increments)[0]:
+            bucket_index = int(flat_index) // k
+            buckets[bucket_index].counts[int(flat_index) % k] += float(
+                increments[flat_index]
+            )
+            dirty.add(bucket_index)
+        return True
+
+    def _refresh_dirty(self, dirty: set) -> None:
+        """Recompute cached phis for the distinct dirty buckets, then clear."""
+        if not dirty:
+            return
+        buckets = self._buckets
+        phis = self._phis
+        pair_indices = set()
+        for index in dirty:
+            phis[index] = self._bucket_phi(buckets[index])
+            if index > 0:
+                pair_indices.add(index - 1)
+            if index + 1 < len(buckets):
+                pair_indices.add(index)
+        pair_phis = self._pair_phis
+        for pair_index in pair_indices:
+            pair_phis[pair_index] = self._merged_phi(
+                buckets[pair_index], buckets[pair_index + 1]
+            )
+        dirty.clear()
 
     def _delete(self, value: float) -> None:
         value = float(value)
@@ -440,11 +698,36 @@ class DVOHistogram(DynamicHistogram):
     # phi caches
     # ------------------------------------------------------------------
     def _bucket_phi(self, bucket: _VBucket) -> float:
-        return segments_phi(bucket.segments(), self.metric, value_unit=self._value_unit)
+        if bucket.right == bucket.left:
+            # A point-mass bucket is a single segment: phi is exactly zero.
+            return 0.0
+        if self._k == 2:
+            n0, n1 = _k2_value_counts(bucket.left, bucket.right, self._value_unit)
+            counts = bucket.counts
+            return _phi_of_counts(
+                (n0, n1),
+                (counts[0], counts[1]),
+                self.metric is DeviationMetric.VARIANCE,
+            )
+        return _phi_of_segments(
+            bucket.segments(),
+            self.metric is DeviationMetric.VARIANCE,
+            self._value_unit,
+        )
 
     def _merged_phi(self, first: _VBucket, second: _VBucket) -> float:
-        return segments_phi(
-            first.segments() + second.segments(), self.metric, value_unit=self._value_unit
+        if self._k == 2 and first.right != first.left and second.right != second.left:
+            n00, n01 = _k2_value_counts(first.left, first.right, self._value_unit)
+            n10, n11 = _k2_value_counts(second.left, second.right, self._value_unit)
+            return _phi_of_counts(
+                (n00, n01, n10, n11),
+                (first.counts[0], first.counts[1], second.counts[0], second.counts[1]),
+                self.metric is DeviationMetric.VARIANCE,
+            )
+        return _phi_of_segments(
+            first.segments() + second.segments(),
+            self.metric is DeviationMetric.VARIANCE,
+            self._value_unit,
         )
 
     def _rebuild_caches(self) -> None:

@@ -14,6 +14,9 @@ __all__ = [
     "DomainError",
     "DeletionError",
     "InsufficientDataError",
+    "ServiceError",
+    "UnknownAttributeError",
+    "DuplicateAttributeError",
 ]
 
 
@@ -54,3 +57,29 @@ class InsufficientDataError(HistogramError):
     initial loading phase (the first ``n`` distinct points) has completed and
     no buckets exist yet.
     """
+
+
+class ServiceError(HistogramError):
+    """Base class for errors raised by the statistics service layer."""
+
+
+class UnknownAttributeError(ServiceError, KeyError):
+    """An operation referred to an attribute the store does not manage."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"unknown attribute {self.name!r}; create it first"
+
+
+class DuplicateAttributeError(ServiceError, ValueError):
+    """An attribute with the requested name already exists in the store."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"attribute {self.name!r} already exists"

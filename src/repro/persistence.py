@@ -129,6 +129,7 @@ def _dc_from_dict(state: Dict[str, Any]) -> DCHistogram:
     histogram._repartition_count = int(state.get("repartition_count", 0))
     if "loading" in state:
         histogram._loading = {float(v): int(c) for v, c in state["loading"]}
+        histogram._invalidate_view()
         return histogram
     histogram._loading = None
     histogram._lefts = [float(v) for v in state["lefts"]]
@@ -137,6 +138,11 @@ def _dc_from_dict(state: Dict[str, Any]) -> DCHistogram:
     histogram._singular = {float(v): float(c) for v, c in state["singular"]}
     histogram._regular_total = sum(histogram._counts)
     histogram._regular_sumsq = sum(count * count for count in histogram._counts)
+    # Direct state restoration bypasses the insert/delete template methods, so
+    # the segment-view cache invariant must be re-established by hand (it is
+    # currently a no-op on a never-read instance, but keeps the restore path
+    # safe if a read ever sneaks in between construction and restoration).
+    histogram._invalidate_view()
     return histogram
 
 
@@ -173,6 +179,7 @@ def _dvo_from_dict(state: Dict[str, Any]) -> DVOHistogram:
     histogram._repartition_count = int(state.get("repartition_count", 0))
     if "loading" in state:
         histogram._loading = {float(v): int(c) for v, c in state["loading"]}
+        histogram._invalidate_view()
         return histogram
     from .core.dynamic_vopt import _VBucket
 
@@ -181,5 +188,9 @@ def _dvo_from_dict(state: Dict[str, Any]) -> DVOHistogram:
         _VBucket(float(left), float(right), [float(c) for c in counts])
         for left, right, counts in state["buckets"]
     ]
+    # _rebuild_caches restores _lefts/_phis/_pair_phis; the segment-view
+    # generation must be bumped separately because direct state restoration
+    # bypasses the insert/delete template methods (see ROADMAP invariant).
     histogram._rebuild_caches()
+    histogram._invalidate_view()
     return histogram

@@ -1,0 +1,158 @@
+"""Stdlib HTTP client for the statistics service.
+
+A thin JSON wrapper over :mod:`http.client` mirroring every server route, so
+tests (and the CLI's ``store-stats`` command) can drive an in-process
+:class:`~repro.service.server.StatisticsServer` without third-party
+dependencies.  Each call opens its own connection, which makes the client
+trivially safe to share between threads.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+from urllib.parse import quote
+
+from ..exceptions import ServiceError, UnknownAttributeError
+
+__all__ = ["StatisticsClient"]
+
+
+class StatisticsClient:
+    """Client for a running :class:`StatisticsServer` at ``host:port``."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[Mapping[str, Any]] = None
+    ) -> Dict[str, Any]:
+        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except json.JSONDecodeError:
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            if response.status >= 400:
+                message = decoded.get("error", f"HTTP {response.status}")
+                if response.status == 404 and "unknown attribute" in str(message):
+                    raise UnknownAttributeError(message.split("'")[1])
+                error = ServiceError(f"HTTP {response.status}: {message}")
+                # Expose the structured body (e.g. partial-apply reports from
+                # /ingest) to callers that need more than the message.
+                error.payload = decoded
+                raise error
+            return decoded
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _attribute_path(name: str, action: str = "") -> str:
+        path = f"/attributes/{quote(name, safe='')}"
+        return f"{path}/{action}" if action else path
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """Liveness probe."""
+        return self._request("GET", "/health")
+
+    def create(
+        self,
+        name: str,
+        kind: str = "dc",
+        *,
+        memory_kb: float = 1.0,
+        value_unit: float = 1.0,
+        disk_factor: float = 20.0,
+        seed: int = 0,
+        exist_ok: bool = False,
+    ) -> Dict[str, Any]:
+        """Create an attribute on the server; returns its stats."""
+        return self._request(
+            "POST",
+            "/attributes",
+            {
+                "name": name,
+                "kind": kind,
+                "memory_kb": memory_kb,
+                "value_unit": value_unit,
+                "disk_factor": disk_factor,
+                "seed": seed,
+                "exist_ok": exist_ok,
+            },
+        )
+
+    def drop(self, name: str) -> Dict[str, Any]:
+        """Drop an attribute."""
+        return self._request("DELETE", self._attribute_path(name))
+
+    def stats(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """Stats of one attribute, or of every attribute when ``name`` is None."""
+        if name is None:
+            return self._request("GET", "/stats")
+        return self._request("GET", self._attribute_path(name))
+
+    def ingest(
+        self,
+        name: str,
+        insert: Sequence[float] = (),
+        delete: Sequence[float] = (),
+    ) -> Dict[str, Any]:
+        """Send a batch of inserts and/or deletes for one attribute."""
+        return self._request(
+            "POST",
+            self._attribute_path(name, "ingest"),
+            {"insert": list(insert), "delete": list(delete)},
+        )
+
+    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+        """Evaluate a consistent batch of estimate queries (one lock on the server)."""
+        return self._request(
+            "POST", self._attribute_path(name, "estimate"), {"queries": list(queries)}
+        )
+
+    def estimate_range(self, name: str, low: float, high: float) -> float:
+        """Estimated number of values in the closed range [low, high]."""
+        response = self.query(name, [{"op": "range", "low": low, "high": high}])
+        return float(response["results"][0])
+
+    def estimate_equal(self, name: str, value: float) -> float:
+        """Estimated number of values equal to ``value``."""
+        response = self.query(name, [{"op": "equal", "value": value}])
+        return float(response["results"][0])
+
+    def cdf(self, name: str, xs: Sequence[float]) -> List[float]:
+        """Approximate CDF evaluated at each point of ``xs``."""
+        response = self.query(name, [{"op": "cdf", "xs": list(xs)}])
+        return [float(v) for v in response["results"][0]]
+
+    def total_count(self, name: str) -> float:
+        """Total number of values represented for ``name``."""
+        response = self.query(name, [{"op": "total"}])
+        return float(response["results"][0])
+
+    def snapshot(self, name: str) -> Dict[str, Any]:
+        """Fetch the full serialised state of one attribute."""
+        return self._request("GET", self._attribute_path(name, "snapshot"))
+
+    def restore(self, name: str, snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+        """Restore an attribute from a :meth:`snapshot` payload."""
+        return self._request(
+            "POST", self._attribute_path(name, "restore"), {"snapshot": dict(snapshot)}
+        )

@@ -1,0 +1,285 @@
+"""Batched write pipeline for the statistics service.
+
+Per-value inserts against a :class:`~repro.service.store.HistogramStore` pay a
+registry lookup, a lock round-trip and a maintenance check for every single
+value.  The :class:`IngestPipeline` amortises all three: submitted values are
+buffered per attribute and flushed through the store's bulk paths
+(``insert_many`` with a maintenance batching interval) when
+
+* an attribute's buffer reaches ``max_batch`` pending operations
+  (*size trigger*), or
+* :meth:`flush` is called explicitly, or
+* the optional background flusher fires every ``auto_flush_interval`` seconds
+  (*time trigger*), bounding the staleness of the served estimates.
+
+Ordering: within one attribute, operations are applied in submission order
+(interleaved inserts and deletes are preserved as separate runs); each
+attribute buffer has its own lock, held across its flush, so concurrent
+flushes of the same attribute cannot reorder and different attributes flush in
+parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .._validation import require_positive_float, require_positive_int
+from ..exceptions import UnknownAttributeError
+from .store import HistogramStore
+
+__all__ = ["IngestPipeline"]
+
+_INSERT = "insert"
+_DELETE = "delete"
+
+
+class _Buffer:
+    """Pending operation runs plus lifetime counters for one attribute.
+
+    The counters live on the buffer (not the pipeline) so they are only ever
+    mutated under this buffer's lock; pipeline-level stats aggregate them.
+    """
+
+    __slots__ = (
+        "lock",
+        "runs",
+        "pending",
+        "submitted",
+        "flushed_values",
+        "flushed_batches",
+        "flush_errors",
+    )
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        # Consecutive same-kind operations collapse into one run, so a pure
+        # insert stream flushes as a single insert_many call.
+        self.runs: List[Tuple[str, List[float]]] = []
+        self.pending = 0
+        self.submitted = 0
+        self.flushed_values = 0
+        self.flushed_batches = 0
+        self.flush_errors = 0
+
+
+class IngestPipeline:
+    """Buffers inserts/deletes per attribute and flushes them in batches.
+
+    Parameters
+    ----------
+    store:
+        The target :class:`HistogramStore`.
+    max_batch:
+        Size trigger: an attribute buffer is flushed as soon as it holds this
+        many pending operations (default 1024).
+    auto_flush_interval:
+        Optional time trigger in seconds.  When set, :meth:`start` (or the
+        context manager) runs a daemon thread that flushes every buffered
+        attribute at this cadence, so estimates never lag a slow stream by
+        more than roughly one interval.
+    repartition_interval:
+        Maintenance batching hint forwarded to the store's bulk-insert path;
+        ``None`` uses the store default.
+
+    The pipeline is a context manager: leaving the ``with`` block flushes all
+    buffers and stops the background flusher.
+    """
+
+    def __init__(
+        self,
+        store: HistogramStore,
+        *,
+        max_batch: int = 1024,
+        auto_flush_interval: Optional[float] = None,
+        repartition_interval: Optional[int] = None,
+    ) -> None:
+        require_positive_int(max_batch, "max_batch")
+        if auto_flush_interval is not None:
+            require_positive_float(auto_flush_interval, "auto_flush_interval")
+        self._store = store
+        self._max_batch = max_batch
+        self._auto_flush_interval = auto_flush_interval
+        self._repartition_interval = repartition_interval
+        self._buffers_lock = threading.Lock()
+        self._buffers: Dict[str, _Buffer] = {}
+        self._stop_event = threading.Event()
+        self._flusher: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, name: str, values: Iterable[float]) -> None:
+        """Queue values for insertion into attribute ``name``."""
+        self._enqueue(name, _INSERT, values)
+
+    def submit_delete(self, name: str, values: Iterable[float]) -> None:
+        """Queue values for deletion from attribute ``name``."""
+        self._enqueue(name, _DELETE, values)
+
+    def _buffer(self, name: str) -> _Buffer:
+        # Lock-free fast path: dict reads are atomic under the GIL, and a
+        # buffer is never removed once created.
+        buffer = self._buffers.get(name)
+        if buffer is None:
+            with self._buffers_lock:
+                buffer = self._buffers.setdefault(name, _Buffer())
+        return buffer
+
+    def _enqueue(self, name: str, op: str, values: Iterable[float]) -> None:
+        # Values are buffered as-is; the store coerces to float on flush, so
+        # the per-submit hot path stays allocation-light.
+        values = list(values)
+        if not values:
+            return
+        buffer = self._buffer(name)
+        with buffer.lock:
+            if buffer.runs and buffer.runs[-1][0] == op:
+                buffer.runs[-1][1].extend(values)
+            else:
+                buffer.runs.append((op, values))
+            buffer.pending += len(values)
+            buffer.submitted += len(values)
+            if buffer.pending >= self._max_batch:
+                self._flush_buffer_locked(name, buffer)
+
+    # ------------------------------------------------------------------
+    # flushing
+    # ------------------------------------------------------------------
+    def _flush_buffer_locked(self, name: str, buffer: _Buffer) -> int:
+        """Apply a buffer's runs to the store.  Caller holds ``buffer.lock``.
+
+        Failure handling keeps the pipeline alive without re-applying work:
+
+        * :class:`UnknownAttributeError` (the attribute was dropped) discards
+          the remaining runs -- dropping an attribute discards its pending
+          stream;
+        * any other error re-queues only operations *known to be unapplied*
+          at the front of the buffer and propagates to the caller.  When the
+          store reports how far the failing run got (``applied_count`` on
+          partial delete batches), the already-applied prefix is not requeued
+          and the poisoned value itself is dropped -- retrying it would fail
+          forever.  When progress is unknown (a failing insert batch, or a
+          batch rejected by boundary validation), the failing run is dropped
+          entirely: requeueing could double-apply an applied prefix on the
+          next retry, and for a statistics service a bounded undercount beats
+          unbounded count inflation.
+        """
+        runs, buffer.runs = buffer.runs, []
+        buffer.pending = 0
+        applied = 0
+        for run_index, (op, values) in enumerate(runs):
+            try:
+                if op == _INSERT:
+                    self._store.insert(
+                        name, values, repartition_interval=self._repartition_interval
+                    )
+                else:
+                    self._store.delete(name, values)
+            except UnknownAttributeError:
+                buffer.flush_errors += 1
+                return applied
+            except Exception as error:
+                buffer.flush_errors += 1
+                requeued = list(runs[run_index + 1 :])
+                applied_count = getattr(error, "applied_count", None)
+                if applied_count is not None:
+                    applied += applied_count
+                    buffer.flushed_values += applied_count
+                    remainder = values[applied_count + 1 :]
+                    if remainder:
+                        requeued.insert(0, (op, remainder))
+                # else: progress unknown -- drop the run (see docstring).
+                buffer.runs = requeued + buffer.runs
+                buffer.pending += sum(len(run_values) for _, run_values in requeued)
+                raise
+            applied += len(values)
+            buffer.flushed_values += len(values)
+            buffer.flushed_batches += 1
+        return applied
+
+    def flush(self, name: Optional[str] = None) -> int:
+        """Flush one attribute's buffer (or all); returns the values applied.
+
+        Flushing all isolates per-attribute failures: every buffer is
+        attempted, and the first error (if any) is re-raised afterwards.
+        """
+        if name is not None:
+            buffer = self._buffer(name)
+            with buffer.lock:
+                return self._flush_buffer_locked(name, buffer)
+        with self._buffers_lock:
+            names = list(self._buffers)
+        total = 0
+        first_error: Optional[BaseException] = None
+        for pending_name in names:
+            try:
+                total += self.flush(pending_name)
+            except Exception as error:
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+        return total
+
+    def pending_count(self, name: Optional[str] = None) -> int:
+        """Number of buffered, not-yet-applied operations."""
+        if name is not None:
+            buffer = self._buffer(name)
+            with buffer.lock:
+                return buffer.pending
+        with self._buffers_lock:
+            buffers = list(self._buffers.values())
+        return sum(buffer.pending for buffer in buffers)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters: submitted / flushed values and flush batches."""
+        with self._buffers_lock:
+            buffers = list(self._buffers.values())
+        return {
+            "submitted": sum(buffer.submitted for buffer in buffers),
+            "flushed_values": sum(buffer.flushed_values for buffer in buffers),
+            "flushed_batches": sum(buffer.flushed_batches for buffer in buffers),
+            "pending": sum(buffer.pending for buffer in buffers),
+            "flush_errors": sum(buffer.flush_errors for buffer in buffers),
+        }
+
+    # ------------------------------------------------------------------
+    # background flusher / lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "IngestPipeline":
+        """Start the background time-trigger flusher (no-op without one)."""
+        if self._auto_flush_interval is None or self._flusher is not None:
+            return self
+        self._stop_event.clear()
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="repro-ingest-flusher", daemon=True
+        )
+        self._flusher.start()
+        return self
+
+    def _flush_loop(self) -> None:
+        assert self._auto_flush_interval is not None
+        while not self._stop_event.wait(self._auto_flush_interval):
+            try:
+                self.flush()
+            except Exception:
+                # A failing attribute must not kill the flusher: its runs were
+                # re-queued by _flush_buffer_locked and will be retried next
+                # tick, with the failure recorded in the flush_errors stat.
+                continue
+
+    def close(self) -> None:
+        """Stop the background flusher and drain every buffer."""
+        self._stop_event.set()
+        if self._flusher is not None:
+            self._flusher.join()
+            self._flusher = None
+        self.flush()
+
+    def __enter__(self) -> "IngestPipeline":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

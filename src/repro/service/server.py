@@ -1,0 +1,339 @@
+"""Stdlib-only JSON HTTP server for the statistics service.
+
+Exposes a :class:`~repro.service.store.HistogramStore` over HTTP using
+``http.server.ThreadingHTTPServer`` -- one thread per connection, which is
+exactly the concurrency shape the store's per-attribute locking is built for.
+No third-party dependencies.
+
+Routes (all payloads JSON):
+
+====== ================================== ===========================================
+Method Path                               Meaning
+====== ================================== ===========================================
+GET    /health                            liveness + attribute count
+GET    /stats                             stats of every attribute
+GET    /attributes                        same as /stats
+POST   /attributes                        create an attribute
+GET    /attributes/<name>                 stats of one attribute
+DELETE /attributes/<name>                 drop an attribute
+POST   /attributes/<name>/ingest          {"insert": [..], "delete": [..]}
+POST   /attributes/<name>/estimate        {"queries": [{"op": ...}, ...]}
+GET    /attributes/<name>/estimate        single query via query string
+GET    /attributes/<name>/snapshot        full serialised state
+POST   /attributes/<name>/restore         restore from a snapshot payload
+====== ================================== ===========================================
+
+Estimate batches are evaluated under one store lock acquisition
+(:meth:`HistogramStore.query`), so one response is always internally
+consistent.  When the server is constructed with an
+:class:`~repro.service.ingest.IngestPipeline`, ingest requests are buffered
+through it (the response reports ``"buffered": true``); otherwise they are
+applied synchronously before the response is sent.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlparse
+
+from ..exceptions import (
+    ConfigurationError,
+    DuplicateAttributeError,
+    HistogramError,
+    UnknownAttributeError,
+)
+from .ingest import IngestPipeline
+from .store import HistogramStore
+
+__all__ = ["StatisticsServer"]
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the owning server's store."""
+
+    server_version = "repro-statistics/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # Set by StatisticsServer when building the handler class.
+    store: HistogramStore
+    pipeline: Optional[IngestPipeline] = None
+    quiet: bool = True
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover - debugging aid
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _route(self) -> Tuple[str, ...]:
+        parsed = urlparse(self.path)
+        parts = tuple(unquote(part) for part in parsed.path.split("/") if part)
+        return parts
+
+    def _query_params(self) -> Dict[str, str]:
+        parsed = urlparse(self.path)
+        return {key: values[-1] for key, values in parse_qs(parsed.query).items()}
+
+    def _handle(self, method: str) -> None:
+        try:
+            payload = self._read_json() if method in ("POST", "PUT") else {}
+        except (ValueError, json.JSONDecodeError) as error:
+            self._send_json(400, {"error": f"invalid JSON body: {error}"})
+            return
+        try:
+            self._dispatch(method, self._route(), payload)
+        except UnknownAttributeError as error:
+            self._send_json(404, {"error": str(error)})
+        except DuplicateAttributeError as error:
+            self._send_json(409, {"error": str(error)})
+        except (HistogramError, KeyError, TypeError, ValueError) as error:
+            self._send_json(400, {"error": f"{type(error).__name__}: {error}"})
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str, route: Tuple[str, ...], payload: Dict[str, Any]) -> None:
+        store = self.store
+        if route == ("health",) and method == "GET":
+            self._send_json(200, {"status": "ok", "attributes": len(store)})
+            return
+        if route in (("stats",), ("attributes",)) and method == "GET":
+            self._send_json(
+                200, {"attributes": [stats.to_dict() for stats in store.stats_all()]}
+            )
+            return
+        if route == ("attributes",) and method == "POST":
+            stats = store.create(
+                payload["name"],
+                payload.get("kind", "dc"),
+                memory_kb=float(payload.get("memory_kb", 1.0)),
+                value_unit=float(payload.get("value_unit", 1.0)),
+                disk_factor=float(payload.get("disk_factor", 20.0)),
+                seed=int(payload.get("seed", 0)),
+                exist_ok=bool(payload.get("exist_ok", False)),
+            )
+            self._send_json(201, stats.to_dict())
+            return
+        if len(route) == 2 and route[0] == "attributes":
+            name = route[1]
+            if method == "GET":
+                self._send_json(200, store.stats(name).to_dict())
+                return
+            if method == "DELETE":
+                store.drop(name)
+                self._send_json(200, {"dropped": name})
+                return
+        if len(route) == 3 and route[0] == "attributes":
+            name, action = route[1], route[2]
+            if action == "ingest" and method == "POST":
+                self._ingest(name, payload)
+                return
+            if action == "estimate":
+                if method == "POST":
+                    queries = payload.get("queries")
+                    if not isinstance(queries, list):
+                        raise ValueError('estimate body must contain a "queries" list')
+                    self._send_json(200, store.query(name, queries))
+                    return
+                if method == "GET":
+                    query = {
+                        key: (value if key == "op" else float(value))
+                        for key, value in self._query_params().items()
+                    }
+                    response = store.query(name, [query])
+                    self._send_json(
+                        200,
+                        {"generation": response["generation"],
+                         "result": response["results"][0]},
+                    )
+                    return
+            if action == "snapshot" and method == "GET":
+                self._send_json(200, store.snapshot(name))
+                return
+            if action == "restore" and method == "POST":
+                snapshot = payload.get("snapshot", payload)
+                self._send_json(200, store.restore(name, snapshot).to_dict())
+                return
+        self._send_json(404, {"error": f"no route for {method} {self.path}"})
+
+    def _ingest(self, name: str, payload: Dict[str, Any]) -> None:
+        inserts = payload.get("insert") or []
+        deletes = payload.get("delete") or []
+        if not isinstance(inserts, list) or not isinstance(deletes, list):
+            raise ValueError('"insert" and "delete" must be JSON arrays of numbers')
+        if name not in self.store:
+            raise UnknownAttributeError(name)
+        if self.pipeline is not None:
+            self.pipeline.submit(name, inserts)
+            self.pipeline.submit_delete(name, deletes)
+            self._send_json(
+                202,
+                {
+                    "buffered": True,
+                    "inserted": len(inserts),
+                    "deleted": len(deletes),
+                    "pending": self.pipeline.pending_count(name),
+                },
+            )
+            return
+        try:
+            inserted = self.store.insert(name, inserts)
+        except ConfigurationError:
+            # Boundary validation rejects the batch before any mutation, so
+            # the generic 400 handler is accurate here.
+            raise
+        except HistogramError as error:
+            # insert_many cannot report how much of the batch was applied;
+            # flag the partial apply and return the new generation so clients
+            # know not to blindly retry.
+            self._send_json(
+                400,
+                {
+                    "error": f"{type(error).__name__}: {error}",
+                    "partial": True,
+                    "generation": self.store.stats(name).generation,
+                },
+            )
+            return
+        try:
+            deleted = self.store.delete(name, deletes)
+        except HistogramError as error:
+            # The insert half is already committed; a plain 400 would invite
+            # the client to retry the whole batch and double-insert, so the
+            # error response reports what was applied.
+            self._send_json(
+                400,
+                {
+                    "error": f"{type(error).__name__}: {error}",
+                    "partial": True,
+                    "inserted": inserted,
+                    "generation": self.store.stats(name).generation,
+                },
+            )
+            return
+        self._send_json(
+            200,
+            {
+                "buffered": False,
+                "inserted": inserted,
+                "deleted": deleted,
+                "generation": self.store.stats(name).generation,
+            },
+        )
+
+
+class StatisticsServer:
+    """A threaded HTTP façade over a :class:`HistogramStore`.
+
+    ``port=0`` binds an ephemeral port (the default, right for tests); the
+    bound address is available as :attr:`address` after :meth:`start`.  The
+    server runs in a daemon thread, so it never blocks interpreter exit; use
+    :meth:`serve_forever` to run it in the foreground instead (the CLI does).
+
+    Also usable as a context manager: entering starts the server, leaving
+    stops it and closes the ingest pipeline (when one was supplied).
+    """
+
+    def __init__(
+        self,
+        store: Optional[HistogramStore] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        pipeline: Optional[IngestPipeline] = None,
+        quiet: bool = True,
+    ) -> None:
+        self.store = store if store is not None else HistogramStore()
+        self.pipeline = pipeline
+        handler = type(
+            "_BoundServiceRequestHandler",
+            (_ServiceRequestHandler,),
+            {"store": self.store, "pipeline": pipeline, "quiet": quiet},
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` pair."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> "StatisticsServer":
+        """Serve requests from a background daemon thread."""
+        if self._thread is None:
+            if self.pipeline is not None:
+                self.pipeline.start()
+            self._started = True
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-statistics-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve requests on the calling thread until interrupted."""
+        if self.pipeline is not None:
+            self.pipeline.start()
+        self._started = True
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Stop serving, close the socket and drain the ingest pipeline.
+
+        Safe to call on a server that was constructed but never started:
+        ``BaseServer.shutdown`` would block forever waiting for a
+        ``serve_forever`` loop that never ran, so it is only invoked after a
+        start, while the bound socket is always closed.
+        """
+        if self._started:
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if self.pipeline is not None:
+            self.pipeline.close()
+
+    def __enter__(self) -> "StatisticsServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

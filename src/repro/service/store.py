@@ -1,0 +1,454 @@
+"""Thread-safe multi-attribute histogram store (the service catalog).
+
+A live DBMS catalog keeps one dynamic histogram per indexed attribute and
+serves selectivity estimates while the histograms are being maintained.  The
+:class:`HistogramStore` is that catalog: a mapping from attribute names to
+dynamic histograms (built through :func:`repro.core.factory.build_dynamic_histogram`)
+with the concurrency machinery a multi-threaded server needs.
+
+Locking model
+-------------
+
+* a store-level lock guards the *registry* (the name -> attribute mapping);
+  ``create`` / ``drop`` / ``names`` take it briefly;
+* every attribute carries its own reentrant lock; all reads and writes against
+  one attribute serialise on that lock, while operations on *different*
+  attributes run fully in parallel;
+* reads must lock too: estimation lazily rebuilds the cached
+  :class:`~repro.core.segment_view.SegmentView` after a mutation, so an
+  unlocked read could observe a half-updated histogram.  Because the view is
+  rebuilt at most once per generation, the read critical sections are O(log B)
+  after the first read.
+
+Every mutation bumps the attribute's *generation* counter, so clients can
+detect staleness across snapshot/restore cycles, and :meth:`HistogramStore.query`
+evaluates a whole batch of estimates under one lock acquisition -- the result
+list is guaranteed to describe a single histogram state (no torn estimates).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .._validation import require_positive_int
+from ..core.base import DynamicHistogram
+from ..core.factory import build_dynamic_histogram
+from ..core.memory import MemoryModel
+from ..exceptions import (
+    ConfigurationError,
+    DuplicateAttributeError,
+    EmptyHistogramError,
+    UnknownAttributeError,
+)
+from ..persistence import histogram_from_dict, histogram_to_dict
+
+__all__ = ["AttributeStats", "HistogramStore", "DEFAULT_REPARTITION_INTERVAL"]
+
+#: Default maintenance batching hint used by the store's bulk-insert path.
+DEFAULT_REPARTITION_INTERVAL = 16
+
+
+def _validated_values(values: Iterable[float]) -> List[float]:
+    """Coerce to floats and reject non-finite values *before* any mutation.
+
+    JSON parsers happily produce NaN/Infinity, and a NaN silently corrupts
+    bucket search while an infinity creates a permanent unbounded end bucket;
+    rejecting here keeps the failure at the service boundary, where nothing
+    has been applied yet.
+    """
+    result = [float(v) for v in values]
+    for value in result:
+        if not math.isfinite(value):
+            raise ConfigurationError(f"values must be finite, got {value!r}")
+    return result
+
+
+@dataclass(frozen=True)
+class AttributeStats:
+    """A point-in-time summary of one managed attribute."""
+
+    name: str
+    kind: str
+    memory_kb: float
+    generation: int
+    total_count: float
+    bucket_count: int
+    is_loading: bool
+    repartition_count: int
+    inserted: int
+    deleted: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (what the HTTP API returns)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "memory_kb": self.memory_kb,
+            "generation": self.generation,
+            "total_count": self.total_count,
+            "bucket_count": self.bucket_count,
+            "is_loading": self.is_loading,
+            "repartition_count": self.repartition_count,
+            "inserted": self.inserted,
+            "deleted": self.deleted,
+        }
+
+
+@dataclass
+class _Attribute:
+    """Internal registry entry: a histogram plus its lock and counters."""
+
+    name: str
+    kind: str
+    memory_kb: float
+    histogram: DynamicHistogram
+    lock: threading.RLock = field(default_factory=threading.RLock)
+    generation: int = 0
+    inserted: int = 0
+    deleted: int = 0
+
+
+class HistogramStore:
+    """A concurrent catalog of named dynamic histograms.
+
+    Parameters
+    ----------
+    memory_model:
+        Shared :class:`~repro.core.memory.MemoryModel` translating per-attribute
+        memory budgets into bucket budgets (the default model is the paper's).
+    repartition_interval:
+        Maintenance batching hint forwarded to ``insert_many`` on bulk
+        ingests; 1 reproduces strict per-value maintenance.
+    """
+
+    def __init__(
+        self,
+        *,
+        memory_model: Optional[MemoryModel] = None,
+        repartition_interval: int = DEFAULT_REPARTITION_INTERVAL,
+    ) -> None:
+        require_positive_int(repartition_interval, "repartition_interval")
+        self._memory_model = memory_model
+        self._repartition_interval = repartition_interval
+        self._registry_lock = threading.RLock()
+        self._attributes: Dict[str, _Attribute] = {}
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        name: str,
+        kind: str = "dc",
+        *,
+        memory_kb: float = 1.0,
+        value_unit: float = 1.0,
+        disk_factor: float = 20.0,
+        seed: int = 0,
+        exist_ok: bool = False,
+    ) -> AttributeStats:
+        """Register a new attribute backed by a fresh dynamic histogram.
+
+        With ``exist_ok`` an existing attribute of any configuration is left
+        untouched and its stats are returned; otherwise re-creating raises
+        :class:`~repro.exceptions.DuplicateAttributeError`.
+        """
+        if not name or not isinstance(name, str):
+            raise ConfigurationError("attribute name must be a non-empty string")
+        histogram = build_dynamic_histogram(
+            kind,
+            memory_kb,
+            value_unit=value_unit,
+            disk_factor=disk_factor,
+            seed=seed,
+            memory_model=self._memory_model,
+        )
+        with self._registry_lock:
+            existing = self._attributes.get(name)
+            if existing is not None:
+                if exist_ok:
+                    return self._stats_locked(existing)
+                raise DuplicateAttributeError(name)
+            attribute = _Attribute(
+                name=name, kind=kind.lower(), memory_kb=float(memory_kb), histogram=histogram
+            )
+            self._attributes[name] = attribute
+        # Stats come from the reference we hold: a concurrent drop must not
+        # turn a successful create into an UnknownAttributeError.
+        return self._stats_locked(attribute)
+
+    def drop(self, name: str) -> None:
+        """Remove an attribute and its histogram from the store."""
+        with self._registry_lock:
+            if self._attributes.pop(name, None) is None:
+                raise UnknownAttributeError(name)
+
+    def names(self) -> List[str]:
+        """The managed attribute names, sorted."""
+        with self._registry_lock:
+            return sorted(self._attributes)
+
+    def __contains__(self, name: str) -> bool:
+        with self._registry_lock:
+            return name in self._attributes
+
+    def __len__(self) -> int:
+        with self._registry_lock:
+            return len(self._attributes)
+
+    def _attribute(self, name: str) -> _Attribute:
+        with self._registry_lock:
+            try:
+                return self._attributes[name]
+            except KeyError:
+                raise UnknownAttributeError(name) from None
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        name: str,
+        values: Iterable[float],
+        *,
+        repartition_interval: Optional[int] = None,
+    ) -> int:
+        """Insert a batch of values into one attribute; returns the batch size.
+
+        The batch goes through the histogram's vectorised ``insert_many`` path
+        with the store's maintenance batching hint, so sustained streams pay
+        one lock acquisition and one maintenance scan per interval instead of
+        per value.
+        """
+        values = _validated_values(values)
+        if not values:
+            return 0
+        interval = (
+            self._repartition_interval if repartition_interval is None else repartition_interval
+        )
+        attribute = self._attribute(name)
+        with attribute.lock:
+            try:
+                attribute.histogram.insert_many(values, repartition_interval=interval)
+                attribute.inserted += len(values)
+            finally:
+                # A failed batch may still have applied a prefix; the
+                # generation must move so readers never mistake the mutated
+                # histogram for the pre-batch state.
+                attribute.generation += 1
+        return len(values)
+
+    def delete(self, name: str, values: Iterable[float]) -> int:
+        """Delete a batch of values from one attribute; returns the batch size."""
+        values = _validated_values(values)
+        if not values:
+            return 0
+        attribute = self._attribute(name)
+        with attribute.lock:
+            applied = 0
+            try:
+                delete = attribute.histogram.delete
+                for value in values:
+                    delete(value)
+                    applied += 1
+                attribute.deleted += len(values)
+            except Exception as error:
+                # Report how far the batch got so callers (the ingest
+                # pipeline's requeue logic) can avoid re-applying the prefix.
+                error.applied_count = applied
+                attribute.deleted += applied
+                raise
+            finally:
+                # As in insert: a DeletionError mid-batch leaves earlier
+                # deletions applied, so the generation must still move.
+                attribute.generation += 1
+        return len(values)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def estimate_range(self, name: str, low: float, high: float) -> float:
+        """Estimated number of values of ``name`` in the closed range [low, high]."""
+        attribute = self._attribute(name)
+        with attribute.lock:
+            return float(attribute.histogram.estimate_range(float(low), float(high)))
+
+    def estimate_equal(self, name: str, value: float, *, value_granularity: float = 1.0) -> float:
+        """Estimated number of values of ``name`` equal to ``value``."""
+        attribute = self._attribute(name)
+        with attribute.lock:
+            return float(
+                attribute.histogram.estimate_equal(
+                    float(value), value_granularity=value_granularity
+                )
+            )
+
+    def cdf(self, name: str, xs: Sequence[float]) -> List[float]:
+        """Approximate CDF of ``name`` evaluated at each point of ``xs``."""
+        attribute = self._attribute(name)
+        with attribute.lock:
+            return [float(v) for v in attribute.histogram.cdf_many(np.asarray(xs, dtype=float))]
+
+    def total_count(self, name: str) -> float:
+        """Total number of values currently represented for ``name``."""
+        attribute = self._attribute(name)
+        with attribute.lock:
+            return float(attribute.histogram.total_count)
+
+    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+        """Evaluate a batch of estimate queries under ONE lock acquisition.
+
+        Each query is a mapping with an ``op`` key:
+
+        * ``{"op": "range", "low": .., "high": ..}`` -> estimated count,
+        * ``{"op": "equal", "value": ..}`` -> estimated count,
+        * ``{"op": "cdf", "xs": [..]}`` -> list of CDF values,
+        * ``{"op": "total"}`` -> total count,
+        * ``{"op": "selectivity", "low": .., "high": ..}`` -> fraction.
+
+        Because the whole batch runs inside the attribute lock, the returned
+        ``results`` are mutually consistent -- they describe one histogram
+        state, identified by the returned ``generation``.
+        """
+        attribute = self._attribute(name)
+        with attribute.lock:
+            histogram = attribute.histogram
+            results: List[Any] = []
+            for query in queries:
+                op = query.get("op")
+                if op == "range":
+                    results.append(
+                        float(histogram.estimate_range(float(query["low"]), float(query["high"])))
+                    )
+                elif op == "equal":
+                    results.append(
+                        float(
+                            histogram.estimate_equal(
+                                float(query["value"]),
+                                value_granularity=float(query.get("value_granularity", 1.0)),
+                            )
+                        )
+                    )
+                elif op == "cdf":
+                    xs = np.asarray(query["xs"], dtype=float)
+                    results.append([float(v) for v in histogram.cdf_many(xs)])
+                elif op == "total":
+                    results.append(float(histogram.total_count))
+                elif op == "selectivity":
+                    results.append(
+                        float(
+                            histogram.estimate_selectivity(
+                                float(query["low"]), float(query["high"])
+                            )
+                        )
+                    )
+                else:
+                    raise ConfigurationError(f"unknown estimate op {op!r}")
+            return {"generation": attribute.generation, "results": results}
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def _stats_locked(self, attribute: _Attribute) -> AttributeStats:
+        with attribute.lock:
+            histogram = attribute.histogram
+            try:
+                bucket_count = histogram.bucket_count
+                total = float(histogram.total_count)
+            except EmptyHistogramError:  # pragma: no cover - defensive
+                bucket_count, total = 0, 0.0
+            return AttributeStats(
+                name=attribute.name,
+                kind=attribute.kind,
+                memory_kb=attribute.memory_kb,
+                generation=attribute.generation,
+                total_count=total,
+                bucket_count=bucket_count,
+                is_loading=bool(getattr(histogram, "is_loading", False)),
+                repartition_count=int(getattr(histogram, "repartition_count", 0)),
+                inserted=attribute.inserted,
+                deleted=attribute.deleted,
+            )
+
+    def stats(self, name: str) -> AttributeStats:
+        """Point-in-time stats of one attribute."""
+        return self._stats_locked(self._attribute(name))
+
+    def stats_all(self) -> List[AttributeStats]:
+        """Stats of every managed attribute, sorted by name."""
+        with self._registry_lock:
+            attributes = [self._attributes[name] for name in sorted(self._attributes)]
+        return [self._stats_locked(attribute) for attribute in attributes]
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self, name: str) -> Dict[str, Any]:
+        """Serialise one attribute (metadata + full histogram state)."""
+        return self._snapshot_locked(self._attribute(name))
+
+    def _snapshot_locked(self, attribute: _Attribute) -> Dict[str, Any]:
+        with attribute.lock:
+            return {
+                "name": attribute.name,
+                "kind": attribute.kind,
+                "memory_kb": attribute.memory_kb,
+                "generation": attribute.generation,
+                "inserted": attribute.inserted,
+                "deleted": attribute.deleted,
+                "histogram": histogram_to_dict(attribute.histogram),
+            }
+
+    def snapshot_all(self) -> Dict[str, Any]:
+        """Serialise the whole store to a JSON-compatible dictionary.
+
+        Holds references rather than re-looking names up, so a concurrent
+        ``drop`` cannot fail the snapshot of the surviving attributes.
+        """
+        with self._registry_lock:
+            attributes = [self._attributes[name] for name in sorted(self._attributes)]
+        return {"attributes": [self._snapshot_locked(attribute) for attribute in attributes]}
+
+    def restore(self, name: str, snapshot: Mapping[str, Any]) -> AttributeStats:
+        """Restore an attribute from a :meth:`snapshot` payload.
+
+        Creates the attribute when missing, otherwise atomically replaces its
+        histogram.  The generation is bumped past both the snapshot's and the
+        current attribute's generation so readers always observe progress.
+        """
+        histogram = histogram_from_dict(dict(snapshot["histogram"]))
+        if not isinstance(histogram, DynamicHistogram):
+            raise ConfigurationError(
+                "snapshot does not describe a dynamic histogram; "
+                "frozen snapshots cannot be restored into a live store"
+            )
+        kind = str(snapshot.get("kind", "dc"))
+        memory_kb = float(snapshot.get("memory_kb", 1.0))
+        with self._registry_lock:
+            attribute = self._attributes.get(name)
+            if attribute is None:
+                attribute = _Attribute(
+                    name=name, kind=kind, memory_kb=memory_kb, histogram=histogram
+                )
+                self._attributes[name] = attribute
+        with attribute.lock:
+            attribute.histogram = histogram
+            attribute.kind = kind
+            attribute.memory_kb = memory_kb
+            attribute.inserted = int(snapshot.get("inserted", 0))
+            attribute.deleted = int(snapshot.get("deleted", 0))
+            attribute.generation = (
+                max(attribute.generation, int(snapshot.get("generation", 0))) + 1
+            )
+        return self._stats_locked(attribute)
+
+    def restore_all(self, snapshot: Mapping[str, Any]) -> List[AttributeStats]:
+        """Restore every attribute of a :meth:`snapshot_all` payload."""
+        return [
+            self.restore(entry["name"], entry) for entry in snapshot.get("attributes", [])
+        ]

@@ -68,3 +68,96 @@ class TestCompareCommand:
         assert "DADO" in output
         assert "EQUI_WIDTH" in output
         assert "KS statistic" in output
+
+
+class TestServeCommand:
+    def test_serve_binds_and_exits_after_duration(self):
+        code, output = _run(
+            [
+                "serve",
+                "--port",
+                "0",
+                "--attribute",
+                "age:dc:0.5",
+                "-a",
+                "price:dado",
+                "--duration",
+                "0.05",
+            ]
+        )
+        assert code == 0
+        assert "statistics service listening on http://127.0.0.1:" in output
+        assert "attributes: age, price" in output
+
+    def test_serve_accepts_live_requests(self):
+        import io
+        import re
+        import threading
+        import time
+
+        from repro.service import StatisticsClient
+
+        out = io.StringIO()
+        thread = threading.Thread(
+            target=main,
+            args=(["serve", "--port", "0", "-a", "age:dc:0.5", "--duration", "1.5"],),
+            kwargs={"out": out},
+        )
+        thread.start()
+        try:
+            deadline = time.time() + 5.0
+            match = None
+            while match is None and time.time() < deadline:
+                match = re.search(r"http://127\.0\.0\.1:(\d+)", out.getvalue())
+                if match is None:
+                    time.sleep(0.01)
+            assert match is not None, "server never reported its address"
+            client = StatisticsClient("127.0.0.1", int(match.group(1)))
+            client.ingest("age", insert=[float(v % 50) for v in range(500)])
+            deadline = time.time() + 5.0
+            while client.total_count("age") < 500 and time.time() < deadline:
+                time.sleep(0.01)
+            assert client.total_count("age") == pytest.approx(500.0)
+        finally:
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    def test_serve_rejects_bad_attribute_spec(self):
+        code, output = _run(["serve", "--port", "0", "-a", "a:b:c:d", "--duration", "0"])
+        assert code == 2
+        assert "invalid attribute spec" in output
+
+
+class TestStoreStatsCommand:
+    def test_store_stats_pretty_prints_live_server(self):
+        from repro.service import HistogramStore, StatisticsServer
+
+        store = HistogramStore()
+        store.create("age", "dc", memory_kb=0.5)
+        store.insert("age", [float(v % 90) for v in range(2000)])
+        with StatisticsServer(store) as server:
+            host, port = server.address
+            code, output = _run(["store-stats", "--host", host, "--port", str(port)])
+        assert code == 0
+        assert "age" in output
+        assert "serving" in output
+        assert "2000" in output
+
+    def test_store_stats_unreachable_server_fails_cleanly(self):
+        code, output = _run(["store-stats", "--port", "1"])
+        assert code == 2
+        assert "cannot reach statistics server" in output
+
+
+class TestFormatStoreStats:
+    def test_format_contains_all_columns(self):
+        from repro.cli import format_store_stats
+        from repro.service import HistogramStore
+
+        store = HistogramStore()
+        store.create("age", "dc", memory_kb=0.5)
+        store.insert("age", [1.0, 2.0, 3.0])
+        table = format_store_stats([s.to_dict() for s in store.stats_all()])
+        assert "attribute" in table
+        assert "age" in table
+        assert "dc" in table

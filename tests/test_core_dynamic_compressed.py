@@ -157,3 +157,39 @@ class TestDeletions:
         histogram.delete(40)
         histogram.delete(40)
         assert histogram.total_count == pytest.approx(2)
+
+
+class TestInsertMany:
+    def test_interval_one_matches_per_value_inserts(self, uniform_values):
+        looped = DCHistogram(24)
+        batched = DCHistogram(24)
+        for value in uniform_values:
+            looped.insert(float(value))
+        batched.insert_many([float(value) for value in uniform_values])
+        assert batched.total_count == pytest.approx(looped.total_count)
+        assert batched.repartition_count == looped.repartition_count
+        for a, b in zip(batched.buckets(), looped.buckets()):
+            assert a.left == pytest.approx(b.left)
+            assert a.right == pytest.approx(b.right)
+            assert a.count == pytest.approx(b.count)
+
+    def test_batched_interval_preserves_total_and_accuracy(self, uniform_values):
+        truth = DataDistribution(uniform_values)
+        histogram = DCHistogram(24)
+        histogram.insert_many(
+            [float(value) for value in uniform_values], repartition_interval=16
+        )
+        assert histogram.total_count == pytest.approx(len(uniform_values))
+        assert ks_statistic(truth, histogram, value_unit=1.0) < 0.1
+
+    def test_batched_insert_refreshes_cached_view(self):
+        histogram = DCHistogram(8)
+        histogram.insert_many([float(v) for v in range(20)], repartition_interval=4)
+        before = histogram.total_count
+        histogram.insert_many([3.0, 4.0], repartition_interval=4)
+        assert histogram.total_count == pytest.approx(before + 2)
+
+    def test_invalid_interval_rejected(self):
+        histogram = DCHistogram(8)
+        with pytest.raises(ConfigurationError):
+            histogram.insert_many([1.0], repartition_interval=0)

@@ -119,3 +119,76 @@ class TestFileRoundTrip:
         payload = json.loads(path.read_text())
         assert payload["kind"] == "dc"
         assert payload["bucket_budget"] == 20
+
+
+class TestRestoreCacheInvariant:
+    """Restored histograms must never serve a stale segment view.
+
+    ``histogram_from_dict`` restores internal state directly, bypassing the
+    insert/delete template methods that normally bump the view generation
+    (the ROADMAP cache invariant).  These tests pin down that the restore
+    paths re-establish the invariant explicitly: the first read after a
+    restore reflects the restored buckets exactly, and reads stay consistent
+    through the restore-triggered bootstrap and later updates.
+    """
+
+    @pytest.mark.parametrize("histogram_class", [DCHistogram, DVOHistogram, DADOHistogram])
+    def test_first_read_after_restore_matches_buckets(self, histogram_class, uniform_values):
+        original = histogram_class(20)
+        for value in uniform_values:
+            original.insert(float(value))
+        # Warm the original's view cache so the serialised state comes from a
+        # histogram whose cached view is live.
+        assert original.total_count == pytest.approx(len(uniform_values))
+        restored = histogram_from_dict(histogram_to_dict(original))
+
+        # The very first read must be derived from the restored buckets, not
+        # any stale cache: cross-check the vectorised path against a
+        # from-scratch per-bucket recomputation.
+        expected_total = sum(bucket.count for bucket in restored.buckets())
+        assert restored.total_count == pytest.approx(expected_total)
+        low, high = float(np.min(uniform_values)), float(np.max(uniform_values))
+        expected_range = sum(
+            bucket.count_in_range(low, high) for bucket in restored.buckets()
+        )
+        assert restored.estimate_range(low, high) == pytest.approx(expected_range)
+
+    def test_restore_bumps_view_generation(self, uniform_values):
+        original = DADOHistogram(20)
+        for value in uniform_values:
+            original.insert(float(value))
+        restored = histogram_from_dict(histogram_to_dict(original))
+        # Restoration is a mutation: the fresh instance must not sit at the
+        # class-level generation with unestablished caches.
+        assert restored._view_generation > 0
+        assert restored._view_cache is None
+
+    @pytest.mark.parametrize("histogram_class", [DVOHistogram, DADOHistogram])
+    def test_read_path_bootstrap_after_loading_restore_refreshes_view(self, histogram_class):
+        original = histogram_class(8)
+        for value in (3.0, 5.0, 9.0):
+            original.insert(value)
+        restored = histogram_from_dict(histogram_to_dict(original))
+        assert restored.is_loading
+
+        # First read during the loading phase: point-mass view of the buffer.
+        assert restored.total_count == pytest.approx(3.0)
+        # sub_bucketed_buckets() forces the bootstrap from a *read* path; the
+        # bucket shapes change, so the cached view must be refreshed.
+        restored.sub_bucketed_buckets()
+        assert not restored.is_loading
+        assert restored.total_count == pytest.approx(3.0)
+        expected_total = sum(bucket.count for bucket in restored.buckets())
+        assert restored.total_count == pytest.approx(expected_total)
+
+    @pytest.mark.parametrize("histogram_class", [DCHistogram, DVOHistogram, DADOHistogram])
+    def test_reads_track_updates_after_restore(self, histogram_class, uniform_values):
+        original = histogram_class(20)
+        for value in uniform_values:
+            original.insert(float(value))
+        restored = histogram_from_dict(histogram_to_dict(original))
+        before = restored.total_count
+        restored.insert(42.0)
+        assert restored.total_count == pytest.approx(before + 1)
+        restored.delete(42.0)
+        assert restored.total_count == pytest.approx(before)

@@ -1,0 +1,213 @@
+"""Concurrent correctness of the statistics service.
+
+The store's contract under concurrency:
+
+* writes are never lost: after N writer threads finish, every attribute's
+  ``total_count`` equals exactly the number of values ingested into it;
+* reads are never torn: a batched query runs under one lock acquisition, so
+  within one response the total count and the full-domain range estimate
+  describe the same histogram state and must agree;
+* readers and writers make progress together (no deadlocks), including over
+  the batching ingest pipeline and the HTTP server.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import HistogramStore, IngestPipeline, StatisticsClient, StatisticsServer
+
+ATTRIBUTES = ("age", "price", "score")
+FULL_DOMAIN = {"op": "range", "low": -1e18, "high": 1e18}
+
+
+def _run_threads(threads):
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not any(thread.is_alive() for thread in threads), "worker threads deadlocked"
+
+
+@pytest.fixture
+def store():
+    s = HistogramStore()
+    s.create("age", "dc", memory_kb=0.5)
+    s.create("price", "dado", memory_kb=0.5)
+    s.create("score", "dvo", memory_kb=0.5)
+    return s
+
+
+class TestConcurrentStore:
+    N_WRITERS = 4
+    N_READERS = 3
+    BATCHES_PER_WRITER = 30
+    BATCH_SIZE = 100
+
+    def test_writers_and_readers_against_one_store(self, store):
+        errors = []
+        torn = []
+        stop_reading = threading.Event()
+
+        def writer(writer_index: int) -> None:
+            rng = np.random.default_rng(1000 + writer_index)
+            try:
+                for batch_index in range(self.BATCHES_PER_WRITER):
+                    name = ATTRIBUTES[(writer_index + batch_index) % len(ATTRIBUTES)]
+                    values = rng.integers(0, 200, self.BATCH_SIZE).astype(float)
+                    store.insert(name, values)
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        def reader(reader_index: int) -> None:
+            rng = np.random.default_rng(2000 + reader_index)
+            try:
+                while not stop_reading.is_set():
+                    name = ATTRIBUTES[rng.integers(0, len(ATTRIBUTES))]
+                    response = store.query(name, [{"op": "total"}, FULL_DOMAIN])
+                    total, full_range = response["results"]
+                    # A torn read would mix two histogram states; within one
+                    # locked batch the two must describe the same mass.
+                    if abs(total - full_range) > 1e-6 * max(1.0, abs(total)):
+                        torn.append((name, total, full_range))
+                    low = float(rng.uniform(0, 150))
+                    estimate = store.estimate_range(name, low, low + 25.0)
+                    if not np.isfinite(estimate) or estimate < 0:
+                        torn.append((name, "range", estimate))
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        writers = [
+            threading.Thread(target=writer, args=(index,), name=f"writer-{index}")
+            for index in range(self.N_WRITERS)
+        ]
+        readers = [
+            threading.Thread(target=reader, args=(index,), name=f"reader-{index}", daemon=True)
+            for index in range(self.N_READERS)
+        ]
+        for thread in readers:
+            thread.start()
+        _run_threads(writers)
+        stop_reading.set()
+        for thread in readers:
+            thread.join(timeout=30)
+
+        assert errors == []
+        assert torn == []
+
+        # Writes are conserved exactly: each writer contributed a known number
+        # of batches to each attribute (round-robin over writer+batch index).
+        expected = {name: 0 for name in ATTRIBUTES}
+        for writer_index in range(self.N_WRITERS):
+            for batch_index in range(self.BATCHES_PER_WRITER):
+                name = ATTRIBUTES[(writer_index + batch_index) % len(ATTRIBUTES)]
+                expected[name] += self.BATCH_SIZE
+        for name in ATTRIBUTES:
+            stats = store.stats(name)
+            assert stats.inserted == expected[name]
+            assert stats.total_count == pytest.approx(expected[name])
+
+    def test_concurrent_ingest_through_pipeline(self, store):
+        errors = []
+        per_thread = 1500
+
+        with IngestPipeline(store, max_batch=128) as pipeline:
+
+            def producer(thread_index: int) -> None:
+                rng = np.random.default_rng(3000 + thread_index)
+                try:
+                    name = ATTRIBUTES[thread_index % len(ATTRIBUTES)]
+                    for value in rng.integers(0, 300, per_thread).astype(float):
+                        pipeline.submit(name, [value])
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+            _run_threads(
+                [
+                    threading.Thread(target=producer, args=(index,))
+                    for index in range(6)
+                ]
+            )
+
+        assert errors == []
+        # 6 producers over 3 attributes -> 2 producers each.
+        total = sum(store.total_count(name) for name in ATTRIBUTES)
+        assert total == pytest.approx(6 * per_thread)
+        for name in ATTRIBUTES:
+            assert store.total_count(name) == pytest.approx(2 * per_thread)
+
+    def test_concurrent_snapshot_restore_during_ingest(self, store):
+        errors = []
+        stop = threading.Event()
+
+        def writer() -> None:
+            rng = np.random.default_rng(7)
+            try:
+                for _ in range(40):
+                    store.insert("age", rng.integers(0, 100, 50).astype(float))
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+            finally:
+                stop.set()
+
+        def snapshotter() -> None:
+            try:
+                while not stop.is_set():
+                    snapshot = store.snapshot("age")
+                    # The snapshot itself must be internally consistent.
+                    restored = HistogramStore()
+                    restored.restore("age", snapshot)
+                    response = restored.query("age", [{"op": "total"}, FULL_DOMAIN])
+                    total, full_range = response["results"]
+                    assert total == pytest.approx(full_range)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        _run_threads(
+            [threading.Thread(target=writer), threading.Thread(target=snapshotter)]
+        )
+        assert errors == []
+        assert store.total_count("age") == pytest.approx(40 * 50)
+
+
+class TestConcurrentHttp:
+    def test_threaded_server_with_parallel_clients(self):
+        store = HistogramStore()
+        store.create("age", "dc", memory_kb=0.5)
+        errors = []
+        per_client = 10
+        batch = 100
+
+        with StatisticsServer(store) as server:
+            host, port = server.address
+
+            def http_writer(index: int) -> None:
+                client = StatisticsClient(host, port)
+                rng = np.random.default_rng(4000 + index)
+                try:
+                    for _ in range(per_client):
+                        client.ingest(
+                            "age", insert=rng.integers(0, 90, batch).astype(float).tolist()
+                        )
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+            def http_reader() -> None:
+                client = StatisticsClient(host, port)
+                try:
+                    for _ in range(20):
+                        response = client.query("age", [{"op": "total"}, FULL_DOMAIN])
+                        total, full_range = response["results"]
+                        assert total == pytest.approx(full_range)
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=http_writer, args=(index,)) for index in range(4)
+            ] + [threading.Thread(target=http_reader) for _ in range(2)]
+            _run_threads(threads)
+
+            assert errors == []
+            client = StatisticsClient(host, port)
+            assert client.total_count("age") == pytest.approx(4 * per_client * batch)

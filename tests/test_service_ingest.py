@@ -1,0 +1,195 @@
+"""Unit tests for the batching ingest pipeline."""
+
+import time
+
+import pytest
+
+from repro import HistogramStore, IngestPipeline
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def store():
+    s = HistogramStore()
+    s.create("age", "dc", memory_kb=0.5)
+    s.create("price", "dado", memory_kb=0.5)
+    return s
+
+
+class TestBuffering:
+    def test_values_buffer_until_flush(self, store):
+        pipeline = IngestPipeline(store, max_batch=1000)
+        pipeline.submit("age", [1.0, 2.0, 3.0])
+        assert store.total_count("age") == 0
+        assert pipeline.pending_count("age") == 3
+        flushed = pipeline.flush("age")
+        assert flushed == 3
+        assert pipeline.pending_count("age") == 0
+        assert store.total_count("age") == pytest.approx(3.0)
+
+    def test_size_trigger_flushes_automatically(self, store):
+        pipeline = IngestPipeline(store, max_batch=10)
+        for value in range(25):
+            pipeline.submit("age", [float(value)])
+        # Two full batches of 10 must already have been applied.
+        assert store.total_count("age") == pytest.approx(20.0)
+        assert pipeline.pending_count("age") == 5
+        pipeline.flush()
+        assert store.total_count("age") == pytest.approx(25.0)
+
+    def test_flush_all_covers_every_attribute(self, store):
+        pipeline = IngestPipeline(store, max_batch=1000)
+        pipeline.submit("age", [1.0] * 5)
+        pipeline.submit("price", [2.0] * 7)
+        assert pipeline.flush() == 12
+        assert store.total_count("age") == pytest.approx(5.0)
+        assert store.total_count("price") == pytest.approx(7.0)
+
+    def test_empty_submissions_are_ignored(self, store):
+        pipeline = IngestPipeline(store, max_batch=10)
+        pipeline.submit("age", [])
+        pipeline.submit_delete("age", [])
+        assert pipeline.pending_count() == 0
+        assert pipeline.flush() == 0
+
+    def test_stats_counters(self, store):
+        pipeline = IngestPipeline(store, max_batch=4)
+        pipeline.submit("age", [1.0, 2.0, 3.0])
+        stats = pipeline.stats
+        assert stats["submitted"] == 3
+        assert stats["pending"] == 3
+        assert stats["flushed_values"] == 0
+        pipeline.submit("age", [4.0])  # hits the size trigger
+        stats = pipeline.stats
+        assert stats["flushed_values"] == 4
+        assert stats["pending"] == 0
+        assert stats["flushed_batches"] == 1
+
+
+class TestOrdering:
+    def test_interleaved_deletes_preserve_order(self, store):
+        store.insert("age", [float(v % 50) for v in range(200)])
+        pipeline = IngestPipeline(store, max_batch=1000)
+        # Insert 10.0 three times, then delete it twice: net +1.
+        pipeline.submit("age", [10.0, 10.0, 10.0])
+        pipeline.submit_delete("age", [10.0, 10.0])
+        pipeline.submit("age", [11.0])
+        pipeline.flush("age")
+        assert store.total_count("age") == pytest.approx(202.0)
+        assert store.stats("age").inserted == 204
+        assert store.stats("age").deleted == 2
+
+    def test_consecutive_inserts_collapse_into_one_run(self, store):
+        pipeline = IngestPipeline(store, max_batch=1000)
+        pipeline.submit("age", [1.0])
+        pipeline.submit("age", [2.0])
+        pipeline.submit("age", [3.0])
+        pipeline.flush("age")
+        # One insert_many call -> one store generation bump.
+        assert store.stats("age").generation == 1
+
+
+class TestEquivalence:
+    def test_pipeline_matches_direct_ingest(self, store, rng):
+        values = rng.integers(0, 120, 3000).astype(float)
+        direct = HistogramStore()
+        direct.create("age", "dc", memory_kb=0.5)
+        direct.insert("age", values)
+
+        with IngestPipeline(store, max_batch=256) as pipeline:
+            for chunk_start in range(0, len(values), 17):
+                pipeline.submit("age", values[chunk_start : chunk_start + 17])
+        assert store.total_count("age") == pytest.approx(direct.total_count("age"))
+        for low, high in [(0, 30), (25, 90), (100, 119)]:
+            assert store.estimate_range("age", low, high) == pytest.approx(
+                direct.estimate_range("age", low, high), rel=0.15, abs=30.0
+            )
+
+
+class TestLifecycle:
+    def test_close_drains_buffers(self, store):
+        pipeline = IngestPipeline(store, max_batch=10_000)
+        pipeline.submit("age", [1.0] * 42)
+        pipeline.close()
+        assert store.total_count("age") == pytest.approx(42.0)
+
+    def test_context_manager_flushes_on_exit(self, store):
+        with IngestPipeline(store, max_batch=10_000) as pipeline:
+            pipeline.submit("price", [5.0] * 9)
+        assert store.total_count("price") == pytest.approx(9.0)
+
+    def test_background_flusher_applies_without_explicit_flush(self, store):
+        # Submit below the size trigger and wait for the time trigger.
+        with IngestPipeline(store, max_batch=10_000, auto_flush_interval=0.02) as pipeline:
+            pipeline.submit("age", [float(v) for v in range(30)])
+            deadline = time.time() + 5.0
+            while store.total_count("age") < 30 and time.time() < deadline:
+                time.sleep(0.01)
+            assert store.total_count("age") == pytest.approx(30.0)
+
+    def test_invalid_configuration_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            IngestPipeline(store, max_batch=0)
+        with pytest.raises(ConfigurationError):
+            IngestPipeline(store, auto_flush_interval=-1.0)
+
+
+class TestFlushFailures:
+    def test_dropped_attribute_discards_pending_and_keeps_flusher_alive(self, store):
+        with IngestPipeline(store, max_batch=10_000, auto_flush_interval=0.02) as pipeline:
+            pipeline.submit("age", [1.0, 2.0, 3.0])
+            store.drop("age")
+            # The next background flush hits UnknownAttributeError; the
+            # flusher must survive it and keep serving other attributes.
+            pipeline.submit("price", [5.0] * 4)
+            deadline = time.time() + 5.0
+            while store.total_count("price") < 4 and time.time() < deadline:
+                time.sleep(0.01)
+            assert store.total_count("price") == pytest.approx(4.0)
+            deadline = time.time() + 5.0
+            while pipeline.pending_count("age") > 0 and time.time() < deadline:
+                time.sleep(0.01)
+            assert pipeline.pending_count("age") == 0  # discarded, not retried
+            assert pipeline.stats["flush_errors"] >= 1
+
+    def test_failed_flush_drops_poisoned_value_requeues_unapplied_tail(self, store):
+        from repro.exceptions import DeletionError
+
+        pipeline = IngestPipeline(store, max_batch=10_000)
+        store.insert("age", [10.0] * 5)
+        pipeline.submit_delete("age", [10.0, 7777.0, 10.0])
+        with pytest.raises(DeletionError):
+            pipeline.flush("age")
+        # The applied prefix is NOT requeued (no double deletes), the
+        # poisoned value is dropped, the unapplied tail stays buffered.
+        assert store.total_count("age") == pytest.approx(4.0)
+        assert pipeline.pending_count("age") == 1
+        assert pipeline.stats["flush_errors"] == 1
+        assert pipeline.flush("age") == 1
+        assert store.total_count("age") == pytest.approx(3.0)
+
+    def test_failed_flush_never_reapplies_prefix_under_background_retries(self, store):
+        store.insert("age", [10.0] * 30)
+        with IngestPipeline(store, max_batch=10_000, auto_flush_interval=0.02) as pipeline:
+            pipeline.submit_delete("age", [10.0, 7777.0])
+            time.sleep(0.3)
+            # Exactly one delete applied, regardless of how many retry ticks
+            # the background flusher ran in the meantime.
+            assert store.total_count("age") == pytest.approx(29.0)
+            assert pipeline.pending_count("age") == 0
+
+    def test_invalid_run_is_dropped_not_retried(self, store):
+        store.insert("age", [5.0, 6.0])
+        pipeline = IngestPipeline(store, max_batch=10_000)
+        pipeline.submit("age", [1.0, float("nan")])  # rejected at the boundary
+        pipeline.submit_delete("age", [5.0])
+        pipeline.submit("age", [7.0])
+        with pytest.raises(ConfigurationError):
+            pipeline.flush("age")
+        # The invalid insert run (which had applied nothing) is gone; the
+        # runs behind it are preserved and apply cleanly on the next flush.
+        assert store.total_count("age") == pytest.approx(2.0)
+        pipeline.flush("age")
+        assert store.total_count("age") == pytest.approx(2.0)  # -5.0, +7.0
+        assert pipeline.pending_count("age") == 0
+        assert pipeline.stats["flush_errors"] == 1

@@ -1,0 +1,203 @@
+"""End-to-end tests for the JSON HTTP statistics server and its client."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import (
+    HistogramStore,
+    IngestPipeline,
+    ServiceError,
+    StatisticsClient,
+    StatisticsServer,
+    UnknownAttributeError,
+)
+
+
+@pytest.fixture
+def server():
+    with StatisticsServer(HistogramStore()) as running:
+        yield running
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.address
+    return StatisticsClient(host, port)
+
+
+class TestLifecycleRoutes:
+    def test_health(self, client):
+        response = client.health()
+        assert response["status"] == "ok"
+        assert response["attributes"] == 0
+
+    def test_create_ingest_estimate_round_trip(self, client):
+        created = client.create("age", "dc", memory_kb=0.5)
+        assert created["name"] == "age"
+        assert created["total_count"] == 0
+
+        response = client.ingest("age", insert=[float(v % 90) for v in range(2000)])
+        assert response["buffered"] is False
+        assert response["inserted"] == 2000
+
+        assert client.total_count("age") == pytest.approx(2000.0)
+        full = client.estimate_range("age", 0, 89)
+        assert full == pytest.approx(2000.0, rel=0.01)
+        assert client.estimate_equal("age", 42.0) > 0
+        cdf = client.cdf("age", [0.0, 45.0, 89.0])
+        assert cdf[-1] == pytest.approx(1.0)
+        assert cdf == sorted(cdf)
+
+    def test_ingest_deletes(self, client):
+        client.create("age", "dc", memory_kb=0.5)
+        client.ingest("age", insert=[float(v % 70) for v in range(1000)])
+        response = client.ingest("age", delete=[10.0, 11.0])
+        assert response["deleted"] == 2
+        assert client.total_count("age") == pytest.approx(998.0)
+
+    def test_consistent_query_batch(self, client):
+        client.create("age", "dado", memory_kb=0.5)
+        client.ingest("age", insert=[float(v % 50) for v in range(1500)])
+        response = client.query(
+            "age", [{"op": "total"}, {"op": "range", "low": -1e18, "high": 1e18}]
+        )
+        total, full_range = response["results"]
+        assert total == pytest.approx(full_range)
+        assert "generation" in response
+
+    def test_stats_routes(self, client):
+        client.create("a1", "dc", memory_kb=0.5)
+        client.create("a2", "dvo", memory_kb=0.5)
+        everything = client.stats()
+        assert [entry["name"] for entry in everything["attributes"]] == ["a1", "a2"]
+        single = client.stats("a2")
+        assert single["kind"] == "dvo"
+
+    def test_drop(self, client):
+        client.create("gone", "dc")
+        client.drop("gone")
+        with pytest.raises(UnknownAttributeError):
+            client.stats("gone")
+
+    def test_snapshot_restore_over_http(self, client):
+        client.create("age", "dado", memory_kb=0.5)
+        client.ingest("age", insert=[float(v % 40) for v in range(1200)])
+        snapshot = client.snapshot("age")
+        before = client.estimate_range("age", 5, 25)
+
+        client.ingest("age", insert=[0.0] * 400)
+        assert client.total_count("age") == pytest.approx(1600.0)
+
+        restored = client.restore("age", snapshot)
+        assert restored["total_count"] == pytest.approx(1200.0)
+        assert client.estimate_range("age", 5, 25) == pytest.approx(before)
+
+    def test_snapshot_survives_server_restart(self, client, server):
+        client.create("age", "dc", memory_kb=0.5)
+        client.ingest("age", insert=[float(v % 60) for v in range(1500)])
+        snapshot = client.snapshot("age")
+
+        with StatisticsServer(HistogramStore()) as second:
+            host, port = second.address
+            fresh_client = StatisticsClient(host, port)
+            fresh_client.restore("age", snapshot)
+            assert fresh_client.total_count("age") == pytest.approx(1500.0)
+
+
+class TestErrorHandling:
+    def test_unknown_attribute_404(self, client):
+        with pytest.raises(UnknownAttributeError):
+            client.estimate_range("missing", 0, 1)
+        with pytest.raises(UnknownAttributeError):
+            client.ingest("missing", insert=[1.0])
+
+    def test_duplicate_create_conflict(self, client):
+        client.create("dup", "dc")
+        with pytest.raises(ServiceError, match="409"):
+            client.create("dup", "dc")
+
+    def test_duplicate_create_exist_ok(self, client):
+        client.create("dup", "dc")
+        stats = client.create("dup", "dc", exist_ok=True)
+        assert stats["name"] == "dup"
+
+    def test_bad_kind_400(self, client):
+        with pytest.raises(ServiceError, match="400"):
+            client.create("odd", "mystery")
+
+    def test_unknown_route_404(self, server):
+        host, port = server.address
+        request = urllib.request.Request(f"http://{host}:{port}/nope")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 404
+
+    def test_invalid_json_400(self, server):
+        host, port = server.address
+        request = urllib.request.Request(
+            f"http://{host}:{port}/attributes",
+            data=b"{not json",
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_estimate_bad_query_400(self, client):
+        client.create("age", "dc")
+        with pytest.raises(ServiceError, match="400"):
+            client.query("age", [{"op": "mystery"}])
+
+
+class TestRawHttpSurface:
+    def test_get_estimate_via_query_string(self, server):
+        host, port = server.address
+        client = StatisticsClient(host, port)
+        client.create("age", "dc", memory_kb=0.5)
+        client.ingest("age", insert=[float(v % 30) for v in range(900)])
+        url = f"http://{host}:{port}/attributes/age/estimate?op=range&low=0&high=29"
+        with urllib.request.urlopen(url) as response:
+            payload = json.loads(response.read())
+        assert payload["result"] == pytest.approx(900.0, rel=0.01)
+
+
+class TestBufferedIngest:
+    def test_pipeline_backed_server_buffers_and_flushes(self):
+        store = HistogramStore()
+        pipeline = IngestPipeline(store, max_batch=10_000, auto_flush_interval=0.02)
+        with StatisticsServer(store, pipeline=pipeline) as running:
+            host, port = running.address
+            client = StatisticsClient(host, port)
+            client.create("age", "dc", memory_kb=0.5)
+            response = client.ingest("age", insert=[float(v) for v in range(100)])
+            assert response["buffered"] is True
+            import time
+
+            deadline = time.time() + 5.0
+            while client.total_count("age") < 100 and time.time() < deadline:
+                time.sleep(0.01)
+            assert client.total_count("age") == pytest.approx(100.0)
+
+
+class TestPartialApply:
+    def test_sync_ingest_partial_failure_reports_inserted(self, client):
+        client.create("age", "dc", memory_kb=0.5)
+        # The insert half commits before the delete half underflows.
+        with pytest.raises(ServiceError, match="400") as excinfo:
+            client.ingest("age", insert=[1.0], delete=[1.0, 2.0])
+        payload = excinfo.value.payload
+        assert payload["partial"] is True
+        assert payload["inserted"] == 1
+        assert "generation" in payload
+
+
+class TestStopWithoutStart:
+    def test_stop_on_never_started_server_returns(self):
+        server = StatisticsServer(HistogramStore())
+        server.stop()  # must not hang waiting for a serve loop that never ran
+        # The socket is closed: a fresh server can bind the same port.
+        assert server._thread is None
