@@ -22,6 +22,7 @@ True
 """
 
 from .exceptions import (
+    ClusterError,
     ConfigurationError,
     DeletionError,
     DomainError,
@@ -30,6 +31,7 @@ from .exceptions import (
     HistogramError,
     InsufficientDataError,
     ServiceError,
+    ShardUnavailableError,
     UnknownAttributeError,
 )
 from .metrics import (
@@ -101,11 +103,24 @@ from .persistence import (
     load_histogram,
     save_histogram,
 )
-# The service layer (HTTP server, threading pipeline) is re-exported lazily
-# via module __getattr__ below, so `import repro` for the figure experiments
-# and library users never pays for the http.server/http.client stack.
+# The service and cluster layers (HTTP server, threading pipeline, shard
+# fan-out) are re-exported lazily via module __getattr__ below, so `import
+# repro` for the figure experiments and library users never pays for the
+# http.server/http.client stack.
 _SERVICE_EXPORTS = frozenset(
     ["AttributeStats", "HistogramStore", "IngestPipeline", "StatisticsServer", "StatisticsClient"]
+)
+_CLUSTER_EXPORTS = frozenset(
+    [
+        "ClusterCoordinator",
+        "ClusterClient",
+        "ClusterServer",
+        "LocalShard",
+        "RemoteShard",
+        "ShardBackend",
+        "ShardRouter",
+        "RangePartition",
+    ]
 )
 
 
@@ -114,6 +129,10 @@ def __getattr__(name: str):
         from . import service
 
         return getattr(service, name)
+    if name in _CLUSTER_EXPORTS:
+        from . import cluster
+
+        return getattr(cluster, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __version__ = "1.0.0"
@@ -130,6 +149,8 @@ __all__ = [
     "ServiceError",
     "UnknownAttributeError",
     "DuplicateAttributeError",
+    "ClusterError",
+    "ShardUnavailableError",
     # metrics
     "DataDistribution",
     "ks_statistic",
@@ -207,4 +228,13 @@ __all__ = [
     "IngestPipeline",
     "StatisticsServer",
     "StatisticsClient",
+    # cluster
+    "ClusterCoordinator",
+    "ClusterClient",
+    "ClusterServer",
+    "LocalShard",
+    "RemoteShard",
+    "ShardBackend",
+    "ShardRouter",
+    "RangePartition",
 ]

@@ -11,7 +11,12 @@ The CLI mirrors what the benchmark harness does, but as a user-facing tool:
 * ``repro-experiments serve`` -- run the statistics service HTTP server
   (:mod:`repro.service`) with a configurable set of attributes;
 * ``repro-experiments store-stats`` -- pretty-print the attribute stats of a
-  running statistics server.
+  running statistics server;
+* ``repro-experiments serve-cluster`` -- run a sharded statistics cluster
+  (:mod:`repro.cluster`): N in-process shards behind one scatter-gather HTTP
+  front-end, with optional value-range partitioning of hot attributes;
+* ``repro-experiments cluster-stats`` -- pretty-print per-shard stats and
+  placement rules of a running cluster server.
 
 Invoke either through the installed ``repro-experiments`` script or with
 ``python -m repro.cli``.
@@ -128,6 +133,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     store_stats_parser.add_argument("--host", default="127.0.0.1")
     store_stats_parser.add_argument("--port", type=int, default=8181)
+
+    cluster_parser = subparsers.add_parser(
+        "serve-cluster", help="run a sharded statistics cluster HTTP server"
+    )
+    cluster_parser.add_argument("--host", default="127.0.0.1")
+    cluster_parser.add_argument("--port", type=int, default=8282,
+                                help="TCP port to bind (0 picks an ephemeral port)")
+    cluster_parser.add_argument("--shards", type=int, default=2,
+                                help="number of in-process backing shards (default 2)")
+    cluster_parser.add_argument(
+        "--attribute", "-a", action="append", default=[],
+        metavar="NAME[:KIND[:MEMORY_KB]]",
+        help="pre-create an attribute, e.g. 'age:dc:1.0' (repeatable)",
+    )
+    cluster_parser.add_argument(
+        "--partition", "-p", action="append", default=[],
+        metavar="NAME:B1,B2,...",
+        help="range-partition an attribute at the given ascending cut points, "
+             "e.g. 'price:100,1000' splits price into 3 pieces (repeatable; "
+             "combine with -a to set kind/memory, else dc:1.0)",
+    )
+    cluster_parser.add_argument(
+        "--global-buckets", type=int, default=64,
+        help="bucket budget of merged global histograms (default 64)",
+    )
+    cluster_parser.add_argument(
+        "--duration", type=float, default=None,
+        help="serve for this many seconds then exit (default: run until interrupted)",
+    )
+
+    cluster_stats_parser = subparsers.add_parser(
+        "cluster-stats", help="pretty-print per-shard stats of a running cluster server"
+    )
+    cluster_stats_parser.add_argument("--host", default="127.0.0.1")
+    cluster_stats_parser.add_argument("--port", type=int, default=8282)
     return parser
 
 
@@ -248,6 +288,70 @@ def _command_serve(args, out) -> int:
     return 0  # pragma: no cover
 
 
+def _parse_partition_spec(spec: str):
+    """Parse a ``NAME:B1,B2,...`` range-partition specification."""
+    name, separator, cut_text = spec.partition(":")
+    if not name or not separator or not cut_text:
+        raise ValueError(f"invalid partition spec {spec!r}; expected NAME:B1,B2,...")
+    try:
+        boundaries = [float(cut) for cut in cut_text.split(",")]
+    except ValueError:
+        raise ValueError(f"invalid partition spec {spec!r}; boundaries must be numbers") from None
+    return name, boundaries
+
+
+def _command_serve_cluster(args, out) -> int:
+    from .cluster import ClusterCoordinator, ClusterServer, LocalShard
+
+    if args.shards < 1:
+        out.write("--shards must be at least 1\n")
+        return 2
+    try:
+        specs = [_parse_attribute_spec(spec) for spec in args.attribute]
+        partitions = dict(_parse_partition_spec(spec) for spec in args.partition)
+    except ValueError as error:
+        out.write(f"{error}\n")
+        return 2
+
+    shards = [LocalShard(f"shard-{index}") for index in range(args.shards)]
+    coordinator = ClusterCoordinator(shards, global_buckets=args.global_buckets)
+    attribute_specs = {name: (kind, memory_kb) for name, kind, memory_kb in specs}
+    for name in partitions:
+        attribute_specs.setdefault(name, ("dc", 1.0))
+    for name, (kind, memory_kb) in attribute_specs.items():
+        coordinator.create(
+            name,
+            kind,
+            memory_kb=memory_kb,
+            exist_ok=True,
+            partition_boundaries=partitions.get(name),
+        )
+
+    server = ClusterServer(coordinator, host=args.host, port=args.port)
+    host, port = server.address
+    out.write(f"statistics cluster listening on http://{host}:{port}\n")
+    out.write(f"shards: {', '.join(coordinator.shard_ids)}\n")
+    attributes = ", ".join(
+        f"{name} (partitioned)" if name in partitions else name
+        for name in sorted(attribute_specs)
+    ) or "none"
+    out.write(f"attributes: {attributes}\n")
+    if hasattr(out, "flush"):
+        out.flush()
+    if args.duration is not None:
+        server.start()
+        time.sleep(args.duration)
+        server.stop()
+        return 0
+    try:  # pragma: no cover - interactive foreground mode
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    finally:  # pragma: no cover
+        server.stop()
+    return 0  # pragma: no cover
+
+
 def format_store_stats(attributes) -> str:
     """A ``compare``-style table of per-attribute store statistics.
 
@@ -286,6 +390,50 @@ def _command_store_stats(args, out) -> int:
     return 0
 
 
+def _command_cluster_stats(args, out) -> int:
+    from .cluster import ClusterClient
+    from .exceptions import ServiceError
+
+    client = ClusterClient(args.host, args.port)
+    try:
+        stats = client.cluster_stats()
+    except (OSError, ServiceError) as error:
+        out.write(f"cannot reach cluster server at {args.host}:{args.port}: {error}\n")
+        return 2
+    placement = stats.get("placement", {})
+    shards = stats.get("shards", [])
+    out.write(
+        f"statistics cluster at {args.host}:{args.port} ({len(shards)} shard(s))\n"
+    )
+    for shard in shards:
+        attributes = shard.get("attributes", [])
+        out.write(f"\n[{shard['shard_id']}] {len(attributes)} attribute(s)\n")
+        if attributes:
+            out.write(format_store_stats(attributes) + "\n")
+    overrides = placement.get("overrides", {})
+    if overrides:
+        out.write("\npinned attributes:\n")
+        for name, shard_id in sorted(overrides.items()):
+            out.write(f"  {name} -> {shard_id}\n")
+    partitions = placement.get("partitions", {})
+    if partitions:
+        out.write("\nrange partitions:\n")
+        for name, partition in sorted(partitions.items()):
+            out.write(
+                f"  {name}: boundaries={partition['boundaries']} "
+                f"shards={partition['shard_ids']}\n"
+            )
+    merge_cache = stats.get("merge_cache", {})
+    if merge_cache:
+        out.write("\nmerged global histograms (cached):\n")
+        for name, entry in sorted(merge_cache.items()):
+            out.write(
+                f"  {name}: generation_sum={entry['generation_sum']} "
+                f"buckets={entry['buckets']}\n"
+            )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -301,6 +449,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_serve(args, out)
     if args.command == "store-stats":
         return _command_store_stats(args, out)
+    if args.command == "serve-cluster":
+        return _command_serve_cluster(args, out)
+    if args.command == "cluster-stats":
+        return _command_cluster_stats(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -1,0 +1,40 @@
+"""Sharded statistics cluster: scatter-gather ingest, merged global estimates.
+
+The paper's Section 8 builds a *global* histogram over a shared-nothing union
+of sites by superimposing the per-site histograms and reducing the result
+back to the memory budget.  This package turns that machinery into a serving
+layer: attributes are spread across N backing shards, writes are scattered
+concurrently, and global questions about a range-partitioned attribute are
+answered from a merged (superimpose + reduce) histogram cached on the shards'
+generation counters.
+
+* :class:`~repro.cluster.router.ShardRouter` /
+  :class:`~repro.cluster.router.RangePartition` -- deterministic placement:
+  consistent hashing, explicit pins, value-range partitioning;
+* :class:`~repro.cluster.protocol.ShardBackend` with
+  :class:`~repro.cluster.protocol.LocalShard` (in-process store) and
+  :class:`~repro.cluster.protocol.RemoteShard` (HTTP service) members;
+* :class:`~repro.cluster.coordinator.ClusterCoordinator` -- scatter-gather
+  ingest, merged global estimates, rebalance / drain;
+* :class:`~repro.cluster.server.ClusterServer` /
+  :class:`~repro.cluster.server.ClusterClient` -- the JSON HTTP face
+  (superset of the single-node service API).
+"""
+
+from .coordinator import DEFAULT_GLOBAL_BUCKETS, ClusterCoordinator
+from .protocol import LocalShard, RemoteShard, ShardBackend
+from .router import RangePartition, ShardRouter, stable_hash
+from .server import ClusterClient, ClusterServer
+
+__all__ = [
+    "DEFAULT_GLOBAL_BUCKETS",
+    "ClusterCoordinator",
+    "ShardBackend",
+    "LocalShard",
+    "RemoteShard",
+    "RangePartition",
+    "ShardRouter",
+    "stable_hash",
+    "ClusterClient",
+    "ClusterServer",
+]

@@ -1,0 +1,637 @@
+"""Scatter-gather coordinator over the cluster's backing shards.
+
+The :class:`ClusterCoordinator` is the single entry point a cluster client
+talks to.  It owns a :class:`~repro.cluster.router.ShardRouter` (placement)
+and a set of :class:`~repro.cluster.protocol.ShardBackend` members, and it
+implements the three cluster-level behaviours no single shard can provide:
+
+**Scatter-gather ingest.**  Writes for an unpartitioned attribute go to its
+home shard; writes for a range-partitioned attribute are split per value
+(one ``searchsorted`` pass) and fanned out to the piece shards concurrently
+through a thread pool.  :meth:`ingest_batch` groups a whole multi-attribute
+batch by shard first, so each shard receives exactly one concurrent stream.
+Per-shard application is independent: a failing piece never rolls back the
+others (the same partial-apply semantics as the service layer; the error
+names the failing shard).
+
+**Merged global estimates.**  Queries against a partitioned attribute cannot
+be answered by any one shard.  The coordinator rebuilds the paper's Section 8
+machinery: it snapshots every piece, superimposes the piece histograms
+(:func:`~repro.distributed.union.superimpose` -- lossless) and reduces the
+union back to the configured bucket budget
+(:func:`~repro.distributed.union.reduce_segments`).  The merged histogram is
+cached under the *sum of the piece shards' generation counters*: generations
+are read **before** the snapshots, so the cache key can only under-state the
+data's freshness -- a write racing the rebuild bumps the sum and forces the
+next query to rebuild, never the reverse (a stale histogram served under a
+fresh key).  At rest, the cached merge is bit-identical to a from-scratch
+superimpose + reduce (the property suite asserts this).
+
+**Rebalance / drain.**  :meth:`rebalance` moves an attribute between shards
+via snapshot/restore without losing writes: writes arriving during the copy
+are buffered at the coordinator, replayed onto the target, and the routing
+override flips atomically with the final drain, so every buffered operation
+lands exactly once.  :meth:`drain` empties a shard by rebalancing every
+attribute homed there onto the surviving members (ring walk with the drained
+shard excluded).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.base import Histogram
+from ..distributed.union import UnionHistogram, reduce_segments, superimpose
+from ..exceptions import ClusterError, ConfigurationError
+from ..persistence import histogram_from_dict
+from ..service.store import evaluate_queries
+from .protocol import ShardBackend
+from .router import RangePartition, ShardRouter
+
+__all__ = ["ClusterCoordinator", "DEFAULT_GLOBAL_BUCKETS"]
+
+#: Default bucket budget of merged global histograms (the reduce target).
+DEFAULT_GLOBAL_BUCKETS = 64
+
+
+class ClusterCoordinator:
+    """Routes, fans out and merges across the cluster's shards.
+
+    Parameters
+    ----------
+    shards:
+        The backing members; their ``shard_id``s must be unique.
+    router:
+        Placement table; built from the shard ids when omitted.
+    global_buckets:
+        Bucket budget merged global histograms are reduced to.
+    value_unit:
+        Domain granularity forwarded to the reduction metric.
+    max_workers:
+        Fan-out thread-pool size (default: two per shard, at least four).
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[ShardBackend],
+        *,
+        router: Optional[ShardRouter] = None,
+        global_buckets: int = DEFAULT_GLOBAL_BUCKETS,
+        value_unit: float = 1.0,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if not shards:
+            raise ConfigurationError("the cluster coordinator needs at least one shard")
+        if global_buckets < 1:
+            raise ConfigurationError(f"global_buckets must be positive, got {global_buckets}")
+        self._shards: Dict[str, ShardBackend] = {}
+        for shard in shards:
+            if shard.shard_id in self._shards:
+                raise ConfigurationError(f"duplicate shard id {shard.shard_id!r}")
+            self._shards[shard.shard_id] = shard
+        self._router = router if router is not None else ShardRouter(list(self._shards))
+        for shard_id in self._router.shard_ids:
+            if shard_id not in self._shards:
+                raise ConfigurationError(f"router routes to unknown shard {shard_id!r}")
+        self._global_buckets = int(global_buckets)
+        self._value_unit = float(value_unit)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers if max_workers is not None else max(4, 2 * len(shards)),
+            thread_name_prefix="repro-cluster",
+        )
+        # Merged-histogram cache: name -> (generation_sum, merged histogram).
+        self._merge_cache: Dict[str, Tuple[int, UnionHistogram]] = {}
+        self._merge_locks: Dict[str, threading.Lock] = {}
+        self._merge_guard = threading.Lock()
+        # In-flight rebalances: name -> buffered (op, values) runs, plus a
+        # count of applies currently running per attribute.  The condition's
+        # lock guards both tables; rebalance registers a move and then waits
+        # for the attribute's in-flight applies to drain before snapshotting,
+        # so an apply that passed the move check always lands in the snapshot.
+        self._moves: Dict[str, List[Tuple[str, List[float]]]] = {}
+        self._inflight: Dict[str, int] = {}
+        self._moves_cv = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def router(self) -> ShardRouter:
+        return self._router
+
+    @property
+    def shard_ids(self) -> List[str]:
+        return list(self._shards)
+
+    def shard(self, shard_id: str) -> ShardBackend:
+        try:
+            return self._shards[shard_id]
+        except KeyError:
+            raise ClusterError(
+                f"unknown shard id {shard_id!r}; members: {list(self._shards)}"
+            ) from None
+
+    def _scatter(self, shard_ids: Sequence[str], call) -> Dict[str, Any]:
+        """Run ``call(shard)`` concurrently on each shard; gather by id.
+
+        The first failure propagates (other calls still complete); the raised
+        error identifies the shard through ``ShardUnavailableError`` or the
+        exception's own content.
+        """
+        futures = {
+            shard_id: self._executor.submit(call, self.shard(shard_id))
+            for shard_id in shard_ids
+        }
+        return {shard_id: future.result() for shard_id, future in futures.items()}
+
+    def close(self) -> None:
+        """Shut the fan-out pool down (pending calls complete first)."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        name: str,
+        kind: str = "dc",
+        *,
+        memory_kb: float = 1.0,
+        value_unit: float = 1.0,
+        disk_factor: float = 20.0,
+        seed: int = 0,
+        exist_ok: bool = False,
+        partition_boundaries: Optional[Sequence[float]] = None,
+        partition_shards: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Any]:
+        """Create an attribute cluster-wide.
+
+        Without ``partition_boundaries`` the attribute lands on its routed
+        home shard.  With them, the attribute is registered as range-
+        partitioned and one piece histogram (same configuration) is created
+        on every piece shard; ``partition_shards`` overrides the default
+        round-robin piece placement.
+        """
+        if partition_boundaries is None:
+            if partition_shards is not None:
+                raise ConfigurationError("partition_shards requires partition_boundaries")
+            shard_id = self._router.shard_for(name)
+            stats = self.shard(shard_id).create(
+                name,
+                kind,
+                memory_kb=memory_kb,
+                value_unit=value_unit,
+                disk_factor=disk_factor,
+                seed=seed,
+                exist_ok=exist_ok,
+            )
+            return {"name": name, "partitioned": False, "shard": shard_id, "stats": stats}
+
+        partition = self._router.partition(name, partition_boundaries, partition_shards)
+        try:
+            pieces = self._scatter(
+                partition.piece_shard_ids,
+                lambda shard: shard.create(
+                    name,
+                    kind,
+                    memory_kb=memory_kb,
+                    value_unit=value_unit,
+                    disk_factor=disk_factor,
+                    seed=seed,
+                    exist_ok=exist_ok,
+                ),
+            )
+        except Exception:
+            # Creation is not atomic across shards; withdrawing the partition
+            # keeps routing consistent with whatever was actually created
+            # (retry with exist_ok=True after fixing the failing shard).
+            self._router.unpartition(name)
+            raise
+        return {
+            "name": name,
+            "partitioned": True,
+            "partition": partition.to_dict(),
+            "pieces": pieces,
+        }
+
+    def drop(self, name: str) -> Dict[str, Any]:
+        """Drop an attribute from every shard holding state for it."""
+        shard_ids = self._router.shards_for(name)
+        results = self._scatter(shard_ids, lambda shard: shard.drop(name))
+        self._router.unpartition(name)
+        self._router.unassign(name)
+        with self._merge_guard:
+            self._merge_cache.pop(name, None)
+            self._merge_locks.pop(name, None)
+        return {"dropped": name, "shards": sorted(results)}
+
+    def names(self) -> List[str]:
+        """Every attribute name in the cluster (partitioned ones once)."""
+        gathered = self._scatter(list(self._shards), lambda shard: shard.names())
+        return sorted({name for names in gathered.values() for name in names})
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def ingest(
+        self, name: str, insert: Sequence[float] = (), delete: Sequence[float] = ()
+    ) -> Dict[str, Any]:
+        """Apply a write batch, scattering partitioned attributes per value."""
+        insert = list(insert)
+        delete = list(delete)
+        if not self._begin_apply(name, insert, delete):
+            return {
+                "buffered_for_move": True,
+                "inserted": len(insert),
+                "deleted": len(delete),
+            }
+        try:
+            partition = self._router.partition_for(name)
+            if partition is None:
+                shard_id = self._router.shard_for(name)
+                result = self.shard(shard_id).ingest(name, insert=insert, delete=delete)
+                result.setdefault("inserted", len(insert))
+                result.setdefault("deleted", len(delete))
+                result["per_shard"] = {shard_id: result.get("inserted", 0)}
+                return result
+
+            insert_groups = partition.split(insert)
+            delete_groups = partition.split(delete)
+            shard_ids = sorted(set(insert_groups) | set(delete_groups))
+            gathered = self._scatter(
+                shard_ids,
+                lambda shard: shard.ingest(
+                    name,
+                    insert=insert_groups.get(shard.shard_id, []),
+                    delete=delete_groups.get(shard.shard_id, []),
+                ),
+            )
+            return {
+                "inserted": len(insert),
+                "deleted": len(delete),
+                "partitioned": True,
+                "per_shard": {
+                    shard_id: result.get("inserted", 0)
+                    for shard_id, result in gathered.items()
+                },
+            }
+        finally:
+            self._end_apply(name)
+
+    def ingest_batch(self, items: Mapping[str, Sequence[float]]) -> Dict[str, Any]:
+        """Fan a multi-attribute insert batch out: one concurrent stream per shard.
+
+        ``items`` maps attribute name to values.  Every attribute's values are
+        grouped by owning shard (splitting partitioned attributes per value),
+        then each shard applies its group in one concurrently-submitted run.
+        """
+        per_shard: Dict[str, List[Tuple[str, List[float]]]] = {}
+        applying: List[str] = []
+        buffered = 0
+        try:
+            for name, values in items.items():
+                values = list(values)
+                if not values:
+                    continue
+                if not self._begin_apply(name, values, []):
+                    buffered += len(values)
+                    continue
+                applying.append(name)
+                partition = self._router.partition_for(name)
+                if partition is None:
+                    groups = {self._router.shard_for(name): values}
+                else:
+                    groups = partition.split(values)
+                for shard_id, shard_values in groups.items():
+                    per_shard.setdefault(shard_id, []).append((name, shard_values))
+
+            def apply_group(shard: ShardBackend) -> int:
+                applied = 0
+                for name, shard_values in per_shard[shard.shard_id]:
+                    applied += shard.ingest(name, insert=shard_values).get(
+                        "inserted", len(shard_values)
+                    )
+                return applied
+
+            gathered = self._scatter(sorted(per_shard), apply_group)
+        finally:
+            for name in applying:
+                self._end_apply(name)
+        return {
+            "inserted": sum(gathered.values()) + buffered,
+            "buffered_for_move": buffered,
+            "per_shard": gathered,
+        }
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+        """Evaluate a consistent batch of estimate queries.
+
+        Unpartitioned attributes delegate to the home shard's batched query
+        (one lock acquisition there -- no torn estimates).  Partitioned
+        attributes are served from the merged global histogram, an immutable
+        snapshot, so the whole batch is trivially consistent; the returned
+        ``generation`` is the piece generation sum the merge was keyed on.
+        """
+        if not self._router.is_partitioned(name):
+            shard_id = self._router.shard_for(name)
+            result = self.shard(shard_id).query(name, queries)
+            result["shard"] = shard_id
+            return result
+        generation_sum, merged = self._merged_entry(name)
+        return {
+            "generation": generation_sum,
+            "results": evaluate_queries(merged, queries),
+            "merged": True,
+            "buckets": merged.bucket_count,
+        }
+
+    def estimate_range(self, name: str, low: float, high: float) -> float:
+        """Estimated number of values of ``name`` in the closed range [low, high]."""
+        return float(self.query(name, [{"op": "range", "low": low, "high": high}])["results"][0])
+
+    def estimate_equal(self, name: str, value: float) -> float:
+        """Estimated number of values of ``name`` equal to ``value``."""
+        return float(self.query(name, [{"op": "equal", "value": value}])["results"][0])
+
+    def total_count(self, name: str) -> float:
+        """Total number of values represented cluster-wide for ``name``."""
+        return float(self.query(name, [{"op": "total"}])["results"][0])
+
+    def cdf(self, name: str, xs: Sequence[float]) -> List[float]:
+        """Approximate CDF of ``name`` at each point of ``xs``."""
+        return [float(v) for v in self.query(name, [{"op": "cdf", "xs": list(xs)}])["results"][0]]
+
+    # ------------------------------------------------------------------
+    # merged global histograms
+    # ------------------------------------------------------------------
+    def merged_histogram(self, name: str) -> Histogram:
+        """The merged global histogram of a partitioned attribute (cached)."""
+        return self._merged_entry(name)[1]
+
+    def _partition_of(self, name: str) -> RangePartition:
+        partition = self._router.partition_for(name)
+        if partition is None:
+            raise ClusterError(f"attribute {name!r} is not range-partitioned")
+        return partition
+
+    def _generation_sum(self, piece_shard_ids: Sequence[str], name: str) -> int:
+        gathered = self._scatter(piece_shard_ids, lambda shard: shard.generation(name))
+        return sum(gathered.values())
+
+    def _merge_lock(self, name: str) -> threading.Lock:
+        with self._merge_guard:
+            lock = self._merge_locks.get(name)
+            if lock is None:
+                lock = self._merge_locks[name] = threading.Lock()
+            return lock
+
+    def _merged_entry(self, name: str) -> Tuple[int, UnionHistogram]:
+        """The cached merged histogram, rebuilt only after shard writes.
+
+        The cache key is the sum of the piece shards' generation counters,
+        read **before** the snapshots: a write landing between the generation
+        read and a snapshot makes the cached entry *fresher* than its key
+        claims, so the very next query observes a larger sum and rebuilds --
+        the cache can cause an extra rebuild but never serves a histogram
+        older than its key.
+        """
+        partition = self._partition_of(name)
+        piece_ids = partition.piece_shard_ids
+        generation_sum = self._generation_sum(piece_ids, name)
+        cached = self._merge_cache.get(name)
+        if cached is not None and cached[0] == generation_sum:
+            return cached
+        with self._merge_lock(name):
+            cached = self._merge_cache.get(name)
+            if cached is not None and cached[0] == generation_sum:
+                return cached
+            snapshots = self._scatter(piece_ids, lambda shard: shard.snapshot(name))
+            members = [
+                histogram_from_dict(dict(snapshots[shard_id]["histogram"]))
+                for shard_id in piece_ids
+            ]
+            merged = reduce_segments(
+                superimpose(members),
+                self._global_buckets,
+                value_unit=self._value_unit,
+            )
+            entry = (generation_sum, merged)
+            # Insert under the guard (stats() iterates the cache under it),
+            # and never resurrect an entry a concurrent drop() just removed.
+            with self._merge_guard:
+                if self._router.partition_for(name) is not None:
+                    self._merge_cache[name] = entry
+            return entry
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self, name: str) -> Dict[str, Any]:
+        """Full serialised state of an unpartitioned attribute (home shard)."""
+        if self._router.is_partitioned(name):
+            raise ClusterError(
+                f"attribute {name!r} is range-partitioned; snapshot its pieces "
+                "per shard (each piece shard serves /attributes/<name>/snapshot)"
+            )
+        return self.shard(self._router.shard_for(name)).snapshot(name)
+
+    def restore(self, name: str, snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+        """Restore an unpartitioned attribute onto its routed home shard."""
+        if self._router.is_partitioned(name):
+            raise ClusterError(
+                f"attribute {name!r} is range-partitioned; restore its pieces per shard"
+            )
+        return self.shard(self._router.shard_for(name)).restore(name, snapshot)
+
+    # ------------------------------------------------------------------
+    # rebalance / drain
+    # ------------------------------------------------------------------
+    def _begin_apply(self, name: str, insert: List[float], delete: List[float]) -> bool:
+        """Atomically either buffer the ops (attribute moving -> False) or
+        register an in-flight apply (True; pair with :meth:`_end_apply`).
+
+        The check-and-increment is one critical section: a rebalance that
+        registers afterwards will wait for this apply to finish before it
+        snapshots, so the write is guaranteed to be inside the snapshot.
+        """
+        with self._moves_cv:
+            buffer = self._moves.get(name)
+            if buffer is not None:
+                if insert:
+                    buffer.append(("insert", list(insert)))
+                if delete:
+                    buffer.append(("delete", list(delete)))
+                return False
+            self._inflight[name] = self._inflight.get(name, 0) + 1
+            return True
+
+    def _end_apply(self, name: str) -> None:
+        with self._moves_cv:
+            remaining = self._inflight.get(name, 1) - 1
+            if remaining > 0:
+                self._inflight[name] = remaining
+            else:
+                self._inflight.pop(name, None)
+                self._moves_cv.notify_all()
+
+    def _replay(self, shard: ShardBackend, name: str, runs: List[Tuple[str, List[float]]]) -> int:
+        applied = 0
+        for op, values in runs:
+            if op == "insert":
+                shard.ingest(name, insert=values)
+            else:
+                shard.ingest(name, delete=values)
+            applied += len(values)
+        return applied
+
+    def rebalance(self, name: str, target_shard_id: str) -> Dict[str, Any]:
+        """Move an unpartitioned attribute to ``target_shard_id``.
+
+        Protocol (no write is ever lost):
+
+        1. register the move -- from here, cluster writes for ``name`` are
+           buffered at the coordinator instead of applied -- then wait for
+           the in-flight applies that passed the move check earlier to
+           drain, so every applied write is visible to the snapshot;
+        2. snapshot on the source, restore on the target;
+        3. replay buffered writes onto the target, repeating until a drain
+           pass finds the buffer empty *while holding the move lock*, at
+           which point the routing override flips to the target and the move
+           is unregistered in the same critical section -- a concurrent
+           writer either buffered before the flip (replayed) or routes to
+           the target after it;
+        4. drop the attribute from the source.
+
+        On failure the buffered writes are replayed onto the source (still
+        the routed home) before the error propagates.
+        """
+        target = self.shard(target_shard_id)
+        if self._router.is_partitioned(name):
+            raise ClusterError(
+                f"attribute {name!r} is range-partitioned; move pieces by re-partitioning"
+            )
+        source_id = self._router.shard_for(name)
+        if source_id == target_shard_id:
+            return {"attribute": name, "from": source_id, "to": target_shard_id, "moved": False}
+        source = self.shard(source_id)
+        with self._moves_cv:
+            if name in self._moves:
+                raise ClusterError(f"attribute {name!r} is already being moved")
+            self._moves[name] = []
+            # Fence: applies that slipped past the move check must reach the
+            # source before the snapshot, or their values would be neither in
+            # the copy nor in the buffer.
+            while self._inflight.get(name, 0) > 0:
+                self._moves_cv.wait()
+        replayed = 0
+        try:
+            snapshot = source.snapshot(name)
+            target.restore(name, snapshot)
+            while True:
+                with self._moves_cv:
+                    buffered = self._moves[name]
+                    if not buffered:
+                        # Atomic flip: override + unregister under the same
+                        # lock a writer needs to buffer.
+                        self._router.assign(name, target_shard_id)
+                        del self._moves[name]
+                        break
+                    self._moves[name] = []
+                replayed += self._replay(target, name, buffered)
+        except Exception:
+            with self._moves_cv:
+                buffered = self._moves.pop(name, [])
+            # The source is still the routed home; put buffered writes back
+            # through the public path so they fence against any later move.
+            for op, values in buffered:
+                if op == "insert":
+                    self.ingest(name, insert=values)
+                else:
+                    self.ingest(name, delete=values)
+            raise
+        source.drop(name)
+        return {
+            "attribute": name,
+            "from": source_id,
+            "to": target_shard_id,
+            "moved": True,
+            "replayed_buffered_values": replayed,
+        }
+
+    def drain(self, shard_id: str) -> Dict[str, Any]:
+        """Move every attribute homed on ``shard_id`` to the other members.
+
+        Range-partitioned attributes keep their piece on the shard (moving a
+        piece is a re-partitioning decision, not a drain) and are reported as
+        skipped.
+        """
+        source = self.shard(shard_id)
+        if len(self._shards) < 2:
+            raise ClusterError("cannot drain the only shard in the cluster")
+        moved: Dict[str, str] = {}
+        skipped: List[str] = []
+        for name in source.names():
+            if self._router.is_partitioned(name):
+                skipped.append(name)
+                continue
+            if self._router.shard_for(name) != shard_id:
+                continue  # a stale replica; the routed home is elsewhere
+            target_id = self._router.ring_shard_for(name, exclude=(shard_id,))
+            self.rebalance(name, target_id)
+            moved[name] = target_id
+        return {"shard": shard_id, "moved": moved, "skipped_partitioned": sorted(skipped)}
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def attribute_stats(self, name: str) -> Dict[str, Any]:
+        """Cluster-level stats of one attribute (per piece when partitioned)."""
+        partition = self._router.partition_for(name)
+        if partition is None:
+            shard_id = self._router.shard_for(name)
+            return {
+                "name": name,
+                "partitioned": False,
+                "shard": shard_id,
+                "stats": self.shard(shard_id).stats(name),
+            }
+        pieces = self._scatter(partition.piece_shard_ids, lambda shard: shard.stats(name))
+        cached = self._merge_cache.get(name)
+        return {
+            "name": name,
+            "partitioned": True,
+            "partition": partition.to_dict(),
+            "pieces": pieces,
+            "merged_generation_sum": None if cached is None else cached[0],
+            "merged_buckets": None if cached is None else cached[1].bucket_count,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Cluster-wide stats: per-shard attribute tables plus placement."""
+        gathered = self._scatter(
+            list(self._shards),
+            lambda shard: {"health": shard.health(), "attributes": shard.stats_all()},
+        )
+        with self._merge_guard:
+            merge_cache = {
+                name: {"generation_sum": entry[0], "buckets": entry[1].bucket_count}
+                for name, entry in self._merge_cache.items()
+            }
+        return {
+            "shards": [
+                {"shard_id": shard_id, **gathered[shard_id]} for shard_id in self._shards
+            ],
+            "placement": self._router.placement(),
+            "merge_cache": merge_cache,
+        }

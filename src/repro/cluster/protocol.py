@@ -1,0 +1,271 @@
+"""The shard protocol: one abstraction over local stores and remote servers.
+
+The cluster coordinator talks to every backing shard through
+:class:`ShardBackend` -- a small, JSON-shaped protocol (all methods return
+plain dictionaries, exactly what the HTTP service already speaks).  Two
+implementations cover the deployment spectrum:
+
+* :class:`LocalShard` wraps an in-process
+  :class:`~repro.service.store.HistogramStore` -- zero serialisation, used by
+  tests, the ``serve-cluster`` CLI and single-host deployments;
+* :class:`RemoteShard` wraps a
+  :class:`~repro.service.client.StatisticsClient` pointed at a running
+  :class:`~repro.service.server.StatisticsServer` -- a shared-nothing remote
+  site, as in Section 8 of the paper.
+
+Because both speak the same protocol, a cluster can mix them freely; the
+coordinator neither knows nor cares.  Transport failures surface as
+:class:`~repro.exceptions.ShardUnavailableError` (after the client's bounded
+retries), so callers can distinguish "shard down" from "bad request".
+"""
+
+from __future__ import annotations
+
+import abc
+from http.client import HTTPException
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError, ShardUnavailableError
+from ..service.client import StatisticsClient
+from ..service.store import HistogramStore
+
+__all__ = ["ShardBackend", "LocalShard", "RemoteShard"]
+
+
+class ShardBackend(abc.ABC):
+    """Uniform protocol the coordinator uses against one backing shard."""
+
+    def __init__(self, shard_id: str) -> None:
+        if not shard_id or not isinstance(shard_id, str):
+            raise ConfigurationError("shard_id must be a non-empty string")
+        self.shard_id = shard_id
+
+    # -- registry -------------------------------------------------------
+    @abc.abstractmethod
+    def create(
+        self,
+        name: str,
+        kind: str = "dc",
+        *,
+        memory_kb: float = 1.0,
+        value_unit: float = 1.0,
+        disk_factor: float = 20.0,
+        seed: int = 0,
+        exist_ok: bool = False,
+    ) -> Dict[str, Any]:
+        """Create an attribute on this shard; returns its stats dict."""
+
+    @abc.abstractmethod
+    def drop(self, name: str) -> None:
+        """Remove an attribute from this shard."""
+
+    @abc.abstractmethod
+    def names(self) -> List[str]:
+        """Attribute names this shard currently holds, sorted."""
+
+    # -- writes ---------------------------------------------------------
+    @abc.abstractmethod
+    def ingest(
+        self, name: str, insert: Sequence[float] = (), delete: Sequence[float] = ()
+    ) -> Dict[str, Any]:
+        """Apply a batch of inserts then deletes; returns counts + generation."""
+
+    # -- reads ----------------------------------------------------------
+    @abc.abstractmethod
+    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+        """Evaluate a query batch under the shard's consistent-read primitive."""
+
+    @abc.abstractmethod
+    def stats(self, name: str) -> Dict[str, Any]:
+        """Point-in-time stats dict of one attribute."""
+
+    @abc.abstractmethod
+    def stats_all(self) -> List[Dict[str, Any]]:
+        """Stats dicts of every attribute on this shard."""
+
+    # -- snapshot / restore --------------------------------------------
+    @abc.abstractmethod
+    def snapshot(self, name: str) -> Dict[str, Any]:
+        """Full serialised state of one attribute."""
+
+    @abc.abstractmethod
+    def restore(self, name: str, snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+        """Restore an attribute from a snapshot payload; returns its stats."""
+
+    # -- liveness -------------------------------------------------------
+    @abc.abstractmethod
+    def health(self) -> Dict[str, Any]:
+        """Liveness probe."""
+
+    def generation(self, name: str) -> int:
+        """The attribute's generation counter (merge-cache key ingredient)."""
+        return int(self.stats(name)["generation"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.shard_id!r})"
+
+
+class LocalShard(ShardBackend):
+    """An in-process shard backed by a :class:`HistogramStore`."""
+
+    def __init__(self, shard_id: str, store: Optional[HistogramStore] = None) -> None:
+        super().__init__(shard_id)
+        self.store = store if store is not None else HistogramStore()
+
+    def create(
+        self,
+        name: str,
+        kind: str = "dc",
+        *,
+        memory_kb: float = 1.0,
+        value_unit: float = 1.0,
+        disk_factor: float = 20.0,
+        seed: int = 0,
+        exist_ok: bool = False,
+    ) -> Dict[str, Any]:
+        return self.store.create(
+            name,
+            kind,
+            memory_kb=memory_kb,
+            value_unit=value_unit,
+            disk_factor=disk_factor,
+            seed=seed,
+            exist_ok=exist_ok,
+        ).to_dict()
+
+    def drop(self, name: str) -> None:
+        self.store.drop(name)
+
+    def names(self) -> List[str]:
+        return self.store.names()
+
+    def ingest(
+        self, name: str, insert: Sequence[float] = (), delete: Sequence[float] = ()
+    ) -> Dict[str, Any]:
+        inserted = self.store.insert(name, insert) if len(insert) else 0
+        deleted = self.store.delete(name, delete) if len(delete) else 0
+        return {
+            "inserted": inserted,
+            "deleted": deleted,
+            "generation": self.store.stats(name).generation,
+        }
+
+    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+        return self.store.query(name, queries)
+
+    def stats(self, name: str) -> Dict[str, Any]:
+        return self.store.stats(name).to_dict()
+
+    def stats_all(self) -> List[Dict[str, Any]]:
+        return [stats.to_dict() for stats in self.store.stats_all()]
+
+    def snapshot(self, name: str) -> Dict[str, Any]:
+        return self.store.snapshot(name)
+
+    def restore(self, name: str, snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+        return self.store.restore(name, snapshot).to_dict()
+
+    def health(self) -> Dict[str, Any]:
+        return {"status": "ok", "attributes": len(self.store)}
+
+
+class RemoteShard(ShardBackend):
+    """A shard served by a remote :class:`StatisticsServer`.
+
+    Connection-level failures (after the client's own bounded
+    retry-with-backoff) are wrapped into
+    :class:`~repro.exceptions.ShardUnavailableError` carrying this shard's id,
+    so scatter-gather errors identify the failing member.
+    """
+
+    #: Transport-level failures (the client's bounded retries already ran):
+    #: connect errors surface as OSError, a connection dying mid-response as
+    #: http.client.HTTPException (IncompleteRead, BadStatusLine, ...).
+    _TRANSPORT_ERRORS: Tuple[type, ...] = (OSError, HTTPException)
+
+    def __init__(self, shard_id: str, client: StatisticsClient) -> None:
+        super().__init__(shard_id)
+        self.client = client
+
+    def _unavailable(self, error: Exception) -> ShardUnavailableError:
+        return ShardUnavailableError(self.shard_id, error)
+
+    def create(
+        self,
+        name: str,
+        kind: str = "dc",
+        *,
+        memory_kb: float = 1.0,
+        value_unit: float = 1.0,
+        disk_factor: float = 20.0,
+        seed: int = 0,
+        exist_ok: bool = False,
+    ) -> Dict[str, Any]:
+        try:
+            return self.client.create(
+                name,
+                kind,
+                memory_kb=memory_kb,
+                value_unit=value_unit,
+                disk_factor=disk_factor,
+                seed=seed,
+                exist_ok=exist_ok,
+            )
+        except self._TRANSPORT_ERRORS as error:
+            raise self._unavailable(error) from error
+
+    def drop(self, name: str) -> None:
+        try:
+            self.client.drop(name)
+        except self._TRANSPORT_ERRORS as error:
+            raise self._unavailable(error) from error
+
+    def names(self) -> List[str]:
+        try:
+            return sorted(stats["name"] for stats in self.client.stats()["attributes"])
+        except self._TRANSPORT_ERRORS as error:
+            raise self._unavailable(error) from error
+
+    def ingest(
+        self, name: str, insert: Sequence[float] = (), delete: Sequence[float] = ()
+    ) -> Dict[str, Any]:
+        try:
+            return self.client.ingest(name, insert=insert, delete=delete)
+        except self._TRANSPORT_ERRORS as error:
+            raise self._unavailable(error) from error
+
+    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+        try:
+            return self.client.query(name, queries)
+        except self._TRANSPORT_ERRORS as error:
+            raise self._unavailable(error) from error
+
+    def stats(self, name: str) -> Dict[str, Any]:
+        try:
+            return self.client.stats(name)
+        except self._TRANSPORT_ERRORS as error:
+            raise self._unavailable(error) from error
+
+    def stats_all(self) -> List[Dict[str, Any]]:
+        try:
+            return self.client.stats()["attributes"]
+        except self._TRANSPORT_ERRORS as error:
+            raise self._unavailable(error) from error
+
+    def snapshot(self, name: str) -> Dict[str, Any]:
+        try:
+            return self.client.snapshot(name)
+        except self._TRANSPORT_ERRORS as error:
+            raise self._unavailable(error) from error
+
+    def restore(self, name: str, snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+        try:
+            return self.client.restore(name, snapshot)
+        except self._TRANSPORT_ERRORS as error:
+            raise self._unavailable(error) from error
+
+    def health(self) -> Dict[str, Any]:
+        try:
+            return self.client.health()
+        except self._TRANSPORT_ERRORS as error:
+            raise self._unavailable(error) from error

@@ -1,0 +1,344 @@
+"""HTTP front-end for the cluster: one JSON API over many shards.
+
+The :class:`ClusterServer` exposes a
+:class:`~repro.cluster.coordinator.ClusterCoordinator` over the same
+stdlib-only JSON HTTP surface the single-node
+:class:`~repro.service.server.StatisticsServer` speaks: every service route
+exists here (ingest / estimate / stats / snapshot / restore / drop), so an
+existing :class:`StatisticsClient` -- and the ``store-stats`` CLI -- keeps
+working against a cluster; response *payloads* carry extra cluster fields
+(``per_shard``, ``merged``, ``partitioned``), and per-attribute stats /
+snapshot bodies differ in shape for partitioned attributes.  On top it adds
+the cluster-only routes:
+
+====== ================================== ===========================================
+Method Path                               Meaning
+====== ================================== ===========================================
+GET    /health                            liveness + shard / attribute counts
+GET    /cluster/stats                     per-shard stats, placement, merge cache
+GET    /stats (or /attributes)            flat per-shard attribute stats list
+POST   /attributes                        create (supports ``partition_boundaries``)
+GET    /attributes/<name>                 cluster-level stats of one attribute
+DELETE /attributes/<name>                 drop from every owning shard
+POST   /attributes/<name>/ingest          scatter write batch
+POST   /attributes/<name>/estimate        consistent query batch (merged when partitioned)
+GET    /attributes/<name>/estimate        single query via query string
+GET    /attributes/<name>/snapshot        serialised state (unpartitioned attributes)
+POST   /attributes/<name>/restore         restore onto the routed home shard
+POST   /attributes/<name>/rebalance       ``{"shard": <id>}`` -- move the attribute
+POST   /shards/<id>/drain                 move everything off one shard
+====== ================================== ===========================================
+
+:class:`ClusterClient` extends :class:`StatisticsClient` (create / ingest /
+estimate / stats / drop are byte-identical routes) with the cluster verbs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import (
+    ClusterError,
+    DuplicateAttributeError,
+    HistogramError,
+    ShardUnavailableError,
+    UnknownAttributeError,
+)
+from ..service.client import StatisticsClient
+from .coordinator import ClusterCoordinator
+
+__all__ = ["ClusterServer", "ClusterClient"]
+
+
+class _ClusterRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the owning server's coordinator."""
+
+    server_version = "repro-statistics-cluster/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # Set by ClusterServer when building the handler class.
+    coordinator: ClusterCoordinator
+    quiet: bool = True
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover - debugging aid
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # plumbing (mirrors the service handler)
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _route(self) -> Tuple[str, ...]:
+        from urllib.parse import unquote, urlparse
+
+        parsed = urlparse(self.path)
+        return tuple(unquote(part) for part in parsed.path.split("/") if part)
+
+    def _query_params(self) -> Dict[str, str]:
+        from urllib.parse import parse_qs, urlparse
+
+        parsed = urlparse(self.path)
+        return {key: values[-1] for key, values in parse_qs(parsed.query).items()}
+
+    def _handle(self, method: str) -> None:
+        try:
+            payload = self._read_json() if method in ("POST", "PUT") else {}
+        except (ValueError, json.JSONDecodeError) as error:
+            self._send_json(400, {"error": f"invalid JSON body: {error}"})
+            return
+        try:
+            self._dispatch(method, self._route(), payload)
+        except UnknownAttributeError as error:
+            self._send_json(404, {"error": str(error)})
+        except DuplicateAttributeError as error:
+            self._send_json(409, {"error": str(error)})
+        except ShardUnavailableError as error:
+            self._send_json(503, {"error": str(error), "shard": error.shard_id})
+        except (ClusterError, HistogramError, KeyError, TypeError, ValueError) as error:
+            self._send_json(400, {"error": f"{type(error).__name__}: {error}"})
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_json(500, {"error": f"{type(error).__name__}: {error}"})
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _dispatch(self, method: str, route: Tuple[str, ...], payload: Dict[str, Any]) -> None:
+        coordinator = self.coordinator
+        if route == ("health",) and method == "GET":
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "shards": len(coordinator.shard_ids),
+                    "attributes": len(coordinator.names()),
+                },
+            )
+            return
+        if route == ("cluster", "stats") and method == "GET":
+            self._send_json(200, coordinator.stats())
+            return
+        if route in (("stats",), ("attributes",)) and method == "GET":
+            # Service-compatible flat listing (what `store-stats` consumes):
+            # one row per (shard, attribute), tagged with the shard id.
+            attributes = [
+                {**stats, "shard": shard["shard_id"]}
+                for shard in coordinator.stats()["shards"]
+                for stats in shard["attributes"]
+            ]
+            self._send_json(200, {"attributes": attributes})
+            return
+        if route == ("attributes",) and method == "POST":
+            result = coordinator.create(
+                payload["name"],
+                payload.get("kind", "dc"),
+                memory_kb=float(payload.get("memory_kb", 1.0)),
+                value_unit=float(payload.get("value_unit", 1.0)),
+                disk_factor=float(payload.get("disk_factor", 20.0)),
+                seed=int(payload.get("seed", 0)),
+                exist_ok=bool(payload.get("exist_ok", False)),
+                partition_boundaries=payload.get("partition_boundaries"),
+                partition_shards=payload.get("partition_shards"),
+            )
+            self._send_json(201, result)
+            return
+        if len(route) == 2 and route[0] == "attributes":
+            name = route[1]
+            if method == "GET":
+                self._send_json(200, coordinator.attribute_stats(name))
+                return
+            if method == "DELETE":
+                self._send_json(200, coordinator.drop(name))
+                return
+        if len(route) == 3 and route[0] == "attributes":
+            name, action = route[1], route[2]
+            if action == "ingest" and method == "POST":
+                inserts = payload.get("insert") or []
+                deletes = payload.get("delete") or []
+                if not isinstance(inserts, list) or not isinstance(deletes, list):
+                    raise ValueError('"insert" and "delete" must be JSON arrays of numbers')
+                self._send_json(200, coordinator.ingest(name, insert=inserts, delete=deletes))
+                return
+            if action == "estimate":
+                if method == "POST":
+                    queries = payload.get("queries")
+                    if not isinstance(queries, list):
+                        raise ValueError('estimate body must contain a "queries" list')
+                    self._send_json(200, coordinator.query(name, queries))
+                    return
+                if method == "GET":
+                    query = {
+                        key: (value if key == "op" else float(value))
+                        for key, value in self._query_params().items()
+                    }
+                    response = coordinator.query(name, [query])
+                    self._send_json(
+                        200,
+                        {"generation": response["generation"],
+                         "result": response["results"][0]},
+                    )
+                    return
+            if action == "snapshot" and method == "GET":
+                self._send_json(200, coordinator.snapshot(name))
+                return
+            if action == "restore" and method == "POST":
+                snapshot = payload.get("snapshot", payload)
+                self._send_json(200, coordinator.restore(name, snapshot))
+                return
+            if action == "rebalance" and method == "POST":
+                self._send_json(200, coordinator.rebalance(name, payload["shard"]))
+                return
+        if len(route) == 3 and route[0] == "shards" and route[2] == "drain" and method == "POST":
+            self._send_json(200, coordinator.drain(route[1]))
+            return
+        self._send_json(404, {"error": f"no route for {method} {self.path}"})
+
+
+class ClusterServer:
+    """A threaded HTTP façade over a :class:`ClusterCoordinator`.
+
+    Same lifecycle contract as the single-node server: ``port=0`` binds an
+    ephemeral port, :meth:`start` serves from a daemon thread,
+    :meth:`serve_forever` serves in the foreground, and the context manager
+    starts / stops around the block (closing the coordinator's fan-out pool
+    on exit).
+    """
+
+    def __init__(
+        self,
+        coordinator: ClusterCoordinator,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+    ) -> None:
+        self.coordinator = coordinator
+        handler = type(
+            "_BoundClusterRequestHandler",
+            (_ClusterRequestHandler,),
+            {"coordinator": coordinator, "quiet": quiet},
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` pair."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> "ClusterServer":
+        """Serve requests from a background daemon thread."""
+        if self._thread is None:
+            self._started = True
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-cluster-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve requests on the calling thread until interrupted."""
+        self._started = True
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Stop serving, close the socket and the coordinator's fan-out pool."""
+        if self._started:
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.coordinator.close()
+
+    def __enter__(self) -> "ClusterServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+class ClusterClient(StatisticsClient):
+    """Cluster-aware client: the service client plus the cluster verbs.
+
+    The inherited per-attribute surface (``ingest`` / ``query`` /
+    ``estimate_*`` / ``stats(name)`` / ``drop`` / ``total_count``) hits the
+    identical routes on a :class:`ClusterServer`.
+    """
+
+    def create(
+        self,
+        name: str,
+        kind: str = "dc",
+        *,
+        memory_kb: float = 1.0,
+        value_unit: float = 1.0,
+        disk_factor: float = 20.0,
+        seed: int = 0,
+        exist_ok: bool = False,
+        partition_boundaries: Optional[Sequence[float]] = None,
+        partition_shards: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Any]:
+        """Create an attribute; pass ``partition_boundaries`` to range-partition it."""
+        payload: Dict[str, Any] = {
+            "name": name,
+            "kind": kind,
+            "memory_kb": memory_kb,
+            "value_unit": value_unit,
+            "disk_factor": disk_factor,
+            "seed": seed,
+            "exist_ok": exist_ok,
+        }
+        if partition_boundaries is not None:
+            payload["partition_boundaries"] = list(partition_boundaries)
+        if partition_shards is not None:
+            payload["partition_shards"] = list(partition_shards)
+        return self._request("POST", "/attributes", payload)
+
+    def cluster_stats(self) -> Dict[str, Any]:
+        """Per-shard stats, placement rules and the merge-cache state."""
+        return self._request("GET", "/cluster/stats")
+
+    def rebalance(self, name: str, shard_id: str) -> Dict[str, Any]:
+        """Move an unpartitioned attribute to ``shard_id``."""
+        return self._request(
+            "POST", self._attribute_path(name, "rebalance"), {"shard": shard_id}
+        )
+
+    def drain(self, shard_id: str) -> Dict[str, Any]:
+        """Move every attribute off ``shard_id``."""
+        from urllib.parse import quote
+
+        return self._request("POST", f"/shards/{quote(shard_id, safe='')}/drain", {})

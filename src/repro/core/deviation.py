@@ -219,10 +219,15 @@ def split_bucket(bucket: SubBucketedBucket) -> Tuple[SubBucketedBucket, SubBucke
     if bucket.is_point_mass:
         raise ConfigurationError("cannot split a point-mass bucket")
     midpoint = bucket.midpoint
+    # Halve as (half, count - half): identical to (half, half) for every
+    # normal float (halving is exact), but still conserves the count when
+    # halving a subnormal underflows to zero.
+    left_half_count = bucket.left_count / 2.0
+    right_half_count = bucket.right_count / 2.0
     left_half = SubBucketedBucket(
-        bucket.left, midpoint, bucket.left_count / 2.0, bucket.left_count / 2.0
+        bucket.left, midpoint, left_half_count, bucket.left_count - left_half_count
     )
     right_half = SubBucketedBucket(
-        midpoint, bucket.right, bucket.right_count / 2.0, bucket.right_count / 2.0
+        midpoint, bucket.right, right_half_count, bucket.right_count - right_half_count
     )
     return left_half, right_half

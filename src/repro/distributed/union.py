@@ -29,7 +29,20 @@ Segment = Tuple[float, float, float]
 
 
 class UnionHistogram(StaticHistogram):
-    """A histogram produced by superimposing (and optionally reducing) members."""
+    """A histogram produced by superimposing (and optionally reducing) members.
+
+    Unlike other static histograms, a union may be *empty*: a live cluster
+    legitimately superimposes shards that have not received data yet, and the
+    merged global histogram must still answer estimates (all zero) rather than
+    fail.  Every derived read path handles the empty case already.
+    """
+
+    def __init__(self, buckets: Sequence[Bucket]) -> None:
+        if buckets:
+            super().__init__(buckets)
+        else:
+            self._buckets = []
+            self.segment_view()
 
 
 def superimpose(histograms: Sequence[Histogram]) -> UnionHistogram:
@@ -89,8 +102,7 @@ def superimpose(histograms: Sequence[Histogram]) -> UnionHistogram:
         merged.extend(Bucket(value, value, count) for value, count in by_value.items())
 
     merged.sort(key=lambda bucket: (bucket.left, bucket.right))
-    if not merged:
-        raise ConfigurationError("superimpose produced no buckets (all members empty)")
+    # All members empty (freshly created shards): the union is empty too.
     return UnionHistogram(merged)
 
 
@@ -114,9 +126,14 @@ def reduce_segments(
     segments: List[Segment] = [
         (bucket.left, bucket.right, bucket.count) for bucket in histogram.buckets()
     ]
+    # Degenerate inputs a live cluster routinely produces -- handled by
+    # explicit early returns rather than trusting the merge loop's behaviour:
     if not segments:
-        raise ConfigurationError("cannot reduce an empty histogram")
+        # An empty union (every shard still empty) reduces to an empty union.
+        return UnionHistogram([])
     if len(segments) <= n_buckets:
+        # Target budget at or above the current segment count (which covers
+        # any single-bucket union): nothing to merge, return a copy unchanged.
         return UnionHistogram(
             [Bucket(left, right, count) for left, right, count in segments]
         )

@@ -17,6 +17,8 @@ __all__ = [
     "ServiceError",
     "UnknownAttributeError",
     "DuplicateAttributeError",
+    "ClusterError",
+    "ShardUnavailableError",
 ]
 
 
@@ -83,3 +85,19 @@ class DuplicateAttributeError(ServiceError, ValueError):
 
     def __str__(self) -> str:
         return f"attribute {self.name!r} already exists"
+
+
+class ClusterError(ServiceError):
+    """Base class for errors raised by the sharded statistics cluster layer."""
+
+
+class ShardUnavailableError(ClusterError):
+    """A shard could not be reached (after the client's bounded retries)."""
+
+    def __init__(self, shard_id: str, cause: Exception) -> None:
+        super().__init__(shard_id, cause)
+        self.shard_id = shard_id
+        self.cause = cause
+
+    def __str__(self) -> str:
+        return f"shard {self.shard_id!r} is unavailable: {self.cause}"

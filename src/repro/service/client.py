@@ -5,27 +5,64 @@ tests (and the CLI's ``store-stats`` command) can drive an in-process
 :class:`~repro.service.server.StatisticsServer` without third-party
 dependencies.  Each call opens its own connection, which makes the client
 trivially safe to share between threads.
+
+Attribute names are URL-escaped with :func:`urllib.parse.quote` (``safe=''``),
+so names containing ``/``, spaces or ``%`` route correctly; the server
+unquotes each path segment on the way in.
+
+Connection failures are retried with bounded exponential backoff (the cluster
+coordinator's scatter-gather fan-out hits shards that may still be binding or
+briefly restarting).  Retries never risk double-applying a write: a *connect*
+failure is always retriable because nothing reached the server, while a
+failure after the request was handed to the transport is only retried for
+idempotent ``GET`` requests -- a ``POST`` whose fate is unknown is raised
+immediately so the caller decides.
 """
 
 from __future__ import annotations
 
 import json
-from http.client import HTTPConnection
+import time
+from http.client import HTTPConnection, HTTPException
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 from urllib.parse import quote
 
+from .._validation import require_positive_float
 from ..exceptions import ServiceError, UnknownAttributeError
 
 __all__ = ["StatisticsClient"]
 
 
 class StatisticsClient:
-    """Client for a running :class:`StatisticsServer` at ``host:port``."""
+    """Client for a running :class:`StatisticsServer` at ``host:port``.
 
-    def __init__(self, host: str, port: int, *, timeout: float = 10.0) -> None:
+    Parameters
+    ----------
+    retries:
+        Additional attempts after a retriable transport failure (0 disables
+        retrying; default 2, i.e. up to 3 connection attempts).
+    retry_backoff:
+        Sleep before the first retry, doubled on each subsequent one.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 10.0,
+        retries: int = 2,
+        retry_backoff: float = 0.05,
+    ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retries:
+            require_positive_float(retry_backoff, "retry_backoff")
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
 
     # ------------------------------------------------------------------
     # transport
@@ -33,16 +70,37 @@ class StatisticsClient:
     def _request(
         self, method: str, path: str, payload: Optional[Mapping[str, Any]] = None
     ) -> Dict[str, Any]:
-        connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            body = None
-            headers = {}
-            if payload is not None:
-                body = json.dumps(payload).encode("utf-8")
-                headers["Content-Type"] = "application/json"
-            connection.request(method, path, body=body, headers=headers)
-            response = connection.getresponse()
-            raw = response.read()
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
+            try:
+                try:
+                    # Connect separately from sending: a failure here cannot
+                    # have reached the server, so it is always safe to retry.
+                    connection.connect()
+                except OSError as error:
+                    last_error = error
+                    continue
+                try:
+                    connection.request(method, path, body=body, headers=headers)
+                    response = connection.getresponse()
+                    raw = response.read()
+                except (OSError, HTTPException) as error:
+                    # The request may or may not have been processed; only an
+                    # idempotent GET can be retried without double-applying.
+                    if method != "GET":
+                        raise
+                    last_error = error
+                    continue
+            finally:
+                connection.close()
             try:
                 decoded = json.loads(raw.decode("utf-8")) if raw else {}
             except json.JSONDecodeError:
@@ -57,8 +115,8 @@ class StatisticsClient:
                 error.payload = decoded
                 raise error
             return decoded
-        finally:
-            connection.close()
+        assert last_error is not None
+        raise last_error
 
     @staticmethod
     def _attribute_path(name: str, action: str = "") -> str:

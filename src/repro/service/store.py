@@ -47,7 +47,12 @@ from ..exceptions import (
 )
 from ..persistence import histogram_from_dict, histogram_to_dict
 
-__all__ = ["AttributeStats", "HistogramStore", "DEFAULT_REPARTITION_INTERVAL"]
+__all__ = [
+    "AttributeStats",
+    "HistogramStore",
+    "DEFAULT_REPARTITION_INTERVAL",
+    "evaluate_queries",
+]
 
 #: Default maintenance batching hint used by the store's bulk-insert path.
 DEFAULT_REPARTITION_INTERVAL = 16
@@ -66,6 +71,46 @@ def _validated_values(values: Iterable[float]) -> List[float]:
         if not math.isfinite(value):
             raise ConfigurationError(f"values must be finite, got {value!r}")
     return result
+
+
+def evaluate_queries(histogram: Any, queries: Sequence[Mapping[str, Any]]) -> List[Any]:
+    """Evaluate a batch of estimate queries against one histogram.
+
+    The query language of :meth:`HistogramStore.query` (ops ``range`` /
+    ``equal`` / ``cdf`` / ``total`` / ``selectivity``), shared with the
+    cluster coordinator, which evaluates the same batches against merged
+    global histograms.  Consistency is the *caller's* concern: the store runs
+    this under the attribute lock, the coordinator against an immutable
+    merged snapshot.
+    """
+    results: List[Any] = []
+    for query in queries:
+        op = query.get("op")
+        if op == "range":
+            results.append(
+                float(histogram.estimate_range(float(query["low"]), float(query["high"])))
+            )
+        elif op == "equal":
+            results.append(
+                float(
+                    histogram.estimate_equal(
+                        float(query["value"]),
+                        value_granularity=float(query.get("value_granularity", 1.0)),
+                    )
+                )
+            )
+        elif op == "cdf":
+            xs = np.asarray(query["xs"], dtype=float)
+            results.append([float(v) for v in histogram.cdf_many(xs)])
+        elif op == "total":
+            results.append(float(histogram.total_count))
+        elif op == "selectivity":
+            results.append(
+                float(histogram.estimate_selectivity(float(query["low"]), float(query["high"])))
+            )
+        else:
+            raise ConfigurationError(f"unknown estimate op {op!r}")
+    return results
 
 
 @dataclass(frozen=True)
@@ -317,39 +362,10 @@ class HistogramStore:
         """
         attribute = self._attribute(name)
         with attribute.lock:
-            histogram = attribute.histogram
-            results: List[Any] = []
-            for query in queries:
-                op = query.get("op")
-                if op == "range":
-                    results.append(
-                        float(histogram.estimate_range(float(query["low"]), float(query["high"])))
-                    )
-                elif op == "equal":
-                    results.append(
-                        float(
-                            histogram.estimate_equal(
-                                float(query["value"]),
-                                value_granularity=float(query.get("value_granularity", 1.0)),
-                            )
-                        )
-                    )
-                elif op == "cdf":
-                    xs = np.asarray(query["xs"], dtype=float)
-                    results.append([float(v) for v in histogram.cdf_many(xs)])
-                elif op == "total":
-                    results.append(float(histogram.total_count))
-                elif op == "selectivity":
-                    results.append(
-                        float(
-                            histogram.estimate_selectivity(
-                                float(query["low"]), float(query["high"])
-                            )
-                        )
-                    )
-                else:
-                    raise ConfigurationError(f"unknown estimate op {op!r}")
-            return {"generation": attribute.generation, "results": results}
+            return {
+                "generation": attribute.generation,
+                "results": evaluate_queries(attribute.histogram, queries),
+            }
 
     # ------------------------------------------------------------------
     # stats

@@ -161,3 +161,92 @@ class TestFormatStoreStats:
         assert "attribute" in table
         assert "age" in table
         assert "dc" in table
+
+
+class TestServeClusterCommand:
+    def test_serve_cluster_binds_and_exits_after_duration(self):
+        code, output = _run(
+            [
+                "serve-cluster",
+                "--port", "0",
+                "--shards", "3",
+                "-a", "age:dc:0.5",
+                "-p", "hot:100,200",
+                "--duration", "0.05",
+            ]
+        )
+        assert code == 0
+        assert "statistics cluster listening on http://127.0.0.1:" in output
+        assert "shards: shard-0, shard-1, shard-2" in output
+        assert "age" in output and "hot (partitioned)" in output
+
+    def test_serve_cluster_accepts_live_requests(self):
+        import io
+        import re
+        import threading
+        import time
+
+        from repro.cluster import ClusterClient
+
+        out = io.StringIO()
+        thread = threading.Thread(
+            target=main,
+            args=(
+                ["serve-cluster", "--port", "0", "--shards", "2",
+                 "-p", "hot:500", "--duration", "1.5"],
+            ),
+            kwargs={"out": out},
+        )
+        thread.start()
+        try:
+            deadline = time.time() + 5.0
+            match = None
+            while match is None and time.time() < deadline:
+                match = re.search(r"http://127\.0\.0\.1:(\d+)", out.getvalue())
+                if match is None:
+                    time.sleep(0.01)
+            assert match is not None, "cluster server never reported its address"
+            client = ClusterClient("127.0.0.1", int(match.group(1)))
+            client.ingest("hot", insert=[float(v % 1000) for v in range(400)])
+            assert client.total_count("hot") == pytest.approx(400.0)
+            stats = client.cluster_stats()
+            assert "hot" in stats["placement"]["partitions"]
+        finally:
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    def test_serve_cluster_rejects_bad_partition_spec(self):
+        code, output = _run(
+            ["serve-cluster", "--port", "0", "-p", "hot:abc", "--duration", "0"]
+        )
+        assert code == 2
+        assert "invalid partition spec" in output
+
+    def test_serve_cluster_rejects_zero_shards(self):
+        code, output = _run(["serve-cluster", "--shards", "0", "--duration", "0"])
+        assert code == 2
+        assert "--shards" in output
+
+
+class TestClusterStatsCommand:
+    def test_cluster_stats_pretty_prints_live_cluster(self):
+        from repro.cluster import ClusterCoordinator, ClusterServer, LocalShard
+
+        coordinator = ClusterCoordinator([LocalShard("shard-0"), LocalShard("shard-1")])
+        coordinator.create("age", "dc", memory_kb=0.5)
+        coordinator.create("hot", "dc", partition_boundaries=[100.0])
+        coordinator.ingest("hot", insert=[50.0, 150.0])
+        coordinator.total_count("hot")
+        with ClusterServer(coordinator) as server:
+            host, port = server.address
+            code, output = _run(["cluster-stats", "--host", host, "--port", str(port)])
+        assert code == 0
+        assert "2 shard(s)" in output
+        assert "[shard-0]" in output and "[shard-1]" in output
+        assert "range partitions:" in output
+        assert "merged global histograms (cached):" in output
+
+    def test_cluster_stats_unreachable_server_fails_cleanly(self):
+        code, output = _run(["cluster-stats", "--port", "1"])
+        assert code == 2
+        assert "cannot reach cluster server" in output

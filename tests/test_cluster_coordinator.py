@@ -1,0 +1,313 @@
+"""Tests for the scatter-gather ClusterCoordinator over in-process shards."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import ClusterError, ConfigurationError, HistogramStore, UnknownAttributeError
+from repro.cluster import ClusterCoordinator, LocalShard
+from repro.distributed.union import reduce_segments, superimpose
+from repro.persistence import histogram_from_dict
+
+
+@pytest.fixture
+def coordinator():
+    with ClusterCoordinator(
+        [LocalShard(f"shard-{i}") for i in range(4)], global_buckets=48
+    ) as running:
+        yield running
+
+
+def ingest_uniform(coordinator, name, n=8000, domain=(0.0, 5000.0), seed=3):
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(domain[0], domain[1], n)
+    coordinator.ingest(name, insert=values.tolist())
+    return values
+
+
+class TestRegistryAndRouting:
+    def test_create_places_on_routed_shard(self, coordinator):
+        created = coordinator.create("age", "dc", memory_kb=0.5)
+        assert created["partitioned"] is False
+        shard_id = created["shard"]
+        assert shard_id == coordinator.router.shard_for("age")
+        assert "age" in coordinator.shard(shard_id).names()
+
+    def test_partitioned_create_places_pieces_on_every_shard(self, coordinator):
+        created = coordinator.create(
+            "hot", "dc", memory_kb=0.5, partition_boundaries=[1250.0, 2500.0, 3750.0]
+        )
+        assert created["partitioned"] is True
+        assert set(created["pieces"]) == set(coordinator.shard_ids)
+        for shard_id in coordinator.shard_ids:
+            assert "hot" in coordinator.shard(shard_id).names()
+
+    def test_failed_partitioned_create_withdraws_the_partition(self, coordinator):
+        coordinator.shard("shard-0").create("hot", "dc", memory_kb=0.5)
+        with pytest.raises(Exception):
+            coordinator.create("hot", "dc", partition_boundaries=[100.0])
+        assert not coordinator.router.is_partitioned("hot")
+
+    def test_drop_removes_every_piece(self, coordinator):
+        coordinator.create("hot", "dc", partition_boundaries=[100.0, 200.0, 300.0])
+        coordinator.drop("hot")
+        for shard_id in coordinator.shard_ids:
+            assert "hot" not in coordinator.shard(shard_id).names()
+        assert not coordinator.router.is_partitioned("hot")
+
+    def test_names_lists_partitioned_attributes_once(self, coordinator):
+        coordinator.create("age", "dc")
+        coordinator.create("hot", "dc", partition_boundaries=[100.0, 200.0, 300.0])
+        assert coordinator.names() == ["age", "hot"]
+
+    def test_duplicate_shard_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterCoordinator([LocalShard("a"), LocalShard("a")])
+
+
+class TestScatterGatherIngest:
+    def test_partitioned_ingest_splits_by_value(self, coordinator):
+        coordinator.create("hot", "dc", memory_kb=0.5,
+                           partition_boundaries=[1250.0, 2500.0, 3750.0])
+        values = ingest_uniform(coordinator, "hot")
+        partition = coordinator.router.partition_for("hot")
+        for shard_id in coordinator.shard_ids:
+            expected = sum(1 for v in values if partition.shard_for_value(v) == shard_id)
+            held = coordinator.shard(shard_id).store.total_count("hot")
+            assert held == pytest.approx(expected)
+
+    def test_cluster_total_conserves_every_value(self, coordinator):
+        coordinator.create("hot", "dc", memory_kb=0.5,
+                           partition_boundaries=[1250.0, 2500.0, 3750.0])
+        values = ingest_uniform(coordinator, "hot")
+        assert coordinator.total_count("hot") == pytest.approx(len(values))
+
+    def test_partitioned_deletes_route_by_value(self, coordinator):
+        coordinator.create("hot", "dc", memory_kb=0.5, partition_boundaries=[100.0])
+        coordinator.ingest("hot", insert=[50.0] * 10 + [150.0] * 10)
+        coordinator.ingest("hot", delete=[50.0, 150.0, 150.0])
+        assert coordinator.total_count("hot") == pytest.approx(17.0)
+
+    def test_ingest_batch_groups_per_shard(self, coordinator):
+        coordinator.create("age", "dc", memory_kb=0.5)
+        coordinator.create("hot", "dc", memory_kb=0.5, partition_boundaries=[100.0])
+        report = coordinator.ingest_batch(
+            {"age": [1.0, 2.0, 3.0], "hot": [50.0, 150.0], "empty": []}
+        )
+        assert report["inserted"] == 5
+        assert sum(report["per_shard"].values()) == 5
+        assert coordinator.total_count("age") == pytest.approx(3.0)
+        assert coordinator.total_count("hot") == pytest.approx(2.0)
+
+    def test_unknown_attribute_propagates(self, coordinator):
+        with pytest.raises(UnknownAttributeError):
+            coordinator.ingest("ghost", insert=[1.0])
+
+
+class TestMergedEstimates:
+    BOUNDARIES = [1250.0, 2500.0, 3750.0]
+
+    def build(self, coordinator, n=12000):
+        coordinator.create("hot", "dc", memory_kb=0.5,
+                           partition_boundaries=self.BOUNDARIES)
+        return ingest_uniform(coordinator, "hot", n=n)
+
+    def reference_store(self, values):
+        store = HistogramStore()
+        store.create("hot", "dc", memory_kb=0.5)
+        store.insert("hot", values.tolist())
+        return store
+
+    def test_merged_estimates_close_to_unsharded_reference(self, coordinator):
+        values = self.build(coordinator)
+        reference = self.reference_store(values)
+        total = float(len(values))
+        for low, high in ((0.0, 5000.0), (500.0, 1500.0), (2000.0, 3000.0), (100.0, 4900.0)):
+            merged = coordinator.estimate_range("hot", low, high)
+            single = reference.estimate_range("hot", low, high)
+            assert abs(merged - single) <= 0.02 * total
+
+    def test_merged_histogram_respects_bucket_budget(self, coordinator):
+        self.build(coordinator)
+        assert coordinator.merged_histogram("hot").bucket_count <= 48
+
+    def test_query_batch_is_served_from_one_merged_snapshot(self, coordinator):
+        self.build(coordinator)
+        response = coordinator.query(
+            "hot", [{"op": "total"}, {"op": "range", "low": 0.0, "high": 5000.0}]
+        )
+        assert response["merged"] is True
+        assert response["results"][0] == pytest.approx(response["results"][1], rel=0.01)
+
+    def test_merge_cache_hits_until_a_shard_write(self, coordinator):
+        self.build(coordinator)
+        first = coordinator.query("hot", [{"op": "total"}])
+        again = coordinator.query("hot", [{"op": "total"}])
+        assert again["generation"] == first["generation"]
+        assert coordinator.merged_histogram("hot") is coordinator.merged_histogram("hot")
+        coordinator.ingest("hot", insert=[42.0])
+        after = coordinator.query("hot", [{"op": "total"}])
+        assert after["generation"] > first["generation"]
+        assert after["results"][0] == pytest.approx(first["results"][0] + 1.0)
+
+    def test_cached_merge_equals_from_scratch_rebuild(self, coordinator):
+        self.build(coordinator)
+        cached = coordinator.merged_histogram("hot")
+        partition = coordinator.router.partition_for("hot")
+        members = [
+            histogram_from_dict(
+                dict(coordinator.shard(shard_id).snapshot("hot")["histogram"])
+            )
+            for shard_id in partition.piece_shard_ids
+        ]
+        scratch = reduce_segments(superimpose(members), 48)
+        assert [
+            (b.left, b.right, b.count) for b in cached.buckets()
+        ] == [(b.left, b.right, b.count) for b in scratch.buckets()]
+
+    def test_merged_estimates_on_empty_partition_are_zero(self, coordinator):
+        coordinator.create("hot", "dc", partition_boundaries=self.BOUNDARIES)
+        assert coordinator.total_count("hot") == 0.0
+        assert coordinator.estimate_range("hot", 0.0, 5000.0) == 0.0
+        assert coordinator.cdf("hot", [0.0, 100.0]) == [0.0, 0.0]
+
+    def test_unpartitioned_query_delegates_to_home_shard(self, coordinator):
+        coordinator.create("age", "dc", memory_kb=0.5)
+        coordinator.ingest("age", insert=[float(v % 90) for v in range(2000)])
+        response = coordinator.query("age", [{"op": "total"}])
+        assert response["shard"] == coordinator.router.shard_for("age")
+        assert response["results"][0] == pytest.approx(2000.0)
+
+
+class TestRebalance:
+    def test_move_preserves_counts_and_reroutes(self, coordinator):
+        coordinator.create("age", "dc", memory_kb=0.5)
+        coordinator.ingest("age", insert=[float(v % 90) for v in range(3000)])
+        source = coordinator.router.shard_for("age")
+        target = next(s for s in coordinator.shard_ids if s != source)
+        report = coordinator.rebalance("age", target)
+        assert report["moved"] is True
+        assert coordinator.router.shard_for("age") == target
+        assert coordinator.total_count("age") == pytest.approx(3000.0)
+        assert "age" not in coordinator.shard(source).names()
+
+    def test_move_to_current_home_is_a_noop(self, coordinator):
+        coordinator.create("age", "dc")
+        home = coordinator.router.shard_for("age")
+        assert coordinator.rebalance("age", home)["moved"] is False
+
+    def test_partitioned_attribute_cannot_be_rebalanced(self, coordinator):
+        coordinator.create("hot", "dc", partition_boundaries=[100.0])
+        with pytest.raises(ClusterError):
+            coordinator.rebalance("hot", "shard-0")
+
+    def test_writes_during_move_are_buffered_and_replayed(self):
+        """Writes arriving mid-copy land exactly once on the target."""
+        restore_entered = threading.Event()
+        release_restore = threading.Event()
+
+        class SlowRestoreShard(LocalShard):
+            def restore(self, name, snapshot):
+                restore_entered.set()
+                assert release_restore.wait(5.0)
+                return super().restore(name, snapshot)
+
+        source = LocalShard("source")
+        target = SlowRestoreShard("target")
+        coordinator = ClusterCoordinator([source, target])
+        coordinator.router.assign("age", "source")
+        coordinator.create("age", "dc", memory_kb=0.5)
+        coordinator.ingest("age", insert=[float(v % 90) for v in range(1000)])
+
+        mover = threading.Thread(target=coordinator.rebalance, args=("age", "target"))
+        mover.start()
+        assert restore_entered.wait(5.0)
+        # The copy is in flight: these writes must buffer, not block or vanish.
+        buffered = coordinator.ingest("age", insert=[1.0, 2.0], delete=[1.0])
+        assert buffered["buffered_for_move"] is True
+        release_restore.set()
+        mover.join(timeout=10.0)
+        assert not mover.is_alive()
+        assert coordinator.router.shard_for("age") == "target"
+        assert coordinator.total_count("age") == pytest.approx(1001.0)
+        coordinator.close()
+
+    def test_failed_move_replays_buffer_onto_source(self):
+        restore_entered = threading.Event()
+        release_restore = threading.Event()
+
+        class FailingRestoreShard(LocalShard):
+            def restore(self, name, snapshot):
+                restore_entered.set()
+                assert release_restore.wait(5.0)
+                raise RuntimeError("target exploded")
+
+        source = LocalShard("source")
+        target = FailingRestoreShard("target")
+        coordinator = ClusterCoordinator([source, target])
+        coordinator.router.assign("age", "source")
+        coordinator.create("age", "dc", memory_kb=0.5)
+        coordinator.ingest("age", insert=[float(v) for v in range(100)])
+
+        failure = []
+
+        def move():
+            try:
+                coordinator.rebalance("age", "target")
+            except RuntimeError as error:
+                failure.append(error)
+
+        mover = threading.Thread(target=move)
+        mover.start()
+        assert restore_entered.wait(5.0)
+        coordinator.ingest("age", insert=[500.0, 501.0])
+        release_restore.set()
+        mover.join(timeout=10.0)
+        assert failure, "rebalance should have propagated the restore failure"
+        assert coordinator.router.shard_for("age") == "source"
+        assert coordinator.total_count("age") == pytest.approx(102.0)
+        coordinator.close()
+
+    def test_drain_moves_every_homed_attribute(self, coordinator):
+        for index in range(6):
+            coordinator.create(f"attribute-{index}", "dc", memory_kb=0.5)
+            coordinator.ingest(f"attribute-{index}", insert=[float(index)] * 10)
+        coordinator.create("hot", "dc", partition_boundaries=[100.0, 200.0, 300.0])
+        victim = coordinator.router.shard_for("attribute-0")
+        report = coordinator.drain(victim)
+        assert "attribute-0" in report["moved"]
+        assert report["skipped_partitioned"] == ["hot"]
+        for name in report["moved"]:
+            assert coordinator.router.shard_for(name) != victim
+        homed = [
+            name for name in coordinator.shard(victim).names()
+            if not coordinator.router.is_partitioned(name)
+        ]
+        assert homed == []
+        for index in range(6):
+            assert coordinator.total_count(f"attribute-{index}") == pytest.approx(10.0)
+
+
+class TestClusterStats:
+    def test_stats_reports_shards_placement_and_merge_cache(self, coordinator):
+        coordinator.create("age", "dc")
+        coordinator.create("hot", "dc", partition_boundaries=[100.0])
+        coordinator.ingest("hot", insert=[50.0, 150.0])
+        coordinator.query("hot", [{"op": "total"}])
+        stats = coordinator.stats()
+        assert {shard["shard_id"] for shard in stats["shards"]} == set(coordinator.shard_ids)
+        assert "hot" in stats["placement"]["partitions"]
+        assert stats["merge_cache"]["hot"]["generation_sum"] >= 1
+
+    def test_attribute_stats_partitioned_and_not(self, coordinator):
+        coordinator.create("age", "dc")
+        coordinator.create("hot", "dc", partition_boundaries=[100.0])
+        plain = coordinator.attribute_stats("age")
+        assert plain["partitioned"] is False
+        assert plain["stats"]["name"] == "age"
+        partitioned = coordinator.attribute_stats("hot")
+        assert partitioned["partitioned"] is True
+        assert set(partitioned["pieces"]) == set(
+            coordinator.router.partition_for("hot").piece_shard_ids
+        )

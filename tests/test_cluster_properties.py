@@ -1,0 +1,94 @@
+"""Property tests for the cluster merge cache (mirrors the spliced-cache guard).
+
+The coordinator caches the merged global histogram of a range-partitioned
+attribute under the sum of the piece shards' generation counters.  The
+invariant (the cluster analogue of ``test_properties.py``'s spliced-cache
+guard): after ANY interleaving of shard writes and cache-populating queries,
+the histogram the cache serves is bit-identical to a from-scratch
+superimpose + reduce over the current piece snapshots.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterCoordinator, LocalShard
+from repro.distributed.union import reduce_segments, superimpose
+from repro.persistence import histogram_from_dict
+
+BOUNDARIES = [100.0, 200.0, 300.0]
+GLOBAL_BUCKETS = 12
+
+# Each write op: an insert batch of values spread anywhere over the domain
+# (so any subset of pieces may be hit), or a single-value delete.
+write_op = st.one_of(
+    st.lists(
+        st.floats(min_value=0.0, max_value=400.0, allow_nan=False, width=32),
+        min_size=1,
+        max_size=20,
+    ),
+    st.none(),  # None = query checkpoint (populate + verify the cache)
+)
+
+
+def buckets_of(histogram):
+    return [(b.left, b.right, b.count) for b in histogram.buckets()]
+
+
+def from_scratch_merge(coordinator, name):
+    partition = coordinator.router.partition_for(name)
+    members = [
+        histogram_from_dict(dict(coordinator.shard(sid).snapshot(name)["histogram"]))
+        for sid in partition.piece_shard_ids
+    ]
+    return reduce_segments(superimpose(members), GLOBAL_BUCKETS)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(write_op, min_size=1, max_size=12))
+def test_cached_merge_always_equals_from_scratch_rebuild(ops):
+    coordinator = ClusterCoordinator(
+        [LocalShard(f"shard-{i}") for i in range(3)], global_buckets=GLOBAL_BUCKETS
+    )
+    try:
+        coordinator.create("hot", "dc", memory_kb=0.5, partition_boundaries=BOUNDARIES)
+        inserted = []
+        for op in ops:
+            if op is None:
+                cached = coordinator.merged_histogram("hot")
+                assert buckets_of(cached) == buckets_of(from_scratch_merge(coordinator, "hot"))
+            else:
+                coordinator.ingest("hot", insert=op)
+                inserted.extend(op)
+        # Final checkpoint: the cache (whatever mix of hits and rebuilds it
+        # went through) must equal the from-scratch merge, and conserve mass.
+        final = coordinator.merged_histogram("hot")
+        assert buckets_of(final) == buckets_of(from_scratch_merge(coordinator, "hot"))
+        assert abs(final.total_count - len(inserted)) <= 1e-6 * max(1, len(inserted))
+    finally:
+        coordinator.close()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=400.0, allow_nan=False, width=32),
+        min_size=0,
+        max_size=40,
+    )
+)
+def test_merged_total_equals_sum_of_piece_totals(values):
+    coordinator = ClusterCoordinator(
+        [LocalShard(f"shard-{i}") for i in range(3)], global_buckets=GLOBAL_BUCKETS
+    )
+    try:
+        coordinator.create("hot", "dc", memory_kb=0.5, partition_boundaries=BOUNDARIES)
+        if values:
+            coordinator.ingest("hot", insert=values)
+        partition = coordinator.router.partition_for("hot")
+        piece_total = sum(
+            coordinator.shard(sid).store.total_count("hot")
+            for sid in partition.piece_shard_ids
+        )
+        assert abs(coordinator.total_count("hot") - piece_total) <= 1e-6 * max(1.0, piece_total)
+    finally:
+        coordinator.close()

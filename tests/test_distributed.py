@@ -98,6 +98,55 @@ class TestReduction:
             reduce_segments(histogram, 0)
 
 
+class TestDegenerateClusterInputs:
+    """The degenerate shapes a live cluster feeds into the union operators.
+
+    Regression tests for the explicit early returns: empty shards, all-empty
+    unions, single-bucket unions, and a reduce budget at or above the current
+    segment count must round-trip without touching the merge loop.
+    """
+
+    def test_superimpose_with_empty_members_ignores_them(self):
+        from repro import DCHistogram
+
+        empty = DCHistogram(n_buckets=8)  # never inserted into: zero buckets
+        full = ExactHistogram.build(DataDistribution([1, 2, 2, 3]))
+        union = superimpose([empty, full])
+        assert union.total_count == pytest.approx(4.0)
+
+    def test_superimpose_of_all_empty_members_is_an_empty_union(self):
+        from repro import DCHistogram
+
+        union = superimpose([DCHistogram(n_buckets=8), DCHistogram(n_buckets=8)])
+        assert union.bucket_count == 0
+        assert union.total_count == 0.0
+        assert union.estimate_range(0.0, 100.0) == 0.0
+        assert union.estimate_equal(5.0) == 0.0
+        assert list(union.cdf_many([0.0, 1.0])) == [0.0, 0.0]
+
+    def test_reduce_of_an_empty_union_is_empty(self):
+        from repro import DCHistogram
+
+        union = superimpose([DCHistogram(n_buckets=8)])
+        reduced = reduce_segments(union, 5)
+        assert reduced.bucket_count == 0
+        assert reduced.total_count == 0.0
+
+    def test_reduce_of_a_single_bucket_union_returns_it_unchanged(self):
+        union = superimpose([ExactHistogram.build(DataDistribution([7, 7, 7]))])
+        reduced = reduce_segments(union, 5)
+        assert [(b.left, b.right, b.count) for b in reduced.buckets()] == [
+            (b.left, b.right, b.count) for b in union.buckets()
+        ]
+
+    def test_reduce_with_budget_equal_to_segment_count_is_identity(self, small_distribution):
+        histogram = SSBMHistogram.build(small_distribution, 8)
+        reduced = reduce_segments(histogram, histogram.bucket_count)
+        assert [(b.left, b.right, b.count) for b in reduced.buckets()] == [
+            (b.left, b.right, b.count) for b in histogram.buckets()
+        ]
+
+
 class TestCoordinator:
     @pytest.fixture
     def sites(self):

@@ -201,3 +201,132 @@ class TestStopWithoutStart:
         server.stop()  # must not hang waiting for a serve loop that never ran
         # The socket is closed: a fresh server can bind the same port.
         assert server._thread is None
+
+
+class TestAttributeNameEscaping:
+    """Names containing URL-hostile characters must route correctly."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["orders/amount", "unit price", "discount%", "a/b c%d", "100%/total share"],
+    )
+    def test_hostile_names_round_trip(self, client, name):
+        client.create(name, "dc", memory_kb=0.5)
+        client.ingest(name, insert=[1.0, 2.0, 3.0])
+        assert client.total_count(name) == pytest.approx(3.0)
+        assert client.stats(name)["name"] == name
+        snapshot = client.snapshot(name)
+        assert snapshot["name"] == name
+        client.drop(name)
+        with pytest.raises(UnknownAttributeError):
+            client.total_count(name)
+
+    def test_slash_name_does_not_shadow_another_route(self, client):
+        # If "age/ingest" were not escaped it would route to the ingest action
+        # of attribute "age" instead of the stats of attribute "age/ingest".
+        client.create("age", "dc", memory_kb=0.5)
+        client.create("age/ingest", "dc", memory_kb=0.5)
+        client.ingest("age/ingest", insert=[1.0])
+        assert client.total_count("age") == 0.0
+        assert client.total_count("age/ingest") == pytest.approx(1.0)
+
+
+class _FlakySocket:
+    """Accepts TCP connections and immediately closes them (N times)."""
+
+    def __init__(self):
+        import socket as socket_module
+
+        self.socket = socket_module.socket()
+        self.socket.bind(("127.0.0.1", 0))
+        self.socket.listen(8)
+        self.socket.settimeout(0.1)
+        self.port = self.socket.getsockname()[1]
+        self.accepted = 0
+        self._stop = False
+        self._thread = None
+
+    def _loop(self):
+        import socket as socket_module
+
+        while not self._stop:
+            try:
+                connection, _ = self.socket.accept()
+            except socket_module.timeout:
+                continue
+            except OSError:
+                break
+            self.accepted += 1
+            connection.close()
+
+    def __enter__(self):
+        import threading
+
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self._stop = True
+        self._thread.join()
+        self.socket.close()
+
+
+class TestClientRetries:
+    def test_connect_failures_retry_with_backoff_then_raise(self, monkeypatch):
+        import socket as socket_module
+
+        # Reserve a port and close it so nothing listens there.
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+
+        sleeps = []
+        monkeypatch.setattr("repro.service.client.time.sleep", sleeps.append)
+        flaky = StatisticsClient("127.0.0.1", dead_port, retries=2, retry_backoff=0.05)
+        with pytest.raises(OSError):
+            flaky.health()
+        # Two retries -> two backoff sleeps, exponentially growing.
+        assert sleeps == [0.05, 0.1]
+
+    def test_get_after_connect_is_retried(self):
+        with _FlakySocket() as flaky_server:
+            flaky = StatisticsClient(
+                "127.0.0.1", flaky_server.port, retries=2, retry_backoff=0.01
+            )
+            with pytest.raises(Exception):
+                flaky.health()
+        # One initial attempt plus two retries, all reached the socket.
+        assert flaky_server.accepted == 3
+
+    def test_post_after_connect_is_never_retried(self):
+        # A POST whose fate is unknown must not be re-sent (double-apply risk).
+        with _FlakySocket() as flaky_server:
+            flaky = StatisticsClient(
+                "127.0.0.1", flaky_server.port, retries=2, retry_backoff=0.01
+            )
+            with pytest.raises(Exception):
+                flaky.ingest("age", insert=[1.0])
+        assert flaky_server.accepted == 1
+
+    def test_zero_retries_fails_fast(self, monkeypatch):
+        import socket as socket_module
+
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+
+        sleeps = []
+        monkeypatch.setattr("repro.service.client.time.sleep", sleeps.append)
+        client = StatisticsClient("127.0.0.1", dead_port, retries=0)
+        with pytest.raises(OSError):
+            client.health()
+        assert sleeps == []
+
+    def test_retry_recovers_when_server_appears(self, server):
+        # Against a live server the retrying client behaves identically.
+        host, port = server.address
+        patient = StatisticsClient(host, port, retries=3, retry_backoff=0.01)
+        assert patient.health()["status"] == "ok"
