@@ -1,17 +1,21 @@
-"""Hot-path throughput benchmark: incremental caches + vectorised estimation.
+"""Hot-path throughput benchmark: array-native core + vectorised estimation.
 
-Measures the two serving-critical paths before and after the hot-path
-overhaul and records the trajectory in ``BENCH_hot_paths.json``:
+Measures the serving-critical paths before and after the hot-path work and
+records the trajectory in ``BENCH_hot_paths.json``:
 
 * **sustained inserts/sec** into a DADO histogram -- "before" is a faithful
-  in-repo replica of the seed maintenance (per-insert border-list rebuild and
-  full ``_rebuild_caches()`` after every split/merge/out-of-range borrow),
-  "after" is the incremental implementation (cached ``_lefts`` array and
-  O(1)-neighbourhood phi splices), plus the batched ``insert_many`` fast path;
-* **range-estimates/sec** against a built histogram -- "before" replicates the
-  seed's per-call Python loop over freshly materialised buckets, "after" is
-  the cached segment view's ``searchsorted`` path, plus the vectorised batch
-  API.
+  in-repo replica of the seed maintenance (a standalone list-of-buckets
+  implementation with per-insert border-list rebuilds and a full phi-cache
+  recomputation after every split/merge/out-of-range borrow), "after" is the
+  array-native incremental implementation, plus the batched ``insert_many``
+  fast path;
+* **range / equality estimates and cdf_many** against a built histogram --
+  "before" replicates the seed's per-call Python loop over freshly
+  materialised buckets, "after" is the live-array segment view's
+  ``searchsorted`` paths, plus the vectorised batch API;
+* **delete-heavy and mixed insert/delete runs** (the paper's Figure 17-18
+  regime) -- "before" is the per-value ``delete()`` loop every layer used
+  until PR 4, "after" is the batched ``delete_many`` binning pass.
 
 Run directly (``python benchmarks/bench_hot_paths.py [--quick]``); it is not a
 pytest benchmark because it must embed the *legacy* implementations to give a
@@ -21,49 +25,158 @@ stable before/after comparison regardless of the repo's current state.
 from __future__ import annotations
 
 import argparse
+import bisect
 import json
 import pathlib
 import sys
 import time
+from typing import Dict, List, Optional
 
 import numpy as np
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
+from repro.core.base import DynamicHistogram  # noqa: E402
 from repro.core.bucket import Bucket  # noqa: E402
-from repro.core.dynamic_vopt import DADOHistogram, _VBucket  # noqa: E402
+from repro.core.deviation import segments_phi  # noqa: E402
+from repro.core.dynamic_vopt import DADOHistogram, _project_segments  # noqa: E402
 
 DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_hot_paths.json"
 
 
 # ----------------------------------------------------------------------
-# legacy (seed) reference implementations
+# legacy (seed) reference implementation
 # ----------------------------------------------------------------------
-class LegacyDADOHistogram(DADOHistogram):
-    """The seed's maintenance strategy, for the "before" measurements.
+class _LegacyBucket:
+    """The seed's mutable bucket: a value range with k sub-range counters."""
 
-    Restores the seed behaviours the overhaul removed: a border list is
-    rebuilt on every bucket location, every merge / split / out-of-range
-    borrow recomputes *all* bucket and pair phis from scratch, and phi goes
-    through the generic :func:`~repro.core.deviation.segments_phi` path
-    (the service PR added an allocation-free specialisation for k=2).
+    __slots__ = ("left", "right", "counts")
+
+    def __init__(self, left: float, right: float, counts: List[float]) -> None:
+        self.left = left
+        self.right = right
+        self.counts = counts
+
+    @property
+    def count(self) -> float:
+        return sum(self.counts)
+
+    @property
+    def is_point_mass(self) -> bool:
+        return self.right == self.left
+
+    def borders(self) -> List[float]:
+        k = len(self.counts)
+        if self.is_point_mass or k == 1:
+            return [self.left, self.right]
+        step = (self.right - self.left) / k
+        return [self.left + i * step for i in range(k)] + [self.right]
+
+    def segments(self):
+        if self.is_point_mass:
+            return [(self.left, self.right, self.count)]
+        borders = self.borders()
+        return [
+            (borders[i], borders[i + 1], self.counts[i])
+            for i in range(len(self.counts))
+        ]
+
+    def sub_bucket_index(self, value: float) -> int:
+        k = len(self.counts)
+        if self.is_point_mass or k == 1:
+            return 0
+        position = (value - self.left) / (self.right - self.left)
+        return max(0, min(int(position * k), k - 1))
+
+
+class LegacyDADOHistogram(DynamicHistogram):
+    """The seed's DADO maintenance strategy, for the "before" measurements.
+
+    A faithful standalone replica of the pre-optimisation implementation: the
+    bucket list is a list of Python objects, locating a bucket rebuilds the
+    border list, phi goes through the generic :func:`segments_phi`, and every
+    split / merge / out-of-range borrow recomputes *all* bucket and pair phis
+    from scratch.  It reproduces the optimised implementation's split/merge
+    decisions exactly (the equivalence guard below asserts identical buckets),
+    so the before/after comparison isolates the data-structure work.
     """
 
-    def _bucket_phi(self, bucket):
-        from repro.core.deviation import segments_phi
+    metric = "absolute"
 
-        return segments_phi(bucket.segments(), self.metric, value_unit=self._value_unit)
+    def __init__(self, n_buckets: int, *, sub_buckets: int = 2, value_unit: float = 1.0):
+        self._budget = n_buckets
+        self._k = sub_buckets
+        self._value_unit = value_unit
+        self._loading: Optional[Dict[float, int]] = {}
+        self._buckets: List[_LegacyBucket] = []
+        self._phis: List[float] = []
+        self._pair_phis: List[float] = []
+        self._repartition_count = 0
 
-    def _merged_phi(self, first, second):
-        from repro.core.deviation import segments_phi
+    # -- read ----------------------------------------------------------
+    def buckets(self) -> List[Bucket]:
+        if self._loading is not None:
+            return [
+                Bucket(value, value, float(count))
+                for value, count in sorted(self._loading.items())
+            ]
+        result: List[Bucket] = []
+        for bucket in self._buckets:
+            width = bucket.right - bucket.left
+            if 0 < width <= self._value_unit:
+                snapped = round(bucket.left / self._value_unit) * self._value_unit
+                result.append(Bucket(snapped, snapped, bucket.count))
+                continue
+            for left, right, count in bucket.segments():
+                result.append(Bucket(left, right, count))
+        return result
 
-        return segments_phi(
-            first.segments() + second.segments(), self.metric, value_unit=self._value_unit
-        )
+    # -- update --------------------------------------------------------
+    def _insert(self, value: float) -> None:
+        value = float(value)
+        if self._loading is not None:
+            self._loading[value] = self._loading.get(value, 0) + 1
+            if len(self._loading) > self._budget:
+                self._bootstrap()
+            return
+        if value < self._buckets[0].left or value > self._buckets[-1].right:
+            self._insert_out_of_range(value)
+            return
+        index = self._locate_bucket(value)
+        bucket = self._buckets[index]
+        bucket.counts[bucket.sub_bucket_index(value)] += 1.0
+        # Seed behaviour: an in-range insert refreshes only the touched
+        # bucket's phi and its adjacent pairs (the full-table rebuilds are
+        # reserved for split / merge / resize / out-of-range borrow).
+        self._refresh_bucket(index)
+        self._maybe_repartition()
+
+    def _delete(self, value: float) -> None:  # pragma: no cover - not benchmarked
+        raise NotImplementedError("the legacy replica only benchmarks inserts")
+
+    def _bootstrap(self) -> None:
+        items = sorted(self._loading.items())
+        self._loading = None
+        values = [value for value, _ in items]
+        if len(values) == 1:
+            only_value, only_count = items[0]
+            self._buckets = [
+                _LegacyBucket(only_value, only_value, [float(only_count)] + [0.0] * (self._k - 1))
+            ]
+        else:
+            self._buckets = [
+                _LegacyBucket(values[i], values[i + 1], [0.0] * self._k)
+                for i in range(len(values) - 1)
+            ]
+            for value, count in items:
+                index = min(bisect.bisect_right(values, value) - 1, len(self._buckets) - 1)
+                index = max(index, 0)
+                bucket = self._buckets[index]
+                bucket.counts[bucket.sub_bucket_index(value)] += float(count)
+        self._rebuild_caches()
 
     def _locate_bucket(self, value: float) -> int:
-        import bisect
-
+        # Seed behaviour: the border list is rebuilt on every location.
         lefts = [bucket.left for bucket in self._buckets]
         index = bisect.bisect_right(lefts, value) - 1
         index = max(0, min(index, len(self._buckets) - 1))
@@ -77,11 +190,97 @@ class LegacyDADOHistogram(DADOHistogram):
                 return index + 1
         return index
 
-    def _merge_pair(self, index: int) -> None:
-        from repro.core.dynamic_vopt import _project_segments
+    def _resize_bucket(self, index: int, new_left: float, new_right: float) -> None:
+        bucket = self._buckets[index]
+        resized = _LegacyBucket(new_left, new_right, [0.0] * self._k)
+        resized.counts = _project_segments(bucket.segments(), resized.borders())
+        self._buckets[index] = resized
+        self._rebuild_caches()
 
+    def _insert_out_of_range(self, value: float) -> None:
+        new_bucket = _LegacyBucket(value, value, [1.0] + [0.0] * (self._k - 1))
+        if value < self._buckets[0].left:
+            self._buckets.insert(0, new_bucket)
+        else:
+            self._buckets.append(new_bucket)
+        self._rebuild_caches()
+        if len(self._buckets) > self._budget:
+            merge_index = self._find_best_merge()
+            if merge_index is not None:
+                self._merge_pair(merge_index)
+                self._repartition_count += 1
+
+    def _bucket_phi(self, bucket: _LegacyBucket) -> float:
+        return segments_phi(bucket.segments(), self.metric, value_unit=self._value_unit)
+
+    def _merged_phi(self, first: _LegacyBucket, second: _LegacyBucket) -> float:
+        return segments_phi(
+            first.segments() + second.segments(), self.metric, value_unit=self._value_unit
+        )
+
+    def _rebuild_caches(self) -> None:
+        # Seed behaviour: every structural change recomputes the full tables.
+        self._phis = [self._bucket_phi(bucket) for bucket in self._buckets]
+        self._pair_phis = [
+            self._merged_phi(self._buckets[i], self._buckets[i + 1])
+            for i in range(len(self._buckets) - 1)
+        ]
+
+    def _refresh_bucket(self, index: int) -> None:
+        self._phis[index] = self._bucket_phi(self._buckets[index])
+        if index > 0:
+            self._pair_phis[index - 1] = self._merged_phi(
+                self._buckets[index - 1], self._buckets[index]
+            )
+        if index < len(self._buckets) - 1:
+            self._pair_phis[index] = self._merged_phi(
+                self._buckets[index], self._buckets[index + 1]
+            )
+
+    def _find_best_split(self) -> Optional[int]:
+        best_index: Optional[int] = None
+        best_phi = 0.0
+        for index, phi in enumerate(self._phis):
+            if self._buckets[index].right - self._buckets[index].left <= self._value_unit:
+                continue
+            if phi > best_phi:
+                best_phi = phi
+                best_index = index
+        return best_index
+
+    def _find_best_merge(self, *, exclude: Optional[int] = None) -> Optional[int]:
+        best_index: Optional[int] = None
+        best_phi = float("inf")
+        for index, phi in enumerate(self._pair_phis):
+            if exclude is not None and index in (exclude - 1, exclude):
+                continue
+            if phi < best_phi:
+                best_phi = phi
+                best_index = index
+        return best_index
+
+    def _maybe_repartition(self) -> None:
+        if len(self._buckets) < 3:
+            return
+        split_index = self._find_best_split()
+        if split_index is None:
+            return
+        merge_index = self._find_best_merge(exclude=split_index)
+        if merge_index is None:
+            return
+        if self._pair_phis[merge_index] - self._phis[split_index] > 0.0:
+            return
+        if merge_index > split_index:
+            self._merge_pair(merge_index)
+            self._split_bucket(split_index)
+        else:
+            self._split_bucket(split_index)
+            self._merge_pair(merge_index)
+        self._repartition_count += 1
+
+    def _merge_pair(self, index: int) -> None:
         first, second = self._buckets[index], self._buckets[index + 1]
-        merged = _VBucket(first.left, second.right, [0.0] * self._k)
+        merged = _LegacyBucket(first.left, second.right, [0.0] * self._k)
         merged.counts = _project_segments(
             first.segments() + second.segments(), merged.borders()
         )
@@ -107,23 +306,10 @@ class LegacyDADOHistogram(DADOHistogram):
         split_value = borders[best_border_index]
         left_count = sum(bucket.counts[:best_border_index])
         right_count = total - left_count
-        left_bucket = _VBucket(bucket.left, split_value, [left_count / k] * k)
-        right_bucket = _VBucket(split_value, bucket.right, [right_count / k] * k)
+        left_bucket = _LegacyBucket(bucket.left, split_value, [left_count / k] * k)
+        right_bucket = _LegacyBucket(split_value, bucket.right, [right_count / k] * k)
         self._buckets[index : index + 1] = [left_bucket, right_bucket]
         self._rebuild_caches()
-
-    def _insert_out_of_range(self, value: float) -> None:
-        new_bucket = _VBucket(value, value, [1.0] + [0.0] * (self._k - 1))
-        if value < self._buckets[0].left:
-            self._buckets.insert(0, new_bucket)
-        else:
-            self._buckets.append(new_bucket)
-        self._rebuild_caches()
-        if len(self._buckets) > self._budget:
-            merge_index = self._find_best_merge()
-            if merge_index is not None:
-                self._merge_pair(merge_index)
-        self._repartition_count += 1
 
 
 def legacy_estimate_range(histogram, low: float, high: float) -> float:
@@ -133,8 +319,23 @@ def legacy_estimate_range(histogram, low: float, high: float) -> float:
     return float(sum(bucket.count_in_range(low, high) for bucket in histogram.buckets()))
 
 
-def legacy_total_count(histogram) -> float:
-    return float(sum(bucket.count for bucket in histogram.buckets()))
+def legacy_estimate_equal(histogram, value: float) -> float:
+    """The seed's equality estimate: a Python loop over fresh Bucket objects."""
+    estimate = 0.0
+    border_bucket = None
+    interior_hit = False
+    for bucket in histogram.buckets():
+        if bucket.is_point_mass:
+            if bucket.left == value:
+                estimate += bucket.count
+        elif bucket.left <= value < bucket.right:
+            estimate += bucket.density * min(1.0, bucket.width)
+            interior_hit = True
+        elif value == bucket.right:
+            border_bucket = bucket
+    if border_bucket is not None and not interior_hit:
+        estimate += border_bucket.density * min(1.0, border_bucket.width)
+    return float(estimate)
 
 
 # ----------------------------------------------------------------------
@@ -195,8 +396,8 @@ def bench_inserts(n_values: int, n_buckets: int) -> dict:
         histogram.insert_many(values, repartition_interval=16)
         return histogram
 
-    # Equivalence guard: the incremental caches must reproduce the seed
-    # estimates exactly (same split/merge decisions, same buckets).
+    # Equivalence guard: the array core must reproduce the seed estimates
+    # exactly (same split/merge decisions, same buckets).
     legacy_hist = run_legacy()
     incremental_hist = run_incremental()
     legacy_buckets = [(b.left, b.right, b.count) for b in legacy_hist.buckets()]
@@ -205,7 +406,7 @@ def bench_inserts(n_values: int, n_buckets: int) -> dict:
     ]
     if legacy_buckets != incremental_buckets:
         raise AssertionError(
-            "incremental maintenance diverged from the seed implementation"
+            "array-native maintenance diverged from the seed implementation"
         )
 
     before = _throughput(run_legacy, n_values)
@@ -262,6 +463,39 @@ def bench_range_estimates(n_values: int, n_buckets: int, n_queries: int) -> dict
     }
 
 
+def bench_equality_estimates(n_values: int, n_buckets: int, n_queries: int) -> dict:
+    values = insert_stream(n_values)
+    histogram = DADOHistogram(n_buckets)
+    histogram.insert_many(values)
+    rng = np.random.default_rng(7)
+    points = rng.uniform(float(values.min()), float(values.max()), size=n_queries)
+
+    for point in points[:50]:
+        fast = histogram.estimate_equal(float(point))
+        slow = legacy_estimate_equal(histogram, float(point))
+        if abs(fast - slow) > 1e-6 * max(1.0, abs(slow)):
+            raise AssertionError(f"estimate_equal diverged: {fast} vs {slow}")
+
+    def run_legacy():
+        for point in points:
+            legacy_estimate_equal(histogram, float(point))
+
+    def run_fast():
+        estimate = histogram.estimate_equal
+        for point in points:
+            estimate(point)
+
+    histogram.segment_view()  # warm the view for the "after" runs
+    before = _throughput(run_legacy, n_queries)
+    after = _throughput(run_fast, n_queries)
+    return {
+        "workload": f"{n_queries} equality estimates against DADO({n_buckets})",
+        "before_per_sec": round(before, 1),
+        "after_per_sec": round(after, 1),
+        "speedup": round(after / before, 2),
+    }
+
+
 def bench_cdf(n_values: int, n_buckets: int, n_points: int) -> dict:
     values = insert_stream(n_values)
     histogram = DADOHistogram(n_buckets)
@@ -296,6 +530,131 @@ def bench_cdf(n_values: int, n_buckets: int, n_points: int) -> dict:
     }
 
 
+def _built_histogram(factory, values):
+    histogram = factory()
+    histogram.insert_many(values, repartition_interval=16)
+    return histogram
+
+
+def bench_deletes(n_values: int, n_buckets: int) -> dict:
+    """Delete-heavy run (Figures 17-18): batched vs the per-value loop.
+
+    "Before" is the per-value ``delete()`` loop that every layer (the service
+    store included) used until the array core landed; "after" feeds the same
+    shuffled stream of previously-inserted values through ``delete_many`` in
+    service-sized batches.
+    """
+    from repro.core.dynamic_compressed import DCHistogram
+
+    values = insert_stream(n_values)
+    rng = np.random.default_rng(17)
+    deletions = rng.permutation(values)[: n_values // 2]
+    batch_size = 1024
+
+    results = {}
+    for label, factory in (
+        ("dado", lambda: DADOHistogram(n_buckets)),
+        ("dc", lambda: DCHistogram(n_buckets)),
+    ):
+        # Equivalence guard: batched deletes must match the per-value loop.
+        per_value = _built_histogram(factory, values)
+        batched = _built_histogram(factory, values)
+        for value in deletions[:2000]:
+            per_value.delete(float(value))
+        batched.delete_many(deletions[:2000])
+        a = [(b.left, b.right) for b in per_value.buckets()]
+        b = [(b.left, b.right) for b in batched.buckets()]
+        counts_a = [b_.count for b_ in per_value.buckets()]
+        counts_b = [b_.count for b_ in batched.buckets()]
+        if a != b or not np.allclose(counts_a, counts_b, rtol=1e-9, atol=1e-9):
+            raise AssertionError(f"{label}: delete_many diverged from per-value deletes")
+
+        def apply_per_value(histogram):
+            delete = histogram.delete
+            for value in deletions:
+                delete(value)
+
+        def apply_batched(histogram):
+            for start in range(0, len(deletions), batch_size):
+                histogram.delete_many(deletions[start : start + batch_size])
+
+        n_deletions = len(deletions)
+
+        def timed(apply, factory=factory):
+            # Rebuild outside the timed window; time only the deletes.
+            best = float("inf")
+            for _ in range(3):
+                histogram = _built_histogram(factory, values)
+                start = time.perf_counter()
+                apply(histogram)
+                best = min(best, time.perf_counter() - start)
+            return n_deletions / best
+
+        before = timed(apply_per_value)
+        after = timed(apply_batched)
+        results[label] = {
+            "workload": (
+                f"{n_deletions} deletes (batches of {batch_size}) from "
+                f"{label.upper()}({n_buckets}) built from {n_values} points"
+            ),
+            "before_per_value_per_sec": round(before, 1),
+            "after_batched_per_sec": round(after, 1),
+            "speedup_batched": round(after / before, 2),
+        }
+    return results
+
+
+def bench_mixed_updates(n_values: int, n_buckets: int) -> dict:
+    """Interleaved insert/delete runs, as an ingest pipeline flushes them."""
+    values = insert_stream(n_values)
+    rng = np.random.default_rng(19)
+    run_size = 512
+    # Alternate insert and delete runs over a sliding window of the stream so
+    # deletes always target previously-inserted values.
+    runs = []
+    inserted = 0
+    position = 0
+    while position < n_values:
+        chunk = values[position : position + run_size]
+        runs.append(("insert", chunk))
+        inserted += len(chunk)
+        position += len(chunk)
+        if inserted >= 2 * run_size:
+            window = values[max(0, position - 2 * run_size) : position]
+            runs.append(("delete", rng.permutation(window)[: run_size // 2]))
+
+    def run_before():
+        histogram = DADOHistogram(n_buckets)
+        for kind, chunk in runs:
+            if kind == "insert":
+                histogram.insert_many(chunk, repartition_interval=16)
+            else:
+                delete = histogram.delete
+                for value in chunk:
+                    delete(value)
+
+    def run_after():
+        histogram = DADOHistogram(n_buckets)
+        for kind, chunk in runs:
+            if kind == "insert":
+                histogram.insert_many(chunk, repartition_interval=16)
+            else:
+                histogram.delete_many(chunk)
+
+    n_ops = sum(len(chunk) for _, chunk in runs)
+    before = _throughput(run_before, n_ops)
+    after = _throughput(run_after, n_ops)
+    return {
+        "workload": (
+            f"{n_ops} interleaved ops ({run_size}-value insert runs, "
+            f"{run_size // 2}-value delete runs) on DADO({n_buckets})"
+        ),
+        "before_per_sec": round(before, 1),
+        "after_per_sec": round(after, 1),
+        "speedup": round(after / before, 2),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -320,7 +679,12 @@ def main(argv=None) -> int:
         "sections": {
             "sustained_inserts": bench_inserts(n_insert, n_buckets),
             "range_estimates": bench_range_estimates(n_insert, n_buckets, n_queries),
+            "equality_estimates": bench_equality_estimates(
+                n_insert, n_buckets, n_queries
+            ),
             "cdf_many": bench_cdf(n_insert, n_buckets, n_cdf),
+            "delete_heavy": bench_deletes(n_insert, n_buckets),
+            "mixed_updates": bench_mixed_updates(n_insert, n_buckets),
         },
     }
 
@@ -329,9 +693,10 @@ def main(argv=None) -> int:
 
     inserts = results["sections"]["sustained_inserts"]["speedup"]
     ranges = results["sections"]["range_estimates"]["speedup"]
+    deletes = results["sections"]["delete_heavy"]["dado"]["speedup_batched"]
     print(
-        f"\nsustained inserts: {inserts:.2f}x, range estimates: {ranges:.2f}x "
-        f"(targets: >= 2x and >= 5x)",
+        f"\nsustained inserts: {inserts:.2f}x, range estimates: {ranges:.2f}x, "
+        f"batched deletes: {deletes:.2f}x (targets: >= 2x, >= 5x and >= 5x)",
         file=sys.stderr,
     )
     return 0

@@ -28,7 +28,7 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from .core.factory import build_dynamic_histogram, build_static_histogram
 from .datagen.clusters import generate_cluster_values

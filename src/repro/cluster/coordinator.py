@@ -286,49 +286,79 @@ class ClusterCoordinator:
         finally:
             self._end_apply(name)
 
-    def ingest_batch(self, items: Mapping[str, Sequence[float]]) -> Dict[str, Any]:
-        """Fan a multi-attribute insert batch out: one concurrent stream per shard.
+    def ingest_batch(self, items: Mapping[str, Any]) -> Dict[str, Any]:
+        """Fan a multi-attribute write batch out: one concurrent stream per shard.
 
-        ``items`` maps attribute name to values.  Every attribute's values are
+        ``items`` maps attribute name to either a plain sequence of values
+        (an insert run, the historical shape) or a mapping with optional
+        ``insert`` / ``delete`` value lists.  Every attribute's values are
         grouped by owning shard (splitting partitioned attributes per value),
-        then each shard applies its group in one concurrently-submitted run.
+        then each shard applies its group in one concurrently-submitted run;
+        the shard applies an attribute's inserts before its deletes, and the
+        delete side rides the store's vectorised ``delete_many`` path.
         """
-        per_shard: Dict[str, List[Tuple[str, List[float]]]] = {}
+        per_shard: Dict[str, Dict[str, Tuple[List[float], List[float]]]] = {}
         applying: List[str] = []
         buffered = 0
+        buffered_deletes = 0
         try:
             for name, values in items.items():
-                values = list(values)
-                if not values:
+                if isinstance(values, Mapping):
+                    insert = list(values.get("insert", ()))
+                    delete = list(values.get("delete", ()))
+                else:
+                    insert = list(values)
+                    delete = []
+                if not insert and not delete:
                     continue
-                if not self._begin_apply(name, values, []):
-                    buffered += len(values)
+                if not self._begin_apply(name, insert, delete):
+                    buffered += len(insert)
+                    buffered_deletes += len(delete)
                     continue
                 applying.append(name)
                 partition = self._router.partition_for(name)
                 if partition is None:
-                    groups = {self._router.shard_for(name): values}
+                    home = self._router.shard_for(name)
+                    insert_groups = {home: insert} if insert else {}
+                    delete_groups = {home: delete} if delete else {}
                 else:
-                    groups = partition.split(values)
-                for shard_id, shard_values in groups.items():
-                    per_shard.setdefault(shard_id, []).append((name, shard_values))
-
-            def apply_group(shard: ShardBackend) -> int:
-                applied = 0
-                for name, shard_values in per_shard[shard.shard_id]:
-                    applied += shard.ingest(name, insert=shard_values).get(
-                        "inserted", len(shard_values)
+                    insert_groups = partition.split(insert)
+                    delete_groups = partition.split(delete)
+                for shard_id in set(insert_groups) | set(delete_groups):
+                    shard_items = per_shard.setdefault(shard_id, {})
+                    shard_items[name] = (
+                        insert_groups.get(shard_id, []),
+                        delete_groups.get(shard_id, []),
                     )
+
+            def apply_group(shard: ShardBackend) -> Dict[str, int]:
+                applied = {"inserted": 0, "deleted": 0}
+                for name, (shard_insert, shard_delete) in per_shard[
+                    shard.shard_id
+                ].items():
+                    result = shard.ingest(name, insert=shard_insert, delete=shard_delete)
+                    applied["inserted"] += result.get("inserted", len(shard_insert))
+                    applied["deleted"] += result.get("deleted", len(shard_delete))
                 return applied
 
             gathered = self._scatter(sorted(per_shard), apply_group)
         finally:
             for name in applying:
                 self._end_apply(name)
+        # ``per_shard`` keeps its historical meaning (inserted values placed
+        # per shard, reconciling with ``inserted``); the delete placement gets
+        # its own breakdown.
         return {
-            "inserted": sum(gathered.values()) + buffered,
-            "buffered_for_move": buffered,
-            "per_shard": gathered,
+            "inserted": sum(result["inserted"] for result in gathered.values()) + buffered,
+            "deleted": sum(result["deleted"] for result in gathered.values())
+            + buffered_deletes,
+            "buffered_for_move": buffered + buffered_deletes,
+            "per_shard": {
+                shard_id: result["inserted"] for shard_id, result in gathered.items()
+            },
+            "per_shard_deleted": {
+                shard_id: result["deleted"] for shard_id, result in gathered.items()
+            },
         }
 
     # ------------------------------------------------------------------

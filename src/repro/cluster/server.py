@@ -145,6 +145,21 @@ class _ClusterRequestHandler(BaseHTTPRequestHandler):
         if route == ("cluster", "stats") and method == "GET":
             self._send_json(200, coordinator.stats())
             return
+        if route == ("cluster", "ingest") and method == "POST":
+            items = payload.get("items")
+            if not isinstance(items, dict):
+                raise ValueError('"items" must be a JSON object mapping attribute names')
+            for values in items.values():
+                if isinstance(values, dict):
+                    if not all(
+                        isinstance(values.get(key, []), list)
+                        for key in ("insert", "delete")
+                    ):
+                        raise ValueError('"insert" and "delete" must be JSON arrays')
+                elif not isinstance(values, list):
+                    raise ValueError("batch values must be arrays or insert/delete objects")
+            self._send_json(200, coordinator.ingest_batch(items))
+            return
         if route in (("stats",), ("attributes",)) and method == "GET":
             # Service-compatible flat listing (what `store-stats` consumes):
             # one row per (shard, attribute), tagged with the shard id.
@@ -330,6 +345,16 @@ class ClusterClient(StatisticsClient):
     def cluster_stats(self) -> Dict[str, Any]:
         """Per-shard stats, placement rules and the merge-cache state."""
         return self._request("GET", "/cluster/stats")
+
+    def ingest_batch(self, items: Mapping[str, Any]) -> Dict[str, Any]:
+        """Apply a multi-attribute write batch in one round trip.
+
+        Each entry maps an attribute name to either a list of values to
+        insert or an object with ``insert`` / ``delete`` value lists; the
+        coordinator groups the whole batch per shard and applies one
+        concurrent stream per shard.
+        """
+        return self._request("POST", "/cluster/ingest", {"items": dict(items)})
 
     def rebalance(self, name: str, shard_id: str) -> Dict[str, Any]:
         """Move an unpartitioned attribute to ``shard_id``."""

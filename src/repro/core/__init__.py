@@ -16,7 +16,9 @@ model that converts a byte budget into bucket counts.
 """
 
 from .bucket import Bucket, SubBucketedBucket
+from .bucket_array import BucketArray
 from .base import Histogram, DynamicHistogram
+from .segment_view import SegmentView
 from .memory import MemoryModel, buckets_for_memory
 from .deviation import (
     DeviationMetric,
@@ -32,6 +34,8 @@ from .factory import build_dynamic_histogram, build_static_histogram
 __all__ = [
     "Bucket",
     "SubBucketedBucket",
+    "BucketArray",
+    "SegmentView",
     "Histogram",
     "DynamicHistogram",
     "MemoryModel",

@@ -33,19 +33,20 @@ class Histogram(abc.ABC):
     method is derived from that single primitive, so all histogram classes
     behave identically at evaluation time.
 
-    Estimation does not loop over the bucket list on every call: the buckets
-    are snapshotted into a cached :class:`~repro.core.segment_view.SegmentView`
-    (numpy border/count arrays plus prefix sums), which answers range, equality
-    and CDF queries with O(log B) ``searchsorted`` lookups.  The cache is keyed
-    on a *generation counter*; every mutation of a histogram must bump it via
+    Estimation does not loop over the bucket list on every call: queries go
+    through a cached :class:`~repro.core.segment_view.SegmentView` (numpy
+    border/count arrays plus prefix sums), which answers range, equality and
+    CDF queries with O(log B) ``searchsorted`` lookups.  Array-native
+    histograms override :meth:`_build_view` to construct the view directly
+    from their live :class:`~repro.core.bucket_array.BucketArray` state
+    (zero-copy where the arrays permit); the generic fallback materialises
+    :meth:`buckets` once.  Every mutation drops the cached view via
     :meth:`_invalidate_view` (the :class:`DynamicHistogram` update template
-    does this automatically).
+    does this automatically), so a fresh view is derived lazily on the next
+    read.
     """
 
-    #: Generation counter of the current bucket configuration.  Class-level
-    #: default 0; mutators create the instance attribute via _invalidate_view.
-    _view_generation: int = 0
-    #: Cached SegmentView snapshot (valid while its generation matches).
+    #: Cached SegmentView (None = derive from the live state on next read).
     _view_cache: Optional[SegmentView] = None
 
     # ------------------------------------------------------------------
@@ -64,21 +65,30 @@ class Histogram(abc.ABC):
     # cached segment view
     # ------------------------------------------------------------------
     def segment_view(self) -> SegmentView:
-        """The cached vectorised snapshot of the current bucket list.
+        """The cached vectorised view of the current segment state.
 
-        Rebuilt lazily whenever the generation counter has moved past the
-        cached snapshot's generation.
+        Derived lazily from the live arrays after a mutation dropped the
+        previous view.  The returned view is valid until the histogram's next
+        mutation; re-fetch rather than holding one across writes.
         """
-        cache = self._view_cache
-        if cache is not None and cache.generation == self._view_generation:
-            return cache
-        view = SegmentView(self.buckets(), self._view_generation)
-        self._view_cache = view
+        view = self._view_cache
+        if view is None:
+            view = self._build_view()
+            self._view_cache = view
         return view
 
+    def _build_view(self) -> SegmentView:
+        """Construct a fresh segment view from the current state.
+
+        Array-native subclasses override this to feed their live border and
+        count arrays straight into :class:`SegmentView`; the base
+        implementation materialises the bucket list once.
+        """
+        return SegmentView.from_buckets(self.buckets())
+
     def _invalidate_view(self) -> None:
-        """Mark the cached segment view stale.  Every mutator must call this."""
-        self._view_generation = self._view_generation + 1
+        """Drop the cached segment view.  Every mutator must call this."""
+        self._view_cache = None
 
     # ------------------------------------------------------------------
     # derived read API
@@ -313,6 +323,44 @@ class DynamicHistogram(Histogram):
         insert = self.insert
         for value in values:
             insert(value)
+
+    def delete_many(self, values: Iterable[float]) -> None:
+        """Delete every value of an iterable, in order (the batched mirror of
+        :meth:`insert_many`).
+
+        Histograms with a vectorisable delete path (DC, DVO/DADO) override the
+        :meth:`_delete_many` hook to bin a whole in-range batch with one
+        ``searchsorted`` + ``bincount`` pass; the base hook performs per-value
+        deletes.  Either way the semantics match deleting the values one by
+        one, and a failure part-way through reports how far the batch got by
+        attaching ``applied_count`` to the raised exception -- callers (the
+        service store and ingest pipeline) use it to requeue only the
+        unapplied tail.
+        """
+        if not isinstance(values, (list, np.ndarray)):
+            values = list(values)
+        try:
+            self._delete_many(values)
+        finally:
+            self._invalidate_view()
+
+    def _delete_many(self, values: Sequence[float]) -> None:
+        """Subclass hook: delete a batch of values, in order.
+
+        Implementations must attach ``applied_count`` (number of values fully
+        deleted before the failure) to any exception they raise part-way
+        through; view invalidation is handled by the :meth:`delete_many`
+        template.
+        """
+        applied = 0
+        delete = self._delete
+        try:
+            for value in values:
+                delete(float(value))
+                applied += 1
+        except Exception as error:
+            error.applied_count = applied
+            raise
 
     def apply(self, stream: Iterable) -> None:
         """Replay an update stream of :class:`~repro.workloads.streams.UpdateOp`."""

@@ -26,7 +26,7 @@ distributed reduction all share it:
 from __future__ import annotations
 
 import enum
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import Iterable, Tuple, Union
 
 from ..exceptions import ConfigurationError
 from .bucket import SubBucketedBucket

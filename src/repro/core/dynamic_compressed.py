@@ -18,23 +18,37 @@ The dynamic version maintains this structure incrementally:
 
 Cost: O(log n) per insertion plus occasional O(n) repartitions -- the
 O(N log n) total the paper reports in Section 3.1.
+
+The regular buckets live in a contiguous
+:class:`~repro.core.bucket_array.BucketArray` (ascending borders sharing
+``rights[i] == lefts[i + 1]``, one counter per bucket); singular buckets stay
+a value-keyed dict for O(1) membership tests on the insert hot path.  The
+``buckets()`` list and the segment view are derived from those arrays, and
+batched deletes bin a whole in-range batch against the border array in one
+``searchsorted`` + ``bincount`` pass.
 """
 
 from __future__ import annotations
 
-import bisect
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .._validation import require_positive_float, require_positive_int, require_probability
 from ..exceptions import DeletionError, InsufficientDataError
 from ..metrics.chi_square import chi_square_probability
 from .base import DynamicHistogram
 from .bucket import Bucket
+from .bucket_array import BucketArray
+from .segment_view import SegmentView
 
 __all__ = ["DCHistogram"]
 
 #: Default significance threshold below which repartitioning is triggered.
 DEFAULT_ALPHA_MIN = 1.0e-6
+
+#: Below this batch size the vectorised delete path costs more than it saves.
+_VECTOR_MIN_BATCH = 32
 
 
 class DCHistogram(DynamicHistogram):
@@ -71,12 +85,10 @@ class DCHistogram(DynamicHistogram):
         # Loading phase buffer: distinct value -> count.
         self._loading: Optional[Dict[float, int]] = {}
 
-        # Regular buckets: contiguous ranges.  Bucket i spans
-        # [_lefts[i], _lefts[i + 1]) except the last, which spans
-        # [_lefts[-1], _right].
-        self._lefts: List[float] = []
-        self._counts: List[float] = []
-        self._right: float = 0.0
+        # Regular buckets: contiguous ranges in one structure of arrays
+        # (rights[i] == lefts[i + 1]; the end borders stretch to absorb
+        # out-of-range points).
+        self._array: BucketArray = BucketArray.empty(1)
 
         # Singular buckets: point masses keyed by value.
         self._singular: Dict[float, float] = {}
@@ -115,8 +127,17 @@ class DCHistogram(DynamicHistogram):
         """Number of singular (singleton) buckets currently in use."""
         return 0 if self._loading is not None else len(self._singular)
 
+    @property
+    def bucket_array(self) -> BucketArray:
+        """The live regular-bucket arrays (empty during the loading phase).
+
+        The single source of truth for the regular partition; treat as
+        read-only outside maintenance code.
+        """
+        return self._array
+
     # ------------------------------------------------------------------
-    # read API
+    # read API (derived views of the array state)
     # ------------------------------------------------------------------
     def buckets(self) -> List[Bucket]:
         if self._loading is not None:
@@ -125,14 +146,36 @@ class DCHistogram(DynamicHistogram):
                 Bucket(value, value, float(count))
                 for value, count in sorted(self._loading.items())
             ]
-        result: List[Bucket] = []
-        for index, left in enumerate(self._lefts):
-            right = self._lefts[index + 1] if index + 1 < len(self._lefts) else self._right
-            result.append(Bucket(left, right, self._counts[index]))
+        array = self._array
+        result: List[Bucket] = [
+            Bucket(float(array.lefts[i]), float(array.rights[i]), float(array.sub_counts[i, 0]))
+            for i in range(len(array))
+        ]
         for value, count in self._singular.items():
             result.append(Bucket(value, value, count))
         result.sort(key=lambda bucket: (bucket.left, bucket.right))
         return result
+
+    def _build_view(self) -> SegmentView:
+        """Segment view straight from the live arrays (no Bucket objects)."""
+        if self._loading is not None:
+            items = sorted(self._loading.items())
+            values = np.asarray([value for value, _ in items], dtype=float)
+            counts = np.asarray([float(count) for _, count in items], dtype=float)
+            return SegmentView(values, values, counts)
+        array = self._array
+        if not self._singular:
+            return SegmentView(array.lefts, array.rights, array.sub_counts[:, 0])
+        singular_values = np.asarray(list(self._singular), dtype=float)
+        singular_counts = np.asarray(list(self._singular.values()), dtype=float)
+        lefts = np.concatenate((array.lefts, singular_values))
+        rights = np.concatenate((array.rights, singular_values))
+        counts = np.concatenate((array.sub_counts[:, 0], singular_counts))
+        # Keep the (left, right) value order of the exposed bucket list, so
+        # the view's end borders and aggregate totals describe the histogram
+        # range rather than the storage layout.
+        order = np.lexsort((rights, lefts))
+        return SegmentView(lefts[order], rights[order], counts[order])
 
     # ------------------------------------------------------------------
     # update API
@@ -188,6 +231,9 @@ class DCHistogram(DynamicHistogram):
         finally:
             self._invalidate_view()
 
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
     def _delete(self, value: float) -> None:
         value = float(value)
         if self._loading is not None:
@@ -208,6 +254,7 @@ class DCHistogram(DynamicHistogram):
         # Remove one unit of mass.  Counters may hold fractional counts after
         # a repartition, so keep taking from the closest non-empty buckets
         # until a full unit has been removed (Section 7.3 spill policy).
+        counts = self._array.sub_counts[:, 0]
         remaining = 1.0
         if value in self._singular and self._singular[value] > 0:
             taken = min(self._singular[value], remaining)
@@ -215,7 +262,7 @@ class DCHistogram(DynamicHistogram):
             remaining -= taken
         if remaining > 1e-12:
             index = self._locate_regular(value, extend=False)
-            available = self._counts[index]
+            available = float(counts[index])
             if available > 0:
                 taken = min(available, remaining)
                 self._increment_regular(index, -taken)
@@ -229,9 +276,84 @@ class DCHistogram(DynamicHistogram):
                 taken = min(self._singular[key], remaining)
                 self._singular[key] -= taken
             else:
-                taken = min(self._counts[int(key)], remaining)
+                taken = min(float(counts[int(key)]), remaining)
                 self._increment_regular(int(key), -taken)
             remaining -= taken
+
+    def _delete_many(self, values: Sequence[float]) -> None:
+        """Vectorised batch deletion over the regular border array.
+
+        One ``searchsorted`` + ``bincount`` pass computes each regular
+        bucket's share of the batch (singular hits are aggregated per distinct
+        value first, spilling their remainder into the covering regular
+        bucket exactly as the per-value path does).  When any bucket would be
+        drained below its share -- which is when the per-value spill policy
+        (Section 7.3) kicks in -- the whole batch falls back to strict
+        per-value handling.
+        """
+        if (
+            self._loading is not None
+            or len(values) < _VECTOR_MIN_BATCH
+            or not self._try_delete_vectorised(np.asarray(values, dtype=float))
+        ):
+            super()._delete_many(values)
+
+    def _try_delete_vectorised(self, values: np.ndarray) -> bool:
+        """Attempt the all-at-once delete; False = caller must go per-value."""
+        array = self._array
+        n = len(array)
+        if n == 0:
+            return False
+        counts = array.sub_counts[:, 0]
+
+        # Split the batch between singular buckets and regular mass.  Per
+        # distinct singular value v with multiplicity m, the per-value path
+        # takes min(singular[v], m) units from the singular bucket and routes
+        # the remainder into the regular bucket covering v.
+        singular_takes: List[Tuple[float, float]] = []
+        if self._singular:
+            singular_sorted = np.asarray(sorted(self._singular), dtype=float)
+            positions = np.searchsorted(singular_sorted, values)
+            safe = np.minimum(positions, singular_sorted.size - 1)
+            is_singular = singular_sorted[safe] == values
+        else:
+            is_singular = np.zeros(values.shape, dtype=bool)
+
+        indices = np.searchsorted(array.lefts, values, side="right") - 1
+        np.clip(indices, 0, n - 1, out=indices)
+        regular_needed = np.bincount(
+            indices[~is_singular], minlength=n
+        ).astype(float)
+
+        if is_singular.any():
+            hit_values, multiplicities = np.unique(
+                values[is_singular], return_counts=True
+            )
+            hit_indices = np.clip(
+                np.searchsorted(array.lefts, hit_values, side="right") - 1, 0, n - 1
+            )
+            for value, multiplicity, index in zip(
+                hit_values, multiplicities, hit_indices
+            ):
+                available = self._singular.get(float(value), 0.0)
+                take = min(available, float(multiplicity))
+                singular_takes.append((float(value), take))
+                remainder = float(multiplicity) - take
+                if remainder > 0:
+                    regular_needed[index] += remainder
+
+        if np.any(regular_needed > counts):
+            return False  # a bucket would drain: per-value spill policy
+
+        before = counts[regular_needed > 0]
+        counts -= regular_needed
+        after = counts[regular_needed > 0]
+        self._regular_total -= float(regular_needed.sum())
+        self._regular_sumsq += float((after * after - before * before).sum())
+        for value, take in singular_takes:
+            if take > 0:
+                self._singular[value] -= take
+        return True
 
     # ------------------------------------------------------------------
     # loading phase
@@ -247,52 +369,65 @@ class DCHistogram(DynamicHistogram):
         values = [value for value, _ in items]
         counts = [float(count) for _, count in items]
         if len(values) == 1:
-            self._lefts = [values[0]]
-            self._right = values[0]
-            self._counts = [counts[0]]
+            lefts = [values[0]]
+            rights = [values[0]]
+            bucket_counts = [counts[0]]
         else:
             # One bucket per distinct point: borders sit at the points, the
             # last point is folded into the final bucket.
-            self._lefts = values[:-1]
-            self._right = values[-1]
-            self._counts = counts[:-1]
-            self._counts[-1] += counts[-1]
-        self._regular_total = sum(self._counts)
-        self._regular_sumsq = sum(count * count for count in self._counts)
+            lefts = values[:-1]
+            rights = values[1:]
+            bucket_counts = counts[:-1]
+            bucket_counts[-1] += counts[-1]
+        self._array = BucketArray(
+            np.asarray(lefts, dtype=float),
+            np.asarray(rights, dtype=float),
+            np.asarray(bucket_counts, dtype=float).reshape(-1, 1),
+        )
+        self._regular_total = sum(bucket_counts)
+        self._regular_sumsq = sum(count * count for count in bucket_counts)
 
     # ------------------------------------------------------------------
     # regular bucket helpers
     # ------------------------------------------------------------------
     def _locate_regular(self, value: float, *, extend: bool) -> int:
         """Index of the regular bucket for ``value``; optionally extend end buckets."""
-        if not self._lefts:
+        array = self._array
+        n = len(array)
+        if n == 0:
             raise InsufficientDataError("histogram has no regular buckets yet")
-        if value < self._lefts[0]:
+        lefts = array.lefts
+        if value < lefts[0]:
             if extend:
-                self._lefts[0] = value
+                lefts[0] = value
             return 0
-        if value > self._right:
+        if value > array.rights[-1]:
             if extend:
-                self._right = value
-            return len(self._lefts) - 1
-        index = bisect.bisect_right(self._lefts, value) - 1
-        return max(0, min(index, len(self._lefts) - 1))
+                array.rights[-1] = value
+            return n - 1
+        index = int(np.searchsorted(lefts, value, side="right")) - 1
+        return max(0, min(index, n - 1))
 
     def _increment_regular(self, index: int, delta: float) -> None:
-        old = self._counts[index]
+        counts = self._array.sub_counts
+        old = float(counts[index, 0])
         new = old + delta
-        self._counts[index] = new
+        counts[index, 0] = new
         self._regular_total += delta
         self._regular_sumsq += new * new - old * old
 
     def _closest_non_empty(self, value: float) -> Optional[Tuple[str, float]]:
         """Locate the non-empty bucket whose range lies closest to ``value``."""
+        array = self._array
+        lefts = array.lefts.tolist()
+        rights = array.rights.tolist()
+        counts = array.sub_counts[:, 0].tolist()
         best: Optional[Tuple[float, str, float]] = None
-        for index, count in enumerate(self._counts):
+        for index, count in enumerate(counts):
             if count <= 0:
                 continue
-            left = self._lefts[index]
-            right = self._lefts[index + 1] if index + 1 < len(self._lefts) else self._right
+            left = lefts[index]
+            right = rights[index]
             distance = 0.0 if left <= value <= right else min(abs(value - left), abs(value - right))
             if best is None or distance < best[0]:
                 best = (distance, "regular", float(index))
@@ -311,7 +446,7 @@ class DCHistogram(DynamicHistogram):
     # ------------------------------------------------------------------
     def _should_repartition(self) -> bool:
         """Chi-square uniformity test on the regular bucket counts."""
-        n_regular = len(self._counts)
+        n_regular = len(self._array)
         if n_regular < 2 or self._regular_total <= 0:
             return False
         mean = self._regular_total / n_regular
@@ -329,24 +464,25 @@ class DCHistogram(DynamicHistogram):
         """Re-establish the Compressed partition constraint.
 
         Degrades light singular buckets to regular mass, recomputes regular
-        borders so every regular bucket carries the same count, and promotes
-        narrow heavy regular buckets to singular buckets.  The total count is
-        preserved exactly.
+        borders so every regular bucket carries the same count (one array
+        splice), and promotes narrow heavy regular buckets to singular
+        buckets.  The total count is preserved exactly.
         """
         self._repartition_count += 1
         total = self._regular_total + sum(self._singular.values())
         if total <= 0:
             return
         threshold = total / self._budget
+        array = self._array
 
         # Collect the regular mass as contiguous piecewise-uniform segments.
-        segments: List[List[float]] = []
-        for index, count in enumerate(self._counts):
-            left = self._lefts[index]
-            right = self._lefts[index + 1] if index + 1 < len(self._lefts) else self._right
-            segments.append([left, right, count])
+        segments: List[List[float]] = [
+            [float(array.lefts[i]), float(array.rights[i]), float(array.sub_counts[i, 0])]
+            for i in range(len(array))
+        ]
 
         surviving_singular: Dict[float, float] = {}
+        segment_lefts = [segment[0] for segment in segments]
         for value, count in self._singular.items():
             if count > threshold:
                 surviving_singular[value] = count
@@ -354,7 +490,7 @@ class DCHistogram(DynamicHistogram):
                 # Degrade: fold the mass back into the regular bucket whose
                 # range contains (or is closest to) the singular value, keeping
                 # the regular segments contiguous and sorted.
-                target = bisect.bisect_right([segment[0] for segment in segments], value) - 1
+                target = int(np.searchsorted(segment_lefts, value, side="right")) - 1
                 target = max(0, min(target, len(segments) - 1))
                 segments[target][2] += count
 
@@ -374,9 +510,11 @@ class DCHistogram(DynamicHistogram):
         n_regular = max(1, self._budget - len(surviving_singular))
         lefts, counts, right = _equalize_segments(regular_segments, n_regular)
 
-        self._lefts = lefts
-        self._counts = counts
-        self._right = right
+        self._array = BucketArray(
+            np.asarray(lefts, dtype=float),
+            np.asarray(lefts[1:] + [right], dtype=float),
+            np.asarray(counts, dtype=float).reshape(-1, 1),
+        )
         self._singular = surviving_singular
         self._regular_total = sum(counts)
         self._regular_sumsq = sum(count * count for count in counts)

@@ -17,12 +17,19 @@ Points beyond the current range get a fresh single-point bucket ("borrow one
 bucket") immediately balanced by merging the most similar adjacent pair.
 Deletions decrement the matching sub-bucket counter; when a bucket has run out
 of points, the closest non-empty bucket is decremented instead (Section 7.3).
+
+The histogram state is one :class:`~repro.core.bucket_array.BucketArray`
+(borders, sub-bucket counts, phi and pair-phi caches as contiguous numpy
+arrays).  Maintenance splices that array; ``buckets()`` and the segment view
+are derived read-only views of it, and both the insert and the delete batch
+paths bin whole in-range chunks with a single ``searchsorted`` + ``bincount``
+pass over the live arrays.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,64 +37,17 @@ from .._validation import require_positive_float, require_positive_int
 from ..exceptions import ConfigurationError, DeletionError, InsufficientDataError
 from .base import DynamicHistogram
 from .bucket import Bucket, SubBucketedBucket
+from .bucket_array import BucketArray
 from .deviation import DeviationMetric
+from .segment_view import SegmentView
 
 __all__ = ["DVOHistogram", "DADOHistogram"]
 
 Segment = Tuple[float, float, float]
 
-#: Below this batch size the vectorised insert path costs more than it saves.
+#: Below this batch size the vectorised insert/delete paths cost more than
+#: they save.
 _VECTOR_MIN_BATCH = 32
-
-
-class _VBucket:
-    """Internal mutable bucket: a value range with ``k`` sub-range counters."""
-
-    __slots__ = ("left", "right", "counts")
-
-    def __init__(self, left: float, right: float, counts: List[float]) -> None:
-        self.left = left
-        self.right = right
-        self.counts = counts
-
-    @property
-    def count(self) -> float:
-        return sum(self.counts)
-
-    @property
-    def width(self) -> float:
-        return self.right - self.left
-
-    @property
-    def is_point_mass(self) -> bool:
-        return self.right == self.left
-
-    def borders(self) -> List[float]:
-        """The k + 1 borders of the sub-ranges (just the value for a point mass)."""
-        k = len(self.counts)
-        if self.is_point_mass or k == 1:
-            return [self.left, self.right]
-        step = self.width / k
-        return [self.left + i * step for i in range(k)] + [self.right]
-
-    def segments(self) -> List[Segment]:
-        """Piecewise-uniform segments ``(left, right, count)`` of this bucket."""
-        if self.is_point_mass:
-            return [(self.left, self.right, self.count)]
-        borders = self.borders()
-        return [
-            (borders[i], borders[i + 1], self.counts[i])
-            for i in range(len(self.counts))
-        ]
-
-    def sub_bucket_index(self, value: float) -> int:
-        """Index of the sub-range that ``value`` falls into (clamped)."""
-        k = len(self.counts)
-        if self.is_point_mass or k == 1:
-            return 0
-        position = (value - self.left) / self.width
-        index = int(position * k)
-        return max(0, min(index, k - 1))
 
 
 def _project_segments(segments: Sequence[Segment], borders: Sequence[float]) -> List[float]:
@@ -137,10 +97,10 @@ def _project_segments(segments: Sequence[Segment], borders: Sequence[float]) -> 
 def _k2_value_counts(left: float, right: float, value_unit: float) -> Tuple[float, float]:
     """Domain-value counts of a non-point-mass 2-sub-bucket bucket's segments.
 
-    Replicates exactly what :func:`_phi_of_segments` would derive from
-    ``bucket.segments()`` -- including the floating-point identities of the
-    border arithmetic in ``_VBucket.borders()`` -- without building the border
-    and segment lists.
+    Replicates exactly what :func:`_phi_of_segments` would derive from the
+    bucket's segments -- including the floating-point identities of the border
+    arithmetic in :meth:`BucketArray.row_borders` -- without building the
+    border and segment lists.
     """
     width = right - left
     middle = left + width / 2
@@ -198,8 +158,7 @@ def _phi_of_segments(segments: List[Segment], variance: bool, value_unit: float)
     per-call overhead (enum coercion, validation, per-segment method dispatch)
     dominates bucket maintenance.  This inlined version performs the *exact*
     same floating-point operations in the same order -- the cached phis must be
-    bit-identical to a from-scratch ``segments_phi`` rebuild
-    (``tests/test_properties.py`` asserts that equivalence).
+    bit-identical to a from-scratch ``segments_phi`` rebuild.
     """
     if not segments:
         return 0.0
@@ -230,6 +189,21 @@ def _phi_of_segments(segments: List[Segment], variance: bool, value_unit: float)
             deviation = count / n_values - average
             phi += n_values * abs(deviation)
     return phi
+
+
+def _row_segments(left: float, right: float, counts: Sequence[float]) -> List[Segment]:
+    """Piecewise-uniform segments of a ``(left, right, counts)`` bucket row."""
+    if right == left:
+        total = 0.0
+        for count in counts:
+            total += count
+        return [(left, right, total)]
+    k = len(counts)
+    if k == 1:
+        return [(left, right, counts[0])]
+    step = (right - left) / k
+    borders = [left + i * step for i in range(k)] + [right]
+    return [(borders[i], borders[i + 1], counts[i]) for i in range(k)]
 
 
 class DVOHistogram(DynamicHistogram):
@@ -275,16 +249,15 @@ class DVOHistogram(DynamicHistogram):
         self._k = sub_buckets
         self._value_unit = value_unit
         self._threshold = repartition_threshold
+        #: Resolved once: the per-insert phi refreshes sit on the hot path and
+        #: must not re-derive the metric flavour from the enum every call.
+        self._variance = self.metric is DeviationMetric.VARIANCE
 
         self._loading: Optional[Dict[float, int]] = {}
-        self._buckets: List[_VBucket] = []
-        # Incrementally maintained caches, kept in lockstep with _buckets:
-        # left borders (for O(log B) bucket location without rebuilding a
-        # border list per insert), per-bucket phis and adjacent-pair merge
-        # phis (spliced locally on split/merge instead of recomputed fully).
-        self._lefts: List[float] = []
-        self._phis: List[float] = []
-        self._pair_phis: List[float] = []
+        #: Single source of truth once bootstrapped: borders, sub-bucket
+        #: counts and the phi / pair-phi maintenance caches, all spliced
+        #: together by the maintenance operations below.
+        self._array: Optional[BucketArray] = None
         self._repartition_count = 0
 
     # ------------------------------------------------------------------
@@ -310,6 +283,15 @@ class DVOHistogram(DynamicHistogram):
         """True while the initial loading phase is still buffering points."""
         return self._loading is not None
 
+    @property
+    def bucket_array(self) -> Optional[BucketArray]:
+        """The live structure-of-arrays state (None during the loading phase).
+
+        This is the histogram's single source of truth; treat it as read-only
+        unless you are implementing a maintenance operation.
+        """
+        return self._array
+
     def sub_bucketed_buckets(self) -> List[SubBucketedBucket]:
         """The internal buckets as :class:`SubBucketedBucket` values.
 
@@ -320,13 +302,19 @@ class DVOHistogram(DynamicHistogram):
                 f"sub_bucketed_buckets() requires sub_buckets=2, this histogram uses {self._k}"
             )
         self._require_bootstrapped()
+        array = self._array
         return [
-            SubBucketedBucket(bucket.left, bucket.right, bucket.counts[0], bucket.counts[1])
-            for bucket in self._buckets
+            SubBucketedBucket(
+                float(array.lefts[i]),
+                float(array.rights[i]),
+                float(array.sub_counts[i, 0]),
+                float(array.sub_counts[i, 1]),
+            )
+            for i in range(len(array))
         ]
 
     # ------------------------------------------------------------------
-    # read API
+    # read API (derived views of the array state)
     # ------------------------------------------------------------------
     def buckets(self) -> List[Bucket]:
         if self._loading is not None:
@@ -335,17 +323,95 @@ class DVOHistogram(DynamicHistogram):
                 for value, count in sorted(self._loading.items())
             ]
         result: List[Bucket] = []
-        for bucket in self._buckets:
-            if 0 < bucket.width <= self._value_unit:
+        array = self._array
+        unit = self._value_unit
+        for index in range(len(array)):
+            left = float(array.lefts[index])
+            right = float(array.rights[index])
+            width = right - left
+            if 0 < width <= unit:
                 # Under the continuous-value assumption a bucket no wider than
                 # one value unit covers exactly one domain value: expose it as
                 # a point mass at that value (the paper's single-value bucket).
-                snapped = round(bucket.left / self._value_unit) * self._value_unit
-                result.append(Bucket(snapped, snapped, bucket.count))
+                snapped = round(left / unit) * unit
+                result.append(Bucket(snapped, snapped, array.bucket_count(index)))
                 continue
-            for left, right, count in bucket.segments():
-                result.append(Bucket(left, right, count))
+            for seg_left, seg_right, seg_count in array.row_segments(index):
+                result.append(Bucket(seg_left, seg_right, seg_count))
         return result
+
+    def _build_view(self) -> SegmentView:
+        """Segment view straight from the live arrays (no Bucket objects).
+
+        When no bucket collapses to an exposed point mass the per-sub-range
+        count matrix is adopted as a flat zero-copy view; otherwise the
+        exposed segments are assembled with a handful of vectorised passes.
+        """
+        if self._loading is not None:
+            items = sorted(self._loading.items())
+            values = np.asarray([value for value, _ in items], dtype=float)
+            counts = np.asarray([float(count) for _, count in items], dtype=float)
+            return SegmentView(values, values, counts)
+        array = self._array
+        lefts, rights, sub = array.lefts, array.rights, array.sub_counts
+        n, k = sub.shape
+        widths = rights - lefts
+        collapse = widths <= self._value_unit  # point masses and narrow buckets
+        if not collapse.any():
+            if k == 1:
+                return SegmentView(lefts, rights, sub[:, 0])
+            seg_lefts, seg_rights = self._slot_borders()
+            return SegmentView(seg_lefts.ravel(), seg_rights.ravel(), sub.ravel())
+
+        # Mixed exposure: collapsed buckets contribute one point mass each (at
+        # the snapped domain value, or their own value when already width 0),
+        # the rest expand to their k sub-range segments, in bucket order.
+        sizes = np.where(collapse, 1, k)
+        offsets = np.concatenate(([0], np.cumsum(sizes)))
+        total_segments = int(offsets[-1])
+        out_lefts = np.empty(total_segments, dtype=float)
+        out_rights = np.empty(total_segments, dtype=float)
+        out_counts = np.empty(total_segments, dtype=float)
+
+        collapsed = np.nonzero(collapse)[0]
+        if collapsed.size:
+            snapped = np.round(lefts[collapsed] / self._value_unit) * self._value_unit
+            values = np.where(widths[collapsed] == 0.0, lefts[collapsed], snapped)
+            positions = offsets[collapsed]
+            out_lefts[positions] = values
+            out_rights[positions] = values
+            out_counts[positions] = sub[collapsed].sum(axis=1)
+
+        regular = np.nonzero(~collapse)[0]
+        if regular.size:
+            slot_lefts, slot_rights = self._slot_borders()
+            base = offsets[regular]
+            for j in range(k):
+                out_lefts[base + j] = slot_lefts[regular, j]
+                out_rights[base + j] = slot_rights[regular, j]
+                out_counts[base + j] = sub[regular, j]
+        return SegmentView(out_lefts, out_rights, out_counts)
+
+    def _slot_borders(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-sub-range border matrices ``(n, k)`` of every bucket.
+
+        Replicates ``left + j * (width / k)`` (with the last border pinned to
+        the exact right edge) so the expansion is bit-identical to
+        :meth:`BucketArray.row_borders`.  Point-mass rows degenerate to their
+        single value in every slot.
+        """
+        array = self._array
+        lefts, rights = array.lefts, array.rights
+        k = self._k
+        if k == 1:
+            return lefts.reshape(-1, 1), rights.reshape(-1, 1)
+        steps = (rights - lefts) / k
+        j = np.arange(k, dtype=float)
+        slot_lefts = lefts[:, None] + j * steps[:, None]
+        slot_rights = np.empty_like(slot_lefts)
+        slot_rights[:, : k - 1] = lefts[:, None] + j[1:] * steps[:, None]
+        slot_rights[:, k - 1] = rights
+        return slot_lefts, slot_rights
 
     # ------------------------------------------------------------------
     # update API
@@ -367,13 +433,13 @@ class DVOHistogram(DynamicHistogram):
                 self._bootstrap()
             return False
 
-        if value < self._buckets[0].left or value > self._buckets[-1].right:
+        array = self._array
+        if value < array.lefts[0] or value > array.rights[-1]:
             self._insert_out_of_range(value)
             return False
 
         index = self._locate_bucket(value)
-        bucket = self._buckets[index]
-        bucket.counts[bucket.sub_bucket_index(value)] += 1.0
+        array.sub_counts[index, array.sub_index(index, value)] += 1.0
         self._refresh_bucket(index)
         return True
 
@@ -391,14 +457,14 @@ class DVOHistogram(DynamicHistogram):
 
         Between two maintenance points nothing reads the phi caches, so the
         batch is processed one *interval chunk* at a time: a chunk whose
-        values all land inside existing buckets is binned with one
-        ``searchsorted`` + ``bincount`` pass (sub-bucket counter increments
-        commute, so the end-of-chunk state matches per-value insertion up to
-        floating-point associativity of the counter sums), and only then are
-        the phi/pair-phi caches refreshed for the distinct touched buckets and
-        the split/merge scan run.  Chunks containing out-of-range or
-        border-gap values fall back to strict per-value handling, since those
-        mutate bucket ranges mid-chunk.
+        values all land inside existing buckets is binned into the live
+        ``sub_counts`` matrix with one ``searchsorted`` + ``bincount`` pass
+        (sub-bucket counter increments commute, so the end-of-chunk state
+        matches per-value insertion up to floating-point associativity of the
+        counter sums), and only then are the phi/pair-phi caches refreshed for
+        the distinct touched buckets and the split/merge scan run.  Chunks
+        containing out-of-range or border-gap values fall back to strict
+        per-value handling, since those mutate bucket ranges mid-chunk.
         """
         require_positive_int(repartition_interval, "repartition_interval")
         if isinstance(values, np.ndarray):
@@ -415,11 +481,6 @@ class DVOHistogram(DynamicHistogram):
             return
         arr = np.asarray(arr, dtype=float)
         dirty: set = set()
-        # Border arrays are reused across chunks; bucket ranges only change
-        # when maintenance runs (split/merge bumps repartition_count) or a
-        # chunk falls back to the per-value path (stretch / borrow), so the
-        # cache is dropped exactly there.
-        borders = None
         try:
             pending = 0
             position = 0
@@ -430,32 +491,21 @@ class DVOHistogram(DynamicHistogram):
                     continue
                 chunk = arr[position : position + repartition_interval]
                 position += chunk.shape[0]
-                if borders is None:
-                    buckets = self._buckets
-                    borders = (
-                        np.asarray(self._lefts, dtype=float),
-                        np.fromiter(
-                            (bucket.right for bucket in buckets),
-                            dtype=float,
-                            count=len(buckets),
-                        ),
-                    )
-                if self._apply_chunk_vectorised(chunk, borders, dirty):
+                if self._apply_chunk_vectorised(chunk, dirty):
                     pending += chunk.shape[0]
                 else:
-                    borders = None
                     for value in chunk:
                         value = float(value)
                         if self._loading is not None:  # pragma: no cover - defensive
                             self._insert_value(value)
                             continue
-                        if value < self._buckets[0].left or value > self._buckets[-1].right:
+                        array = self._array
+                        if value < array.lefts[0] or value > array.rights[-1]:
                             self._refresh_dirty(dirty)
                             self._insert_out_of_range(value)
                             continue
                         index = self._locate_bucket(value)
-                        bucket = self._buckets[index]
-                        bucket.counts[bucket.sub_bucket_index(value)] += 1.0
+                        array.sub_counts[index, array.sub_index(index, value)] += 1.0
                         dirty.add(index)
                         pending += 1
                         if pending >= repartition_interval:
@@ -464,10 +514,7 @@ class DVOHistogram(DynamicHistogram):
                             pending = 0
                 if pending >= repartition_interval:
                     self._refresh_dirty(dirty)
-                    repartitions_before = self._repartition_count
                     self._maybe_repartition()
-                    if self._repartition_count != repartitions_before:
-                        borders = None
                     pending = 0
             if pending:
                 self._refresh_dirty(dirty)
@@ -493,26 +540,25 @@ class DVOHistogram(DynamicHistogram):
         finally:
             self._invalidate_view()
 
-    def _apply_chunk_vectorised(
-        self, chunk: "np.ndarray", borders: Tuple["np.ndarray", "np.ndarray"], dirty: set
-    ) -> bool:
-        """Bin a chunk of values into sub-bucket counters in one numpy pass.
+    def _apply_chunk_vectorised(self, chunk: "np.ndarray", dirty: set) -> bool:
+        """Bin a chunk of values into the live count matrix in one numpy pass.
 
-        ``borders`` is the caller-cached ``(lefts, rights)`` array pair of the
-        current bucket list.  Only applies when every value lands strictly
-        inside an existing bucket's range (no out-of-range extension, no
-        border-gap stretch); returns False otherwise so the caller can fall
-        back to per-value handling.  Touched bucket indices are added to
-        ``dirty`` -- the caller must refresh the phi caches before they are
-        next consumed.
+        Only applies when every value lands strictly inside an existing
+        bucket's range (no out-of-range extension, no border-gap stretch);
+        returns False otherwise so the caller can fall back to per-value
+        handling.  Touched bucket indices are added to ``dirty`` -- the caller
+        must refresh the phi caches before they are next consumed.
         """
-        buckets = self._buckets
-        n_buckets = len(buckets)
-        lefts, rights = borders
-        if np.any(chunk < lefts[0]) or np.any(chunk > rights[-1]):
+        array = self._array
+        lefts, rights = array.lefts, array.rights
+        n_buckets = lefts.shape[0]
+        if chunk.min() < lefts[0] or chunk.max() > rights[-1]:
             return False
-        indices = np.searchsorted(lefts, chunk, side="right") - 1
-        np.clip(indices, 0, n_buckets - 1, out=indices)
+        # The range check above guarantees every value is >= lefts[0] and
+        # <= rights[-1], so the located indices are already in [0, n) without
+        # clamping.
+        indices = lefts.searchsorted(chunk, side="right")
+        indices -= 1
         bucket_rights = rights[indices]
         if np.any(chunk > bucket_rights):
             # Values inside a border gap: _locate_bucket would stretch a
@@ -524,40 +570,58 @@ class DVOHistogram(DynamicHistogram):
         else:
             bucket_lefts = lefts[indices]
             widths = bucket_rights - bucket_lefts
-            with np.errstate(divide="ignore", invalid="ignore"):
+            if widths.all():
                 subs = ((chunk - bucket_lefts) / widths * k).astype(np.int64)
-            subs[widths <= 0] = 0
-            np.clip(subs, 0, k - 1, out=subs)
+            else:
+                # Rare: some values land in point-mass buckets (sub-range 0).
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    subs = ((chunk - bucket_lefts) / widths * k).astype(np.int64)
+                subs[widths <= 0] = 0
+                subs = np.maximum(subs, 0)
+            np.minimum(subs, k - 1, out=subs)
             flat_indices = indices * k + subs
         increments = np.bincount(flat_indices, minlength=n_buckets * k)
-        for flat_index in np.nonzero(increments)[0]:
-            bucket_index = int(flat_index) // k
-            buckets[bucket_index].counts[int(flat_index) % k] += float(
-                increments[flat_index]
-            )
-            dirty.add(bucket_index)
+        array.sub_counts += increments.reshape(n_buckets, k)
+        dirty.update(np.unique(indices).tolist())
         return True
 
     def _refresh_dirty(self, dirty: set) -> None:
-        """Recompute cached phis for the distinct dirty buckets, then clear."""
+        """Recompute cached phis for the distinct dirty buckets, then clear.
+
+        The borders and counts are pulled out of the arrays in three bulk
+        ``tolist`` passes: phi arithmetic runs on plain Python floats, which
+        is several times cheaper than per-element numpy scalar extraction.
+        """
         if not dirty:
             return
-        buckets = self._buckets
-        phis = self._phis
+        array = self._array
+        lefts = array.lefts.tolist()
+        rights = array.rights.tolist()
+        subs = array.sub_counts.tolist()
+        n = len(lefts)
+        phis = array.phis
         pair_indices = set()
         for index in dirty:
-            phis[index] = self._bucket_phi(buckets[index])
+            phis[index] = self._row_phi(lefts[index], rights[index], subs[index])
             if index > 0:
                 pair_indices.add(index - 1)
-            if index + 1 < len(buckets):
+            if index + 1 < n:
                 pair_indices.add(index)
-        pair_phis = self._pair_phis
+        pair_phis = array.pair_phis
         for pair_index in pair_indices:
-            pair_phis[pair_index] = self._merged_phi(
-                buckets[pair_index], buckets[pair_index + 1]
+            pair_phis[pair_index] = self._pair_phi_rows(
+                lefts[pair_index],
+                rights[pair_index],
+                subs[pair_index],
+                lefts[pair_index + 1],
+                rights[pair_index + 1],
+                subs[pair_index + 1],
             )
         dirty.clear()
 
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
     def _delete(self, value: float) -> None:
         value = float(value)
         if self._loading is not None:
@@ -573,7 +637,8 @@ class DVOHistogram(DynamicHistogram):
         # Sum the raw counters directly: going through total_count would
         # build a segment view that the surrounding delete() template is
         # about to invalidate anyway.
-        if sum(sum(bucket.counts) for bucket in self._buckets) < 1.0 - 1e-9:
+        array = self._array
+        if array.total() < 1.0 - 1e-9:
             raise DeletionError("cannot delete from an empty histogram")
 
         # Remove one unit of mass, starting at the sub-bucket containing the
@@ -584,12 +649,11 @@ class DVOHistogram(DynamicHistogram):
         for bucket_index, sub_index in self._deletion_candidates(value):
             if remaining <= 1e-12:
                 break
-            bucket = self._buckets[bucket_index]
-            available = bucket.counts[sub_index]
+            available = array.sub_counts[bucket_index, sub_index]
             if available <= 0:
                 continue
-            taken = min(available, remaining)
-            bucket.counts[sub_index] -= taken
+            taken = min(float(available), remaining)
+            array.sub_counts[bucket_index, sub_index] -= taken
             remaining -= taken
             touched.add(bucket_index)
         if remaining > 1e-9:
@@ -597,34 +661,141 @@ class DVOHistogram(DynamicHistogram):
         for bucket_index in touched:
             self._refresh_bucket(bucket_index)
 
+    def _delete_many(self, values: Sequence[float]) -> None:
+        """Vectorised batch deletion: binning passes over the live arrays.
+
+        Mirrors ``insert_many``: values are routed to the sub-range slot the
+        per-value path would pick (its closest slot, ties to the lower index)
+        with one ``searchsorted`` pass, and every maximal run whose slots can
+        absorb their share of the batch is applied with a single ``bincount``
+        decrement -- within such a run every delete takes exactly one unit
+        from its own slot, so the decrements commute and the end state
+        matches per-value deletion bit-for-bit.  A value that would drain its
+        slot (the Section 7.3 spill regime) is handed to the exact per-value
+        policy on precisely the state per-value processing would have
+        produced, then the vectorised scan resumes.
+        """
+        if self._loading is not None or len(values) < _VECTOR_MIN_BATCH:
+            return super()._delete_many(values)
+        array = self._array
+        n = len(array)
+        k = self._k
+        slot_lefts, slot_rights = self._slot_borders()
+        flat_lefts = slot_lefts.ravel()
+        flat_rights = slot_rights.ravel()
+        n_slots = flat_rights.size
+        if n == 0 or (
+            n_slots > 1
+            and (np.any(np.diff(flat_rights) < 0) or np.any(np.diff(flat_lefts) < 0))
+        ):
+            # Empty state or pathological border rounding: the scalar path copes.
+            return super()._delete_many(values)
+        arr = np.asarray(values, dtype=float)
+
+        # Ties-to-lower binning, matching _deletion_candidates: the first slot
+        # whose right border reaches the value and whose left border covers it.
+        indices = np.searchsorted(flat_rights, arr, side="left")
+        above = indices >= n_slots
+        np.minimum(indices, n_slots - 1, out=indices)
+        outside = above | (flat_lefts[indices] > arr)
+        if outside.any():
+            # Values beyond the range or inside a border gap: route each to
+            # its closest slot, exactly as the first entry of the per-value
+            # candidate list would (ties resolve to the lower slot index --
+            # hence the snap-left over slots sharing the same border, which
+            # covers the degenerate sub-slots of point-mass buckets).
+            out_values = arr[outside]
+            out_above = above[outside]
+            hi = indices[outside]
+            lo = np.where(out_above, n_slots - 1, np.maximum(hi - 1, 0))
+            lo_valid = out_above | (hi > 0)
+            dist_lo = np.where(lo_valid, out_values - flat_rights[lo], np.inf)
+            dist_hi = np.where(out_above, np.inf, flat_lefts[hi] - out_values)
+            use_lo = dist_lo <= dist_hi
+            chosen = np.where(use_lo, lo, hi)
+            snapped = np.where(
+                use_lo,
+                np.searchsorted(flat_rights, flat_rights[chosen], side="left"),
+                np.searchsorted(flat_lefts, flat_lefts[chosen], side="left"),
+            )
+            indices[outside] = snapped
+
+        applied = 0
+        dirty: set = set()
+        n_values = arr.shape[0]
+        try:
+            position = 0
+            while position < n_values:
+                segment = indices[position:]
+                # Occurrence rank of each delete within its slot, in batch
+                # order (stable sort keeps equal slots in submission order).
+                order = np.argsort(segment, kind="stable")
+                sorted_slots = segment[order]
+                group_starts = np.searchsorted(sorted_slots, sorted_slots, side="left")
+                occurrence = np.empty(segment.shape[0], dtype=float)
+                occurrence[order] = (
+                    np.arange(segment.shape[0], dtype=float) - group_starts
+                ) + 1.0
+                available = array.sub_counts.ravel()
+                overdraws = occurrence > available[segment]
+                if not overdraws.any():
+                    decrements = np.bincount(segment, minlength=n_slots)
+                    array.sub_counts -= decrements.reshape(n, k)
+                    dirty.update(np.unique(segment // k).tolist())
+                    applied = n_values
+                    break
+                first_overdraw = int(np.argmax(overdraws))
+                if first_overdraw:
+                    prefix = segment[:first_overdraw]
+                    decrements = np.bincount(prefix, minlength=n_slots)
+                    array.sub_counts -= decrements.reshape(n, k)
+                    dirty.update(np.unique(prefix // k).tolist())
+                    applied += first_overdraw
+                # This delete drains its slot: run the per-value spill policy
+                # (closest non-empty slots) on the exact intermediate state.
+                self._delete(float(arr[position + first_overdraw]))
+                applied += 1
+                position += first_overdraw + 1
+        except Exception as error:
+            error.applied_count = applied
+            raise
+        finally:
+            self._refresh_dirty(dirty)
+
     # ------------------------------------------------------------------
     # loading / bootstrap
     # ------------------------------------------------------------------
     def _bootstrap(self) -> None:
-        """Build the initial buckets from the loading buffer."""
+        """Build the initial bucket array from the loading buffer."""
         assert self._loading is not None
         items = sorted(self._loading.items())
         self._loading = None
         if not items:
             raise InsufficientDataError("loading phase ended with no data")
 
+        k = self._k
         values = [value for value, _ in items]
         if len(values) == 1:
             only_value, only_count = items[0]
-            self._buckets = [_VBucket(only_value, only_value, [float(only_count)] + [0.0] * (self._k - 1))]
+            lefts = np.asarray([only_value], dtype=float)
+            rights = np.asarray([only_value], dtype=float)
+            sub = np.zeros((1, k), dtype=float)
+            sub[0, 0] = float(only_count)
+            self._array = BucketArray(lefts, rights, sub)
         else:
-            borders = values  # one bucket between each pair of consecutive points
-            self._buckets = []
-            for i in range(len(borders) - 1):
-                self._buckets.append(_VBucket(borders[i], borders[i + 1], [0.0] * self._k))
+            # One bucket between each pair of consecutive points.
+            borders = values
+            n = len(borders) - 1
+            lefts = np.asarray(borders[:-1], dtype=float)
+            rights = np.asarray(borders[1:], dtype=float)
+            sub = np.zeros((n, k), dtype=float)
+            array = BucketArray(lefts, rights, sub)
             for value, count in items:
-                index = min(
-                    bisect.bisect_right(borders, value) - 1, len(self._buckets) - 1
-                )
+                index = min(bisect.bisect_right(borders, value) - 1, n - 1)
                 index = max(index, 0)
-                bucket = self._buckets[index]
-                bucket.counts[bucket.sub_bucket_index(value)] += float(count)
-        self._rebuild_caches()
+                sub[index, array.sub_index(index, value)] += float(count)
+            self._array = array
+        self._rebuild_phis()
         # The exposed buckets changed shape (loading point masses -> real
         # buckets); a bootstrap triggered from a read path must not leave a
         # stale segment view behind.
@@ -647,29 +818,34 @@ class DVOHistogram(DynamicHistogram):
     # ------------------------------------------------------------------
     def _locate_bucket(self, value: float) -> int:
         """Index of the bucket whose range contains (or is closest to) ``value``."""
-        index = bisect.bisect_right(self._lefts, value) - 1
-        index = max(0, min(index, len(self._buckets) - 1))
-        bucket = self._buckets[index]
-        if value > bucket.right and index + 1 < len(self._buckets):
+        array = self._array
+        n = len(array)
+        index = int(np.searchsorted(array.lefts, value, side="right")) - 1
+        index = max(0, min(index, n - 1))
+        right = array.rights[index]
+        if value > right and index + 1 < n:
             # ``value`` falls in a gap between bucket ``index`` and the next
             # one; stretch whichever border is closer.
-            next_bucket = self._buckets[index + 1]
-            if abs(value - bucket.right) <= abs(next_bucket.left - value):
-                self._resize_bucket(index, bucket.left, value)
+            next_left = array.lefts[index + 1]
+            if abs(value - right) <= abs(next_left - value):
+                self._resize_bucket(index, float(array.lefts[index]), value)
             else:
-                self._resize_bucket(index + 1, value, next_bucket.right)
+                self._resize_bucket(index + 1, value, float(array.rights[index + 1]))
                 return index + 1
         return index
 
     def _resize_bucket(self, index: int, new_left: float, new_right: float) -> None:
         """Change a bucket's range, re-projecting its mass onto the new sub-ranges."""
-        bucket = self._buckets[index]
         if new_right < new_left:
             raise ConfigurationError("new bucket range is inverted")
-        resized = _VBucket(new_left, new_right, [0.0] * self._k)
-        resized.counts = _project_segments(bucket.segments(), resized.borders())
-        self._buckets[index] = resized
-        self._lefts[index] = new_left
+        array = self._array
+        segments = array.row_segments(index)
+        array.lefts[index] = new_left
+        array.rights[index] = new_right
+        projected = _project_segments(segments, array.row_borders(index))
+        row = array.sub_counts[index]
+        row[:] = 0.0
+        row[: len(projected)] = projected
         self._refresh_bucket(index)
 
     def _insert_out_of_range(self, value: float) -> None:
@@ -680,15 +856,22 @@ class DVOHistogram(DynamicHistogram):
         bucket count is still under budget the stretch is free and must not
         inflate the repartition statistics.
         """
-        new_bucket = _VBucket(value, value, [1.0] + [0.0] * (self._k - 1))
-        if value < self._buckets[0].left:
+        array = self._array
+        new_counts = [1.0] + [0.0] * (self._k - 1)
+        if value < array.lefts[0]:
             index = 0
-            self._buckets.insert(0, new_bucket)
         else:
-            index = len(self._buckets)
-            self._buckets.append(new_bucket)
-        self._splice_after_insert(index)
-        if len(self._buckets) > self._budget:
+            index = len(array)
+        array.splice(index, index, [value], [value], [new_counts], phis=[0.0])
+        n = len(array)
+        if n >= 2:
+            if index == 0:
+                array.splice_pair_phis(0, 0, [self._merged_phi(0, 1)])
+            else:
+                array.splice_pair_phis(
+                    n - 1, n - 1, [self._merged_phi(n - 2, n - 1)]
+                )
+        if n > self._budget:
             merge_index = self._find_best_merge()
             if merge_index is not None:
                 self._merge_pair(merge_index)
@@ -697,75 +880,101 @@ class DVOHistogram(DynamicHistogram):
     # ------------------------------------------------------------------
     # phi caches
     # ------------------------------------------------------------------
-    def _bucket_phi(self, bucket: _VBucket) -> float:
-        if bucket.right == bucket.left:
-            # A point-mass bucket is a single segment: phi is exactly zero.
+    def _row_phi(self, left: float, right: float, counts: Sequence[float]) -> float:
+        """Phi of one bucket row (point masses are single segments: phi 0)."""
+        if right == left:
             return 0.0
         if self._k == 2:
-            n0, n1 = _k2_value_counts(bucket.left, bucket.right, self._value_unit)
-            counts = bucket.counts
-            return _phi_of_counts(
-                (n0, n1),
-                (counts[0], counts[1]),
-                self.metric is DeviationMetric.VARIANCE,
-            )
+            n0, n1 = _k2_value_counts(left, right, self._value_unit)
+            return _phi_of_counts((n0, n1), (counts[0], counts[1]), self._variance)
         return _phi_of_segments(
-            bucket.segments(),
-            self.metric is DeviationMetric.VARIANCE,
-            self._value_unit,
+            _row_segments(left, right, counts), self._variance, self._value_unit
         )
 
-    def _merged_phi(self, first: _VBucket, second: _VBucket) -> float:
-        if self._k == 2 and first.right != first.left and second.right != second.left:
-            n00, n01 = _k2_value_counts(first.left, first.right, self._value_unit)
-            n10, n11 = _k2_value_counts(second.left, second.right, self._value_unit)
+    def _pair_phi_rows(
+        self,
+        first_left: float,
+        first_right: float,
+        first_counts: Sequence[float],
+        second_left: float,
+        second_right: float,
+        second_counts: Sequence[float],
+    ) -> float:
+        """Phi of the hypothetical merge of two adjacent bucket rows."""
+        if self._k == 2 and first_right != first_left and second_right != second_left:
+            n00, n01 = _k2_value_counts(first_left, first_right, self._value_unit)
+            n10, n11 = _k2_value_counts(second_left, second_right, self._value_unit)
             return _phi_of_counts(
                 (n00, n01, n10, n11),
-                (first.counts[0], first.counts[1], second.counts[0], second.counts[1]),
-                self.metric is DeviationMetric.VARIANCE,
+                (first_counts[0], first_counts[1], second_counts[0], second_counts[1]),
+                self._variance,
             )
         return _phi_of_segments(
-            first.segments() + second.segments(),
-            self.metric is DeviationMetric.VARIANCE,
+            _row_segments(first_left, first_right, first_counts)
+            + _row_segments(second_left, second_right, second_counts),
+            self._variance,
             self._value_unit,
         )
 
-    def _rebuild_caches(self) -> None:
-        """Recompute every cache from scratch (bootstrap / deserialisation).
+    def _bucket_phi(self, index: int) -> float:
+        array = self._array
+        left = float(array.lefts[index])
+        right = float(array.rights[index])
+        if right == left:
+            return 0.0
+        return self._row_phi(left, right, array.sub_counts[index].tolist())
+
+    def _merged_phi(self, first: int, second: int) -> float:
+        array = self._array
+        return self._pair_phi_rows(
+            float(array.lefts[first]),
+            float(array.rights[first]),
+            array.sub_counts[first].tolist(),
+            float(array.lefts[second]),
+            float(array.rights[second]),
+            array.sub_counts[second].tolist(),
+        )
+
+    def _rebuild_phis(self) -> None:
+        """Recompute the phi caches from scratch (bootstrap / deserialisation).
 
         Steady-state maintenance never calls this: split, merge and
         out-of-range insertion splice the caches locally (only the touched
         bucket and its two adjacent pairs change).
         """
-        self._lefts = [bucket.left for bucket in self._buckets]
-        self._phis = [self._bucket_phi(bucket) for bucket in self._buckets]
-        self._pair_phis = [
-            self._merged_phi(self._buckets[i], self._buckets[i + 1])
-            for i in range(len(self._buckets) - 1)
-        ]
-
-    def _splice_after_insert(self, index: int) -> None:
-        """Splice the caches after a bucket was inserted at an end position."""
-        buckets = self._buckets
-        self._lefts.insert(index, buckets[index].left)
-        self._phis.insert(index, self._bucket_phi(buckets[index]))
-        if len(buckets) < 2:
-            return
-        if index == 0:
-            self._pair_phis.insert(0, self._merged_phi(buckets[0], buckets[1]))
-        else:
-            self._pair_phis.append(self._merged_phi(buckets[index - 1], buckets[index]))
+        array = self._array
+        n = len(array)
+        array.phis = np.asarray(
+            [self._bucket_phi(index) for index in range(n)], dtype=float
+        )
+        array.pair_phis = np.asarray(
+            [self._merged_phi(index, index + 1) for index in range(n - 1)], dtype=float
+        )
 
     def _refresh_bucket(self, index: int) -> None:
-        """Recompute cached phi values affected by a change to bucket ``index``."""
-        self._phis[index] = self._bucket_phi(self._buckets[index])
+        """Recompute cached phi values affected by a change to bucket ``index``.
+
+        One bulk ``tolist`` per array pulls the three-bucket neighbourhood out
+        as Python floats; the phi arithmetic then runs allocation-free.
+        """
+        array = self._array
+        n = array.lefts.shape[0]
+        low = index - 1 if index > 0 else 0
+        high = index + 2 if index + 2 <= n else n
+        lefts = array.lefts[low:high].tolist()
+        rights = array.rights[low:high].tolist()
+        subs = array.sub_counts[low:high].tolist()
+        at = index - low
+        array.phis[index] = self._row_phi(lefts[at], rights[at], subs[at])
         if index > 0:
-            self._pair_phis[index - 1] = self._merged_phi(
-                self._buckets[index - 1], self._buckets[index]
+            array.pair_phis[index - 1] = self._pair_phi_rows(
+                lefts[at - 1], rights[at - 1], subs[at - 1],
+                lefts[at], rights[at], subs[at],
             )
-        if index < len(self._buckets) - 1:
-            self._pair_phis[index] = self._merged_phi(
-                self._buckets[index], self._buckets[index + 1]
+        if index < n - 1:
+            array.pair_phis[index] = self._pair_phi_rows(
+                lefts[at], rights[at], subs[at],
+                lefts[at + 1], rights[at + 1], subs[at + 1],
             )
 
     # ------------------------------------------------------------------
@@ -776,32 +985,39 @@ class DVOHistogram(DynamicHistogram):
 
         Buckets no wider than one domain value cannot be split meaningfully
         (they correspond to the paper's width-one singular buckets), so they
-        are skipped.
+        are skipped.  First occurrence wins on ties, matching the historical
+        scan order.
         """
-        best_index: Optional[int] = None
-        best_phi = 0.0
-        for index, phi in enumerate(self._phis):
-            if self._buckets[index].width <= self._value_unit:
-                continue
-            if phi > best_phi:
-                best_phi = phi
-                best_index = index
-        return best_index
+        array = self._array
+        masked = np.where(
+            (array.rights - array.lefts) > self._value_unit, array.phis, -np.inf
+        )
+        best = int(np.argmax(masked))
+        # Covers both "largest phi is zero" and "no bucket is splittable"
+        # (argmax over all -inf) in one comparison.
+        if masked[best] <= 0.0:
+            return None
+        return best
 
     def _find_best_merge(self, *, exclude: Optional[int] = None) -> Optional[int]:
         """Left index of the adjacent pair whose merge has the smallest phi."""
-        best_index: Optional[int] = None
-        best_phi = float("inf")
-        for index, phi in enumerate(self._pair_phis):
-            if exclude is not None and index in (exclude - 1, exclude):
-                continue
-            if phi < best_phi:
-                best_phi = phi
-                best_index = index
-        return best_index
+        pair_phis = self._array.pair_phis
+        if pair_phis.size == 0:
+            return None
+        if exclude is None:
+            return int(np.argmin(pair_phis))
+        masked = pair_phis.copy()
+        if exclude - 1 >= 0:
+            masked[exclude - 1] = np.inf
+        if exclude < masked.size:
+            masked[exclude] = np.inf
+        best = int(np.argmin(masked))
+        if masked[best] == np.inf:
+            return None
+        return best
 
     def _maybe_repartition(self) -> None:
-        if len(self._buckets) < 3:
+        if len(self._array) < 3:
             return
         split_index = self._find_best_split()
         if split_index is None:
@@ -809,7 +1025,8 @@ class DVOHistogram(DynamicHistogram):
         merge_index = self._find_best_merge(exclude=split_index)
         if merge_index is None:
             return
-        delta_phi = self._pair_phis[merge_index] - self._phis[split_index]
+        array = self._array
+        delta_phi = array.pair_phis[merge_index] - array.phis[split_index]
         if delta_phi > self._threshold:
             return
         self._split_and_merge(split_index, merge_index)
@@ -827,80 +1044,105 @@ class DVOHistogram(DynamicHistogram):
             self._merge_pair(merge_index)
 
     def _merge_pair(self, index: int) -> None:
-        """Merge buckets ``index`` and ``index + 1`` into one.
+        """Merge buckets ``index`` and ``index + 1`` into one array row.
 
         Only the merged bucket's phi and the (at most two) pairs adjacent to
-        it change; the caches are spliced in an O(1)-sized neighbourhood
+        it change; every array is spliced in an O(1)-sized neighbourhood
         instead of rebuilt.
         """
-        first, second = self._buckets[index], self._buckets[index + 1]
-        merged = _VBucket(first.left, second.right, [0.0] * self._k)
-        merged.counts = _project_segments(
-            first.segments() + second.segments(), merged.borders()
+        array = self._array
+        merged_left = float(array.lefts[index])
+        merged_right = float(array.rights[index + 1])
+        segments = array.row_segments(index) + array.row_segments(index + 1)
+        k = self._k
+        if merged_right == merged_left:
+            total = sum(count for _, _, count in segments)
+            merged_counts = [total] + [0.0] * (k - 1)
+        else:
+            step = (merged_right - merged_left) / k
+            borders = [merged_left + i * step for i in range(k)] + [merged_right]
+            merged_counts = _project_segments(segments, borders)
+        merged_phi = self._row_phi(merged_left, merged_right, merged_counts)
+        array.splice(
+            index,
+            index + 2,
+            [merged_left],
+            [merged_right],
+            [merged_counts],
+            phis=[merged_phi],
         )
-        buckets = self._buckets
-        buckets[index : index + 2] = [merged]
-        del self._lefts[index + 1]
-        self._phis[index : index + 2] = [self._bucket_phi(merged)]
         new_pairs = []
         if index > 0:
-            new_pairs.append(self._merged_phi(buckets[index - 1], merged))
-        if index + 1 < len(buckets):
-            new_pairs.append(self._merged_phi(merged, buckets[index + 1]))
+            new_pairs.append(self._merged_phi(index - 1, index))
+        if index + 1 < len(array):
+            new_pairs.append(self._merged_phi(index, index + 1))
         low = index - 1 if index > 0 else 0
-        self._pair_phis[low : index + 2] = new_pairs
+        array.splice_pair_phis(low, index + 2, new_pairs)
 
     def _split_bucket(self, index: int) -> None:
         """Split bucket ``index`` at its most balanced internal border."""
-        bucket = self._buckets[index]
-        if bucket.is_point_mass:
+        array = self._array
+        left = float(array.lefts[index])
+        right = float(array.rights[index])
+        if right == left:
             return
-        borders = bucket.borders()
-        k = len(bucket.counts)
-        total = bucket.count
+        counts = [float(c) for c in array.sub_counts[index]]
+        k = self._k
+        borders = array.row_borders(index)
+        total = 0.0
+        for count in counts:
+            total += count
         # Pick the interior border that divides the count most evenly (for the
         # paper's k = 2 this is simply the midpoint).
         best_border_index = 1
         best_imbalance = float("inf")
         cumulative = 0.0
         for border_index in range(1, k):
-            cumulative += bucket.counts[border_index - 1]
+            cumulative += counts[border_index - 1]
             imbalance = abs(cumulative - (total - cumulative))
             if imbalance < best_imbalance:
                 best_imbalance = imbalance
                 best_border_index = border_index
         split_value = borders[best_border_index]
-        left_count = sum(bucket.counts[:best_border_index])
+        left_count = sum(counts[:best_border_index])
         right_count = total - left_count
 
-        left_bucket = _VBucket(bucket.left, split_value, [left_count / k] * k)
-        right_bucket = _VBucket(split_value, bucket.right, [right_count / k] * k)
-        buckets = self._buckets
-        buckets[index : index + 1] = [left_bucket, right_bucket]
-        # Splice the caches locally: only the two new buckets and the pairs
-        # touching them change.
-        self._lefts[index : index + 1] = [left_bucket.left, right_bucket.left]
-        self._phis[index : index + 1] = [
-            self._bucket_phi(left_bucket),
-            self._bucket_phi(right_bucket),
-        ]
+        left_row = [left_count / k] * k
+        right_row = [right_count / k] * k
+        array.splice(
+            index,
+            index + 1,
+            [left, split_value],
+            [split_value, right],
+            [left_row, right_row],
+            phis=[
+                self._row_phi(left, split_value, left_row),
+                self._row_phi(split_value, right, right_row),
+            ],
+        )
         new_pairs = []
         if index > 0:
-            new_pairs.append(self._merged_phi(buckets[index - 1], left_bucket))
-        new_pairs.append(self._merged_phi(left_bucket, right_bucket))
-        if index + 2 < len(buckets):
-            new_pairs.append(self._merged_phi(right_bucket, buckets[index + 2]))
+            new_pairs.append(self._merged_phi(index - 1, index))
+        new_pairs.append(self._merged_phi(index, index + 1))
+        if index + 2 < len(array):
+            new_pairs.append(self._merged_phi(index + 1, index + 2))
         low = index - 1 if index > 0 else 0
-        self._pair_phis[low : index + 1] = new_pairs
+        array.splice_pair_phis(low, index + 1, new_pairs)
 
     # ------------------------------------------------------------------
     # deletion helper
     # ------------------------------------------------------------------
     def _deletion_candidates(self, value: float) -> List[Tuple[int, int]]:
         """Sub-bucket slots ordered by how close their range lies to ``value``."""
+        array = self._array
+        lefts = array.lefts.tolist()
+        rights = array.rights.tolist()
+        subs = array.sub_counts.tolist()
         candidates: List[Tuple[float, int, int]] = []
-        for bucket_index, bucket in enumerate(self._buckets):
-            for sub_index, (left, right, _count) in enumerate(bucket.segments()):
+        for bucket_index, (bucket_left, bucket_right) in enumerate(zip(lefts, rights)):
+            segments = _row_segments(bucket_left, bucket_right, subs[bucket_index])
+            for sub_index in range(len(segments)):
+                left, right, _count = segments[sub_index]
                 if left <= value <= right:
                     distance = 0.0
                 else:

@@ -1,29 +1,36 @@
-"""Cached vectorised view of a histogram's piecewise-uniform segments.
+"""Vectorised view of a histogram's piecewise-uniform segments.
 
 Every read operation of :class:`~repro.core.base.Histogram` -- total count,
 range estimation, equality estimation, CDF evaluation -- is ultimately a
-computation over the histogram's bucket list.  Re-materialising that list (and
-looping over freshly allocated :class:`~repro.core.bucket.Bucket` objects) on
-every call makes the estimation hot path O(B) Python work per query, which is
-far too slow for the heavy-traffic serving the ROADMAP targets.
+computation over the histogram's segments.  Looping over freshly allocated
+:class:`~repro.core.bucket.Bucket` objects on every call makes the estimation
+hot path O(B) Python work per query, which is far too slow for the
+heavy-traffic serving the ROADMAP targets.
 
-:class:`SegmentView` is an immutable numpy snapshot of the bucket list:
+:class:`SegmentView` answers those queries from numpy arrays:
 
-* point-mass buckets as sorted ``(values, counts)`` arrays with a prefix-sum,
-* regular (positive-width) buckets as sorted ``(lefts, rights, counts)``
+* point-mass segments as sorted ``(values, counts)`` arrays with a prefix-sum,
+* regular (positive-width) segments as sorted ``(lefts, rights, counts)``
   arrays with widths and a prefix-sum of counts.
 
 With the prefix sums, ``count_at_most`` and friends become a ``searchsorted``
 (O(log B)) plus O(1) arithmetic, and the ``*_many`` variants evaluate a whole
 query batch with a handful of vectorised numpy operations.
 
-Views are cached on the histogram and invalidated through a *generation
-counter*: every mutator bumps the histogram's ``_view_generation`` and the
-cached view is rebuilt lazily on the next read (see
-:meth:`~repro.core.base.Histogram.segment_view`).  The fast paths assume the
-regular buckets are sorted and non-overlapping (true for every histogram in
-the library); a view built from overlapping buckets sets ``fast = False`` and
-the base class falls back to the exact per-bucket loops.
+Views are built **directly from the histogram's live array state** (the
+:class:`~repro.core.bucket_array.BucketArray` single source of truth): the
+input border/count arrays are adopted without copying whenever the segment
+list is already sorted and free of point masses, so constructing a view costs
+only the prefix sums.  There is no generation counter any more -- a histogram
+caches its view and simply drops the cache on mutation (see
+:meth:`~repro.core.base.Histogram.segment_view`).  Consequently a view is
+valid until its source histogram's next mutation; library code always
+re-fetches through ``segment_view()`` rather than holding one across writes.
+
+The fast paths assume the regular segments are sorted and non-overlapping
+(true for every histogram in the library); a view built from overlapping
+segments sets ``fast = False`` and the base class falls back to the exact
+per-bucket loops.
 """
 
 from __future__ import annotations
@@ -38,10 +45,9 @@ __all__ = ["SegmentView"]
 
 
 class SegmentView:
-    """Immutable numpy snapshot of a bucket list, tagged with a generation."""
+    """Vectorised numpy view of a segment list (borders, counts, prefix sums)."""
 
     __slots__ = (
-        "generation",
         "n_buckets",
         "total",
         "first_left",
@@ -57,20 +63,34 @@ class SegmentView:
         "fast",
     )
 
-    def __init__(self, buckets: Sequence[Bucket], generation: int) -> None:
-        self.generation = generation
-        self.n_buckets = len(buckets)
-
-        lefts = np.asarray([bucket.left for bucket in buckets], dtype=float)
-        rights = np.asarray([bucket.right for bucket in buckets], dtype=float)
-        counts = np.asarray([bucket.count for bucket in buckets], dtype=float)
+    def __init__(
+        self, lefts: np.ndarray, rights: np.ndarray, counts: np.ndarray
+    ) -> None:
+        lefts = np.asarray(lefts, dtype=float)
+        rights = np.asarray(rights, dtype=float)
+        counts = np.asarray(counts, dtype=float)
+        self.n_buckets = int(lefts.shape[0])
         self.total = float(counts.sum()) if self.n_buckets else 0.0
         self.first_left = float(lefts[0]) if self.n_buckets else 0.0
         self.last_right = float(rights[-1]) if self.n_buckets else 0.0
 
         point = rights == lefts
-        pm_values = lefts[point]
-        pm_counts = counts[point]
+        if point.any():
+            pm_values = lefts[point]
+            pm_counts = counts[point]
+            regular = ~point
+            reg_lefts = lefts[regular]
+            reg_rights = rights[regular]
+            reg_counts = counts[regular]
+        else:
+            # Common case (all segments have positive width): adopt the live
+            # arrays as-is -- building the view is zero-copy up to the prefix
+            # sums.
+            pm_values = np.empty(0, dtype=float)
+            pm_counts = np.empty(0, dtype=float)
+            reg_lefts = lefts
+            reg_rights = rights
+            reg_counts = counts
         if pm_values.size > 1 and np.any(np.diff(pm_values) < 0):
             order = np.argsort(pm_values, kind="stable")
             pm_values = pm_values[order]
@@ -79,10 +99,6 @@ class SegmentView:
         self.pm_counts = pm_counts
         self.pm_prefix = np.concatenate(([0.0], np.cumsum(pm_counts)))
 
-        regular = ~point
-        reg_lefts = lefts[regular]
-        reg_rights = rights[regular]
-        reg_counts = counts[regular]
         if reg_lefts.size > 1 and np.any(np.diff(reg_lefts) < 0):
             order = np.argsort(reg_lefts, kind="stable")
             reg_lefts = reg_lefts[order]
@@ -94,10 +110,19 @@ class SegmentView:
         self.reg_widths = reg_rights - reg_lefts
         self.reg_prefix = np.concatenate(([0.0], np.cumsum(reg_counts)))
 
-        # The O(log B) paths require the regular buckets to be disjoint (they
+        # The O(log B) paths require the regular segments to be disjoint (they
         # may share borders); anything else falls back to per-bucket loops.
         self.fast = bool(
             reg_lefts.size < 2 or np.all(reg_lefts[1:] >= reg_rights[:-1])
+        )
+
+    @classmethod
+    def from_buckets(cls, buckets: Sequence[Bucket]) -> "SegmentView":
+        """Build a view from a materialised bucket list (generic fallback)."""
+        return cls(
+            np.asarray([bucket.left for bucket in buckets], dtype=float),
+            np.asarray([bucket.right for bucket in buckets], dtype=float),
+            np.asarray([bucket.count for bucket in buckets], dtype=float),
         )
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core.base import Histogram
 from ..core.bucket import Bucket
+from ..core.bucket_array import BucketArray
 from ..core.deviation import DeviationMetric, segments_phi
 from ..exceptions import ConfigurationError
 from ..static.base import StaticHistogram
@@ -41,7 +42,7 @@ class UnionHistogram(StaticHistogram):
         if buckets:
             super().__init__(buckets)
         else:
-            self._buckets = []
+            self._array = BucketArray.empty(1)
             self.segment_view()
 
 

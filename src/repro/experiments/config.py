@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from .._validation import require_positive_float, require_positive_int
 from ..exceptions import ConfigurationError

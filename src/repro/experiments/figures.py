@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.dynamic_compressed import DCHistogram
-from ..core.dynamic_vopt import DADOHistogram, DVOHistogram
+from ..core.dynamic_vopt import DADOHistogram
 from ..core.factory import build_dynamic_histogram, build_static_histogram
 from ..core.memory import MemoryModel
 from ..datagen.clusters import ClusterDistributionConfig, generate_cluster_values
@@ -33,7 +33,6 @@ from ..metrics.ks import ks_statistic
 from ..static.compressed import CompressedHistogram
 from ..workloads.streams import (
     UpdateStream,
-    insertions_then_random_deletions,
     random_insertions,
     sorted_insertions,
 )

@@ -22,10 +22,13 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, Union
+
+import numpy as np
 
 from .core.base import Histogram
 from .core.bucket import Bucket
+from .core.bucket_array import BucketArray
 from .core.dynamic_compressed import DCHistogram
 from .core.dynamic_vopt import DADOHistogram, DVOHistogram
 from .exceptions import ConfigurationError
@@ -113,9 +116,14 @@ def _dc_to_dict(histogram: DCHistogram) -> Dict[str, Any]:
     if histogram.is_loading:
         state["loading"] = sorted(histogram._loading.items())
     else:
-        state["lefts"] = list(histogram._lefts)
-        state["counts"] = list(histogram._counts)
-        state["right"] = histogram._right
+        array = histogram.bucket_array
+        # The serialised shape predates the array-native core (PR 4): regular
+        # buckets as contiguous ``lefts`` + the final ``right`` border plus a
+        # parallel ``counts`` list.  Keeping it stable means PR-3-era catalog
+        # snapshots load unchanged.
+        state["lefts"] = [float(v) for v in array.lefts]
+        state["counts"] = [float(v) for v in array.sub_counts[:, 0]]
+        state["right"] = float(array.rights[-1]) if len(array) else 0.0
         state["singular"] = sorted(histogram._singular.items())
     return state
 
@@ -132,16 +140,21 @@ def _dc_from_dict(state: Dict[str, Any]) -> DCHistogram:
         histogram._invalidate_view()
         return histogram
     histogram._loading = None
-    histogram._lefts = [float(v) for v in state["lefts"]]
-    histogram._counts = [float(v) for v in state["counts"]]
-    histogram._right = float(state["right"])
+    lefts = [float(v) for v in state["lefts"]]
+    counts = [float(v) for v in state["counts"]]
+    right = float(state["right"])
+    histogram._array = BucketArray(
+        np.asarray(lefts, dtype=float),
+        np.asarray(lefts[1:] + [right], dtype=float),
+        np.asarray(counts, dtype=float).reshape(-1, 1),
+    )
     histogram._singular = {float(v): float(c) for v, c in state["singular"]}
-    histogram._regular_total = sum(histogram._counts)
-    histogram._regular_sumsq = sum(count * count for count in histogram._counts)
+    histogram._regular_total = sum(counts)
+    histogram._regular_sumsq = sum(count * count for count in counts)
     # Direct state restoration bypasses the insert/delete template methods, so
-    # the segment-view cache invariant must be re-established by hand (it is
-    # currently a no-op on a never-read instance, but keeps the restore path
-    # safe if a read ever sneaks in between construction and restoration).
+    # the stale-view guard must be re-established by hand (it is currently a
+    # no-op on a never-read instance, but keeps the restore path safe if a
+    # read ever sneaks in between construction and restoration).
     histogram._invalidate_view()
     return histogram
 
@@ -162,9 +175,9 @@ def _dvo_to_dict(histogram: DVOHistogram) -> Dict[str, Any]:
     if histogram.is_loading:
         state["loading"] = sorted(histogram._loading.items())
     else:
-        state["buckets"] = [
-            [bucket.left, bucket.right, list(bucket.counts)] for bucket in histogram._buckets
-        ]
+        # Same ``[left, right, [sub_counts...]]`` row shape as the pre-array
+        # core, so PR-3-era snapshots and the new core interchange freely.
+        state["buckets"] = histogram.bucket_array.to_rows()
     return state
 
 
@@ -181,16 +194,16 @@ def _dvo_from_dict(state: Dict[str, Any]) -> DVOHistogram:
         histogram._loading = {float(v): int(c) for v, c in state["loading"]}
         histogram._invalidate_view()
         return histogram
-    from .core.dynamic_vopt import _VBucket
-
     histogram._loading = None
-    histogram._buckets = [
-        _VBucket(float(left), float(right), [float(c) for c in counts])
-        for left, right, counts in state["buckets"]
-    ]
-    # _rebuild_caches restores _lefts/_phis/_pair_phis; the segment-view
-    # generation must be bumped separately because direct state restoration
-    # bypasses the insert/delete template methods (see ROADMAP invariant).
-    histogram._rebuild_caches()
+    # Legacy rows may carry a collapsed single-counter list for point-mass
+    # buckets; from_rows pads them back to the full sub-bucket width.
+    histogram._array = BucketArray.from_rows(
+        ((left, right, counts) for left, right, counts in state["buckets"]),
+        int(state["sub_buckets"]),
+    )
+    # The phi / pair-phi caches are derived state: rebuild them from the
+    # restored arrays, and drop any view a read may have created (direct
+    # state restoration bypasses the insert/delete template methods).
+    histogram._rebuild_phis()
     histogram._invalidate_view()
     return histogram

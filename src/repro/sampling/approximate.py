@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from .._validation import require_positive_float, require_positive_int
+from .._validation import require_positive_int
 from ..core.base import DynamicHistogram
 from ..core.bucket import Bucket
 from ..exceptions import DeletionError

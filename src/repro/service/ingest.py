@@ -4,7 +4,8 @@ Per-value inserts against a :class:`~repro.service.store.HistogramStore` pay a
 registry lookup, a lock round-trip and a maintenance check for every single
 value.  The :class:`IngestPipeline` amortises all three: submitted values are
 buffered per attribute and flushed through the store's bulk paths
-(``insert_many`` with a maintenance batching interval) when
+(``insert_many`` with a maintenance batching interval; delete runs through
+the equally vectorised ``delete_many``) when
 
 * an attribute's buffer reaches ``max_batch`` pending operations
   (*size trigger*), or
@@ -156,8 +157,8 @@ class IngestPipeline:
           stream;
         * any other error re-queues only operations *known to be unapplied*
           at the front of the buffer and propagates to the caller.  When the
-          store reports how far the failing run got (``applied_count`` on
-          partial delete batches), the already-applied prefix is not requeued
+          failing run reports how far it got (``applied_count`` on partial
+          delete batches), the already-applied prefix is not requeued
           and the poisoned value itself is dropped -- retrying it would fail
           forever.  When progress is unknown (a failing insert batch, or a
           batch rejected by boundary validation), the failing run is dropped

@@ -289,24 +289,25 @@ class HistogramStore:
         return len(values)
 
     def delete(self, name: str, values: Iterable[float]) -> int:
-        """Delete a batch of values from one attribute; returns the batch size."""
+        """Delete a batch of values from one attribute; returns the batch size.
+
+        The batch goes through the histogram's vectorised ``delete_many``
+        path (one ``searchsorted`` + ``bincount`` binning pass for in-range
+        batches), mirroring :meth:`insert`.  On failure the histogram reports
+        how far the batch got via ``applied_count`` on the raised exception,
+        which callers (the ingest pipeline's requeue logic) use to avoid
+        re-applying the prefix.
+        """
         values = _validated_values(values)
         if not values:
             return 0
         attribute = self._attribute(name)
         with attribute.lock:
-            applied = 0
             try:
-                delete = attribute.histogram.delete
-                for value in values:
-                    delete(value)
-                    applied += 1
+                attribute.histogram.delete_many(values)
                 attribute.deleted += len(values)
             except Exception as error:
-                # Report how far the batch got so callers (the ingest
-                # pipeline's requeue logic) can avoid re-applying the prefix.
-                error.applied_count = applied
-                attribute.deleted += applied
+                attribute.deleted += int(getattr(error, "applied_count", 0))
                 raise
             finally:
                 # As in insert: a DeletionError mid-batch leaves earlier

@@ -15,6 +15,8 @@ import numpy as np
 from .._validation import require_positive_int
 from ..core.base import Histogram
 from ..core.bucket import Bucket
+from ..core.bucket_array import BucketArray
+from ..core.segment_view import SegmentView
 from ..exceptions import ConfigurationError, InsufficientDataError
 from ..metrics.distribution import DataDistribution
 
@@ -117,11 +119,11 @@ def frequency_elements(
 class StaticHistogram(Histogram):
     """A histogram whose buckets are fixed at construction time.
 
-    Because the bucket list never changes, the vectorised segment view (see
-    :meth:`~repro.core.base.Histogram.segment_view`) is built once, eagerly,
-    and every estimation call afterwards is an O(log B) array lookup; the
-    generation counter stays at its initial value for the histogram's
-    lifetime.
+    The supplied bucket list is converted once into a contiguous
+    :class:`~repro.core.bucket_array.BucketArray` (the borders/counts single
+    source of truth) and the vectorised segment view is built eagerly from
+    those arrays; every estimation call afterwards is an O(log B) array
+    lookup, and :meth:`buckets` is a derived view materialised on demand.
     """
 
     def __init__(self, buckets: Sequence[Bucket]) -> None:
@@ -131,11 +133,28 @@ class StaticHistogram(Histogram):
         for previous, current in zip(ordered, ordered[1:]):
             if current.left < previous.left:
                 raise ConfigurationError("buckets must be supplied in ascending value order")
-        self._buckets: List[Bucket] = ordered
+        self._array = BucketArray(
+            np.asarray([bucket.left for bucket in ordered], dtype=float),
+            np.asarray([bucket.right for bucket in ordered], dtype=float),
+            np.asarray([bucket.count for bucket in ordered], dtype=float).reshape(-1, 1),
+        )
         self.segment_view()
 
+    @property
+    def bucket_array(self) -> BucketArray:
+        """The immutable border/count arrays backing this histogram."""
+        return self._array
+
     def buckets(self) -> List[Bucket]:
-        return list(self._buckets)
+        array = self._array
+        return [
+            Bucket(float(array.lefts[i]), float(array.rights[i]), float(array.sub_counts[i, 0]))
+            for i in range(len(array))
+        ]
+
+    def _build_view(self) -> SegmentView:
+        array = self._array
+        return SegmentView(array.lefts, array.rights, array.sub_counts[:, 0])
 
     @classmethod
     def build(cls, data: DataDistribution, n_buckets: int) -> "StaticHistogram":

@@ -10,7 +10,7 @@ discussion and so the estimation examples have realistic predicate workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

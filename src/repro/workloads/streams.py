@@ -10,7 +10,7 @@ evaluated in Section 7 of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Sequence
 
 import numpy as np
 

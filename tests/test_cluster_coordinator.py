@@ -100,6 +100,31 @@ class TestScatterGatherIngest:
         assert coordinator.total_count("age") == pytest.approx(3.0)
         assert coordinator.total_count("hot") == pytest.approx(2.0)
 
+    def test_ingest_batch_applies_deletes(self, coordinator):
+        coordinator.create("age", "dc", memory_kb=0.5)
+        coordinator.create("hot", "dc", memory_kb=0.5, partition_boundaries=[100.0])
+        coordinator.ingest_batch(
+            {"age": [10.0] * 6, "hot": [50.0] * 8 + [150.0] * 8}
+        )
+        report = coordinator.ingest_batch(
+            {
+                "age": {"insert": [11.0, 12.0], "delete": [10.0, 10.0, 10.0]},
+                "hot": {"delete": [50.0, 150.0]},
+            }
+        )
+        assert report["inserted"] == 2
+        assert report["deleted"] == 5
+        assert sum(report["per_shard"].values()) == 2
+        assert sum(report["per_shard_deleted"].values()) == 5
+        assert coordinator.total_count("age") == pytest.approx(5.0)
+        assert coordinator.total_count("hot") == pytest.approx(14.0)
+        # Partitioned deletes must have landed on the piece owning the value.
+        partition = coordinator.router.partition_for("hot")
+        low_shard = partition.shard_for_value(50.0)
+        high_shard = partition.shard_for_value(150.0)
+        assert coordinator.shard(low_shard).store.total_count("hot") == pytest.approx(7.0)
+        assert coordinator.shard(high_shard).store.total_count("hot") == pytest.approx(7.0)
+
     def test_unknown_attribute_propagates(self, coordinator):
         with pytest.raises(UnknownAttributeError):
             coordinator.ingest("ghost", insert=[1.0])

@@ -58,6 +58,23 @@ class TestClusterRoutes:
         assert partitioned["partitioned"] is True
         assert len(partitioned["pieces"]) == 2
 
+    def test_ingest_batch_route_with_deletes(self, client):
+        client.create("age", "dc", memory_kb=0.5)
+        client.create("hot", "dc", memory_kb=0.5, partition_boundaries=[100.0])
+        report = client.ingest_batch({"age": [10.0] * 5, "hot": [50.0, 150.0]})
+        assert report["inserted"] == 7
+        report = client.ingest_batch(
+            {"age": {"insert": [11.0], "delete": [10.0, 10.0]}, "hot": {"delete": [50.0]}}
+        )
+        assert report["inserted"] == 1
+        assert report["deleted"] == 3
+        assert client.total_count("age") == pytest.approx(4.0)
+        assert client.total_count("hot") == pytest.approx(1.0)
+
+    def test_ingest_batch_route_rejects_malformed_items(self, client):
+        with pytest.raises(ServiceError):
+            client.ingest_batch({"age": "not-a-list"})
+
     def test_cluster_stats_route(self, client):
         client.create("hot", "dc", partition_boundaries=[10.0])
         client.ingest("hot", insert=[5.0, 15.0])

@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Bucket, DataDistribution, EquiDepthHistogram, ExactHistogram
-from repro.exceptions import EmptyHistogramError
+from repro import Bucket, EquiDepthHistogram
 from repro.static.base import StaticHistogram
 
 

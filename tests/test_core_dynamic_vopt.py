@@ -206,7 +206,7 @@ class TestOutOfRangeRepartitionCount:
             histogram.insert(value)
         histogram.sub_bucketed_buckets()  # force the bootstrap under budget
         assert not histogram.is_loading
-        assert len(histogram._buckets) < histogram.bucket_budget
+        assert len(histogram.bucket_array) < histogram.bucket_budget
         histogram.insert(500.0)
         assert histogram.repartition_count == 0
         histogram.insert(-500.0)
@@ -218,11 +218,11 @@ class TestOutOfRangeRepartitionCount:
         for value in [1.0, 2.0, 3.0, 4.0]:
             histogram.insert(value)  # bootstraps into exactly 3 buckets
         assert not histogram.is_loading
-        assert len(histogram._buckets) == histogram.bucket_budget
+        assert len(histogram.bucket_array) == histogram.bucket_budget
         before = histogram.repartition_count
         histogram.insert(100.0)
         assert histogram.repartition_count == before + 1
-        assert len(histogram._buckets) == histogram.bucket_budget
+        assert len(histogram.bucket_array) == histogram.bucket_budget
 
 
 class TestSubBucketAblation:

@@ -121,6 +121,91 @@ class TestFileRoundTrip:
         assert payload["bucket_budget"] == 20
 
 
+class TestPR3SnapshotBackCompat:
+    """PR-3-era JSON snapshots must load into the array core bit-identically.
+
+    ``tests/data/pr3_snapshots.json`` holds histogram dicts serialised by the
+    pre-array-core persistence layer together with estimates computed by that
+    implementation.  The new core must restore them to the exact same
+    answers, and a dict -> core -> dict round trip must be a fixed point
+    (modulo the documented padding of legacy collapsed point-mass counter
+    lists).
+    """
+
+    @pytest.fixture(scope="class")
+    def fixture(self):
+        import json
+        from pathlib import Path
+
+        path = Path(__file__).parent / "data" / "pr3_snapshots.json"
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    @pytest.mark.parametrize("kind", ["dado", "dc"])
+    def test_legacy_snapshot_estimates_are_bit_identical(self, fixture, kind):
+        restored = histogram_from_dict(fixture["snapshots"][kind])
+        expected = fixture["expected"][kind]
+        assert float(restored.total_count) == expected["total"]
+        for (low, high), want in zip(fixture["queries"], expected["ranges"]):
+            assert float(restored.estimate_range(float(low), float(high))) == want
+        assert float(restored.estimate_equal(55.0)) == expected["equal_55"]
+        assert float(restored.cdf(100.0)) == expected["cdf_100"]
+
+    @pytest.mark.parametrize("kind", ["dado", "dc"])
+    def test_old_dict_new_core_dict_round_trip(self, fixture, kind):
+        state = fixture["snapshots"][kind]
+        first = histogram_to_dict(histogram_from_dict(state))
+        # The re-serialised dict must itself be a fixed point ...
+        second = histogram_to_dict(histogram_from_dict(first))
+        assert first == second
+        # ... and semantically identical to the legacy dict: same buckets,
+        # same configuration, same continued-maintenance behaviour.
+        legacy = histogram_from_dict(state)
+        modern = histogram_from_dict(first)
+        _buckets_equal(legacy, modern)
+        legacy.insert_many([float(v % 130) for v in range(300)], repartition_interval=4)
+        modern.insert_many([float(v % 130) for v in range(300)], repartition_interval=4)
+        _buckets_equal(legacy, modern)
+
+    @pytest.mark.parametrize("kind", ["dado", "dc"])
+    def test_store_snapshot_blob_restores(self, fixture, kind):
+        from repro import HistogramStore
+
+        store = HistogramStore()
+        blob = {
+            "name": "legacy",
+            "kind": kind,
+            "memory_kb": 1.0,
+            "generation": 7,
+            "inserted": 500,
+            "deleted": 37,
+            "histogram": fixture["snapshots"][kind],
+        }
+        stats = store.restore("legacy", blob)
+        assert stats.generation > 7
+        assert store.total_count("legacy") == fixture["expected"][kind]["total"]
+
+    def test_legacy_collapsed_point_mass_rows_are_padded(self):
+        # The pre-array core serialised point-mass buckets created by border
+        # projection with a single collapsed counter; the array core pads the
+        # row back to the configured sub-bucket width without losing mass.
+        state = {
+            "format_version": 1,
+            "kind": "dado",
+            "bucket_budget": 4,
+            "sub_buckets": 2,
+            "value_unit": 1.0,
+            "repartition_threshold": 0.0,
+            "repartition_count": 0,
+            "buckets": [[0.0, 10.0, [3.0, 4.0]], [42.0, 42.0, [5.0]]],
+        }
+        restored = histogram_from_dict(state)
+        assert restored.total_count == pytest.approx(12.0)
+        array = restored.bucket_array
+        assert array.sub_counts.shape == (2, 2)
+        assert float(array.sub_counts[1, 0]) == 5.0
+        assert float(array.sub_counts[1, 1]) == 0.0
+
+
 class TestRestoreCacheInvariant:
     """Restored histograms must never serve a stale segment view.
 
@@ -153,15 +238,19 @@ class TestRestoreCacheInvariant:
         )
         assert restored.estimate_range(low, high) == pytest.approx(expected_range)
 
-    def test_restore_bumps_view_generation(self, uniform_values):
+    def test_restore_leaves_no_stale_view(self, uniform_values):
         original = DADOHistogram(20)
         for value in uniform_values:
             original.insert(float(value))
         restored = histogram_from_dict(histogram_to_dict(original))
-        # Restoration is a mutation: the fresh instance must not sit at the
-        # class-level generation with unestablished caches.
-        assert restored._view_generation > 0
+        # Restoration is a mutation: the restore path must drop any cached
+        # view so the first read derives one from the restored arrays.
         assert restored._view_cache is None
+        view = restored.segment_view()
+        assert view.total == pytest.approx(original.total_count)
+        assert restored.segment_view() is view  # cached until the next mutation
+        restored.insert(1234.5)
+        assert restored.segment_view() is not view
 
     @pytest.mark.parametrize("histogram_class", [DVOHistogram, DADOHistogram])
     def test_read_path_bootstrap_after_loading_restore_refreshes_view(self, histogram_class):

@@ -264,10 +264,51 @@ def test_dynamic_vopt_mass_conservation_under_interleaved_stream(histogram_class
     np.testing.assert_allclose(histogram.total_count, live, rtol=1e-9, atol=1e-6)
 
 
+def _assert_view_matches_array_state(histogram):
+    """The derived views and the BucketArray single source of truth agree.
+
+    * the exposed ``buckets()`` list carries exactly the array's mass,
+    * the zero-copy ``segment_view()`` answers queries identically to a view
+      materialised from the exposed bucket list,
+    * the spliced phi / pair-phi caches are bit-identical to a from-scratch
+      rebuild from the borders and sub-counts.
+    """
+    from repro.core.segment_view import SegmentView
+
+    array = histogram.bucket_array
+    buckets = histogram.buckets()
+
+    total_from_buckets = float(sum(bucket.count for bucket in buckets))
+    np.testing.assert_allclose(total_from_buckets, array.total(), rtol=1e-12, atol=1e-9)
+
+    view = histogram.segment_view()
+    reference = SegmentView.from_buckets(buckets)
+    assert view.fast == reference.fast
+    assert view.n_buckets == reference.n_buckets
+    np.testing.assert_allclose(view.total, reference.total, rtol=1e-12, atol=1e-9)
+    np.testing.assert_array_equal(view.pm_values, reference.pm_values)
+    np.testing.assert_allclose(view.pm_counts, reference.pm_counts, rtol=1e-12)
+    np.testing.assert_array_equal(view.reg_lefts, reference.reg_lefts)
+    np.testing.assert_array_equal(view.reg_rights, reference.reg_rights)
+    np.testing.assert_allclose(view.reg_counts, reference.reg_counts, rtol=1e-12)
+
+    spliced_phis = array.phis.copy()
+    spliced_pairs = array.pair_phis.copy()
+    histogram._rebuild_phis()
+    np.testing.assert_array_equal(spliced_phis, array.phis)
+    np.testing.assert_array_equal(spliced_pairs, array.pair_phis)
+
+
 @given(interleaved_stream())
 @settings(max_examples=25, deadline=None)
-def test_incremental_phi_caches_match_full_rebuild(ops):
-    """The spliced phi / border caches always equal a from-scratch rebuild."""
+def test_views_match_array_state_under_interleaved_maintenance(ops):
+    """buckets()/segment_view() always agree with the live BucketArray.
+
+    The stream drives every maintenance operation -- split/merge repartitions,
+    out-of-range borrows, deletions with spill -- and at checkpoints asserts
+    that the derived views and the spliced phi caches exactly describe the
+    array state (the single-source-of-truth invariant of the array core).
+    """
     histogram = DADOHistogram(8)
     live = 0
     for index, (op, value) in enumerate(ops):
@@ -282,30 +323,65 @@ def test_incremental_phi_caches_match_full_rebuild(ops):
             live -= 1
         if histogram.is_loading or index % 10:
             continue
-        incremental = (
-            list(histogram._lefts),
-            list(histogram._phis),
-            list(histogram._pair_phis),
-        )
-        histogram._rebuild_caches()
-        rebuilt = (
-            list(histogram._lefts),
-            list(histogram._phis),
-            list(histogram._pair_phis),
-        )
-        assert incremental == rebuilt
+        _assert_view_matches_array_state(histogram)
     if not histogram.is_loading:
-        incremental = (
-            list(histogram._lefts),
-            list(histogram._phis),
-            list(histogram._pair_phis),
+        _assert_view_matches_array_state(histogram)
+
+
+@given(values_strategy, st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_delete_many_matches_per_value_deletes(values, seed):
+    """The vectorised delete path is observationally equal to per-value deletes."""
+    per_value = DADOHistogram(10)
+    batched = DADOHistogram(10)
+    floats = [float(v) for v in values]
+    per_value.insert_many(floats, repartition_interval=4)
+    batched.insert_many(floats, repartition_interval=4)
+
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(np.asarray(floats, dtype=float))
+    to_delete = order[: len(order) // 2]
+    for value in to_delete:
+        per_value.delete(float(value))
+    batched.delete_many(list(to_delete))
+
+    a = [(b.left, b.right, b.count) for b in per_value.buckets()]
+    b = [(b.left, b.right, b.count) for b in batched.buckets()]
+    assert len(a) == len(b)
+    for (left_a, right_a, count_a), (left_b, right_b, count_b) in zip(a, b):
+        assert left_a == left_b and right_a == right_b
+        np.testing.assert_allclose(count_a, count_b, rtol=1e-9, atol=1e-9)
+
+
+@given(
+    st.sampled_from([DCHistogram, DVOHistogram, DADOHistogram]),
+    values_strategy,
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_delete_heavy_mass_conservation(histogram_class, values, seed):
+    """Delete-heavy batches conserve mass exactly on DC and DVO/DADO.
+
+    Every inserted value is deleted again through ``delete_many`` in shuffled
+    batches (the paper's Figure 17-18 regime); after each batch the total
+    count must equal the live mass, and the histogram ends empty.
+    """
+    histogram = histogram_class(10)
+    floats = [float(v) for v in values]
+    histogram.insert_many(floats, repartition_interval=8)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(np.asarray(floats, dtype=float))
+    remaining = len(order)
+    position = 0
+    while position < len(order):
+        batch = [float(v) for v in order[position : position + 37]]
+        position += len(batch)
+        histogram.delete_many(batch)
+        remaining -= len(batch)
+        np.testing.assert_allclose(
+            histogram.total_count, remaining, rtol=1e-9, atol=1e-6
         )
-        histogram._rebuild_caches()
-        assert incremental == (
-            list(histogram._lefts),
-            list(histogram._phis),
-            list(histogram._pair_phis),
-        )
+    np.testing.assert_allclose(histogram.total_count, 0.0, atol=1e-6)
 
 
 # Reservoir sampling ----------------------------------------------------------

@@ -223,7 +223,7 @@ class TestDVOInsertMany:
             (float(v) for v in uniform_values), repartition_interval=interval
         )
         assert histogram.total_count == pytest.approx(len(uniform_values), rel=1e-9)
-        assert len(histogram._buckets) <= histogram.bucket_budget
+        assert len(histogram.bucket_array) <= histogram.bucket_budget
 
     def test_invalid_interval_rejected(self):
         histogram = DADOHistogram(8)

@@ -1,6 +1,5 @@
 """Unit tests for the statistics service's HistogramStore."""
 
-import numpy as np
 import pytest
 
 from repro import DuplicateAttributeError, HistogramStore, UnknownAttributeError
@@ -87,6 +86,30 @@ class TestReadsAndWrites:
         assert deleted == 2
         assert loaded_store.total_count("age") == pytest.approx(before - 2)
         assert loaded_store.stats("age").deleted == 2
+
+    def test_large_delete_batch_takes_vectorised_path(self, loaded_store, rng):
+        # Batches above the vectorisation threshold go through one binning
+        # pass; totals, per-attribute counters and a single generation bump
+        # must match the per-value contract exactly.
+        before = loaded_store.total_count("age")
+        generation = loaded_store.stats("age").generation
+        batch = rng.integers(0, 100, 500).astype(float).tolist()
+        assert loaded_store.delete("age", batch) == 500
+        assert loaded_store.total_count("age") == pytest.approx(before - 500)
+        assert loaded_store.stats("age").deleted == 500
+        assert loaded_store.stats("age").generation == generation + 1
+
+    def test_partial_delete_batch_reports_applied_count(self, store):
+        from repro.exceptions import DeletionError
+
+        store.create("age", "dc", memory_kb=0.5)
+        store.insert("age", [10.0] * 5)
+        with pytest.raises(DeletionError) as excinfo:
+            store.delete("age", [10.0, 7777.0, 10.0])
+        # 10.0 applied, 7777.0 poisoned (loading buffer miss): one applied.
+        assert excinfo.value.applied_count == 1
+        assert store.stats("age").deleted == 1
+        assert store.total_count("age") == pytest.approx(4.0)
 
     def test_estimates_match_underlying_histogram(self, loaded_store):
         attribute = loaded_store._attribute("age")
