@@ -16,7 +16,11 @@ cluster-level behaviour:
 4. a rebalance (snapshot/restore move) and a drain, the cluster's
    operational primitives,
 5. the HTTP face: a :class:`~repro.cluster.server.ClusterServer` driven
-   through the :class:`~repro.cluster.server.ClusterClient`.
+   through the :class:`~repro.cluster.server.ClusterClient`,
+6. N-way replication: a ``replication_factor=2`` cluster that keeps serving
+   reads and writes with a shard killed, then heals the revived shard with
+   ``resync`` (snapshot/restore from a live replica -- exactly-once by
+   construction).
 
 Run with::
 
@@ -104,6 +108,34 @@ def main() -> None:
         total, below, fraction = batch["results"]
         print(f"via HTTP: total={total:.0f}, range[0,2500]={below:.0f}, "
               f"selectivity={fraction:.3f} (merged={batch['merged']})")
+
+    # 6. Replication + failover + resync: a fresh 3-shard cluster where every
+    #    attribute lives on two shards.
+    from repro.cluster import ShardRouter
+
+    replicas = [LocalShard(f"replica-{index}") for index in range(3)]
+    router = ShardRouter([s.shard_id for s in replicas], replication_factor=2)
+    with ClusterCoordinator(replicas, router=router) as replicated:
+        replicated.create("latency", "dc", memory_kb=1.0)
+        replicated.ingest("latency", insert=rng.exponential(20.0, 20_000).tolist())
+        primary_id, follower_id = replicated.router.replicas_for("latency")
+        print(f"latency replicated on {primary_id} + {follower_id}")
+
+        # Both replicas hold the full copy; reads prefer the primary and
+        # fail over to the follower on ShardUnavailableError (an in-process
+        # LocalShard cannot die -- tests/fault_injection.py scripts that).
+        served = replicated.query("latency", [{"op": "total"}])
+        per_replica = {
+            sid: replicated.shard(sid).store.total_count("latency")
+            for sid in (primary_id, follower_id)
+        }
+        print(f"total={served['results'][0]:.0f} served by {served['shard']}; "
+              f"each replica holds the full copy: {per_replica}")
+
+        # Heal-by-copy: resync re-seeds a shard's replicas from live siblings.
+        report = replicated.resync(follower_id)
+        print(f"resync {follower_id}: re-seeded {sorted(report['resynced'])} "
+              f"from {sorted(set(report['resynced'].values()))}")
 
 
 if __name__ == "__main__":

@@ -108,7 +108,15 @@ from .persistence import (
 # repro` for the figure experiments and library users never pays for the
 # http.server/http.client stack.
 _SERVICE_EXPORTS = frozenset(
-    ["AttributeStats", "HistogramStore", "IngestPipeline", "StatisticsServer", "StatisticsClient"]
+    [
+        "AttributeStats",
+        "DurabilityConfig",
+        "HistogramStore",
+        "IngestPipeline",
+        "StatisticsServer",
+        "StatisticsClient",
+        "WriteAheadLog",
+    ]
 )
 _CLUSTER_EXPORTS = frozenset(
     [

@@ -14,9 +14,17 @@ The CLI mirrors what the benchmark harness does, but as a user-facing tool:
   running statistics server;
 * ``repro-experiments serve-cluster`` -- run a sharded statistics cluster
   (:mod:`repro.cluster`): N in-process shards behind one scatter-gather HTTP
-  front-end, with optional value-range partitioning of hot attributes;
+  front-end, with optional value-range partitioning of hot attributes,
+  N-way replication (``--replication-factor``) and per-shard write-ahead
+  logs (``--wal-dir``);
 * ``repro-experiments cluster-stats`` -- pretty-print per-shard stats and
-  placement rules of a running cluster server.
+  placement rules of a running cluster server;
+* ``repro-experiments resync`` -- heal a recovered shard of a running
+  replicated cluster (re-seed its replicas from live siblings).
+
+``serve`` takes ``--wal-dir`` to make the single-node catalog durable: an
+existing WAL directory is recovered on start, so the served histograms
+survive crashes and restarts.
 
 Invoke either through the installed ``repro-experiments`` script or with
 ``python -m repro.cli``.
@@ -127,6 +135,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=None,
         help="serve for this many seconds then exit (default: run until interrupted)",
     )
+    serve_parser.add_argument(
+        "--wal-dir", type=Path, default=None,
+        help="directory for write-ahead-log durability; an existing WAL is "
+             "recovered on start, so the catalog survives crashes/restarts",
+    )
+    serve_parser.add_argument(
+        "--wal-fsync", action="store_true",
+        help="fsync every WAL append (durable against power loss, slower)",
+    )
 
     store_stats_parser = subparsers.add_parser(
         "store-stats", help="pretty-print the stats of a running statistics server"
@@ -162,12 +179,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--duration", type=float, default=None,
         help="serve for this many seconds then exit (default: run until interrupted)",
     )
+    cluster_parser.add_argument(
+        "--replication-factor", type=int, default=1,
+        help="place every attribute (and partition piece) on this many "
+             "distinct shards; writes fan out to all replicas, reads fail "
+             "over, 'resync' heals a recovered shard (default 1)",
+    )
+    cluster_parser.add_argument(
+        "--wal-dir", type=Path, default=None,
+        help="base directory for per-shard write-ahead logs (shard-<i> "
+             "subdirectories); existing WALs are recovered on start. Note: "
+             "WALs persist shard DATA only -- router placement is rebuilt "
+             "from these flags, so runtime placement changes (rebalance "
+             "pins, HTTP-created partitions) must be re-applied after a "
+             "restart",
+    )
+    cluster_parser.add_argument(
+        "--wal-fsync", action="store_true",
+        help="fsync every per-shard WAL append (durable against power loss, slower)",
+    )
 
     cluster_stats_parser = subparsers.add_parser(
         "cluster-stats", help="pretty-print per-shard stats of a running cluster server"
     )
     cluster_stats_parser.add_argument("--host", default="127.0.0.1")
     cluster_stats_parser.add_argument("--port", type=int, default=8282)
+
+    resync_parser = subparsers.add_parser(
+        "resync", help="heal a recovered shard of a running cluster server"
+    )
+    resync_parser.add_argument("shard", help="shard id to re-seed (e.g. shard-1)")
+    resync_parser.add_argument("--host", default="127.0.0.1")
+    resync_parser.add_argument("--port", type=int, default=8282)
     return parser
 
 
@@ -250,10 +293,24 @@ def _parse_attribute_spec(spec: str):
     return name, kind, memory_kb
 
 
+def _build_durable_store(wal_dir, fsync: bool):
+    """Open (recovering) or create a durable store at ``wal_dir``."""
+    from .service import DurabilityConfig, HistogramStore
+
+    config = DurabilityConfig(Path(wal_dir), fsync=fsync)
+    if config.has_state():
+        return HistogramStore.recover(wal_dir, fsync=fsync), True
+    return HistogramStore(durability=config), False
+
+
 def _command_serve(args, out) -> int:
     from .service import HistogramStore, IngestPipeline, StatisticsServer
 
-    store = HistogramStore()
+    recovered = False
+    if args.wal_dir is not None:
+        store, recovered = _build_durable_store(args.wal_dir, args.wal_fsync)
+    else:
+        store = HistogramStore()
     try:
         specs = [_parse_attribute_spec(spec) for spec in args.attribute]
     except ValueError as error:
@@ -272,12 +329,16 @@ def _command_serve(args, out) -> int:
     attributes = ", ".join(store.names()) or "none"
     out.write(f"statistics service listening on http://{host}:{port}\n")
     out.write(f"attributes: {attributes}\n")
+    if args.wal_dir is not None:
+        state = "recovered existing catalog" if recovered else "fresh log"
+        out.write(f"durability: WAL at {args.wal_dir} ({state})\n")
     if hasattr(out, "flush"):
         out.flush()
     if args.duration is not None:
         server.start()
         time.sleep(args.duration)
         server.stop()
+        store.close()
         return 0
     try:  # pragma: no cover - interactive foreground mode
         server.serve_forever()
@@ -285,6 +346,7 @@ def _command_serve(args, out) -> int:
         pass
     finally:  # pragma: no cover
         server.stop()
+        store.close()
     return 0  # pragma: no cover
 
 
@@ -301,10 +363,13 @@ def _parse_partition_spec(spec: str):
 
 
 def _command_serve_cluster(args, out) -> int:
-    from .cluster import ClusterCoordinator, ClusterServer, LocalShard
+    from .cluster import ClusterCoordinator, ClusterServer, LocalShard, ShardRouter
 
     if args.shards < 1:
         out.write("--shards must be at least 1\n")
+        return 2
+    if not 1 <= args.replication_factor <= args.shards:
+        out.write("--replication-factor must be between 1 and --shards\n")
         return 2
     try:
         specs = [_parse_attribute_spec(spec) for spec in args.attribute]
@@ -313,8 +378,29 @@ def _command_serve_cluster(args, out) -> int:
         out.write(f"{error}\n")
         return 2
 
-    shards = [LocalShard(f"shard-{index}") for index in range(args.shards)]
-    coordinator = ClusterCoordinator(shards, global_buckets=args.global_buckets)
+    stores = []
+    recovered_any = False
+    for index in range(args.shards):
+        if args.wal_dir is not None:
+            store, recovered = _build_durable_store(
+                Path(args.wal_dir) / f"shard-{index}", fsync=args.wal_fsync
+            )
+            recovered_any = recovered_any or recovered
+        else:
+            from .service import HistogramStore
+
+            store = HistogramStore()
+        stores.append(store)
+    shards = [
+        LocalShard(f"shard-{index}", store) for index, store in enumerate(stores)
+    ]
+    router = ShardRouter(
+        [shard.shard_id for shard in shards],
+        replication_factor=args.replication_factor,
+    )
+    coordinator = ClusterCoordinator(
+        shards, router=router, global_buckets=args.global_buckets
+    )
     attribute_specs = {name: (kind, memory_kb) for name, kind, memory_kb in specs}
     for name in partitions:
         attribute_specs.setdefault(name, ("dc", 1.0))
@@ -336,19 +422,30 @@ def _command_serve_cluster(args, out) -> int:
         for name in sorted(attribute_specs)
     ) or "none"
     out.write(f"attributes: {attributes}\n")
+    if args.replication_factor > 1:
+        out.write(f"replication factor: {args.replication_factor}\n")
+    if args.wal_dir is not None:
+        state = "recovered existing catalogs" if recovered_any else "fresh logs"
+        out.write(f"durability: per-shard WALs under {args.wal_dir} ({state})\n")
     if hasattr(out, "flush"):
         out.flush()
+
+    def shutdown() -> None:
+        server.stop()
+        for store in stores:
+            store.close()
+
     if args.duration is not None:
         server.start()
         time.sleep(args.duration)
-        server.stop()
+        shutdown()
         return 0
     try:  # pragma: no cover - interactive foreground mode
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover
         pass
     finally:  # pragma: no cover
-        server.stop()
+        shutdown()
     return 0  # pragma: no cover
 
 
@@ -434,6 +531,25 @@ def _command_cluster_stats(args, out) -> int:
     return 0
 
 
+def _command_resync(args, out) -> int:
+    from .cluster import ClusterClient
+    from .exceptions import ServiceError
+
+    client = ClusterClient(args.host, args.port)
+    try:
+        report = client.resync(args.shard)
+    except (OSError, ServiceError) as error:
+        out.write(f"resync of {args.shard!r} failed: {error}\n")
+        return 2
+    resynced = report.get("resynced", {})
+    out.write(f"resynced {len(resynced)} attribute(s) onto {report['shard']}\n")
+    for name, source in sorted(resynced.items()):
+        out.write(f"  {name} <- {source}\n")
+    for name in report.get("unrecoverable", []):
+        out.write(f"  {name}: no surviving replica to copy from\n")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
@@ -453,6 +569,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _command_serve_cluster(args, out)
     if args.command == "cluster-stats":
         return _command_cluster_stats(args, out)
+    if args.command == "resync":
+        return _command_resync(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -34,6 +34,18 @@ override flips atomically with the final drain, so every buffered operation
 lands exactly once.  :meth:`drain` empties a shard by rebalancing every
 attribute homed there onto the surviving members (ring walk with the drained
 shard excluded).
+
+**Replication / failover / resync.**  With a router built with
+``replication_factor=N``, every attribute (and every piece of a partitioned
+attribute) lives on N distinct shards.  Writes fan out to all replicas
+concurrently; a write succeeds as long as *one* replica of each touched
+group applies it, and a replica that fails (before or after applying --
+its fate is unknown) is only **marked stale**, never retried: retrying a
+write whose fate is unknown could double-apply it, while a stale replica is
+healed wholesale by :meth:`resync` (snapshot from a live replica, restore
+over the stale one -- a full-state replace, immune to double-apply by
+construction).  Reads try the primary first and fail over to the next live,
+non-stale replica on :class:`~repro.exceptions.ShardUnavailableError`.
 """
 
 from __future__ import annotations
@@ -44,7 +56,12 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.base import Histogram
 from ..distributed.union import UnionHistogram, reduce_segments, superimpose
-from ..exceptions import ClusterError, ConfigurationError
+from ..exceptions import (
+    ClusterError,
+    ConfigurationError,
+    ShardUnavailableError,
+    UnknownAttributeError,
+)
 from ..persistence import histogram_from_dict
 from ..service.store import evaluate_queries
 from .protocol import ShardBackend
@@ -113,6 +130,14 @@ class ClusterCoordinator:
         self._moves: Dict[str, List[Tuple[str, List[float]]]] = {}
         self._inflight: Dict[str, int] = {}
         self._moves_cv = threading.Condition()
+        # Replicas that missed a write (the fan-out observed a failure whose
+        # fate is unknown): reads avoid them until resync heals them.
+        self._stale: set = set()
+        self._stale_lock = threading.Lock()
+        # Acknowledged-then-dropped buffered ops (failure-path compensation
+        # could not re-apply them); surfaced by stats() so silent undercount
+        # is at least visible to operators.
+        self._dropped_buffered_ops = 0
 
     # ------------------------------------------------------------------
     # plumbing
@@ -133,18 +158,200 @@ class ClusterCoordinator:
                 f"unknown shard id {shard_id!r}; members: {list(self._shards)}"
             ) from None
 
-    def _scatter(self, shard_ids: Sequence[str], call) -> Dict[str, Any]:
-        """Run ``call(shard)`` concurrently on each shard; gather by id.
+    def _scatter_tolerant(
+        self,
+        shard_ids: Sequence[str],
+        call,
+        *,
+        failure_types: Tuple[type, ...] = (ShardUnavailableError,),
+    ) -> Tuple[Dict[str, Any], Dict[str, Exception]]:
+        """Concurrent ``call(shard)`` per shard, partitioning the outcomes.
 
-        The first failure propagates (other calls still complete); the raised
-        error identifies the shard through ``ShardUnavailableError`` or the
-        exception's own content.
+        Returns ``(results, errors)`` keyed by shard id: ``failure_types``
+        exceptions land in ``errors`` (the caller decides what a tolerable
+        failure means -- drop, listing, batch ingest and the replicated
+        fan-out all differ), anything else propagates immediately.
         """
         futures = {
             shard_id: self._executor.submit(call, self.shard(shard_id))
             for shard_id in shard_ids
         }
-        return {shard_id: future.result() for shard_id, future in futures.items()}
+        results: Dict[str, Any] = {}
+        errors: Dict[str, Exception] = {}
+        for shard_id, future in futures.items():
+            try:
+                results[shard_id] = future.result()
+            except failure_types as error:
+                errors[shard_id] = error
+        return results, errors
+
+    # ------------------------------------------------------------------
+    # replication plumbing
+    # ------------------------------------------------------------------
+    @property
+    def replication_factor(self) -> int:
+        return self._router.replication_factor
+
+    def _mark_stale(self, name: str, shard_id: str) -> None:
+        with self._stale_lock:
+            self._stale.add((name, shard_id))
+
+    def _clear_stale(self, name: str, shard_id: str) -> None:
+        with self._stale_lock:
+            self._stale.discard((name, shard_id))
+
+    def is_stale(self, name: str, shard_id: str) -> bool:
+        """True when ``shard_id``'s replica of ``name`` missed a write."""
+        with self._stale_lock:
+            return (name, shard_id) in self._stale
+
+    def stale_replicas(self) -> List[Tuple[str, str]]:
+        """The (attribute, shard) pairs currently marked stale, sorted."""
+        with self._stale_lock:
+            return sorted(self._stale)
+
+    def _failover_order(self, name: str, replicas: Sequence[str]) -> List[str]:
+        """Read preference: primary first, known-stale replicas demoted last.
+
+        A stale replica is still tried as the last resort -- an estimate
+        from a slightly-behind replica beats no estimate at all -- but only
+        after every up-to-date candidate proved unreachable.
+        """
+        with self._stale_lock:
+            fresh = [sid for sid in replicas if (name, sid) not in self._stale]
+            stale = [sid for sid in replicas if (name, sid) in self._stale]
+        return fresh + stale
+
+    def _call_with_failover(self, name: str, replicas: Sequence[str], call):
+        """Run ``call(shard)`` on the first live replica; returns (id, result).
+
+        :class:`ShardUnavailableError` triggers failover.  An application
+        error (bad query, unknown attribute) is normally the same on every
+        replica and propagates immediately -- with one exception: an
+        ``UnknownAttributeError`` from a replica *marked stale* is not an
+        answer about the attribute's existence (the replica may simply have
+        missed the create), so failover continues; if no fresh replica can
+        answer, the unavailability -- the retry/heal signal -- is preferred
+        over the misleading "unknown".
+        """
+        last_unavailable: Optional[ShardUnavailableError] = None
+        last_unknown: Optional[UnknownAttributeError] = None
+        for shard_id in self._failover_order(name, replicas):
+            try:
+                return shard_id, call(self.shard(shard_id))
+            except ShardUnavailableError as error:
+                last_unavailable = error
+            except UnknownAttributeError as error:
+                if not self.is_stale(name, shard_id):
+                    raise
+                last_unknown = error
+        if last_unavailable is not None:
+            raise last_unavailable
+        if last_unknown is not None:
+            raise last_unknown
+        raise ClusterError(  # pragma: no cover - empty replica set
+            f"no replicas to serve attribute {name!r}"
+        )
+
+    def _fan_out_replicated(
+        self,
+        name: str,
+        groups: Sequence[Tuple[Tuple[str, ...], Any]],
+        *,
+        failure_types: Tuple[type, ...] = (ShardUnavailableError,),
+    ) -> Dict[str, Any]:
+        """Run one ``call(shard)`` per replica of every group, concurrently.
+
+        ``groups`` holds ``(replica_ids, call)`` pairs.  The shared
+        replicated-mutation contract (writes, create, restore): per group,
+        success needs at least one replica to apply; a fully-failed group
+        raises its first error -- but only after EVERY other group's partial
+        failures were marked, or a replica that silently missed this
+        mutation would be treated as fresh forever.  A replica that fails
+        (``failure_types``) while a sibling succeeds is marked stale for
+        ``resync`` to heal and never retried: its fate is unknown, and a
+        blind retry could double-apply.  Errors outside ``failure_types``
+        (a duplicate create, a bad payload) are the same on every replica
+        and propagate immediately.
+        """
+        call_by_shard = {
+            shard_id: call for replicas, call in groups for shard_id in replicas
+        }
+        results, errors = self._scatter_tolerant(
+            list(call_by_shard),
+            lambda shard: call_by_shard[shard.shard_id](shard),
+            failure_types=failure_types,
+        )
+        failed: List[str] = []
+        fully_failed: Optional[Exception] = None
+        for replicas, _ in groups:
+            if not any(sid in results for sid in replicas):
+                # Nothing applied in this group -- its replicas still agree,
+                # so there is nothing to mark; the mutation is lost and raises.
+                if fully_failed is None:
+                    fully_failed = errors[replicas[0]]
+                continue
+            for shard_id in replicas:
+                if shard_id in errors:
+                    self._mark_stale(name, shard_id)
+                    failed.append(shard_id)
+        if fully_failed is not None:
+            raise fully_failed
+        return {"results": results, "failed_replicas": sorted(failed)}
+
+    def _first_result(self, applied: Mapping[str, Any], replicas: Sequence[str]):
+        """The first replica's result in preference order (primary first)."""
+        results = applied["results"]
+        return results[next(sid for sid in replicas if sid in results)]
+
+    def _apply_replicated(
+        self,
+        name: str,
+        groups: Sequence[Tuple[Tuple[str, ...], List[float], List[float]]],
+    ) -> Dict[str, Any]:
+        """Fan one attribute's write out to every replica of every group.
+
+        ``groups`` holds ``(replica_ids, insert, delete)`` triples (one
+        group for an unpartitioned attribute, one per piece otherwise).
+        ``UnknownAttributeError`` counts as a replica failure: a replica
+        that was down during ``create`` does not know the attribute, and
+        marking it stale routes it to ``resync`` (whose restore re-creates
+        it) instead of poisoning every subsequent write.  When *no* replica
+        knows the attribute, the group fully fails and the error still
+        propagates as before.
+        """
+        return self._fan_out_replicated(
+            name,
+            [
+                (
+                    replicas,
+                    lambda shard, i=insert, d=delete: shard.ingest(
+                        name, insert=i, delete=d
+                    ),
+                )
+                for replicas, insert, delete in groups
+            ],
+            failure_types=(ShardUnavailableError, UnknownAttributeError),
+        )
+
+    def _write_groups(
+        self, name: str, insert: List[float], delete: List[float]
+    ) -> List[Tuple[Tuple[str, ...], List[float], List[float]]]:
+        """Split a write into replica groups (one, or one per touched piece)."""
+        partition = self._router.partition_for(name)
+        if partition is None:
+            return [(self._router.replicas_for(name), insert, delete)]
+        insert_groups = partition.split(insert)
+        delete_groups = partition.split(delete)
+        piece_replicas = self._router.partition_replicas(name)
+        return [
+            (
+                piece_replicas[piece_id],
+                insert_groups.get(piece_id, []),
+                delete_groups.get(piece_id, []),
+            )
+            for piece_id in sorted(set(insert_groups) | set(delete_groups))
+        ]
 
     def close(self) -> None:
         """Shut the fan-out pool down (pending calls complete first)."""
@@ -180,11 +387,8 @@ class ClusterCoordinator:
         on every piece shard; ``partition_shards`` overrides the default
         round-robin piece placement.
         """
-        if partition_boundaries is None:
-            if partition_shards is not None:
-                raise ConfigurationError("partition_shards requires partition_boundaries")
-            shard_id = self._router.shard_for(name)
-            stats = self.shard(shard_id).create(
+        def create_on(shard: ShardBackend) -> Dict[str, Any]:
+            return shard.create(
                 name,
                 kind,
                 memory_kb=memory_kb,
@@ -193,49 +397,119 @@ class ClusterCoordinator:
                 seed=seed,
                 exist_ok=exist_ok,
             )
-            return {"name": name, "partitioned": False, "shard": shard_id, "stats": stats}
+
+        if partition_boundaries is None:
+            if partition_shards is not None:
+                raise ConfigurationError("partition_shards requires partition_boundaries")
+            replicas = self._router.replicas_for(name)
+            # The replicated-mutation contract (see _fan_out_replicated): one
+            # replica creating suffices; an unreachable replica is marked
+            # stale so resync re-seeds it -- its missing attribute is then a
+            # recorded gap, not a silent one that poisons later writes.
+            created = self._fan_out_replicated(name, [(replicas, create_on)])
+            result = {
+                "name": name,
+                "partitioned": False,
+                "shard": replicas[0],
+                "stats": self._first_result(created, replicas),
+            }
+            if len(replicas) > 1:
+                result["replicas"] = list(replicas)
+            if created["failed_replicas"]:
+                result["failed_replicas"] = created["failed_replicas"]
+            return result
 
         partition = self._router.partition(name, partition_boundaries, partition_shards)
         try:
-            pieces = self._scatter(
-                partition.piece_shard_ids,
-                lambda shard: shard.create(
-                    name,
-                    kind,
-                    memory_kb=memory_kb,
-                    value_unit=value_unit,
-                    disk_factor=disk_factor,
-                    seed=seed,
-                    exist_ok=exist_ok,
-                ),
+            piece_replicas = self._router.partition_replicas(name)
+            created = self._fan_out_replicated(
+                name, [(ids, create_on) for ids in piece_replicas.values()]
             )
+            pieces = {
+                piece_id: self._first_result(created, ids)
+                for piece_id, ids in piece_replicas.items()
+            }
         except Exception:
             # Creation is not atomic across shards; withdrawing the partition
             # keeps routing consistent with whatever was actually created
             # (retry with exist_ok=True after fixing the failing shard).
             self._router.unpartition(name)
             raise
-        return {
+        result = {
             "name": name,
             "partitioned": True,
             "partition": partition.to_dict(),
             "pieces": pieces,
         }
+        if self._router.replication_factor > 1:
+            result["replicas"] = {
+                piece_id: list(ids) for piece_id, ids in piece_replicas.items()
+            }
+        if created["failed_replicas"]:
+            result["failed_replicas"] = created["failed_replicas"]
+        return result
 
     def drop(self, name: str) -> Dict[str, Any]:
-        """Drop an attribute from every shard holding state for it."""
-        shard_ids = self._router.shards_for(name)
-        results = self._scatter(shard_ids, lambda shard: shard.drop(name))
-        self._router.unpartition(name)
-        self._router.unassign(name)
-        with self._merge_guard:
-            self._merge_cache.pop(name, None)
-            self._merge_locks.pop(name, None)
-        return {"dropped": name, "shards": sorted(results)}
+        """Drop an attribute from every shard holding state for it.
+
+        Replicated-mutation contract: dropping from at least one replica
+        that held the attribute succeeds; a replica that already lacks it
+        (it missed the create) counts as dropped.  Unreachable replicas are
+        reported as ``unreached`` -- their zombie copy resurfaces in
+        ``names()`` when they revive, and *retrying the drop then works*
+        (the already-dropped replicas count as dropped).  Only when every
+        replica lacked the attribute does ``UnknownAttributeError``
+        propagate, preserving the single-node API.
+        """
+        shard_ids = sorted(
+            {sid for replicas in self._router.replica_sets_for(name) for sid in replicas}
+        )
+
+        def drop_on(shard: ShardBackend) -> str:
+            try:
+                shard.drop(name)
+            except UnknownAttributeError:
+                return "already-absent"
+            return "dropped"
+
+        outcomes, errors = self._scatter_tolerant(shard_ids, drop_on)
+        unreached = sorted(errors)
+        dropped = [sid for sid in shard_ids if outcomes.get(sid) == "dropped"]
+        if not dropped:
+            if unreached:
+                raise errors[unreached[0]]
+            raise UnknownAttributeError(name)
+        if not unreached:
+            # Routing (pin / partition) is withdrawn only on a COMPLETE
+            # drop: with an unreached replica the placement must survive,
+            # or the retried drop would route via the ring and never reach
+            # the revived zombie copy of a pinned/partitioned attribute.
+            self._router.unpartition(name)
+            self._router.unassign(name)
+            with self._merge_guard:
+                self._merge_cache.pop(name, None)
+                self._merge_locks.pop(name, None)
+            with self._stale_lock:
+                self._stale = {entry for entry in self._stale if entry[0] != name}
+        result = {"dropped": name, "shards": sorted(dropped)}
+        if unreached:
+            result["unreached"] = sorted(unreached)
+        return result
 
     def names(self) -> List[str]:
-        """Every attribute name in the cluster (partitioned ones once)."""
-        gathered = self._scatter(list(self._shards), lambda shard: shard.names())
+        """Every attribute name in the cluster (partitioned ones once).
+
+        Tolerates unreachable shards -- with replication every attribute is
+        visible on a surviving replica, and an all-shards-down cluster still
+        raises.  The alternative (failing the listing because one member is
+        restarting) would take ``/health`` and ``resync`` down exactly when
+        they are needed.
+        """
+        gathered, errors = self._scatter_tolerant(
+            list(self._shards), lambda shard: shard.names()
+        )
+        if not gathered and errors:
+            raise next(iter(errors.values()))
         return sorted({name for names in gathered.values() for name in names})
 
     # ------------------------------------------------------------------
@@ -254,35 +528,21 @@ class ClusterCoordinator:
                 "deleted": len(delete),
             }
         try:
-            partition = self._router.partition_for(name)
-            if partition is None:
-                shard_id = self._router.shard_for(name)
-                result = self.shard(shard_id).ingest(name, insert=insert, delete=delete)
-                result.setdefault("inserted", len(insert))
-                result.setdefault("deleted", len(delete))
-                result["per_shard"] = {shard_id: result.get("inserted", 0)}
-                return result
-
-            insert_groups = partition.split(insert)
-            delete_groups = partition.split(delete)
-            shard_ids = sorted(set(insert_groups) | set(delete_groups))
-            gathered = self._scatter(
-                shard_ids,
-                lambda shard: shard.ingest(
-                    name,
-                    insert=insert_groups.get(shard.shard_id, []),
-                    delete=delete_groups.get(shard.shard_id, []),
-                ),
-            )
-            return {
+            groups = self._write_groups(name, insert, delete)
+            applied = self._apply_replicated(name, groups)
+            response = {
                 "inserted": len(insert),
                 "deleted": len(delete),
-                "partitioned": True,
                 "per_shard": {
                     shard_id: result.get("inserted", 0)
-                    for shard_id, result in gathered.items()
+                    for shard_id, result in applied["results"].items()
                 },
             }
+            if self._router.is_partitioned(name):
+                response["partitioned"] = True
+            if applied["failed_replicas"]:
+                response["failed_replicas"] = applied["failed_replicas"]
+            return response
         finally:
             self._end_apply(name)
 
@@ -298,6 +558,9 @@ class ClusterCoordinator:
         delete side rides the store's vectorised ``delete_many`` path.
         """
         per_shard: Dict[str, Dict[str, Tuple[List[float], List[float]]]] = {}
+        # One entry per replica group: (name, replica ids, insert, delete);
+        # success needs >= 1 live replica per group.
+        group_index: List[Tuple[str, Tuple[str, ...], List[float], List[float]]] = []
         applying: List[str] = []
         buffered = 0
         buffered_deletes = 0
@@ -316,20 +579,13 @@ class ClusterCoordinator:
                     buffered_deletes += len(delete)
                     continue
                 applying.append(name)
-                partition = self._router.partition_for(name)
-                if partition is None:
-                    home = self._router.shard_for(name)
-                    insert_groups = {home: insert} if insert else {}
-                    delete_groups = {home: delete} if delete else {}
-                else:
-                    insert_groups = partition.split(insert)
-                    delete_groups = partition.split(delete)
-                for shard_id in set(insert_groups) | set(delete_groups):
-                    shard_items = per_shard.setdefault(shard_id, {})
-                    shard_items[name] = (
-                        insert_groups.get(shard_id, []),
-                        delete_groups.get(shard_id, []),
-                    )
+                for replicas, group_insert, group_delete in self._write_groups(
+                    name, insert, delete
+                ):
+                    group_index.append((name, replicas, group_insert, group_delete))
+                    for shard_id in replicas:
+                        shard_items = per_shard.setdefault(shard_id, {})
+                        shard_items[name] = (group_insert, group_delete)
 
             def apply_group(shard: ShardBackend) -> Dict[str, int]:
                 applied = {"inserted": 0, "deleted": 0}
@@ -341,17 +597,44 @@ class ClusterCoordinator:
                     applied["deleted"] += result.get("deleted", len(shard_delete))
                 return applied
 
-            gathered = self._scatter(sorted(per_shard), apply_group)
+            # A failing shard's whole stream is suspect: some attributes in
+            # its group may have applied before the failure, so every one of
+            # them is conservatively marked stale below (resync heals by
+            # full-state replace).
+            gathered, shard_errors = self._scatter_tolerant(
+                sorted(per_shard),
+                apply_group,
+                failure_types=(ShardUnavailableError, UnknownAttributeError),
+            )
+            failed_replicas: List[str] = []
+            # As in _fan_out_replicated: finish the stale-marking sweep over
+            # every group before raising for a fully-failed one.
+            fully_failed: Optional[Exception] = None
+            for name, replicas, _, _ in group_index:
+                alive = [sid for sid in replicas if sid not in shard_errors]
+                if not alive:
+                    if fully_failed is None:
+                        fully_failed = shard_errors[replicas[0]]
+                    continue
+                for shard_id in replicas:
+                    if shard_id in shard_errors:
+                        self._mark_stale(name, shard_id)
+                        failed_replicas.append(f"{name}@{shard_id}")
+            if fully_failed is not None:
+                raise fully_failed
         finally:
             for name in applying:
                 self._end_apply(name)
-        # ``per_shard`` keeps its historical meaning (inserted values placed
-        # per shard, reconciling with ``inserted``); the delete placement gets
-        # its own breakdown.
-        return {
-            "inserted": sum(result["inserted"] for result in gathered.values()) + buffered,
-            "deleted": sum(result["deleted"] for result in gathered.values())
-            + buffered_deletes,
+        # Logical counts come from the submitted values (each group that
+        # reached here has >= 1 replica apply); ``per_shard`` keeps its
+        # historical meaning of values physically placed per shard -- with
+        # replication a value lands on every replica, so the per-shard sum
+        # exceeds ``inserted`` by design.
+        logical_inserted = sum(len(insert) for _, _, insert, _ in group_index)
+        logical_deleted = sum(len(delete) for _, _, _, delete in group_index)
+        response = {
+            "inserted": logical_inserted + buffered,
+            "deleted": logical_deleted + buffered_deletes,
             "buffered_for_move": buffered + buffered_deletes,
             "per_shard": {
                 shard_id: result["inserted"] for shard_id, result in gathered.items()
@@ -360,6 +643,9 @@ class ClusterCoordinator:
                 shard_id: result["deleted"] for shard_id, result in gathered.items()
             },
         }
+        if failed_replicas:
+            response["failed_replicas"] = sorted(failed_replicas)
+        return response
 
     # ------------------------------------------------------------------
     # reads
@@ -368,14 +654,19 @@ class ClusterCoordinator:
         """Evaluate a consistent batch of estimate queries.
 
         Unpartitioned attributes delegate to the home shard's batched query
-        (one lock acquisition there -- no torn estimates).  Partitioned
-        attributes are served from the merged global histogram, an immutable
-        snapshot, so the whole batch is trivially consistent; the returned
-        ``generation`` is the piece generation sum the merge was keyed on.
+        (one lock acquisition there -- no torn estimates), failing over to
+        the next live replica when the home shard is unreachable.
+        Partitioned attributes are served from the merged global histogram,
+        an immutable snapshot, so the whole batch is trivially consistent;
+        the returned ``generation`` is the piece generation sum the merge
+        was keyed on.
         """
         if not self._router.is_partitioned(name):
-            shard_id = self._router.shard_for(name)
-            result = self.shard(shard_id).query(name, queries)
+            shard_id, result = self._call_with_failover(
+                name,
+                self._router.replicas_for(name),
+                lambda shard: shard.query(name, queries),
+            )
             result["shard"] = shard_id
             return result
         generation_sum, merged = self._merged_entry(name)
@@ -415,8 +706,27 @@ class ClusterCoordinator:
             raise ClusterError(f"attribute {name!r} is not range-partitioned")
         return partition
 
-    def _generation_sum(self, piece_shard_ids: Sequence[str], name: str) -> int:
-        gathered = self._scatter(piece_shard_ids, lambda shard: shard.generation(name))
+    def _gather_pieces(
+        self, name: str, piece_replicas: Mapping[str, Tuple[str, ...]], call
+    ) -> Dict[str, Any]:
+        """Run ``call`` once per piece, each with replica failover, gathered
+        concurrently and keyed by the piece's primary shard id."""
+        futures = {
+            piece_id: self._executor.submit(
+                self._call_with_failover, name, replicas, call
+            )
+            for piece_id, replicas in piece_replicas.items()
+        }
+        return {
+            piece_id: future.result()[1] for piece_id, future in futures.items()
+        }
+
+    def _generation_sum(
+        self, name: str, piece_replicas: Mapping[str, Tuple[str, ...]]
+    ) -> int:
+        gathered = self._gather_pieces(
+            name, piece_replicas, lambda shard: shard.generation(name)
+        )
         return sum(gathered.values())
 
     def _merge_lock(self, name: str) -> threading.Lock:
@@ -429,16 +739,24 @@ class ClusterCoordinator:
     def _merged_entry(self, name: str) -> Tuple[int, UnionHistogram]:
         """The cached merged histogram, rebuilt only after shard writes.
 
-        The cache key is the sum of the piece shards' generation counters,
-        read **before** the snapshots: a write landing between the generation
-        read and a snapshot makes the cached entry *fresher* than its key
-        claims, so the very next query observes a larger sum and rebuilds --
-        the cache can cause an extra rebuild but never serves a histogram
-        older than its key.
+        The hit check compares the cached key against the sum of the piece
+        shards' generation counters, read **before** the snapshots: a write
+        landing between the generation read and a snapshot makes the cached
+        entry *fresher* than its key claims, so the very next query
+        observes a larger sum and rebuilds -- the safe direction.  The key
+        a rebuilt entry is cached under comes from **the snapshots
+        themselves** (each snapshot payload carries its replica's
+        generation): under replica failover the generation probe and the
+        snapshot fetch may be served by *different* replicas, and keying a
+        stale follower's snapshot under the fresh primary's generation
+        would pin an under-counting merge until the next write.  Keyed on
+        its own snapshots, the entry stops matching as soon as the fresher
+        replica answers the probe again.
         """
         partition = self._partition_of(name)
         piece_ids = partition.piece_shard_ids
-        generation_sum = self._generation_sum(piece_ids, name)
+        piece_replicas = self._router.partition_replicas(name)
+        generation_sum = self._generation_sum(name, piece_replicas)
         cached = self._merge_cache.get(name)
         if cached is not None and cached[0] == generation_sum:
             return cached
@@ -446,7 +764,9 @@ class ClusterCoordinator:
             cached = self._merge_cache.get(name)
             if cached is not None and cached[0] == generation_sum:
                 return cached
-            snapshots = self._scatter(piece_ids, lambda shard: shard.snapshot(name))
+            snapshots = self._gather_pieces(
+                name, piece_replicas, lambda shard: shard.snapshot(name)
+            )
             members = [
                 histogram_from_dict(dict(snapshots[shard_id]["histogram"]))
                 for shard_id in piece_ids
@@ -456,7 +776,10 @@ class ClusterCoordinator:
                 self._global_buckets,
                 value_unit=self._value_unit,
             )
-            entry = (generation_sum, merged)
+            snapshot_generation_sum = sum(
+                int(snapshots[shard_id].get("generation", 0)) for shard_id in piece_ids
+            )
+            entry = (snapshot_generation_sum, merged)
             # Insert under the guard (stats() iterates the cache under it),
             # and never resurrect an entry a concurrent drop() just removed.
             with self._merge_guard:
@@ -468,21 +791,35 @@ class ClusterCoordinator:
     # snapshot / restore
     # ------------------------------------------------------------------
     def snapshot(self, name: str) -> Dict[str, Any]:
-        """Full serialised state of an unpartitioned attribute (home shard)."""
+        """Full serialised state of an unpartitioned attribute.
+
+        Served by the home shard, failing over to the next live replica.
+        """
         if self._router.is_partitioned(name):
             raise ClusterError(
                 f"attribute {name!r} is range-partitioned; snapshot its pieces "
                 "per shard (each piece shard serves /attributes/<name>/snapshot)"
             )
-        return self.shard(self._router.shard_for(name)).snapshot(name)
+        return self._call_with_failover(
+            name, self._router.replicas_for(name), lambda shard: shard.snapshot(name)
+        )[1]
 
     def restore(self, name: str, snapshot: Mapping[str, Any]) -> Dict[str, Any]:
-        """Restore an unpartitioned attribute onto its routed home shard."""
+        """Restore an unpartitioned attribute onto every replica of its home.
+
+        Follows the replicated-write contract: success needs one replica to
+        restore; a replica that fails is marked stale (it now diverges from
+        the restored state) for ``resync`` to heal, never silently trusted.
+        """
         if self._router.is_partitioned(name):
             raise ClusterError(
                 f"attribute {name!r} is range-partitioned; restore its pieces per shard"
             )
-        return self.shard(self._router.shard_for(name)).restore(name, snapshot)
+        replicas = self._router.replicas_for(name)
+        restored = self._fan_out_replicated(
+            name, [(replicas, lambda shard: shard.restore(name, snapshot))]
+        )
+        return self._first_result(restored, replicas)
 
     # ------------------------------------------------------------------
     # rebalance / drain
@@ -514,6 +851,30 @@ class ClusterCoordinator:
             else:
                 self._inflight.pop(name, None)
                 self._moves_cv.notify_all()
+
+    def _replay_buffer_best_effort(
+        self, name: str, buffered: List[Tuple[str, List[float]]]
+    ) -> int:
+        """Failure-path compensation: replay formerly-buffered ops through
+        the public write path, attempting EVERY op -- one op whose replica
+        group is momentarily unreachable must not discard the acknowledged
+        ops queued behind it.  An op that still fails is dropped (bounded
+        undercount beats double-applying an op whose fate is unknown -- the
+        ingest pipeline's rule); the count of dropped ops is returned.
+        """
+        dropped = 0
+        for op, values in buffered:
+            try:
+                if op == "insert":
+                    self.ingest(name, insert=values)
+                else:
+                    self.ingest(name, delete=values)
+            except Exception:
+                dropped += 1
+        if dropped:
+            with self._stale_lock:
+                self._dropped_buffered_ops += dropped
+        return dropped
 
     def _replay(self, shard: ShardBackend, name: str, runs: List[Tuple[str, List[float]]]) -> int:
         applied = 0
@@ -547,6 +908,12 @@ class ClusterCoordinator:
         the routed home) before the error propagates.
         """
         target = self.shard(target_shard_id)
+        if self._router.replication_factor > 1:
+            raise ClusterError(
+                "rebalance requires replication_factor=1: a replicated "
+                "attribute's placement is its whole replica set -- heal or "
+                "reshape it with resync instead"
+            )
         if self._router.is_partitioned(name):
             raise ClusterError(
                 f"attribute {name!r} is range-partitioned; move pieces by re-partitioning"
@@ -584,11 +951,7 @@ class ClusterCoordinator:
                 buffered = self._moves.pop(name, [])
             # The source is still the routed home; put buffered writes back
             # through the public path so they fence against any later move.
-            for op, values in buffered:
-                if op == "insert":
-                    self.ingest(name, insert=values)
-                else:
-                    self.ingest(name, delete=values)
+            self._replay_buffer_best_effort(name, buffered)
             raise
         source.drop(name)
         return {
@@ -607,6 +970,11 @@ class ClusterCoordinator:
         skipped.
         """
         source = self.shard(shard_id)
+        if self._router.replication_factor > 1:
+            raise ClusterError(
+                "drain requires replication_factor=1; a replicated cluster "
+                "heals an emptied-and-recovered shard with resync"
+            )
         if len(self._shards) < 2:
             raise ClusterError("cannot drain the only shard in the cluster")
         moved: Dict[str, str] = {}
@@ -623,22 +991,142 @@ class ClusterCoordinator:
         return {"shard": shard_id, "moved": moved, "skipped_partitioned": sorted(skipped)}
 
     # ------------------------------------------------------------------
+    # resync (replica healing)
+    # ------------------------------------------------------------------
+    def _resync_attribute(
+        self, name: str, replicas: Tuple[str, ...], target_id: str
+    ) -> str:
+        """Re-seed ``target_id``'s replica of one attribute (or piece).
+
+        Snapshot/restore is a *full-state replace*: whatever subset of
+        writes the stale replica saw, restoring a live replica's snapshot
+        over it can neither lose nor double-apply anything.  Writes racing
+        the copy are fenced exactly like a rebalance: the attribute is
+        registered as moving (cluster writes buffer at the coordinator),
+        in-flight applies drain before the snapshot, and the buffer is
+        replayed onto **all** replicas before the move is unregistered, so
+        every buffered write lands exactly once everywhere.
+        """
+        sources = tuple(sid for sid in replicas if sid != target_id)
+        assert sources, "resync needs a second replica to copy from"
+        with self._moves_cv:
+            if name in self._moves:
+                raise ClusterError(f"attribute {name!r} is already being moved")
+            self._moves[name] = []
+            while self._inflight.get(name, 0) > 0:
+                self._moves_cv.wait()
+        try:
+            source_id, snapshot = self._call_with_failover(
+                name, sources, lambda shard: shard.snapshot(name)
+            )
+            self.shard(target_id).restore(name, snapshot)
+            # Stale bookkeeping NOW, not after the replay: the restore made
+            # the target exactly as fresh as its source (buffered ops are on
+            # no replica yet), and a replay failure below may legitimately
+            # re-mark it -- a mark that must survive this resync.  When the
+            # failover had to fall back to a *stale* source (every fresh
+            # sibling unreachable), the target inherits that staleness: a
+            # clear here would advertise a copy that may miss acknowledged
+            # writes as fresh, and a later resync could then spread it over
+            # the one replica that still has them.
+            if self.is_stale(name, source_id):
+                self._mark_stale(name, target_id)
+            else:
+                self._clear_stale(name, target_id)
+            while True:
+                with self._moves_cv:
+                    buffered = self._moves[name]
+                    if not buffered:
+                        del self._moves[name]
+                        break
+                    self._moves[name] = []
+                for index, (op, values) in enumerate(buffered):
+                    try:
+                        groups = self._write_groups(
+                            name,
+                            values if op == "insert" else [],
+                            values if op == "delete" else [],
+                        )
+                        self._apply_replicated(name, groups)
+                    except Exception:
+                        # Push the known-unapplied tail back into the move
+                        # buffer so the outer handler replays it -- these
+                        # ops were already acknowledged to their writers.
+                        # The failing op itself is dropped: its progress is
+                        # unknown (some piece groups may have applied), and
+                        # a bounded undercount beats double-applying -- the
+                        # same rule the ingest pipeline follows.  The drop
+                        # is counted so stats() surfaces it.
+                        with self._moves_cv:
+                            self._moves[name] = (
+                                buffered[index + 1 :] + self._moves.get(name, [])
+                            )
+                        with self._stale_lock:
+                            self._dropped_buffered_ops += 1
+                        raise
+        except Exception:
+            with self._moves_cv:
+                buffered = self._moves.pop(name, [])
+            # Nothing routed away: replay the buffer through the public path
+            # so it fences against any later move/resync.
+            self._replay_buffer_best_effort(name, buffered)
+            raise
+        return source_id
+
+    def resync(self, shard_id: str) -> Dict[str, Any]:
+        """Heal a recovered shard: re-seed every replica it should hold.
+
+        For every attribute (and partitioned piece) whose replica set
+        contains ``shard_id``, the freshest reachable sibling replica is
+        snapshotted and restored onto the shard, and the (attribute, shard)
+        stale mark is cleared.  Attributes whose *only* replica is this
+        shard have no surviving copy to heal from and are reported as
+        ``unrecoverable`` (their data is whatever the shard itself still
+        holds -- e.g. what its own WAL recovered).
+        """
+        self.shard(shard_id)  # membership check
+        resynced: Dict[str, str] = {}
+        unrecoverable: List[str] = []
+        for name in self.names():
+            for replicas in self._router.replica_sets_for(name):
+                if shard_id not in replicas:
+                    continue
+                if len(replicas) < 2:
+                    unrecoverable.append(name)
+                    continue
+                resynced[name] = self._resync_attribute(name, replicas, shard_id)
+        return {
+            "shard": shard_id,
+            "resynced": resynced,
+            "unrecoverable": sorted(unrecoverable),
+        }
+
+    # ------------------------------------------------------------------
     # stats
     # ------------------------------------------------------------------
     def attribute_stats(self, name: str) -> Dict[str, Any]:
         """Cluster-level stats of one attribute (per piece when partitioned)."""
         partition = self._router.partition_for(name)
         if partition is None:
-            shard_id = self._router.shard_for(name)
-            return {
+            replicas = self._router.replicas_for(name)
+            shard_id, stats = self._call_with_failover(
+                name, replicas, lambda shard: shard.stats(name)
+            )
+            result = {
                 "name": name,
                 "partitioned": False,
                 "shard": shard_id,
-                "stats": self.shard(shard_id).stats(name),
+                "stats": stats,
             }
-        pieces = self._scatter(partition.piece_shard_ids, lambda shard: shard.stats(name))
+            if len(replicas) > 1:
+                result["replicas"] = list(replicas)
+            return result
+        piece_replicas = self._router.partition_replicas(name)
+        pieces = self._gather_pieces(
+            name, piece_replicas, lambda shard: shard.stats(name)
+        )
         cached = self._merge_cache.get(name)
-        return {
+        result = {
             "name": name,
             "partitioned": True,
             "partition": partition.to_dict(),
@@ -646,13 +1134,29 @@ class ClusterCoordinator:
             "merged_generation_sum": None if cached is None else cached[0],
             "merged_buckets": None if cached is None else cached[1].bucket_count,
         }
+        if self._router.replication_factor > 1:
+            result["replicas"] = {
+                piece_id: list(ids) for piece_id, ids in piece_replicas.items()
+            }
+        return result
 
     def stats(self) -> Dict[str, Any]:
-        """Cluster-wide stats: per-shard attribute tables plus placement."""
-        gathered = self._scatter(
+        """Cluster-wide stats: per-shard attribute tables plus placement.
+
+        An unreachable shard is reported (``status: unavailable``) rather
+        than failing the whole listing -- operators need exactly this view
+        while a member is down.
+        """
+
+        gathered, errors = self._scatter_tolerant(
             list(self._shards),
             lambda shard: {"health": shard.health(), "attributes": shard.stats_all()},
         )
+        for shard_id, error in errors.items():
+            gathered[shard_id] = {
+                "health": {"status": "unavailable", "error": str(error)},
+                "attributes": [],
+            }
         with self._merge_guard:
             merge_cache = {
                 name: {"generation_sum": entry[0], "buckets": entry[1].bucket_count}
@@ -664,4 +1168,6 @@ class ClusterCoordinator:
             ],
             "placement": self._router.placement(),
             "merge_cache": merge_cache,
+            "stale_replicas": [list(entry) for entry in self.stale_replicas()],
+            "dropped_buffered_ops": self._dropped_buffered_ops,
         }

@@ -114,9 +114,23 @@ class RangePartition:
 
 
 class ShardRouter:
-    """Placement table: overrides > range partitions > consistent hash ring."""
+    """Placement table: overrides > range partitions > consistent hash ring.
 
-    def __init__(self, shard_ids: Sequence[str], *, replicas: int = 64) -> None:
+    With ``replication_factor=N`` every attribute (and every piece of a
+    range-partitioned attribute) is placed on N distinct shards: the primary
+    keeps its existing meaning (pin > partition piece > ring), and the N-1
+    followers are the next distinct shards walking the ring.  The router only
+    *places*; the coordinator owns the write fan-out / read failover
+    semantics.
+    """
+
+    def __init__(
+        self,
+        shard_ids: Sequence[str],
+        *,
+        replicas: int = 64,
+        replication_factor: int = 1,
+    ) -> None:
         ids = list(shard_ids)
         if not ids:
             raise ConfigurationError("the router needs at least one shard id")
@@ -127,8 +141,14 @@ class ShardRouter:
                 raise ConfigurationError("shard ids must be non-empty strings")
         if replicas < 1:
             raise ConfigurationError(f"replicas must be positive, got {replicas}")
+        if not 1 <= replication_factor <= len(ids):
+            raise ConfigurationError(
+                f"replication_factor must be between 1 and the shard count "
+                f"({len(ids)}), got {replication_factor}"
+            )
         self._shard_ids = ids
         self._replicas = replicas
+        self._replication_factor = int(replication_factor)
         ring = sorted(
             (stable_hash(f"{shard_id}#{replica}"), shard_id)
             for shard_id in ids
@@ -148,12 +168,17 @@ class ShardRouter:
     def shard_ids(self) -> List[str]:
         return list(self._shard_ids)
 
+    @property
+    def replication_factor(self) -> int:
+        return self._replication_factor
+
     def placement(self) -> Dict[str, object]:
         """JSON-compatible dump of the placement rules (for cluster stats)."""
         with self._lock:
             return {
                 "shard_ids": list(self._shard_ids),
                 "replicas": self._replicas,
+                "replication_factor": self._replication_factor,
                 "overrides": dict(self._overrides),
                 "partitions": {
                     name: partition.to_dict()
@@ -169,6 +194,19 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # hash-ring placement
     # ------------------------------------------------------------------
+    def _ring_walk(self, key: str) -> Iterable[str]:
+        """Distinct shard ids in ring order starting at ``key``'s point."""
+        start = bisect.bisect_right(self._ring_points, stable_hash(key))
+        n_points = len(self._ring_points)
+        seen: Dict[str, None] = {}
+        for step in range(n_points):
+            shard_id = self._ring_shards[(start + step) % n_points]
+            if shard_id not in seen:
+                seen[shard_id] = None
+                yield shard_id
+                if len(seen) == len(self._shard_ids):
+                    return
+
     def ring_shard_for(self, name: str, *, exclude: Iterable[str] = ()) -> str:
         """Pure ring placement, ignoring overrides and partitions.
 
@@ -178,10 +216,7 @@ class ShardRouter:
         excluded = set(exclude)
         if not set(self._shard_ids) - excluded:
             raise ClusterError(f"no shards left after excluding {sorted(excluded)}")
-        start = bisect.bisect_right(self._ring_points, stable_hash(name))
-        n_points = len(self._ring_points)
-        for step in range(n_points):
-            shard_id = self._ring_shards[(start + step) % n_points]
+        for shard_id in self._ring_walk(name):
             if shard_id not in excluded:
                 return shard_id
         raise ClusterError("consistent-hash ring walk found no shard")  # pragma: no cover
@@ -205,6 +240,60 @@ class ShardRouter:
         if partition is not None:
             return partition.piece_shard_ids
         return (self.shard_for(name),)
+
+    # ------------------------------------------------------------------
+    # replica placement
+    # ------------------------------------------------------------------
+    def replicas_for(self, name: str) -> Tuple[str, ...]:
+        """The replica set of an unpartitioned attribute, primary first.
+
+        The primary is :meth:`shard_for` (pin beats ring); the followers are
+        the next ``replication_factor - 1`` *distinct* shards walking the
+        consistent-hash ring from the attribute's point -- the classic
+        successor-list placement, stable across processes and under shard
+        additions outside the affected arcs.
+        """
+        primary = self.shard_for(name)
+        followers: List[str] = []
+        for shard_id in self._ring_walk(name):
+            if len(followers) >= self._replication_factor - 1:
+                break
+            if shard_id != primary:
+                followers.append(shard_id)
+        return (primary, *followers[: self._replication_factor - 1])
+
+    def partition_replicas(self, name: str) -> Dict[str, Tuple[str, ...]]:
+        """Replica sets of a partitioned attribute, keyed by piece primary.
+
+        Shard stores key histograms by attribute name alone, so no shard may
+        ever hold two different pieces of the same attribute -- a replica
+        would silently merge their masses.  The follower walk therefore
+        skips every shard already used by this attribute (any piece primary
+        or an earlier piece's follower); when the cluster is too small to
+        satisfy that, the piece gets fewer followers (degraded, determinate)
+        rather than a corrupt placement.
+        """
+        partition = self.partition_for(name)
+        if partition is None:
+            raise ClusterError(f"attribute {name!r} is not range-partitioned")
+        used = set(partition.piece_shard_ids)
+        result: Dict[str, Tuple[str, ...]] = {}
+        for piece_primary in partition.piece_shard_ids:
+            followers: List[str] = []
+            for shard_id in self._ring_walk(f"{name}@{piece_primary}"):
+                if len(followers) >= self._replication_factor - 1:
+                    break
+                if shard_id not in used:
+                    followers.append(shard_id)
+            used.update(followers)
+            result[piece_primary] = (piece_primary, *followers)
+        return result
+
+    def replica_sets_for(self, name: str) -> List[Tuple[str, ...]]:
+        """Every replica group holding state for ``name`` (one per piece)."""
+        if self.is_partitioned(name):
+            return list(self.partition_replicas(name).values())
+        return [self.replicas_for(name)]
 
     # ------------------------------------------------------------------
     # explicit assignment overrides

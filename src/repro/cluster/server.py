@@ -27,6 +27,7 @@ GET    /attributes/<name>/snapshot        serialised state (unpartitioned attrib
 POST   /attributes/<name>/restore         restore onto the routed home shard
 POST   /attributes/<name>/rebalance       ``{"shard": <id>}`` -- move the attribute
 POST   /shards/<id>/drain                 move everything off one shard
+POST   /shards/<id>/resync                re-seed a recovered shard's replicas
 ====== ================================== ===========================================
 
 :class:`ClusterClient` extends :class:`StatisticsClient` (create / ingest /
@@ -233,6 +234,9 @@ class _ClusterRequestHandler(BaseHTTPRequestHandler):
         if len(route) == 3 and route[0] == "shards" and route[2] == "drain" and method == "POST":
             self._send_json(200, coordinator.drain(route[1]))
             return
+        if len(route) == 3 and route[0] == "shards" and route[2] == "resync" and method == "POST":
+            self._send_json(200, coordinator.resync(route[1]))
+            return
         self._send_json(404, {"error": f"no route for {method} {self.path}"})
 
 
@@ -367,3 +371,9 @@ class ClusterClient(StatisticsClient):
         from urllib.parse import quote
 
         return self._request("POST", f"/shards/{quote(shard_id, safe='')}/drain", {})
+
+    def resync(self, shard_id: str) -> Dict[str, Any]:
+        """Heal a recovered shard: re-seed every replica it should hold."""
+        from urllib.parse import quote
+
+        return self._request("POST", f"/shards/{quote(shard_id, safe='')}/resync", {})

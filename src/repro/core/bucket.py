@@ -70,7 +70,11 @@ class Bucket:
             return self.count
         if self.is_point_mass:
             return self.count if x >= self.left else 0.0
-        return self.count * (x - self.left) / self.width
+        # Clamp: for subnormal widths the interpolation can round above the
+        # bucket's own count ((count * overlap) / width need not stay below
+        # count once the product is denormalised); the clamp is a no-op
+        # whenever the arithmetic already respected the bound.
+        return min(self.count * (x - self.left) / self.width, self.count)
 
     def count_in_range(self, low: float, high: float) -> float:
         """Number of the bucket's points inside the closed range [low, high]."""
@@ -82,7 +86,10 @@ class Bucket:
         overlap_high = min(high, self.right)
         if overlap_high <= overlap_low:
             return 0.0
-        return self.count * (overlap_high - overlap_low) / self.width
+        # Clamped for subnormal widths; see count_at_most.
+        return min(
+            self.count * (overlap_high - overlap_low) / self.width, self.count
+        )
 
     def with_count(self, count: float) -> "Bucket":
         """Return a copy of this bucket with a different count."""

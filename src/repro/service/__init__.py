@@ -14,18 +14,26 @@ This package is that serving layer:
 * :class:`~repro.service.server.StatisticsServer` /
   :class:`~repro.service.client.StatisticsClient` -- a stdlib-only JSON HTTP
   API (``ThreadingHTTPServer``) exposing create / ingest / estimate /
-  snapshot / restore, and the matching client.
+  snapshot / restore, and the matching client;
+* :class:`~repro.service.wal.WriteAheadLog` /
+  :class:`~repro.service.wal.DurabilityConfig` -- opt-in crash durability:
+  mutations are logged before they are applied, periodic compaction rewrites
+  the log as a checkpoint plus tail, and ``HistogramStore.recover`` replays
+  them back to the exact pre-crash state (torn tails tolerated).
 """
 
 from .client import StatisticsClient
 from .ingest import IngestPipeline
 from .server import StatisticsServer
 from .store import AttributeStats, HistogramStore
+from .wal import DurabilityConfig, WriteAheadLog
 
 __all__ = [
     "AttributeStats",
+    "DurabilityConfig",
     "HistogramStore",
     "IngestPipeline",
     "StatisticsServer",
     "StatisticsClient",
+    "WriteAheadLog",
 ]

@@ -18,6 +18,13 @@ Ordering: within one attribute, operations are applied in submission order
 attribute buffer has its own lock, held across its flush, so concurrent
 flushes of the same attribute cannot reorder and different attributes flush in
 parallel.
+
+Durability: when the backing store was configured with a
+:class:`~repro.service.wal.DurabilityConfig`, every flushed run is appended
+to the store's write-ahead log *before* it is applied (inside the attribute
+lock that orders the apply), so a crash mid-flush loses at most the still
+buffered -- never the acknowledged-as-flushed -- operations, and
+``HistogramStore.recover`` replays the flushed runs exactly.
 """
 
 from __future__ import annotations

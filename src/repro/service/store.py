@@ -28,10 +28,14 @@ list is guaranteed to describe a single histogram state (no torn estimates).
 
 from __future__ import annotations
 
+import json
 import math
+import os
 import threading
+from contextlib import ExitStack
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -43,9 +47,11 @@ from ..exceptions import (
     ConfigurationError,
     DuplicateAttributeError,
     EmptyHistogramError,
+    HistogramError,
     UnknownAttributeError,
 )
 from ..persistence import histogram_from_dict, histogram_to_dict
+from .wal import DurabilityConfig, WriteAheadLog, iter_wal
 
 __all__ = [
     "AttributeStats",
@@ -53,6 +59,9 @@ __all__ = [
     "DEFAULT_REPARTITION_INTERVAL",
     "evaluate_queries",
 ]
+
+#: Format version of the compaction checkpoint file (snapshot.json).
+_CHECKPOINT_VERSION = 1
 
 #: Default maintenance batching hint used by the store's bulk-insert path.
 DEFAULT_REPARTITION_INTERVAL = 16
@@ -169,6 +178,15 @@ class HistogramStore:
     repartition_interval:
         Maintenance batching hint forwarded to ``insert_many`` on bulk
         ingests; 1 reproduces strict per-value maintenance.
+    durability:
+        Opt-in :class:`~repro.service.wal.DurabilityConfig`.  When set, every
+        mutation (create / drop / insert / delete / restore) is appended to a
+        write-ahead log *before* it is applied, and
+        :meth:`HistogramStore.recover` rebuilds the exact pre-crash store
+        from the compaction checkpoint plus the log tail.  The constructor
+        refuses a WAL directory that already holds state -- recovering it
+        through :meth:`recover` is the only way to keep the log consistent
+        with memory.
     """
 
     def __init__(
@@ -176,12 +194,225 @@ class HistogramStore:
         *,
         memory_model: Optional[MemoryModel] = None,
         repartition_interval: int = DEFAULT_REPARTITION_INTERVAL,
+        durability: Optional[DurabilityConfig] = None,
     ) -> None:
         require_positive_int(repartition_interval, "repartition_interval")
         self._memory_model = memory_model
         self._repartition_interval = repartition_interval
         self._registry_lock = threading.RLock()
         self._attributes: Dict[str, _Attribute] = {}
+        self._durability = durability
+        self._wal: Optional[WriteAheadLog] = None
+        self._compact_lock = threading.Lock()
+        if durability is not None:
+            if durability.has_state():
+                raise ConfigurationError(
+                    f"WAL directory {durability.wal_dir} already holds state; "
+                    "use HistogramStore.recover() to reopen it"
+                )
+            self._wal = WriteAheadLog(durability.wal_path, fsync=durability.fsync)
+
+    # ------------------------------------------------------------------
+    # durability (write-ahead log)
+    # ------------------------------------------------------------------
+    @property
+    def durability(self) -> Optional[DurabilityConfig]:
+        return self._durability
+
+    def close(self) -> None:
+        """Flush and close the write-ahead log (no-op without durability)."""
+        if self._wal is not None:
+            self._wal.close()
+
+    def _log(self, record: Dict[str, Any]) -> None:
+        """Append one mutation record to the WAL (write-ahead: callers log
+        *before* applying, inside the critical section that orders the
+        apply, so log order equals apply order per attribute)."""
+        if self._wal is not None:
+            self._wal.append(record)
+
+    def _maybe_compact(self) -> None:
+        """Auto-compaction trigger; called OUTSIDE any attribute lock.
+
+        Compaction acquires every attribute lock, so triggering it from
+        inside a mutation's critical section would deadlock against a
+        concurrent mutation holding another attribute's lock.
+        """
+        if self._wal is None or self._durability is None:
+            return
+        threshold = self._durability.compact_every
+        if threshold is not None and self._wal.appended_count >= threshold:
+            self.compact()
+
+    def compact(self) -> int:
+        """Checkpoint the catalog and truncate the log; returns ``last_seq``.
+
+        Stop-the-world: the registry lock and every attribute lock (sorted
+        order) are held across checkpoint + truncation, so the checkpoint is
+        a single point-in-time state, its recorded ``last_seq`` covers
+        exactly the applied records, and no append can land between the
+        sequence read and the truncation.  The checkpoint is written to a
+        temporary file, fsynced and atomically renamed, so a crash at any
+        point leaves either the old checkpoint + full log or the new
+        checkpoint (whose ``last_seq`` makes the not-yet-truncated log
+        records no-ops on replay).
+        """
+        if self._wal is None or self._durability is None:
+            raise ConfigurationError("compact() requires a durability configuration")
+        with self._compact_lock, self._registry_lock, ExitStack() as stack:
+            attributes = [self._attributes[name] for name in sorted(self._attributes)]
+            for attribute in attributes:
+                stack.enter_context(attribute.lock)
+            last_seq = self._wal.last_seq
+            checkpoint = {
+                "format_version": _CHECKPOINT_VERSION,
+                "last_seq": last_seq,
+                "store": {
+                    "attributes": [self._snapshot_locked(a) for a in attributes]
+                },
+            }
+            snapshot_path = self._durability.snapshot_path
+            tmp_path = snapshot_path.with_suffix(".json.tmp")
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(checkpoint, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, snapshot_path)
+            if self._durability.fsync:
+                # Power-loss durability needs the *directory entry* of the
+                # rename on disk before the log is truncated, or a reboot
+                # could find the old checkpoint next to an empty log.
+                directory_fd = os.open(str(snapshot_path.parent), os.O_RDONLY)
+                try:
+                    os.fsync(directory_fd)
+                finally:
+                    os.close(directory_fd)
+            self._wal.rotate()
+            return last_seq
+
+    @classmethod
+    def recover(
+        cls,
+        wal_dir: Union[str, Path],
+        *,
+        fsync: bool = False,
+        compact_every: Optional[int] = 10_000,
+        memory_model: Optional[MemoryModel] = None,
+        repartition_interval: int = DEFAULT_REPARTITION_INTERVAL,
+    ) -> "HistogramStore":
+        """Rebuild a store from a WAL directory, bit-identical to pre-crash.
+
+        Loads the compaction checkpoint (if any) with *exact* state --
+        generations included -- then replays the log tail, skipping records
+        the checkpoint already covers (``seq <= last_seq``) and stopping at
+        the first torn or corrupted record.  The torn tail is truncated and
+        the log reopened for appending, so the recovered store continues
+        durably where the crashed one stopped.
+
+        Replayed records run through the ordinary mutation paths with the
+        recorded batching interval, so a replay reproduces the original
+        apply sequence exactly -- including deterministic mid-batch
+        failures, which are swallowed just as the original caller observed
+        them and moved on.
+        """
+        config = DurabilityConfig(
+            wal_dir=wal_dir, fsync=fsync, compact_every=compact_every
+        )
+        store = cls(
+            memory_model=memory_model, repartition_interval=repartition_interval
+        )
+        last_seq = 0
+        if config.snapshot_path.exists():
+            checkpoint = json.loads(config.snapshot_path.read_text(encoding="utf-8"))
+            version = checkpoint.get("format_version")
+            if version != _CHECKPOINT_VERSION:
+                raise ConfigurationError(
+                    f"unsupported checkpoint format version: {version!r}"
+                )
+            last_seq = int(checkpoint.get("last_seq", 0))
+            for entry in checkpoint.get("store", {}).get("attributes", []):
+                store._restore_exact(entry)
+        # Streamed, not materialised: a log just short of its compaction
+        # threshold can be large, and recovery is exactly when memory is
+        # scarce (the store is being rebuilt alongside it).
+        max_seq = last_seq
+        valid_end = 0
+        for wal_record in iter_wal(config.wal_path):
+            valid_end = wal_record.end_offset
+            if wal_record.seq > max_seq:
+                max_seq = wal_record.seq
+            if wal_record.seq <= last_seq:
+                continue  # already inside the checkpoint
+            try:
+                store._apply_wal_record(wal_record.record)
+            except ConfigurationError:
+                # An unknown op (a newer log format?) must surface: rejected
+                # mutations are never logged, so a ConfigurationError here
+                # cannot be a replayed pre-crash failure -- swallowing it
+                # would recover "successfully" with records silently missing.
+                raise
+            except HistogramError:
+                # The original apply failed the same (deterministic) way --
+                # e.g. a delete batch hitting an empty histogram -- and the
+                # writer moved on; recovery reproduces exactly that.
+                continue
+        store._durability = config
+        store._wal = WriteAheadLog(
+            config.wal_path, fsync=fsync, start_seq=max_seq, truncate_at=valid_end
+        )
+        return store
+
+    def _apply_wal_record(self, record: Mapping[str, Any]) -> None:
+        """Re-apply one logged mutation through the ordinary code paths."""
+        op = record.get("op")
+        name = record.get("name")
+        if op == "create":
+            self.create(
+                str(name),
+                str(record.get("kind", "dc")),
+                memory_kb=float(record.get("memory_kb", 1.0)),
+                value_unit=float(record.get("value_unit", 1.0)),
+                disk_factor=float(record.get("disk_factor", 20.0)),
+                seed=int(record.get("seed", 0)),
+            )
+        elif op == "drop":
+            self.drop(str(name))
+        elif op == "insert":
+            self.insert(
+                str(name),
+                record["values"],
+                repartition_interval=int(record["interval"]),
+            )
+        elif op == "delete":
+            self.delete(str(name), record["values"])
+        elif op == "restore":
+            self.restore(str(name), record["snapshot"])
+        else:
+            raise ConfigurationError(f"unknown WAL record op {op!r}")
+
+    def _restore_exact(self, snapshot: Mapping[str, Any]) -> None:
+        """Checkpoint restore: reproduce the attribute entry bit-identically.
+
+        Unlike the public :meth:`restore` (which bumps the generation so
+        live readers observe progress), recovery must land on *exactly* the
+        checkpointed generation -- tail replay then advances it in lockstep
+        with the original apply sequence.
+        """
+        histogram = histogram_from_dict(dict(snapshot["histogram"]))
+        if not isinstance(histogram, DynamicHistogram):
+            raise ConfigurationError("checkpoint entry is not a dynamic histogram")
+        name = str(snapshot["name"])
+        attribute = _Attribute(
+            name=name,
+            kind=str(snapshot.get("kind", "dc")),
+            memory_kb=float(snapshot.get("memory_kb", 1.0)),
+            histogram=histogram,
+            generation=int(snapshot.get("generation", 0)),
+            inserted=int(snapshot.get("inserted", 0)),
+            deleted=int(snapshot.get("deleted", 0)),
+        )
+        with self._registry_lock:
+            self._attributes[name] = attribute
 
     # ------------------------------------------------------------------
     # registry
@@ -219,10 +450,22 @@ class HistogramStore:
                 if exist_ok:
                     return self._stats_locked(existing)
                 raise DuplicateAttributeError(name)
+            self._log(
+                {
+                    "op": "create",
+                    "name": name,
+                    "kind": kind.lower(),
+                    "memory_kb": float(memory_kb),
+                    "value_unit": float(value_unit),
+                    "disk_factor": float(disk_factor),
+                    "seed": int(seed),
+                }
+            )
             attribute = _Attribute(
                 name=name, kind=kind.lower(), memory_kb=float(memory_kb), histogram=histogram
             )
             self._attributes[name] = attribute
+        self._maybe_compact()
         # Stats come from the reference we hold: a concurrent drop must not
         # turn a successful create into an UnknownAttributeError.
         return self._stats_locked(attribute)
@@ -230,8 +473,11 @@ class HistogramStore:
     def drop(self, name: str) -> None:
         """Remove an attribute and its histogram from the store."""
         with self._registry_lock:
-            if self._attributes.pop(name, None) is None:
+            if name not in self._attributes:
                 raise UnknownAttributeError(name)
+            self._log({"op": "drop", "name": name})
+            del self._attributes[name]
+        self._maybe_compact()
 
     def names(self) -> List[str]:
         """The managed attribute names, sorted."""
@@ -278,6 +524,9 @@ class HistogramStore:
         )
         attribute = self._attribute(name)
         with attribute.lock:
+            self._log(
+                {"op": "insert", "name": name, "values": values, "interval": interval}
+            )
             try:
                 attribute.histogram.insert_many(values, repartition_interval=interval)
                 attribute.inserted += len(values)
@@ -286,6 +535,7 @@ class HistogramStore:
                 # generation must move so readers never mistake the mutated
                 # histogram for the pre-batch state.
                 attribute.generation += 1
+        self._maybe_compact()
         return len(values)
 
     def delete(self, name: str, values: Iterable[float]) -> int:
@@ -303,6 +553,7 @@ class HistogramStore:
             return 0
         attribute = self._attribute(name)
         with attribute.lock:
+            self._log({"op": "delete", "name": name, "values": values})
             try:
                 attribute.histogram.delete_many(values)
                 attribute.deleted += len(values)
@@ -313,6 +564,11 @@ class HistogramStore:
                 # As in insert: a DeletionError mid-batch leaves earlier
                 # deletions applied, so the generation must still move.
                 attribute.generation += 1
+        # Success path only (as in insert): compacting inside a finally could
+        # replace an in-flight DeletionError -- and with it the exception's
+        # applied_count, which the ingest pipeline's precise-requeue logic
+        # reads.  A deferred compaction simply runs on the next mutation.
+        self._maybe_compact()
         return len(values)
 
     # ------------------------------------------------------------------
@@ -449,19 +705,51 @@ class HistogramStore:
         with self._registry_lock:
             attribute = self._attributes.get(name)
             if attribute is None:
+                # Fresh attribute: log + install + apply inside ONE registry
+                # critical section.  Publishing the attribute before its WAL
+                # record exists would let a concurrent insert find it, log
+                # first, and apply -- and that insert record would replay
+                # before any record creating the attribute, get swallowed as
+                # an unknown-attribute failure, and break the bit-identical
+                # recovery promise.
+                self._log(
+                    {"op": "restore", "name": name, "snapshot": dict(snapshot)}
+                )
                 attribute = _Attribute(
-                    name=name, kind=kind, memory_kb=memory_kb, histogram=histogram
+                    name=name,
+                    kind=kind,
+                    memory_kb=memory_kb,
+                    histogram=histogram,
+                    generation=int(snapshot.get("generation", 0)) + 1,
+                    inserted=int(snapshot.get("inserted", 0)),
+                    deleted=int(snapshot.get("deleted", 0)),
                 )
                 self._attributes[name] = attribute
-        with attribute.lock:
-            attribute.histogram = histogram
-            attribute.kind = kind
-            attribute.memory_kb = memory_kb
-            attribute.inserted = int(snapshot.get("inserted", 0))
-            attribute.deleted = int(snapshot.get("deleted", 0))
-            attribute.generation = (
-                max(attribute.generation, int(snapshot.get("generation", 0))) + 1
-            )
+                fresh = True
+            else:
+                fresh = False
+        if not fresh:
+            # Registry lock first, then the attribute lock -- the same order
+            # compact() uses, so no inversion.  Re-checking membership under
+            # the registry lock closes the restore/drop race: a drop that
+            # won the race has its record in the WAL already, and logging a
+            # restore against the orphaned object would replay as
+            # drop-then-restore, resurrecting on recovery an attribute the
+            # live store no longer serves.  Retrying from the top lands in
+            # the fresh path, which logs and installs consistently.
+            with self._registry_lock, attribute.lock:
+                if self._attributes.get(name) is not attribute:
+                    return self.restore(name, snapshot)
+                self._log({"op": "restore", "name": name, "snapshot": dict(snapshot)})
+                attribute.histogram = histogram
+                attribute.kind = kind
+                attribute.memory_kb = memory_kb
+                attribute.inserted = int(snapshot.get("inserted", 0))
+                attribute.deleted = int(snapshot.get("deleted", 0))
+                attribute.generation = (
+                    max(attribute.generation, int(snapshot.get("generation", 0))) + 1
+                )
+        self._maybe_compact()
         return self._stats_locked(attribute)
 
     def restore_all(self, snapshot: Mapping[str, Any]) -> List[AttributeStats]:

@@ -1,0 +1,286 @@
+"""Write-ahead log for the statistics service (crash durability).
+
+A :class:`~repro.service.store.HistogramStore` holds every histogram in
+memory: a process crash loses the whole catalog.  The WAL closes that gap
+with the classic recipe -- every mutation is appended to an on-disk log
+*before* it is applied, and :meth:`HistogramStore.recover` replays the log to
+rebuild the exact pre-crash state.
+
+Record format
+-------------
+
+The log is a sequence of self-framing binary records::
+
+    MAGIC (2 bytes, b"WR") | length (4 bytes, big-endian) |
+    crc32 (4 bytes, big-endian, over the payload) | payload (UTF-8 JSON)
+
+The JSON payload is an envelope ``{"seq": <int>, "record": {...}}`` where
+``seq`` is a monotonically increasing sequence number and ``record`` is one of
+the store's mutation records (``op`` of ``create`` / ``drop`` / ``insert`` /
+``delete`` / ``restore``).  Floats survive the JSON round trip bit-exactly
+(``json`` emits the shortest round-tripping repr), and replaying an ``insert``
+record re-runs ``insert_many`` with the *recorded* maintenance interval, so a
+replayed store is bit-identical to the original apply sequence.
+
+Torn-tail rule
+--------------
+
+A crash can tear the final record (partial header, partial payload) or a disk
+error can corrupt any byte.  :func:`replay_wal` stops at the **first** record
+that fails framing or checksum validation and reports the byte offset of the
+end of the last intact record; everything before that offset is trusted,
+everything after is discarded (recovery truncates the file there before
+appending again).  Validation failures are never raised during replay -- a
+torn tail is an expected crash artefact, not an error.
+
+Compaction
+----------
+
+An ever-growing log makes recovery ever slower.  ``HistogramStore.compact``
+writes the whole catalog as a snapshot checkpoint (``snapshot.json``, built on
+:mod:`repro.persistence`) recording the highest sequence number it contains,
+then truncates the log.  Recovery loads the checkpoint first and skips
+replayed records with ``seq <= last_seq``, so a crash *between* the snapshot
+rename and the log truncation can never double-apply a record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "DurabilityConfig",
+    "WriteAheadLog",
+    "WalRecord",
+    "iter_wal",
+    "replay_wal",
+    "WAL_FILE_NAME",
+    "SNAPSHOT_FILE_NAME",
+]
+
+#: Per-record frame header: magic + payload length + payload crc32.
+_MAGIC = b"WR"
+_HEADER = struct.Struct(">2sII")
+
+WAL_FILE_NAME = "wal.log"
+SNAPSHOT_FILE_NAME = "snapshot.json"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record plus its position in the file."""
+
+    seq: int
+    record: Dict[str, Any]
+    #: Byte offset of the end of this record's frame (= start of the next).
+    end_offset: int
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """Opt-in durability settings for a :class:`HistogramStore`.
+
+    Parameters
+    ----------
+    wal_dir:
+        Directory holding the log (``wal.log``) and the compaction
+        checkpoint (``snapshot.json``).  Created if missing.
+    fsync:
+        Force every append to stable storage (``os.fsync``).  Off by
+        default: the log is then durable against process crashes but a
+        whole-machine power loss may tear the tail -- which recovery
+        tolerates by design.
+    compact_every:
+        Automatically compact after this many appended records; ``None``
+        disables auto-compaction (``compact()`` can still be called
+        explicitly).
+    """
+
+    wal_dir: Union[str, Path]
+    fsync: bool = False
+    compact_every: Optional[int] = 10_000
+
+    def __post_init__(self) -> None:
+        if self.compact_every is not None and self.compact_every < 1:
+            raise ConfigurationError(
+                f"compact_every must be positive or None, got {self.compact_every}"
+            )
+
+    @property
+    def wal_path(self) -> Path:
+        return Path(self.wal_dir) / WAL_FILE_NAME
+
+    @property
+    def snapshot_path(self) -> Path:
+        return Path(self.wal_dir) / SNAPSHOT_FILE_NAME
+
+    def has_state(self) -> bool:
+        """True when the directory already holds recoverable state.
+
+        The single definition of "holds state" -- the store constructor
+        refuses such a directory (recover() is the only safe way in) and
+        the CLI uses the same predicate to pick recover-vs-fresh.
+        """
+        return self.snapshot_path.exists() or (
+            self.wal_path.exists() and self.wal_path.stat().st_size > 0
+        )
+
+
+def _encode_frame(seq: int, record: Dict[str, Any]) -> bytes:
+    payload = json.dumps({"seq": seq, "record": record}, separators=(",", ":")).encode("utf-8")
+    return _HEADER.pack(_MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+def iter_wal(path: Union[str, Path]) -> Iterator[WalRecord]:
+    """Stream a log file's intact records one frame at a time.
+
+    Recovery memory stays O(one record) regardless of log size (a log left
+    just short of the compaction threshold can be large).  Iteration stops
+    -- silently, per the torn-tail rule -- at the first record with a short
+    or mismatched frame, a checksum failure, or an undecodable payload; the
+    byte offset after the last intact record is each yielded record's
+    ``end_offset``.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with open(path, "rb") as handle:
+        offset = 0
+        while True:
+            header = handle.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                return  # torn header (or clean EOF)
+            magic, length, checksum = _HEADER.unpack(header)
+            if magic != _MAGIC:
+                return  # corrupted frame boundary
+            payload = handle.read(length)
+            if len(payload) < length:
+                return  # torn payload
+            if zlib.crc32(payload) != checksum:
+                return  # corrupted payload
+            payload_end = offset + _HEADER.size + length
+            try:
+                envelope = json.loads(payload.decode("utf-8"))
+                record = WalRecord(
+                    seq=int(envelope["seq"]),
+                    record=dict(envelope["record"]),
+                    end_offset=payload_end,
+                )
+            except (ValueError, KeyError, TypeError):
+                return  # checksum collision on garbage; treat as corruption
+            yield record
+            offset = payload_end
+
+
+def replay_wal(path: Union[str, Path]) -> Tuple[list, int]:
+    """Decode every intact record of a log file into a list.
+
+    Returns ``(records, valid_end_offset)``.  Convenience wrapper over
+    :func:`iter_wal` for tools and tests; recovery streams instead.
+    """
+    records = list(iter_wal(path))
+    return records, records[-1].end_offset if records else 0
+
+
+class WriteAheadLog:
+    """Appender over one log file: thread-safe, crash-tolerant.
+
+    Appends are serialised under one internal lock, which also assigns the
+    sequence numbers -- file order and sequence order always agree.  The
+    store appends while holding the written attribute's lock, so per
+    attribute the log order equals the apply order (the property replay
+    depends on); records of *different* attributes commute.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        fsync: bool = False,
+        start_seq: int = 0,
+        truncate_at: Optional[int] = None,
+    ) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._fsync = bool(fsync)
+        self._lock = threading.Lock()
+        self._seq = int(start_seq)
+        self._appended = 0
+        # Drop a torn/corrupt tail before appending after it: anything past
+        # the last intact record is unreadable garbage that would otherwise
+        # poison the framing of every later append.
+        if truncate_at is not None and self._path.exists():
+            if self._path.stat().st_size > truncate_at:
+                with open(self._path, "r+b") as handle:
+                    handle.truncate(truncate_at)
+        self._file = open(self._path, "ab")
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def last_seq(self) -> int:
+        """The sequence number of the most recently appended record."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def appended_count(self) -> int:
+        """Records appended through this handle (compaction trigger input)."""
+        with self._lock:
+            return self._appended
+
+    def append(self, record: Dict[str, Any]) -> int:
+        """Append one record durably; returns its sequence number."""
+        with self._lock:
+            if self._file.closed:
+                raise ConfigurationError(f"write-ahead log {self._path} is closed")
+            self._seq += 1
+            self._file.write(_encode_frame(self._seq, record))
+            self._file.flush()
+            if self._fsync:
+                os.fsync(self._file.fileno())
+            self._appended += 1
+            return self._seq
+
+    def rotate(self) -> None:
+        """Truncate the log (its records are now covered by a checkpoint)."""
+        with self._lock:
+            self._file.close()
+            self._file = open(self._path, "wb")
+            if self._fsync:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            self._appended = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                if self._fsync:
+                    os.fsync(self._file.fileno())
+                self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def records(self) -> Iterator[WalRecord]:
+        """Decode the log's intact records (flushes buffered appends first)."""
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+        records, _ = replay_wal(self._path)
+        return iter(records)

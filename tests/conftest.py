@@ -1,6 +1,9 @@
-"""Shared pytest fixtures for the repro test suite."""
+"""Shared pytest fixtures and the per-test timeout watchdog."""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import numpy as np
 import pytest
@@ -10,6 +13,46 @@ from repro import (
     DataDistribution,
     generate_cluster_values,
 )
+
+#: Default per-test watchdog.  Generous -- its job is to turn a deadlocked
+#: failover/concurrency test into a fast, attributable failure instead of a
+#: hung CI job, not to police slow-but-progressing tests.  Override per test
+#: with ``@pytest.mark.timeout(seconds)``.
+DEFAULT_TEST_TIMEOUT = 120.0
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM-based per-test timeout (no third-party plugin available).
+
+    The alarm interrupts the main thread even inside ``lock.acquire()`` /
+    ``thread.join()`` -- exactly where a deadlocked concurrency test hangs.
+    Skipped when the platform has no SIGALRM or tests run off the main
+    thread (the watchdog then simply does not arm; it never breaks a run).
+    """
+    marker = item.get_closest_marker("timeout")
+    seconds = float(marker.args[0]) if marker and marker.args else DEFAULT_TEST_TIMEOUT
+    can_arm = (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+        and seconds > 0
+    )
+    if not can_arm:
+        return (yield)
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds:.0f}s watchdog (likely deadlocked); "
+            "see pytest.ini markers"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

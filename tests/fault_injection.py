@@ -1,0 +1,133 @@
+"""Fault-injection test doubles for the cluster layer.
+
+:class:`FlakyShard` wraps any :class:`~repro.cluster.protocol.ShardBackend`
+with scripted failure points, so tests can drive the coordinator through the
+exact crash windows that matter for exactly-once semantics:
+
+* **down** -- the shard is unreachable: every call raises
+  :class:`~repro.exceptions.ShardUnavailableError` (a killed process);
+* **fail-before-apply** -- the next N ingests raise *before* touching the
+  inner shard (the request never arrived);
+* **fail-after-apply** -- the next N ingests apply on the inner shard and
+  *then* raise (the response was lost: the caller cannot know the write
+  landed -- the nastiest window, where a retry would double-apply);
+* **fail-N-then-heal** -- either of the above N times, then healthy again.
+
+All failures surface as ``ShardUnavailableError`` carrying the shard id,
+exactly what a :class:`~repro.cluster.protocol.RemoteShard` raises for a
+dead transport, so the coordinator cannot tell the double from the real
+thing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, List, Mapping, Sequence
+
+from repro.cluster.protocol import ShardBackend
+from repro.exceptions import ShardUnavailableError
+
+__all__ = ["FlakyShard", "InjectedFault"]
+
+
+class InjectedFault(Exception):
+    """The scripted cause carried inside the raised ShardUnavailableError."""
+
+
+class FlakyShard(ShardBackend):
+    """A ShardBackend proxy with scripted failure points.
+
+    The wrapper is intentionally *stateless about payloads*: it never
+    buffers or replays -- whether a failed write reached the inner shard is
+    decided solely by the scripted failure point, which is exactly the
+    ambiguity the coordinator must survive.
+    """
+
+    def __init__(self, inner: ShardBackend) -> None:
+        super().__init__(inner.shard_id)
+        self.inner = inner
+        self.down = False
+        #: Fail only the snapshot path (a shard that serves cheap stats but
+        #: cannot ship full state -- forces snapshot failover in isolation).
+        self.snapshot_down = False
+        self._fail_before = 0
+        self._fail_after = 0
+        self.calls: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # scripting
+    # ------------------------------------------------------------------
+    def fail_next_ingests(self, times: int = 1, *, when: str = "before") -> None:
+        """Script the next ``times`` ingests to fail, then heal.
+
+        ``when="before"`` fails without applying; ``when="after"`` applies
+        on the inner shard first and then reports failure.
+        """
+        if when == "before":
+            self._fail_before += int(times)
+        elif when == "after":
+            self._fail_after += int(times)
+        else:
+            raise ValueError(f"when must be 'before' or 'after', got {when!r}")
+
+    def _unavailable(self, reason: str) -> ShardUnavailableError:
+        return ShardUnavailableError(self.shard_id, InjectedFault(reason))
+
+    def _gate(self, call: str) -> None:
+        self.calls[call] += 1
+        if self.down:
+            raise self._unavailable("shard is down")
+
+    # ------------------------------------------------------------------
+    # ShardBackend protocol
+    # ------------------------------------------------------------------
+    def create(self, name: str, kind: str = "dc", **kwargs: Any) -> Dict[str, Any]:
+        self._gate("create")
+        return self.inner.create(name, kind, **kwargs)
+
+    def drop(self, name: str) -> None:
+        self._gate("drop")
+        self.inner.drop(name)
+
+    def names(self) -> List[str]:
+        self._gate("names")
+        return self.inner.names()
+
+    def ingest(
+        self, name: str, insert: Sequence[float] = (), delete: Sequence[float] = ()
+    ) -> Dict[str, Any]:
+        self._gate("ingest")
+        if self._fail_before > 0:
+            self._fail_before -= 1
+            raise self._unavailable("scripted failure before apply")
+        result = self.inner.ingest(name, insert=insert, delete=delete)
+        if self._fail_after > 0:
+            self._fail_after -= 1
+            raise self._unavailable("scripted failure after apply (response lost)")
+        return result
+
+    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+        self._gate("query")
+        return self.inner.query(name, queries)
+
+    def stats(self, name: str) -> Dict[str, Any]:
+        self._gate("stats")
+        return self.inner.stats(name)
+
+    def stats_all(self) -> List[Dict[str, Any]]:
+        self._gate("stats_all")
+        return self.inner.stats_all()
+
+    def snapshot(self, name: str) -> Dict[str, Any]:
+        self._gate("snapshot")
+        if self.snapshot_down:
+            raise self._unavailable("snapshot path is down")
+        return self.inner.snapshot(name)
+
+    def restore(self, name: str, snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+        self._gate("restore")
+        return self.inner.restore(name, snapshot)
+
+    def health(self) -> Dict[str, Any]:
+        self._gate("health")
+        return self.inner.health()

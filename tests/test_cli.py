@@ -228,6 +228,78 @@ class TestServeClusterCommand:
         assert "--shards" in output
 
 
+class TestDurableServe:
+    def test_serve_wal_dir_recovers_catalog_across_restarts(self, tmp_path):
+        from repro.service import HistogramStore
+
+        wal_dir = tmp_path / "wal"
+        # First life: create + ingest durably, then "crash" (exit).
+        code, output = _run(
+            ["serve", "--port", "0", "-a", "age:dc:0.5",
+             "--flush-interval", "0", "--duration", "0.05",
+             "--wal-dir", str(wal_dir)]
+        )
+        assert code == 0
+        assert "fresh log" in output
+        store = HistogramStore.recover(wal_dir)
+        store.insert("age", [float(v % 50) for v in range(200)])
+        store.close()
+        # Second life: the catalog comes back with its data.
+        code, output = _run(
+            ["serve", "--port", "0", "--flush-interval", "0",
+             "--duration", "0.05", "--wal-dir", str(wal_dir)]
+        )
+        assert code == 0
+        assert "recovered existing catalog" in output
+        assert "attributes: age" in output
+
+    def test_serve_cluster_replication_and_wal_flags(self, tmp_path):
+        code, output = _run(
+            ["serve-cluster", "--port", "0", "--shards", "3",
+             "--replication-factor", "2", "-a", "age:dc:0.5",
+             "--wal-dir", str(tmp_path / "cluster-wal"), "--duration", "0.05"]
+        )
+        assert code == 0
+        assert "replication factor: 2" in output
+        assert "per-shard WALs" in output
+        assert (tmp_path / "cluster-wal" / "shard-0" / "wal.log").exists()
+
+    def test_serve_cluster_rejects_bad_replication_factor(self):
+        code, output = _run(
+            ["serve-cluster", "--shards", "2", "--replication-factor", "3",
+             "--duration", "0"]
+        )
+        assert code == 2
+        assert "--replication-factor" in output
+
+
+class TestResyncCommand:
+    def test_resync_heals_a_stale_replica_over_http(self):
+        from repro.cluster import ClusterCoordinator, ClusterServer, LocalShard, ShardRouter
+        from fault_injection import FlakyShard
+
+        shards = [FlakyShard(LocalShard(f"shard-{i}")) for i in range(3)]
+        router = ShardRouter([s.shard_id for s in shards], replication_factor=2)
+        coordinator = ClusterCoordinator(shards, router=router)
+        coordinator.create("age", "dc", memory_kb=0.5)
+        primary_id, follower_id = coordinator.router.replicas_for("age")
+        by_id = {s.shard_id: s for s in shards}
+        by_id[follower_id].down = True
+        coordinator.ingest("age", insert=[float(v) for v in range(100)])
+        by_id[follower_id].down = False
+        with ClusterServer(coordinator) as server:
+            host, port = server.address
+            code, output = _run(["resync", follower_id, "--host", host, "--port", str(port)])
+        assert code == 0
+        assert f"age <- {primary_id}" in output
+        assert by_id[follower_id].inner.store.total_count("age") == pytest.approx(100.0)
+
+    def test_resync_unreachable_server_fails_cleanly(self):
+        code, output = _run(["resync", "shard-0", "--port", "1"])
+        assert code == 2
+        assert "failed" in output
+
+
 class TestClusterStatsCommand:
     def test_cluster_stats_pretty_prints_live_cluster(self):
         from repro.cluster import ClusterCoordinator, ClusterServer, LocalShard

@@ -8,12 +8,17 @@ the histogram the cache serves is bit-identical to a from-scratch
 superimpose + reduce over the current piece snapshots.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import ClusterCoordinator, LocalShard
 from repro.distributed.union import reduce_segments, superimpose
 from repro.persistence import histogram_from_dict
+
+# Hypothesis soak over cluster write interleavings: excluded from the tier-1
+# run (pytest.ini), exercised by the scheduled slow-suite CI job.
+pytestmark = pytest.mark.slow
 
 BOUNDARIES = [100.0, 200.0, 300.0]
 GLOBAL_BUCKETS = 12

@@ -18,6 +18,10 @@ import pytest
 
 from repro import HistogramStore, IngestPipeline, StatisticsClient, StatisticsServer
 
+# Multi-threaded soak tests: excluded from the tier-1 run (pytest.ini),
+# exercised by the scheduled slow-suite CI job.
+pytestmark = pytest.mark.slow
+
 ATTRIBUTES = ("age", "price", "score")
 FULL_DOMAIN = {"op": "range", "low": -1e18, "high": 1e18}
 

@@ -1,0 +1,332 @@
+"""Crash-recovery tests for the write-ahead log (repro.service.wal).
+
+The durability contract under test:
+
+* ``HistogramStore.recover`` rebuilds the exact pre-crash store -- histogram
+  state, generation counters, inserted/deleted counters -- from the
+  compaction checkpoint plus the log tail;
+* a torn or corrupted tail (crash mid-append, disk damage) silently drops
+  everything from the first damaged record on: recovery reproduces the store
+  *as of the last intact record*, never crashes, never double-applies;
+* compaction + recovery is a fixed point: checkpointing and reopening is
+  invisible to the logical state.
+
+The fuzz suite drives a seeded random workload, then truncates/corrupts the
+log at arbitrary byte offsets and checks the recovered store bit-identically
+against a reference built by replaying the surviving operation prefix into a
+fresh store.  The oracle is independent of the recovery code path: the
+workload records its own operation log, and the pristine file's framing
+(parsed before any damage) maps a damage offset to the surviving prefix
+length.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, HistogramError
+from repro.service import DurabilityConfig, HistogramStore, IngestPipeline
+from repro.service.wal import WAL_FILE_NAME, WriteAheadLog, replay_wal
+
+ATTRIBUTES = (("age", "dc"), ("price", "dvo"), ("load", "dado"))
+
+
+def durable_store(tmp_path, **kwargs) -> HistogramStore:
+    kwargs.setdefault("compact_every", None)
+    return HistogramStore(durability=DurabilityConfig(tmp_path, **kwargs))
+
+
+def state_of(store: HistogramStore):
+    """Full comparable state: histograms, generations, lifetime counters."""
+    return store.snapshot_all()
+
+
+def run_workload(store: HistogramStore, seed: int, n_ops: int = 30, create: bool = True):
+    """A seeded random single-threaded workload; returns the op log.
+
+    Each op log entry corresponds 1:1, in order, to a WAL record
+    (single-threaded, and every generated op is one the store accepts and
+    therefore logs), so WAL sequence numbers index directly into the op
+    log -- the fuzz oracle depends on that.  Deletes may legitimately fail
+    mid-batch (DeletionError on an empty histogram); the workload moves on,
+    exactly like a production writer -- the WAL still holds the record and
+    replay reproduces the same partial apply.  Pass ``create=False`` when
+    the attributes already exist (a rejected create writes no record and
+    would break the 1:1 mapping).
+    """
+    rng = np.random.default_rng(seed)
+    oplog = []
+
+    def apply(op, *args):
+        oplog.append((op, *args))
+        try:
+            if op == "create":
+                store.create(args[0], args[1], memory_kb=0.5)
+            elif op == "drop":
+                store.drop(args[0])
+            elif op == "insert":
+                store.insert(args[0], args[1], repartition_interval=args[2])
+            elif op == "delete":
+                store.delete(args[0], args[1])
+        except HistogramError:
+            pass
+
+    if create:
+        for name, kind in ATTRIBUTES:
+            apply("create", name, kind)
+    names = [name for name, _ in ATTRIBUTES]
+    for _ in range(n_ops):
+        roll = rng.random()
+        name = names[int(rng.integers(len(names)))]
+        if roll < 0.62:
+            values = rng.integers(0, 300, int(rng.integers(1, 60))).astype(float).tolist()
+            apply("insert", name, values, int(rng.choice([1, 16, 64])))
+        elif roll < 0.85:
+            values = rng.integers(0, 300, int(rng.integers(1, 12))).astype(float).tolist()
+            apply("delete", name, values)
+        elif roll < 0.93:
+            apply("drop", name)
+            apply("create", name, dict(ATTRIBUTES)[name])
+        else:
+            values = rng.integers(300, 600, int(rng.integers(1, 30))).astype(float).tolist()
+            apply("insert", name, values, 16)
+    return oplog
+
+
+def replay_reference(oplog) -> HistogramStore:
+    """Independent oracle: apply an op-log prefix to a fresh plain store."""
+    store = HistogramStore()
+    for entry in oplog:
+        op = entry[0]
+        try:
+            if op == "create":
+                store.create(entry[1], entry[2], memory_kb=0.5)
+            elif op == "drop":
+                store.drop(entry[1])
+            elif op == "insert":
+                store.insert(entry[1], entry[2], repartition_interval=entry[3])
+            elif op == "delete":
+                store.delete(entry[1], entry[2])
+        except HistogramError:
+            pass
+    return store
+
+
+class TestWalFraming:
+    def test_append_replay_round_trip(self, tmp_path):
+        path = tmp_path / WAL_FILE_NAME
+        with WriteAheadLog(path) as wal:
+            for index in range(5):
+                wal.append({"op": "insert", "name": "a", "values": [float(index)]})
+        records, end = replay_wal(path)
+        assert [r.seq for r in records] == [1, 2, 3, 4, 5]
+        assert records[-1].end_offset == end == path.stat().st_size
+        assert records[2].record["values"] == [2.0]
+
+    def test_replay_missing_file_is_empty(self, tmp_path):
+        records, end = replay_wal(tmp_path / "absent.log")
+        assert records == [] and end == 0
+
+    def test_truncated_tail_drops_only_last_record(self, tmp_path):
+        path = tmp_path / WAL_FILE_NAME
+        with WriteAheadLog(path) as wal:
+            for index in range(4):
+                wal.append({"op": "insert", "name": "a", "values": [float(index)]})
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        records, end = replay_wal(path)
+        assert [r.record["values"] for r in records] == [[0.0], [1.0], [2.0]]
+        assert end == records[-1].end_offset
+
+    def test_corrupt_byte_stops_replay_at_damage(self, tmp_path):
+        path = tmp_path / WAL_FILE_NAME
+        with WriteAheadLog(path) as wal:
+            for index in range(4):
+                wal.append({"op": "insert", "name": "a", "values": [float(index)]})
+        records, _ = replay_wal(path)
+        data = bytearray(path.read_bytes())
+        damage = records[1].end_offset + 5  # inside the third record
+        data[damage] ^= 0xFF
+        path.write_bytes(bytes(data))
+        survivors, _ = replay_wal(path)
+        assert [r.seq for r in survivors] == [1, 2]
+
+    def test_append_after_recovery_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / WAL_FILE_NAME
+        with WriteAheadLog(path) as wal:
+            wal.append({"op": "insert", "name": "a", "values": [1.0]})
+            wal.append({"op": "insert", "name": "a", "values": [2.0]})
+        path.write_bytes(path.read_bytes()[:-4])
+        records, valid_end = replay_wal(path)
+        with WriteAheadLog(path, start_seq=records[-1].seq, truncate_at=valid_end) as wal:
+            wal.append({"op": "insert", "name": "a", "values": [3.0]})
+        records, _ = replay_wal(path)
+        assert [(r.seq, r.record["values"]) for r in records] == [
+            (1, [1.0]),
+            (2, [3.0]),
+        ]
+
+
+class TestStoreDurability:
+    def test_constructor_refuses_existing_wal_state(self, tmp_path):
+        store = durable_store(tmp_path)
+        store.create("age", "dc")
+        store.close()
+        with pytest.raises(ConfigurationError, match="recover"):
+            HistogramStore(durability=DurabilityConfig(tmp_path))
+
+    def test_recover_reproduces_store_exactly(self, tmp_path):
+        store = durable_store(tmp_path)
+        oplog = run_workload(store, seed=11)
+        store.close()
+        recovered = HistogramStore.recover(tmp_path)
+        assert state_of(recovered) == state_of(store)
+        assert state_of(recovered) == state_of(replay_reference(oplog))
+
+    def test_recovered_store_stays_durable(self, tmp_path):
+        store = durable_store(tmp_path)
+        store.create("age", "dc", memory_kb=0.5)
+        store.insert("age", [1.0, 2.0, 3.0])
+        store.close()
+        recovered = HistogramStore.recover(tmp_path)
+        recovered.insert("age", [4.0, 5.0])
+        recovered.close()
+        second = HistogramStore.recover(tmp_path)
+        assert state_of(second) == state_of(recovered)
+        assert second.total_count("age") == pytest.approx(5.0)
+
+    def test_pipeline_flushes_reach_the_wal(self, tmp_path):
+        store = durable_store(tmp_path)
+        store.create("age", "dc", memory_kb=0.5)
+        with IngestPipeline(store, max_batch=64) as pipeline:
+            for value in range(500):
+                pipeline.submit("age", [float(value % 90)])
+        store.close()
+        recovered = HistogramStore.recover(tmp_path)
+        assert recovered.total_count("age") == pytest.approx(500.0)
+        assert state_of(recovered) == state_of(store)
+
+    def test_compact_then_recover_is_fixed_point(self, tmp_path):
+        store = durable_store(tmp_path)
+        run_workload(store, seed=5)
+        store.compact()
+        store.insert("age", [1.0, 2.0])  # a tail past the checkpoint
+        store.close()
+        first = HistogramStore.recover(tmp_path)
+        assert state_of(first) == state_of(store)
+        first.compact()
+        first.close()
+        second = HistogramStore.recover(tmp_path)
+        assert state_of(second) == state_of(first)
+
+    def test_auto_compaction_triggers_and_preserves_state(self, tmp_path):
+        store = HistogramStore(
+            durability=DurabilityConfig(tmp_path, compact_every=10)
+        )
+        run_workload(store, seed=3)
+        assert (tmp_path / "snapshot.json").exists()
+        checkpoint = json.loads((tmp_path / "snapshot.json").read_text())
+        assert checkpoint["last_seq"] > 0
+        store.close()
+        recovered = HistogramStore.recover(tmp_path, compact_every=10)
+        assert state_of(recovered) == state_of(store)
+
+    def test_compact_requires_durability(self):
+        with pytest.raises(ConfigurationError):
+            HistogramStore().compact()
+
+    def test_recover_surfaces_unknown_wal_ops(self, tmp_path):
+        """A CRC-valid record with an unrecognised op (a newer log format?)
+        must fail recovery loudly, not vanish from the replayed history."""
+        store = durable_store(tmp_path)
+        store.create("age", "dc", memory_kb=0.5)
+        store.close()
+        wal = WriteAheadLog(tmp_path / WAL_FILE_NAME, start_seq=1)
+        wal.append({"op": "frobnicate", "name": "age"})
+        wal.close()
+        with pytest.raises(ConfigurationError, match="unknown WAL record op"):
+            HistogramStore.recover(tmp_path)
+
+
+@pytest.mark.slow
+class TestCrashRecoveryFuzz:
+    """Seeded byte-level damage at arbitrary offsets, exact-prefix recovery."""
+
+    N_DAMAGE_POINTS = 12
+
+    def _damage_points(self, rng, size: int):
+        # Arbitrary offsets, plus the edges (empty file, last byte).
+        points = sorted(set(rng.integers(0, size, self.N_DAMAGE_POINTS).tolist()))
+        return [0, size - 1, *points]
+
+    def _surviving_prefix(self, wal_bytes_path, offset: int) -> int:
+        """How many records survive damage at ``offset`` (pristine framing)."""
+        records, _ = replay_wal(wal_bytes_path)
+        return sum(1 for record in records if record.end_offset <= offset)
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_truncation_recovers_exact_prefix(self, tmp_path, seed):
+        store = durable_store(tmp_path)
+        oplog = run_workload(store, seed=seed, n_ops=40)
+        store.close()
+        wal_path = tmp_path / WAL_FILE_NAME
+        pristine = wal_path.read_bytes()
+        rng = np.random.default_rng(1000 + seed)
+        for offset in self._damage_points(rng, len(pristine)):
+            wal_path.write_bytes(pristine[:offset])
+            n_intact = self._surviving_prefix(wal_path, offset)
+            recovered = HistogramStore.recover(tmp_path)
+            reference = replay_reference(oplog[:n_intact])
+            assert state_of(recovered) == state_of(reference), (
+                f"seed={seed} truncation at {offset} "
+                f"({n_intact}/{len(oplog)} records intact)"
+            )
+            recovered.close()
+            wal_path.write_bytes(pristine)  # undo recovery's truncation
+
+    @pytest.mark.parametrize("seed", [2, 19])
+    def test_corruption_recovers_exact_prefix(self, tmp_path, seed):
+        store = durable_store(tmp_path)
+        oplog = run_workload(store, seed=seed, n_ops=40)
+        store.close()
+        wal_path = tmp_path / WAL_FILE_NAME
+        pristine = wal_path.read_bytes()
+        rng = np.random.default_rng(2000 + seed)
+        for offset in self._damage_points(rng, len(pristine)):
+            damaged = bytearray(pristine)
+            damaged[offset] ^= 0xFF
+            wal_path.write_bytes(bytes(damaged))
+            n_intact = self._surviving_prefix(wal_path, offset)
+            recovered = HistogramStore.recover(tmp_path)
+            reference = replay_reference(oplog[:n_intact])
+            assert state_of(recovered) == state_of(reference), (
+                f"seed={seed} corruption at {offset}"
+            )
+            recovered.close()
+            wal_path.write_bytes(pristine)
+
+    @pytest.mark.parametrize("seed", [4, 31])
+    def test_tail_damage_after_compaction(self, tmp_path, seed):
+        """Checkpoint + damaged tail: recovery = checkpoint ops + intact tail."""
+        store = durable_store(tmp_path)
+        oplog = run_workload(store, seed=seed, n_ops=25)
+        checkpoint_ops = len(oplog)  # single-threaded: seq == op index
+        store.compact()
+        oplog += run_workload(store, seed=seed + 1, n_ops=25, create=False)
+        store.close()
+        wal_path = tmp_path / WAL_FILE_NAME
+        pristine = wal_path.read_bytes()
+        rng = np.random.default_rng(3000 + seed)
+        for offset in self._damage_points(rng, len(pristine)):
+            wal_path.write_bytes(pristine[:offset])
+            n_tail = self._surviving_prefix(wal_path, offset)
+            recovered = HistogramStore.recover(tmp_path)
+            reference = replay_reference(oplog[: checkpoint_ops + n_tail])
+            assert state_of(recovered) == state_of(reference), (
+                f"seed={seed} tail truncation at {offset}"
+            )
+            recovered.close()
+            wal_path.write_bytes(pristine)
