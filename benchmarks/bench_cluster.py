@@ -306,7 +306,7 @@ def bench_merged_accuracy(n_values: int, n_queries: int) -> dict:
     lows = rng.uniform(DOMAIN[0], DOMAIN[1] - 100.0, size=n_queries)
     widths = rng.uniform(50.0, 2000.0, size=n_queries)
     vs_reference, merged_vs_exact, reference_vs_exact = [], [], []
-    for low, width in zip(lows, widths):
+    for low, width in zip(lows, widths, strict=True):
         high = min(low + width, DOMAIN[1])
         merged = coordinator.estimate_range(HOT, low, high)
         single = reference.estimate_range(HOT, low, high)

@@ -30,7 +30,6 @@ import json
 import pathlib
 import sys
 import time
-from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -52,7 +51,7 @@ class _LegacyBucket:
 
     __slots__ = ("left", "right", "counts")
 
-    def __init__(self, left: float, right: float, counts: List[float]) -> None:
+    def __init__(self, left: float, right: float, counts: list[float]) -> None:
         self.left = left
         self.right = right
         self.counts = counts
@@ -65,7 +64,7 @@ class _LegacyBucket:
     def is_point_mass(self) -> bool:
         return self.right == self.left
 
-    def borders(self) -> List[float]:
+    def borders(self) -> list[float]:
         k = len(self.counts)
         if self.is_point_mass or k == 1:
             return [self.left, self.right]
@@ -107,20 +106,20 @@ class LegacyDADOHistogram(DynamicHistogram):
         self._budget = n_buckets
         self._k = sub_buckets
         self._value_unit = value_unit
-        self._loading: Optional[Dict[float, int]] = {}
-        self._buckets: List[_LegacyBucket] = []
-        self._phis: List[float] = []
-        self._pair_phis: List[float] = []
+        self._loading: dict[float, int] | None = {}
+        self._buckets: list[_LegacyBucket] = []
+        self._phis: list[float] = []
+        self._pair_phis: list[float] = []
         self._repartition_count = 0
 
     # -- read ----------------------------------------------------------
-    def buckets(self) -> List[Bucket]:
+    def buckets(self) -> list[Bucket]:
         if self._loading is not None:
             return [
                 Bucket(value, value, float(count))
                 for value, count in sorted(self._loading.items())
             ]
-        result: List[Bucket] = []
+        result: list[Bucket] = []
         for bucket in self._buckets:
             width = bucket.right - bucket.left
             if 0 < width <= self._value_unit:
@@ -237,8 +236,8 @@ class LegacyDADOHistogram(DynamicHistogram):
                 self._buckets[index], self._buckets[index + 1]
             )
 
-    def _find_best_split(self) -> Optional[int]:
-        best_index: Optional[int] = None
+    def _find_best_split(self) -> int | None:
+        best_index: int | None = None
         best_phi = 0.0
         for index, phi in enumerate(self._phis):
             if self._buckets[index].right - self._buckets[index].left <= self._value_unit:
@@ -248,8 +247,8 @@ class LegacyDADOHistogram(DynamicHistogram):
                 best_index = index
         return best_index
 
-    def _find_best_merge(self, *, exclude: Optional[int] = None) -> Optional[int]:
-        best_index: Optional[int] = None
+    def _find_best_merge(self, *, exclude: int | None = None) -> int | None:
+        best_index: int | None = None
         best_phi = float("inf")
         for index, phi in enumerate(self._pair_phis):
             if exclude is not None and index in (exclude - 1, exclude):
@@ -429,19 +428,19 @@ def bench_range_estimates(n_values: int, n_buckets: int, n_queries: int) -> dict
     lows, highs = range_queries(n_queries, float(values.min()), float(values.max()))
 
     # Equivalence guard: fast path must match the per-bucket loop.
-    for low, high in zip(lows[:50], highs[:50]):
+    for low, high in zip(lows[:50], highs[:50], strict=True):
         fast = histogram.estimate_range(low, high)
         slow = legacy_estimate_range(histogram, low, high)
         if abs(fast - slow) > 1e-6 * max(1.0, abs(slow)):
             raise AssertionError(f"estimate_range diverged: {fast} vs {slow}")
 
     def run_legacy():
-        for low, high in zip(lows, highs):
+        for low, high in zip(lows, highs, strict=True):
             legacy_estimate_range(histogram, low, high)
 
     def run_fast():
         estimate = histogram.estimate_range
-        for low, high in zip(lows, highs):
+        for low, high in zip(lows, highs, strict=True):
             estimate(low, high)
 
     def run_vectorised():

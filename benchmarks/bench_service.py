@@ -69,7 +69,7 @@ def ingest_stream(n: int, seed: int = 21):
     centres = rng.choice(np.arange(0, 5000, 250), size=n)
     values = (centres + rng.integers(-40, 41, size=n)).astype(float)
     names = [ATTRIBUTE_MIX[i % len(ATTRIBUTE_MIX)][0] for i in range(n)]
-    return list(zip(names, values))
+    return list(zip(names, values, strict=True))
 
 
 def _check_conservation(store: HistogramStore, n_values: int) -> None:

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import os
 import pathlib
-from typing import List
 
 import pytest
 
@@ -32,7 +31,7 @@ from repro.experiments.config import SweepResult
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Tables recorded during this session, echoed in the terminal summary.
-_RECORDED_TABLES: List[str] = []
+_RECORDED_TABLES: list[str] = []
 
 
 def _bench_settings() -> ExperimentSettings:

@@ -10,7 +10,6 @@ inside an update loop.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from .exceptions import ConfigurationError
 
@@ -81,8 +80,8 @@ def require_finite(value: float, name: str) -> float:
 def require_in_range(
     value: float,
     name: str,
-    low: Optional[float] = None,
-    high: Optional[float] = None,
+    low: float | None = None,
+    high: float | None = None,
 ) -> float:
     """Return ``value`` as float if it lies in the closed range [low, high]."""
     result = require_finite(value, name)

@@ -1,0 +1,72 @@
+"""CLI entry point: ``python -m repro.analysis [paths...]``.
+
+Exits 0 when the tree is clean, 1 when any violation (including ``REP000``
+engine findings such as unjustified suppressions) survives, 2 on usage
+errors.  Designed to be a CI gate: all findings are reported, none abort
+the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .engine import run_analysis
+from .rules import all_rules
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro-verify: machine-checked ROADMAP invariants",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.paths) if rule.paths else "all files"
+            print(f"{rule.rule_id}  {rule.title}")
+            print(f"        scope: {scope}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+        known = {rule.rule_id for rule in all_rules()}
+        unknown = sorted(set(select) - known)
+        if unknown:
+            print(f"unknown rule ids: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    violations = run_analysis(args.paths, select=select)
+    for violation in sorted(violations, key=lambda v: (v.path, v.line, v.rule_id)):
+        print(violation.render())
+    if violations:
+        print(
+            f"repro-verify: {len(violations)} violation(s) "
+            f"(suppress with '# repro-verify: ignore[REPxxx] <justification>')",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""The repro-verify analysis engine: modules, suppressions, rule dispatch.
+
+The engine is deliberately small: it parses each source file once (stdlib
+``ast``), hands a :class:`SourceModule` -- the tree plus a parent map and a
+few navigation helpers -- to every registered rule whose path filter matches,
+and reconciles the reported violations against the file's suppression
+comments.
+
+Suppression contract
+--------------------
+
+A violation on line N is suppressed by a comment ::
+
+    some_code()  # repro-verify: ignore[REP003] called only from the template
+
+on the same line, or by a comment-only line directly above it.  The rule id
+is mandatory (blanket suppressions would silently swallow future rules) and
+so is the justification text: a suppression without one is reported as
+``REP000`` and cannot itself be suppressed -- the audit trail is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "SourceModule",
+    "Suppression",
+    "Violation",
+    "analyze_module",
+    "analyze_source",
+    "iter_source_files",
+    "run_analysis",
+]
+
+#: Matches ``# repro-verify: ignore[REP001] justification ...``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-verify:\s*ignore\[([A-Z0-9,\s]+)\]\s*(.*)\s*$"
+)
+
+#: Rule id reserved for engine-level findings (bad suppressions, parse
+#: failures).  Never suppressable.
+META_RULE_ID = "REP000"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding, anchored to a file and line."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``repro-verify: ignore`` comment."""
+
+    rule_ids: tuple[str, ...]
+    #: The line the suppression applies to (the code line, not necessarily
+    #: the comment line).
+    line: int
+    comment_line: int
+    justification: str
+
+
+class SourceModule:
+    """A parsed source file plus the navigation helpers rules need."""
+
+    def __init__(self, source: str, rel_path: str) -> None:
+        self.source = source
+        #: POSIX-style path used for rule path filters and reports.
+        self.rel_path = rel_path
+        self.tree = ast.parse(source)
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # ------------------------------------------------------------------
+    # navigation
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """The node's ancestor chain, innermost first."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    # ------------------------------------------------------------------
+    # suppressions
+    # ------------------------------------------------------------------
+    def suppressions(self) -> list[Suppression]:
+        """Every ``repro-verify: ignore`` comment, with its target line.
+
+        Comments are located with :mod:`tokenize` (a ``#`` inside a string
+        literal is not a comment).  A comment sharing its line with code
+        targets that line; a comment-only line targets the next line.
+        """
+        found: list[Suppression] = []
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(self.source).readline))
+        except tokenize.TokenizeError:  # pragma: no cover - ast.parse caught it
+            return found
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.match(token.string)
+            if match is None:
+                continue
+            rule_ids = tuple(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            comment_line = token.start[0]
+            standalone = token.line[: token.start[1]].strip() == ""
+            found.append(
+                Suppression(
+                    rule_ids=rule_ids,
+                    line=comment_line + 1 if standalone else comment_line,
+                    comment_line=comment_line,
+                    justification=match.group(2).strip(),
+                )
+            )
+        return found
+
+
+def analyze_module(
+    module: SourceModule, *, select: Iterable[str] | None = None
+) -> list[Violation]:
+    """Run every applicable rule over one module; returns surviving violations.
+
+    Suppressed violations are dropped; suppressions missing a justification
+    (or naming no rule id) surface as ``REP000`` findings instead.
+    """
+    from .rules import all_rules  # late import: rules import engine helpers
+
+    selected = None if select is None else set(select)
+    raw: list[Violation] = []
+    for rule in all_rules():
+        if selected is not None and rule.rule_id not in selected:
+            continue
+        if rule.paths and not any(p in module.rel_path for p in rule.paths):
+            continue
+        for line, message in rule.check(module):
+            raw.append(Violation(rule.rule_id, module.rel_path, line, message))
+
+    suppressions = module.suppressions()
+    violations: list[Violation] = []
+    for suppression in suppressions:
+        if not suppression.rule_ids or not suppression.justification:
+            violations.append(
+                Violation(
+                    META_RULE_ID,
+                    module.rel_path,
+                    suppression.comment_line,
+                    "suppression must name a rule id and carry a written "
+                    "justification: # repro-verify: ignore[REPxxx] <why>",
+                )
+            )
+    for violation in raw:
+        if any(
+            violation.line == s.line and violation.rule_id in s.rule_ids
+            for s in suppressions
+        ):
+            continue
+        violations.append(violation)
+    return violations
+
+
+def analyze_source(
+    source: str, rel_path: str = "snippet.py", *, select: Iterable[str] | None = None
+) -> list[Violation]:
+    """Analyze a source string (the fixture-test entry point)."""
+    return analyze_module(SourceModule(source, rel_path), select=select)
+
+
+def iter_source_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Expand files and directories into the ``.py`` files to analyze."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if "__pycache__" not in candidate.parts:
+                    yield candidate
+        else:
+            yield path
+
+
+def run_analysis(
+    paths: Sequence[str | Path], *, select: Iterable[str] | None = None
+) -> list[Violation]:
+    """Analyze every source file under ``paths``; returns all violations.
+
+    A file that fails to parse is reported as a ``REP000`` violation rather
+    than aborting the run (the checker must degrade into a report, never a
+    crash, to be usable as a CI gate).
+    """
+    violations: list[Violation] = []
+    for path in iter_source_files(paths):
+        rel = path.as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+            module = SourceModule(source, rel)
+        except (OSError, SyntaxError, ValueError) as error:
+            violations.append(
+                Violation(META_RULE_ID, rel, 1, f"cannot analyze file: {error}")
+            )
+            continue
+        violations.extend(analyze_module(module, select=select))
+    return violations

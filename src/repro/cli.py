@@ -33,10 +33,11 @@ Invoke either through the installed ``repro-experiments`` script or with
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 from .core.factory import build_dynamic_histogram, build_static_histogram
 from .datagen.clusters import generate_cluster_values
@@ -51,7 +52,7 @@ from .workloads.streams import random_insertions
 __all__ = ["main", "available_experiments", "format_store_stats"]
 
 
-def available_experiments() -> Dict[str, Callable[..., SweepResult]]:
+def available_experiments() -> dict[str, Callable[..., SweepResult]]:
     """Mapping from experiment name to the function that runs it."""
     names = [
         "fig05_center_skew",
@@ -225,10 +226,8 @@ def _command_list(out) -> int:
 
 def _command_run(args, out) -> int:
     registry = available_experiments()
-    if len(args.experiments) == 1 and args.experiments[0].lower() == "all":
-        selected = list(registry)
-    else:
-        selected = args.experiments
+    all_requested = len(args.experiments) == 1 and args.experiments[0].lower() == "all"
+    selected = list(registry) if all_requested else args.experiments
     unknown = [name for name in selected if name not in registry]
     if unknown:
         out.write(f"unknown experiment(s): {', '.join(unknown)}\n")
@@ -341,9 +340,8 @@ def _command_serve(args, out) -> int:
         store.close()
         return 0
     try:  # pragma: no cover - interactive foreground mode
-        server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover
-        pass
+        with contextlib.suppress(KeyboardInterrupt):
+            server.serve_forever()
     finally:  # pragma: no cover
         server.stop()
         store.close()
@@ -441,9 +439,8 @@ def _command_serve_cluster(args, out) -> int:
         shutdown()
         return 0
     try:  # pragma: no cover - interactive foreground mode
-        server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover
-        pass
+        with contextlib.suppress(KeyboardInterrupt):
+            server.serve_forever()
     finally:  # pragma: no cover
         shutdown()
     return 0  # pragma: no cover
@@ -550,7 +547,7 @@ def _command_resync(args, out) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+def main(argv: Sequence[str] | None = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out or sys.stdout
     parser = _build_parser()

@@ -52,7 +52,8 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from ..core.base import Histogram
 from ..distributed.union import UnionHistogram, reduce_segments, superimpose
@@ -94,16 +95,16 @@ class ClusterCoordinator:
         self,
         shards: Sequence[ShardBackend],
         *,
-        router: Optional[ShardRouter] = None,
+        router: ShardRouter | None = None,
         global_buckets: int = DEFAULT_GLOBAL_BUCKETS,
         value_unit: float = 1.0,
-        max_workers: Optional[int] = None,
+        max_workers: int | None = None,
     ) -> None:
         if not shards:
             raise ConfigurationError("the cluster coordinator needs at least one shard")
         if global_buckets < 1:
             raise ConfigurationError(f"global_buckets must be positive, got {global_buckets}")
-        self._shards: Dict[str, ShardBackend] = {}
+        self._shards: dict[str, ShardBackend] = {}
         for shard in shards:
             if shard.shard_id in self._shards:
                 raise ConfigurationError(f"duplicate shard id {shard.shard_id!r}")
@@ -119,16 +120,16 @@ class ClusterCoordinator:
             thread_name_prefix="repro-cluster",
         )
         # Merged-histogram cache: name -> (generation_sum, merged histogram).
-        self._merge_cache: Dict[str, Tuple[int, UnionHistogram]] = {}
-        self._merge_locks: Dict[str, threading.Lock] = {}
+        self._merge_cache: dict[str, tuple[int, UnionHistogram]] = {}
+        self._merge_locks: dict[str, threading.Lock] = {}
         self._merge_guard = threading.Lock()
         # In-flight rebalances: name -> buffered (op, values) runs, plus a
         # count of applies currently running per attribute.  The condition's
         # lock guards both tables; rebalance registers a move and then waits
         # for the attribute's in-flight applies to drain before snapshotting,
         # so an apply that passed the move check always lands in the snapshot.
-        self._moves: Dict[str, List[Tuple[str, List[float]]]] = {}
-        self._inflight: Dict[str, int] = {}
+        self._moves: dict[str, list[tuple[str, list[float]]]] = {}
+        self._inflight: dict[str, int] = {}
         self._moves_cv = threading.Condition()
         # Replicas that missed a write (the fan-out observed a failure whose
         # fate is unknown): reads avoid them until resync heals them.
@@ -147,7 +148,7 @@ class ClusterCoordinator:
         return self._router
 
     @property
-    def shard_ids(self) -> List[str]:
+    def shard_ids(self) -> list[str]:
         return list(self._shards)
 
     def shard(self, shard_id: str) -> ShardBackend:
@@ -163,8 +164,8 @@ class ClusterCoordinator:
         shard_ids: Sequence[str],
         call,
         *,
-        failure_types: Tuple[type, ...] = (ShardUnavailableError,),
-    ) -> Tuple[Dict[str, Any], Dict[str, Exception]]:
+        failure_types: tuple[type, ...] = (ShardUnavailableError,),
+    ) -> tuple[dict[str, Any], dict[str, Exception]]:
         """Concurrent ``call(shard)`` per shard, partitioning the outcomes.
 
         Returns ``(results, errors)`` keyed by shard id: ``failure_types``
@@ -176,8 +177,8 @@ class ClusterCoordinator:
             shard_id: self._executor.submit(call, self.shard(shard_id))
             for shard_id in shard_ids
         }
-        results: Dict[str, Any] = {}
-        errors: Dict[str, Exception] = {}
+        results: dict[str, Any] = {}
+        errors: dict[str, Exception] = {}
         for shard_id, future in futures.items():
             try:
                 results[shard_id] = future.result()
@@ -205,12 +206,12 @@ class ClusterCoordinator:
         with self._stale_lock:
             return (name, shard_id) in self._stale
 
-    def stale_replicas(self) -> List[Tuple[str, str]]:
+    def stale_replicas(self) -> list[tuple[str, str]]:
         """The (attribute, shard) pairs currently marked stale, sorted."""
         with self._stale_lock:
             return sorted(self._stale)
 
-    def _failover_order(self, name: str, replicas: Sequence[str]) -> List[str]:
+    def _failover_order(self, name: str, replicas: Sequence[str]) -> list[str]:
         """Read preference: primary first, known-stale replicas demoted last.
 
         A stale replica is still tried as the last resort -- an estimate
@@ -234,8 +235,8 @@ class ClusterCoordinator:
         answer, the unavailability -- the retry/heal signal -- is preferred
         over the misleading "unknown".
         """
-        last_unavailable: Optional[ShardUnavailableError] = None
-        last_unknown: Optional[UnknownAttributeError] = None
+        last_unavailable: ShardUnavailableError | None = None
+        last_unknown: UnknownAttributeError | None = None
         for shard_id in self._failover_order(name, replicas):
             try:
                 return shard_id, call(self.shard(shard_id))
@@ -256,10 +257,10 @@ class ClusterCoordinator:
     def _fan_out_replicated(
         self,
         name: str,
-        groups: Sequence[Tuple[Tuple[str, ...], Any]],
+        groups: Sequence[tuple[tuple[str, ...], Any]],
         *,
-        failure_types: Tuple[type, ...] = (ShardUnavailableError,),
-    ) -> Dict[str, Any]:
+        failure_types: tuple[type, ...] = (ShardUnavailableError,),
+    ) -> dict[str, Any]:
         """Run one ``call(shard)`` per replica of every group, concurrently.
 
         ``groups`` holds ``(replica_ids, call)`` pairs.  The shared
@@ -282,8 +283,8 @@ class ClusterCoordinator:
             lambda shard: call_by_shard[shard.shard_id](shard),
             failure_types=failure_types,
         )
-        failed: List[str] = []
-        fully_failed: Optional[Exception] = None
+        failed: list[str] = []
+        fully_failed: Exception | None = None
         for replicas, _ in groups:
             if not any(sid in results for sid in replicas):
                 # Nothing applied in this group -- its replicas still agree,
@@ -307,8 +308,8 @@ class ClusterCoordinator:
     def _apply_replicated(
         self,
         name: str,
-        groups: Sequence[Tuple[Tuple[str, ...], List[float], List[float]]],
-    ) -> Dict[str, Any]:
+        groups: Sequence[tuple[tuple[str, ...], list[float], list[float]]],
+    ) -> dict[str, Any]:
         """Fan one attribute's write out to every replica of every group.
 
         ``groups`` holds ``(replica_ids, insert, delete)`` triples (one
@@ -335,8 +336,8 @@ class ClusterCoordinator:
         )
 
     def _write_groups(
-        self, name: str, insert: List[float], delete: List[float]
-    ) -> List[Tuple[Tuple[str, ...], List[float], List[float]]]:
+        self, name: str, insert: list[float], delete: list[float]
+    ) -> list[tuple[tuple[str, ...], list[float], list[float]]]:
         """Split a write into replica groups (one, or one per touched piece)."""
         partition = self._router.partition_for(name)
         if partition is None:
@@ -357,7 +358,7 @@ class ClusterCoordinator:
         """Shut the fan-out pool down (pending calls complete first)."""
         self._executor.shutdown(wait=True)
 
-    def __enter__(self) -> "ClusterCoordinator":
+    def __enter__(self) -> ClusterCoordinator:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -376,9 +377,9 @@ class ClusterCoordinator:
         disk_factor: float = 20.0,
         seed: int = 0,
         exist_ok: bool = False,
-        partition_boundaries: Optional[Sequence[float]] = None,
-        partition_shards: Optional[Sequence[str]] = None,
-    ) -> Dict[str, Any]:
+        partition_boundaries: Sequence[float] | None = None,
+        partition_shards: Sequence[str] | None = None,
+    ) -> dict[str, Any]:
         """Create an attribute cluster-wide.
 
         Without ``partition_boundaries`` the attribute lands on its routed
@@ -387,7 +388,7 @@ class ClusterCoordinator:
         on every piece shard; ``partition_shards`` overrides the default
         round-robin piece placement.
         """
-        def create_on(shard: ShardBackend) -> Dict[str, Any]:
+        def create_on(shard: ShardBackend) -> dict[str, Any]:
             return shard.create(
                 name,
                 kind,
@@ -449,7 +450,7 @@ class ClusterCoordinator:
             result["failed_replicas"] = created["failed_replicas"]
         return result
 
-    def drop(self, name: str) -> Dict[str, Any]:
+    def drop(self, name: str) -> dict[str, Any]:
         """Drop an attribute from every shard holding state for it.
 
         Replicated-mutation contract: dropping from at least one replica
@@ -496,7 +497,7 @@ class ClusterCoordinator:
             result["unreached"] = sorted(unreached)
         return result
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         """Every attribute name in the cluster (partitioned ones once).
 
         Tolerates unreachable shards -- with replication every attribute is
@@ -517,7 +518,7 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------
     def ingest(
         self, name: str, insert: Sequence[float] = (), delete: Sequence[float] = ()
-    ) -> Dict[str, Any]:
+    ) -> dict[str, Any]:
         """Apply a write batch, scattering partitioned attributes per value."""
         insert = list(insert)
         delete = list(delete)
@@ -546,7 +547,7 @@ class ClusterCoordinator:
         finally:
             self._end_apply(name)
 
-    def ingest_batch(self, items: Mapping[str, Any]) -> Dict[str, Any]:
+    def ingest_batch(self, items: Mapping[str, Any]) -> dict[str, Any]:
         """Fan a multi-attribute write batch out: one concurrent stream per shard.
 
         ``items`` maps attribute name to either a plain sequence of values
@@ -557,11 +558,11 @@ class ClusterCoordinator:
         the shard applies an attribute's inserts before its deletes, and the
         delete side rides the store's vectorised ``delete_many`` path.
         """
-        per_shard: Dict[str, Dict[str, Tuple[List[float], List[float]]]] = {}
+        per_shard: dict[str, dict[str, tuple[list[float], list[float]]]] = {}
         # One entry per replica group: (name, replica ids, insert, delete);
         # success needs >= 1 live replica per group.
-        group_index: List[Tuple[str, Tuple[str, ...], List[float], List[float]]] = []
-        applying: List[str] = []
+        group_index: list[tuple[str, tuple[str, ...], list[float], list[float]]] = []
+        applying: list[str] = []
         buffered = 0
         buffered_deletes = 0
         try:
@@ -587,7 +588,7 @@ class ClusterCoordinator:
                         shard_items = per_shard.setdefault(shard_id, {})
                         shard_items[name] = (group_insert, group_delete)
 
-            def apply_group(shard: ShardBackend) -> Dict[str, int]:
+            def apply_group(shard: ShardBackend) -> dict[str, int]:
                 applied = {"inserted": 0, "deleted": 0}
                 for name, (shard_insert, shard_delete) in per_shard[
                     shard.shard_id
@@ -606,10 +607,10 @@ class ClusterCoordinator:
                 apply_group,
                 failure_types=(ShardUnavailableError, UnknownAttributeError),
             )
-            failed_replicas: List[str] = []
+            failed_replicas: list[str] = []
             # As in _fan_out_replicated: finish the stale-marking sweep over
             # every group before raising for a fully-failed one.
-            fully_failed: Optional[Exception] = None
+            fully_failed: Exception | None = None
             for name, replicas, _, _ in group_index:
                 alive = [sid for sid in replicas if sid not in shard_errors]
                 if not alive:
@@ -650,7 +651,7 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
-    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
         """Evaluate a consistent batch of estimate queries.
 
         Unpartitioned attributes delegate to the home shard's batched query
@@ -689,7 +690,7 @@ class ClusterCoordinator:
         """Total number of values represented cluster-wide for ``name``."""
         return float(self.query(name, [{"op": "total"}])["results"][0])
 
-    def cdf(self, name: str, xs: Sequence[float]) -> List[float]:
+    def cdf(self, name: str, xs: Sequence[float]) -> list[float]:
         """Approximate CDF of ``name`` at each point of ``xs``."""
         return [float(v) for v in self.query(name, [{"op": "cdf", "xs": list(xs)}])["results"][0]]
 
@@ -707,8 +708,8 @@ class ClusterCoordinator:
         return partition
 
     def _gather_pieces(
-        self, name: str, piece_replicas: Mapping[str, Tuple[str, ...]], call
-    ) -> Dict[str, Any]:
+        self, name: str, piece_replicas: Mapping[str, tuple[str, ...]], call
+    ) -> dict[str, Any]:
         """Run ``call`` once per piece, each with replica failover, gathered
         concurrently and keyed by the piece's primary shard id."""
         futures = {
@@ -722,7 +723,7 @@ class ClusterCoordinator:
         }
 
     def _generation_sum(
-        self, name: str, piece_replicas: Mapping[str, Tuple[str, ...]]
+        self, name: str, piece_replicas: Mapping[str, tuple[str, ...]]
     ) -> int:
         gathered = self._gather_pieces(
             name, piece_replicas, lambda shard: shard.generation(name)
@@ -736,7 +737,7 @@ class ClusterCoordinator:
                 lock = self._merge_locks[name] = threading.Lock()
             return lock
 
-    def _merged_entry(self, name: str) -> Tuple[int, UnionHistogram]:
+    def _merged_entry(self, name: str) -> tuple[int, UnionHistogram]:
         """The cached merged histogram, rebuilt only after shard writes.
 
         The hit check compares the cached key against the sum of the piece
@@ -790,7 +791,7 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------
     # snapshot / restore
     # ------------------------------------------------------------------
-    def snapshot(self, name: str) -> Dict[str, Any]:
+    def snapshot(self, name: str) -> dict[str, Any]:
         """Full serialised state of an unpartitioned attribute.
 
         Served by the home shard, failing over to the next live replica.
@@ -804,7 +805,7 @@ class ClusterCoordinator:
             name, self._router.replicas_for(name), lambda shard: shard.snapshot(name)
         )[1]
 
-    def restore(self, name: str, snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    def restore(self, name: str, snapshot: Mapping[str, Any]) -> dict[str, Any]:
         """Restore an unpartitioned attribute onto every replica of its home.
 
         Follows the replicated-write contract: success needs one replica to
@@ -824,7 +825,7 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------
     # rebalance / drain
     # ------------------------------------------------------------------
-    def _begin_apply(self, name: str, insert: List[float], delete: List[float]) -> bool:
+    def _begin_apply(self, name: str, insert: list[float], delete: list[float]) -> bool:
         """Atomically either buffer the ops (attribute moving -> False) or
         register an in-flight apply (True; pair with :meth:`_end_apply`).
 
@@ -853,7 +854,7 @@ class ClusterCoordinator:
                 self._moves_cv.notify_all()
 
     def _replay_buffer_best_effort(
-        self, name: str, buffered: List[Tuple[str, List[float]]]
+        self, name: str, buffered: list[tuple[str, list[float]]]
     ) -> int:
         """Failure-path compensation: replay formerly-buffered ops through
         the public write path, attempting EVERY op -- one op whose replica
@@ -876,7 +877,7 @@ class ClusterCoordinator:
                 self._dropped_buffered_ops += dropped
         return dropped
 
-    def _replay(self, shard: ShardBackend, name: str, runs: List[Tuple[str, List[float]]]) -> int:
+    def _replay(self, shard: ShardBackend, name: str, runs: list[tuple[str, list[float]]]) -> int:
         applied = 0
         for op, values in runs:
             if op == "insert":
@@ -886,7 +887,7 @@ class ClusterCoordinator:
             applied += len(values)
         return applied
 
-    def rebalance(self, name: str, target_shard_id: str) -> Dict[str, Any]:
+    def rebalance(self, name: str, target_shard_id: str) -> dict[str, Any]:
         """Move an unpartitioned attribute to ``target_shard_id``.
 
         Protocol (no write is ever lost):
@@ -962,7 +963,7 @@ class ClusterCoordinator:
             "replayed_buffered_values": replayed,
         }
 
-    def drain(self, shard_id: str) -> Dict[str, Any]:
+    def drain(self, shard_id: str) -> dict[str, Any]:
         """Move every attribute homed on ``shard_id`` to the other members.
 
         Range-partitioned attributes keep their piece on the shard (moving a
@@ -977,8 +978,8 @@ class ClusterCoordinator:
             )
         if len(self._shards) < 2:
             raise ClusterError("cannot drain the only shard in the cluster")
-        moved: Dict[str, str] = {}
-        skipped: List[str] = []
+        moved: dict[str, str] = {}
+        skipped: list[str] = []
         for name in source.names():
             if self._router.is_partitioned(name):
                 skipped.append(name)
@@ -994,7 +995,7 @@ class ClusterCoordinator:
     # resync (replica healing)
     # ------------------------------------------------------------------
     def _resync_attribute(
-        self, name: str, replicas: Tuple[str, ...], target_id: str
+        self, name: str, replicas: tuple[str, ...], target_id: str
     ) -> str:
         """Re-seed ``target_id``'s replica of one attribute (or piece).
 
@@ -1073,7 +1074,7 @@ class ClusterCoordinator:
             raise
         return source_id
 
-    def resync(self, shard_id: str) -> Dict[str, Any]:
+    def resync(self, shard_id: str) -> dict[str, Any]:
         """Heal a recovered shard: re-seed every replica it should hold.
 
         For every attribute (and partitioned piece) whose replica set
@@ -1085,8 +1086,8 @@ class ClusterCoordinator:
         holds -- e.g. what its own WAL recovered).
         """
         self.shard(shard_id)  # membership check
-        resynced: Dict[str, str] = {}
-        unrecoverable: List[str] = []
+        resynced: dict[str, str] = {}
+        unrecoverable: list[str] = []
         for name in self.names():
             for replicas in self._router.replica_sets_for(name):
                 if shard_id not in replicas:
@@ -1104,7 +1105,7 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------
     # stats
     # ------------------------------------------------------------------
-    def attribute_stats(self, name: str) -> Dict[str, Any]:
+    def attribute_stats(self, name: str) -> dict[str, Any]:
         """Cluster-level stats of one attribute (per piece when partitioned)."""
         partition = self._router.partition_for(name)
         if partition is None:
@@ -1140,7 +1141,7 @@ class ClusterCoordinator:
             }
         return result
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(self) -> dict[str, Any]:
         """Cluster-wide stats: per-shard attribute tables plus placement.
 
         An unreachable shard is reported (``status: unavailable``) rather

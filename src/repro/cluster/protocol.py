@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import abc
 from http.client import HTTPException
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from ..exceptions import ConfigurationError, ShardUnavailableError
 from ..service.client import StatisticsClient
@@ -52,7 +53,7 @@ class ShardBackend(abc.ABC):
         disk_factor: float = 20.0,
         seed: int = 0,
         exist_ok: bool = False,
-    ) -> Dict[str, Any]:
+    ) -> dict[str, Any]:
         """Create an attribute on this shard; returns its stats dict."""
 
     @abc.abstractmethod
@@ -60,41 +61,41 @@ class ShardBackend(abc.ABC):
         """Remove an attribute from this shard."""
 
     @abc.abstractmethod
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         """Attribute names this shard currently holds, sorted."""
 
     # -- writes ---------------------------------------------------------
     @abc.abstractmethod
     def ingest(
         self, name: str, insert: Sequence[float] = (), delete: Sequence[float] = ()
-    ) -> Dict[str, Any]:
+    ) -> dict[str, Any]:
         """Apply a batch of inserts then deletes; returns counts + generation."""
 
     # -- reads ----------------------------------------------------------
     @abc.abstractmethod
-    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
         """Evaluate a query batch under the shard's consistent-read primitive."""
 
     @abc.abstractmethod
-    def stats(self, name: str) -> Dict[str, Any]:
+    def stats(self, name: str) -> dict[str, Any]:
         """Point-in-time stats dict of one attribute."""
 
     @abc.abstractmethod
-    def stats_all(self) -> List[Dict[str, Any]]:
+    def stats_all(self) -> list[dict[str, Any]]:
         """Stats dicts of every attribute on this shard."""
 
     # -- snapshot / restore --------------------------------------------
     @abc.abstractmethod
-    def snapshot(self, name: str) -> Dict[str, Any]:
+    def snapshot(self, name: str) -> dict[str, Any]:
         """Full serialised state of one attribute."""
 
     @abc.abstractmethod
-    def restore(self, name: str, snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    def restore(self, name: str, snapshot: Mapping[str, Any]) -> dict[str, Any]:
         """Restore an attribute from a snapshot payload; returns its stats."""
 
     # -- liveness -------------------------------------------------------
     @abc.abstractmethod
-    def health(self) -> Dict[str, Any]:
+    def health(self) -> dict[str, Any]:
         """Liveness probe."""
 
     def generation(self, name: str) -> int:
@@ -108,7 +109,7 @@ class ShardBackend(abc.ABC):
 class LocalShard(ShardBackend):
     """An in-process shard backed by a :class:`HistogramStore`."""
 
-    def __init__(self, shard_id: str, store: Optional[HistogramStore] = None) -> None:
+    def __init__(self, shard_id: str, store: HistogramStore | None = None) -> None:
         super().__init__(shard_id)
         self.store = store if store is not None else HistogramStore()
 
@@ -122,7 +123,7 @@ class LocalShard(ShardBackend):
         disk_factor: float = 20.0,
         seed: int = 0,
         exist_ok: bool = False,
-    ) -> Dict[str, Any]:
+    ) -> dict[str, Any]:
         return self.store.create(
             name,
             kind,
@@ -136,12 +137,12 @@ class LocalShard(ShardBackend):
     def drop(self, name: str) -> None:
         self.store.drop(name)
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         return self.store.names()
 
     def ingest(
         self, name: str, insert: Sequence[float] = (), delete: Sequence[float] = ()
-    ) -> Dict[str, Any]:
+    ) -> dict[str, Any]:
         inserted = self.store.insert(name, insert) if len(insert) else 0
         deleted = self.store.delete(name, delete) if len(delete) else 0
         return {
@@ -150,22 +151,22 @@ class LocalShard(ShardBackend):
             "generation": self.store.stats(name).generation,
         }
 
-    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
         return self.store.query(name, queries)
 
-    def stats(self, name: str) -> Dict[str, Any]:
+    def stats(self, name: str) -> dict[str, Any]:
         return self.store.stats(name).to_dict()
 
-    def stats_all(self) -> List[Dict[str, Any]]:
+    def stats_all(self) -> list[dict[str, Any]]:
         return [stats.to_dict() for stats in self.store.stats_all()]
 
-    def snapshot(self, name: str) -> Dict[str, Any]:
+    def snapshot(self, name: str) -> dict[str, Any]:
         return self.store.snapshot(name)
 
-    def restore(self, name: str, snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    def restore(self, name: str, snapshot: Mapping[str, Any]) -> dict[str, Any]:
         return self.store.restore(name, snapshot).to_dict()
 
-    def health(self) -> Dict[str, Any]:
+    def health(self) -> dict[str, Any]:
         return {"status": "ok", "attributes": len(self.store)}
 
 
@@ -181,7 +182,7 @@ class RemoteShard(ShardBackend):
     #: Transport-level failures (the client's bounded retries already ran):
     #: connect errors surface as OSError, a connection dying mid-response as
     #: http.client.HTTPException (IncompleteRead, BadStatusLine, ...).
-    _TRANSPORT_ERRORS: Tuple[type, ...] = (OSError, HTTPException)
+    _TRANSPORT_ERRORS: tuple[type, ...] = (OSError, HTTPException)
 
     def __init__(self, shard_id: str, client: StatisticsClient) -> None:
         super().__init__(shard_id)
@@ -200,7 +201,7 @@ class RemoteShard(ShardBackend):
         disk_factor: float = 20.0,
         seed: int = 0,
         exist_ok: bool = False,
-    ) -> Dict[str, Any]:
+    ) -> dict[str, Any]:
         try:
             return self.client.create(
                 name,
@@ -220,7 +221,7 @@ class RemoteShard(ShardBackend):
         except self._TRANSPORT_ERRORS as error:
             raise self._unavailable(error) from error
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         try:
             return sorted(stats["name"] for stats in self.client.stats()["attributes"])
         except self._TRANSPORT_ERRORS as error:
@@ -228,43 +229,43 @@ class RemoteShard(ShardBackend):
 
     def ingest(
         self, name: str, insert: Sequence[float] = (), delete: Sequence[float] = ()
-    ) -> Dict[str, Any]:
+    ) -> dict[str, Any]:
         try:
             return self.client.ingest(name, insert=insert, delete=delete)
         except self._TRANSPORT_ERRORS as error:
             raise self._unavailable(error) from error
 
-    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
         try:
             return self.client.query(name, queries)
         except self._TRANSPORT_ERRORS as error:
             raise self._unavailable(error) from error
 
-    def stats(self, name: str) -> Dict[str, Any]:
+    def stats(self, name: str) -> dict[str, Any]:
         try:
             return self.client.stats(name)
         except self._TRANSPORT_ERRORS as error:
             raise self._unavailable(error) from error
 
-    def stats_all(self) -> List[Dict[str, Any]]:
+    def stats_all(self) -> list[dict[str, Any]]:
         try:
             return self.client.stats()["attributes"]
         except self._TRANSPORT_ERRORS as error:
             raise self._unavailable(error) from error
 
-    def snapshot(self, name: str) -> Dict[str, Any]:
+    def snapshot(self, name: str) -> dict[str, Any]:
         try:
             return self.client.snapshot(name)
         except self._TRANSPORT_ERRORS as error:
             raise self._unavailable(error) from error
 
-    def restore(self, name: str, snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    def restore(self, name: str, snapshot: Mapping[str, Any]) -> dict[str, Any]:
         try:
             return self.client.restore(name, snapshot)
         except self._TRANSPORT_ERRORS as error:
             raise self._unavailable(error) from error
 
-    def health(self) -> Dict[str, Any]:
+    def health(self) -> dict[str, Any]:
         try:
             return self.client.health()
         except self._TRANSPORT_ERRORS as error:

@@ -28,7 +28,7 @@ import hashlib
 import math
 import threading
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -54,8 +54,8 @@ class RangePartition:
     """
 
     attribute: str
-    boundaries: Tuple[float, ...]
-    shard_ids: Tuple[str, ...]
+    boundaries: tuple[float, ...]
+    shard_ids: tuple[str, ...]
 
     def __post_init__(self) -> None:
         if len(self.shard_ids) != len(self.boundaries) + 1:
@@ -67,7 +67,7 @@ class RangePartition:
         for boundary in self.boundaries:
             if not math.isfinite(boundary):
                 raise ConfigurationError(f"partition boundaries must be finite, got {boundary!r}")
-        for previous, current in zip(self.boundaries, self.boundaries[1:]):
+        for previous, current in zip(self.boundaries, self.boundaries[1:], strict=False):
             if current <= previous:
                 raise ConfigurationError(
                     f"partition boundaries must be strictly ascending, "
@@ -75,9 +75,9 @@ class RangePartition:
                 )
 
     @property
-    def piece_shard_ids(self) -> Tuple[str, ...]:
+    def piece_shard_ids(self) -> tuple[str, ...]:
         """Distinct shard ids hosting at least one piece, in piece order."""
-        seen: Dict[str, None] = {}
+        seen: dict[str, None] = {}
         for shard_id in self.shard_ids:
             seen.setdefault(shard_id)
         return tuple(seen)
@@ -86,7 +86,7 @@ class RangePartition:
         """The shard id owning ``value``'s piece."""
         return self.shard_ids[bisect.bisect_right(self.boundaries, float(value))]
 
-    def split(self, values: Sequence[float]) -> Dict[str, List[float]]:
+    def split(self, values: Sequence[float]) -> dict[str, list[float]]:
         """Group ``values`` by owning shard (one ``searchsorted`` pass).
 
         Order within each group preserves submission order, so per-shard
@@ -96,7 +96,7 @@ class RangePartition:
             return {}
         arr = np.asarray(values, dtype=float)
         pieces = np.searchsorted(np.asarray(self.boundaries, dtype=float), arr, side="right")
-        groups: Dict[str, List[float]] = {}
+        groups: dict[str, list[float]] = {}
         for piece in np.unique(pieces):
             shard_id = self.shard_ids[int(piece)]
             chunk = arr[pieces == piece].tolist()
@@ -104,7 +104,7 @@ class RangePartition:
             groups.setdefault(shard_id, []).extend(chunk)
         return groups
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         """JSON-compatible description (what cluster stats report)."""
         return {
             "attribute": self.attribute,
@@ -158,21 +158,21 @@ class ShardRouter:
         self._ring_shards = [shard_id for _, shard_id in ring]
         # Guards the override / partition tables; ring membership is fixed.
         self._lock = threading.Lock()
-        self._overrides: Dict[str, str] = {}
-        self._partitions: Dict[str, RangePartition] = {}
+        self._overrides: dict[str, str] = {}
+        self._partitions: dict[str, RangePartition] = {}
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property
-    def shard_ids(self) -> List[str]:
+    def shard_ids(self) -> list[str]:
         return list(self._shard_ids)
 
     @property
     def replication_factor(self) -> int:
         return self._replication_factor
 
-    def placement(self) -> Dict[str, object]:
+    def placement(self) -> dict[str, object]:
         """JSON-compatible dump of the placement rules (for cluster stats)."""
         with self._lock:
             return {
@@ -198,7 +198,7 @@ class ShardRouter:
         """Distinct shard ids in ring order starting at ``key``'s point."""
         start = bisect.bisect_right(self._ring_points, stable_hash(key))
         n_points = len(self._ring_points)
-        seen: Dict[str, None] = {}
+        seen: dict[str, None] = {}
         for step in range(n_points):
             shard_id = self._ring_shards[(start + step) % n_points]
             if shard_id not in seen:
@@ -234,7 +234,7 @@ class ShardRouter:
             return override
         return self.ring_shard_for(name, exclude=exclude)
 
-    def shards_for(self, name: str) -> Tuple[str, ...]:
+    def shards_for(self, name: str) -> tuple[str, ...]:
         """Every shard holding state for ``name`` (one, or the piece set)."""
         partition = self.partition_for(name)
         if partition is not None:
@@ -244,7 +244,7 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # replica placement
     # ------------------------------------------------------------------
-    def replicas_for(self, name: str) -> Tuple[str, ...]:
+    def replicas_for(self, name: str) -> tuple[str, ...]:
         """The replica set of an unpartitioned attribute, primary first.
 
         The primary is :meth:`shard_for` (pin beats ring); the followers are
@@ -254,7 +254,7 @@ class ShardRouter:
         additions outside the affected arcs.
         """
         primary = self.shard_for(name)
-        followers: List[str] = []
+        followers: list[str] = []
         for shard_id in self._ring_walk(name):
             if len(followers) >= self._replication_factor - 1:
                 break
@@ -262,7 +262,7 @@ class ShardRouter:
                 followers.append(shard_id)
         return (primary, *followers[: self._replication_factor - 1])
 
-    def partition_replicas(self, name: str) -> Dict[str, Tuple[str, ...]]:
+    def partition_replicas(self, name: str) -> dict[str, tuple[str, ...]]:
         """Replica sets of a partitioned attribute, keyed by piece primary.
 
         Shard stores key histograms by attribute name alone, so no shard may
@@ -277,9 +277,9 @@ class ShardRouter:
         if partition is None:
             raise ClusterError(f"attribute {name!r} is not range-partitioned")
         used = set(partition.piece_shard_ids)
-        result: Dict[str, Tuple[str, ...]] = {}
+        result: dict[str, tuple[str, ...]] = {}
         for piece_primary in partition.piece_shard_ids:
-            followers: List[str] = []
+            followers: list[str] = []
             for shard_id in self._ring_walk(f"{name}@{piece_primary}"):
                 if len(followers) >= self._replication_factor - 1:
                     break
@@ -289,7 +289,7 @@ class ShardRouter:
             result[piece_primary] = (piece_primary, *followers)
         return result
 
-    def replica_sets_for(self, name: str) -> List[Tuple[str, ...]]:
+    def replica_sets_for(self, name: str) -> list[tuple[str, ...]]:
         """Every replica group holding state for ``name`` (one per piece)."""
         if self.is_partitioned(name):
             return list(self.partition_replicas(name).values())
@@ -318,7 +318,7 @@ class ShardRouter:
         self,
         name: str,
         boundaries: Sequence[float],
-        shard_ids: Optional[Sequence[str]] = None,
+        shard_ids: Sequence[str] | None = None,
     ) -> RangePartition:
         """Split ``name`` across shards by value range.
 
@@ -346,7 +346,7 @@ class ShardRouter:
         with self._lock:
             self._partitions.pop(name, None)
 
-    def partition_for(self, name: str) -> Optional[RangePartition]:
+    def partition_for(self, name: str) -> RangePartition | None:
         with self._lock:
             return self._partitions.get(name)
 

@@ -39,7 +39,8 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from ..exceptions import (
     ClusterError,
@@ -71,7 +72,7 @@ class _ClusterRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # plumbing (mirrors the service handler)
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -79,7 +80,7 @@ class _ClusterRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _read_json(self) -> Dict[str, Any]:
+    def _read_json(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
         if length == 0:
             return {}
@@ -88,13 +89,13 @@ class _ClusterRequestHandler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
-    def _route(self) -> Tuple[str, ...]:
+    def _route(self) -> tuple[str, ...]:
         from urllib.parse import unquote, urlparse
 
         parsed = urlparse(self.path)
         return tuple(unquote(part) for part in parsed.path.split("/") if part)
 
-    def _query_params(self) -> Dict[str, str]:
+    def _query_params(self) -> dict[str, str]:
         from urllib.parse import parse_qs, urlparse
 
         parsed = urlparse(self.path)
@@ -131,7 +132,7 @@ class _ClusterRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
-    def _dispatch(self, method: str, route: Tuple[str, ...], payload: Dict[str, Any]) -> None:
+    def _dispatch(self, method: str, route: tuple[str, ...], payload: dict[str, Any]) -> None:
         coordinator = self.coordinator
         if route == ("health",) and method == "GET":
             self._send_json(
@@ -266,16 +267,16 @@ class ClusterServer:
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
-        self._thread: Optional[threading.Thread] = None
+        self._thread: threading.Thread | None = None
         self._started = False
 
     @property
-    def address(self) -> Tuple[str, int]:
+    def address(self) -> tuple[str, int]:
         """The bound ``(host, port)`` pair."""
         host, port = self._httpd.server_address[:2]
         return str(host), int(port)
 
-    def start(self) -> "ClusterServer":
+    def start(self) -> ClusterServer:
         """Serve requests from a background daemon thread."""
         if self._thread is None:
             self._started = True
@@ -302,7 +303,7 @@ class ClusterServer:
             self._thread = None
         self.coordinator.close()
 
-    def __enter__(self) -> "ClusterServer":
+    def __enter__(self) -> ClusterServer:
         return self.start()
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -327,11 +328,11 @@ class ClusterClient(StatisticsClient):
         disk_factor: float = 20.0,
         seed: int = 0,
         exist_ok: bool = False,
-        partition_boundaries: Optional[Sequence[float]] = None,
-        partition_shards: Optional[Sequence[str]] = None,
-    ) -> Dict[str, Any]:
+        partition_boundaries: Sequence[float] | None = None,
+        partition_shards: Sequence[str] | None = None,
+    ) -> dict[str, Any]:
         """Create an attribute; pass ``partition_boundaries`` to range-partition it."""
-        payload: Dict[str, Any] = {
+        payload: dict[str, Any] = {
             "name": name,
             "kind": kind,
             "memory_kb": memory_kb,
@@ -346,11 +347,11 @@ class ClusterClient(StatisticsClient):
             payload["partition_shards"] = list(partition_shards)
         return self._request("POST", "/attributes", payload)
 
-    def cluster_stats(self) -> Dict[str, Any]:
+    def cluster_stats(self) -> dict[str, Any]:
         """Per-shard stats, placement rules and the merge-cache state."""
         return self._request("GET", "/cluster/stats")
 
-    def ingest_batch(self, items: Mapping[str, Any]) -> Dict[str, Any]:
+    def ingest_batch(self, items: Mapping[str, Any]) -> dict[str, Any]:
         """Apply a multi-attribute write batch in one round trip.
 
         Each entry maps an attribute name to either a list of values to
@@ -360,19 +361,19 @@ class ClusterClient(StatisticsClient):
         """
         return self._request("POST", "/cluster/ingest", {"items": dict(items)})
 
-    def rebalance(self, name: str, shard_id: str) -> Dict[str, Any]:
+    def rebalance(self, name: str, shard_id: str) -> dict[str, Any]:
         """Move an unpartitioned attribute to ``shard_id``."""
         return self._request(
             "POST", self._attribute_path(name, "rebalance"), {"shard": shard_id}
         )
 
-    def drain(self, shard_id: str) -> Dict[str, Any]:
+    def drain(self, shard_id: str) -> dict[str, Any]:
         """Move every attribute off ``shard_id``."""
         from urllib.parse import quote
 
         return self._request("POST", f"/shards/{quote(shard_id, safe='')}/drain", {})
 
-    def resync(self, shard_id: str) -> Dict[str, Any]:
+    def resync(self, shard_id: str) -> dict[str, Any]:
         """Heal a recovered shard: re-seed every replica it should hold."""
         from urllib.parse import quote
 

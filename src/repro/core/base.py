@@ -12,7 +12,7 @@ additionally implement the *update* interface of :class:`DynamicHistogram`:
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -47,13 +47,13 @@ class Histogram(abc.ABC):
     """
 
     #: Cached SegmentView (None = derive from the live state on next read).
-    _view_cache: Optional[SegmentView] = None
+    _view_cache: SegmentView | None = None
 
     # ------------------------------------------------------------------
     # abstract surface
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def buckets(self) -> List[Bucket]:
+    def buckets(self) -> list[Bucket]:
         """The histogram's buckets (piecewise-uniform segments), in value order.
 
         Histograms with internal sub-bucket structure (DVO / DADO) expose their
@@ -136,7 +136,7 @@ class Histogram(abc.ABC):
         if view.fast:
             return view.range_count_many(lows_arr, highs_arr)
         return np.asarray(
-            [self.estimate_range(low, high) for low, high in zip(lows_arr, highs_arr)],
+            [self.estimate_range(low, high) for low, high in zip(lows_arr, highs_arr, strict=True)],
             dtype=float,
         )
 
@@ -165,7 +165,7 @@ class Histogram(abc.ABC):
         if view.fast:
             return view.equal_estimate(value, value_granularity)
         estimate = 0.0
-        border_bucket: Optional[Bucket] = None
+        border_bucket: Bucket | None = None
         interior_hit = False
         for bucket in self.buckets():
             if bucket.is_point_mass:

@@ -18,7 +18,6 @@ non-overlapping buckets.  Two flavours are used:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Tuple
 
 from ..exceptions import ConfigurationError
 
@@ -91,7 +90,7 @@ class Bucket:
             self.count * (overlap_high - overlap_low) / self.width, self.count
         )
 
-    def with_count(self, count: float) -> "Bucket":
+    def with_count(self, count: float) -> Bucket:
         """Return a copy of this bucket with a different count."""
         return replace(self, count=count)
 
@@ -142,7 +141,7 @@ class SubBucketedBucket:
     def is_point_mass(self) -> bool:
         return self.right == self.left
 
-    def as_segments(self) -> List[Tuple[float, float, float]]:
+    def as_segments(self) -> list[tuple[float, float, float]]:
         """The bucket's piecewise-uniform segments as ``(left, right, count)``.
 
         A point-mass bucket yields a single zero-width segment.
@@ -155,10 +154,10 @@ class SubBucketedBucket:
             (mid, self.right, self.right_count),
         ]
 
-    def as_buckets(self) -> List[Bucket]:
+    def as_buckets(self) -> list[Bucket]:
         """The two sub-buckets as plain :class:`Bucket` objects."""
         return [Bucket(left, right, count) for left, right, count in self.as_segments()]
 
-    def with_counts(self, left_count: float, right_count: float) -> "SubBucketedBucket":
+    def with_counts(self, left_count: float, right_count: float) -> SubBucketedBucket:
         """Return a copy with different sub-bucket counts."""
         return replace(self, left_count=left_count, right_count=right_count)

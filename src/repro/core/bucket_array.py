@@ -26,13 +26,13 @@ the remaining columns are structurally zero.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 __all__ = ["BucketArray"]
 
-Segment = Tuple[float, float, float]
+Segment = tuple[float, float, float]
 
 
 class BucketArray:
@@ -59,8 +59,8 @@ class BucketArray:
         rights: np.ndarray,
         sub_counts: np.ndarray,
         *,
-        phis: Optional[np.ndarray] = None,
-        pair_phis: Optional[np.ndarray] = None,
+        phis: np.ndarray | None = None,
+        pair_phis: np.ndarray | None = None,
     ) -> None:
         self.lefts = np.ascontiguousarray(lefts, dtype=float)
         self.rights = np.ascontiguousarray(rights, dtype=float)
@@ -77,7 +77,7 @@ class BucketArray:
     # construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def empty(cls, k: int = 1, *, track_phis: bool = False) -> "BucketArray":
+    def empty(cls, k: int = 1, *, track_phis: bool = False) -> BucketArray:
         """An array with zero buckets and ``k`` sub-ranges per bucket."""
         return cls(
             np.empty(0, dtype=float),
@@ -90,11 +90,11 @@ class BucketArray:
     @classmethod
     def from_rows(
         cls,
-        rows: Iterable[Tuple[float, float, Sequence[float]]],
+        rows: Iterable[tuple[float, float, Sequence[float]]],
         k: int,
         *,
         track_phis: bool = False,
-    ) -> "BucketArray":
+    ) -> BucketArray:
         """Build from ``(left, right, sub_counts)`` rows (deserialisation).
 
         Rows whose count vector is shorter than ``k`` (legacy point-mass
@@ -123,7 +123,7 @@ class BucketArray:
             array.pair_phis = np.zeros(max(n - 1, 0), dtype=float)
         return array
 
-    def to_rows(self) -> List[List[object]]:
+    def to_rows(self) -> list[list[object]]:
         """Serialise as ``[left, right, [sub_counts...]]`` rows (JSON shape)."""
         return [
             [float(self.lefts[i]), float(self.rights[i]), [float(c) for c in self.sub_counts[i]]]
@@ -167,7 +167,7 @@ class BucketArray:
     # ------------------------------------------------------------------
     # per-bucket segment expansion
     # ------------------------------------------------------------------
-    def row_borders(self, index: int) -> List[float]:
+    def row_borders(self, index: int) -> list[float]:
         """The ``k + 1`` sub-range borders of bucket ``index``.
 
         Replicates the float-op order of the historical ``_VBucket.borders()``
@@ -183,7 +183,7 @@ class BucketArray:
         step = (right - left) / k
         return [left + i * step for i in range(k)] + [right]
 
-    def row_segments(self, index: int) -> List[Segment]:
+    def row_segments(self, index: int) -> list[Segment]:
         """Piecewise-uniform ``(left, right, count)`` segments of one bucket."""
         left = float(self.lefts[index])
         right = float(self.rights[index])
@@ -221,7 +221,7 @@ class BucketArray:
         lefts: Sequence[float],
         rights: Sequence[float],
         sub_counts: Sequence[Sequence[float]],
-        phis: Optional[Sequence[float]] = None,
+        phis: Sequence[float] | None = None,
     ) -> None:
         """Replace buckets ``[start, stop)`` with the given rows.
 
@@ -253,7 +253,7 @@ class BucketArray:
             (self.pair_phis[:start], np.asarray(values, dtype=float), self.pair_phis[stop:])
         )
 
-    def copy(self) -> "BucketArray":
+    def copy(self) -> BucketArray:
         """Deep copy (used by tests and snapshots of mutable state)."""
         return BucketArray(
             self.lefts.copy(),

@@ -26,7 +26,7 @@ distributed reduction all share it:
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Tuple, Union
+from collections.abc import Iterable
 
 from ..exceptions import ConfigurationError
 from .bucket import SubBucketedBucket
@@ -40,7 +40,7 @@ __all__ = [
     "split_bucket",
 ]
 
-Segment = Tuple[float, float, float]
+Segment = tuple[float, float, float]
 
 
 class DeviationMetric(enum.Enum):
@@ -52,7 +52,7 @@ class DeviationMetric(enum.Enum):
     ABSOLUTE = "absolute"
 
     @classmethod
-    def coerce(cls, value: Union["DeviationMetric", str]) -> "DeviationMetric":
+    def coerce(cls, value: DeviationMetric | str) -> DeviationMetric:
         """Accept either an enum member or its string value."""
         if isinstance(value, cls):
             return value
@@ -87,7 +87,7 @@ def _segment_value_count(left: float, right: float, value_unit: float) -> float:
 
 def segments_phi(
     segments: Iterable[Segment],
-    metric: Union[DeviationMetric, str] = DeviationMetric.VARIANCE,
+    metric: DeviationMetric | str = DeviationMetric.VARIANCE,
     *,
     value_unit: float = 1.0,
 ) -> float:
@@ -126,7 +126,7 @@ def segments_phi(
     average_frequency = total_count / total_values
 
     phi = 0.0
-    for (left, right, count), n_values in zip(segment_list, value_counts):
+    for (_left, _right, count), n_values in zip(segment_list, value_counts, strict=True):
         frequency = count / n_values
         phi += n_values * metric.aggregate(frequency - average_frequency)
     return phi
@@ -134,7 +134,7 @@ def segments_phi(
 
 def bucket_phi(
     bucket: SubBucketedBucket,
-    metric: Union[DeviationMetric, str] = DeviationMetric.VARIANCE,
+    metric: DeviationMetric | str = DeviationMetric.VARIANCE,
     *,
     value_unit: float = 1.0,
 ) -> float:
@@ -145,7 +145,7 @@ def bucket_phi(
 def merged_phi(
     first: SubBucketedBucket,
     second: SubBucketedBucket,
-    metric: Union[DeviationMetric, str] = DeviationMetric.VARIANCE,
+    metric: DeviationMetric | str = DeviationMetric.VARIANCE,
     *,
     value_unit: float = 1.0,
 ) -> float:
@@ -209,7 +209,7 @@ def merge_sub_buckets(first: SubBucketedBucket, second: SubBucketedBucket) -> Su
     return SubBucketedBucket(left, right, left_count, right_count)
 
 
-def split_bucket(bucket: SubBucketedBucket) -> Tuple[SubBucketedBucket, SubBucketedBucket]:
+def split_bucket(bucket: SubBucketedBucket) -> tuple[SubBucketedBucket, SubBucketedBucket]:
     """Split a bucket at its sub-bucket border into two new buckets.
 
     Each new bucket covers one of the old sub-bucket ranges and its own

@@ -29,7 +29,7 @@ pass over the live arrays.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -43,14 +43,14 @@ from .segment_view import SegmentView
 
 __all__ = ["DVOHistogram", "DADOHistogram"]
 
-Segment = Tuple[float, float, float]
+Segment = tuple[float, float, float]
 
 #: Below this batch size the vectorised insert/delete paths cost more than
 #: they save.
 _VECTOR_MIN_BATCH = 32
 
 
-def _project_segments(segments: Sequence[Segment], borders: Sequence[float]) -> List[float]:
+def _project_segments(segments: Sequence[Segment], borders: Sequence[float]) -> list[float]:
     """Distribute segment mass onto the sub-ranges delimited by ``borders``.
 
     Uniform assumption within each source segment; point-mass segments are
@@ -94,7 +94,7 @@ def _project_segments(segments: Sequence[Segment], borders: Sequence[float]) -> 
     return counts
 
 
-def _k2_value_counts(left: float, right: float, value_unit: float) -> Tuple[float, float]:
+def _k2_value_counts(left: float, right: float, value_unit: float) -> tuple[float, float]:
     """Domain-value counts of a non-point-mass 2-sub-bucket bucket's segments.
 
     Replicates exactly what :func:`_phi_of_segments` would derive from the
@@ -122,7 +122,7 @@ def _k2_value_counts(left: float, right: float, value_unit: float) -> Tuple[floa
 
 
 def _phi_of_counts(
-    value_counts: Tuple[float, ...], counts: Tuple[float, ...], variance: bool
+    value_counts: tuple[float, ...], counts: tuple[float, ...], variance: bool
 ) -> float:
     """Phi of parallel (value-count, point-count) segment tuples.
 
@@ -141,17 +141,17 @@ def _phi_of_counts(
     average = total_count / total_values
     phi = 0.0
     if variance:
-        for n_values, count in zip(value_counts, counts):
+        for n_values, count in zip(value_counts, counts, strict=True):
             deviation = count / n_values - average
             phi += n_values * (deviation * deviation)
     else:
-        for n_values, count in zip(value_counts, counts):
+        for n_values, count in zip(value_counts, counts, strict=True):
             deviation = count / n_values - average
             phi += n_values * abs(deviation)
     return phi
 
 
-def _phi_of_segments(segments: List[Segment], variance: bool, value_unit: float) -> float:
+def _phi_of_segments(segments: list[Segment], variance: bool, value_unit: float) -> float:
     """Specialised :func:`~repro.core.deviation.segments_phi` for the hot path.
 
     Phi refreshes run once per inserted value, so the generic implementation's
@@ -162,7 +162,7 @@ def _phi_of_segments(segments: List[Segment], variance: bool, value_unit: float)
     """
     if not segments:
         return 0.0
-    value_counts: List[float] = []
+    value_counts: list[float] = []
     total_values = 0.0
     total_count = 0.0
     for left, right, count in segments:
@@ -181,17 +181,17 @@ def _phi_of_segments(segments: List[Segment], variance: bool, value_unit: float)
     average = total_count / total_values
     phi = 0.0
     if variance:
-        for (_, _, count), n_values in zip(segments, value_counts):
+        for (_, _, count), n_values in zip(segments, value_counts, strict=True):
             deviation = count / n_values - average
             phi += n_values * (deviation * deviation)
     else:
-        for (_, _, count), n_values in zip(segments, value_counts):
+        for (_, _, count), n_values in zip(segments, value_counts, strict=True):
             deviation = count / n_values - average
             phi += n_values * abs(deviation)
     return phi
 
 
-def _row_segments(left: float, right: float, counts: Sequence[float]) -> List[Segment]:
+def _row_segments(left: float, right: float, counts: Sequence[float]) -> list[Segment]:
     """Piecewise-uniform segments of a ``(left, right, counts)`` bucket row."""
     if right == left:
         total = 0.0
@@ -253,11 +253,11 @@ class DVOHistogram(DynamicHistogram):
         #: must not re-derive the metric flavour from the enum every call.
         self._variance = self.metric is DeviationMetric.VARIANCE
 
-        self._loading: Optional[Dict[float, int]] = {}
+        self._loading: dict[float, int] | None = {}
         #: Single source of truth once bootstrapped: borders, sub-bucket
         #: counts and the phi / pair-phi maintenance caches, all spliced
         #: together by the maintenance operations below.
-        self._array: Optional[BucketArray] = None
+        self._array: BucketArray | None = None
         self._repartition_count = 0
 
     # ------------------------------------------------------------------
@@ -284,7 +284,7 @@ class DVOHistogram(DynamicHistogram):
         return self._loading is not None
 
     @property
-    def bucket_array(self) -> Optional[BucketArray]:
+    def bucket_array(self) -> BucketArray | None:
         """The live structure-of-arrays state (None during the loading phase).
 
         This is the histogram's single source of truth; treat it as read-only
@@ -292,7 +292,7 @@ class DVOHistogram(DynamicHistogram):
         """
         return self._array
 
-    def sub_bucketed_buckets(self) -> List[SubBucketedBucket]:
+    def sub_bucketed_buckets(self) -> list[SubBucketedBucket]:
         """The internal buckets as :class:`SubBucketedBucket` values.
 
         Only available for the paper's two-sub-bucket configuration.
@@ -316,13 +316,13 @@ class DVOHistogram(DynamicHistogram):
     # ------------------------------------------------------------------
     # read API (derived views of the array state)
     # ------------------------------------------------------------------
-    def buckets(self) -> List[Bucket]:
+    def buckets(self) -> list[Bucket]:
         if self._loading is not None:
             return [
                 Bucket(value, value, float(count))
                 for value, count in sorted(self._loading.items())
             ]
-        result: List[Bucket] = []
+        result: list[Bucket] = []
         array = self._array
         unit = self._value_unit
         for index in range(len(array)):
@@ -392,7 +392,7 @@ class DVOHistogram(DynamicHistogram):
                 out_counts[base + j] = sub[regular, j]
         return SegmentView(out_lefts, out_rights, out_counts)
 
-    def _slot_borders(self) -> Tuple[np.ndarray, np.ndarray]:
+    def _slot_borders(self) -> tuple[np.ndarray, np.ndarray]:
         """Per-sub-range border matrices ``(n, k)`` of every bucket.
 
         Replicates ``left + j * (width / k)`` (with the last border pinned to
@@ -540,7 +540,7 @@ class DVOHistogram(DynamicHistogram):
         finally:
             self._invalidate_view()
 
-    def _apply_chunk_vectorised(self, chunk: "np.ndarray", dirty: set) -> bool:
+    def _apply_chunk_vectorised(self, chunk: np.ndarray, dirty: set) -> bool:
         """Bin a chunk of values into the live count matrix in one numpy pass.
 
         Only applies when every value lands strictly inside an existing
@@ -858,10 +858,7 @@ class DVOHistogram(DynamicHistogram):
         """
         array = self._array
         new_counts = [1.0] + [0.0] * (self._k - 1)
-        if value < array.lefts[0]:
-            index = 0
-        else:
-            index = len(array)
+        index = 0 if value < array.lefts[0] else len(array)
         array.splice(index, index, [value], [value], [new_counts], phis=[0.0])
         n = len(array)
         if n >= 2:
@@ -980,7 +977,7 @@ class DVOHistogram(DynamicHistogram):
     # ------------------------------------------------------------------
     # repartitioning (split-merge)
     # ------------------------------------------------------------------
-    def _find_best_split(self) -> Optional[int]:
+    def _find_best_split(self) -> int | None:
         """Bucket with the largest phi that can actually be split.
 
         Buckets no wider than one domain value cannot be split meaningfully
@@ -999,7 +996,7 @@ class DVOHistogram(DynamicHistogram):
             return None
         return best
 
-    def _find_best_merge(self, *, exclude: Optional[int] = None) -> Optional[int]:
+    def _find_best_merge(self, *, exclude: int | None = None) -> int | None:
         """Left index of the adjacent pair whose merge has the smallest phi."""
         pair_phis = self._array.pair_phis
         if pair_phis.size == 0:
@@ -1132,21 +1129,22 @@ class DVOHistogram(DynamicHistogram):
     # ------------------------------------------------------------------
     # deletion helper
     # ------------------------------------------------------------------
-    def _deletion_candidates(self, value: float) -> List[Tuple[int, int]]:
+    def _deletion_candidates(self, value: float) -> list[tuple[int, int]]:
         """Sub-bucket slots ordered by how close their range lies to ``value``."""
         array = self._array
         lefts = array.lefts.tolist()
         rights = array.rights.tolist()
         subs = array.sub_counts.tolist()
-        candidates: List[Tuple[float, int, int]] = []
-        for bucket_index, (bucket_left, bucket_right) in enumerate(zip(lefts, rights)):
+        candidates: list[tuple[float, int, int]] = []
+        for bucket_index, (bucket_left, bucket_right) in enumerate(zip(lefts, rights, strict=True)):
             segments = _row_segments(bucket_left, bucket_right, subs[bucket_index])
             for sub_index in range(len(segments)):
                 left, right, _count = segments[sub_index]
-                if left <= value <= right:
-                    distance = 0.0
-                else:
-                    distance = min(abs(value - left), abs(value - right))
+                distance = (
+                    0.0
+                    if left <= value <= right
+                    else min(abs(value - left), abs(value - right))
+                )
                 candidates.append((distance, bucket_index, sub_index))
         candidates.sort()
         return [(bucket_index, sub_index) for _, bucket_index, sub_index in candidates]

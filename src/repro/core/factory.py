@@ -9,7 +9,6 @@ algorithm in an experiment gets exactly the same memory.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..exceptions import ConfigurationError
 from ..metrics.distribution import DataDistribution
@@ -30,7 +29,7 @@ def build_dynamic_histogram(
     value_unit: float = 1.0,
     disk_factor: float = 20.0,
     seed: int = 0,
-    memory_model: Optional[MemoryModel] = None,
+    memory_model: MemoryModel | None = None,
 ) -> DynamicHistogram:
     """Build a dynamic histogram of the given kind for a memory budget in KB.
 
@@ -65,7 +64,7 @@ def build_static_histogram(
     data: DataDistribution,
     memory_kb: float,
     *,
-    memory_model: Optional[MemoryModel] = None,
+    memory_model: MemoryModel | None = None,
 ) -> Histogram:
     """Build a static histogram of the given kind from exact data.
 

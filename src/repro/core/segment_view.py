@@ -35,7 +35,7 @@ per-bucket loops.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -117,7 +117,7 @@ class SegmentView:
         )
 
     @classmethod
-    def from_buckets(cls, buckets: Sequence[Bucket]) -> "SegmentView":
+    def from_buckets(cls, buckets: Sequence[Bucket]) -> SegmentView:
         """Build a view from a materialised bucket list (generic fallback)."""
         return cls(
             np.asarray([bucket.left for bucket in buckets], dtype=float),

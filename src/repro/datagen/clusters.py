@@ -16,7 +16,6 @@ none, positive or negative.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
 
 import numpy as np
 
@@ -76,7 +75,7 @@ class ClusterDistributionConfig:
     cluster_sd: float = 2.0
     shape: str = "normal"
     correlation: str = "none"
-    domain: Tuple[int, int] = (0, 5000)
+    domain: tuple[int, int] = (0, 5000)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -107,11 +106,11 @@ class ClusterDistributionConfig:
     def domain_high(self) -> int:
         return int(self.domain[1])
 
-    def with_seed(self, seed: int) -> "ClusterDistributionConfig":
+    def with_seed(self, seed: int) -> ClusterDistributionConfig:
         """Return a copy of this configuration with a different seed."""
         return replace(self, seed=seed)
 
-    def scaled(self, factor: float) -> "ClusterDistributionConfig":
+    def scaled(self, factor: float) -> ClusterDistributionConfig:
         """Return a copy with the point and cluster counts scaled by ``factor``.
 
         Used by the benchmark harness to run paper experiments at laptop scale
@@ -200,7 +199,7 @@ def generate_cluster_values(config: ClusterDistributionConfig) -> np.ndarray:
     sizes = _cluster_sizes(rng, config, centers)
 
     pieces = []
-    for center, size in zip(centers, sizes):
+    for center, size in zip(centers, sizes, strict=True):
         if size == 0:
             continue
         offsets = _cluster_offsets(rng, config, int(size))

@@ -14,7 +14,6 @@ down for laptop-sized benchmark runs (skews and the domain are never scaled).
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from .clusters import ClusterDistributionConfig
 
@@ -28,7 +27,7 @@ __all__ = [
 ]
 
 #: Integer attribute domain used throughout the paper's synthetic experiments.
-PAPER_DOMAIN: Tuple[int, int] = (0, 5000)
+PAPER_DOMAIN: tuple[int, int] = (0, 5000)
 
 #: Number of points in the synthetic test file (Section 7).
 PAPER_NUM_POINTS: int = 100_000
@@ -113,7 +112,7 @@ def distributed_site_config(
     *,
     n_points: int,
     intrasite_skew: float,
-    domain: Tuple[int, int],
+    domain: tuple[int, int],
     seed: int,
     n_clusters: int = 50,
     cluster_sd: float = 1.0,

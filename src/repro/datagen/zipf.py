@@ -9,7 +9,6 @@ a few ranks.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -96,7 +95,7 @@ def sample_zipf(
 
 
 def zipf_gaps(
-    rng: Optional[np.random.Generator],
+    rng: np.random.Generator | None,
     n_gaps: int,
     skew: float,
     total_span: float,

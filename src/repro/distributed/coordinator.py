@@ -15,7 +15,7 @@ the coordinator exposes both so the experiment can verify that.
 from __future__ import annotations
 
 import enum
-from typing import Iterable, List, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..core.base import Histogram
 from ..core.memory import MemoryModel
@@ -72,7 +72,7 @@ class GlobalHistogramCoordinator:
     # accessors
     # ------------------------------------------------------------------
     @property
-    def sites(self) -> List[Site]:
+    def sites(self) -> list[Site]:
         return list(self._sites)
 
     @property

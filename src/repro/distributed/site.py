@@ -10,7 +10,6 @@ for both the members and the merge).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 import numpy as np
 
@@ -56,7 +55,7 @@ class SiteGenerationConfig:
     total_points: int = 50_000
     intrasite_skew: float = 1.0
     site_size_skew: float = 0.0
-    domain: Tuple[int, int] = (0, 5000)
+    domain: tuple[int, int] = (0, 5000)
     min_range_fraction: float = 0.05
     seed: int = 0
 
@@ -78,7 +77,7 @@ class Site:
     """One union member: an identifier, its value sub-range and its data."""
 
     site_id: int
-    value_range: Tuple[float, float]
+    value_range: tuple[float, float]
     data: DataDistribution
 
     @property
@@ -97,7 +96,7 @@ class Site:
         return SSBMHistogram.build(self.data, n_buckets)
 
 
-def generate_sites(config: SiteGenerationConfig) -> List[Site]:
+def generate_sites(config: SiteGenerationConfig) -> list[Site]:
     """Generate the union members of a shared-nothing experiment."""
     rng = np.random.default_rng(config.seed)
     domain_low, domain_high = config.domain
@@ -107,7 +106,7 @@ def generate_sites(config: SiteGenerationConfig) -> List[Site]:
     site_sizes = zipf_counts(config.total_points, config.n_sites, config.site_size_skew)
     site_sizes = rng.permutation(site_sizes)
 
-    sites: List[Site] = []
+    sites: list[Site] = []
     for site_id, size in enumerate(site_sizes):
         low = float(rng.uniform(domain_low, domain_high - min_width))
         width = float(rng.uniform(min_width, domain_high - low))

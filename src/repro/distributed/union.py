@@ -13,7 +13,7 @@ SSBM technique.
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence, Tuple, Union
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -26,7 +26,7 @@ from ..static.base import StaticHistogram
 
 __all__ = ["UnionHistogram", "superimpose", "reduce_segments"]
 
-Segment = Tuple[float, float, float]
+Segment = tuple[float, float, float]
 
 
 class UnionHistogram(StaticHistogram):
@@ -56,9 +56,9 @@ def superimpose(histograms: Sequence[Histogram]) -> UnionHistogram:
     if not histograms:
         raise ConfigurationError("superimpose requires at least one histogram")
 
-    border_values: List[float] = []
-    point_masses: List[Bucket] = []
-    interval_buckets: List[Bucket] = []
+    border_values: list[float] = []
+    point_masses: list[Bucket] = []
+    interval_buckets: list[Bucket] = []
     for histogram in histograms:
         for bucket in histogram.buckets():
             if bucket.is_point_mass:
@@ -67,7 +67,7 @@ def superimpose(histograms: Sequence[Histogram]) -> UnionHistogram:
                 interval_buckets.append(bucket)
                 border_values.extend((bucket.left, bucket.right))
 
-    merged: List[Bucket] = []
+    merged: list[Bucket] = []
     if interval_buckets:
         borders = np.unique(np.asarray(border_values, dtype=float))
         # Vectorised overlap computation: every member bucket's borders are in
@@ -111,7 +111,7 @@ def reduce_segments(
     histogram: Histogram,
     n_buckets: int,
     *,
-    metric: Union[DeviationMetric, str] = DeviationMetric.VARIANCE,
+    metric: DeviationMetric | str = DeviationMetric.VARIANCE,
     value_unit: float = 1.0,
 ) -> UnionHistogram:
     """Reduce a histogram to ``n_buckets`` buckets by SSBM-style merging.
@@ -124,7 +124,7 @@ def reduce_segments(
     if n_buckets < 1:
         raise ConfigurationError(f"n_buckets must be positive, got {n_buckets}")
     metric = DeviationMetric.coerce(metric)
-    segments: List[Segment] = [
+    segments: list[Segment] = [
         (bucket.left, bucket.right, bucket.count) for bucket in histogram.buckets()
     ]
     # Degenerate inputs a live cluster routinely produces -- handled by
@@ -144,8 +144,8 @@ def reduce_segments(
     n_segments = len(segments)
     start_of = list(range(n_segments))
     end_of = list(range(n_segments))
-    next_group: List[int] = [i + 1 for i in range(n_segments)]
-    prev_group: List[int] = [i - 1 for i in range(n_segments)]
+    next_group: list[int] = [i + 1 for i in range(n_segments)]
+    prev_group: list[int] = [i - 1 for i in range(n_segments)]
     alive = [True] * n_segments
     version = [0] * n_segments
 
@@ -153,7 +153,7 @@ def reduce_segments(
         merged_segments = segments[start_of[left_group] : end_of[right_group] + 1]
         return segments_phi(merged_segments, metric, value_unit=value_unit)
 
-    heap: List[Tuple[float, int, int, int, int]] = []
+    heap: list[tuple[float, int, int, int, int]] = []
     for group in range(n_segments - 1):
         heapq.heappush(heap, (group_cost(group, group + 1), group, group + 1, 0, 0))
 
@@ -200,7 +200,7 @@ def reduce_segments(
                 ),
             )
 
-    buckets: List[Bucket] = []
+    buckets: list[Bucket] = []
     group = 0
     while group < n_segments:
         if alive[group]:

@@ -10,7 +10,7 @@ up in a query optimizer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -29,18 +29,18 @@ class EstimationReport:
     predicate: Predicate
     estimated_count: float
     estimated_selectivity: float
-    true_count: Optional[float] = None
-    true_selectivity: Optional[float] = None
+    true_count: float | None = None
+    true_selectivity: float | None = None
 
     @property
-    def absolute_error(self) -> Optional[float]:
+    def absolute_error(self) -> float | None:
         """Absolute count error (None when the truth is unknown)."""
         if self.true_count is None:
             return None
         return abs(self.estimated_count - self.true_count)
 
     @property
-    def relative_error(self) -> Optional[float]:
+    def relative_error(self) -> float | None:
         """Relative count error, with a floor of one tuple in the denominator."""
         if self.true_count is None:
             return None
@@ -131,7 +131,7 @@ class SelectivityEstimator:
         return results
 
     @staticmethod
-    def _truth_for(predicate: Predicate, truth: Optional[DataDistribution]):
+    def _truth_for(predicate: Predicate, truth: DataDistribution | None):
         """Exact count and selectivity of ``predicate``, or ``(None, None)``."""
         if truth is None:
             return None, None
@@ -147,7 +147,7 @@ class SelectivityEstimator:
         self,
         predicate: Predicate,
         *,
-        truth: Optional[DataDistribution] = None,
+        truth: DataDistribution | None = None,
     ) -> EstimationReport:
         """Estimate one predicate and, if the truth is supplied, its error."""
         estimated_count = self.estimate_count(predicate)
@@ -165,14 +165,14 @@ class SelectivityEstimator:
         self,
         predicates: Iterable[Predicate],
         *,
-        truth: Optional[DataDistribution] = None,
-    ) -> List[EstimationReport]:
+        truth: DataDistribution | None = None,
+    ) -> list[EstimationReport]:
         """Estimate a batch of predicates (vectorised over the batch)."""
         predicate_list = list(predicates)
         estimated_counts = self.estimate_counts(predicate_list)
         total = self._histogram.total_count
-        reports: List[EstimationReport] = []
-        for predicate, estimated_count in zip(predicate_list, estimated_counts):
+        reports: list[EstimationReport] = []
+        for predicate, estimated_count in zip(predicate_list, estimated_counts, strict=True):
             estimated_count = float(estimated_count)
             true_count, true_selectivity = self._truth_for(predicate, truth)
             reports.append(

@@ -13,7 +13,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from collections.abc import Sequence
 
 from ..exceptions import ConfigurationError
 
@@ -36,7 +36,7 @@ class Predicate(abc.ABC):
     """Base class: a predicate over one numeric attribute."""
 
     @abc.abstractmethod
-    def interval(self) -> Tuple[float, float]:
+    def interval(self) -> tuple[float, float]:
         """The closed interval of attribute values satisfying the predicate.
 
         Open comparisons are tightened by an infinitesimal amount only at
@@ -48,7 +48,7 @@ class Predicate(abc.ABC):
     def matches(self, value: float) -> bool:
         """Exact evaluation of the predicate on a single value."""
 
-    def __and__(self, other: "Predicate") -> "And":
+    def __and__(self, other: Predicate) -> And:
         return And((self, other))
 
 
@@ -58,7 +58,7 @@ class Equals(Predicate):
 
     value: float
 
-    def interval(self) -> Tuple[float, float]:
+    def interval(self) -> tuple[float, float]:
         return (self.value, self.value)
 
     def matches(self, value: float) -> bool:
@@ -71,7 +71,7 @@ class LessOrEqual(Predicate):
 
     bound: float
 
-    def interval(self) -> Tuple[float, float]:
+    def interval(self) -> tuple[float, float]:
         return (_NEG_INF, self.bound)
 
     def matches(self, value: float) -> bool:
@@ -84,7 +84,7 @@ class LessThan(Predicate):
 
     bound: float
 
-    def interval(self) -> Tuple[float, float]:
+    def interval(self) -> tuple[float, float]:
         return (_NEG_INF, math.nextafter(self.bound, _NEG_INF))
 
     def matches(self, value: float) -> bool:
@@ -97,7 +97,7 @@ class GreaterOrEqual(Predicate):
 
     bound: float
 
-    def interval(self) -> Tuple[float, float]:
+    def interval(self) -> tuple[float, float]:
         return (self.bound, _POS_INF)
 
     def matches(self, value: float) -> bool:
@@ -110,7 +110,7 @@ class GreaterThan(Predicate):
 
     bound: float
 
-    def interval(self) -> Tuple[float, float]:
+    def interval(self) -> tuple[float, float]:
         return (math.nextafter(self.bound, _POS_INF), _POS_INF)
 
     def matches(self, value: float) -> bool:
@@ -130,7 +130,7 @@ class Between(Predicate):
                 f"Between requires low <= high, got [{self.low}, {self.high}]"
             )
 
-    def interval(self) -> Tuple[float, float]:
+    def interval(self) -> tuple[float, float]:
         return (self.low, self.high)
 
     def matches(self, value: float) -> bool:
@@ -146,10 +146,10 @@ class And(Predicate):
         self._parts = tuple(parts)
 
     @property
-    def parts(self) -> Tuple[Predicate, ...]:
+    def parts(self) -> tuple[Predicate, ...]:
         return self._parts
 
-    def interval(self) -> Tuple[float, float]:
+    def interval(self) -> tuple[float, float]:
         low = _NEG_INF
         high = _POS_INF
         for part in self._parts:

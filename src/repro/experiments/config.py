@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List
 
 from .._validation import require_positive_float, require_positive_int
 from ..exceptions import ConfigurationError
@@ -43,15 +42,15 @@ class ExperimentSettings:
             raise ConfigurationError(f"scale must be at most 1.0, got {self.scale}")
 
     @property
-    def seeds(self) -> List[int]:
+    def seeds(self) -> list[int]:
         """The seeds of the individual runs."""
         return [self.base_seed + run for run in range(self.n_runs)]
 
-    def with_scale(self, scale: float) -> "ExperimentSettings":
+    def with_scale(self, scale: float) -> ExperimentSettings:
         """Copy of the settings with a different data-volume scale."""
         return replace(self, scale=scale)
 
-    def with_runs(self, n_runs: int) -> "ExperimentSettings":
+    def with_runs(self, n_runs: int) -> ExperimentSettings:
         """Copy of the settings with a different number of repetitions."""
         return replace(self, n_runs=n_runs)
 
@@ -82,10 +81,10 @@ class SweepResult:
 
     name: str
     x_label: str
-    x_values: List[float]
-    series: Dict[str, List[float]]
+    x_values: list[float]
+    series: dict[str, list[float]]
     y_label: str = "KS statistic"
-    metadata: Dict[str, object] = field(default_factory=dict)
+    metadata: dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         for algorithm, values in self.series.items():
@@ -96,11 +95,11 @@ class SweepResult:
                 )
 
     @property
-    def algorithms(self) -> List[str]:
+    def algorithms(self) -> list[str]:
         """The algorithm names in insertion order."""
         return list(self.series)
 
-    def row(self, index: int) -> Dict[str, float]:
+    def row(self, index: int) -> dict[str, float]:
         """All measurements at sweep point ``index`` keyed by algorithm."""
         return {algorithm: values[index] for algorithm, values in self.series.items()}
 

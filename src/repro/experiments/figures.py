@@ -15,7 +15,7 @@ same reason; every function accepts an explicit grid.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -99,22 +99,23 @@ def _dynamic_parameter_sweep(
     settings: ExperimentSettings,
     *,
     algorithms: Sequence[str] = ("DC", "DADO", "AC", "DVO"),
-    memory_for_x: Optional[Callable[[float], float]] = None,
+    memory_for_x: Callable[[float], float] | None = None,
     sorted_streams: bool = False,
     disk_factor: float = 20.0,
-    metadata: Optional[Dict[str, object]] = None,
+    metadata: dict[str, object] | None = None,
 ) -> SweepResult:
     """Generic dynamic-histogram sweep used by Figures 5-8, 14, 15 and 19."""
-    series: Dict[str, List[float]] = {algorithm: [] for algorithm in algorithms}
+    series: dict[str, list[float]] = {algorithm: [] for algorithm in algorithms}
     for x in x_values:
         totals = {algorithm: 0.0 for algorithm in algorithms}
         for seed in settings.seeds:
             config = config_for_x(x, seed)
             values = generate_cluster_values(config)
-            if sorted_streams:
-                stream = sorted_insertions(values)
-            else:
-                stream = random_insertions(values, seed=seed)
+            stream = (
+                sorted_insertions(values)
+                if sorted_streams
+                else random_insertions(values, seed=seed)
+            )
             memory_kb = memory_for_x(x) if memory_for_x is not None else settings.memory_kb
             for algorithm in algorithms:
                 # The AC backing sample is a fixed multiple of memory in the
@@ -224,11 +225,11 @@ def _static_comparison_sweep(
     config_for_x: Callable[[float, int], ClusterDistributionConfig],
     settings: ExperimentSettings,
     *,
-    memory_for_x: Optional[Callable[[float], float]] = None,
-    metadata: Optional[Dict[str, object]] = None,
+    memory_for_x: Callable[[float], float] | None = None,
+    metadata: dict[str, object] | None = None,
 ) -> SweepResult:
     """Generic sweep comparing DADO against the best static histograms."""
-    series: Dict[str, List[float]] = {algorithm: [] for algorithm in _STATIC_ALGORITHMS}
+    series: dict[str, list[float]] = {algorithm: [] for algorithm in _STATIC_ALGORITHMS}
     for x in x_values:
         totals = {algorithm: 0.0 for algorithm in _STATIC_ALGORITHMS}
         for seed in settings.seeds:
@@ -331,7 +332,7 @@ def fig13_construction_time(
     the growth trends are the reproducible part.
     """
     algorithms = ("SVO", "SSBM", "SC", "DADO")
-    series: Dict[str, List[float]] = {algorithm: [] for algorithm in algorithms}
+    series: dict[str, list[float]] = {algorithm: [] for algorithm in algorithms}
     config = ClusterDistributionConfig(
         n_points=max(1, int(round(100_000 * settings.scale))),
         n_clusters=200,
@@ -384,7 +385,7 @@ def fig14_ac_disk_space(
         metadata={"Z": 1, "SD": 2, "C": 1000, "memory_kb": settings.memory_kb},
     )
     # Add the static Compressed reference series.
-    sc_series: List[float] = []
+    sc_series: list[float] = []
     for x in x_values:
         total = 0.0
         for seed in settings.seeds:
@@ -428,7 +429,7 @@ def fig16_precision_vs_inserted_fraction(
 ) -> SweepResult:
     """Figure 16: KS as a function of the fraction of (sorted) data inserted."""
     algorithms = ("DADO", "AC", "SC")
-    series: Dict[str, List[float]] = {algorithm: [0.0] * len(fractions) for algorithm in algorithms}
+    series: dict[str, list[float]] = {algorithm: [0.0] * len(fractions) for algorithm in algorithms}
 
     for seed in settings.seeds:
         config = reference_config(seed=seed, scale=settings.scale)
@@ -479,7 +480,7 @@ def _deletion_sweep(
 ) -> SweepResult:
     """KS as a function of the fraction of data deleted after loading."""
     algorithms = ("DADO", "AC")
-    series: Dict[str, List[float]] = {algorithm: [0.0] * len(fractions) for algorithm in algorithms}
+    series: dict[str, list[float]] = {algorithm: [0.0] * len(fractions) for algorithm in algorithms}
 
     for seed in settings.seeds:
         config = reference_config(n_clusters=1000, seed=seed, scale=settings.scale)
@@ -552,7 +553,7 @@ def fig19_mail_order(
 ) -> SweepResult:
     """Figure 19: KS on the (synthetic) mail-order trace as memory grows."""
     algorithms = ("AC", "DC", "DADO")
-    series: Dict[str, List[float]] = {algorithm: [] for algorithm in algorithms}
+    series: dict[str, list[float]] = {algorithm: [] for algorithm in algorithms}
 
     for memory_kb in x_values:
         totals = {algorithm: 0.0 for algorithm in algorithms}
@@ -604,10 +605,10 @@ def _distributed_sweep(
     site_config_for_x: Callable[[float, int], SiteGenerationConfig],
     settings: ExperimentSettings,
     *,
-    memory_for_x: Optional[Callable[[float], float]] = None,
-    metadata: Optional[Dict[str, object]] = None,
+    memory_for_x: Callable[[float], float] | None = None,
+    metadata: dict[str, object] | None = None,
 ) -> SweepResult:
-    series: Dict[str, List[float]] = {label: [] for label in _DISTRIBUTED_SERIES.values()}
+    series: dict[str, list[float]] = {label: [] for label in _DISTRIBUTED_SERIES.values()}
     for x in x_values:
         totals = {label: 0.0 for label in _DISTRIBUTED_SERIES.values()}
         for seed in settings.seeds:
@@ -709,7 +710,7 @@ def ablation_sub_buckets(
     x_values: Sequence[float] = (2, 3, 4, 6),
 ) -> SweepResult:
     """KS of DADO as the number of sub-buckets per bucket varies (Section 4 claim)."""
-    series: Dict[str, List[float]] = {"DADO": []}
+    series: dict[str, list[float]] = {"DADO": []}
     for sub_buckets in x_values:
         total = 0.0
         for seed in settings.seeds:
@@ -736,8 +737,8 @@ def ablation_alpha_min(
     x_values: Sequence[float] = (1e-2, 1e-4, 1e-6, 1e-8),
 ) -> SweepResult:
     """KS of DC as the Chi-square significance threshold alpha_min varies."""
-    series: Dict[str, List[float]] = {"DC": []}
-    repartitions: List[float] = []
+    series: dict[str, list[float]] = {"DC": []}
+    repartitions: list[float] = []
     for alpha_min in x_values:
         total = 0.0
         total_repartitions = 0.0
@@ -771,7 +772,7 @@ def ablation_repartition_threshold(
     x_values: Sequence[float] = (0.0, -1.0, -5.0, -20.0),
 ) -> SweepResult:
     """KS of DADO as the split-merge trigger bound on min delta phi varies."""
-    series: Dict[str, List[float]] = {"DADO": []}
+    series: dict[str, list[float]] = {"DADO": []}
     for threshold in x_values:
         total = 0.0
         for seed in settings.seeds:

@@ -8,7 +8,6 @@ EXPERIMENTS.md embeds them.
 from __future__ import annotations
 
 import io
-from typing import Optional
 
 from .config import SweepResult
 
@@ -45,7 +44,7 @@ def format_sweep_table(result: SweepResult, *, precision: int = 5) -> str:
     return "\n".join(lines)
 
 
-def sweep_to_csv(result: SweepResult, *, path: Optional[str] = None) -> str:
+def sweep_to_csv(result: SweepResult, *, path: str | None = None) -> str:
     """Serialise a sweep result to CSV; optionally also write it to ``path``."""
     buffer = io.StringIO()
     header = [result.x_label] + result.algorithms

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Iterable, Sequence
 
 from ..core.base import DynamicHistogram, Histogram
 from ..metrics.distribution import DataDistribution
@@ -27,7 +27,7 @@ def replay(
     histogram: DynamicHistogram,
     stream: Iterable,
     *,
-    truth: Optional[DataDistribution] = None,
+    truth: DataDistribution | None = None,
 ) -> None:
     """Apply every operation of a stream to a histogram (and the ground truth)."""
     for op in stream:
@@ -52,7 +52,7 @@ def checkpointed_ks(
     histogram: DynamicHistogram,
     stream: UpdateStream,
     fractions: Sequence[float],
-) -> List[Tuple[float, float]]:
+) -> list[tuple[float, float]]:
     """KS statistic measured after each requested fraction of the stream.
 
     Returns ``(fraction, ks)`` pairs; fractions outside (0, 1] are rejected.
@@ -67,7 +67,7 @@ def checkpointed_ks(
     total = len(operations)
     truth = DataDistribution()
 
-    results: List[Tuple[float, float]] = []
+    results: list[tuple[float, float]] = []
     position = 0
     for fraction in ordered:
         target = int(round(fraction * total))

@@ -18,7 +18,7 @@ continued fraction), so the library has no dependency beyond numpy.
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ Kolmogorov-Smirnov metric.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -31,8 +31,8 @@ class DataDistribution:
         Optional iterable of initial values; duplicates accumulate frequency.
     """
 
-    def __init__(self, values: Optional[Iterable[float]] = None) -> None:
-        self._freq: Dict[float, int] = {}
+    def __init__(self, values: Iterable[float] | None = None) -> None:
+        self._freq: dict[float, int] = {}
         self._total = 0
         self._dirty = True
         self._sorted_values = np.empty(0, dtype=float)
@@ -44,7 +44,7 @@ class DataDistribution:
     # construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def from_frequencies(cls, pairs: Iterable[Tuple[float, int]]) -> "DataDistribution":
+    def from_frequencies(cls, pairs: Iterable[tuple[float, int]]) -> DataDistribution:
         """Build a distribution from ``(value, frequency)`` pairs.
 
         Frequencies must be non-negative; zero-frequency pairs are ignored.
@@ -59,7 +59,7 @@ class DataDistribution:
         dist._dirty = True
         return dist
 
-    def copy(self) -> "DataDistribution":
+    def copy(self) -> DataDistribution:
         """Return an independent copy of this distribution."""
         clone = DataDistribution()
         clone._freq = dict(self._freq)
@@ -201,11 +201,11 @@ class DataDistribution:
             return np.empty(0, dtype=float)
         return np.diff(np.concatenate(([0.0], self._cum_counts)))
 
-    def to_pairs(self) -> List[Tuple[float, int]]:
+    def to_pairs(self) -> list[tuple[float, int]]:
         """Return ``(value, frequency)`` pairs sorted by value."""
         self._ensure_arrays()
         freqs = self.frequencies
-        return [(float(v), int(f)) for v, f in zip(self._sorted_values, freqs)]
+        return [(float(v), int(f)) for v, f in zip(self._sorted_values, freqs, strict=True)]
 
     def expand(self) -> np.ndarray:
         """Materialise the multiset as a sorted array of individual values.

@@ -10,7 +10,8 @@ relative ordering of algorithms, which is a useful cross-check.
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence, Tuple, runtime_checkable
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
 
 from .distribution import DataDistribution
 
@@ -28,7 +29,7 @@ class RangeEstimator(Protocol):
 def average_relative_error(
     truth: DataDistribution,
     approx: RangeEstimator,
-    queries: Sequence[Tuple[float, float]],
+    queries: Sequence[tuple[float, float]],
     *,
     minimum_true_size: float = 1.0,
 ) -> float:

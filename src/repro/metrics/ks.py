@@ -17,7 +17,8 @@ Two entry points are provided:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Protocol, Sequence, runtime_checkable
+from collections.abc import Iterable, Sequence
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -37,7 +38,7 @@ class CDFEstimator(Protocol):
 def _candidate_points(
     truth: DataDistribution,
     approx: CDFEstimator,
-    extra_points: Optional[Iterable[float]] = None,
+    extra_points: Iterable[float] | None = None,
 ) -> np.ndarray:
     """Union of CDF breakpoints of both distributions.
 
@@ -61,8 +62,8 @@ def ks_statistic(
     truth: DataDistribution,
     approx: CDFEstimator,
     *,
-    extra_points: Optional[Iterable[float]] = None,
-    value_unit: Optional[float] = None,
+    extra_points: Iterable[float] | None = None,
+    value_unit: float | None = None,
 ) -> float:
     """Maximum absolute CDF difference between ``truth`` and ``approx``.
 
@@ -112,10 +113,11 @@ def ks_statistic(
 
     truth_right = truth.cdf_many(points)
     total = truth.total_count
-    if total > 0:
-        jumps = np.array([truth.frequency(p) for p in points], dtype=float) / total
-    else:
-        jumps = np.zeros(len(points), dtype=float)
+    jumps = (
+        np.array([truth.frequency(p) for p in points], dtype=float) / total
+        if total > 0
+        else np.zeros(len(points), dtype=float)
+    )
     truth_left = truth_right - jumps
 
     if value_unit is not None:
@@ -125,11 +127,13 @@ def ks_statistic(
     else:
         approx_right = np.asarray(approx.cdf_many(points), dtype=float)
         approx_left_fn = getattr(approx, "cdf_left_many", None)
-        if callable(approx_left_fn):
-            approx_left = np.asarray(approx_left_fn(points), dtype=float)
-        else:
-            # Histogram CDFs are continuous, so the left limit equals the value.
-            approx_left = approx_right
+        # Histogram CDFs are continuous, so absent a true left-limit method
+        # the left limit equals the value.
+        approx_left = (
+            np.asarray(approx_left_fn(points), dtype=float)
+            if callable(approx_left_fn)
+            else approx_right
+        )
 
     diff_right = np.abs(truth_right - approx_right)
     diff_left = np.abs(truth_left - approx_left)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any
 
 import numpy as np
 
@@ -58,7 +58,7 @@ def freeze(histogram: Histogram) -> FrozenHistogram:
 # ----------------------------------------------------------------------
 # dict serialisation
 # ----------------------------------------------------------------------
-def histogram_to_dict(histogram: Histogram) -> Dict[str, Any]:
+def histogram_to_dict(histogram: Histogram) -> dict[str, Any]:
     """Serialise a histogram to a JSON-compatible dictionary."""
     if isinstance(histogram, DCHistogram):
         return _dc_to_dict(histogram)
@@ -73,7 +73,7 @@ def histogram_to_dict(histogram: Histogram) -> Dict[str, Any]:
     }
 
 
-def histogram_from_dict(state: Dict[str, Any]) -> Histogram:
+def histogram_from_dict(state: dict[str, Any]) -> Histogram:
     """Reconstruct a histogram from :func:`histogram_to_dict` output."""
     version = state.get("format_version")
     if version != _FORMAT_VERSION:
@@ -89,13 +89,13 @@ def histogram_from_dict(state: Dict[str, Any]) -> Histogram:
     raise ConfigurationError(f"unknown serialised histogram kind: {kind!r}")
 
 
-def save_histogram(histogram: Histogram, path: Union[str, Path]) -> None:
+def save_histogram(histogram: Histogram, path: str | Path) -> None:
     """Serialise ``histogram`` to a JSON file at ``path``."""
     payload = histogram_to_dict(histogram)
     Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
 
 
-def load_histogram(path: Union[str, Path]) -> Histogram:
+def load_histogram(path: str | Path) -> Histogram:
     """Load a histogram previously written by :func:`save_histogram`."""
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     return histogram_from_dict(payload)
@@ -104,8 +104,8 @@ def load_histogram(path: Union[str, Path]) -> Histogram:
 # ----------------------------------------------------------------------
 # Dynamic Compressed
 # ----------------------------------------------------------------------
-def _dc_to_dict(histogram: DCHistogram) -> Dict[str, Any]:
-    state: Dict[str, Any] = {
+def _dc_to_dict(histogram: DCHistogram) -> dict[str, Any]:
+    state: dict[str, Any] = {
         "format_version": _FORMAT_VERSION,
         "kind": "dc",
         "bucket_budget": histogram.bucket_budget,
@@ -128,7 +128,7 @@ def _dc_to_dict(histogram: DCHistogram) -> Dict[str, Any]:
     return state
 
 
-def _dc_from_dict(state: Dict[str, Any]) -> DCHistogram:
+def _dc_from_dict(state: dict[str, Any]) -> DCHistogram:
     histogram = DCHistogram(
         int(state["bucket_budget"]),
         alpha_min=float(state["alpha_min"]),
@@ -162,8 +162,8 @@ def _dc_from_dict(state: Dict[str, Any]) -> DCHistogram:
 # ----------------------------------------------------------------------
 # DVO / DADO
 # ----------------------------------------------------------------------
-def _dvo_to_dict(histogram: DVOHistogram) -> Dict[str, Any]:
-    state: Dict[str, Any] = {
+def _dvo_to_dict(histogram: DVOHistogram) -> dict[str, Any]:
+    state: dict[str, Any] = {
         "format_version": _FORMAT_VERSION,
         "kind": "dado" if isinstance(histogram, DADOHistogram) else "dvo",
         "bucket_budget": histogram.bucket_budget,
@@ -181,7 +181,7 @@ def _dvo_to_dict(histogram: DVOHistogram) -> Dict[str, Any]:
     return state
 
 
-def _dvo_from_dict(state: Dict[str, Any]) -> DVOHistogram:
+def _dvo_from_dict(state: dict[str, Any]) -> DVOHistogram:
     histogram_class = DADOHistogram if state["kind"] == "dado" else DVOHistogram
     histogram = histogram_class(
         int(state["bucket_budget"]),

@@ -23,7 +23,6 @@ same answers as eager recomputation.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from .._validation import require_positive_int
 from ..core.base import DynamicHistogram
@@ -59,7 +58,7 @@ class ApproximateCompressedHistogram(DynamicHistogram):
         sample_size: int,
         *,
         gamma: float = -1.0,
-        seed: Optional[int] = 0,
+        seed: int | None = 0,
     ) -> None:
         require_positive_int(n_buckets, "n_buckets")
         require_positive_int(sample_size, "sample_size")
@@ -69,7 +68,7 @@ class ApproximateCompressedHistogram(DynamicHistogram):
         self._gamma = gamma
         self._backing = BackingSample(sample_size, seed=seed)
 
-        self._buckets: List[Bucket] = []
+        self._buckets: list[Bucket] = []
         self._built_version = -1
         self._recompute_count = 0
 
@@ -97,7 +96,7 @@ class ApproximateCompressedHistogram(DynamicHistogram):
     # ------------------------------------------------------------------
     # read API
     # ------------------------------------------------------------------
-    def buckets(self) -> List[Bucket]:
+    def buckets(self) -> list[Bucket]:
         if self._gamma <= -1.0 or not self._buckets:
             self._refresh_if_needed()
         return list(self._buckets)
@@ -219,7 +218,7 @@ class ApproximateCompressedHistogram(DynamicHistogram):
         right_of_pair = self._buckets[best_pair + 1]
         merged = Bucket(left_of_pair.left, right_of_pair.right, best_count)
 
-        rebuilt: List[Bucket] = []
+        rebuilt: list[Bucket] = []
         for i, existing in enumerate(self._buckets):
             if i == index:
                 rebuilt.extend([first_half, second_half])

@@ -15,7 +15,6 @@ relation would observe (see DESIGN.md, substitution 3).
 from __future__ import annotations
 
 from collections import Counter
-from typing import List, Optional
 
 import numpy as np
 
@@ -47,7 +46,7 @@ class BackingSample:
         capacity: int,
         *,
         low_water_fraction: float = 0.8,
-        seed: Optional[int] = 0,
+        seed: int | None = 0,
     ) -> None:
         require_positive_int(capacity, "capacity")
         require_probability(low_water_fraction, "low_water_fraction")
@@ -94,7 +93,7 @@ class BackingSample:
             return 0.0
         return self._relation_size / self.sample_size
 
-    def values(self) -> List[float]:
+    def values(self) -> list[float]:
         """A copy of the sampled values."""
         return self._reservoir.values()
 
@@ -128,7 +127,7 @@ class BackingSample:
     def rescan(self) -> None:
         """Refill the sample with a fresh uniform draw from the live relation."""
         self._rescan_count += 1
-        population: List[float] = []
+        population: list[float] = []
         for value, count in self._relation.items():
             population.extend([value] * count)
         if len(population) <= self._capacity:

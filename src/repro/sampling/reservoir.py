@@ -9,7 +9,7 @@ used by the Approximate Compressed histogram.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -29,12 +29,12 @@ class ReservoirSampler:
         Seed of the sampler's private random generator (or a generator).
     """
 
-    def __init__(self, capacity: int, *, seed: Optional[int] = 0,
-                 rng: Optional[np.random.Generator] = None) -> None:
+    def __init__(self, capacity: int, *, seed: int | None = 0,
+                 rng: np.random.Generator | None = None) -> None:
         require_positive_int(capacity, "capacity")
         self._capacity = capacity
         self._rng = rng if rng is not None else np.random.default_rng(seed)
-        self._sample: List[float] = []
+        self._sample: list[float] = []
         self._seen = 0
 
     @property
@@ -56,7 +56,7 @@ class ReservoirSampler:
     def is_full(self) -> bool:
         return len(self._sample) >= self._capacity
 
-    def values(self) -> List[float]:
+    def values(self) -> list[float]:
         """A copy of the retained sample values."""
         return list(self._sample)
 

@@ -24,7 +24,8 @@ from __future__ import annotations
 import json
 import time
 from http.client import HTTPConnection, HTTPException
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 from urllib.parse import quote
 
 from .._validation import require_positive_float
@@ -68,14 +69,14 @@ class StatisticsClient:
     # transport
     # ------------------------------------------------------------------
     def _request(
-        self, method: str, path: str, payload: Optional[Mapping[str, Any]] = None
-    ) -> Dict[str, Any]:
+        self, method: str, path: str, payload: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        last_error: Optional[Exception] = None
+        last_error: Exception | None = None
         for attempt in range(self.retries + 1):
             if attempt:
                 time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
@@ -126,7 +127,7 @@ class StatisticsClient:
     # ------------------------------------------------------------------
     # API surface
     # ------------------------------------------------------------------
-    def health(self) -> Dict[str, Any]:
+    def health(self) -> dict[str, Any]:
         """Liveness probe."""
         return self._request("GET", "/health")
 
@@ -140,7 +141,7 @@ class StatisticsClient:
         disk_factor: float = 20.0,
         seed: int = 0,
         exist_ok: bool = False,
-    ) -> Dict[str, Any]:
+    ) -> dict[str, Any]:
         """Create an attribute on the server; returns its stats."""
         return self._request(
             "POST",
@@ -156,11 +157,11 @@ class StatisticsClient:
             },
         )
 
-    def drop(self, name: str) -> Dict[str, Any]:
+    def drop(self, name: str) -> dict[str, Any]:
         """Drop an attribute."""
         return self._request("DELETE", self._attribute_path(name))
 
-    def stats(self, name: Optional[str] = None) -> Dict[str, Any]:
+    def stats(self, name: str | None = None) -> dict[str, Any]:
         """Stats of one attribute, or of every attribute when ``name`` is None."""
         if name is None:
             return self._request("GET", "/stats")
@@ -171,7 +172,7 @@ class StatisticsClient:
         name: str,
         insert: Sequence[float] = (),
         delete: Sequence[float] = (),
-    ) -> Dict[str, Any]:
+    ) -> dict[str, Any]:
         """Send a batch of inserts and/or deletes for one attribute."""
         return self._request(
             "POST",
@@ -179,7 +180,7 @@ class StatisticsClient:
             {"insert": list(insert), "delete": list(delete)},
         )
 
-    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
         """Evaluate a consistent batch of estimate queries (one lock on the server)."""
         return self._request(
             "POST", self._attribute_path(name, "estimate"), {"queries": list(queries)}
@@ -195,7 +196,7 @@ class StatisticsClient:
         response = self.query(name, [{"op": "equal", "value": value}])
         return float(response["results"][0])
 
-    def cdf(self, name: str, xs: Sequence[float]) -> List[float]:
+    def cdf(self, name: str, xs: Sequence[float]) -> list[float]:
         """Approximate CDF evaluated at each point of ``xs``."""
         response = self.query(name, [{"op": "cdf", "xs": list(xs)}])
         return [float(v) for v in response["results"][0]]
@@ -205,11 +206,11 @@ class StatisticsClient:
         response = self.query(name, [{"op": "total"}])
         return float(response["results"][0])
 
-    def snapshot(self, name: str) -> Dict[str, Any]:
+    def snapshot(self, name: str) -> dict[str, Any]:
         """Fetch the full serialised state of one attribute."""
         return self._request("GET", self._attribute_path(name, "snapshot"))
 
-    def restore(self, name: str, snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    def restore(self, name: str, snapshot: Mapping[str, Any]) -> dict[str, Any]:
         """Restore an attribute from a :meth:`snapshot` payload."""
         return self._request(
             "POST", self._attribute_path(name, "restore"), {"snapshot": dict(snapshot)}

@@ -30,7 +30,7 @@ buffered -- never the acknowledged-as-flushed -- operations, and
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 from .._validation import require_positive_float, require_positive_int
 from ..exceptions import UnknownAttributeError
@@ -63,7 +63,7 @@ class _Buffer:
         self.lock = threading.Lock()
         # Consecutive same-kind operations collapse into one run, so a pure
         # insert stream flushes as a single insert_many call.
-        self.runs: List[Tuple[str, List[float]]] = []
+        self.runs: list[tuple[str, list[float]]] = []
         self.pending = 0
         self.submitted = 0
         self.flushed_values = 0
@@ -99,8 +99,8 @@ class IngestPipeline:
         store: HistogramStore,
         *,
         max_batch: int = 1024,
-        auto_flush_interval: Optional[float] = None,
-        repartition_interval: Optional[int] = None,
+        auto_flush_interval: float | None = None,
+        repartition_interval: int | None = None,
     ) -> None:
         require_positive_int(max_batch, "max_batch")
         if auto_flush_interval is not None:
@@ -110,9 +110,9 @@ class IngestPipeline:
         self._auto_flush_interval = auto_flush_interval
         self._repartition_interval = repartition_interval
         self._buffers_lock = threading.Lock()
-        self._buffers: Dict[str, _Buffer] = {}
+        self._buffers: dict[str, _Buffer] = {}
         self._stop_event = threading.Event()
-        self._flusher: Optional[threading.Thread] = None
+        self._flusher: threading.Thread | None = None
 
     # ------------------------------------------------------------------
     # submission
@@ -206,7 +206,7 @@ class IngestPipeline:
             buffer.flushed_batches += 1
         return applied
 
-    def flush(self, name: Optional[str] = None) -> int:
+    def flush(self, name: str | None = None) -> int:
         """Flush one attribute's buffer (or all); returns the values applied.
 
         Flushing all isolates per-attribute failures: every buffer is
@@ -219,7 +219,7 @@ class IngestPipeline:
         with self._buffers_lock:
             names = list(self._buffers)
         total = 0
-        first_error: Optional[BaseException] = None
+        first_error: BaseException | None = None
         for pending_name in names:
             try:
                 total += self.flush(pending_name)
@@ -230,7 +230,7 @@ class IngestPipeline:
             raise first_error
         return total
 
-    def pending_count(self, name: Optional[str] = None) -> int:
+    def pending_count(self, name: str | None = None) -> int:
         """Number of buffered, not-yet-applied operations."""
         if name is not None:
             buffer = self._buffer(name)
@@ -241,7 +241,7 @@ class IngestPipeline:
         return sum(buffer.pending for buffer in buffers)
 
     @property
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> dict[str, int]:
         """Lifetime counters: submitted / flushed values and flush batches."""
         with self._buffers_lock:
             buffers = list(self._buffers.values())
@@ -256,7 +256,7 @@ class IngestPipeline:
     # ------------------------------------------------------------------
     # background flusher / lifecycle
     # ------------------------------------------------------------------
-    def start(self) -> "IngestPipeline":
+    def start(self) -> IngestPipeline:
         """Start the background time-trigger flusher (no-op without one)."""
         if self._auto_flush_interval is None or self._flusher is not None:
             return self
@@ -286,7 +286,7 @@ class IngestPipeline:
             self._flusher = None
         self.flush()
 
-    def __enter__(self) -> "IngestPipeline":
+    def __enter__(self) -> IngestPipeline:
         return self.start()
 
     def __exit__(self, exc_type, exc, tb) -> None:

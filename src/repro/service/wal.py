@@ -51,9 +51,11 @@ import os
 import struct
 import threading
 import zlib
+from collections.abc import Iterator
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Tuple, Union
+from types import TracebackType
+from typing import Any
 
 from ..exceptions import ConfigurationError
 
@@ -80,7 +82,7 @@ class WalRecord:
     """One decoded log record plus its position in the file."""
 
     seq: int
-    record: Dict[str, Any]
+    record: dict[str, Any]
     #: Byte offset of the end of this record's frame (= start of the next).
     end_offset: int
 
@@ -105,9 +107,9 @@ class DurabilityConfig:
         explicitly).
     """
 
-    wal_dir: Union[str, Path]
+    wal_dir: str | Path
     fsync: bool = False
-    compact_every: Optional[int] = 10_000
+    compact_every: int | None = 10_000
 
     def __post_init__(self) -> None:
         if self.compact_every is not None and self.compact_every < 1:
@@ -135,12 +137,12 @@ class DurabilityConfig:
         )
 
 
-def _encode_frame(seq: int, record: Dict[str, Any]) -> bytes:
+def _encode_frame(seq: int, record: dict[str, Any]) -> bytes:
     payload = json.dumps({"seq": seq, "record": record}, separators=(",", ":")).encode("utf-8")
     return _HEADER.pack(_MAGIC, len(payload), zlib.crc32(payload)) + payload
 
 
-def iter_wal(path: Union[str, Path]) -> Iterator[WalRecord]:
+def iter_wal(path: str | Path) -> Iterator[WalRecord]:
     """Stream a log file's intact records one frame at a time.
 
     Recovery memory stays O(one record) regardless of log size (a log left
@@ -181,7 +183,7 @@ def iter_wal(path: Union[str, Path]) -> Iterator[WalRecord]:
             offset = payload_end
 
 
-def replay_wal(path: Union[str, Path]) -> Tuple[list, int]:
+def replay_wal(path: str | Path) -> tuple[list[WalRecord], int]:
     """Decode every intact record of a log file into a list.
 
     Returns ``(records, valid_end_offset)``.  Convenience wrapper over
@@ -203,11 +205,11 @@ class WriteAheadLog:
 
     def __init__(
         self,
-        path: Union[str, Path],
+        path: str | Path,
         *,
         fsync: bool = False,
         start_seq: int = 0,
-        truncate_at: Optional[int] = None,
+        truncate_at: int | None = None,
     ) -> None:
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
@@ -218,11 +220,14 @@ class WriteAheadLog:
         # Drop a torn/corrupt tail before appending after it: anything past
         # the last intact record is unreadable garbage that would otherwise
         # poison the framing of every later append.
-        if truncate_at is not None and self._path.exists():
-            if self._path.stat().st_size > truncate_at:
-                with open(self._path, "r+b") as handle:
-                    handle.truncate(truncate_at)
-        self._file = open(self._path, "ab")
+        if (
+            truncate_at is not None
+            and self._path.exists()
+            and self._path.stat().st_size > truncate_at
+        ):
+            with open(self._path, "r+b") as handle:
+                handle.truncate(truncate_at)
+        self._file = open(self._path, "ab")  # noqa: SIM115 - long-lived appender handle
 
     @property
     def path(self) -> Path:
@@ -240,7 +245,7 @@ class WriteAheadLog:
         with self._lock:
             return self._appended
 
-    def append(self, record: Dict[str, Any]) -> int:
+    def append(self, record: dict[str, Any]) -> int:
         """Append one record durably; returns its sequence number."""
         with self._lock:
             if self._file.closed:
@@ -257,7 +262,7 @@ class WriteAheadLog:
         """Truncate the log (its records are now covered by a checkpoint)."""
         with self._lock:
             self._file.close()
-            self._file = open(self._path, "wb")
+            self._file = open(self._path, "wb")  # noqa: SIM115 - long-lived appender handle
             if self._fsync:
                 self._file.flush()
                 os.fsync(self._file.fileno())
@@ -271,10 +276,15 @@ class WriteAheadLog:
                     os.fsync(self._file.fileno())
                 self._file.close()
 
-    def __enter__(self) -> "WriteAheadLog":
+    def __enter__(self) -> WriteAheadLog:
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
     def records(self) -> Iterator[WalRecord]:

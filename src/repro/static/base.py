@@ -8,7 +8,7 @@ comes from :class:`~repro.core.base.Histogram`.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -54,7 +54,7 @@ def value_range_bucket(
     return Bucket(float(value_start) - half_cell, float(value_end) + half_cell, float(count))
 
 
-def extract_value_frequencies(data: DataDistribution) -> Tuple[np.ndarray, np.ndarray]:
+def extract_value_frequencies(data: DataDistribution) -> tuple[np.ndarray, np.ndarray]:
     """Sorted distinct values and their frequencies, validating non-emptiness."""
     if data.total_count == 0:
         raise InsufficientDataError("cannot build a static histogram from an empty distribution")
@@ -66,7 +66,7 @@ def frequency_elements(
     *,
     value_unit: float = 1.0,
     include_gaps: bool = True,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Expand a distribution into frequency *elements* for optimal partitioning.
 
     The V-Optimal family measures the deviation of per-value frequencies from
@@ -89,11 +89,11 @@ def frequency_elements(
         raise ConfigurationError(f"value_unit must be positive, got {value_unit}")
     values, freqs = extract_value_frequencies(data)
 
-    starts: List[float] = []
-    ends: List[float] = []
-    frequencies: List[float] = []
-    weights: List[float] = []
-    for index, (value, frequency) in enumerate(zip(values, freqs)):
+    starts: list[float] = []
+    ends: list[float] = []
+    frequencies: list[float] = []
+    weights: list[float] = []
+    for index, (value, frequency) in enumerate(zip(values, freqs, strict=True)):
         if include_gaps and index > 0:
             previous = values[index - 1]
             missing = int(round((value - previous) / value_unit)) - 1
@@ -130,7 +130,7 @@ class StaticHistogram(Histogram):
         if not buckets:
             raise ConfigurationError("a static histogram needs at least one bucket")
         ordered = list(buckets)
-        for previous, current in zip(ordered, ordered[1:]):
+        for previous, current in zip(ordered, ordered[1:], strict=False):
             if current.left < previous.left:
                 raise ConfigurationError("buckets must be supplied in ascending value order")
         self._array = BucketArray(
@@ -145,7 +145,7 @@ class StaticHistogram(Histogram):
         """The immutable border/count arrays backing this histogram."""
         return self._array
 
-    def buckets(self) -> List[Bucket]:
+    def buckets(self) -> list[Bucket]:
         array = self._array
         return [
             Bucket(float(array.lefts[i]), float(array.rights[i]), float(array.sub_counts[i, 0]))
@@ -157,7 +157,7 @@ class StaticHistogram(Histogram):
         return SegmentView(array.lefts, array.rights, array.sub_counts[:, 0])
 
     @classmethod
-    def build(cls, data: DataDistribution, n_buckets: int) -> "StaticHistogram":
+    def build(cls, data: DataDistribution, n_buckets: int) -> StaticHistogram:
         """Build the histogram from an exact distribution.
 
         Subclasses must override this; the base implementation exists only to

@@ -10,7 +10,6 @@ changes the share of the rest.
 
 from __future__ import annotations
 
-from typing import List, Set
 
 import numpy as np
 
@@ -28,7 +27,7 @@ class CompressedHistogram(StaticHistogram):
     @classmethod
     def build(
         cls, data: DataDistribution, n_buckets: int, *, value_unit: float = 1.0
-    ) -> "CompressedHistogram":
+    ) -> CompressedHistogram:
         """Build a Compressed(V, F) histogram with at most ``n_buckets`` buckets."""
         cls._validate_bucket_budget(n_buckets)
         values, frequencies = extract_value_frequencies(data)
@@ -37,7 +36,7 @@ class CompressedHistogram(StaticHistogram):
 
         singular = _select_singular_values(frequencies, n_buckets)
 
-        buckets: List[Bucket] = []
+        buckets: list[Bucket] = []
         regular_mask = np.ones(n_values, dtype=bool)
         for index in sorted(singular):
             regular_mask[index] = False
@@ -61,14 +60,14 @@ class CompressedHistogram(StaticHistogram):
         return cls(buckets)
 
 
-def _select_singular_values(frequencies: np.ndarray, n_buckets: int) -> Set[int]:
+def _select_singular_values(frequencies: np.ndarray, n_buckets: int) -> set[int]:
     """Indices of values that earn singleton buckets.
 
     Iteratively moves the most frequent remaining value to a singleton bucket
     while its frequency exceeds the equi-depth share of the remaining data and
     at least one regular bucket is left.
     """
-    singular: Set[int] = set()
+    singular: set[int] = set()
     order = np.argsort(-frequencies, kind="stable")
     remaining_total = float(frequencies.sum())
     remaining_values = len(frequencies)

@@ -8,7 +8,6 @@ al. [10].
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 import numpy as np
 
@@ -21,7 +20,7 @@ __all__ = ["EquiDepthHistogram", "equi_depth_partition"]
 
 def equi_depth_partition(
     values: np.ndarray, frequencies: np.ndarray, n_buckets: int
-) -> List[Tuple[int, int]]:
+) -> list[tuple[int, int]]:
     """Partition sorted distinct values into roughly equal-count groups.
 
     Returns inclusive ``(start_index, end_index)`` pairs into ``values``.  A
@@ -36,7 +35,7 @@ def equi_depth_partition(
     cumulative = np.cumsum(frequencies)
     total = float(cumulative[-1])
 
-    boundaries: List[int] = []
+    boundaries: list[int] = []
     previous_end = -1
     for bucket_index in range(1, n_buckets):
         target = total * bucket_index / n_buckets
@@ -47,7 +46,7 @@ def equi_depth_partition(
         boundaries.append(end)
         previous_end = end
 
-    groups: List[Tuple[int, int]] = []
+    groups: list[tuple[int, int]] = []
     start = 0
     for end in boundaries:
         groups.append((start, end))
@@ -62,7 +61,7 @@ class EquiDepthHistogram(StaticHistogram):
     @classmethod
     def build(
         cls, data: DataDistribution, n_buckets: int, *, value_unit: float = 1.0
-    ) -> "EquiDepthHistogram":
+    ) -> EquiDepthHistogram:
         """Build an equi-depth histogram with at most ``n_buckets`` buckets."""
         cls._validate_bucket_budget(n_buckets)
         values, frequencies = extract_value_frequencies(data)

@@ -21,7 +21,7 @@ class EquiWidthHistogram(StaticHistogram):
     """Buckets of equal value-range width."""
 
     @classmethod
-    def build(cls, data: DataDistribution, n_buckets: int) -> "EquiWidthHistogram":
+    def build(cls, data: DataDistribution, n_buckets: int) -> EquiWidthHistogram:
         """Partition ``[min_value, max_value]`` into ``n_buckets`` equal ranges."""
         cls._validate_bucket_budget(n_buckets)
         values, frequencies = extract_value_frequencies(data)

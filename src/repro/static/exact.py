@@ -18,7 +18,7 @@ class ExactHistogram(StaticHistogram):
     """A lossless histogram with one singleton bucket per distinct value."""
 
     @classmethod
-    def build(cls, data: DataDistribution, n_buckets: int = 0) -> "ExactHistogram":
+    def build(cls, data: DataDistribution, n_buckets: int = 0) -> ExactHistogram:
         """Build the exact histogram.
 
         ``n_buckets`` is accepted for interface uniformity but ignored -- the
@@ -27,6 +27,6 @@ class ExactHistogram(StaticHistogram):
         values, frequencies = extract_value_frequencies(data)
         buckets = [
             Bucket(float(value), float(value), float(frequency))
-            for value, frequency in zip(values, frequencies)
+            for value, frequency in zip(values, frequencies, strict=True)
         ]
         return cls(buckets)

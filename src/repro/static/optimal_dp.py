@@ -30,7 +30,6 @@ for the (V, F) histograms used throughout.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -49,7 +48,7 @@ __all__ = [
 MAX_DP_VALUES = 6000
 
 
-def _as_weights(frequencies: np.ndarray, weights: Optional[np.ndarray]) -> np.ndarray:
+def _as_weights(frequencies: np.ndarray, weights: np.ndarray | None) -> np.ndarray:
     if weights is None:
         return np.ones(len(frequencies), dtype=float)
     weights_arr = np.asarray(weights, dtype=float)
@@ -64,7 +63,7 @@ def _as_weights(frequencies: np.ndarray, weights: Optional[np.ndarray]) -> np.nd
 
 
 def variance_cost_matrix(
-    frequencies: np.ndarray, weights: Optional[np.ndarray] = None
+    frequencies: np.ndarray, weights: np.ndarray | None = None
 ) -> np.ndarray:
     """Matrix ``C[i, j]`` = weighted sum of squared deviations of elements ``i..j``.
 
@@ -104,7 +103,7 @@ class _FenwickTree:
             self._sums[index] += weighted_frequency
             index += index & (-index)
 
-    def prefix(self, rank: int) -> Tuple[float, float]:
+    def prefix(self, rank: int) -> tuple[float, float]:
         """(total weight, total weighted frequency) of ranks <= ``rank``."""
         weight = 0.0
         total = 0.0
@@ -117,7 +116,7 @@ class _FenwickTree:
 
 
 def absolute_cost_matrix(
-    frequencies: np.ndarray, weights: Optional[np.ndarray] = None
+    frequencies: np.ndarray, weights: np.ndarray | None = None
 ) -> np.ndarray:
     """Matrix ``C[i, j]`` = weighted sum of absolute deviations of elements ``i..j``.
 
@@ -156,10 +155,10 @@ def absolute_cost_matrix(
 def optimal_partition(
     frequencies: np.ndarray,
     n_buckets: int,
-    metric: Union[DeviationMetric, str] = DeviationMetric.VARIANCE,
+    metric: DeviationMetric | str = DeviationMetric.VARIANCE,
     *,
-    weights: Optional[np.ndarray] = None,
-) -> List[Tuple[int, int]]:
+    weights: np.ndarray | None = None,
+) -> list[tuple[int, int]]:
     """Optimal partition of the (weighted) frequency sequence into contiguous buckets.
 
     Returns inclusive ``(start_index, end_index)`` pairs covering
@@ -176,10 +175,11 @@ def optimal_partition(
     if n_buckets >= n:
         return [(i, i) for i in range(n)]
 
-    if metric is DeviationMetric.VARIANCE:
-        cost = variance_cost_matrix(freqs, weights)
-    else:
-        cost = absolute_cost_matrix(freqs, weights)
+    cost = (
+        variance_cost_matrix(freqs, weights)
+        if metric is DeviationMetric.VARIANCE
+        else absolute_cost_matrix(freqs, weights)
+    )
 
     # dp[j] = minimal cost of covering elements [0..j] with the current number
     # of buckets; choice[b, j] = start index of the last bucket in the optimum.
@@ -196,7 +196,7 @@ def optimal_partition(
             choice[bucket_index, j] = int(starts[best])
         dp = new_dp
 
-    partition: List[Tuple[int, int]] = []
+    partition: list[tuple[int, int]] = []
     end = n - 1
     for bucket_index in range(n_buckets - 1, 0, -1):
         start = int(choice[bucket_index, end])

@@ -18,7 +18,6 @@ Figure 13 of the paper illustrates.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -32,10 +31,10 @@ __all__ = ["SSBMHistogram", "ssbm_partition"]
 def ssbm_partition(
     frequencies: np.ndarray,
     n_buckets: int,
-    metric: Union[DeviationMetric, str] = DeviationMetric.VARIANCE,
+    metric: DeviationMetric | str = DeviationMetric.VARIANCE,
     *,
-    weights: Optional[np.ndarray] = None,
-) -> List[Tuple[int, int]]:
+    weights: np.ndarray | None = None,
+) -> list[tuple[int, int]]:
     """Greedy SSBM partition of a weighted frequency sequence into buckets.
 
     Element ``i`` stands for ``weights[i]`` domain values, each with frequency
@@ -78,14 +77,14 @@ def ssbm_partition(
     # Doubly linked list of live buckets, each identified by its original index.
     start_of = list(range(n_values))
     end_of = list(range(n_values))
-    next_bucket: List[Optional[int]] = [
+    next_bucket: list[int | None] = [
         i + 1 if i + 1 < n_values else None for i in range(n_values)
     ]
-    prev_bucket: List[Optional[int]] = [i - 1 if i > 0 else None for i in range(n_values)]
+    prev_bucket: list[int | None] = [i - 1 if i > 0 else None for i in range(n_values)]
     version = [0] * n_values
     alive = [True] * n_values
 
-    heap: List[Tuple[float, int, int, int, int]] = []
+    heap: list[tuple[float, int, int, int, int]] = []
     for bucket_id in range(n_values - 1):
         cost = merged_cost(start_of[bucket_id], end_of[bucket_id + 1])
         heapq.heappush(
@@ -124,8 +123,8 @@ def ssbm_partition(
                 heap, (new_cost, left_id, successor, version[left_id], version[successor])
             )
 
-    partition: List[Tuple[int, int]] = []
-    bucket_id: Optional[int] = 0
+    partition: list[tuple[int, int]] = []
+    bucket_id: int | None = 0
     while bucket_id is not None:
         if alive[bucket_id]:
             partition.append((start_of[bucket_id], end_of[bucket_id]))
@@ -145,10 +144,10 @@ class SSBMHistogram(StaticHistogram):
         data: DataDistribution,
         n_buckets: int,
         *,
-        metric: Union[DeviationMetric, str, None] = None,
+        metric: DeviationMetric | str | None = None,
         value_unit: float = 1.0,
         include_gaps: bool = True,
-    ) -> "SSBMHistogram":
+    ) -> SSBMHistogram:
         """Build an SSBM histogram with ``n_buckets`` buckets.
 
         ``value_unit`` and ``include_gaps`` control whether absent domain

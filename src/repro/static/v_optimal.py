@@ -36,7 +36,7 @@ class VOptimalHistogram(StaticHistogram):
         *,
         value_unit: float = 1.0,
         include_gaps: bool = True,
-    ) -> "VOptimalHistogram":
+    ) -> VOptimalHistogram:
         """Build the optimal ``n_buckets``-bucket histogram for ``data``.
 
         Parameters

@@ -10,7 +10,7 @@ discussion and so the estimation examples have realistic predicate workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -39,20 +39,20 @@ class RangeQuery:
                 f"range query must satisfy low <= high, got [{self.low}, {self.high}]"
             )
 
-    def as_tuple(self) -> Tuple[float, float]:
+    def as_tuple(self) -> tuple[float, float]:
         return (self.low, self.high)
 
 
-def _to_tuples(queries: Sequence[RangeQuery]) -> List[Tuple[float, float]]:
+def _to_tuples(queries: Sequence[RangeQuery]) -> list[tuple[float, float]]:
     return [q.as_tuple() for q in queries]
 
 
 def uniform_range_queries(
-    domain: Tuple[float, float],
+    domain: tuple[float, float],
     n_queries: int,
     *,
     seed: int = 0,
-) -> List[RangeQuery]:
+) -> list[RangeQuery]:
     """Range queries whose endpoints are uniform over the domain."""
     require_positive_int(n_queries, "n_queries")
     low, high = domain
@@ -63,7 +63,7 @@ def uniform_range_queries(
     b = rng.uniform(low, high, n_queries)
     lows = np.minimum(a, b)
     highs = np.maximum(a, b)
-    return [RangeQuery(float(lo), float(hi)) for lo, hi in zip(lows, highs)]
+    return [RangeQuery(float(lo), float(hi)) for lo, hi in zip(lows, highs, strict=True)]
 
 
 def data_distributed_range_queries(
@@ -71,7 +71,7 @@ def data_distributed_range_queries(
     n_queries: int,
     *,
     seed: int = 0,
-) -> List[RangeQuery]:
+) -> list[RangeQuery]:
     """Range queries whose endpoints are drawn from the data distribution itself."""
     require_positive_int(n_queries, "n_queries")
     if data.total_count == 0:
@@ -84,15 +84,15 @@ def data_distributed_range_queries(
     b = rng.choice(values, size=n_queries, p=probabilities)
     lows = np.minimum(a, b)
     highs = np.maximum(a, b)
-    return [RangeQuery(float(lo), float(hi)) for lo, hi in zip(lows, highs)]
+    return [RangeQuery(float(lo), float(hi)) for lo, hi in zip(lows, highs, strict=True)]
 
 
 def open_range_queries(
-    domain: Tuple[float, float],
+    domain: tuple[float, float],
     n_queries: int,
     *,
     seed: int = 0,
-) -> List[RangeQuery]:
+) -> list[RangeQuery]:
     """One-sided range queries ``X <= b`` expressed as ``[domain_low, b]``."""
     require_positive_int(n_queries, "n_queries")
     low, high = domain

@@ -10,7 +10,7 @@ evaluated in Section 7 of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -61,7 +61,7 @@ class UpdateStream:
     """
 
     def __init__(self, operations: Iterable[UpdateOp]) -> None:
-        self._ops: List[UpdateOp] = list(operations)
+        self._ops: list[UpdateOp] = list(operations)
 
     def __iter__(self) -> Iterator[UpdateOp]:
         return iter(self._ops)
@@ -73,7 +73,7 @@ class UpdateStream:
         return self._ops[index]
 
     @property
-    def operations(self) -> List[UpdateOp]:
+    def operations(self) -> list[UpdateOp]:
         """A copy of the operation list."""
         return list(self._ops)
 
@@ -85,17 +85,17 @@ class UpdateStream:
     def delete_count(self) -> int:
         return sum(1 for op in self._ops if op.is_delete)
 
-    def live_values(self) -> List[float]:
+    def live_values(self) -> list[float]:
         """Values that remain after all insertions and deletions are applied."""
         from collections import Counter
 
-        counts: "Counter[float]" = Counter()
+        counts: Counter[float] = Counter()
         for op in self._ops:
             if op.is_insert:
                 counts[op.value] += 1
             else:
                 counts[op.value] -= 1
-        result: List[float] = []
+        result: list[float] = []
         for value, count in counts.items():
             if count < 0:
                 raise ConfigurationError(
@@ -104,14 +104,14 @@ class UpdateStream:
             result.extend([value] * count)
         return result
 
-    def prefix(self, n_operations: int) -> "UpdateStream":
+    def prefix(self, n_operations: int) -> UpdateStream:
         """The stream consisting of the first ``n_operations`` operations."""
         if n_operations < 0:
             raise ConfigurationError(f"n_operations must be non-negative, got {n_operations}")
         return UpdateStream(self._ops[:n_operations])
 
     @staticmethod
-    def inserts(values: Iterable[float]) -> "UpdateStream":
+    def inserts(values: Iterable[float]) -> UpdateStream:
         """A stream that inserts each value in the given order."""
         return UpdateStream(UpdateOp(INSERT, float(v)) for v in values)
 
@@ -157,8 +157,8 @@ def insertions_with_interleaved_deletions(
     rng = np.random.default_rng(seed)
     order = np.sort(arr) if sorted_inserts else rng.permutation(arr)
 
-    operations: List[UpdateOp] = []
-    live: List[float] = []
+    operations: list[UpdateOp] = []
+    live: list[float] = []
     for value in order:
         operations.append(UpdateOp(INSERT, float(value)))
         live.append(float(value))

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import os
 import signal
+import sys
 import threading
 
 import numpy as np
@@ -12,6 +14,22 @@ from repro import (
     ClusterDistributionConfig,
     DataDistribution,
     generate_cluster_values,
+)
+
+sys.path.insert(0, os.path.dirname(__file__))  # for `import lockcheck`
+
+from lockcheck import LockOrderMonitor  # noqa: E402
+
+#: Modules whose tests run under the dynamic lock-order monitor.  These are
+#: the suites that exercise real cross-thread store/cluster interleavings;
+#: wrapping everything else would only slow the tier-1 run down.
+LOCKCHECK_MODULES = frozenset(
+    {
+        "test_service_concurrency",
+        "test_cluster_properties",
+        "test_replication_properties",
+        "test_fault_injection",
+    }
 )
 
 #: Default per-test watchdog.  Generous -- its job is to turn a deadlocked
@@ -53,6 +71,30 @@ def pytest_runtest_call(item):
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def _lockcheck(request):
+    """Run concurrency-suite tests under the lock-order race monitor.
+
+    Active only for the modules in ``LOCKCHECK_MODULES`` (set
+    ``REPRO_LOCKCHECK=0`` to opt out, e.g. when bisecting an unrelated
+    failure).  Any observed lock-order cycle or blocking-socket-I/O-under-
+    lock fails the test that produced it.
+    """
+    if (
+        request.module.__name__ not in LOCKCHECK_MODULES
+        or os.environ.get("REPRO_LOCKCHECK", "1") == "0"
+    ):
+        yield
+        return
+    with LockOrderMonitor() as monitor:
+        yield
+    problems = monitor.report()
+    if problems:
+        pytest.fail(
+            "lockcheck: " + "; ".join(problems), pytrace=False
+        )
 
 
 @pytest.fixture

@@ -22,7 +22,8 @@ thing.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Dict, List, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.cluster.protocol import ShardBackend
 from repro.exceptions import ShardUnavailableError
@@ -81,7 +82,7 @@ class FlakyShard(ShardBackend):
     # ------------------------------------------------------------------
     # ShardBackend protocol
     # ------------------------------------------------------------------
-    def create(self, name: str, kind: str = "dc", **kwargs: Any) -> Dict[str, Any]:
+    def create(self, name: str, kind: str = "dc", **kwargs: Any) -> dict[str, Any]:
         self._gate("create")
         return self.inner.create(name, kind, **kwargs)
 
@@ -89,13 +90,13 @@ class FlakyShard(ShardBackend):
         self._gate("drop")
         self.inner.drop(name)
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         self._gate("names")
         return self.inner.names()
 
     def ingest(
         self, name: str, insert: Sequence[float] = (), delete: Sequence[float] = ()
-    ) -> Dict[str, Any]:
+    ) -> dict[str, Any]:
         self._gate("ingest")
         if self._fail_before > 0:
             self._fail_before -= 1
@@ -106,28 +107,28 @@ class FlakyShard(ShardBackend):
             raise self._unavailable("scripted failure after apply (response lost)")
         return result
 
-    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
         self._gate("query")
         return self.inner.query(name, queries)
 
-    def stats(self, name: str) -> Dict[str, Any]:
+    def stats(self, name: str) -> dict[str, Any]:
         self._gate("stats")
         return self.inner.stats(name)
 
-    def stats_all(self) -> List[Dict[str, Any]]:
+    def stats_all(self) -> list[dict[str, Any]]:
         self._gate("stats_all")
         return self.inner.stats_all()
 
-    def snapshot(self, name: str) -> Dict[str, Any]:
+    def snapshot(self, name: str) -> dict[str, Any]:
         self._gate("snapshot")
         if self.snapshot_down:
             raise self._unavailable("snapshot path is down")
         return self.inner.snapshot(name)
 
-    def restore(self, name: str, snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+    def restore(self, name: str, snapshot: Mapping[str, Any]) -> dict[str, Any]:
         self._gate("restore")
         return self.inner.restore(name, snapshot)
 
-    def health(self) -> Dict[str, Any]:
+    def health(self) -> dict[str, Any]:
         self._gate("health")
         return self.inner.health()

@@ -1,0 +1,309 @@
+"""Dynamic lock-order race detector for the concurrency suites.
+
+The static pass (``repro.analysis`` REP001/REP008) proves *lexical* lock
+discipline; this monitor observes what actually happens at runtime.  While a
+:class:`LockOrderMonitor` is active, every lock created through
+``threading.Lock`` / ``threading.RLock`` is wrapped so that each acquisition
+records, per thread, the set of locks already held.  Those observations form
+a directed lock-order graph (edge ``A -> B`` means "B was acquired while A
+was held").  At teardown the monitor fails on:
+
+* **cycles** in the graph -- two code paths acquire the same locks in
+  opposite orders, a potential deadlock even if this particular run got
+  lucky with its interleaving;
+* **blocking socket I/O performed while holding a tracked lock** -- a slow
+  or dead peer would then stall every thread contending for that lock (the
+  failover suites exist precisely because peers die).
+
+Detection is graph-based, not schedule-based: a deliberate inversion is
+caught even when the two acquisition orders are exercised sequentially by a
+single thread pair, which keeps the seeded-regression test deterministic.
+
+Locks created *before* the monitor starts are untracked by design: the
+harness targets the store/cluster objects each test constructs, not
+interpreter-internal locks.  Enable under pytest via the autouse fixture in
+``conftest.py`` (concurrency modules only; opt out with
+``REPRO_LOCKCHECK=0``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import traceback
+from typing import Any
+
+_state_lock = threading.Lock()  # guards monitor bookkeeping, never wrapped
+
+_ACTIVE: LockOrderMonitor | None = None
+
+
+class _TrackedLock:
+    """Wrapper around one ``threading.Lock``/``RLock`` instance.
+
+    Forwards the full lock protocol (including the private condition-variable
+    hooks ``_release_save`` / ``_acquire_restore`` / ``_is_owned`` so wrapped
+    RLocks keep working inside ``threading.Condition``) while reporting
+    acquisitions and releases to the monitor.  The wrapper stays functional
+    after the monitor stops -- leftover daemon threads from a finished test
+    must never crash on a stale lock.
+    """
+
+    def __init__(self, inner: Any, uid: int, reentrant: bool, site: str) -> None:
+        self._inner = inner
+        self._uid = uid
+        self._reentrant = reentrant
+        self._site = site
+
+    # -- lock protocol -------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            monitor = _ACTIVE
+            if monitor is not None:
+                monitor._on_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        monitor = _ACTIVE
+        if monitor is not None:
+            monitor._on_release(self)
+        self._inner.release()
+
+    __enter__ = acquire
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    # -- Condition-variable integration --------------------------------
+    # threading.Condition duck-types on these three attributes, so they
+    # must behave for BOTH flavours: delegate for RLock (which has them),
+    # emulate Condition's own fallbacks for a plain Lock (e.g. the one
+    # inside threading.Event).
+    def _release_save(self) -> Any:
+        monitor = _ACTIVE
+        if monitor is not None:
+            monitor._on_release(self, drop_all=True)
+        if self._reentrant:
+            return self._inner._release_save()
+        self._inner.release()
+        return None
+
+    def _acquire_restore(self, saved: Any) -> None:
+        if self._reentrant:
+            self._inner._acquire_restore(saved)
+        else:
+            self._inner.acquire()
+        monitor = _ACTIVE
+        if monitor is not None:
+            monitor._on_acquire(self)
+
+    def _is_owned(self) -> bool:
+        if self._reentrant:
+            return self._inner._is_owned()
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TrackedLock #{self._uid} from {self._site}>"
+
+
+class _MonitoredSocket(socket.socket):
+    """socket.socket subclass that flags blocking calls made under a lock."""
+
+    def _check(self, operation: str) -> None:
+        monitor = _ACTIVE
+        if monitor is not None:
+            monitor._on_socket_io(operation)
+
+    def connect(self, *args: Any) -> Any:
+        self._check("connect")
+        return super().connect(*args)
+
+    def accept(self) -> Any:
+        self._check("accept")
+        return super().accept()
+
+    def recv(self, *args: Any) -> Any:
+        self._check("recv")
+        return super().recv(*args)
+
+    def recv_into(self, *args: Any, **kwargs: Any) -> Any:
+        self._check("recv_into")
+        return super().recv_into(*args, **kwargs)
+
+    def send(self, *args: Any) -> Any:
+        self._check("send")
+        return super().send(*args)
+
+    def sendall(self, *args: Any) -> Any:
+        self._check("sendall")
+        return super().sendall(*args)
+
+
+class LockOrderMonitor:
+    """Context manager that records the cross-thread lock-order graph."""
+
+    def __init__(self) -> None:
+        self._uids = itertools.count(1)
+        #: uid -> creation-site string, for readable reports.
+        self._sites: dict[int, str] = {}
+        #: observed edges: (held_uid, acquired_uid) -> example site pair.
+        self._edges: dict[tuple[int, int], tuple[str, str]] = {}
+        #: per-thread stack of (uid, recursion_count).
+        self._held = threading.local()
+        #: socket-I/O-under-lock observations.
+        self.io_violations: list[str] = []
+        self._saved: dict[str, Any] = {}
+
+    # -- monkeypatching ------------------------------------------------
+    def __enter__(self) -> LockOrderMonitor:
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise RuntimeError("a LockOrderMonitor is already active")
+        self._saved = {
+            "Lock": threading.Lock,
+            "RLock": threading.RLock,
+            "socket": socket.socket,
+        }
+        monitor = self
+
+        def make_lock() -> _TrackedLock:
+            return monitor._track(self._saved["Lock"](), reentrant=False)
+
+        def make_rlock() -> _TrackedLock:
+            return monitor._track(self._saved["RLock"](), reentrant=True)
+
+        threading.Lock = make_lock  # type: ignore[assignment]
+        threading.RLock = make_rlock  # type: ignore[assignment]
+        socket.socket = _MonitoredSocket  # type: ignore[misc]
+        _ACTIVE = self
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        global _ACTIVE
+        _ACTIVE = None
+        threading.Lock = self._saved["Lock"]  # type: ignore[assignment]
+        threading.RLock = self._saved["RLock"]  # type: ignore[assignment]
+        socket.socket = self._saved["socket"]  # type: ignore[misc]
+
+    def _track(self, inner: Any, *, reentrant: bool) -> _TrackedLock:
+        uid = next(self._uids)
+        stack = traceback.extract_stack(limit=4)
+        # Frame -3 is the caller of threading.Lock()/RLock(): the creation
+        # site that makes cycle reports actionable.
+        frame = stack[0] if len(stack) < 3 else stack[-3]
+        site = f"{frame.filename.rsplit('/', 1)[-1]}:{frame.lineno}"
+        with _state_lock:
+            self._sites[uid] = site
+        return _TrackedLock(inner, uid, reentrant, site)
+
+    # -- event sinks ---------------------------------------------------
+    def _stack(self) -> list[list[int]]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def _on_acquire(self, lock: _TrackedLock) -> None:
+        stack = self._stack()
+        for entry in stack:
+            if entry[0] == lock._uid:
+                # RLock re-entry (or a second share of the same lock):
+                # no new ordering information.
+                entry[1] += 1
+                return
+        new_edges = [
+            (entry[0], lock._uid) for entry in stack if entry[0] != lock._uid
+        ]
+        if new_edges:
+            with _state_lock:
+                for held_uid, acquired_uid in new_edges:
+                    self._edges.setdefault(
+                        (held_uid, acquired_uid),
+                        (self._sites[held_uid], self._sites[acquired_uid]),
+                    )
+        stack.append([lock._uid, 1])
+
+    def _on_release(self, lock: _TrackedLock, *, drop_all: bool = False) -> None:
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index][0] == lock._uid:
+                if drop_all:
+                    del stack[index]
+                else:
+                    stack[index][1] -= 1
+                    if stack[index][1] == 0:
+                        del stack[index]
+                return
+
+    def _on_socket_io(self, operation: str) -> None:
+        stack = self._stack()
+        if not stack:
+            return
+        with _state_lock:
+            held = ", ".join(self._sites[entry[0]] for entry in stack)
+        self.io_violations.append(
+            f"blocking socket.{operation}() while holding lock(s) "
+            f"created at [{held}] in thread {threading.current_thread().name}"
+        )
+
+    # -- analysis ------------------------------------------------------
+    def cycles(self) -> list[list[str]]:
+        """Cycles in the observed lock-order graph, as creation-site paths.
+
+        Iterative DFS over lock *instances* (aggregating to creation sites
+        would false-positive the sorted same-site acquisitions compaction
+        performs on purpose).
+        """
+        with _state_lock:
+            edges = dict(self._edges)
+            sites = dict(self._sites)
+        graph: dict[int, list[int]] = {}
+        for held_uid, acquired_uid in edges:
+            graph.setdefault(held_uid, []).append(acquired_uid)
+
+        found: list[list[str]] = []
+        color: dict[int, int] = {}  # 0 absent, 1 on stack, 2 done
+        for start in graph:
+            if color.get(start):
+                continue
+            path: list[int] = []
+            work: list[tuple[int, int]] = [(start, 0)]
+            while work:
+                node, child_index = work.pop()
+                if child_index == 0:
+                    color[node] = 1
+                    path.append(node)
+                children = graph.get(node, [])
+                advanced = False
+                for position in range(child_index, len(children)):
+                    child = children[position]
+                    if color.get(child) == 1:
+                        loop = path[path.index(child):] + [child]
+                        found.append([sites[uid] for uid in loop])
+                    elif not color.get(child):
+                        work.append((node, position + 1))
+                        work.append((child, 0))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = 2
+                    path.pop()
+        return found
+
+    def report(self) -> list[str]:
+        """Human-readable problem list; empty means the run was clean."""
+        problems = [
+            "lock-order cycle (potential deadlock): " + " -> ".join(cycle)
+            for cycle in self.cycles()
+        ]
+        problems.extend(self.io_violations)
+        return problems

@@ -168,7 +168,7 @@ class TestInsertMany:
         batched.insert_many([float(value) for value in uniform_values])
         assert batched.total_count == pytest.approx(looped.total_count)
         assert batched.repartition_count == looped.repartition_count
-        for a, b in zip(batched.buckets(), looped.buckets()):
+        for a, b in zip(batched.buckets(), looped.buckets(), strict=True):
             assert a.left == pytest.approx(b.left)
             assert a.right == pytest.approx(b.right)
             assert a.count == pytest.approx(b.count)

@@ -1,0 +1,199 @@
+"""Tests for the dynamic lock-order race detector (tests/lockcheck.py)."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from lockcheck import LockOrderMonitor
+
+
+def _run_in_thread(target) -> None:
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join()
+
+
+class TestLockOrderCycles:
+    def test_seeded_inversion_is_detected(self):
+        """The canonical deadlock seed: A->B in one thread, B->A in another.
+
+        The two orders run *sequentially* -- detection is graph-based, so
+        the regression test needs no lucky interleaving to stay red.
+        """
+        with LockOrderMonitor() as monitor:
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+
+            def forward() -> None:
+                with lock_a, lock_b:
+                    pass
+
+            def backward() -> None:
+                with lock_b, lock_a:
+                    pass
+
+            _run_in_thread(forward)
+            _run_in_thread(backward)
+        problems = monitor.report()
+        assert problems, "inverted acquisition order must be reported"
+        assert "cycle" in problems[0]
+
+    def test_consistent_order_is_clean(self):
+        with LockOrderMonitor() as monitor:
+            lock_a = threading.Lock()
+            lock_b = threading.Lock()
+            for _ in range(3):
+
+                def forward() -> None:
+                    with lock_a, lock_b:
+                        pass
+
+                _run_in_thread(forward)
+        assert monitor.report() == []
+
+    def test_sorted_same_site_acquisition_is_clean(self):
+        """Compaction's pattern: many locks from ONE creation site, always
+        taken in sorted order.  A site-aggregated graph would self-loop
+        here; the instance graph must stay clean."""
+        with LockOrderMonitor() as monitor:
+            locks = [threading.RLock() for _ in range(4)]
+
+            def sweep() -> None:
+                for lock in locks:
+                    lock.acquire()
+                for lock in reversed(locks):
+                    lock.release()
+
+            _run_in_thread(sweep)
+            _run_in_thread(sweep)
+        assert monitor.report() == []
+
+    def test_three_lock_rotation_cycle(self):
+        with LockOrderMonitor() as monitor:
+            lock_a, lock_b, lock_c = (threading.Lock() for _ in range(3))
+            pairs = [(lock_a, lock_b), (lock_b, lock_c), (lock_c, lock_a)]
+            for first, second in pairs:
+
+                def chain(first=first, second=second) -> None:
+                    with first, second:
+                        pass
+
+                _run_in_thread(chain)
+        problems = monitor.report()
+        assert any("cycle" in p for p in problems)
+
+    def test_rlock_reentry_adds_no_edge(self):
+        with LockOrderMonitor() as monitor:
+            lock = threading.RLock()
+
+            def reenter() -> None:
+                with lock, lock:
+                    pass
+
+            _run_in_thread(reenter)
+        assert monitor.report() == []
+
+
+class TestConditionCompatibility:
+    def test_condition_wait_notify_works_under_monitor(self):
+        """Condition(RLock) relies on _release_save/_acquire_restore; the
+        wrappers must keep a real producer/consumer handoff working."""
+        with LockOrderMonitor() as monitor:
+            cv = threading.Condition()
+            ready: list[int] = []
+
+            def producer() -> None:
+                with cv:
+                    ready.append(1)
+                    cv.notify()
+
+            consumer_done = threading.Event()
+
+            def consumer() -> None:
+                with cv:
+                    while not ready:
+                        cv.wait(timeout=5)
+                consumer_done.set()
+
+            consumer_thread = threading.Thread(target=consumer)
+            consumer_thread.start()
+            producer_thread = threading.Thread(target=producer)
+            producer_thread.start()
+            producer_thread.join()
+            consumer_thread.join()
+            assert consumer_done.is_set()
+        assert monitor.report() == []
+
+    def test_event_works_under_monitor(self):
+        """threading.Event wraps a plain Lock in a Condition -- the wrapper
+        must emulate the non-reentrant fallback hooks."""
+        with LockOrderMonitor() as monitor:
+            event = threading.Event()
+
+            def setter() -> None:
+                event.set()
+
+            thread = threading.Thread(target=setter)
+            thread.start()
+            assert event.wait(timeout=5)
+            thread.join()
+        assert monitor.report() == []
+
+
+class TestSocketUnderLock:
+    def test_blocking_connect_under_lock_is_flagged(self):
+        with LockOrderMonitor() as monitor:
+            server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            server.bind(("127.0.0.1", 0))
+            server.listen(1)
+            port = server.getsockname()[1]
+            lock = threading.Lock()
+
+            def offender() -> None:
+                client = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                with lock:
+                    client.connect(("127.0.0.1", port))
+                client.close()
+
+            _run_in_thread(offender)
+            server.close()
+        problems = monitor.report()
+        assert any("socket.connect" in p for p in problems)
+
+    def test_socket_io_without_lock_is_clean(self):
+        with LockOrderMonitor() as monitor:
+            server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            server.bind(("127.0.0.1", 0))
+            server.listen(1)
+            port = server.getsockname()[1]
+            client = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            client.connect(("127.0.0.1", port))
+            client.close()
+            server.close()
+        assert monitor.report() == []
+
+
+class TestMonitorLifecycle:
+    def test_locks_survive_monitor_teardown(self):
+        """A daemon thread from a finished test must not crash on a lock
+        created while the monitor was active."""
+        with LockOrderMonitor():
+            lock = threading.Lock()
+        with lock:
+            pass
+        assert not lock.locked()
+
+    def test_factories_restored_after_exit(self):
+        original_lock = threading.Lock
+        original_socket = socket.socket
+        with LockOrderMonitor():
+            assert threading.Lock is not original_lock
+        assert threading.Lock is original_lock
+        assert socket.socket is original_socket
+
+    def test_nested_monitors_rejected(self):
+        import pytest
+
+        with LockOrderMonitor(), pytest.raises(RuntimeError):
+            LockOrderMonitor().__enter__()

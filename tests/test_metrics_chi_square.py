@@ -47,7 +47,7 @@ class TestChiSquareProbability:
 
     def test_probability_decreases_with_statistic(self):
         probabilities = [chi_square_probability(x, 4) for x in (1.0, 4.0, 10.0, 30.0)]
-        assert all(b < a for a, b in zip(probabilities, probabilities[1:]))
+        assert all(b < a for a, b in zip(probabilities, probabilities[1:], strict=False))
 
     def test_probability_bounded(self):
         for chi2 in (0.1, 1.0, 5.0, 50.0, 500.0):
@@ -89,7 +89,7 @@ class TestRegularizedGamma:
 
     def test_monotonic_in_x(self):
         values = [regularized_gamma_p(3.0, x) for x in np.linspace(0.1, 20, 25)]
-        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert all(b >= a for a, b in zip(values, values[1:], strict=False))
 
     def test_invalid_arguments_raise(self):
         with pytest.raises(ConfigurationError):

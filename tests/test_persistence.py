@@ -23,7 +23,7 @@ from repro.exceptions import ConfigurationError
 def _buckets_equal(first, second):
     a, b = first.buckets(), second.buckets()
     assert len(a) == len(b)
-    for x, y in zip(a, b):
+    for x, y in zip(a, b, strict=True):
         assert x.left == pytest.approx(y.left)
         assert x.right == pytest.approx(y.right)
         assert x.count == pytest.approx(y.count)
@@ -145,7 +145,7 @@ class TestPR3SnapshotBackCompat:
         restored = histogram_from_dict(fixture["snapshots"][kind])
         expected = fixture["expected"][kind]
         assert float(restored.total_count) == expected["total"]
-        for (low, high), want in zip(fixture["queries"], expected["ranges"]):
+        for (low, high), want in zip(fixture["queries"], expected["ranges"], strict=True):
             assert float(restored.estimate_range(float(low), float(high))) == want
         assert float(restored.estimate_equal(55.0)) == expected["equal_55"]
         assert float(restored.cdf(100.0)) == expected["cdf_100"]

@@ -348,7 +348,7 @@ def test_delete_many_matches_per_value_deletes(values, seed):
     a = [(b.left, b.right, b.count) for b in per_value.buckets()]
     b = [(b.left, b.right, b.count) for b in batched.buckets()]
     assert len(a) == len(b)
-    for (left_a, right_a, count_a), (left_b, right_b, count_b) in zip(a, b):
+    for (left_a, right_a, count_a), (left_b, right_b, count_b) in zip(a, b, strict=True):
         assert left_a == left_b and right_a == right_b
         np.testing.assert_allclose(count_a, count_b, rtol=1e-9, atol=1e-9)
 

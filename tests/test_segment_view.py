@@ -89,7 +89,7 @@ class TestViewEquivalence:
     def test_estimate_range(self, histogram, rng):
         lows = rng.uniform(-10, 60, size=200)
         widths = rng.uniform(0, 40, size=200)
-        for low, width in zip(lows, widths):
+        for low, width in zip(lows, widths, strict=True):
             assert histogram.estimate_range(low, low + width) == pytest.approx(
                 loop_estimate_range(histogram, low, low + width), rel=1e-9, abs=1e-9
             )
@@ -98,7 +98,7 @@ class TestViewEquivalence:
         lows = rng.uniform(-10, 60, size=100)
         highs = lows + rng.uniform(-5, 40, size=100)
         batch = histogram.estimate_ranges(lows, highs)
-        for low, high, estimate in zip(lows, highs, batch):
+        for low, high, estimate in zip(lows, highs, batch, strict=True):
             assert estimate == pytest.approx(
                 histogram.estimate_range(low, high), rel=1e-12, abs=1e-12
             )

@@ -57,7 +57,7 @@ class TestEquiDepthPartition:
         groups = equi_depth_partition(values, freqs, 5)
         assert groups[0][0] == 0
         assert groups[-1][1] == 19
-        for (start_a, end_a), (start_b, _end_b) in zip(groups, groups[1:]):
+        for (_start_a, end_a), (start_b, _end_b) in zip(groups, groups[1:], strict=False):
             assert start_b == end_a + 1
 
     def test_equal_counts_on_uniform_frequencies(self):

@@ -78,7 +78,7 @@ class TestOptimalPartition:
         partition = optimal_partition(freqs, 3)
         assert partition[0][0] == 0
         assert partition[-1][1] == len(freqs) - 1
-        for (_, end_a), (start_b, _) in zip(partition, partition[1:]):
+        for (_, end_a), (start_b, _) in zip(partition, partition[1:], strict=False):
             assert start_b == end_a + 1
 
     def test_obvious_grouping_is_found(self):
@@ -112,7 +112,7 @@ class TestSSBMPartition:
         assert partition[0][0] == 0
         assert partition[-1][1] == 59
         assert len(partition) == 7
-        for (_, end_a), (start_b, _) in zip(partition, partition[1:]):
+        for (_, end_a), (start_b, _) in zip(partition, partition[1:], strict=False):
             assert start_b == end_a + 1
 
     def test_merges_most_similar_neighbours_first(self):

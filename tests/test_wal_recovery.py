@@ -22,6 +22,7 @@ length.
 
 from __future__ import annotations
 
+import contextlib
 import json
 
 import numpy as np
@@ -62,7 +63,7 @@ def run_workload(store: HistogramStore, seed: int, n_ops: int = 30, create: bool
 
     def apply(op, *args):
         oplog.append((op, *args))
-        try:
+        with contextlib.suppress(HistogramError):
             if op == "create":
                 store.create(args[0], args[1], memory_kb=0.5)
             elif op == "drop":
@@ -71,8 +72,6 @@ def run_workload(store: HistogramStore, seed: int, n_ops: int = 30, create: bool
                 store.insert(args[0], args[1], repartition_interval=args[2])
             elif op == "delete":
                 store.delete(args[0], args[1])
-        except HistogramError:
-            pass
 
     if create:
         for name, kind in ATTRIBUTES:
@@ -101,7 +100,7 @@ def replay_reference(oplog) -> HistogramStore:
     store = HistogramStore()
     for entry in oplog:
         op = entry[0]
-        try:
+        with contextlib.suppress(HistogramError):
             if op == "create":
                 store.create(entry[1], entry[2], memory_kb=0.5)
             elif op == "drop":
@@ -110,8 +109,6 @@ def replay_reference(oplog) -> HistogramStore:
                 store.insert(entry[1], entry[2], repartition_interval=entry[3])
             elif op == "delete":
                 store.delete(entry[1], entry[2])
-        except HistogramError:
-            pass
     return store
 
 
