@@ -556,3 +556,104 @@ def check_compaction_outside_locks(module: SourceModule) -> Iterator[Finding]:
                     "acquires every attribute lock and would deadlock",
                 )
                 break
+
+
+# ----------------------------------------------------------------------
+# REP009 -- observability locks are leaves
+# ----------------------------------------------------------------------
+#: Call names that block on the OS: files, sockets, timers.  ``print`` and the
+#: logging methods are included because the slow-request sink must run outside
+#: any obs lock (the sink is I/O by design -- just never under a lock).
+_REP009_BLOCKING_CALLS = {
+    "open",
+    "fsync",
+    "fdatasync",
+    "connect",
+    "sendall",
+    "send",
+    "recv",
+    "accept",
+    "sleep",
+    "urlopen",
+    "getresponse",
+    "print",
+    "info",
+    "warning",
+    "error",
+    "exception",
+}
+
+#: Store/WAL/pipeline lock spellings that must never appear in obs/ code:
+#: the store registry lock plus the ``<entry>.lock`` per-attribute/buffer
+#: convention (``_is_attribute_lock``).
+def _rep009_is_foreign_lock(expr: ast.expr) -> bool:
+    return _is_registry_lock(expr) or _is_attribute_lock(expr)
+
+
+@rule(
+    "REP009",
+    "obs locks are leaves: no nested locks, no blocking I/O while held",
+    paths=("repro/obs/",),
+    description=(
+        "Instrumentation is called from inside store, WAL and buffer critical "
+        "sections, so the whole obs package must sit at the BOTTOM of the "
+        "lock order: a metric/trace/sampler lock never guards another lock "
+        "acquisition, a blocking call (file/socket/sleep/log emission), or a "
+        "store-side lock.  Any of those would let a cheap counter update "
+        "deadlock or stall the data path that called it."
+    ),
+)
+def check_obs_locks_are_leaves(module: SourceModule) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        items = _with_items(node)
+        # (a) obs code must never touch a store-side lock at all.
+        for expr in items:
+            if _rep009_is_foreign_lock(expr):
+                yield (
+                    node.lineno,
+                    "obs code acquires a store-side lock; metric-update paths "
+                    "must stay below every data-path lock in the order",
+                )
+        if not any(_is_lock_like(e) for e in _with_items(node)):
+            continue
+        for inner in ast.walk(node):
+            # (b) no lock is acquired while an obs lock is held.
+            if (
+                isinstance(inner, (ast.With, ast.AsyncWith))
+                and inner is not node
+                and any(_is_lock_like(e) for e in _with_items(inner))
+            ):
+                yield (
+                    inner.lineno,
+                    f"lock acquired at line {inner.lineno} while holding the "
+                    f"obs lock taken at line {node.lineno}; obs locks are "
+                    "leaves -- hoist the nested acquisition out",
+                )
+            if (
+                isinstance(inner, ast.Call)
+                and _call_name(inner) == "acquire"
+                and not (
+                    isinstance(inner.func, ast.Attribute)
+                    and inner.func.value in _with_items(node)
+                )
+            ):
+                yield (
+                    inner.lineno,
+                    f"explicit .acquire() at line {inner.lineno} while "
+                    f"holding the obs lock taken at line {node.lineno}; obs "
+                    "locks are leaves",
+                )
+            # (c) no blocking I/O while an obs lock is held.
+            if (
+                isinstance(inner, ast.Call)
+                and _call_name(inner) in _REP009_BLOCKING_CALLS
+            ):
+                yield (
+                    inner.lineno,
+                    f"{_call_name(inner)}() called while holding the obs "
+                    f"lock taken at line {node.lineno}; metric updates and "
+                    "scrapes must never block on I/O -- move the call after "
+                    "the lock is released",
+                )

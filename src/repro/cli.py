@@ -145,6 +145,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--wal-fsync", action="store_true",
         help="fsync every WAL append (durable against power loss, slower)",
     )
+    serve_parser.add_argument(
+        "--slow-request-ms", type=float, default=None, metavar="MS",
+        help="emit a structured JSON log line (with per-span timings) for "
+             "requests slower than this many milliseconds; implies tracing",
+    )
+    serve_parser.add_argument(
+        "--trace", action="store_true",
+        help="generate/propagate X-Repro-Trace-Id on every request",
+    )
+    serve_parser.add_argument(
+        "--accuracy-sample", type=float, default=0.0, metavar="FRACTION",
+        help="replay this fraction of estimate queries against exact shadow "
+             "counts, exporting observed selectivity error as a /metrics "
+             "distribution (0 disables; see README caveats)",
+    )
 
     store_stats_parser = subparsers.add_parser(
         "store-stats", help="pretty-print the stats of a running statistics server"
@@ -199,6 +214,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--wal-fsync", action="store_true",
         help="fsync every per-shard WAL append (durable against power loss, slower)",
     )
+    cluster_parser.add_argument(
+        "--slow-request-ms", type=float, default=None, metavar="MS",
+        help="emit a structured JSON log line (with per-shard fan-out spans) "
+             "for requests slower than this many milliseconds; implies tracing",
+    )
+    cluster_parser.add_argument(
+        "--trace", action="store_true",
+        help="generate/propagate X-Repro-Trace-Id on every request",
+    )
 
     cluster_stats_parser = subparsers.add_parser(
         "cluster-stats", help="pretty-print per-shard stats of a running cluster server"
@@ -212,6 +236,14 @@ def _build_parser() -> argparse.ArgumentParser:
     resync_parser.add_argument("shard", help="shard id to re-seed (e.g. shard-1)")
     resync_parser.add_argument("--host", default="127.0.0.1")
     resync_parser.add_argument("--port", type=int, default=8282)
+
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="fetch the Prometheus text exposition of a running server "
+             "(service or cluster)",
+    )
+    metrics_parser.add_argument("--host", default="127.0.0.1")
+    metrics_parser.add_argument("--port", type=int, default=8181)
     return parser
 
 
@@ -292,24 +324,42 @@ def _parse_attribute_spec(spec: str):
     return name, kind, memory_kb
 
 
-def _build_durable_store(wal_dir, fsync: bool):
+def _build_durable_store(wal_dir, fsync: bool, metrics=None, accuracy_sampler=None):
     """Open (recovering) or create a durable store at ``wal_dir``."""
     from .service import DurabilityConfig, HistogramStore
 
     config = DurabilityConfig(Path(wal_dir), fsync=fsync)
     if config.has_state():
-        return HistogramStore.recover(wal_dir, fsync=fsync), True
-    return HistogramStore(durability=config), False
+        store = HistogramStore.recover(wal_dir, fsync=fsync, metrics=metrics)
+        store.attach_accuracy_sampler(accuracy_sampler)
+        return store, True
+    return (
+        HistogramStore(
+            durability=config, metrics=metrics, accuracy_sampler=accuracy_sampler
+        ),
+        False,
+    )
 
 
 def _command_serve(args, out) -> int:
+    from .obs import AccuracySampler, MetricsRegistry
     from .service import HistogramStore, IngestPipeline, StatisticsServer
 
+    metrics = MetricsRegistry()
+    sampler = None
+    if args.accuracy_sample and args.accuracy_sample > 0:
+        try:
+            sampler = AccuracySampler(metrics, fraction=args.accuracy_sample)
+        except ValueError as error:
+            out.write(f"{error}\n")
+            return 2
     recovered = False
     if args.wal_dir is not None:
-        store, recovered = _build_durable_store(args.wal_dir, args.wal_fsync)
+        store, recovered = _build_durable_store(
+            args.wal_dir, args.wal_fsync, metrics=metrics, accuracy_sampler=sampler
+        )
     else:
-        store = HistogramStore()
+        store = HistogramStore(metrics=metrics, accuracy_sampler=sampler)
     try:
         specs = [_parse_attribute_spec(spec) for spec in args.attribute]
     except ValueError as error:
@@ -321,13 +371,35 @@ def _command_serve(args, out) -> int:
     pipeline = None
     if args.flush_interval and args.flush_interval > 0:
         pipeline = IngestPipeline(
-            store, max_batch=args.max_batch, auto_flush_interval=args.flush_interval
+            store,
+            max_batch=args.max_batch,
+            auto_flush_interval=args.flush_interval,
+            metrics=metrics,
         )
-    server = StatisticsServer(store, host=args.host, port=args.port, pipeline=pipeline)
+    server = StatisticsServer(
+        store,
+        host=args.host,
+        port=args.port,
+        pipeline=pipeline,
+        metrics=metrics,
+        slow_request_ms=args.slow_request_ms,
+        trace=args.trace,
+    )
     host, port = server.address
     attributes = ", ".join(store.names()) or "none"
     out.write(f"statistics service listening on http://{host}:{port}\n")
     out.write(f"attributes: {attributes}\n")
+    if args.trace or args.slow_request_ms is not None:
+        threshold = (
+            f", slow-request log above {args.slow_request_ms:g} ms"
+            if args.slow_request_ms is not None
+            else ""
+        )
+        out.write(f"tracing: X-Repro-Trace-Id enabled{threshold}\n")
+    if sampler is not None:
+        out.write(
+            f"accuracy sampling: {args.accuracy_sample:g} of estimate batches\n"
+        )
     if args.wal_dir is not None:
         state = "recovered existing catalog" if recovered else "fresh log"
         out.write(f"durability: WAL at {args.wal_dir} ({state})\n")
@@ -362,6 +434,7 @@ def _parse_partition_spec(spec: str):
 
 def _command_serve_cluster(args, out) -> int:
     from .cluster import ClusterCoordinator, ClusterServer, LocalShard, ShardRouter
+    from .obs import MetricsRegistry
 
     if args.shards < 1:
         out.write("--shards must be at least 1\n")
@@ -376,18 +449,24 @@ def _command_serve_cluster(args, out) -> int:
         out.write(f"{error}\n")
         return 2
 
+    # One registry for the whole process: shard stores/WALs, the
+    # coordinator's fan-out metrics and the HTTP layer all land in one
+    # /metrics exposition (per-attribute labels aggregate across shards).
+    metrics = MetricsRegistry()
     stores = []
     recovered_any = False
     for index in range(args.shards):
         if args.wal_dir is not None:
             store, recovered = _build_durable_store(
-                Path(args.wal_dir) / f"shard-{index}", fsync=args.wal_fsync
+                Path(args.wal_dir) / f"shard-{index}",
+                fsync=args.wal_fsync,
+                metrics=metrics,
             )
             recovered_any = recovered_any or recovered
         else:
             from .service import HistogramStore
 
-            store = HistogramStore()
+            store = HistogramStore(metrics=metrics)
         stores.append(store)
     shards = [
         LocalShard(f"shard-{index}", store) for index, store in enumerate(stores)
@@ -397,7 +476,7 @@ def _command_serve_cluster(args, out) -> int:
         replication_factor=args.replication_factor,
     )
     coordinator = ClusterCoordinator(
-        shards, router=router, global_buckets=args.global_buckets
+        shards, router=router, global_buckets=args.global_buckets, metrics=metrics
     )
     attribute_specs = {name: (kind, memory_kb) for name, kind, memory_kb in specs}
     for name in partitions:
@@ -411,7 +490,14 @@ def _command_serve_cluster(args, out) -> int:
             partition_boundaries=partitions.get(name),
         )
 
-    server = ClusterServer(coordinator, host=args.host, port=args.port)
+    server = ClusterServer(
+        coordinator,
+        host=args.host,
+        port=args.port,
+        metrics=metrics,
+        slow_request_ms=args.slow_request_ms,
+        trace=args.trace,
+    )
     host, port = server.address
     out.write(f"statistics cluster listening on http://{host}:{port}\n")
     out.write(f"shards: {', '.join(coordinator.shard_ids)}\n")
@@ -425,6 +511,11 @@ def _command_serve_cluster(args, out) -> int:
     if args.wal_dir is not None:
         state = "recovered existing catalogs" if recovered_any else "fresh logs"
         out.write(f"durability: per-shard WALs under {args.wal_dir} ({state})\n")
+    if args.trace or args.slow_request_ms is not None:
+        detail = "tracing: X-Repro-Trace-Id enabled"
+        if args.slow_request_ms is not None:
+            detail += f", slow-request log above {args.slow_request_ms:g} ms"
+        out.write(detail + "\n")
     if hasattr(out, "flush"):
         out.flush()
 
@@ -481,6 +572,20 @@ def _command_store_stats(args, out) -> int:
     out.write(f"statistics server at {args.host}:{args.port} "
               f"({len(attributes)} attribute(s))\n")
     out.write(format_store_stats(attributes) + "\n")
+    return 0
+
+
+def _command_metrics(args, out) -> int:
+    from .exceptions import ServiceError
+    from .service import StatisticsClient
+
+    client = StatisticsClient(args.host, args.port)
+    try:
+        text = client.metrics_text()
+    except (OSError, ServiceError) as error:
+        out.write(f"cannot reach server at {args.host}:{args.port}: {error}\n")
+        return 2
+    out.write(text)
     return 0
 
 
@@ -562,6 +667,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _command_serve(args, out)
     if args.command == "store-stats":
         return _command_store_stats(args, out)
+    if args.command == "metrics":
+        return _command_metrics(args, out)
     if args.command == "serve-cluster":
         return _command_serve_cluster(args, out)
     if args.command == "cluster-stats":

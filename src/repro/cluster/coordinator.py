@@ -51,6 +51,7 @@ non-stale replica on :class:`~repro.exceptions.ShardUnavailableError`.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from collections.abc import Mapping, Sequence
 from typing import Any
@@ -63,6 +64,7 @@ from ..exceptions import (
     ShardUnavailableError,
     UnknownAttributeError,
 )
+from ..obs.trace import current_trace, maybe_span, use_trace
 from ..persistence import histogram_from_dict
 from ..service.store import evaluate_queries
 from .protocol import ShardBackend
@@ -99,6 +101,7 @@ class ClusterCoordinator:
         global_buckets: int = DEFAULT_GLOBAL_BUCKETS,
         value_unit: float = 1.0,
         max_workers: int | None = None,
+        metrics: Any | None = None,
     ) -> None:
         if not shards:
             raise ConfigurationError("the cluster coordinator needs at least one shard")
@@ -139,6 +142,36 @@ class ClusterCoordinator:
         # could not re-apply them); surfaced by stats() so silent undercount
         # is at least visible to operators.
         self._dropped_buffered_ops = 0
+        # Optional observability: per-shard fan-out latency plus the
+        # replication health counters.  Metric updates are leaves (repro.obs
+        # contract), recorded outside the coordinator's own locks.  Shard
+        # backends that carry an HTTP client (RemoteShard) mirror their
+        # connect-retry stats into the same registry.
+        self.metrics = metrics
+        self._m_fanout_seconds = None
+        self._m_failovers = None
+        self._m_stale_marks = None
+        if metrics is not None:
+            from ..obs.registry import LATENCY_BUCKETS_S
+
+            self._m_fanout_seconds = metrics.distribution(
+                "repro_cluster_fanout_seconds",
+                "Latency of one fan-out leg, per shard",
+                LATENCY_BUCKETS_S,
+                labelnames=("shard",),
+            )
+            self._m_failovers = metrics.counter(
+                "repro_cluster_failovers_total",
+                "Read attempts that failed over to another replica",
+            )
+            self._m_stale_marks = metrics.counter(
+                "repro_cluster_stale_marks_total",
+                "Replicas marked stale after missing a fan-out write",
+            )
+            for shard in self._shards.values():
+                bind = getattr(shard, "bind_metrics", None)
+                if bind is not None:
+                    bind(metrics)
 
     # ------------------------------------------------------------------
     # plumbing
@@ -173,8 +206,14 @@ class ClusterCoordinator:
         failure means -- drop, listing, batch ingest and the replicated
         fan-out all differ), anything else propagates immediately.
         """
+        # The active trace is captured BEFORE the executor submits: the pool
+        # threads have their own threading.local, so each leg re-activates
+        # the request's trace and records its own span.
+        trace = current_trace()
         futures = {
-            shard_id: self._executor.submit(call, self.shard(shard_id))
+            shard_id: self._executor.submit(
+                self._traced_leg(shard_id, call, trace), self.shard(shard_id)
+            )
             for shard_id in shard_ids
         }
         results: dict[str, Any] = {}
@@ -186,6 +225,22 @@ class ClusterCoordinator:
                 errors[shard_id] = error
         return results, errors
 
+    def _traced_leg(self, shard_id: str, call, trace):
+        """Wrap one fan-out leg with trace propagation and latency metrics."""
+
+        def run(shard: ShardBackend) -> Any:
+            start = time.perf_counter()
+            try:
+                with use_trace(trace), maybe_span(f"fanout:{shard_id}"):
+                    return call(shard)
+            finally:
+                if self._m_fanout_seconds is not None:
+                    self._m_fanout_seconds.observe(
+                        time.perf_counter() - start, shard=shard_id
+                    )
+
+        return run
+
     # ------------------------------------------------------------------
     # replication plumbing
     # ------------------------------------------------------------------
@@ -196,6 +251,8 @@ class ClusterCoordinator:
     def _mark_stale(self, name: str, shard_id: str) -> None:
         with self._stale_lock:
             self._stale.add((name, shard_id))
+        if self._m_stale_marks is not None:
+            self._m_stale_marks.inc()
 
     def _clear_stale(self, name: str, shard_id: str) -> None:
         with self._stale_lock:
@@ -239,9 +296,19 @@ class ClusterCoordinator:
         last_unknown: UnknownAttributeError | None = None
         for shard_id in self._failover_order(name, replicas):
             try:
-                return shard_id, call(self.shard(shard_id))
+                start = time.perf_counter()
+                try:
+                    with maybe_span(f"shard:{shard_id}"):
+                        return shard_id, call(self.shard(shard_id))
+                finally:
+                    if self._m_fanout_seconds is not None:
+                        self._m_fanout_seconds.observe(
+                            time.perf_counter() - start, shard=shard_id
+                        )
             except ShardUnavailableError as error:
                 last_unavailable = error
+                if self._m_failovers is not None:
+                    self._m_failovers.inc()
             except UnknownAttributeError as error:
                 if not self.is_stale(name, shard_id):
                     raise
@@ -712,10 +779,16 @@ class ClusterCoordinator:
     ) -> dict[str, Any]:
         """Run ``call`` once per piece, each with replica failover, gathered
         concurrently and keyed by the piece's primary shard id."""
+        # As in _scatter_tolerant: capture the trace before crossing into
+        # the pool so each piece's failover legs record spans on it.
+        trace = current_trace()
+
+        def run(replicas: tuple[str, ...]) -> tuple[str, Any]:
+            with use_trace(trace):
+                return self._call_with_failover(name, replicas, call)
+
         futures = {
-            piece_id: self._executor.submit(
-                self._call_with_failover, name, replicas, call
-            )
+            piece_id: self._executor.submit(run, replicas)
             for piece_id, replicas in piece_replicas.items()
         }
         return {

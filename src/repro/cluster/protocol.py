@@ -188,6 +188,14 @@ class RemoteShard(ShardBackend):
         super().__init__(shard_id)
         self.client = client
 
+    def bind_metrics(self, metrics: Any) -> None:
+        """Mirror the client's connect-retry stats into ``metrics``.
+
+        The coordinator calls this for every shard backend that has it, so
+        per-endpoint retry/backoff counters land in the cluster's registry.
+        """
+        self.client.bind_metrics(metrics)
+
     def _unavailable(self, error: Exception) -> ShardUnavailableError:
         return ShardUnavailableError(self.shard_id, error)
 

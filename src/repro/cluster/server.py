@@ -15,6 +15,7 @@ the cluster-only routes:
 Method Path                               Meaning
 ====== ================================== ===========================================
 GET    /health                            liveness + shard / attribute counts
+GET    /metrics                           Prometheus text exposition (when enabled)
 GET    /cluster/stats                     per-shard stats, placement, merge cache
 GET    /stats (or /attributes)            flat per-shard attribute stats list
 POST   /attributes                        create (supports ``partition_boundaries``)
@@ -38,6 +39,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from collections.abc import Mapping, Sequence
 from typing import Any
@@ -49,7 +51,10 @@ from ..exceptions import (
     ShardUnavailableError,
     UnknownAttributeError,
 )
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import TRACE_HEADER, RequestObserver, route_label, use_trace
 from ..service.client import StatisticsClient
+from ..service.server import METRICS_CONTENT_TYPE
 from .coordinator import ClusterCoordinator
 
 __all__ = ["ClusterServer", "ClusterClient"]
@@ -64,6 +69,8 @@ class _ClusterRequestHandler(BaseHTTPRequestHandler):
     # Set by ClusterServer when building the handler class.
     coordinator: ClusterCoordinator
     quiet: bool = True
+    metrics: MetricsRegistry | None = None
+    observer: RequestObserver | None = None
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if not self.quiet:  # pragma: no cover - debugging aid
@@ -73,10 +80,19 @@ class _ClusterRequestHandler(BaseHTTPRequestHandler):
     # plumbing (mirrors the service handler)
     # ------------------------------------------------------------------
     def _send_json(self, status: int, payload: dict[str, Any]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, json.dumps(payload).encode("utf-8"), "application/json")
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_body(status, text.encode("utf-8"), content_type)
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        self._status_sent = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            self.send_header(TRACE_HEADER, trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -102,6 +118,31 @@ class _ClusterRequestHandler(BaseHTTPRequestHandler):
         return {key: values[-1] for key, values in parse_qs(parsed.query).items()}
 
     def _handle(self, method: str) -> None:
+        observer = self.observer
+        trace = None
+        start = 0.0
+        self._status_sent = 0
+        self._trace_id = None
+        if observer is not None:
+            trace = observer.begin(self.headers.get(TRACE_HEADER))
+            if trace is not None:
+                self._trace_id = trace.trace_id
+            start = time.perf_counter()
+        # The trace is active for the whole dispatch, so coordinator fan-out
+        # legs (which capture it before crossing into the thread pool) carry
+        # the same id down to every shard request.
+        with use_trace(trace):
+            self._handle_inner(method)
+        if observer is not None:
+            observer.finish(
+                trace,
+                method=method,
+                route=route_label(self._route()),
+                status=self._status_sent,
+                elapsed_s=time.perf_counter() - start,
+            )
+
+    def _handle_inner(self, method: str) -> None:
         try:
             payload = self._read_json() if method in ("POST", "PUT") else {}
         except (ValueError, json.JSONDecodeError) as error:
@@ -143,6 +184,12 @@ class _ClusterRequestHandler(BaseHTTPRequestHandler):
                     "attributes": len(coordinator.names()),
                 },
             )
+            return
+        if route == ("metrics",) and method == "GET":
+            if self.metrics is None:
+                self._send_json(404, {"error": "metrics are not enabled on this server"})
+            else:
+                self._send_text(200, self.metrics.render(), METRICS_CONTENT_TYPE)
             return
         if route == ("cluster", "stats") and method == "GET":
             self._send_json(200, coordinator.stats())
@@ -258,12 +305,37 @@ class ClusterServer:
         host: str = "127.0.0.1",
         port: int = 0,
         quiet: bool = True,
+        metrics: MetricsRegistry | None = None,
+        slow_request_ms: float | None = None,
+        trace: bool = False,
+        trace_sink: Any | None = None,
     ) -> None:
         self.coordinator = coordinator
+        # Default to the coordinator's registry so one scrape covers HTTP,
+        # fan-out and replication metrics; tracing or a slow-request
+        # threshold forces a registry into existence.
+        registry = metrics if metrics is not None else coordinator.metrics
+        if registry is None and (trace or slow_request_ms is not None):
+            registry = MetricsRegistry()
+        self.metrics = registry
+        observer = None
+        if registry is not None:
+            observer = RequestObserver(
+                registry,
+                server_label="cluster",
+                slow_request_ms=slow_request_ms,
+                trace=trace,
+                sink=trace_sink,
+            )
         handler = type(
             "_BoundClusterRequestHandler",
             (_ClusterRequestHandler,),
-            {"coordinator": coordinator, "quiet": quiet},
+            {
+                "coordinator": coordinator,
+                "quiet": quiet,
+                "metrics": registry,
+                "observer": observer,
+            },
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True

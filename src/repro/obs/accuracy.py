@@ -1,0 +1,233 @@
+"""Estimation-accuracy telemetry: sampled exact-vs-estimate comparison.
+
+The paper's claim is *cheap, accurate selectivity estimates under continuous
+updates* -- so accuracy is the one signal worth measuring that no generic
+metrics layer provides.  :class:`AccuracySampler` keeps an exact shadow
+multiset per attribute (a value -> count map, fed by the same insert/delete
+stream the histogram sees), replays a configurable fraction of ``/estimate``
+queries against it, and exports the observed selectivity error as the
+``repro_estimate_selectivity_error`` distribution.
+
+Caveats, by design:
+
+* The shadow is exact only while it stays small: past ``max_values`` distinct
+  values the sampler disables itself for that attribute (and says so in
+  ``repro_estimate_accuracy_disabled_total``) rather than degrade the hot
+  path.  Use it on sampled traffic or bounded-domain attributes.
+* Hooks are invoked by the store *outside* its attribute locks, so under
+  concurrent mutation a checked estimate can race a shadow update; observed
+  error then includes a transient in-flight component.  This is telemetry,
+  not a correctness oracle.
+* ``restore`` and partially-applied mutations desynchronise the shadow from
+  the histogram irrecoverably, so both disable the attribute's sampling.
+
+Lock discipline matches the rest of :mod:`repro.obs`: the sampler lock is a
+leaf -- nothing else is acquired and no I/O happens while it is held
+(repro-verify REP009).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import Counter
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
+
+import numpy as np
+
+from .registry import ERROR_BUCKETS, MetricsRegistry
+
+__all__ = ["AccuracySampler"]
+
+#: Ops the shadow can answer exactly; ``cdf`` and ``equal`` (granularity
+#: semantics live in the histogram) are left to the histogram alone.
+_CHECKED_OPS = frozenset({"range", "total", "selectivity"})
+
+
+class _Shadow:
+    """Exact per-attribute ground truth: a value multiset plus its total."""
+
+    __slots__ = ("values", "total", "enabled")
+
+    def __init__(self) -> None:
+        self.values: Counter[float] = Counter()
+        self.total = 0
+        self.enabled = True
+
+    def range_count(self, low: float, high: float) -> int:
+        return sum(
+            count for value, count in self.values.items() if low <= value <= high
+        )
+
+
+class AccuracySampler:
+    """Replay a fraction of estimate queries against exact shadow counts.
+
+    ``fraction`` is the probability that one ``query()`` batch is checked;
+    sampled batches have every supported op in them compared.  All errors are
+    reported on the selectivity scale -- count ops are normalised by the exact
+    total -- so one distribution answers "how far off, as a fraction of the
+    relation" regardless of op mix.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry,
+        *,
+        fraction: float = 0.01,
+        max_values: int = 100_000,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= float(fraction) <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction!r}")
+        self.fraction = float(fraction)
+        self.max_values = int(max_values)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._shadows: dict[str, _Shadow] = {}
+        self._m_error = metrics.distribution(
+            "repro_estimate_selectivity_error",
+            "Observed |estimate - exact| selectivity error on sampled queries",
+            ERROR_BUCKETS,
+            labelnames=("attribute",),
+        )
+        self._m_checks = metrics.counter(
+            "repro_estimate_accuracy_checks_total",
+            "Estimate queries replayed against exact shadow counts",
+            labelnames=("attribute",),
+        )
+        self._m_disabled = metrics.counter(
+            "repro_estimate_accuracy_disabled_total",
+            "Attributes whose accuracy shadow was disabled (overflow/desync)",
+        )
+
+    # -- lifecycle hooks (store calls these outside its locks) ---------
+    def reset(self, name: str) -> None:
+        """A fresh attribute: start shadowing it from empty."""
+        with self._lock:
+            self._shadows[name] = _Shadow()
+
+    def forget(self, name: str) -> None:
+        """The attribute was dropped."""
+        with self._lock:
+            self._shadows.pop(name, None)
+
+    def disable(self, name: str) -> None:
+        """Shadow can no longer mirror the histogram (restore, partial apply)."""
+        disabled = False
+        with self._lock:
+            shadow = self._shadows.get(name)
+            if shadow is not None and shadow.enabled:
+                shadow.enabled = False
+                shadow.values.clear()
+                disabled = True
+        if disabled:
+            self._m_disabled.inc()
+
+    # -- mutation mirror ----------------------------------------------
+    @staticmethod
+    def _batch_counts(values: Iterable[float]) -> tuple[list[float], list[int], int]:
+        """Collapse a batch to (unique values, counts, size) via numpy.
+
+        Mutation batches arrive thousands of values at a time; folding the
+        per-value work into one C-level ``np.unique`` keeps the shadow cheap
+        enough to ride along on the ingest hot path.
+        """
+        array = np.asarray(values, dtype=float)
+        if array.size == 0:
+            return [], [], 0
+        uniques, counts = np.unique(array, return_counts=True)
+        return uniques.tolist(), counts.tolist(), int(array.size)
+
+    def record_insert(self, name: str, values: Iterable[float]) -> None:
+        uniques, counts, size = self._batch_counts(values)
+        if not size:
+            return
+        overflow = False
+        with self._lock:
+            shadow = self._shadows.get(name)
+            if shadow is None or not shadow.enabled:
+                return
+            multiset = shadow.values
+            for value, count in zip(uniques, counts, strict=True):
+                multiset[value] += count
+            shadow.total += size
+            if len(multiset) > self.max_values:
+                shadow.enabled = False
+                multiset.clear()
+                overflow = True
+        if overflow:
+            self._m_disabled.inc()
+
+    def record_delete(self, name: str, values: Iterable[float]) -> None:
+        uniques, counts, size = self._batch_counts(values)
+        if not size:
+            return
+        with self._lock:
+            shadow = self._shadows.get(name)
+            if shadow is None or not shadow.enabled:
+                return
+            multiset = shadow.values
+            for value, count in zip(uniques, counts, strict=True):
+                held = multiset.get(value, 0)
+                removed = min(held, count)
+                if not removed:
+                    continue
+                if held > removed:
+                    multiset[value] = held - removed
+                else:
+                    del multiset[value]
+                shadow.total -= removed
+
+    # -- the check itself ---------------------------------------------
+    def maybe_check(
+        self,
+        name: str,
+        queries: Sequence[Mapping[str, Any]],
+        results: Sequence[Any],
+    ) -> None:
+        """Possibly compare one answered query batch against exact counts."""
+        errors: list[float] = []
+        with self._lock:
+            shadow = self._shadows.get(name)
+            if shadow is None or not shadow.enabled:
+                return
+            if self._rng.random() >= self.fraction:
+                return
+            denominator = float(max(shadow.total, 1))
+            for query, estimate in zip(queries, results, strict=True):
+                op = query.get("op")
+                if op not in _CHECKED_OPS:
+                    continue
+                if op == "total":
+                    exact = float(shadow.total)
+                elif op == "range":
+                    exact = float(
+                        shadow.range_count(float(query["low"]), float(query["high"]))
+                    )
+                else:  # selectivity: already a fraction
+                    exact_count = shadow.range_count(
+                        float(query["low"]), float(query["high"])
+                    )
+                    errors.append(abs(float(estimate) - exact_count / denominator))
+                    continue
+                errors.append(abs(float(estimate) - exact) / denominator)
+        # Metric observes happen after the sampler lock is released.
+        if errors:
+            self._m_checks.inc(1, attribute=name)
+            for error in errors:
+                self._m_error.observe(error, attribute=name)
+
+    # -- introspection -------------------------------------------------
+    def enabled_for(self, name: str) -> bool:
+        with self._lock:
+            shadow = self._shadows.get(name)
+            return shadow is not None and shadow.enabled
+
+    def exact_total(self, name: str) -> int | None:
+        with self._lock:
+            shadow = self._shadows.get(name)
+            if shadow is None or not shadow.enabled:
+                return None
+            return shadow.total

@@ -22,6 +22,7 @@ immediately so the caller decides.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from http.client import HTTPConnection, HTTPException
 from collections.abc import Mapping, Sequence
@@ -30,6 +31,7 @@ from urllib.parse import quote
 
 from .._validation import require_positive_float
 from ..exceptions import ServiceError, UnknownAttributeError
+from ..obs.trace import TRACE_HEADER, current_trace_id
 
 __all__ = ["StatisticsClient"]
 
@@ -64,22 +66,63 @@ class StatisticsClient:
             require_positive_float(retry_backoff, "retry_backoff")
         self.retries = int(retries)
         self.retry_backoff = float(retry_backoff)
+        # Transport telemetry: connect-retry attempts and total backoff time.
+        # Always kept as a client-side stat; additionally mirrored into a
+        # metrics registry after bind_metrics() (RemoteShard does this so the
+        # coordinator's registry sees per-endpoint retry behaviour).
+        self.transport_stats = {"connect_retries": 0, "backoff_seconds": 0.0}
+        self._stats_lock = threading.Lock()
+        self._m_connect_retries: Any | None = None
+        self._m_backoff_seconds: Any | None = None
+        self._endpoint = f"{host}:{port}"
+
+    def bind_metrics(self, metrics: Any) -> None:
+        """Mirror transport stats into ``metrics`` with an endpoint label."""
+        self._m_connect_retries = metrics.counter(
+            "repro_client_connect_retries_total",
+            "Connection attempts that failed and were retried, per endpoint",
+            labelnames=("endpoint",),
+        )
+        self._m_backoff_seconds = metrics.counter(
+            "repro_client_retry_backoff_seconds_total",
+            "Total time slept in retry backoff, per endpoint",
+            labelnames=("endpoint",),
+        )
+
+    def _record_connect_failure(self) -> None:
+        with self._stats_lock:
+            self.transport_stats["connect_retries"] += 1
+        if self._m_connect_retries is not None:
+            self._m_connect_retries.inc(1, endpoint=self._endpoint)
+
+    def _record_backoff(self, pause: float) -> None:
+        with self._stats_lock:
+            self.transport_stats["backoff_seconds"] += pause
+        if self._m_backoff_seconds is not None:
+            self._m_backoff_seconds.inc(pause, endpoint=self._endpoint)
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
-    def _request(
-        self, method: str, path: str, payload: Mapping[str, Any] | None = None
-    ) -> dict[str, Any]:
-        body = None
-        headers = {}
-        if payload is not None:
-            body = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+    def _raw_request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> tuple[int, bytes]:
+        headers = dict(headers or {})
+        # Propagate the active trace so one id follows the request through
+        # coordinator fan-out legs down to each shard's request log.
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            headers[TRACE_HEADER] = trace_id
         last_error: Exception | None = None
         for attempt in range(self.retries + 1):
             if attempt:
-                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+                pause = self.retry_backoff * (2 ** (attempt - 1))
+                self._record_backoff(pause)
+                time.sleep(pause)
             connection = HTTPConnection(self.host, self.port, timeout=self.timeout)
             try:
                 try:
@@ -87,6 +130,7 @@ class StatisticsClient:
                     # have reached the server, so it is always safe to retry.
                     connection.connect()
                 except OSError as error:
+                    self._record_connect_failure()
                     last_error = error
                     continue
                 try:
@@ -102,22 +146,33 @@ class StatisticsClient:
                     continue
             finally:
                 connection.close()
-            try:
-                decoded = json.loads(raw.decode("utf-8")) if raw else {}
-            except json.JSONDecodeError:
-                decoded = {"error": raw.decode("utf-8", "replace")}
-            if response.status >= 400:
-                message = decoded.get("error", f"HTTP {response.status}")
-                if response.status == 404 and "unknown attribute" in str(message):
-                    raise UnknownAttributeError(message.split("'")[1])
-                error = ServiceError(f"HTTP {response.status}: {message}")
-                # Expose the structured body (e.g. partial-apply reports from
-                # /ingest) to callers that need more than the message.
-                error.payload = decoded
-                raise error
-            return decoded
+            return response.status, raw
         assert last_error is not None
         raise last_error
+
+    def _request(
+        self, method: str, path: str, payload: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        status, raw = self._raw_request(method, path, body, headers)
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"error": raw.decode("utf-8", "replace")}
+        if status >= 400:
+            message = decoded.get("error", f"HTTP {status}")
+            if status == 404 and "unknown attribute" in str(message):
+                raise UnknownAttributeError(message.split("'")[1])
+            error = ServiceError(f"HTTP {status}: {message}")
+            # Expose the structured body (e.g. partial-apply reports from
+            # /ingest) to callers that need more than the message.
+            error.payload = decoded
+            raise error
+        return decoded
 
     @staticmethod
     def _attribute_path(name: str, action: str = "") -> str:
@@ -130,6 +185,14 @@ class StatisticsClient:
     def health(self) -> dict[str, Any]:
         """Liveness probe."""
         return self._request("GET", "/health")
+
+    def metrics_text(self) -> str:
+        """Fetch the Prometheus text exposition (``GET /metrics``) verbatim."""
+        status, raw = self._raw_request("GET", "/metrics")
+        text = raw.decode("utf-8")
+        if status >= 400:
+            raise ServiceError(f"HTTP {status}: {text.strip()}")
+        return text
 
     def create(
         self,

@@ -30,6 +30,7 @@ buffered -- never the acknowledged-as-flushed -- operations, and
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Iterable
 
 from .._validation import require_positive_float, require_positive_int
@@ -57,6 +58,8 @@ class _Buffer:
         "flushed_values",
         "flushed_batches",
         "flush_errors",
+        "requeued_values",
+        "dropped_values",
     )
 
     def __init__(self) -> None:
@@ -69,6 +72,8 @@ class _Buffer:
         self.flushed_values = 0
         self.flushed_batches = 0
         self.flush_errors = 0
+        self.requeued_values = 0
+        self.dropped_values = 0
 
 
 class IngestPipeline:
@@ -101,6 +106,7 @@ class IngestPipeline:
         max_batch: int = 1024,
         auto_flush_interval: float | None = None,
         repartition_interval: int | None = None,
+        metrics: object | None = None,
     ) -> None:
         require_positive_int(max_batch, "max_batch")
         if auto_flush_interval is not None:
@@ -113,6 +119,45 @@ class IngestPipeline:
         self._buffers: dict[str, _Buffer] = {}
         self._stop_event = threading.Event()
         self._flusher: threading.Thread | None = None
+        # Optional observability.  Flush metrics are recorded under the
+        # buffer lock, which is safe by the repro.obs contract (metric locks
+        # are leaves) and keeps the counters in lockstep with the buffer's
+        # own lifetime stats.
+        self._m_flush_seconds = None
+        self._m_flush_values = None
+        self._m_flushed = None
+        self._m_requeued = None
+        self._m_dropped = None
+        self._m_flush_errors = None
+        if metrics is not None:
+            from ..obs.registry import LATENCY_BUCKETS_S, SIZE_BUCKETS
+
+            self._m_flush_seconds = metrics.distribution(
+                "repro_pipeline_flush_seconds",
+                "Wall time of one attribute-buffer flush",
+                LATENCY_BUCKETS_S,
+            )
+            self._m_flush_values = metrics.distribution(
+                "repro_pipeline_flush_batch_values",
+                "Pending values drained by one buffer flush",
+                SIZE_BUCKETS,
+            )
+            self._m_flushed = metrics.counter(
+                "repro_pipeline_flushed_values_total",
+                "Values applied to the store by pipeline flushes",
+            )
+            self._m_requeued = metrics.counter(
+                "repro_pipeline_requeued_values_total",
+                "Values requeued after a failed flush (known-unapplied tail)",
+            )
+            self._m_dropped = metrics.counter(
+                "repro_pipeline_dropped_values_total",
+                "Values dropped by the bounded-undercount failure policy",
+            )
+            self._m_flush_errors = metrics.counter(
+                "repro_pipeline_flush_errors_total",
+                "Buffer flushes that hit an error",
+            )
 
     # ------------------------------------------------------------------
     # submission
@@ -173,38 +218,70 @@ class IngestPipeline:
           next retry, and for a statistics service a bounded undercount beats
           unbounded count inflation.
         """
+        start = time.perf_counter()
         runs, buffer.runs = buffer.runs, []
+        drained = buffer.pending
         buffer.pending = 0
         applied = 0
-        for run_index, (op, values) in enumerate(runs):
-            try:
-                if op == _INSERT:
-                    self._store.insert(
-                        name, values, repartition_interval=self._repartition_interval
+        requeued_count = 0
+        dropped_count = 0
+        errored = False
+        try:
+            for run_index, (op, values) in enumerate(runs):
+                try:
+                    if op == _INSERT:
+                        self._store.insert(
+                            name, values, repartition_interval=self._repartition_interval
+                        )
+                    else:
+                        self._store.delete(name, values)
+                except UnknownAttributeError:
+                    buffer.flush_errors += 1
+                    errored = True
+                    dropped_count = sum(
+                        len(run_values) for _, run_values in runs[run_index:]
                     )
-                else:
-                    self._store.delete(name, values)
-            except UnknownAttributeError:
-                buffer.flush_errors += 1
-                return applied
-            except Exception as error:
-                buffer.flush_errors += 1
-                requeued = list(runs[run_index + 1 :])
-                applied_count = getattr(error, "applied_count", None)
-                if applied_count is not None:
-                    applied += applied_count
-                    buffer.flushed_values += applied_count
-                    remainder = values[applied_count + 1 :]
-                    if remainder:
-                        requeued.insert(0, (op, remainder))
-                # else: progress unknown -- drop the run (see docstring).
-                buffer.runs = requeued + buffer.runs
-                buffer.pending += sum(len(run_values) for _, run_values in requeued)
-                raise
-            applied += len(values)
-            buffer.flushed_values += len(values)
-            buffer.flushed_batches += 1
-        return applied
+                    return applied
+                except Exception as error:
+                    buffer.flush_errors += 1
+                    errored = True
+                    requeued = list(runs[run_index + 1 :])
+                    applied_count = getattr(error, "applied_count", None)
+                    if applied_count is not None:
+                        applied += applied_count
+                        buffer.flushed_values += applied_count
+                        remainder = values[applied_count + 1 :]
+                        # The poisoned value itself is the one dropped.
+                        dropped_count = 1
+                        if remainder:
+                            requeued.insert(0, (op, remainder))
+                    else:
+                        # Progress unknown -- drop the run (see docstring).
+                        dropped_count = len(values)
+                    buffer.runs = requeued + buffer.runs
+                    requeued_count = sum(
+                        len(run_values) for _, run_values in requeued
+                    )
+                    buffer.pending += requeued_count
+                    raise
+                applied += len(values)
+                buffer.flushed_values += len(values)
+                buffer.flushed_batches += 1
+            return applied
+        finally:
+            buffer.requeued_values += requeued_count
+            buffer.dropped_values += dropped_count
+            if self._m_flush_seconds is not None:
+                self._m_flush_seconds.observe(time.perf_counter() - start)
+                self._m_flush_values.observe(drained)
+                if applied:
+                    self._m_flushed.inc(applied)
+                if requeued_count:
+                    self._m_requeued.inc(requeued_count)
+                if dropped_count:
+                    self._m_dropped.inc(dropped_count)
+                if errored:
+                    self._m_flush_errors.inc()
 
     def flush(self, name: str | None = None) -> int:
         """Flush one attribute's buffer (or all); returns the values applied.
@@ -251,6 +328,8 @@ class IngestPipeline:
             "flushed_batches": sum(buffer.flushed_batches for buffer in buffers),
             "pending": sum(buffer.pending for buffer in buffers),
             "flush_errors": sum(buffer.flush_errors for buffer in buffers),
+            "requeued_values": sum(buffer.requeued_values for buffer in buffers),
+            "dropped_values": sum(buffer.dropped_values for buffer in buffers),
         }
 
     # ------------------------------------------------------------------

@@ -11,7 +11,8 @@ Routes (all payloads JSON):
 Method Path                               Meaning
 ====== ================================== ===========================================
 GET    /health                            liveness + attribute count
-GET    /stats                             stats of every attribute
+GET    /metrics                           Prometheus text exposition (when enabled)
+GET    /stats                             stats of every attribute (+ pipeline counters)
 GET    /attributes                        same as /stats
 POST   /attributes                        create an attribute
 GET    /attributes/<name>                 stats of one attribute
@@ -35,6 +36,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, unquote, urlparse
@@ -45,10 +47,15 @@ from ..exceptions import (
     HistogramError,
     UnknownAttributeError,
 )
+from ..obs.registry import MetricsRegistry
+from ..obs.trace import TRACE_HEADER, RequestObserver, route_label, use_trace
 from .ingest import IngestPipeline
 from .store import HistogramStore
 
 __all__ = ["StatisticsServer"]
+
+#: The exposition content type Prometheus scrapers expect.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -61,6 +68,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     store: HistogramStore
     pipeline: IngestPipeline | None = None
     quiet: bool = True
+    metrics: MetricsRegistry | None = None
+    observer: RequestObserver | None = None
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if not self.quiet:  # pragma: no cover - debugging aid
@@ -71,9 +80,21 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _send_json(self, status: int, payload: dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, body, "application/json")
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_body(status, text.encode("utf-8"), content_type)
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+        self._status_sent = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            # Echo the request's trace id so callers can correlate responses
+            # with the slow-request log.
+            self.send_header(TRACE_HEADER, trace_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -97,6 +118,30 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         return {key: values[-1] for key, values in parse_qs(parsed.query).items()}
 
     def _handle(self, method: str) -> None:
+        observer = self.observer
+        trace = None
+        start = 0.0
+        self._status_sent = 0
+        self._trace_id = None
+        if observer is not None:
+            trace = observer.begin(self.headers.get(TRACE_HEADER))
+            if trace is not None:
+                self._trace_id = trace.trace_id
+            start = time.perf_counter()
+        # use_trace(None) is a no-op context, so the untraced path pays only
+        # one threading.local store/restore.
+        with use_trace(trace):
+            self._handle_inner(method)
+        if observer is not None:
+            observer.finish(
+                trace,
+                method=method,
+                route=route_label(self._route()),
+                status=self._status_sent,
+                elapsed_s=time.perf_counter() - start,
+            )
+
+    def _handle_inner(self, method: str) -> None:
         try:
             payload = self._read_json() if method in ("POST", "PUT") else {}
         except (ValueError, json.JSONDecodeError) as error:
@@ -130,10 +175,22 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         if route == ("health",) and method == "GET":
             self._send_json(200, {"status": "ok", "attributes": len(store)})
             return
+        if route == ("metrics",) and method == "GET":
+            if self.metrics is None:
+                self._send_json(404, {"error": "metrics are not enabled on this server"})
+            else:
+                self._send_text(200, self.metrics.render(), METRICS_CONTENT_TYPE)
+            return
         if route in (("stats",), ("attributes",)) and method == "GET":
-            self._send_json(
-                200, {"attributes": [stats.to_dict() for stats in store.stats_all()]}
-            )
+            body: dict[str, Any] = {
+                "attributes": [stats.to_dict() for stats in store.stats_all()]
+            }
+            # /stats is the operator surface: it also reports the ingest
+            # pipeline's lifetime counters (requeued/dropped make the
+            # bounded-undercount policy visible).
+            if route == ("stats",) and self.pipeline is not None:
+                body["pipeline"] = self.pipeline.stats
+            self._send_json(200, body)
             return
         if route == ("attributes",) and method == "POST":
             stats = store.create(
@@ -275,13 +332,39 @@ class StatisticsServer:
         port: int = 0,
         pipeline: IngestPipeline | None = None,
         quiet: bool = True,
+        metrics: MetricsRegistry | None = None,
+        slow_request_ms: float | None = None,
+        trace: bool = False,
+        trace_sink: Any | None = None,
     ) -> None:
         self.store = store if store is not None else HistogramStore()
         self.pipeline = pipeline
+        # The server reports into the store's registry by default, so one
+        # scrape covers HTTP, store, WAL and pipeline metrics; tracing or a
+        # slow-request threshold forces a registry into existence.
+        registry = metrics if metrics is not None else self.store.metrics
+        if registry is None and (trace or slow_request_ms is not None):
+            registry = MetricsRegistry()
+        self.metrics = registry
+        observer = None
+        if registry is not None:
+            observer = RequestObserver(
+                registry,
+                server_label="service",
+                slow_request_ms=slow_request_ms,
+                trace=trace,
+                sink=trace_sink,
+            )
         handler = type(
             "_BoundServiceRequestHandler",
             (_ServiceRequestHandler,),
-            {"store": self.store, "pipeline": pipeline, "quiet": quiet},
+            {
+                "store": self.store,
+                "pipeline": pipeline,
+                "quiet": quiet,
+                "metrics": registry,
+                "observer": observer,
+            },
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True

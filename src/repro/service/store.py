@@ -32,6 +32,7 @@ import json
 import math
 import os
 import threading
+import time
 from contextlib import ExitStack
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -196,6 +197,8 @@ class HistogramStore:
         memory_model: MemoryModel | None = None,
         repartition_interval: int = DEFAULT_REPARTITION_INTERVAL,
         durability: DurabilityConfig | None = None,
+        metrics: Any | None = None,
+        accuracy_sampler: Any | None = None,
     ) -> None:
         require_positive_int(repartition_interval, "repartition_interval")
         self._memory_model = memory_model
@@ -205,13 +208,74 @@ class HistogramStore:
         self._durability = durability
         self._wal: WriteAheadLog | None = None
         self._compact_lock = threading.Lock()
+        # Observability is opt-in and recorded strictly OUTSIDE the registry
+        # and attribute locks: metric locks are leaves (repro.obs contract),
+        # and keeping updates out of the critical sections keeps the store's
+        # lock hold times independent of instrumentation.
+        self._metrics = metrics
+        self._sampler = accuracy_sampler
+        self._m_op_seconds = None
+        self._m_mutations = None
+        self._m_reads = None
+        self._m_compactions = None
+        self._m_compaction_seconds = None
+        if metrics is not None:
+            from ..obs.registry import LATENCY_BUCKETS_S
+
+            self._m_op_seconds = metrics.distribution(
+                "repro_store_op_seconds",
+                "HistogramStore operation latency by op",
+                LATENCY_BUCKETS_S,
+                labelnames=("op",),
+            )
+            self._m_mutations = metrics.counter(
+                "repro_store_mutations_total",
+                "Values mutated per attribute and op",
+                labelnames=("attribute", "op"),
+            )
+            self._m_reads = metrics.counter(
+                "repro_store_reads_total",
+                "Read operations served per attribute and op",
+                labelnames=("attribute", "op"),
+            )
+            self._m_compactions = metrics.counter(
+                "repro_wal_compactions_total",
+                "WAL checkpoint-and-truncate compactions completed",
+            )
+            self._m_compaction_seconds = metrics.distribution(
+                "repro_wal_compaction_seconds",
+                "Wall time of one stop-the-world WAL compaction",
+                LATENCY_BUCKETS_S,
+            )
         if durability is not None:
             if durability.has_state():
                 raise ConfigurationError(
                     f"WAL directory {durability.wal_dir} already holds state; "
                     "use HistogramStore.recover() to reopen it"
                 )
-            self._wal = WriteAheadLog(durability.wal_path, fsync=durability.fsync)
+            self._wal = WriteAheadLog(
+                durability.wal_path, fsync=durability.fsync, metrics=metrics
+            )
+
+    @property
+    def metrics(self) -> Any | None:
+        """The metrics registry this store reports into (``None`` when off)."""
+        return self._metrics
+
+    @property
+    def accuracy_sampler(self) -> Any | None:
+        """The estimation-accuracy sampler fed by this store (``None`` when off)."""
+        return self._sampler
+
+    def attach_accuracy_sampler(self, sampler: Any | None) -> None:
+        """Attach (or detach with ``None``) the estimation-accuracy sampler.
+
+        Used after :meth:`recover`, which rebuilds the store without one;
+        already-recovered attributes start shadowing from their next
+        ``create``-free lifecycle event, i.e. never -- callers that want
+        them sampled must ``reset`` the sampler per attribute explicitly.
+        """
+        self._sampler = sampler
 
     # ------------------------------------------------------------------
     # durability (write-ahead log)
@@ -261,6 +325,14 @@ class HistogramStore:
         """
         if self._wal is None or self._durability is None:
             raise ConfigurationError("compact() requires a durability configuration")
+        start = time.perf_counter()
+        last_seq = self._compact_locked()
+        if self._m_compactions is not None:
+            self._m_compactions.inc()
+            self._m_compaction_seconds.observe(time.perf_counter() - start)
+        return last_seq
+
+    def _compact_locked(self) -> int:
         with self._compact_lock, self._registry_lock, ExitStack() as stack:
             attributes = [self._attributes[name] for name in sorted(self._attributes)]
             for attribute in attributes:
@@ -301,6 +373,7 @@ class HistogramStore:
         compact_every: int | None = 10_000,
         memory_model: MemoryModel | None = None,
         repartition_interval: int = DEFAULT_REPARTITION_INTERVAL,
+        metrics: Any | None = None,
     ) -> HistogramStore:
         """Rebuild a store from a WAL directory, bit-identical to pre-crash.
 
@@ -321,7 +394,9 @@ class HistogramStore:
             wal_dir=wal_dir, fsync=fsync, compact_every=compact_every
         )
         store = cls(
-            memory_model=memory_model, repartition_interval=repartition_interval
+            memory_model=memory_model,
+            repartition_interval=repartition_interval,
+            metrics=metrics,
         )
         last_seq = 0
         if config.snapshot_path.exists():
@@ -360,7 +435,11 @@ class HistogramStore:
                 continue
         store._durability = config
         store._wal = WriteAheadLog(
-            config.wal_path, fsync=fsync, start_seq=max_seq, truncate_at=valid_end
+            config.wal_path,
+            fsync=fsync,
+            start_seq=max_seq,
+            truncate_at=valid_end,
+            metrics=metrics,
         )
         return store
 
@@ -468,6 +547,8 @@ class HistogramStore:
             )
             self._attributes[name] = attribute
         self._maybe_compact()
+        if self._sampler is not None:
+            self._sampler.reset(name)
         # Stats come from the reference we hold: a concurrent drop must not
         # turn a successful create into an UnknownAttributeError.
         return self._stats_locked(attribute)
@@ -480,6 +561,8 @@ class HistogramStore:
             self._log({"op": "drop", "name": name})
             del self._attributes[name]
         self._maybe_compact()
+        if self._sampler is not None:
+            self._sampler.forget(name)
 
     def names(self) -> list[str]:
         """The managed attribute names, sorted."""
@@ -524,20 +607,36 @@ class HistogramStore:
         interval = (
             self._repartition_interval if repartition_interval is None else repartition_interval
         )
+        start = time.perf_counter()
         attribute = self._attribute(name)
-        with attribute.lock:
-            self._log(
-                {"op": "insert", "name": name, "values": values, "interval": interval}
-            )
-            try:
-                attribute.histogram.insert_many(values, repartition_interval=interval)
-                attribute.inserted += len(values)
-            finally:
-                # A failed batch may still have applied a prefix; the
-                # generation must move so readers never mistake the mutated
-                # histogram for the pre-batch state.
-                attribute.generation += 1
+        applied = False
+        try:
+            with attribute.lock:
+                self._log(
+                    {"op": "insert", "name": name, "values": values, "interval": interval}
+                )
+                try:
+                    attribute.histogram.insert_many(values, repartition_interval=interval)
+                    attribute.inserted += len(values)
+                    applied = True
+                finally:
+                    # A failed batch may still have applied a prefix; the
+                    # generation must move so readers never mistake the mutated
+                    # histogram for the pre-batch state.
+                    attribute.generation += 1
+        finally:
+            # Telemetry strictly after the attribute lock is released.  A
+            # failed batch may have applied an unknown prefix, which the
+            # accuracy shadow cannot mirror -- it disables itself.
+            if self._sampler is not None:
+                if applied:
+                    self._sampler.record_insert(name, values)
+                else:
+                    self._sampler.disable(name)
         self._maybe_compact()
+        if self._m_op_seconds is not None:
+            self._m_op_seconds.observe(time.perf_counter() - start, op="insert")
+            self._m_mutations.inc(len(values), attribute=name, op="insert")
         return len(values)
 
     def delete(self, name: str, values: Iterable[float]) -> int:
@@ -553,24 +652,39 @@ class HistogramStore:
         values = _validated_values(values)
         if not values:
             return 0
+        start = time.perf_counter()
         attribute = self._attribute(name)
-        with attribute.lock:
-            self._log({"op": "delete", "name": name, "values": values})
-            try:
-                attribute.histogram.delete_many(values)
-                attribute.deleted += len(values)
-            except Exception as error:
-                attribute.deleted += int(getattr(error, "applied_count", 0))
-                raise
-            finally:
-                # As in insert: a DeletionError mid-batch leaves earlier
-                # deletions applied, so the generation must still move.
-                attribute.generation += 1
+        applied = 0
+        try:
+            with attribute.lock:
+                self._log({"op": "delete", "name": name, "values": values})
+                try:
+                    attribute.histogram.delete_many(values)
+                    attribute.deleted += len(values)
+                    applied = len(values)
+                except Exception as error:
+                    # delete_many applies a strict prefix before failing and
+                    # reports its length -- the same contract the ingest
+                    # pipeline's precise requeue relies on.
+                    applied = int(getattr(error, "applied_count", 0))
+                    attribute.deleted += applied
+                    raise
+                finally:
+                    # As in insert: a DeletionError mid-batch leaves earlier
+                    # deletions applied, so the generation must still move.
+                    attribute.generation += 1
+        finally:
+            # Telemetry strictly after the attribute lock is released.
+            if self._sampler is not None and applied:
+                self._sampler.record_delete(name, values[:applied])
         # Success path only (as in insert): compacting inside a finally could
         # replace an in-flight DeletionError -- and with it the exception's
         # applied_count, which the ingest pipeline's precise-requeue logic
         # reads.  A deferred compaction simply runs on the next mutation.
         self._maybe_compact()
+        if self._m_op_seconds is not None:
+            self._m_op_seconds.observe(time.perf_counter() - start, op="delete")
+            self._m_mutations.inc(len(values), attribute=name, op="delete")
         return len(values)
 
     # ------------------------------------------------------------------
@@ -619,12 +733,20 @@ class HistogramStore:
         ``results`` are mutually consistent -- they describe one histogram
         state, identified by the returned ``generation``.
         """
+        start = time.perf_counter()
         attribute = self._attribute(name)
         with attribute.lock:
-            return {
+            response = {
                 "generation": attribute.generation,
                 "results": evaluate_queries(attribute.histogram, queries),
             }
+        # Telemetry strictly after the attribute lock is released.
+        if self._m_op_seconds is not None:
+            self._m_op_seconds.observe(time.perf_counter() - start, op="query")
+            self._m_reads.inc(1, attribute=name, op="query")
+        if self._sampler is not None:
+            self._sampler.maybe_check(name, queries, response["results"])
+        return response
 
     # ------------------------------------------------------------------
     # stats
@@ -752,6 +874,9 @@ class HistogramStore:
                     max(attribute.generation, int(snapshot.get("generation", 0))) + 1
                 )
         self._maybe_compact()
+        # The shadow cannot mirror a wholesale histogram replacement.
+        if self._sampler is not None:
+            self._sampler.disable(name)
         return self._stats_locked(attribute)
 
     def restore_all(self, snapshot: Mapping[str, Any]) -> list[AttributeStats]:

@@ -29,6 +29,7 @@ LOCKCHECK_MODULES = frozenset(
         "test_cluster_properties",
         "test_replication_properties",
         "test_fault_injection",
+        "test_obs",
     }
 )
 

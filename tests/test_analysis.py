@@ -28,7 +28,7 @@ def findings(source: str, rel_path: str, *rule_ids: str) -> list[str]:
 class TestRegistry:
     def test_catalog_is_complete(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == [f"REP00{i}" for i in range(1, 9)]
+        assert ids == [f"REP00{i}" for i in range(1, 10)]
 
     def test_every_rule_documents_itself(self):
         for rule in all_rules():
@@ -376,6 +376,61 @@ class TestRep008CompactionUnderLock:
                     self.compact()
         """
         assert findings(source, self.PATH, "REP008") == ["REP008"]
+
+
+class TestRep009ObsLocksAreLeaves:
+    PATH = "src/repro/obs/registry.py"
+
+    def test_flags_blocking_call_under_obs_lock(self):
+        source = """
+            def observe(self, value):
+                with self._lock:
+                    self._count += 1
+                    print(value)
+        """
+        assert findings(source, self.PATH, "REP009") == ["REP009"]
+
+    def test_flags_nested_lock_under_obs_lock(self):
+        source = """
+            def render(self):
+                with self._lock:
+                    with metric._lock:
+                        pass
+        """
+        assert findings(source, self.PATH, "REP009") == ["REP009"]
+
+    def test_flags_store_lock_acquisition_in_obs_code(self):
+        source = """
+            def inc(self, buffer):
+                with buffer.lock:
+                    self._value += 1
+        """
+        assert findings(source, self.PATH, "REP009") == ["REP009"]
+
+    def test_flags_slow_log_emission_under_lock(self):
+        source = """
+            def finish(self, entry):
+                with self._lock:
+                    logger.warning(entry)
+        """
+        assert findings(source, self.PATH, "REP009") == ["REP009"]
+
+    def test_passes_update_then_emit_after_release(self):
+        source = """
+            def finish(self, entry):
+                with self._lock:
+                    self._count += 1
+                logger.warning(entry)
+        """
+        assert findings(source, self.PATH, "REP009") == []
+
+    def test_scope_is_obs_only(self):
+        source = """
+            def append(self, record):
+                with self._lock:
+                    os.fsync(self._file.fileno())
+        """
+        assert findings(source, "src/repro/service/wal.py", "REP009") == []
 
 
 class TestSuppressions:

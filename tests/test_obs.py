@@ -1,0 +1,365 @@
+"""Tests for the observability layer: registry, tracing, accuracy telemetry.
+
+Covers the PR-7 acceptance bar end to end:
+
+* the metrics registry conserves counts under concurrent writers while
+  scraping readers never observe a torn per-metric snapshot;
+* a trace id entering the cluster edge is demonstrably propagated down to
+  every shard HTTP request (coordinator -> RemoteShard -> StatisticsServer);
+* ``GET /metrics`` serves well-formed Prometheus text on both server kinds;
+* pipeline requeue/drop counters surface through the ``/stats`` route;
+* client connect-retry telemetry lands in both ``transport_stats`` and the
+  bound registry counters;
+* the accuracy sampler reports near-zero selectivity error on an exact
+  shadow and disables itself on overflow.
+
+This module runs under the dynamic lock-order monitor (``LOCKCHECK_MODULES``
+in conftest.py): any metric update that acquired a store lock, or blocked on
+socket I/O while holding an obs lock, would fail these tests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro import (
+    ClusterClient,
+    ClusterCoordinator,
+    ClusterServer,
+    HistogramStore,
+    IngestPipeline,
+    RemoteShard,
+    StatisticsClient,
+    StatisticsServer,
+)
+from repro.obs import (
+    LATENCY_BUCKETS_S,
+    TRACE_HEADER,
+    AccuracySampler,
+    MetricsRegistry,
+    Trace,
+    current_trace,
+    new_trace_id,
+    route_label,
+    use_trace,
+)
+
+# ----------------------------------------------------------------------
+# exposition parsing helpers
+# ----------------------------------------------------------------------
+
+
+def parse_samples(text: str) -> dict[str, float]:
+    """Prometheus text -> {sample_name_with_labels: value}."""
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        samples[name] = float(value)
+    return samples
+
+
+def assert_not_torn(text: str) -> None:
+    """Every histogram in a scrape must be internally consistent.
+
+    The +Inf bucket is the running count by construction, so within one
+    rendered snapshot it must equal the ``_count`` sample and the cumulative
+    buckets must be monotone.  A torn scrape (values read mid-update) breaks
+    one of these.
+    """
+    samples = parse_samples(text)
+    for name, value in samples.items():
+        if '_bucket{' not in name or 'le="+Inf"' not in name:
+            continue
+        base, _, labels = name.partition("_bucket{")
+        pairs = [
+            pair
+            for pair in labels.rstrip("}").split(",")
+            if pair and not pair.startswith("le=")
+        ]
+        count_key = base + "_count" + ("{" + ",".join(pairs) + "}" if pairs else "")
+        assert samples[count_key] == value, (
+            f"torn scrape: {name}={value} but {count_key}={samples[count_key]}"
+        )
+
+
+# ----------------------------------------------------------------------
+# registry concurrency
+# ----------------------------------------------------------------------
+
+
+class TestRegistryConcurrency:
+    WRITERS = 8
+    INCREMENTS = 2000
+
+    def test_writers_conserve_counts_and_scrapes_never_tear(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("obs_test_events_total", "test counter")
+        labelled = registry.counter(
+            "obs_test_worker_events_total", "per-worker counter", labelnames=("worker",)
+        )
+        dist = registry.distribution(
+            "obs_test_latency_seconds", "test histogram", buckets=LATENCY_BUCKETS_S
+        )
+        stop_scraping = threading.Event()
+        scrape_errors: list[str] = []
+        scrapes = 0
+
+        def write(worker: int) -> None:
+            for i in range(self.INCREMENTS):
+                counter.inc()
+                labelled.inc(worker=str(worker))
+                dist.observe(1e-4 * ((i % 7) + 1))
+
+        def scrape() -> None:
+            nonlocal scrapes
+            while not stop_scraping.is_set():
+                text = registry.render()
+                scrapes += 1
+                try:
+                    assert_not_torn(text)
+                    total = parse_samples(text).get("obs_test_events_total", 0.0)
+                    if total > self.WRITERS * self.INCREMENTS:
+                        raise AssertionError(f"over-count mid-run: {total}")
+                except AssertionError as error:  # pragma: no cover - failure path
+                    scrape_errors.append(str(error))
+                    return
+
+        writers = [
+            threading.Thread(target=write, args=(w,)) for w in range(self.WRITERS)
+        ]
+        readers = [threading.Thread(target=scrape) for _ in range(2)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop_scraping.set()
+        for thread in readers:
+            thread.join()
+
+        assert not scrape_errors, scrape_errors
+        assert scrapes > 0
+        expected = self.WRITERS * self.INCREMENTS
+        assert counter.value() == expected
+        for worker in range(self.WRITERS):
+            assert labelled.value(worker=str(worker)) == self.INCREMENTS
+        summary = dist.summary()
+        assert summary["count"] == expected
+        final = parse_samples(registry.render())
+        assert final["obs_test_events_total"] == expected
+        inf_key = 'obs_test_latency_seconds_bucket{le="+Inf"}'
+        assert final[inf_key] == expected
+
+
+# ----------------------------------------------------------------------
+# trace context
+# ----------------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_use_trace_activates_and_restores(self):
+        assert current_trace() is None
+        trace = Trace(new_trace_id())
+        with use_trace(trace):
+            assert current_trace() is trace
+            with trace.span("inner"):
+                pass
+        assert current_trace() is None
+        assert [span[0] for span in trace.spans()] == ["inner"]
+
+    def test_route_label_collapses_cardinality(self):
+        assert route_label(("attributes", "age", "estimate")) == (
+            "/attributes/{name}/estimate"
+        )
+        assert route_label(("stats",)) == "/stats"
+        assert route_label(("no", "such", "route", "x")) == "/other"
+
+
+class TestTracePropagation:
+    """A trace id at the cluster edge reaches every shard HTTP request."""
+
+    def test_cluster_trace_id_reaches_shard_slow_log(self):
+        shard_entries: list[dict] = []
+        cluster_entries: list[dict] = []
+        registry = MetricsRegistry()
+        store_a, store_b = HistogramStore(), HistogramStore()
+        with StatisticsServer(
+            store_a, slow_request_ms=0.0, trace_sink=shard_entries.append
+        ) as backend_a, StatisticsServer(
+            store_b, slow_request_ms=0.0, trace_sink=shard_entries.append
+        ) as backend_b:
+            shards = [
+                RemoteShard("shard-0", StatisticsClient(*backend_a.address)),
+                RemoteShard("shard-1", StatisticsClient(*backend_b.address)),
+            ]
+            coordinator = ClusterCoordinator(shards, metrics=registry)
+            with ClusterServer(
+                coordinator,
+                metrics=registry,
+                slow_request_ms=0.0,
+                trace_sink=cluster_entries.append,
+            ) as front:
+                client = ClusterClient(*front.address)
+                client.create("age", "dc", memory_kb=0.5)
+                client.ingest("age", insert=[float(v % 50) for v in range(500)])
+                assert client.total_count("age") == pytest.approx(500.0)
+
+        assert cluster_entries and shard_entries
+        cluster_ids = {entry["trace_id"] for entry in cluster_entries}
+        shard_ids = {entry["trace_id"] for entry in shard_entries}
+        # Every shard-side request was made on behalf of a cluster request:
+        # its trace id is one the cluster edge generated, not a fresh one.
+        assert shard_ids <= cluster_ids
+        assert shard_ids, "no shard request carried a cluster trace id"
+        # Fan-out spans recorded under the same trace made it into the log.
+        spanned = [entry for entry in cluster_entries if entry.get("spans")]
+        assert any(
+            span["name"].startswith(("fanout:", "shard:"))
+            for entry in spanned
+            for span in entry["spans"]
+        )
+        assert registry.get("repro_cluster_fanout_seconds") is not None
+
+    def test_incoming_header_is_adopted_and_echoed(self):
+        with StatisticsServer(HistogramStore(), trace=True) as server:
+            host, port = server.address
+            request = urllib.request.Request(
+                f"http://{host}:{port}/health", headers={TRACE_HEADER: "deadbeef42"}
+            )
+            with urllib.request.urlopen(request) as response:
+                assert response.headers[TRACE_HEADER] == "deadbeef42"
+                assert json.loads(response.read())["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# /metrics exposition + /stats pipeline counters
+# ----------------------------------------------------------------------
+
+
+class TestMetricsExposition:
+    def test_service_metrics_route(self):
+        registry = MetricsRegistry()
+        store = HistogramStore(metrics=registry)
+        pipeline = IngestPipeline(store, metrics=registry)
+        with StatisticsServer(store, pipeline=pipeline, metrics=registry) as server:
+            client = StatisticsClient(*server.address)
+            client.create("age", "dc", memory_kb=0.5)
+            response = client.ingest("age", insert=[float(v % 30) for v in range(300)])
+            assert response["buffered"] is True
+            pipeline.flush()
+            client.total_count("age")
+            text = client.metrics_text()
+        assert text.endswith("\n")
+        assert "# TYPE repro_store_op_seconds histogram" in text
+        samples = parse_samples(text)
+        assert samples['repro_store_mutations_total{attribute="age",op="insert"}'] == 300
+        assert samples["repro_pipeline_flushed_values_total"] == 300
+        assert samples['repro_http_requests_total{route="/attributes",status="201"}'] >= 1
+        assert_not_torn(text)
+
+    def test_metrics_route_404_without_registry(self):
+        with StatisticsServer(HistogramStore()) as server:
+            client = StatisticsClient(*server.address)
+            from repro import ServiceError
+
+            with pytest.raises(ServiceError):
+                client.metrics_text()
+
+    def test_stats_route_surfaces_requeue_and_drop_counters(self):
+        store = HistogramStore()
+        pipeline = IngestPipeline(store)
+        with StatisticsServer(store, pipeline=pipeline) as server:
+            client = StatisticsClient(*server.address)
+            client.create("age", "dc", memory_kb=0.5)
+            assert client.ingest("age", insert=[1.0, 2.0])["buffered"] is True
+            pipeline.flush()
+            stats = client.stats()
+        assert stats["pipeline"]["requeued_values"] == 0
+        assert stats["pipeline"]["dropped_values"] == 0
+        assert stats["pipeline"]["flushed_values"] == 2
+
+
+# ----------------------------------------------------------------------
+# client transport telemetry
+# ----------------------------------------------------------------------
+
+
+class TestClientRetryTelemetry:
+    def test_connect_retries_counted_in_stats_and_registry(self):
+        registry = MetricsRegistry()
+        # A fresh ephemeral port that nothing listens on: bind, note, close.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        _, dead_port = probe.getsockname()
+        probe.close()
+
+        client = StatisticsClient(
+            "127.0.0.1", dead_port, retries=2, retry_backoff=0.001
+        )
+        client.bind_metrics(registry)
+        with pytest.raises(OSError):
+            client.health()
+        assert client.transport_stats["connect_retries"] == 3  # initial + 2 retries
+        assert client.transport_stats["backoff_seconds"] > 0.0
+        endpoint = f"127.0.0.1:{dead_port}"
+        counter = registry.get("repro_client_connect_retries_total")
+        assert counter.value(endpoint=endpoint) == 3
+
+
+# ----------------------------------------------------------------------
+# estimation-accuracy telemetry
+# ----------------------------------------------------------------------
+
+
+class TestAccuracySampler:
+    def test_selectivity_error_near_zero_on_exact_shadow(self):
+        registry = MetricsRegistry()
+        sampler = AccuracySampler(registry, fraction=1.0)
+        store = HistogramStore(metrics=registry, accuracy_sampler=sampler)
+        store.create("age", "dc", memory_kb=1.0)
+        values = [float(v % 40) for v in range(800)]
+        store.insert("age", values)
+        store.delete("age", [5.0, 6.0])
+        response = store.query(
+            "age",
+            [
+                {"op": "range", "low": 0.0, "high": 39.0},
+                {"op": "total"},
+                {"op": "selectivity", "low": 10.0, "high": 19.0},
+            ],
+        )
+        assert response["results"][1] == pytest.approx(798.0)
+        assert sampler.exact_total("age") == 798
+        error = registry.get("repro_estimate_selectivity_error")
+        summary = error.summary(attribute="age")
+        assert summary["count"] == 3
+        assert summary["max"] <= 0.02
+        # One check per sampled query batch (three errors observed within it).
+        checks = registry.get("repro_estimate_accuracy_checks_total")
+        assert checks.value(attribute="age") == 1
+
+    def test_overflow_disables_shadow(self):
+        registry = MetricsRegistry()
+        sampler = AccuracySampler(registry, fraction=1.0, max_values=10)
+        store = HistogramStore(metrics=registry, accuracy_sampler=sampler)
+        store.create("age", "dc", memory_kb=1.0)
+        store.insert("age", [float(v) for v in range(50)])
+        assert not sampler.enabled_for("age")
+        disabled = registry.get("repro_estimate_accuracy_disabled_total")
+        assert disabled.value() == 1
+        # Disabled shadows never observe errors.
+        store.query("age", [{"op": "total"}])
+        error = registry.get("repro_estimate_selectivity_error")
+        assert error.summary(attribute="age")["count"] == 0
+
+    def test_fraction_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            AccuracySampler(registry, fraction=1.5)
