@@ -105,7 +105,9 @@ class EmulatedApplyStore(HistogramStore):
             return super().delete(name, values)
 
 
-def build_cluster(n_shards: int, *, emulate_apply: bool) -> ClusterCoordinator:
+def build_cluster(
+    n_shards: int, *, emulate_apply: bool, metrics=None
+) -> ClusterCoordinator:
     per_batch = APPLY_PER_BATCH_S if emulate_apply else 0.0
     per_value = APPLY_PER_VALUE_S if emulate_apply else 0.0
     shards = [
@@ -114,7 +116,9 @@ def build_cluster(n_shards: int, *, emulate_apply: bool) -> ClusterCoordinator:
     ]
     # A roomy fan-out pool so reader-side scatter calls (generation reads,
     # piece snapshots) never convoy behind in-flight write futures.
-    coordinator = ClusterCoordinator(shards, global_buckets=64, max_workers=16)
+    coordinator = ClusterCoordinator(
+        shards, global_buckets=64, max_workers=16, metrics=metrics
+    )
     for index, (name, kind) in enumerate(ATTRIBUTE_MIX):
         # Deal the catalog round-robin via assignment overrides: the bench
         # measures scatter-gather scaling, which a skewed hash of only 8
@@ -154,8 +158,9 @@ def run_scaling_config(
     n_readers: int,
     *,
     emulate_apply: bool,
+    metrics=None,
 ) -> dict:
-    coordinator = build_cluster(n_shards, emulate_apply=emulate_apply)
+    coordinator = build_cluster(n_shards, emulate_apply=emulate_apply, metrics=metrics)
     calls_per_writer = n_calls // n_writers
     values_per_call = len(ATTRIBUTE_MIX) * catalog_chunk + hot_chunk
     queries_served = [0] * n_readers

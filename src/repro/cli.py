@@ -160,6 +160,11 @@ def _build_parser() -> argparse.ArgumentParser:
              "counts, exporting observed selectivity error as a /metrics "
              "distribution (0 disables; see README caveats)",
     )
+    serve_parser.add_argument(
+        "--profile", action="store_true",
+        help="run the sampling profiler for the server's lifetime and "
+             "expose collapsed hot-path attribution on GET /profile",
+    )
 
     store_stats_parser = subparsers.add_parser(
         "store-stats", help="pretty-print the stats of a running statistics server"
@@ -223,6 +228,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="generate/propagate X-Repro-Trace-Id on every request",
     )
+    cluster_parser.add_argument(
+        "--profile", action="store_true",
+        help="run the sampling profiler for the server's lifetime and "
+             "expose collapsed hot-path attribution on GET /profile",
+    )
 
     cluster_stats_parser = subparsers.add_parser(
         "cluster-stats", help="pretty-print per-shard stats of a running cluster server"
@@ -244,6 +254,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     metrics_parser.add_argument("--host", default="127.0.0.1")
     metrics_parser.add_argument("--port", type=int, default=8181)
+    metrics_parser.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="scrape twice this many seconds apart and print per-metric "
+             "deltas and rates (counters) and current values (gauges) "
+             "instead of the raw exposition",
+    )
     return parser
 
 
@@ -384,6 +400,7 @@ def _command_serve(args, out) -> int:
         metrics=metrics,
         slow_request_ms=args.slow_request_ms,
         trace=args.trace,
+        profile=args.profile,
     )
     host, port = server.address
     attributes = ", ".join(store.names()) or "none"
@@ -497,6 +514,7 @@ def _command_serve_cluster(args, out) -> int:
         metrics=metrics,
         slow_request_ms=args.slow_request_ms,
         trace=args.trace,
+        profile=args.profile,
     )
     host, port = server.address
     out.write(f"statistics cluster listening on http://{host}:{port}\n")
@@ -575,6 +593,82 @@ def _command_store_stats(args, out) -> int:
     return 0
 
 
+def parse_exposition(text: str):
+    """Parse Prometheus text exposition into (types, samples).
+
+    ``types`` maps metric name -> declared type (``counter``/``gauge``/
+    ``histogram``); ``samples`` maps the full series string (name plus label
+    set) -> float value.  Only the subset of the text format 0.0.4 our own
+    ``MetricsRegistry.render`` emits needs to parse, but unknown lines are
+    skipped rather than fatal so the command works against other exporters.
+    """
+    types: dict[str, str] = {}
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        series, _, value_text = line.rpartition(" ")
+        if not series:
+            continue
+        try:
+            samples[series] = float(value_text)
+        except ValueError:
+            continue
+    return types, samples
+
+
+def _series_base_name(series: str) -> str:
+    """The metric family a series belongs to (labels and suffixes stripped)."""
+    name = series.split("{", 1)[0]
+    for suffix in ("_bucket", "_count", "_sum"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def format_metrics_watch(
+    types: dict[str, str],
+    before: dict[str, float],
+    after: dict[str, float],
+    elapsed_s: float,
+) -> str:
+    """Per-series deltas between two scrapes, one table.
+
+    Counter-like series (counters, histogram ``_count``/``_sum``) report
+    delta and rate per second, with zero-delta series suppressed to keep the
+    output readable; gauges report their current value.  Histogram
+    ``_bucket`` series are skipped -- the ``_count``/``_sum`` pair already
+    summarises them.
+    """
+    lines = [f"{'series':<64} {'kind':<8} {'value':>14} {'rate/s':>12}"]
+    for series in sorted(after):
+        name = series.split("{", 1)[0]
+        base = _series_base_name(series)
+        kind = types.get(base, types.get(name, ""))
+        if kind == "histogram":
+            if name.endswith("_bucket"):
+                continue
+            kind = "counter"
+        current = after[series]
+        if kind == "counter":
+            delta = current - before.get(series, 0.0)
+            if delta == 0.0:
+                continue
+            rate = delta / elapsed_s if elapsed_s > 0 else 0.0
+            lines.append(f"{series:<64} {'counter':<8} {f'+{delta:g}':>14} {rate:>12.1f}")
+        else:
+            lines.append(f"{series:<64} {kind or 'gauge':<8} {current:>14g} {'':>12}")
+    if len(lines) == 1:
+        lines.append("(no activity between scrapes)")
+    return "\n".join(lines)
+
+
 def _command_metrics(args, out) -> int:
     from .exceptions import ServiceError
     from .service import StatisticsClient
@@ -585,7 +679,28 @@ def _command_metrics(args, out) -> int:
     except (OSError, ServiceError) as error:
         out.write(f"cannot reach server at {args.host}:{args.port}: {error}\n")
         return 2
-    out.write(text)
+    if args.watch is None:
+        out.write(text)
+        return 0
+    if args.watch <= 0:
+        out.write("--watch must be a positive number of seconds\n")
+        return 2
+    types, before = parse_exposition(text)
+    start = time.perf_counter()
+    time.sleep(args.watch)
+    try:
+        second = client.metrics_text()
+    except (OSError, ServiceError) as error:
+        out.write(f"cannot reach server at {args.host}:{args.port}: {error}\n")
+        return 2
+    elapsed = time.perf_counter() - start
+    second_types, after = parse_exposition(second)
+    types.update(second_types)
+    out.write(
+        f"metrics delta over {elapsed:.2f}s "
+        f"(counters: delta + rate; gauges: current)\n"
+    )
+    out.write(format_metrics_watch(types, before, after, elapsed) + "\n")
     return 0
 
 

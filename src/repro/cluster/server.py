@@ -51,6 +51,8 @@ from ..exceptions import (
     ShardUnavailableError,
     UnknownAttributeError,
 )
+from ..obs.process import ProcessTelemetry
+from ..obs.profile import DEFAULT_SAMPLE_INTERVAL_S, SamplingProfiler
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import TRACE_HEADER, RequestObserver, route_label, use_trace
 from ..service.client import StatisticsClient
@@ -71,6 +73,8 @@ class _ClusterRequestHandler(BaseHTTPRequestHandler):
     quiet: bool = True
     metrics: MetricsRegistry | None = None
     observer: RequestObserver | None = None
+    process_telemetry: ProcessTelemetry | None = None
+    profiler: SamplingProfiler | None = None
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if not self.quiet:  # pragma: no cover - debugging aid
@@ -189,7 +193,19 @@ class _ClusterRequestHandler(BaseHTTPRequestHandler):
             if self.metrics is None:
                 self._send_json(404, {"error": "metrics are not enabled on this server"})
             else:
+                if self.process_telemetry is not None:
+                    # Refresh the process vitals gauges (RSS/GC/threads/
+                    # uptime) so every scrape carries current values.
+                    self.process_telemetry.update()
                 self._send_text(200, self.metrics.render(), METRICS_CONTENT_TYPE)
+            return
+        if route == ("profile",) and method == "GET":
+            if self.profiler is None:
+                self._send_json(
+                    404, {"error": "profiling is not enabled on this server"}
+                )
+            else:
+                self._send_json(200, self.profiler.attribution())
             return
         if route == ("cluster", "stats") and method == "GET":
             self._send_json(200, coordinator.stats())
@@ -309,6 +325,7 @@ class ClusterServer:
         slow_request_ms: float | None = None,
         trace: bool = False,
         trace_sink: Any | None = None,
+        profile: bool | float = False,
     ) -> None:
         self.coordinator = coordinator
         # Default to the coordinator's registry so one scrape covers HTTP,
@@ -327,6 +344,16 @@ class ClusterServer:
                 trace=trace,
                 sink=trace_sink,
             )
+        # profile=True samples at the default interval; a float is an
+        # explicit sampling interval in seconds (same knob as the service
+        # server -- GET /profile reports collapsed hot-path attribution).
+        self.profiler: SamplingProfiler | None = None
+        if profile:
+            interval = (
+                DEFAULT_SAMPLE_INTERVAL_S if profile is True else float(profile)
+            )
+            self.profiler = SamplingProfiler(interval)
+        telemetry = ProcessTelemetry(registry) if registry is not None else None
         handler = type(
             "_BoundClusterRequestHandler",
             (_ClusterRequestHandler,),
@@ -335,6 +362,8 @@ class ClusterServer:
                 "quiet": quiet,
                 "metrics": registry,
                 "observer": observer,
+                "process_telemetry": telemetry,
+                "profiler": self.profiler,
             },
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
@@ -351,6 +380,8 @@ class ClusterServer:
     def start(self) -> ClusterServer:
         """Serve requests from a background daemon thread."""
         if self._thread is None:
+            if self.profiler is not None:
+                self.profiler.start()
             self._started = True
             self._thread = threading.Thread(
                 target=self._httpd.serve_forever,
@@ -362,6 +393,8 @@ class ClusterServer:
 
     def serve_forever(self) -> None:
         """Serve requests on the calling thread until interrupted."""
+        if self.profiler is not None:
+            self.profiler.start()
         self._started = True
         self._httpd.serve_forever()
 
@@ -373,6 +406,8 @@ class ClusterServer:
         if self._thread is not None:
             self._thread.join()
             self._thread = None
+        if self.profiler is not None:
+            self.profiler.stop()
         self.coordinator.close()
 
     def __enter__(self) -> ClusterServer:

@@ -7,7 +7,12 @@ Three pieces, one contract:
 * :mod:`repro.obs.trace` -- ``X-Repro-Trace-Id`` propagation, per-request
   spans, and the structured slow-request log (:class:`RequestObserver`);
 * :mod:`repro.obs.accuracy` -- sampled exact-vs-estimate selectivity-error
-  telemetry (:class:`AccuracySampler`).
+  telemetry (:class:`AccuracySampler`);
+* :mod:`repro.obs.profile` -- phase timers and the opt-in stack-sampling
+  profiler (:class:`SamplingProfiler`) behind the servers' ``profile=`` knob
+  and the benchmark matrix's ``--profile`` flag;
+* :mod:`repro.obs.process` -- process self-telemetry (RSS, GC, threads,
+  uptime, ``repro_build_info``) refreshed on every ``/metrics`` scrape.
 
 The contract: every lock in this package is a **leaf**.  Metric, trace and
 sampler updates never acquire store/WAL/pipeline locks and never block on
@@ -17,6 +22,8 @@ and exercised under ``tests/lockcheck.py``.
 """
 
 from .accuracy import AccuracySampler
+from .process import ProcessTelemetry
+from .profile import DEFAULT_SAMPLE_INTERVAL_S, PhaseTimer, SamplingProfiler
 from .registry import (
     ERROR_BUCKETS,
     LATENCY_BUCKETS_S,
@@ -41,12 +48,16 @@ from .trace import (
 __all__ = [
     "AccuracySampler",
     "Counter",
+    "DEFAULT_SAMPLE_INTERVAL_S",
     "Distribution",
     "ERROR_BUCKETS",
     "Gauge",
     "LATENCY_BUCKETS_S",
     "MetricsRegistry",
+    "PhaseTimer",
+    "ProcessTelemetry",
     "RequestObserver",
+    "SamplingProfiler",
     "SIZE_BUCKETS",
     "TRACE_HEADER",
     "Trace",

@@ -1,0 +1,118 @@
+"""Process self-telemetry: RSS, GC, threads, uptime and build info.
+
+Both server kinds refresh these gauges immediately before rendering
+``GET /metrics``, so every scrape carries the serving process's own vitals
+alongside the store/cluster metrics:
+
+* ``repro_process_resident_memory_bytes`` -- current RSS, read from
+  ``/proc/self/status`` (``VmRSS``) with a ``resource.getrusage`` peak-RSS
+  fallback on hosts without procfs; fallback-safe: when neither source is
+  available the gauge is simply left unset rather than failing the scrape;
+* ``repro_process_gc_collections`` -- CPython garbage-collector collection
+  counts per generation (labelled ``generation="0|1|2"``);
+* ``repro_process_threads`` -- live ``threading`` thread count;
+* ``repro_process_uptime_seconds`` -- seconds since the telemetry was
+  attached (server construction time);
+* ``repro_build_info`` -- the classic info-gauge pattern: constant value 1
+  with the python and numpy versions as labels, so dashboards can join any
+  metric against the runtime that produced it.
+
+The refresh reads procfs *before* touching any gauge, so no I/O ever happens
+under an obs lock (REP009: gauge locks are leaves).
+"""
+
+from __future__ import annotations
+
+import gc
+import platform
+import sys
+import threading
+import time
+
+from .registry import MetricsRegistry
+
+__all__ = ["ProcessTelemetry", "read_rss_bytes"]
+
+
+def read_rss_bytes() -> int | None:
+    """Current resident set size in bytes, or ``None`` when unavailable.
+
+    Primary source is ``/proc/self/status`` (``VmRSS`` line, kB); hosts
+    without procfs fall back to ``resource.getrusage`` peak RSS (close
+    enough for a vitals gauge).  Every failure path returns ``None`` --
+    telemetry must never break a scrape.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii", errors="replace") as status:
+            for line in status:
+                if line.startswith("VmRSS:"):
+                    kilobytes = float(line.split()[1])
+                    return int(kilobytes * 1024)
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is kilobytes on Linux, bytes on macOS.
+        return int(peak if sys.platform == "darwin" else peak * 1024)
+    except Exception:
+        return None
+
+
+def _numpy_version() -> str:
+    try:
+        import numpy
+
+        return str(numpy.__version__)
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        return "unavailable"
+
+
+class ProcessTelemetry:
+    """Registers the process vitals gauges and refreshes them on demand.
+
+    One instance per server; construct it with the server's registry and
+    call :meth:`update` right before rendering ``/metrics``.  The build-info
+    gauge is set once at construction (its labels never change); the moving
+    gauges are refreshed per update.  Safe to construct several times over
+    one registry (metrics are get-or-create).
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._started = time.monotonic()
+        self._g_rss = registry.gauge(
+            "repro_process_resident_memory_bytes",
+            "Resident set size of the serving process",
+        )
+        self._g_gc = registry.gauge(
+            "repro_process_gc_collections",
+            "CPython GC collections completed, per generation",
+            labelnames=("generation",),
+        )
+        self._g_threads = registry.gauge(
+            "repro_process_threads",
+            "Live threads in the serving process",
+        )
+        self._g_uptime = registry.gauge(
+            "repro_process_uptime_seconds",
+            "Seconds since this server attached its telemetry",
+        )
+        build_info = registry.gauge(
+            "repro_build_info",
+            "Constant 1; the python/numpy runtime as labels",
+            labelnames=("python", "numpy"),
+        )
+        build_info.set(1, python=platform.python_version(), numpy=_numpy_version())
+
+    def update(self) -> None:
+        """Refresh the moving gauges (called per ``/metrics`` scrape)."""
+        rss = read_rss_bytes()
+        if rss is not None:
+            self._g_rss.set(rss)
+        for generation, stats in enumerate(gc.get_stats()):
+            self._g_gc.set(
+                float(stats.get("collections", 0)), generation=str(generation)
+            )
+        self._g_threads.set(float(threading.active_count()))
+        self._g_uptime.set(time.monotonic() - self._started)

@@ -286,6 +286,39 @@ class Distribution(_Metric):
                 "max": series.max if series.count else 0.0,
             }
 
+    def quantiles(self, qs: Sequence[float], **labels: str) -> list[float]:
+        """Upper-bound quantile estimates from the fixed buckets.
+
+        For each ``q`` in ``qs`` (fractions in [0, 1]) returns the smallest
+        bucket upper bound whose cumulative count reaches ``q * count`` --
+        i.e. a conservative (never under-reporting) quantile, which is what
+        a latency gate wants.  Samples past the last bound resolve to the
+        observed maximum.  An unobserved series returns all zeros.
+        """
+        for q in qs:
+            if not 0.0 <= q <= 1.0:
+                raise ConfigurationError(f"quantile {q} outside [0, 1]")
+        key = _label_key(self.name, self.labelnames, labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return [0.0 for _ in qs]
+            counts = series.counts.copy()
+            count = series.count
+            observed_max = series.max
+        if count == 0:
+            return [0.0 for _ in qs]
+        cumulative = np.cumsum(counts)
+        results = []
+        for q in qs:
+            target = q * count
+            index = int(np.searchsorted(cumulative, target, side="left"))
+            if index >= len(self._bounds):
+                results.append(float(observed_max))
+            else:
+                results.append(self._bounds[index])
+        return results
+
     def render(self) -> list[str]:
         with self._lock:
             snapshot = [

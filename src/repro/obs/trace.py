@@ -233,12 +233,23 @@ class RequestObserver:
         self.sink(entry)
 
 
+#: The only attribute sub-actions that may appear in a route template.
+#: Everything else -- typos, scans, overlong paths -- collapses to /other,
+#: so no request shape can mint new label values.
+_ATTRIBUTE_ACTIONS = frozenset(
+    {"ingest", "estimate", "snapshot", "restore", "rebalance"}
+)
+_SHARD_ACTIONS = frozenset({"drain", "resync"})
+
+
 def route_label(route: tuple[str, ...]) -> str:
     """Collapse a request path to a low-cardinality route template.
 
-    Attribute and shard names are replaced with placeholders; unknown
-    top-level segments collapse to ``/other`` so a scan of random URLs
-    cannot inflate the metric label space.
+    Attribute and shard names are replaced with placeholders, and the final
+    action segment is admitted only from the fixed route tables above;
+    unknown heads, unknown actions and overlong garbage paths all collapse
+    to ``/other`` so a scan of random URLs cannot inflate the metric label
+    space.
     """
     if not route:
         return "/"
@@ -248,9 +259,13 @@ def route_label(route: tuple[str, ...]) -> str:
             return "/attributes"
         if len(route) == 2:
             return "/attributes/{name}"
-        return f"/attributes/{{name}}/{route[2]}"
-    if head == "shards" and len(route) == 3:
+        if len(route) == 3 and route[2] in _ATTRIBUTE_ACTIONS:
+            return f"/attributes/{{name}}/{route[2]}"
+        return "/other"
+    if head == "shards" and len(route) == 3 and route[2] in _SHARD_ACTIONS:
         return f"/shards/{{id}}/{route[2]}"
-    if head in ("health", "stats", "metrics", "cluster"):
-        return "/" + "/".join(route)
+    if head in ("health", "stats", "metrics", "profile") and len(route) == 1:
+        return "/" + head
+    if head == "cluster" and len(route) == 2 and route[1] in ("stats", "ingest"):
+        return "/cluster/" + route[1]
     return "/other"

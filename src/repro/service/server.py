@@ -47,6 +47,8 @@ from ..exceptions import (
     HistogramError,
     UnknownAttributeError,
 )
+from ..obs.process import ProcessTelemetry
+from ..obs.profile import DEFAULT_SAMPLE_INTERVAL_S, SamplingProfiler
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import TRACE_HEADER, RequestObserver, route_label, use_trace
 from .ingest import IngestPipeline
@@ -70,6 +72,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     quiet: bool = True
     metrics: MetricsRegistry | None = None
     observer: RequestObserver | None = None
+    process_telemetry: ProcessTelemetry | None = None
+    profiler: SamplingProfiler | None = None
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if not self.quiet:  # pragma: no cover - debugging aid
@@ -179,7 +183,19 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             if self.metrics is None:
                 self._send_json(404, {"error": "metrics are not enabled on this server"})
             else:
+                if self.process_telemetry is not None:
+                    # Refresh the process vitals gauges (RSS/GC/threads/
+                    # uptime) so every scrape carries current values.
+                    self.process_telemetry.update()
                 self._send_text(200, self.metrics.render(), METRICS_CONTENT_TYPE)
+            return
+        if route == ("profile",) and method == "GET":
+            if self.profiler is None:
+                self._send_json(
+                    404, {"error": "profiling is not enabled on this server"}
+                )
+            else:
+                self._send_json(200, self.profiler.attribution())
             return
         if route in (("stats",), ("attributes",)) and method == "GET":
             body: dict[str, Any] = {
@@ -336,6 +352,7 @@ class StatisticsServer:
         slow_request_ms: float | None = None,
         trace: bool = False,
         trace_sink: Any | None = None,
+        profile: bool | float = False,
     ) -> None:
         self.store = store if store is not None else HistogramStore()
         self.pipeline = pipeline
@@ -355,6 +372,17 @@ class StatisticsServer:
                 trace=trace,
                 sink=trace_sink,
             )
+        # profile=True samples at the default interval; a float is an
+        # explicit sampling interval in seconds.  The profiler runs for the
+        # server's whole lifetime and GET /profile reports the collapsed
+        # hot-path attribution so far.
+        self.profiler: SamplingProfiler | None = None
+        if profile:
+            interval = (
+                DEFAULT_SAMPLE_INTERVAL_S if profile is True else float(profile)
+            )
+            self.profiler = SamplingProfiler(interval)
+        telemetry = ProcessTelemetry(registry) if registry is not None else None
         handler = type(
             "_BoundServiceRequestHandler",
             (_ServiceRequestHandler,),
@@ -364,6 +392,8 @@ class StatisticsServer:
                 "quiet": quiet,
                 "metrics": registry,
                 "observer": observer,
+                "process_telemetry": telemetry,
+                "profiler": self.profiler,
             },
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
@@ -382,6 +412,8 @@ class StatisticsServer:
         if self._thread is None:
             if self.pipeline is not None:
                 self.pipeline.start()
+            if self.profiler is not None:
+                self.profiler.start()
             self._started = True
             self._thread = threading.Thread(
                 target=self._httpd.serve_forever,
@@ -395,6 +427,8 @@ class StatisticsServer:
         """Serve requests on the calling thread until interrupted."""
         if self.pipeline is not None:
             self.pipeline.start()
+        if self.profiler is not None:
+            self.profiler.start()
         self._started = True
         self._httpd.serve_forever()
 
@@ -412,6 +446,8 @@ class StatisticsServer:
         if self._thread is not None:
             self._thread.join()
             self._thread = None
+        if self.profiler is not None:
+            self.profiler.stop()
         if self.pipeline is not None:
             self.pipeline.close()
 

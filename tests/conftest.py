@@ -30,6 +30,7 @@ LOCKCHECK_MODULES = frozenset(
         "test_replication_properties",
         "test_fault_injection",
         "test_obs",
+        "test_profile",
     }
 )
 

@@ -322,3 +322,116 @@ class TestClusterStatsCommand:
         code, output = _run(["cluster-stats", "--port", "1"])
         assert code == 2
         assert "cannot reach cluster server" in output
+
+
+class TestMetricsWatchCommand:
+    def _serving(self):
+        from repro.obs import MetricsRegistry
+        from repro.service import HistogramStore, StatisticsServer
+
+        registry = MetricsRegistry()
+        store = HistogramStore(metrics=registry)
+        return StatisticsServer(store, metrics=registry)
+
+    def test_watch_reports_counter_deltas_and_gauge_values(self):
+        import threading
+        import time
+
+        from repro.service import StatisticsClient
+
+        with self._serving() as server:
+            host, port = server.address
+            client = StatisticsClient(host, port)
+            client.create("age", "dc", memory_kb=0.5)
+
+            def churn():
+                for _ in range(10):
+                    client.ingest("age", insert=[1.0, 2.0, 3.0])
+                    time.sleep(0.02)
+
+            worker = threading.Thread(target=churn)
+            worker.start()
+            code, output = _run(
+                ["metrics", "--host", host, "--port", str(port), "--watch", "0.3"]
+            )
+            worker.join()
+        assert code == 0
+        assert "metrics delta over" in output
+        # Counters that moved show a signed delta and a rate.
+        assert "repro_store_mutations_total" in output
+        assert "+" in output
+        # Gauges show current values, not deltas.
+        assert "repro_process_threads" in output
+        # Histogram bucket series are folded away.
+        assert "_bucket" not in output
+
+    def test_watch_rejects_nonpositive_interval(self):
+        with self._serving() as server:
+            host, port = server.address
+            code, output = _run(
+                ["metrics", "--host", host, "--port", str(port), "--watch", "0"]
+            )
+        assert code == 2
+        assert "positive" in output
+
+    def test_watch_unreachable_server_fails_cleanly(self):
+        code, output = _run(["metrics", "--port", "1", "--watch", "0.1"])
+        assert code == 2
+        assert "cannot reach server" in output
+
+    def test_parse_exposition_roundtrip(self):
+        from repro.cli import parse_exposition
+
+        text = (
+            "# HELP x_total help\n"
+            "# TYPE x_total counter\n"
+            'x_total{a="1"} 5\n'
+            "# TYPE y gauge\n"
+            "y 2.5\n"
+        )
+        types, samples = parse_exposition(text)
+        assert types == {"x_total": "counter", "y": "gauge"}
+        assert samples == {'x_total{a="1"}': 5.0, "y": 2.5}
+
+
+class TestServeProfileFlag:
+    def test_serve_with_profile_exposes_attribution(self):
+        import io
+        import re
+        import threading
+        import time
+
+        from repro.service import StatisticsClient
+
+        out = io.StringIO()
+        done = threading.Event()
+
+        def run_server():
+            main(
+                [
+                    "serve", "--port", "0", "--duration", "0.8",
+                    "--attribute", "age:dc:0.5", "--profile",
+                ],
+                out=out,
+            )
+            done.set()
+
+        thread = threading.Thread(target=run_server)
+        thread.start()
+        try:
+            deadline = time.time() + 5.0
+            port = None
+            while time.time() < deadline and port is None:
+                match = re.search(r"http://[\d.]+:(\d+)", out.getvalue())
+                if match:
+                    port = int(match.group(1))
+                else:
+                    time.sleep(0.02)
+            assert port is not None, out.getvalue()
+            client = StatisticsClient("127.0.0.1", port)
+            client.ingest("age", insert=[float(v % 90) for v in range(2000)])
+            profile = client._request("GET", "/profile")
+            assert "samples" in profile and "hot_stacks" in profile
+        finally:
+            assert done.wait(10.0)
+            thread.join()

@@ -363,3 +363,108 @@ class TestAccuracySampler:
         registry = MetricsRegistry()
         with pytest.raises(ValueError):
             AccuracySampler(registry, fraction=1.5)
+
+
+# ----------------------------------------------------------------------
+# exposition escaping + route-template edge cases (PR 8)
+# ----------------------------------------------------------------------
+
+
+class TestExpositionEscaping:
+    """Label values must survive the Prometheus text format 0.0.4 rules:
+    backslash, double quote and newline are escaped inside quoted values."""
+
+    def _render_with_label(self, value: str) -> str:
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "esc_total", "escaping probe", labelnames=("victim",)
+        )
+        counter.inc(1, victim=value)
+        return registry.render()
+
+    def test_backslash_is_doubled(self):
+        text = self._render_with_label("a\\b")
+        assert 'esc_total{victim="a\\\\b"} 1' in text
+
+    def test_double_quote_is_escaped(self):
+        text = self._render_with_label('say "hi"')
+        assert 'esc_total{victim="say \\"hi\\""} 1' in text
+
+    def test_newline_becomes_backslash_n(self):
+        text = self._render_with_label("line1\nline2")
+        assert 'esc_total{victim="line1\\nline2"} 1' in text
+        # The rendered exposition must stay one-sample-per-line.
+        for line in text.splitlines():
+            assert line.startswith("#") or line.count('"') % 2 == 0
+
+    def test_combined_hostile_value_renders_parseable(self):
+        hostile = 'path\\to\n"thing"'
+        text = self._render_with_label(hostile)
+        sample_lines = [
+            line for line in text.splitlines() if line.startswith("esc_total{")
+        ]
+        assert len(sample_lines) == 1
+        line = sample_lines[0]
+        assert "\n" not in line
+        assert line.endswith(" 1")
+
+    def test_distribution_labels_escape_in_every_suffix(self):
+        registry = MetricsRegistry()
+        dist = registry.distribution(
+            "esc_seconds", "escaping probe", LATENCY_BUCKETS_S, labelnames=("who",)
+        )
+        dist.observe(0.001, who='evil"name')
+        text = registry.render()
+        for suffix in ("_bucket", "_count", "_sum"):
+            assert f'esc_seconds{suffix}{{' in text
+        assert 'who="evil\\"name"' in text
+        # No raw (unescaped) quote sequence leaks through.
+        assert 'who="evil"name"' not in text
+
+
+class TestRouteLabelEdgeCases:
+    """The route templater is the metrics layer's cardinality firewall."""
+
+    def test_root_and_single_segments(self):
+        assert route_label(()) == "/"
+        assert route_label(("health",)) == "/health"
+        assert route_label(("metrics",)) == "/metrics"
+        assert route_label(("profile",)) == "/profile"
+
+    def test_trailing_slash_equivalence(self):
+        # The handlers split on "/" dropping empties, so a trailing slash
+        # yields the same tuple; both spellings share one label.
+        path_with = tuple(part for part in "/attributes/age/".split("/") if part)
+        path_without = tuple(part for part in "/attributes/age".split("/") if part)
+        assert route_label(path_with) == route_label(path_without) == "/attributes/{name}"
+
+    def test_percent_encoded_name_segment_is_templated(self):
+        # Handlers unquote before routing; whatever the name decodes to, it
+        # must vanish into the {name} placeholder.
+        from urllib.parse import unquote
+
+        decoded = unquote("we%20ird%2Fname")
+        assert route_label(("attributes", decoded, "ingest")) == (
+            "/attributes/{name}/ingest"
+        )
+
+    def test_unknown_action_cannot_mint_labels(self):
+        # Arbitrary third segments must not appear in the label value.
+        for action in ("estimate2", "drop-all", "x" * 200, '"};evil'):
+            assert route_label(("attributes", "age", action)) == "/other"
+
+    def test_overlong_garbage_collapses(self):
+        assert route_label(tuple("abcdefgh")) == "/other"
+        assert route_label(("attributes", "a", "estimate", "extra")) == "/other"
+        assert route_label(("shards", "shard-0", "explode")) == "/other"
+
+    def test_shard_and_cluster_routes(self):
+        assert route_label(("shards", "shard-1", "drain")) == "/shards/{id}/drain"
+        assert route_label(("shards", "shard-1", "resync")) == "/shards/{id}/resync"
+        assert route_label(("cluster", "stats")) == "/cluster/stats"
+        assert route_label(("cluster", "ingest")) == "/cluster/ingest"
+        assert route_label(("cluster", "explode")) == "/other"
+
+    def test_heads_with_extra_segments_collapse(self):
+        assert route_label(("health", "x")) == "/other"
+        assert route_label(("metrics", "x")) == "/other"
