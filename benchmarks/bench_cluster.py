@@ -70,6 +70,15 @@ DOMAIN = (0.0, 5000.0)
 APPLY_PER_BATCH_S = 0.001
 APPLY_PER_VALUE_S = 0.000020
 
+#: Emulated shard serve engine: per-query cost on the read path.  200 us per
+#: query is a ~5k queries/sec engine per shard -- one StatisticsServer process
+#: answering small estimate batches over HTTP.  The serve lock is deliberately
+#: SEPARATE from the apply lock: the store's read path is lock-free (published
+#: snapshots, REP010), so a shard's reads never wait behind its writes; what
+#: remains per-shard is the serving engine's own capacity, which is exactly
+#: what this sleep models.
+SERVE_PER_QUERY_S = 0.000200
+
 #: Error bound the merged estimates must stay within (fraction of total).
 MERGED_ERROR_BOUND = 0.02
 
@@ -79,16 +88,24 @@ class EmulatedApplyStore(HistogramStore):
 
     Writes serialise on one per-shard apply lock and pay the engine's
     per-batch + per-value cost (a clock sleep) before the real ``insert_many``
-    runs; reads are untouched.  This is the per-shard serialisation a real
-    deployment has (each shard applies on its own hardware) reduced to its
-    timing skeleton, so shard-count scaling can be measured on any host.
+    runs.  When a per-query cost is configured, reads likewise serialise on a
+    per-shard **serve** lock -- a different lock than the apply lock, because
+    the store's read path is lock-free (published snapshots) and a real
+    shard's reads never queue behind its apply engine.  This is the per-shard
+    serialisation a real deployment has (each shard applies and serves on its
+    own hardware) reduced to its timing skeleton, so shard-count scaling can
+    be measured on any host.
     """
 
-    def __init__(self, per_batch: float, per_value: float, **kwargs) -> None:
+    def __init__(
+        self, per_batch: float, per_value: float, per_query: float = 0.0, **kwargs
+    ) -> None:
         super().__init__(**kwargs)
         self._apply_lock = threading.Lock()
+        self._serve_lock = threading.Lock()
         self._per_batch = per_batch
         self._per_value = per_value
+        self._per_query = per_query
 
     def insert(self, name, values, *, repartition_interval=None):
         values = list(values)
@@ -104,14 +121,21 @@ class EmulatedApplyStore(HistogramStore):
                 time.sleep(self._per_batch + self._per_value * len(values))
             return super().delete(name, values)
 
+    def query(self, name, queries):
+        if self._per_query:
+            with self._serve_lock:
+                time.sleep(self._per_query)
+        return super().query(name, queries)
+
 
 def build_cluster(
-    n_shards: int, *, emulate_apply: bool, metrics=None
+    n_shards: int, *, emulate_apply: bool, emulate_serve: bool = False, metrics=None
 ) -> ClusterCoordinator:
     per_batch = APPLY_PER_BATCH_S if emulate_apply else 0.0
     per_value = APPLY_PER_VALUE_S if emulate_apply else 0.0
+    per_query = SERVE_PER_QUERY_S if emulate_serve else 0.0
     shards = [
-        LocalShard(f"shard-{index}", EmulatedApplyStore(per_batch, per_value))
+        LocalShard(f"shard-{index}", EmulatedApplyStore(per_batch, per_value, per_query))
         for index in range(n_shards)
     ]
     # A roomy fan-out pool so reader-side scatter calls (generation reads,
@@ -236,6 +260,141 @@ def run_scaling_config(
         "ingest_per_sec": round(ingested / elapsed, 1),
         "queries_served_during_ingest": int(sum(queries_served)),
         "queries_per_sec": round(sum(queries_served) / elapsed, 1),
+    }
+
+
+#: Offered ingest load for the read-QPS cells, values/sec across all writers.
+#: Fixed (writers pace themselves to it) rather than free-running: the cells
+#: compare read capacity at 1 vs 4 shards, and a free-running write side would
+#: ingest ~4x more at 4 shards -- stealing interpreter time from the readers
+#: and confounding the comparison.  16k/s is ~40% of one emulated apply
+#: engine, so the load is sustainable at every shard count under test.
+READ_BENCH_INGEST_PER_S = 16_000.0
+
+
+def run_read_qps_config(
+    n_shards: int,
+    duration_s: float,
+    n_writers: int,
+    n_readers: int,
+    catalog_chunk: int,
+    hot_chunk: int,
+    *,
+    target_ingest_per_sec: float = READ_BENCH_INGEST_PER_S,
+    metrics=None,
+) -> dict:
+    """Read QPS under sustained ingest: the lock-free read path at scale.
+
+    Duration-based (writers and readers both loop until the window closes):
+    writers sustain a fixed offered ingest load while readers tight-loop
+    estimate batches against the emulated serve engines.  The
+    serve lock is independent of the apply lock -- exactly the property the
+    published-snapshot read path buys -- so read capacity is N independent
+    ~5k QPS serve engines, and the measured quantity is whether the
+    coordinator keeps them all busy while ingest never stops.  A small slice
+    of reads (1 in 32) is a merged-histogram read of the hot partitioned
+    attribute, which exercises the coordinator's incremental merge
+    maintenance against a constantly moving generation vector without
+    letting the (deliberately expensive, serialised) merge rebuild drown
+    the serve-engine scaling signal this cell measures.
+    """
+    coordinator = build_cluster(
+        n_shards, emulate_apply=True, emulate_serve=True, metrics=metrics
+    )
+    rng = np.random.default_rng(11)
+    seeded = 0
+    for name, _ in ATTRIBUTE_MIX:
+        values = stream_values(rng, 2000)
+        coordinator.ingest(name, insert=values.tolist())
+        seeded += len(values)
+    hot_seed = stream_values(rng, 4000)
+    coordinator.ingest(HOT, insert=hot_seed.tolist())
+    seeded += len(hot_seed)
+
+    stop = threading.Event()
+    errors: list = []
+    written = [0] * n_writers
+    served = [0] * n_readers
+    per_call = len(ATTRIBUTE_MIX) * catalog_chunk + hot_chunk
+
+    # A small pre-generated pool per writer, cycled: the window measures the
+    # cluster's ingest+serve paths, not numpy sampling.
+    pools = []
+    for index in range(n_writers):
+        wrng = np.random.default_rng(1000 + index)
+        pool = []
+        for _ in range(8):
+            items = {
+                name: stream_values(wrng, catalog_chunk).tolist()
+                for name, _ in ATTRIBUTE_MIX
+            }
+            items[HOT] = stream_values(wrng, hot_chunk).tolist()
+            pool.append(items)
+        pools.append(pool)
+
+    # Each writer paces itself to its share of the offered load; falling
+    # behind resets the deadline instead of bursting to catch up.
+    call_interval = per_call / (target_ingest_per_sec / n_writers)
+
+    def writer(index: int) -> None:
+        calls = 0
+        try:
+            deadline = time.perf_counter()
+            while not stop.is_set():
+                coordinator.ingest_batch(pools[index][calls % len(pools[index])])
+                calls += 1
+                deadline += call_interval
+                delay = deadline - time.perf_counter()
+                if delay > 0:
+                    stop.wait(delay)
+                else:
+                    deadline = time.perf_counter()
+        except Exception as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+        written[index] = calls * per_call
+
+    def reader(index: int) -> None:
+        rrng = np.random.default_rng(2000 + index)
+        lows = rrng.uniform(0.0, 4000.0, size=256)
+        count = 0
+        try:
+            while not stop.is_set():
+                if count % 32 == 31:
+                    coordinator.query(HOT, [{"op": "total"}])
+                else:
+                    name = ATTRIBUTE_MIX[(index + count) % len(ATTRIBUTE_MIX)][0]
+                    low = float(lows[count % len(lows)])
+                    coordinator.query(
+                        name,
+                        [{"op": "range", "low": low, "high": low + 500.0}, {"op": "total"}],
+                    )
+                count += 1
+        except Exception as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+        served[index] = count
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(n_writers)]
+    threads += [threading.Thread(target=reader, args=(i,)) for i in range(n_readers)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(duration_s)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise AssertionError(f"read-qps run failed: {errors[0]!r}")
+
+    _check_conservation(coordinator, seeded + sum(written))
+    coordinator.close()
+    return {
+        "shards": n_shards,
+        "duration_s": round(elapsed, 3),
+        "reads_served": int(sum(served)),
+        "read_qps": round(sum(served) / elapsed, 1),
+        "ingested_values_during_window": int(sum(written)),
+        "ingest_per_sec": round(sum(written) / elapsed, 1),
     }
 
 

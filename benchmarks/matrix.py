@@ -15,12 +15,18 @@ and records throughput plus latency quantiles pulled from the cell's own
 * ``shards_1`` / ``shards_2`` / ``shards_4`` -- the cluster scatter-gather
   scaling body over the emulated per-shard apply engine;
 * ``rf_1`` / ``rf_2`` / ``rf_3`` -- replication-factor sweep: the same
-  scatter batch fanned out at N-way replication.
+  scatter batch fanned out at N-way replication;
+* ``read_locked_single`` / ``read_published_single`` -- single-node read
+  ablation under sustained ingest: the pre-RCU locked read path vs the
+  lock-free published-snapshot path on one store;
+* ``read_qps_shards_1`` / ``read_qps_shards_4`` -- read QPS under ingest
+  through the coordinator over the emulated per-shard serve engines.
 
 The emitted JSON (one file per host) is **schema-versioned** and stamped
 with a host fingerprint (python version, numpy version, CPU count); derived
 ratios (``wal_overhead``, ``fsync_overhead``, ``batch_scaling``,
-``shard_scaling``, ``rf_cost``) make the ablation readable at a glance.
+``shard_scaling``, ``rf_cost``, ``read_unlock_speedup``,
+``read_scaling``) make the ablation readable at a glance.
 
 ``--gate`` diffs the current run against the committed baseline for this
 host's fingerprint (``benchmarks/baselines/<fingerprint>.json``) within
@@ -50,6 +56,7 @@ import os
 import pathlib
 import sys
 import tempfile
+import threading
 import time
 from typing import Any, Callable
 
@@ -279,6 +286,131 @@ def run_cluster_rf_cell(config: dict, sizes: dict) -> dict:
     }
 
 
+def run_store_read_cell(config: dict, sizes: dict) -> dict:
+    """Single-node read ablation under sustained ingest (knob: read path).
+
+    One store, one hot attribute, writer threads inserting batches without
+    pause for the whole window; reader threads tight-loop two-query estimate
+    batches.  ``read_path: "published"`` serves from the store's lock-free
+    published snapshot (the production ``query`` path); ``read_path:
+    "locked"`` calls the retained ``_query_locked`` fallback, which queues
+    behind every in-flight insert batch on the per-attribute lock -- the
+    pre-RCU behaviour, kept callable precisely so this ablation stays
+    honest.
+    """
+    locked = config["read_path"] == "locked"
+    duration = sizes["read_duration_s"]
+    # Enough writers that the per-attribute lock's wait queue never drains:
+    # a locked reader then waits behind a convoy of insert batches (the
+    # pre-RCU contention), while published readers only share the GIL.
+    n_writers, n_readers = 4, 2
+    registry = MetricsRegistry()
+    lat = registry.distribution(
+        "matrix_read_query_seconds",
+        "Per-batch estimate-query latency inside one matrix read cell",
+        LATENCY_BUCKETS_S,
+    )
+    store = HistogramStore(metrics=registry)
+    store.create("hot", "dc", memory_kb=0.5)
+    rng = np.random.default_rng(5)
+    store.insert("hot", bench_cluster.stream_values(rng, 4_000).tolist())
+
+    stop = threading.Event()
+    errors: list = []
+    written = [0] * n_writers
+    served = [0] * n_readers
+    chunk = sizes["read_write_chunk"]
+
+    def writer(index: int) -> None:
+        wrng = np.random.default_rng(100 + index)
+        batches = [
+            bench_cluster.stream_values(wrng, chunk).tolist() for _ in range(8)
+        ]
+        calls = 0
+        try:
+            while not stop.is_set():
+                store.insert("hot", batches[calls % len(batches)])
+                calls += 1
+        except Exception as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+        written[index] = calls * chunk
+
+    def reader(index: int) -> None:
+        rrng = np.random.default_rng(200 + index)
+        lows = rrng.uniform(0.0, 4000.0, size=256)
+        count = 0
+        try:
+            while not stop.is_set():
+                low = float(lows[count % len(lows)])
+                queries = [
+                    {"op": "range", "low": low, "high": low + 500.0},
+                    {"op": "total"},
+                ]
+                t0 = time.perf_counter()
+                if locked:
+                    store._query_locked("hot", queries)
+                else:
+                    store.query("hot", queries)
+                lat.observe(time.perf_counter() - t0)
+                count += 1
+        except Exception as error:  # pragma: no cover - failure reporting
+            errors.append(error)
+        served[index] = count
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(n_writers)]
+    threads += [threading.Thread(target=reader, args=(i,)) for i in range(n_readers)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(duration)
+    stop.set()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise AssertionError(f"store read cell failed: {errors[0]!r}")
+    expected = 4_000 + sum(written)
+    total = store.total_count("hot")
+    if abs(total - expected) > 1e-6 * expected:
+        raise AssertionError(f"read cell lost values: {total} != {expected}")
+    store.close()
+    return {
+        "ops_per_sec": round(sum(served) / elapsed, 1),
+        **_quantile_block(registry, "matrix_read_query_seconds"),
+        "detail": {
+            "read_path": config["read_path"],
+            "reads_served": int(sum(served)),
+            "writer_values_per_sec": round(sum(written) / elapsed, 1),
+            "duration_s": round(elapsed, 3),
+        },
+    }
+
+
+def run_cluster_read_cell(config: dict, sizes: dict) -> dict:
+    """The bench_cluster read-QPS-under-ingest body (knob: shard count)."""
+    registry = MetricsRegistry()
+    result = bench_cluster.run_read_qps_config(
+        config["shards"],
+        sizes["read_duration_s"],
+        sizes["read_writers"],
+        sizes["read_readers"],
+        sizes["catalog_chunk"],
+        sizes["hot_chunk"],
+        metrics=registry,
+    )
+    quantiles = _quantile_block(registry, "repro_cluster_fanout_seconds", shard="shard-0")
+    return {
+        "ops_per_sec": result["read_qps"],
+        **quantiles,
+        "detail": {
+            "shards": config["shards"],
+            "reads_served": result["reads_served"],
+            "ingest_per_sec_during_window": result["ingest_per_sec"],
+            "duration_s": result["duration_s"],
+        },
+    }
+
+
 #: The ablation matrix: cell name -> (runner kind, config).  Each config dict
 #: flips exactly one knob relative to that kind's base cell.
 CELLS: dict[str, dict[str, Any]] = {
@@ -296,6 +428,10 @@ CELLS: dict[str, dict[str, Any]] = {
     "rf_1": {"kind": "cluster_rf", "replication_factor": 1},
     "rf_2": {"kind": "cluster_rf", "replication_factor": 2},
     "rf_3": {"kind": "cluster_rf", "replication_factor": 3},
+    "read_locked_single": {"kind": "store_read", "read_path": "locked"},
+    "read_published_single": {"kind": "store_read", "read_path": "published"},
+    "read_qps_shards_1": {"kind": "cluster_read", "shards": 1},
+    "read_qps_shards_4": {"kind": "cluster_read", "shards": 4},
 }
 
 RUNNERS: dict[str, Callable[[dict, dict], dict]] = {
@@ -303,6 +439,8 @@ RUNNERS: dict[str, Callable[[dict, dict], dict]] = {
     "service": run_service_cell,
     "cluster_scaling": run_cluster_scaling_cell,
     "cluster_rf": run_cluster_rf_cell,
+    "store_read": run_store_read_cell,
+    "cluster_read": run_cluster_read_cell,
 }
 
 #: Derived ratios: name -> (numerator cell, denominator cell).  Each reads
@@ -313,10 +451,12 @@ DERIVED: dict[str, tuple[str, str]] = {
     "batch_scaling_1024_vs_64": ("wal_off", "batch_64"),
     "shard_scaling_4_vs_1": ("shards_4", "shards_1"),
     "rf_cost_3_vs_1": ("rf_3", "rf_1"),
+    "read_unlock_speedup": ("read_published_single", "read_locked_single"),
+    "read_scaling_4_vs_1": ("read_qps_shards_4", "read_qps_shards_1"),
 }
 
 
-def matrix_sizes(smoke: bool) -> dict[str, int]:
+def matrix_sizes(smoke: bool) -> dict[str, float]:
     if smoke:
         return {
             "hist_values": 20_000,
@@ -329,6 +469,10 @@ def matrix_sizes(smoke: bool) -> dict[str, int]:
             "rf_calls": 8,
             "rf_chunk": 256,
             "repeats": 2,
+            "read_duration_s": 0.5,
+            "read_write_chunk": 4_000,
+            "read_writers": 2,
+            "read_readers": 4,
         }
     return {
         "hist_values": 80_000,
@@ -341,6 +485,10 @@ def matrix_sizes(smoke: bool) -> dict[str, int]:
         "rf_calls": 24,
         "rf_chunk": 512,
         "repeats": 3,
+        "read_duration_s": 1.5,
+        "read_write_chunk": 4_000,
+        "read_writers": 2,
+        "read_readers": 8,
     }
 
 

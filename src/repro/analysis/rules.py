@@ -401,7 +401,7 @@ def check_generation_before_snapshot(module: SourceModule) -> Iterator[Finding]:
         generation_lines = [
             call.lineno
             for call in _calls(func)
-            if _call_name(call) in {"_generation_sum", "generation"}
+            if _call_name(call) in {"_generation_sum", "_piece_generations", "generation"}
         ]
         snapshot_lines = [
             call.lineno for call in _calls(func) if _call_name(call) == "snapshot"
@@ -656,4 +656,95 @@ def check_obs_locks_are_leaves(module: SourceModule) -> Iterator[Finding]:
                     f"lock taken at line {node.lineno}; metric updates and "
                     "scrapes must never block on I/O -- move the call after "
                     "the lock is released",
+                )
+
+
+# ----------------------------------------------------------------------
+# REP010 -- the store's read path is lock-free (RCU publication)
+# ----------------------------------------------------------------------
+#: The store's public estimate/read entry points.  Underscore-prefixed
+#: helpers (``_query_locked``, the deliberate locked fallback for mixed
+#: batches and the benchmark ablation) are intentionally NOT in this set.
+_REP010_READ_FUNCS = {
+    "estimate_range",
+    "estimate_equal",
+    "cdf",
+    "total_count",
+    "generation",
+    "query",
+}
+
+
+@rule(
+    "REP010",
+    "store reads are lock-free; snapshot publication is ONE reference store",
+    paths=("repro/service/store.py",),
+    description=(
+        "The serving read path is RCU-style: writers publish an immutable "
+        "(generation, snapshot) pair under the single `published` reference, "
+        "and the public estimate/read entry points serve from that reference "
+        "without ever acquiring a per-attribute lock.  Two ways to regress: "
+        "(a) a read entry point takes an attribute lock again (reads then "
+        "serialise against sustained ingest -- the very contention this "
+        "design removes), or (b) publication stops being a single reference "
+        "store (mutating fields of an already-published object, or spelling "
+        "the publication across several `published_*` attributes), which "
+        "lets readers observe a torn generation/snapshot pair."
+    ),
+)
+def check_lock_free_read_path(module: SourceModule) -> Iterator[Finding]:
+    # (a) public read entry points never acquire a per-attribute lock.
+    for func in module.functions():
+        if func.name not in _REP010_READ_FUNCS:
+            continue
+        for node in ast.walk(func):
+            if isinstance(node, (ast.With, ast.AsyncWith)) and any(
+                _is_attribute_lock(e) for e in _with_items(node)
+            ):
+                yield (
+                    node.lineno,
+                    f"{func.name} acquires a per-attribute lock; estimate "
+                    "reads must serve from the published snapshot reference "
+                    "(the locked path lives only in the explicit _query_locked "
+                    "fallback)",
+                )
+        for call in _calls(func):
+            if (
+                _call_name(call) == "acquire"
+                and isinstance(call.func, ast.Attribute)
+                and _is_attribute_lock(call.func.value)
+            ):
+                yield (
+                    call.lineno,
+                    f"{func.name} explicitly acquires a per-attribute lock; "
+                    "estimate reads must stay lock-free",
+                )
+    # (b) publication is a single reference store.
+    for node in ast.walk(module.tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            if (
+                isinstance(target.value, ast.Attribute)
+                and target.value.attr == "published"
+            ):
+                yield (
+                    node.lineno,
+                    "assignment into a field of an already-published snapshot "
+                    f"({target.value.attr}.{target.attr}); concurrent readers "
+                    "would see a torn pair -- build a fresh immutable object "
+                    "and store it under the single `published` reference",
+                )
+            elif target.attr.startswith("published") and target.attr != "published":
+                yield (
+                    node.lineno,
+                    f"publication spelled across multiple attributes "
+                    f"({target.attr}); readers can observe one updated and "
+                    "one stale -- publish ONE reference holding both the "
+                    "generation and the snapshot",
                 )

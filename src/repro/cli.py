@@ -15,7 +15,8 @@ The CLI mirrors what the benchmark harness does, but as a user-facing tool:
 * ``repro-experiments serve-cluster`` -- run a sharded statistics cluster
   (:mod:`repro.cluster`): N in-process shards behind one scatter-gather HTTP
   front-end, with optional value-range partitioning of hot attributes,
-  N-way replication (``--replication-factor``) and per-shard write-ahead
+  N-way replication (``--replication-factor``, with ``--replica-reads`` to
+  rotate estimate reads over fresh replicas) and per-shard write-ahead
   logs (``--wal-dir``);
 * ``repro-experiments cluster-stats`` -- pretty-print per-shard stats and
   placement rules of a running cluster server;
@@ -205,6 +206,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="place every attribute (and partition piece) on this many "
              "distinct shards; writes fan out to all replicas, reads fail "
              "over, 'resync' heals a recovered shard (default 1)",
+    )
+    cluster_parser.add_argument(
+        "--replica-reads", action="store_true",
+        help="rotate estimate reads over an attribute's fresh (non-stale) "
+             "replicas instead of always hitting the primary first -- "
+             "spreads query load when --replication-factor > 1",
     )
     cluster_parser.add_argument(
         "--wal-dir", type=Path, default=None,
@@ -493,7 +500,11 @@ def _command_serve_cluster(args, out) -> int:
         replication_factor=args.replication_factor,
     )
     coordinator = ClusterCoordinator(
-        shards, router=router, global_buckets=args.global_buckets, metrics=metrics
+        shards,
+        router=router,
+        global_buckets=args.global_buckets,
+        metrics=metrics,
+        replica_reads=args.replica_reads,
     )
     attribute_specs = {name: (kind, memory_kb) for name, kind, memory_kb in specs}
     for name in partitions:
@@ -526,6 +537,8 @@ def _command_serve_cluster(args, out) -> int:
     out.write(f"attributes: {attributes}\n")
     if args.replication_factor > 1:
         out.write(f"replication factor: {args.replication_factor}\n")
+    if args.replica_reads:
+        out.write("replica reads: rotating over fresh replicas\n")
     if args.wal_dir is not None:
         state = "recovered existing catalogs" if recovered_any else "fresh logs"
         out.write(f"durability: per-shard WALs under {args.wal_dir} ({state})\n")

@@ -24,8 +24,12 @@ cached under the *sum of the piece shards' generation counters*: generations
 are read **before** the snapshots, so the cache key can only under-state the
 data's freshness -- a write racing the rebuild bumps the sum and forces the
 next query to rebuild, never the reverse (a stale histogram served under a
-fresh key).  At rest, the cached merge is bit-identical to a from-scratch
-superimpose + reduce (the property suite asserts this).
+fresh key).  Maintenance is *incremental*: the per-piece snapshots are cached
+alongside the merge, so a rebuild re-fetches only the pieces whose probed
+generation moved and superimposes them with the retained members -- a write
+to one piece of an N-piece attribute costs one snapshot, not N.  At rest, the
+cached merge is bit-identical to a from-scratch superimpose + reduce (the
+property suite asserts this, incremental refresh included).
 
 **Rebalance / drain.**  :meth:`rebalance` moves an attribute between shards
 via snapshot/restore without losing writes: writes arriving during the copy
@@ -45,11 +49,17 @@ write whose fate is unknown could double-apply it, while a stale replica is
 healed wholesale by :meth:`resync` (snapshot from a live replica, restore
 over the stale one -- a full-state replace, immune to double-apply by
 construction).  Reads try the primary first and fail over to the next live,
-non-stale replica on :class:`~repro.exceptions.ShardUnavailableError`.
+non-stale replica on :class:`~repro.exceptions.ShardUnavailableError`.  With
+``replica_reads=True`` the coordinator instead *rotates* estimate reads
+round-robin across the known-fresh replicas of an attribute (every replica
+applies every write, so any non-stale replica answers identically), spreading
+query load over the whole replica set; known-stale replicas stay demoted to
+last-resort exactly as in failover.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -91,6 +101,10 @@ class ClusterCoordinator:
         Domain granularity forwarded to the reduction metric.
     max_workers:
         Fan-out thread-pool size (default: two per shard, at least four).
+    replica_reads:
+        When true, estimate reads rotate round-robin across the known-fresh
+        replicas instead of always hitting the primary, spreading query load
+        over the replica set (reads only; writes always fan to all replicas).
     """
 
     def __init__(
@@ -102,6 +116,7 @@ class ClusterCoordinator:
         value_unit: float = 1.0,
         max_workers: int | None = None,
         metrics: Any | None = None,
+        replica_reads: bool = False,
     ) -> None:
         if not shards:
             raise ConfigurationError("the cluster coordinator needs at least one shard")
@@ -122,8 +137,20 @@ class ClusterCoordinator:
             max_workers=max_workers if max_workers is not None else max(4, 2 * len(shards)),
             thread_name_prefix="repro-cluster",
         )
-        # Merged-histogram cache: name -> (generation_sum, merged histogram).
-        self._merge_cache: dict[str, tuple[int, UnionHistogram]] = {}
+        # Read-replica mode: estimate reads rotate across fresh replicas.
+        # itertools.count.__next__ is a single C call, so the rotation is
+        # thread-safe without a lock of its own.
+        self._replica_reads = bool(replica_reads)
+        self._read_rotation = itertools.count()
+        # Merged-histogram cache:
+        # name -> (generation_sum, merged histogram, piece_states) where
+        # piece_states maps each piece's primary shard id to (the snapshot's
+        # own generation, the deserialised member histogram).  The retained
+        # members make rebuilds incremental: only pieces whose probed
+        # generation differs are re-fetched.
+        self._merge_cache: dict[
+            str, tuple[int, UnionHistogram, dict[str, tuple[int, Histogram]]]
+        ] = {}
         self._merge_locks: dict[str, threading.Lock] = {}
         self._merge_guard = threading.Lock()
         # In-flight rebalances: name -> buffered (op, values) runs, plus a
@@ -268,19 +295,32 @@ class ClusterCoordinator:
         with self._stale_lock:
             return sorted(self._stale)
 
-    def _failover_order(self, name: str, replicas: Sequence[str]) -> list[str]:
+    def _failover_order(
+        self, name: str, replicas: Sequence[str], *, spread: bool = False
+    ) -> list[str]:
         """Read preference: primary first, known-stale replicas demoted last.
 
         A stale replica is still tried as the last resort -- an estimate
         from a slightly-behind replica beats no estimate at all -- but only
         after every up-to-date candidate proved unreachable.
+
+        With ``spread`` (read-replica mode) the fresh candidates are rotated
+        round-robin instead of primary-first: every fresh replica applied
+        every acknowledged write (a replica that missed one is marked stale
+        and lands in the demoted tail), so any of them answers estimate
+        reads identically and the rotation spreads query load evenly.
         """
         with self._stale_lock:
             fresh = [sid for sid in replicas if (name, sid) not in self._stale]
             stale = [sid for sid in replicas if (name, sid) in self._stale]
+        if spread and len(fresh) > 1:
+            offset = next(self._read_rotation) % len(fresh)
+            fresh = fresh[offset:] + fresh[:offset]
         return fresh + stale
 
-    def _call_with_failover(self, name: str, replicas: Sequence[str], call):
+    def _call_with_failover(
+        self, name: str, replicas: Sequence[str], call, *, spread: bool = False
+    ):
         """Run ``call(shard)`` on the first live replica; returns (id, result).
 
         :class:`ShardUnavailableError` triggers failover.  An application
@@ -294,7 +334,7 @@ class ClusterCoordinator:
         """
         last_unavailable: ShardUnavailableError | None = None
         last_unknown: UnknownAttributeError | None = None
-        for shard_id in self._failover_order(name, replicas):
+        for shard_id in self._failover_order(name, replicas, spread=spread):
             try:
                 start = time.perf_counter()
                 try:
@@ -722,8 +762,10 @@ class ClusterCoordinator:
         """Evaluate a consistent batch of estimate queries.
 
         Unpartitioned attributes delegate to the home shard's batched query
-        (one lock acquisition there -- no torn estimates), failing over to
-        the next live replica when the home shard is unreachable.
+        (served there from the published snapshot -- no torn estimates, no
+        lock), failing over to the next live replica when the home shard is
+        unreachable; with ``replica_reads`` the read rotates across the
+        fresh replicas instead of always landing on the primary.
         Partitioned attributes are served from the merged global histogram,
         an immutable snapshot, so the whole batch is trivially consistent;
         the returned ``generation`` is the piece generation sum the merge
@@ -734,6 +776,7 @@ class ClusterCoordinator:
                 name,
                 self._router.replicas_for(name),
                 lambda shard: shard.query(name, queries),
+                spread=self._replica_reads,
             )
             result["shard"] = shard_id
             return result
@@ -775,7 +818,12 @@ class ClusterCoordinator:
         return partition
 
     def _gather_pieces(
-        self, name: str, piece_replicas: Mapping[str, tuple[str, ...]], call
+        self,
+        name: str,
+        piece_replicas: Mapping[str, tuple[str, ...]],
+        call,
+        *,
+        spread: bool = False,
     ) -> dict[str, Any]:
         """Run ``call`` once per piece, each with replica failover, gathered
         concurrently and keyed by the piece's primary shard id."""
@@ -785,7 +833,7 @@ class ClusterCoordinator:
 
         def run(replicas: tuple[str, ...]) -> tuple[str, Any]:
             with use_trace(trace):
-                return self._call_with_failover(name, replicas, call)
+                return self._call_with_failover(name, replicas, call, spread=spread)
 
         futures = {
             piece_id: self._executor.submit(run, replicas)
@@ -795,13 +843,24 @@ class ClusterCoordinator:
             piece_id: future.result()[1] for piece_id, future in futures.items()
         }
 
-    def _generation_sum(
+    def _piece_generations(
         self, name: str, piece_replicas: Mapping[str, tuple[str, ...]]
-    ) -> int:
-        gathered = self._gather_pieces(
-            name, piece_replicas, lambda shard: shard.generation(name)
-        )
-        return sum(gathered.values())
+    ) -> dict[str, int]:
+        """Probe every piece's generation counter (the merge-cache key).
+
+        The per-shard probe is a lock-free published-reference read, and in
+        read-replica mode the probes rotate across fresh replicas like any
+        other estimate read.
+        """
+        return {
+            piece_id: int(value)
+            for piece_id, value in self._gather_pieces(
+                name,
+                piece_replicas,
+                lambda shard: shard.generation(name),
+                spread=self._replica_reads,
+            ).items()
+        }
 
     def _merge_lock(self, name: str) -> threading.Lock:
         with self._merge_guard:
@@ -811,7 +870,7 @@ class ClusterCoordinator:
             return lock
 
     def _merged_entry(self, name: str) -> tuple[int, UnionHistogram]:
-        """The cached merged histogram, rebuilt only after shard writes.
+        """The cached merged histogram, refreshed incrementally after writes.
 
         The hit check compares the cached key against the sum of the piece
         shards' generation counters, read **before** the snapshots: a write
@@ -826,40 +885,70 @@ class ClusterCoordinator:
         would pin an under-counting merge until the next write.  Keyed on
         its own snapshots, the entry stops matching as soon as the fresher
         replica answers the probe again.
+
+        A refresh is *incremental*: the cache retains each piece's
+        deserialised member histogram together with the generation its
+        snapshot reported, and only pieces whose freshly probed generation
+        differs from that retained per-piece generation are re-fetched.
+        The retained members are immutable inputs (superimpose only reads
+        ``buckets()``), and an unchanged generation means an identical
+        snapshot, so the incremental superimpose + reduce is bit-identical
+        to a from-scratch rebuild over full snapshots -- the probe-before-
+        snapshot direction holds per piece exactly as in the all-piece case.
         """
         partition = self._partition_of(name)
         piece_ids = partition.piece_shard_ids
         piece_replicas = self._router.partition_replicas(name)
-        generation_sum = self._generation_sum(name, piece_replicas)
+        generations = self._piece_generations(name, piece_replicas)
+        generation_sum = sum(generations.values())
         cached = self._merge_cache.get(name)
         if cached is not None and cached[0] == generation_sum:
-            return cached
+            return cached[0], cached[1]
         with self._merge_lock(name):
             cached = self._merge_cache.get(name)
             if cached is not None and cached[0] == generation_sum:
-                return cached
-            snapshots = self._gather_pieces(
-                name, piece_replicas, lambda shard: shard.snapshot(name)
+                return cached[0], cached[1]
+            retained = cached[2] if cached is not None else {}
+            moved = {
+                piece_id
+                for piece_id in piece_ids
+                if piece_id not in retained
+                or retained[piece_id][0] != generations[piece_id]
+            }
+            snapshots = (
+                self._gather_pieces(
+                    name,
+                    {piece_id: piece_replicas[piece_id] for piece_id in moved},
+                    lambda shard: shard.snapshot(name),
+                )
+                if moved
+                else {}
             )
-            members = [
-                histogram_from_dict(dict(snapshots[shard_id]["histogram"]))
-                for shard_id in piece_ids
-            ]
+            piece_states: dict[str, tuple[int, Histogram]] = {}
+            for piece_id in piece_ids:
+                if piece_id in snapshots:
+                    snapshot = snapshots[piece_id]
+                    piece_states[piece_id] = (
+                        int(snapshot.get("generation", 0)),
+                        histogram_from_dict(dict(snapshot["histogram"])),
+                    )
+                else:
+                    piece_states[piece_id] = retained[piece_id]
             merged = reduce_segments(
-                superimpose(members),
+                superimpose([piece_states[piece_id][1] for piece_id in piece_ids]),
                 self._global_buckets,
                 value_unit=self._value_unit,
             )
             snapshot_generation_sum = sum(
-                int(snapshots[shard_id].get("generation", 0)) for shard_id in piece_ids
+                state[0] for state in piece_states.values()
             )
-            entry = (snapshot_generation_sum, merged)
+            entry = (snapshot_generation_sum, merged, piece_states)
             # Insert under the guard (stats() iterates the cache under it),
             # and never resurrect an entry a concurrent drop() just removed.
             with self._merge_guard:
                 if self._router.partition_for(name) is not None:
                     self._merge_cache[name] = entry
-            return entry
+            return entry[0], entry[1]
 
     # ------------------------------------------------------------------
     # snapshot / restore
@@ -1244,4 +1333,5 @@ class ClusterCoordinator:
             "merge_cache": merge_cache,
             "stale_replicas": [list(entry) for entry in self.stale_replicas()],
             "dropped_buffered_ops": self._dropped_buffered_ops,
+            "replica_reads": self._replica_reads,
         }

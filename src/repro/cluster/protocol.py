@@ -154,6 +154,12 @@ class LocalShard(ShardBackend):
     def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
         return self.store.query(name, queries)
 
+    def generation(self, name: str) -> int:
+        # Lock-free: the store reads its published (generation, snapshot)
+        # reference, so the coordinator's merge-cache probes never contend
+        # with this shard's writers.
+        return self.store.generation(name)
+
     def stats(self, name: str) -> dict[str, Any]:
         return self.store.stats(name).to_dict()
 

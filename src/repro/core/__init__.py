@@ -17,7 +17,7 @@ model that converts a byte budget into bucket counts.
 
 from .bucket import Bucket, SubBucketedBucket
 from .bucket_array import BucketArray
-from .base import Histogram, DynamicHistogram
+from .base import Histogram, DynamicHistogram, SnapshotHistogram
 from .segment_view import SegmentView
 from .memory import MemoryModel, buckets_for_memory
 from .deviation import (
@@ -38,6 +38,7 @@ __all__ = [
     "SegmentView",
     "Histogram",
     "DynamicHistogram",
+    "SnapshotHistogram",
     "MemoryModel",
     "buckets_for_memory",
     "DeviationMetric",

@@ -22,7 +22,7 @@ from ..metrics.distribution import DataDistribution
 from .bucket import Bucket
 from .segment_view import SegmentView
 
-__all__ = ["Histogram", "DynamicHistogram"]
+__all__ = ["Histogram", "DynamicHistogram", "SnapshotHistogram"]
 
 
 class Histogram(abc.ABC):
@@ -48,6 +48,11 @@ class Histogram(abc.ABC):
 
     #: Cached SegmentView (None = derive from the live state on next read).
     _view_cache: SegmentView | None = None
+
+    #: Cached *owned* (detached) view for lock-free publication (None = derive
+    #: lazily via :meth:`published_view`).  Dropped together with the working
+    #: view cache on every mutation.
+    _published_cache: SegmentView | None = None
 
     # ------------------------------------------------------------------
     # abstract surface
@@ -86,9 +91,32 @@ class Histogram(abc.ABC):
         """
         return SegmentView.from_buckets(self.buckets())
 
+    def published_view(self) -> SegmentView:
+        """An *owned* snapshot view of the current state, for publication.
+
+        Unlike :meth:`segment_view` (which may alias the histogram's live
+        arrays and is therefore only valid while the caller prevents
+        mutation), the returned view owns copies of every array it depends
+        on (:meth:`SegmentView.detach`).  It stays internally consistent
+        forever, even while the source histogram keeps mutating -- callers
+        may stash it behind a single reference and serve estimates from it
+        without holding any lock.  The copy is made at most once per
+        mutation (cached until :meth:`_invalidate_view`).
+
+        Must be called while the caller's write-side synchronisation is held
+        (or on a quiescent histogram): building the snapshot reads the live
+        arrays.
+        """
+        view = self._published_cache
+        if view is None:
+            view = self.segment_view().detach()
+            self._published_cache = view
+        return view
+
     def _invalidate_view(self) -> None:
-        """Drop the cached segment view.  Every mutator must call this."""
+        """Drop the cached segment views.  Every mutator must call this."""
         self._view_cache = None
+        self._published_cache = None
 
     # ------------------------------------------------------------------
     # derived read API
@@ -370,3 +398,41 @@ class DynamicHistogram(Histogram):
                 insert(op.value)
             else:
                 delete(op.value)
+
+
+class SnapshotHistogram(Histogram):
+    """An immutable histogram frozen from an owned :class:`SegmentView`.
+
+    This is the value type of RCU-style publication: a writer snapshots its
+    live histogram (:meth:`Histogram.published_view`) and hands readers a
+    ``SnapshotHistogram`` wrapping the detached view.  The snapshot exposes
+    the full read API -- estimation methods hit the pre-built view directly,
+    and :meth:`buckets` reconstructs the segment list from the view's arrays
+    for the non-fast fallbacks -- but has no mutators, so a reference to it
+    is valid forever without any locking.
+    """
+
+    def __init__(self, view: SegmentView) -> None:
+        if not view.owned:
+            view = view.detach()
+        self._view_cache = view
+
+    def segment_view(self) -> SegmentView:
+        view = self._view_cache
+        assert view is not None  # set in __init__, never invalidated
+        return view
+
+    def buckets(self) -> list[Bucket]:
+        """Reconstruct the segment list (point masses + regular, value order)."""
+        view = self.segment_view()
+        lefts = np.concatenate((view.pm_values, view.reg_lefts))
+        rights = np.concatenate((view.pm_values, view.reg_rights))
+        counts = np.concatenate((view.pm_counts, view.reg_counts))
+        order = np.lexsort((rights, lefts))
+        return [
+            Bucket(float(lefts[i]), float(rights[i]), float(counts[i]))
+            for i in order
+        ]
+
+    def _invalidate_view(self) -> None:  # pragma: no cover - defensive
+        raise TypeError("SnapshotHistogram is immutable; it cannot be invalidated")

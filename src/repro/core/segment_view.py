@@ -61,6 +61,7 @@ class SegmentView:
         "reg_widths",
         "reg_prefix",
         "fast",
+        "owned",
     )
 
     def __init__(
@@ -115,6 +116,38 @@ class SegmentView:
         self.fast = bool(
             reg_lefts.size < 2 or np.all(reg_lefts[1:] >= reg_rights[:-1])
         )
+        # Zero-copy adoption above means the view may alias the histogram's
+        # live arrays; ``detach()`` produces an owning clone safe to publish.
+        self.owned = False
+
+    def detach(self) -> SegmentView:
+        """Return a clone that owns copies of every possibly-aliased array.
+
+        The constructor adopts the caller's border/count arrays without
+        copying, so a view built from a live histogram can alias state the
+        next mutation rewrites in place.  A detached view copies those arrays
+        (widths and prefix sums are always freshly allocated and never
+        mutated, so they are shared), making it immutable-by-construction and
+        safe to hand to readers that never hold the writer's lock.
+        """
+        if self.owned:
+            return self
+        clone = object.__new__(SegmentView)
+        clone.n_buckets = self.n_buckets
+        clone.total = self.total
+        clone.first_left = self.first_left
+        clone.last_right = self.last_right
+        clone.pm_values = np.array(self.pm_values, dtype=float, copy=True)
+        clone.pm_counts = np.array(self.pm_counts, dtype=float, copy=True)
+        clone.pm_prefix = self.pm_prefix
+        clone.reg_lefts = np.array(self.reg_lefts, dtype=float, copy=True)
+        clone.reg_rights = np.array(self.reg_rights, dtype=float, copy=True)
+        clone.reg_counts = np.array(self.reg_counts, dtype=float, copy=True)
+        clone.reg_widths = self.reg_widths
+        clone.reg_prefix = self.reg_prefix
+        clone.fast = self.fast
+        clone.owned = True
+        return clone
 
     @classmethod
     def from_buckets(cls, buckets: Sequence[Bucket]) -> SegmentView:

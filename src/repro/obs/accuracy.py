@@ -18,6 +18,10 @@ Caveats, by design:
   concurrent mutation a checked estimate can race a shadow update; observed
   error then includes a transient in-flight component.  This is telemetry,
   not a correctness oracle.
+* The store's read path serves from published snapshots without locks
+  (repro-verify REP010), and the sampler must not undo that: unsampled
+  query batches are rejected by a lock-free coin flip, so only the sampled
+  ``fraction`` ever touches the sampler lock.
 * ``restore`` and partially-applied mutations desynchronise the shadow from
   the histogram irrecoverably, so both disable the attribute's sampling.
 
@@ -188,12 +192,18 @@ class AccuracySampler:
         results: Sequence[Any],
     ) -> None:
         """Possibly compare one answered query batch against exact counts."""
+        # The sampling decision is made BEFORE the sampler lock: the store's
+        # read path is lock-free (published snapshots, REP010), and taking a
+        # shared lock here for every answered batch would re-introduce
+        # cross-reader serialisation for the (1 - fraction) majority of
+        # batches that are never checked.  ``Random.random`` is one C call,
+        # atomic under the GIL.
+        if self._rng.random() >= self.fraction:
+            return
         errors: list[float] = []
         with self._lock:
             shadow = self._shadows.get(name)
             if shadow is None or not shadow.enabled:
-                return
-            if self._rng.random() >= self.fraction:
                 return
             denominator = float(max(shadow.total, 1))
             for query, estimate in zip(queries, results, strict=True):

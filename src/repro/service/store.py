@@ -11,19 +11,24 @@ Locking model
 
 * a store-level lock guards the *registry* (the name -> attribute mapping);
   ``create`` / ``drop`` / ``names`` take it briefly;
-* every attribute carries its own reentrant lock; all reads and writes against
-  one attribute serialise on that lock, while operations on *different*
-  attributes run fully in parallel;
-* reads must lock too: estimation lazily rebuilds the cached
-  :class:`~repro.core.segment_view.SegmentView` after a mutation, so an
-  unlocked read could observe a half-updated histogram.  Because the view is
-  rebuilt at most once per generation, the read critical sections are O(log B)
-  after the first read.
+* every attribute carries its own reentrant lock; *mutations* against one
+  attribute serialise on that lock, while operations on different attributes
+  run fully in parallel;
+* reads never take the attribute lock: every mutation publishes an immutable
+  :class:`~repro.core.base.SnapshotHistogram` (wrapping an *owned* copy of the
+  :class:`~repro.core.segment_view.SegmentView` arrays) under the single
+  ``_Attribute.published`` reference, and estimation loads that reference once
+  -- RCU style.  A reference load is atomic under the GIL, so a reader sees
+  either the pre- or the post-mutation snapshot, never a torn state; and
+  because writers publish in attribute-lock order, staleness is monotone (a
+  reader never observes a snapshot older than one it already saw).
 
-Every mutation bumps the attribute's *generation* counter, so clients can
-detect staleness across snapshot/restore cycles, and :meth:`HistogramStore.query`
-evaluates a whole batch of estimates under one lock acquisition -- the result
-list is guaranteed to describe a single histogram state (no torn estimates).
+Every mutation bumps the attribute's *generation* counter and republishes, so
+clients can detect staleness across snapshot/restore cycles.
+:meth:`HistogramStore.query` pins ONE published snapshot for a read-only
+batch, so the result list describes a single histogram state (no torn
+estimates) without any lock acquisition; batches containing an op outside the
+read-only set fall back to the historical locked path.
 """
 
 from __future__ import annotations
@@ -42,7 +47,7 @@ from typing import Any
 import numpy as np
 
 from .._validation import require_positive_int
-from ..core.base import DynamicHistogram
+from ..core.base import DynamicHistogram, SnapshotHistogram
 from ..core.factory import build_dynamic_histogram
 from ..core.memory import MemoryModel
 from ..exceptions import (
@@ -91,8 +96,9 @@ def evaluate_queries(histogram: Any, queries: Sequence[Mapping[str, Any]]) -> li
     ``equal`` / ``cdf`` / ``total`` / ``selectivity``), shared with the
     cluster coordinator, which evaluates the same batches against merged
     global histograms.  Consistency is the *caller's* concern: the store runs
-    this under the attribute lock, the coordinator against an immutable
-    merged snapshot.
+    read-only batches against a pinned published snapshot (mixed batches
+    under the attribute lock), the coordinator against an immutable merged
+    snapshot.
     """
     results: list[Any] = []
     for query in queries:
@@ -122,6 +128,12 @@ def evaluate_queries(histogram: Any, queries: Sequence[Mapping[str, Any]]) -> li
         else:
             raise ConfigurationError(f"unknown estimate op {op!r}")
     return results
+
+
+#: Query ops servable from a published snapshot.  A batch whose every op is in
+#: this set never needs the attribute lock; anything else (in practice only a
+#: batch carrying an unknown op, which must raise) takes the locked path.
+_READ_ONLY_OPS = frozenset({"range", "equal", "cdf", "total", "selectivity"})
 
 
 @dataclass(frozen=True)
@@ -155,9 +167,30 @@ class AttributeStats:
         }
 
 
+@dataclass(frozen=True)
+class _PublishedView:
+    """One RCU publication: a generation and the snapshot it identifies.
+
+    Bundling both into one immutable object is what makes the lock-free read
+    path torn-free: readers load ``_Attribute.published`` exactly once and get
+    a (generation, snapshot) pair that can never disagree.  Publication is
+    always a single reference store of a fresh ``_PublishedView`` -- never a
+    field-by-field update (enforced by analysis rule REP010).
+    """
+
+    generation: int
+    snapshot: SnapshotHistogram
+
+
 @dataclass
 class _Attribute:
-    """Internal registry entry: a histogram plus its lock and counters."""
+    """Internal registry entry: a histogram plus its lock and counters.
+
+    ``published`` is the RCU read-side state: always non-``None`` (set at
+    construction and re-set under the attribute lock at the end of every
+    mutation), so readers may dereference it unconditionally without ever
+    taking ``lock``.
+    """
 
     name: str
     kind: str
@@ -167,6 +200,23 @@ class _Attribute:
     generation: int = 0
     inserted: int = 0
     deleted: int = 0
+    published: _PublishedView = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.publish()
+
+    def publish(self) -> None:
+        """Publish the current histogram state as an immutable snapshot.
+
+        Must be called with ``lock`` held (or before the attribute is
+        reachable by other threads): it reads the live histogram arrays.
+        The assignment itself is a single reference store, so concurrent
+        readers atomically switch from the old snapshot to the new one.
+        """
+        self.published = _PublishedView(
+            generation=self.generation,
+            snapshot=SnapshotHistogram(self.histogram.published_view()),
+        )
 
 
 class HistogramStore:
@@ -217,6 +267,8 @@ class HistogramStore:
         self._m_op_seconds = None
         self._m_mutations = None
         self._m_reads = None
+        self._m_published_reads = None
+        self._m_published_publishes = None
         self._m_compactions = None
         self._m_compaction_seconds = None
         if metrics is not None:
@@ -237,6 +289,16 @@ class HistogramStore:
                 "repro_store_reads_total",
                 "Read operations served per attribute and op",
                 labelnames=("attribute", "op"),
+            )
+            self._m_published_reads = metrics.counter(
+                "repro_store_published_view_reads_total",
+                "Estimate batches served lock-free from the published snapshot",
+                labelnames=("attribute",),
+            )
+            self._m_published_publishes = metrics.counter(
+                "repro_store_published_view_publishes_total",
+                "Snapshot publications (one per mutation batch per attribute)",
+                labelnames=("attribute",),
             )
             self._m_compactions = metrics.counter(
                 "repro_wal_compactions_total",
@@ -622,8 +684,12 @@ class HistogramStore:
                 finally:
                     # A failed batch may still have applied a prefix; the
                     # generation must move so readers never mistake the mutated
-                    # histogram for the pre-batch state.
+                    # histogram for the pre-batch state.  Republishing in the
+                    # same breath keeps the lock-free read path current --
+                    # readers switch to the post-batch snapshot the moment the
+                    # reference lands.
                     attribute.generation += 1
+                    attribute.publish()
         finally:
             # Telemetry strictly after the attribute lock is released.  A
             # failed batch may have applied an unknown prefix, which the
@@ -637,6 +703,7 @@ class HistogramStore:
         if self._m_op_seconds is not None:
             self._m_op_seconds.observe(time.perf_counter() - start, op="insert")
             self._m_mutations.inc(len(values), attribute=name, op="insert")
+            self._m_published_publishes.inc(1, attribute=name)
         return len(values)
 
     def delete(self, name: str, values: Iterable[float]) -> int:
@@ -671,8 +738,10 @@ class HistogramStore:
                     raise
                 finally:
                     # As in insert: a DeletionError mid-batch leaves earlier
-                    # deletions applied, so the generation must still move.
+                    # deletions applied, so the generation must still move --
+                    # and the moved state must be republished for readers.
                     attribute.generation += 1
+                    attribute.publish()
         finally:
             # Telemetry strictly after the attribute lock is released.
             if self._sampler is not None and applied:
@@ -685,41 +754,42 @@ class HistogramStore:
         if self._m_op_seconds is not None:
             self._m_op_seconds.observe(time.perf_counter() - start, op="delete")
             self._m_mutations.inc(len(values), attribute=name, op="delete")
+            self._m_published_publishes.inc(1, attribute=name)
         return len(values)
 
     # ------------------------------------------------------------------
-    # reads
+    # reads (lock-free: served from the published snapshot, REP010)
     # ------------------------------------------------------------------
     def estimate_range(self, name: str, low: float, high: float) -> float:
         """Estimated number of values of ``name`` in the closed range [low, high]."""
-        attribute = self._attribute(name)
-        with attribute.lock:
-            return float(attribute.histogram.estimate_range(float(low), float(high)))
+        published = self._attribute(name).published
+        return float(published.snapshot.estimate_range(float(low), float(high)))
 
     def estimate_equal(self, name: str, value: float, *, value_granularity: float = 1.0) -> float:
         """Estimated number of values of ``name`` equal to ``value``."""
-        attribute = self._attribute(name)
-        with attribute.lock:
-            return float(
-                attribute.histogram.estimate_equal(
-                    float(value), value_granularity=value_granularity
-                )
+        published = self._attribute(name).published
+        return float(
+            published.snapshot.estimate_equal(
+                float(value), value_granularity=value_granularity
             )
+        )
 
     def cdf(self, name: str, xs: Sequence[float]) -> list[float]:
         """Approximate CDF of ``name`` evaluated at each point of ``xs``."""
-        attribute = self._attribute(name)
-        with attribute.lock:
-            return [float(v) for v in attribute.histogram.cdf_many(np.asarray(xs, dtype=float))]
+        published = self._attribute(name).published
+        return [float(v) for v in published.snapshot.cdf_many(np.asarray(xs, dtype=float))]
 
     def total_count(self, name: str) -> float:
         """Total number of values currently represented for ``name``."""
-        attribute = self._attribute(name)
-        with attribute.lock:
-            return float(attribute.histogram.total_count)
+        published = self._attribute(name).published
+        return float(published.snapshot.total_count)
+
+    def generation(self, name: str) -> int:
+        """Publication generation of ``name`` (a single lock-free reference read)."""
+        return self._attribute(name).published.generation
 
     def query(self, name: str, queries: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
-        """Evaluate a batch of estimate queries under ONE lock acquisition.
+        """Evaluate a batch of estimate queries against ONE histogram state.
 
         Each query is a mapping with an ``op`` key:
 
@@ -729,24 +799,52 @@ class HistogramStore:
         * ``{"op": "total"}`` -> total count,
         * ``{"op": "selectivity", "low": .., "high": ..}`` -> fraction.
 
-        Because the whole batch runs inside the attribute lock, the returned
-        ``results`` are mutually consistent -- they describe one histogram
-        state, identified by the returned ``generation``.
+        A read-only batch (every op in the query language above) pins the
+        published snapshot once and evaluates the whole batch against it, so
+        the returned ``results`` are mutually consistent -- they describe one
+        histogram state, identified by the returned ``generation`` -- without
+        taking any lock.  Batches containing an op outside the read-only set
+        fall back to :meth:`_query_locked`.
         """
         start = time.perf_counter()
         attribute = self._attribute(name)
-        with attribute.lock:
+        if all(query.get("op") in _READ_ONLY_OPS for query in queries):
+            # RCU read side: ONE reference load pins an immutable
+            # (generation, snapshot) pair for the whole batch.
+            published = attribute.published
             response = {
-                "generation": attribute.generation,
-                "results": evaluate_queries(attribute.histogram, queries),
+                "generation": published.generation,
+                "results": evaluate_queries(published.snapshot, queries),
             }
-        # Telemetry strictly after the attribute lock is released.
+            served_from_published = True
+        else:
+            response = self._query_locked(name, queries)
+            served_from_published = False
+        # Telemetry strictly after the batch is evaluated, outside any lock.
         if self._m_op_seconds is not None:
             self._m_op_seconds.observe(time.perf_counter() - start, op="query")
             self._m_reads.inc(1, attribute=name, op="query")
+            if served_from_published:
+                self._m_published_reads.inc(1, attribute=name)
         if self._sampler is not None:
             self._sampler.maybe_check(name, queries, response["results"])
         return response
+
+    def _query_locked(self, name: str, queries: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+        """Evaluate a query batch under the attribute lock (historical path).
+
+        Kept for batches the published snapshot cannot serve -- in practice
+        only batches carrying an unknown op, which must raise
+        :class:`~repro.exceptions.ConfigurationError` exactly as before --
+        and as the locked-read ablation baseline for the benchmark matrix's
+        ``read_locked_single`` cell.
+        """
+        attribute = self._attribute(name)
+        with attribute.lock:
+            return {
+                "generation": attribute.generation,
+                "results": evaluate_queries(attribute.histogram, queries),
+            }
 
     # ------------------------------------------------------------------
     # stats
@@ -873,6 +971,7 @@ class HistogramStore:
                 attribute.generation = (
                     max(attribute.generation, int(snapshot.get("generation", 0))) + 1
                 )
+                attribute.publish()
         self._maybe_compact()
         # The shadow cannot mirror a wholesale histogram replacement.
         if self._sampler is not None:

@@ -28,7 +28,7 @@ def findings(source: str, rel_path: str, *rule_ids: str) -> list[str]:
 class TestRegistry:
     def test_catalog_is_complete(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == [f"REP00{i}" for i in range(1, 10)]
+        assert ids == [f"REP00{i}" for i in range(1, 10)] + ["REP010"]
 
     def test_every_rule_documents_itself(self):
         for rule in all_rules():
@@ -431,6 +431,91 @@ class TestRep009ObsLocksAreLeaves:
                     os.fsync(self._file.fileno())
         """
         assert findings(source, "src/repro/service/wal.py", "REP009") == []
+
+
+class TestRep010LockFreeReads:
+    PATH = "src/repro/service/store.py"
+
+    def test_flags_read_entry_point_taking_attribute_lock(self):
+        source = """
+            def total_count(self, name):
+                attribute = self._attribute(name)
+                with attribute.lock:
+                    return attribute.histogram.total_count
+        """
+        assert findings(source, self.PATH, "REP010") == ["REP010"]
+
+    def test_flags_query_batch_under_attribute_lock(self):
+        source = """
+            def query(self, name, queries):
+                attribute = self._attribute(name)
+                with attribute.lock:
+                    return evaluate_queries(attribute.histogram, queries)
+        """
+        assert findings(source, self.PATH, "REP010") == ["REP010"]
+
+    def test_flags_explicit_acquire_in_read_path(self):
+        source = """
+            def estimate_range(self, name, low, high):
+                attribute = self._attribute(name)
+                attribute.lock.acquire()
+                try:
+                    return attribute.histogram.estimate_range(low, high)
+                finally:
+                    attribute.lock.release()
+        """
+        assert findings(source, self.PATH, "REP010") == ["REP010"]
+
+    def test_flags_field_mutation_of_published_snapshot(self):
+        source = """
+            def publish(self, attribute, generation):
+                attribute.published.generation = generation
+        """
+        assert findings(source, self.PATH, "REP010") == ["REP010"]
+
+    def test_flags_publication_split_across_attributes(self):
+        source = """
+            def publish(self, attribute, view, generation):
+                attribute.published_view = view
+                attribute.published_generation = generation
+        """
+        assert findings(source, self.PATH, "REP010") == ["REP010", "REP010"]
+
+    def test_passes_read_from_published_reference(self):
+        source = """
+            def estimate_range(self, name, low, high):
+                published = self._attribute(name).published
+                return float(published.snapshot.estimate_range(low, high))
+        """
+        assert findings(source, self.PATH, "REP010") == []
+
+    def test_passes_single_reference_publication(self):
+        source = """
+            def publish(self):
+                self.published = _PublishedView(
+                    generation=self.generation,
+                    snapshot=SnapshotHistogram(self.histogram.published_view()),
+                )
+        """
+        assert findings(source, self.PATH, "REP010") == []
+
+    def test_passes_locked_fallback_helper(self):
+        source = """
+            def _query_locked(self, name, queries):
+                attribute = self._attribute(name)
+                with attribute.lock:
+                    return evaluate_queries(attribute.histogram, queries)
+        """
+        assert findings(source, self.PATH, "REP010") == []
+
+    def test_scope_is_store_only(self):
+        source = """
+            def total_count(self, name):
+                attribute = self._attribute(name)
+                with attribute.lock:
+                    return attribute.histogram.total_count
+        """
+        assert findings(source, "src/repro/cluster/coordinator.py", "REP010") == []
 
 
 class TestSuppressions:

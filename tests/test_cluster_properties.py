@@ -5,7 +5,11 @@ attribute under the sum of the piece shards' generation counters.  The
 invariant (the cluster analogue of ``test_properties.py``'s spliced-cache
 guard): after ANY interleaving of shard writes and cache-populating queries,
 the histogram the cache serves is bit-identical to a from-scratch
-superimpose + reduce over the current piece snapshots.
+superimpose + reduce over the current piece snapshots.  Since the merge
+became incremental (per-piece snapshots retained, only moved pieces
+re-fetched), the same property also pins the incremental path: whatever mix
+of full rebuilds, cache hits, and partial re-fetches an interleaving causes,
+the served histogram may never drift from the from-scratch answer.
 """
 
 import pytest
@@ -69,6 +73,56 @@ def test_cached_merge_always_equals_from_scratch_rebuild(ops):
         final = coordinator.merged_histogram("hot")
         assert buckets_of(final) == buckets_of(from_scratch_merge(coordinator, "hot"))
         assert abs(final.total_count - len(inserted)) <= 1e-6 * max(1, len(inserted))
+    finally:
+        coordinator.close()
+
+
+class CountingShard(LocalShard):
+    """A LocalShard that counts piece-snapshot fetches."""
+
+    def __init__(self, shard_id):
+        super().__init__(shard_id)
+        self.snapshot_calls = 0
+
+    def snapshot(self, name):
+        self.snapshot_calls += 1
+        return super().snapshot(name)
+
+
+def test_incremental_merge_refetches_only_moved_pieces():
+    """The merge cache retains unmoved pieces and re-fetches only moved ones."""
+    shards = [CountingShard(f"shard-{i}") for i in range(4)]
+    coordinator = ClusterCoordinator(shards, global_buckets=GLOBAL_BUCKETS)
+    by_id = {shard.shard_id: shard for shard in shards}
+    try:
+        coordinator.create("hot", "dc", memory_kb=0.5, partition_boundaries=BOUNDARIES)
+        coordinator.ingest("hot", insert=[50.0, 150.0, 250.0, 350.0])
+        coordinator.merged_histogram("hot")
+        baseline = {shard.shard_id: shard.snapshot_calls for shard in shards}
+
+        # No writes since the rebuild: a pure cache hit, zero fetches.
+        coordinator.merged_histogram("hot")
+        assert {s.shard_id: s.snapshot_calls for s in shards} == baseline
+
+        # Move exactly ONE piece (both values inside the first piece's
+        # range): the next merge must re-fetch only that piece's shard and
+        # reuse every retained member for the others.
+        partition = coordinator.router.partition_for("hot")
+        moved_shard = partition.piece_shard_ids[0]
+        coordinator.ingest("hot", insert=[10.0, 20.0])
+        coordinator.merged_histogram("hot")
+        expected = {
+            shard_id: count + (1 if shard_id == moved_shard else 0)
+            for shard_id, count in baseline.items()
+        }
+        assert {s.shard_id: s.snapshot_calls for s in shards} == expected
+        assert by_id[moved_shard].snapshot_calls == baseline[moved_shard] + 1
+
+        # And the incrementally maintained merge is still bit-identical to a
+        # from-scratch superimpose + reduce over current piece snapshots.
+        assert buckets_of(coordinator.merged_histogram("hot")) == buckets_of(
+            from_scratch_merge(coordinator, "hot")
+        )
     finally:
         coordinator.close()
 

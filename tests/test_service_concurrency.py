@@ -4,9 +4,12 @@ The store's contract under concurrency:
 
 * writes are never lost: after N writer threads finish, every attribute's
   ``total_count`` equals exactly the number of values ingested into it;
-* reads are never torn: a batched query runs under one lock acquisition, so
-  within one response the total count and the full-domain range estimate
-  describe the same histogram state and must agree;
+* reads are never torn: a read-only batched query pins ONE published
+  snapshot, so within one response the total count and the full-domain range
+  estimate describe the same histogram state and must agree;
+* read staleness is monotone: publications are ordered by the attribute
+  lock, so the generations one reader observes for an attribute never go
+  backwards;
 * readers and writers make progress together (no deadlocks), including over
   the batching ingest pipeline and the HTTP server.
 """
@@ -173,6 +176,103 @@ class TestConcurrentStore:
         )
         assert errors == []
         assert store.total_count("age") == pytest.approx(40 * 50)
+
+
+class TestLockFreeReadPath:
+    """The published-snapshot read path under sustained writer pressure.
+
+    Readers here never take the per-attribute lock (REP010): read-only query
+    batches pin one published ``(generation, snapshot)`` pair, so every
+    assertion below must hold while writers continuously republish.
+    """
+
+    N_WRITERS = 4
+    N_READERS = 3
+    BATCHES_PER_WRITER = 30
+    BATCH_SIZE = 100
+    FULL_SELECTIVITY = {"op": "selectivity", "low": -1e18, "high": 1e18}
+
+    def test_pinned_batches_and_monotone_generations_under_writers(self, store):
+        errors = []
+        torn = []
+        regressions = []
+        stop_reading = threading.Event()
+
+        def writer(writer_index: int) -> None:
+            rng = np.random.default_rng(1000 + writer_index)
+            try:
+                for batch_index in range(self.BATCHES_PER_WRITER):
+                    name = ATTRIBUTES[(writer_index + batch_index) % len(ATTRIBUTES)]
+                    values = rng.integers(0, 200, self.BATCH_SIZE).astype(float)
+                    store.insert(name, values)
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        def reader(reader_index: int) -> None:
+            rng = np.random.default_rng(2000 + reader_index)
+            last_generation = {name: -1 for name in ATTRIBUTES}
+            try:
+                while not stop_reading.is_set():
+                    name = ATTRIBUTES[rng.integers(0, len(ATTRIBUTES))]
+                    response = store.query(
+                        name, [{"op": "total"}, FULL_DOMAIN, self.FULL_SELECTIVITY]
+                    )
+                    total, full_range, fraction = response["results"]
+                    # All three answers must describe ONE pinned snapshot: a
+                    # torn batch would mix the mass of two histogram states.
+                    if abs(total - full_range) > 1e-6 * max(1.0, abs(total)):
+                        torn.append((name, "total-vs-range", total, full_range))
+                    if total > 0 and abs(fraction - 1.0) > 1e-9:
+                        torn.append((name, "selectivity", fraction))
+                    # Publications are ordered by the attribute lock, so the
+                    # generation a single reader observes never regresses.
+                    generation = response["generation"]
+                    if generation < last_generation[name]:
+                        regressions.append(
+                            (name, last_generation[name], generation)
+                        )
+                    last_generation[name] = generation
+                    # Single-op lock-free entry points stay finite and sane.
+                    estimate = store.estimate_range(name, 0.0, 50.0)
+                    if not np.isfinite(estimate) or estimate < 0:
+                        torn.append((name, "range", estimate))
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        writers = [
+            threading.Thread(target=writer, args=(index,), name=f"writer-{index}")
+            for index in range(self.N_WRITERS)
+        ]
+        readers = [
+            threading.Thread(
+                target=reader, args=(index,), name=f"reader-{index}", daemon=True
+            )
+            for index in range(self.N_READERS)
+        ]
+        for thread in readers:
+            thread.start()
+        _run_threads(writers)
+        stop_reading.set()
+        for thread in readers:
+            thread.join(timeout=30)
+
+        assert errors == []
+        assert torn == []
+        assert regressions == []
+
+        # Conservation: the lock-free read path must converge to exactly what
+        # the writers ingested once they are done.
+        expected = {name: 0 for name in ATTRIBUTES}
+        for writer_index in range(self.N_WRITERS):
+            for batch_index in range(self.BATCHES_PER_WRITER):
+                name = ATTRIBUTES[(writer_index + batch_index) % len(ATTRIBUTES)]
+                expected[name] += self.BATCH_SIZE
+        for name in ATTRIBUTES:
+            stats = store.stats(name)
+            assert stats.inserted == expected[name]
+            assert store.total_count(name) == pytest.approx(expected[name])
+            # The published generation has caught up with the write side.
+            assert store.generation(name) == stats.generation
 
 
 class TestConcurrentHttp:
