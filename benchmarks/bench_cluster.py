@@ -20,6 +20,15 @@ trajectory in ``BENCH_cluster.json``:
   they sit near 1.0x by construction; real CPU scaling requires
   ``RemoteShard`` process isolation on multi-core hardware.
 
+* **spawned process shards** -- the same CPU-bound workload against REAL
+  worker processes launched by the :class:`~repro.cluster.supervisor.\
+ShardSupervisor` and reached over the persistent binary transport.  Unlike
+  in-process shards (one interpreter, one GIL), each spawned shard applies
+  batches on its own core, so on a multi-core host this section shows real
+  CPU scaling (target >= 2.5x at 4 shards).  On a single-core host the
+  honest number is ~1x -- the section records ``host_cpu_count`` so readers
+  can tell which regime a given JSON was measured in.
+
 * **merged-estimate accuracy** -- the hot attribute is range-partitioned over
   4 shards, queried through the coordinator's merged global histogram
   (superimpose + reduce, Section 8), and compared window by window against a
@@ -35,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import threading
@@ -44,7 +54,7 @@ import numpy as np
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-from repro.cluster import ClusterCoordinator, LocalShard  # noqa: E402
+from repro.cluster import ClusterCoordinator, LocalShard, ShardSupervisor  # noqa: E402
 from repro.service import HistogramStore  # noqa: E402
 
 DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parents[1] / "BENCH_cluster.json"
@@ -128,6 +138,19 @@ class EmulatedApplyStore(HistogramStore):
         return super().query(name, queries)
 
 
+def _create_catalog(coordinator: ClusterCoordinator, n_shards: int) -> None:
+    for index, (name, kind) in enumerate(ATTRIBUTE_MIX):
+        # Deal the catalog round-robin via assignment overrides: the bench
+        # measures scatter-gather scaling, which a skewed hash of only 8
+        # names would confound (operators balance small catalogs the same
+        # way; the hash ring is for populations, not samples of 8).
+        coordinator.router.assign(name, f"shard-{index % n_shards}")
+        coordinator.create(name, kind, memory_kb=0.5)
+    low, high = DOMAIN
+    boundaries = [low + (high - low) * piece / n_shards for piece in range(1, n_shards)]
+    coordinator.create(HOT, "dc", memory_kb=0.5, partition_boundaries=boundaries)
+
+
 def build_cluster(
     n_shards: int, *, emulate_apply: bool, emulate_serve: bool = False, metrics=None
 ) -> ClusterCoordinator:
@@ -143,17 +166,34 @@ def build_cluster(
     coordinator = ClusterCoordinator(
         shards, global_buckets=64, max_workers=16, metrics=metrics
     )
-    for index, (name, kind) in enumerate(ATTRIBUTE_MIX):
-        # Deal the catalog round-robin via assignment overrides: the bench
-        # measures scatter-gather scaling, which a skewed hash of only 8
-        # names would confound (operators balance small catalogs the same
-        # way; the hash ring is for populations, not samples of 8).
-        coordinator.router.assign(name, f"shard-{index % n_shards}")
-        coordinator.create(name, kind, memory_kb=0.5)
-    low, high = DOMAIN
-    boundaries = [low + (high - low) * piece / n_shards for piece in range(1, n_shards)]
-    coordinator.create(HOT, "dc", memory_kb=0.5, partition_boundaries=boundaries)
+    _create_catalog(coordinator, n_shards)
     return coordinator
+
+
+def build_spawned_cluster(n_shards: int, *, metrics=None):
+    """A fleet of REAL worker processes behind the binary transport.
+
+    Returns ``(coordinator, cleanup)``: the cleanup callable tears down the
+    coordinator (closing its persistent connection pools) and then the
+    supervisor's worker processes.  No WAL: the section measures the
+    transport + multi-process apply path, not disk.
+    """
+    supervisor = ShardSupervisor(n_shards)
+    try:
+        shards = supervisor.start()
+        coordinator = ClusterCoordinator(
+            shards, global_buckets=64, max_workers=16, metrics=metrics
+        )
+        _create_catalog(coordinator, n_shards)
+    except BaseException:
+        supervisor.close()
+        raise
+
+    def cleanup() -> None:
+        coordinator.close()
+        supervisor.close()
+
+    return coordinator, cleanup
 
 
 def stream_values(rng: np.random.Generator, n: int) -> np.ndarray:
@@ -183,8 +223,19 @@ def run_scaling_config(
     *,
     emulate_apply: bool,
     metrics=None,
+    factory=None,
 ) -> dict:
-    coordinator = build_cluster(n_shards, emulate_apply=emulate_apply, metrics=metrics)
+    """One scaling data point.  ``factory(n_shards) -> (coordinator, cleanup)``
+    overrides the default in-process emulated-apply cluster -- the spawned
+    section passes :func:`build_spawned_cluster` so the identical workload
+    body runs against real worker processes."""
+    if factory is None:
+        coordinator = build_cluster(
+            n_shards, emulate_apply=emulate_apply, metrics=metrics
+        )
+        cleanup = coordinator.close
+    else:
+        coordinator, cleanup = factory(n_shards)
     calls_per_writer = n_calls // n_writers
     values_per_call = len(ATTRIBUTE_MIX) * catalog_chunk + hot_chunk
     queries_served = [0] * n_readers
@@ -252,7 +303,7 @@ def run_scaling_config(
 
     ingested = calls_per_writer * n_writers * values_per_call
     _check_conservation(coordinator, ingested)
-    coordinator.close()
+    cleanup()
     return {
         "shards": n_shards,
         "ingested_values": ingested,
@@ -447,7 +498,58 @@ def bench_local_cpu_bound(n_calls: int, catalog_chunk: int, hot_chunk: int) -> d
             "in-process shards share one Python interpreter: CPU-bound ingest "
             "cannot scale with shard count on a single core (the GIL serialises "
             "it on any core count); recorded for transparency -- real CPU "
-            "scaling needs RemoteShard process isolation on multi-core hosts"
+            "scaling needs process isolation on multi-core hosts (see the "
+            "spawned_process_shards section)"
+        ),
+    }
+
+
+def bench_spawned_cpu_bound(n_calls: int, catalog_chunk: int, hot_chunk: int) -> dict:
+    """The CPU-bound workload against REAL spawned worker processes.
+
+    Each shard is its own OS process (own interpreter, own GIL) reached over
+    the persistent binary transport, so this is the one section where
+    CPU-bound ingest can genuinely scale with shard count -- if the host has
+    the cores.  ``host_cpu_count`` is recorded precisely because the >= 2.5x
+    target is only meaningful on a host with >= 4 cores; on one core the
+    spawned processes time-slice a single CPU and the honest ratio is ~1x
+    (minus transport overhead).
+    """
+    cpu_count = os.cpu_count() or 1
+    configs = {
+        str(n): run_scaling_config(
+            n,
+            n_calls,
+            catalog_chunk,
+            hot_chunk,
+            3,
+            1,
+            emulate_apply=False,
+            factory=build_spawned_cluster,
+        )
+        for n in (1, 4)
+    }
+    scaling = round(
+        configs["4"]["ingest_per_sec"] / configs["1"]["ingest_per_sec"], 2
+    )
+    return {
+        "transport": (
+            "persistent TCP connections, length-prefixed binary frames "
+            "(magic+length+crc32+JSON, the WAL framing discipline)"
+        ),
+        "host_cpu_count": cpu_count,
+        "per_shard_count": configs,
+        "scaling_4_vs_1": scaling,
+        "target": ">= 2.5x on a host with >= 4 cores",
+        "note": (
+            f"measured on a {cpu_count}-core host: "
+            + (
+                "expect real CPU scaling at 4 shards"
+                if cpu_count >= 4
+                else "4 worker processes time-slice the available core(s), so "
+                "the ratio reflects transport + scheduling overhead, not the "
+                "parallel apply capacity a multi-core host would show"
+            )
         ),
     }
 
@@ -530,9 +632,13 @@ def main(argv=None) -> int:
         "benchmark": "cluster",
         "smoke": bool(args.smoke),
         "python": sys.version.split()[0],
+        "host_cpu_count": os.cpu_count() or 1,
         "sections": {
             "scatter_gather_scaling": bench_scaling(n_calls, catalog_chunk, hot_chunk),
             "local_cpu_bound": bench_local_cpu_bound(cpu_calls, catalog_chunk, hot_chunk),
+            "spawned_process_shards": bench_spawned_cpu_bound(
+                cpu_calls, catalog_chunk, hot_chunk
+            ),
             "merged_estimate_accuracy": bench_merged_accuracy(n_accuracy, n_queries),
         },
     }
@@ -541,10 +647,14 @@ def main(argv=None) -> int:
     print(json.dumps(results, indent=2))
 
     scaling = results["sections"]["scatter_gather_scaling"]["scaling_4_vs_1"]
+    spawned = results["sections"]["spawned_process_shards"]
     accuracy = results["sections"]["merged_estimate_accuracy"]
     print(
         f"\nscatter-gather ingest at 4 shards: {scaling:.2f}x the 1-shard aggregate "
         f"(target: >= 2.5x)\n"
+        f"spawned-process ingest at 4 shards: {spawned['scaling_4_vs_1']:.2f}x the "
+        f"1-shard aggregate on a {spawned['host_cpu_count']}-core host "
+        f"(target: >= 2.5x with >= 4 cores)\n"
         f"merged estimates within {accuracy['max_error_vs_unsharded_fraction_of_total']:.4f} "
         f"of total vs unsharded reference "
         f"(bound: {accuracy['recorded_error_bound_fraction_of_total']})",
@@ -552,6 +662,11 @@ def main(argv=None) -> int:
     )
     if not args.smoke and scaling < 2.5:
         print("FAIL: scaling target missed", file=sys.stderr)
+        return 1
+    # The spawned-shard CPU-scaling target only binds where the hardware can
+    # express it; a single-core host records its honest ~1x and passes.
+    if not args.smoke and spawned["host_cpu_count"] >= 4 and spawned["scaling_4_vs_1"] < 2.5:
+        print("FAIL: spawned-process scaling target missed", file=sys.stderr)
         return 1
     return 0
 

@@ -14,6 +14,10 @@ and records throughput plus latency quantiles pulled from the cell's own
   pipeline ``max_batch`` sweep;
 * ``shards_1`` / ``shards_2`` / ``shards_4`` -- the cluster scatter-gather
   scaling body over the emulated per-shard apply engine;
+* ``spawned_shards_1`` / ``spawned_shards_4`` -- the same body against REAL
+  worker processes spawned by the shard supervisor, reached over the
+  persistent binary transport (the only cells where CPU-bound ingest can
+  scale past one core);
 * ``rf_1`` / ``rf_2`` / ``rf_3`` -- replication-factor sweep: the same
   scatter batch fanned out at N-way replication;
 * ``read_locked_single`` / ``read_published_single`` -- single-node read
@@ -25,8 +29,9 @@ and records throughput plus latency quantiles pulled from the cell's own
 The emitted JSON (one file per host) is **schema-versioned** and stamped
 with a host fingerprint (python version, numpy version, CPU count); derived
 ratios (``wal_overhead``, ``fsync_overhead``, ``batch_scaling``,
-``shard_scaling``, ``rf_cost``, ``read_unlock_speedup``,
-``read_scaling``) make the ablation readable at a glance.
+``shard_scaling``, ``spawned_scaling``, ``rf_cost``,
+``read_unlock_speedup``, ``read_scaling``) make the ablation readable at a
+glance.
 
 ``--gate`` diffs the current run against the committed baseline for this
 host's fingerprint (``benchmarks/baselines/<fingerprint>.json``) within
@@ -231,6 +236,39 @@ def run_cluster_scaling_cell(config: dict, sizes: dict) -> dict:
     }
 
 
+def run_cluster_spawned_cell(config: dict, sizes: dict) -> dict:
+    """The scatter-gather body against REAL spawned worker processes.
+
+    Same workload as ``cluster_scaling`` with the emulated apply engine
+    replaced by actual OS processes behind the binary transport (knob: how
+    many).  On a multi-core host this is the cell where CPU-bound ingest
+    scales; on one core it records the transport's honest overhead.
+    """
+    registry = MetricsRegistry()
+    result = bench_cluster.run_scaling_config(
+        config["shards"],
+        sizes["spawned_calls"],
+        sizes["catalog_chunk"],
+        sizes["hot_chunk"],
+        sizes["cluster_writers"],
+        sizes["cluster_readers"],
+        emulate_apply=False,
+        factory=lambda n: bench_cluster.build_spawned_cluster(n, metrics=registry),
+    )
+    quantiles = _quantile_block(registry, "repro_cluster_fanout_seconds", shard="shard-0")
+    return {
+        "ops_per_sec": result["ingest_per_sec"],
+        **quantiles,
+        "detail": {
+            "shards": config["shards"],
+            "transport": "spawned processes, binary frames over persistent TCP",
+            "host_cpu_count": os.cpu_count() or 1,
+            "ingested_values": result["ingested_values"],
+            "queries_per_sec": result["queries_per_sec"],
+        },
+    }
+
+
 def run_cluster_rf_cell(config: dict, sizes: dict) -> dict:
     """Replication-factor sweep: one scatter batch stream at N-way replication.
 
@@ -425,6 +463,8 @@ CELLS: dict[str, dict[str, Any]] = {
     "shards_1": {"kind": "cluster_scaling", "shards": 1},
     "shards_2": {"kind": "cluster_scaling", "shards": 2},
     "shards_4": {"kind": "cluster_scaling", "shards": 4},
+    "spawned_shards_1": {"kind": "cluster_spawned", "shards": 1},
+    "spawned_shards_4": {"kind": "cluster_spawned", "shards": 4},
     "rf_1": {"kind": "cluster_rf", "replication_factor": 1},
     "rf_2": {"kind": "cluster_rf", "replication_factor": 2},
     "rf_3": {"kind": "cluster_rf", "replication_factor": 3},
@@ -438,6 +478,7 @@ RUNNERS: dict[str, Callable[[dict, dict], dict]] = {
     "histogram": run_histogram_cell,
     "service": run_service_cell,
     "cluster_scaling": run_cluster_scaling_cell,
+    "cluster_spawned": run_cluster_spawned_cell,
     "cluster_rf": run_cluster_rf_cell,
     "store_read": run_store_read_cell,
     "cluster_read": run_cluster_read_cell,
@@ -450,6 +491,7 @@ DERIVED: dict[str, tuple[str, str]] = {
     "fsync_overhead_vs_wal_on": ("wal_fsync", "wal_on"),
     "batch_scaling_1024_vs_64": ("wal_off", "batch_64"),
     "shard_scaling_4_vs_1": ("shards_4", "shards_1"),
+    "spawned_scaling_4_vs_1": ("spawned_shards_4", "spawned_shards_1"),
     "rf_cost_3_vs_1": ("rf_3", "rf_1"),
     "read_unlock_speedup": ("read_published_single", "read_locked_single"),
     "read_scaling_4_vs_1": ("read_qps_shards_4", "read_qps_shards_1"),
@@ -466,6 +508,7 @@ def matrix_sizes(smoke: bool) -> dict[str, float]:
             "hot_chunk": 512,
             "cluster_writers": 2,
             "cluster_readers": 1,
+            "spawned_calls": 8,
             "rf_calls": 8,
             "rf_chunk": 256,
             "repeats": 2,
@@ -482,6 +525,7 @@ def matrix_sizes(smoke: bool) -> dict[str, float]:
         "hot_chunk": 1024,
         "cluster_writers": 3,
         "cluster_readers": 2,
+        "spawned_calls": 24,
         "rf_calls": 24,
         "rf_chunk": 512,
         "repeats": 3,

@@ -748,3 +748,57 @@ def check_lock_free_read_path(module: SourceModule) -> Iterator[Finding]:
                     "one stale -- publish ONE reference holding both the "
                     "generation and the snapshot",
                 )
+
+
+# ----------------------------------------------------------------------
+# REP011 -- binary transport never retries a non-idempotent op post-wire
+# ----------------------------------------------------------------------
+@rule(
+    "REP011",
+    "binary-transport retries after a frame reached the wire are only legal "
+    "for idempotent ops",
+    paths=("repro/cluster/transport.py", "repro/cluster/supervisor.py"),
+    description=(
+        "The persistent binary transport mirrors REP007 at the frame level: "
+        "once a request frame was handed to the socket its fate is unknown "
+        "(the worker may have applied an ingest before the connection died), "
+        "so a send/receive failure may only re-enter the retry loop when the "
+        "op is in IDEMPOTENT_OPS -- everything else must raise and surface "
+        "as ShardUnavailableError.  Connect-phase failures (checkout) stay "
+        "freely retriable.  The supervisor inherits the same discipline: it "
+        "restarts processes, it never replays requests on their behalf."
+    ),
+)
+def check_no_binary_post_wire_retry(module: SourceModule) -> Iterator[Finding]:
+    for loop in ast.walk(module.tree):
+        if not isinstance(loop, (ast.For, ast.While)):
+            continue
+        for try_node in ast.walk(loop):
+            if not isinstance(try_node, ast.Try):
+                continue
+            sent = any(
+                _call_name(call) in {"send", "sendall", "receive"}
+                for stmt in try_node.body
+                for call in _calls(stmt)
+            )
+            if not sent:
+                continue
+            for handler in try_node.handlers:
+                retries = any(
+                    isinstance(n, ast.Continue) for n in ast.walk(handler)
+                )
+                if not retries:
+                    continue
+                guarded = any(
+                    isinstance(n, ast.Raise) for n in ast.walk(handler)
+                ) and any(
+                    isinstance(n, ast.Name) and "idempotent" in n.id
+                    for n in ast.walk(handler)
+                )
+                if not guarded:
+                    yield (
+                        handler.lineno,
+                        "retry after the frame reached the wire without an "
+                        "idempotency guard (raise unless the op is in "
+                        "IDEMPOTENT_OPS); a replayed ingest double-applies",
+                    )

@@ -36,6 +36,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import sys
+import threading
 import time
 from pathlib import Path
 from collections.abc import Callable, Sequence
@@ -181,6 +182,14 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="TCP port to bind (0 picks an ephemeral port)")
     cluster_parser.add_argument("--shards", type=int, default=2,
                                 help="number of in-process backing shards (default 2)")
+    cluster_parser.add_argument(
+        "--spawn-shards", type=int, default=None, metavar="N",
+        help="run N shard worker PROCESSES (each with its own store, its own "
+             "WAL directory under --wal-dir, and its own binary-transport "
+             "port) instead of in-process shards; CPU-bound ingest then "
+             "scales with cores. Overrides --shards; workers that crash are "
+             "respawned on the same port",
+    )
     cluster_parser.add_argument(
         "--attribute", "-a", action="append", default=[],
         metavar="NAME[:KIND[:MEMORY_KB]]",
@@ -457,14 +466,25 @@ def _parse_partition_spec(spec: str):
 
 
 def _command_serve_cluster(args, out) -> int:
-    from .cluster import ClusterCoordinator, ClusterServer, LocalShard, ShardRouter
+    from .cluster import (
+        ClusterCoordinator,
+        ClusterServer,
+        LocalShard,
+        ShardRouter,
+        ShardSupervisor,
+    )
     from .obs import MetricsRegistry
 
-    if args.shards < 1:
+    spawn = args.spawn_shards is not None
+    if spawn and args.spawn_shards < 1:
+        out.write("--spawn-shards must be at least 1\n")
+        return 2
+    if not spawn and args.shards < 1:
         out.write("--shards must be at least 1\n")
         return 2
-    if not 1 <= args.replication_factor <= args.shards:
-        out.write("--replication-factor must be between 1 and --shards\n")
+    n_shards = args.spawn_shards if spawn else args.shards
+    if not 1 <= args.replication_factor <= n_shards:
+        out.write("--replication-factor must be between 1 and the shard count\n")
         return 2
     try:
         specs = [_parse_attribute_spec(spec) for spec in args.attribute]
@@ -476,60 +496,94 @@ def _command_serve_cluster(args, out) -> int:
     # One registry for the whole process: shard stores/WALs, the
     # coordinator's fan-out metrics and the HTTP layer all land in one
     # /metrics exposition (per-attribute labels aggregate across shards).
+    # Spawned workers keep their stores in their own processes, so only the
+    # coordinator/HTTP side of the registry is populated in that mode.
     metrics = MetricsRegistry()
     stores = []
+    supervisor = None
     recovered_any = False
-    for index in range(args.shards):
+    if spawn:
         if args.wal_dir is not None:
-            store, recovered = _build_durable_store(
-                Path(args.wal_dir) / f"shard-{index}",
-                fsync=args.wal_fsync,
-                metrics=metrics,
+            recovered_any = any(
+                (Path(args.wal_dir) / f"shard-{index}").exists()
+                for index in range(n_shards)
             )
-            recovered_any = recovered_any or recovered
-        else:
-            from .service import HistogramStore
+        supervisor = ShardSupervisor(
+            n_shards,
+            wal_root=args.wal_dir,
+            wal_fsync=args.wal_fsync,
+        )
+        shards = supervisor.start()
+    else:
+        for index in range(n_shards):
+            if args.wal_dir is not None:
+                store, recovered = _build_durable_store(
+                    Path(args.wal_dir) / f"shard-{index}",
+                    fsync=args.wal_fsync,
+                    metrics=metrics,
+                )
+                recovered_any = recovered_any or recovered
+            else:
+                from .service import HistogramStore
 
-            store = HistogramStore(metrics=metrics)
-        stores.append(store)
-    shards = [
-        LocalShard(f"shard-{index}", store) for index, store in enumerate(stores)
-    ]
+                store = HistogramStore(metrics=metrics)
+            stores.append(store)
+        shards = [
+            LocalShard(f"shard-{index}", store) for index, store in enumerate(stores)
+        ]
     router = ShardRouter(
         [shard.shard_id for shard in shards],
         replication_factor=args.replication_factor,
     )
-    coordinator = ClusterCoordinator(
-        shards,
-        router=router,
-        global_buckets=args.global_buckets,
-        metrics=metrics,
-        replica_reads=args.replica_reads,
-    )
-    attribute_specs = {name: (kind, memory_kb) for name, kind, memory_kb in specs}
-    for name in partitions:
-        attribute_specs.setdefault(name, ("dc", 1.0))
-    for name, (kind, memory_kb) in attribute_specs.items():
-        coordinator.create(
-            name,
-            kind,
-            memory_kb=memory_kb,
-            exist_ok=True,
-            partition_boundaries=partitions.get(name),
+    try:
+        coordinator = ClusterCoordinator(
+            shards,
+            router=router,
+            global_buckets=args.global_buckets,
+            metrics=metrics,
+            replica_reads=args.replica_reads,
         )
+        attribute_specs = {name: (kind, memory_kb) for name, kind, memory_kb in specs}
+        for name in partitions:
+            attribute_specs.setdefault(name, ("dc", 1.0))
+        for name, (kind, memory_kb) in attribute_specs.items():
+            coordinator.create(
+                name,
+                kind,
+                memory_kb=memory_kb,
+                exist_ok=True,
+                partition_boundaries=partitions.get(name),
+            )
 
-    server = ClusterServer(
-        coordinator,
-        host=args.host,
-        port=args.port,
-        metrics=metrics,
-        slow_request_ms=args.slow_request_ms,
-        trace=args.trace,
-        profile=args.profile,
-    )
+        server = ClusterServer(
+            coordinator,
+            host=args.host,
+            port=args.port,
+            metrics=metrics,
+            slow_request_ms=args.slow_request_ms,
+            trace=args.trace,
+            profile=args.profile,
+        )
+    except BaseException:
+        if supervisor is not None:
+            supervisor.close()
+        for store in stores:
+            store.close()
+        raise
     host, port = server.address
     out.write(f"statistics cluster listening on http://{host}:{port}\n")
-    out.write(f"shards: {', '.join(coordinator.shard_ids)}\n")
+    if supervisor is not None:
+        fleet = supervisor.describe()
+        out.write(
+            "shards: "
+            + ", ".join(
+                f"{shard_id} (pid {info['pid']}, port {info['port']})"
+                for shard_id, info in fleet.items()
+            )
+            + "\n"
+        )
+    else:
+        out.write(f"shards: {', '.join(coordinator.shard_ids)}\n")
     attributes = ", ".join(
         f"{name} (partitioned)" if name in partitions else name
         for name in sorted(attribute_specs)
@@ -541,7 +595,8 @@ def _command_serve_cluster(args, out) -> int:
         out.write("replica reads: rotating over fresh replicas\n")
     if args.wal_dir is not None:
         state = "recovered existing catalogs" if recovered_any else "fresh logs"
-        out.write(f"durability: per-shard WALs under {args.wal_dir} ({state})\n")
+        owner = " (worker-owned)" if supervisor is not None else ""
+        out.write(f"durability: per-shard WALs under {args.wal_dir} ({state}){owner}\n")
     if args.trace or args.slow_request_ms is not None:
         detail = "tracing: X-Repro-Trace-Id enabled"
         if args.slow_request_ms is not None:
@@ -550,15 +605,30 @@ def _command_serve_cluster(args, out) -> int:
     if hasattr(out, "flush"):
         out.flush()
 
+    # Idempotent teardown: the --duration finally block, the serve_forever
+    # finally block and any racing signal handler can each call this without
+    # double-closing sockets, the fan-out pool, the fleet or the WALs.
+    shutdown_done = threading.Event()
+
     def shutdown() -> None:
-        server.stop()
+        if shutdown_done.is_set():
+            return
+        shutdown_done.set()
+        server.stop()  # also closes the coordinator's fan-out pool
+        if supervisor is not None:
+            supervisor.close()
         for store in stores:
             store.close()
 
     if args.duration is not None:
         server.start()
-        time.sleep(args.duration)
-        shutdown()
+        try:
+            # The finally guarantees teardown even when the sleep is cut
+            # short (KeyboardInterrupt, test harness timeouts): no leaked
+            # fan-out executor threads, worker processes or WAL handles.
+            time.sleep(args.duration)
+        finally:
+            shutdown()
         return 0
     try:  # pragma: no cover - interactive foreground mode
         with contextlib.suppress(KeyboardInterrupt):

@@ -12,8 +12,13 @@ generation counters.
   :class:`~repro.cluster.router.RangePartition` -- deterministic placement:
   consistent hashing, explicit pins, value-range partitioning;
 * :class:`~repro.cluster.protocol.ShardBackend` with
-  :class:`~repro.cluster.protocol.LocalShard` (in-process store) and
-  :class:`~repro.cluster.protocol.RemoteShard` (HTTP service) members;
+  :class:`~repro.cluster.protocol.LocalShard` (in-process store),
+  :class:`~repro.cluster.protocol.RemoteShard` (HTTP service) and
+  :class:`~repro.cluster.transport.ProcessShard` (spawned worker process
+  behind the persistent binary transport) members;
+* :class:`~repro.cluster.supervisor.ShardSupervisor` -- spawns each shard as
+  its own OS process (own store, own WAL dir, own port), monitors liveness
+  and tears the fleet down;
 * :class:`~repro.cluster.coordinator.ClusterCoordinator` -- scatter-gather
   ingest, merged global estimates, rebalance / drain;
 * :class:`~repro.cluster.server.ClusterServer` /
@@ -25,6 +30,8 @@ from .coordinator import DEFAULT_GLOBAL_BUCKETS, ClusterCoordinator
 from .protocol import LocalShard, RemoteShard, ShardBackend
 from .router import RangePartition, ShardRouter, stable_hash
 from .server import ClusterClient, ClusterServer
+from .supervisor import ShardSupervisor
+from .transport import BinaryShardClient, BinaryShardServer, ProcessShard
 
 __all__ = [
     "DEFAULT_GLOBAL_BUCKETS",
@@ -32,6 +39,10 @@ __all__ = [
     "ShardBackend",
     "LocalShard",
     "RemoteShard",
+    "ProcessShard",
+    "BinaryShardClient",
+    "BinaryShardServer",
+    "ShardSupervisor",
     "RangePartition",
     "ShardRouter",
     "stable_hash",

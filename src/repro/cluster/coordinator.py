@@ -79,6 +79,7 @@ from ..persistence import histogram_from_dict
 from ..service.store import evaluate_queries
 from .protocol import ShardBackend
 from .router import RangePartition, ShardRouter
+from .transport import try_pipelined_scatter
 
 __all__ = ["ClusterCoordinator", "DEFAULT_GLOBAL_BUCKETS"]
 
@@ -137,6 +138,8 @@ class ClusterCoordinator:
             max_workers=max_workers if max_workers is not None else max(4, 2 * len(shards)),
             thread_name_prefix="repro-cluster",
         )
+        self._closed = False
+        self._close_lock = threading.Lock()
         # Read-replica mode: estimate reads rotate across fresh replicas.
         # itertools.count.__next__ is a single C call, so the rotation is
         # thread-safe without a lock of its own.
@@ -232,7 +235,32 @@ class ClusterCoordinator:
         exceptions land in ``errors`` (the caller decides what a tolerable
         failure means -- drop, listing, batch ingest and the replicated
         fan-out all differ), anything else propagates immediately.
+
+        When every target is a :class:`~repro.cluster.transport.ProcessShard`
+        and the per-shard call is one plain backend method, the scatter is
+        **pipelined**: the calling thread writes every request frame on a
+        persistent connection and multiplexes the replies, so no executor
+        thread is occupied per shard per request.  Semantics (error
+        partitioning, retry discipline, fan-out latency metrics) are
+        identical; compound closures fall back to the executor path.
         """
+        with maybe_span("fanout:scatter"):
+            pipelined = try_pipelined_scatter(
+                {shard_id: self.shard(shard_id) for shard_id in shard_ids}, call
+            )
+        if pipelined is not None:
+            results: dict[str, Any] = {}
+            errors: dict[str, Exception] = {}
+            for shard_id, (ok, value, elapsed) in pipelined.items():
+                if self._m_fanout_seconds is not None:
+                    self._m_fanout_seconds.observe(elapsed, shard=shard_id)
+                if ok:
+                    results[shard_id] = value
+                elif isinstance(value, failure_types):
+                    errors[shard_id] = value
+                else:
+                    raise value
+            return results, errors
         # The active trace is captured BEFORE the executor submits: the pool
         # threads have their own threading.local, so each leg re-activates
         # the request's trace and records its own span.
@@ -462,7 +490,11 @@ class ClusterCoordinator:
         ]
 
     def close(self) -> None:
-        """Shut the fan-out pool down (pending calls complete first)."""
+        """Shut the fan-out pool down (idempotent; pending calls finish first)."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         self._executor.shutdown(wait=True)
 
     def __enter__(self) -> ClusterCoordinator:

@@ -155,7 +155,9 @@ class _ClusterRequestHandler(BaseHTTPRequestHandler):
         try:
             self._dispatch(method, self._route(), payload)
         except UnknownAttributeError as error:
-            self._send_json(404, {"error": str(error)})
+            # Mirror the single-node service: `name` is the structured field
+            # clients parse, the message is for humans.
+            self._send_json(404, {"error": str(error), "name": error.name})
         except DuplicateAttributeError as error:
             self._send_json(409, {"error": str(error)})
         except ShardUnavailableError as error:
@@ -370,6 +372,7 @@ class ClusterServer:
         self._httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
         self._started = False
+        self._stopped = False
 
     @property
     def address(self) -> tuple[str, int]:
@@ -399,7 +402,14 @@ class ClusterServer:
         self._httpd.serve_forever()
 
     def stop(self) -> None:
-        """Stop serving, close the socket and the coordinator's fan-out pool."""
+        """Stop serving, close the socket and the coordinator's fan-out pool.
+
+        Idempotent: a second call (e.g. a signal handler racing the
+        ``--duration`` teardown) returns without touching the closed socket.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
         if self._started:
             self._httpd.shutdown()
         self._httpd.server_close()

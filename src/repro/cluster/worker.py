@@ -1,0 +1,78 @@
+"""Shard worker process: one store behind a binary transport server.
+
+``python -m repro.cluster.worker --shard-id shard-0 --port 0 [--wal-dir D]``
+builds a :class:`~repro.service.store.HistogramStore` (recovering an existing
+WAL when ``--wal-dir`` points at one), serves it through
+:class:`~repro.cluster.transport.BinaryShardServer`, prints a single
+machine-readable readiness line::
+
+    REPRO-SHARD-READY shard=<id> port=<bound port> pid=<pid>
+
+on stdout, and then runs until SIGTERM/SIGINT (clean shutdown: transport
+closed, store -- and therefore WAL -- closed) or until its parent kills it.
+The :class:`~repro.cluster.supervisor.ShardSupervisor` parses the readiness
+line to learn the ephemeral port and to fence startup races.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import sys
+import threading
+from pathlib import Path
+
+
+
+def _build_store(wal_dir: str | None, fsync: bool):
+    from ..service import DurabilityConfig, HistogramStore
+
+    if wal_dir is None:
+        return HistogramStore()
+    config = DurabilityConfig(Path(wal_dir), fsync=fsync)
+    if config.has_state():
+        return HistogramStore.recover(wal_dir, fsync=fsync)
+    return HistogramStore(durability=config)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="repro shard worker process")
+    parser.add_argument("--shard-id", required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="TCP port to bind (0 picks an ephemeral one)"
+    )
+    parser.add_argument(
+        "--wal-dir", default=None, help="write-ahead-log directory (recovered if present)"
+    )
+    parser.add_argument("--wal-fsync", action="store_true")
+    args = parser.parse_args(argv)
+
+    from .protocol import LocalShard
+    from .transport import READY_PREFIX, BinaryShardServer
+
+    store = _build_store(args.wal_dir, args.wal_fsync)
+    backend = LocalShard(args.shard_id, store)
+    server = BinaryShardServer(backend, host=args.host, port=args.port)
+    server.start()
+    host, port = server.address
+    print(f"{READY_PREFIX} shard={args.shard_id} port={port} pid={os.getpid()}", flush=True)
+
+    stop = threading.Event()
+
+    def on_signal(signum, frame):  # pragma: no cover - signal delivery timing
+        stop.set()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    try:
+        stop.wait()
+    finally:
+        server.stop()
+        store.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ immediately so the caller decides.
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from http.client import HTTPConnection, HTTPException
@@ -166,13 +167,33 @@ class StatisticsClient:
         if status >= 400:
             message = decoded.get("error", f"HTTP {status}")
             if status == 404 and "unknown attribute" in str(message):
-                raise UnknownAttributeError(message.split("'")[1])
+                raise UnknownAttributeError(
+                    self._unknown_attribute_name(decoded, str(message))
+                )
             error = ServiceError(f"HTTP {status}: {message}")
             # Expose the structured body (e.g. partial-apply reports from
             # /ingest) to callers that need more than the message.
             error.payload = decoded
             raise error
         return decoded
+
+    @staticmethod
+    def _unknown_attribute_name(decoded: Mapping[str, Any], message: str) -> str:
+        """Best-effort attribute name from a 404 body.
+
+        Prefers the server's structured ``name`` field; falls back to the
+        first quoted token of the human-readable message.  A body without
+        either (an old server, a proxy error page that happens to contain
+        the trigger phrase) yields the whole message rather than crashing
+        the client on a parse assumption.
+        """
+        name = decoded.get("name")
+        if isinstance(name, str) and name:
+            return name
+        match = re.search(r"'([^']*)'", message)
+        if match is not None:
+            return match.group(1)
+        return message
 
     @staticmethod
     def _attribute_path(name: str, action: str = "") -> str:

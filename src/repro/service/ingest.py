@@ -119,6 +119,7 @@ class IngestPipeline:
         self._buffers: dict[str, _Buffer] = {}
         self._stop_event = threading.Event()
         self._flusher: threading.Thread | None = None
+        self._close_lock = threading.Lock()
         # Optional observability.  Flush metrics are recorded under the
         # buffer lock, which is safe by the repro.obs contract (metric locks
         # are leaves) and keeps the counters in lockstep with the buffer's
@@ -264,6 +265,23 @@ class IngestPipeline:
                     )
                     buffer.pending += requeued_count
                     raise
+                except BaseException:
+                    # KeyboardInterrupt / SystemExit mid-apply: progress
+                    # through the interrupted run is unknown, so it is
+                    # dropped (the bounded-undercount policy above), but the
+                    # untouched tail is requeued instead of vanishing with
+                    # the detached `runs` list -- a Ctrl-C must never
+                    # silently lose values that were never attempted.
+                    buffer.flush_errors += 1
+                    errored = True
+                    requeued = list(runs[run_index + 1 :])
+                    dropped_count = len(values)
+                    buffer.runs = requeued + buffer.runs
+                    requeued_count = sum(
+                        len(run_values) for _, run_values in requeued
+                    )
+                    buffer.pending += requeued_count
+                    raise
                 applied += len(values)
                 buffer.flushed_values += len(values)
                 buffer.flushed_batches += 1
@@ -358,11 +376,21 @@ class IngestPipeline:
                 continue
 
     def close(self) -> None:
-        """Stop the background flusher and drain every buffer."""
+        """Stop the background flusher and drain every buffer.
+
+        Idempotent and safe to call from concurrent threads (a signal
+        handler racing an ``atexit`` hook): exactly one caller detaches and
+        joins the flusher thread -- the detach happens under a lock so no
+        caller can observe ``self._flusher`` half-torn-down -- and a drain
+        interrupted by :exc:`KeyboardInterrupt` requeues its unapplied tail
+        (see :meth:`_flush_buffer_locked`), so calling ``close`` again
+        finishes the drain rather than double-applying anything.
+        """
         self._stop_event.set()
-        if self._flusher is not None:
-            self._flusher.join()
-            self._flusher = None
+        with self._close_lock:
+            flusher, self._flusher = self._flusher, None
+        if flusher is not None:
+            flusher.join()
         self.flush()
 
     def __enter__(self) -> IngestPipeline:

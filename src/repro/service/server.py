@@ -154,7 +154,9 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         try:
             self._dispatch(method, self._route(), payload)
         except UnknownAttributeError as error:
-            self._send_json(404, {"error": str(error)})
+            # `name` is the structured field clients parse; the message is
+            # for humans (its quoting is not a stable contract).
+            self._send_json(404, {"error": str(error), "name": error.name})
         except DuplicateAttributeError as error:
             self._send_json(409, {"error": str(error)})
         except (HistogramError, KeyError, TypeError, ValueError) as error:

@@ -22,6 +22,11 @@ the store's mutation records (``op`` of ``create`` / ``drop`` / ``insert`` /
 record re-runs ``insert_many`` with the *recorded* maintenance interval, so a
 replayed store is bit-identical to the original apply sequence.
 
+The same framing discipline (magic + length + crc32 + JSON payload) carries
+requests between the cluster coordinator and spawned shard workers -- see the
+wire-format section of :mod:`repro.cluster.transport`, which uses magic
+``b"SB"`` so a WAL record can never be mistaken for a transport frame.
+
 Torn-tail rule
 --------------
 

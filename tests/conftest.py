@@ -26,9 +26,11 @@ from lockcheck import LockOrderMonitor  # noqa: E402
 LOCKCHECK_MODULES = frozenset(
     {
         "test_service_concurrency",
+        "test_ingest_lifecycle",
         "test_cluster_properties",
         "test_replication_properties",
         "test_fault_injection",
+        "test_spawned_cluster",
         "test_obs",
         "test_profile",
     }

@@ -28,7 +28,7 @@ def findings(source: str, rel_path: str, *rule_ids: str) -> list[str]:
 class TestRegistry:
     def test_catalog_is_complete(self):
         ids = [rule.rule_id for rule in all_rules()]
-        assert ids == [f"REP00{i}" for i in range(1, 10)] + ["REP010"]
+        assert ids == [f"REP00{i}" for i in range(1, 10)] + ["REP010", "REP011"]
 
     def test_every_rule_documents_itself(self):
         for rule in all_rules():
@@ -516,6 +516,63 @@ class TestRep010LockFreeReads:
                     return attribute.histogram.total_count
         """
         assert findings(source, "src/repro/cluster/coordinator.py", "REP010") == []
+
+
+class TestRep011NoBinaryPostWireRetry:
+    PATH = "src/repro/cluster/transport.py"
+
+    def test_flags_unguarded_retry_after_send(self):
+        source = """
+            def call(self, op, args):
+                for attempt in range(3):
+                    connection = self.checkout()
+                    try:
+                        connection.send(frame)
+                        return connection.receive(self.timeout)
+                    except OSError:
+                        continue
+        """
+        assert findings(source, self.PATH, "REP011") == ["REP011"]
+
+    def test_passes_idempotency_guarded_retry(self):
+        source = """
+            def call(self, op, args):
+                idempotent = op in IDEMPOTENT_OPS
+                for attempt in range(3):
+                    connection = self.checkout()
+                    try:
+                        connection.send(frame)
+                        return connection.receive(self.timeout)
+                    except OSError:
+                        if not idempotent:
+                            raise
+                        continue
+        """
+        assert findings(source, self.PATH, "REP011") == []
+
+    def test_passes_connect_phase_retry(self):
+        source = """
+            def checkout_with_retry(self):
+                for attempt in range(3):
+                    try:
+                        return self.checkout()
+                    except OSError:
+                        continue
+        """
+        assert findings(source, self.PATH, "REP011") == []
+
+    def test_scope_is_transport_and_supervisor_only(self):
+        source = """
+            def call(self, op, args):
+                for attempt in range(3):
+                    try:
+                        connection.send(frame)
+                    except OSError:
+                        continue
+        """
+        assert findings(source, self.PATH, "REP011") == ["REP011"]
+        assert findings(source, "src/repro/cluster/supervisor.py", "REP011") == ["REP011"]
+        assert findings(source, "src/repro/service/store.py", "REP011") == []
 
 
 class TestSuppressions:

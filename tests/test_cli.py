@@ -227,6 +227,58 @@ class TestServeClusterCommand:
         assert code == 2
         assert "--shards" in output
 
+    def test_serve_cluster_rejects_zero_spawn_shards(self):
+        code, output = _run(
+            ["serve-cluster", "--spawn-shards", "0", "--duration", "0"]
+        )
+        assert code == 2
+        assert "--spawn-shards" in output
+
+    def test_serve_cluster_interrupt_during_duration_tears_down(self, monkeypatch):
+        """Regression: Ctrl-C while sleeping out ``--duration`` must still
+        run the shutdown path.  Before the fix the sleep had no try/finally,
+        so the fan-out executor's non-daemon threads survived the
+        KeyboardInterrupt and the process could never exit cleanly.
+        """
+        import threading
+        import time as time_module
+
+        real_sleep = time_module.sleep
+        sentinel = 987.0
+
+        def interrupting_sleep(seconds):
+            if seconds == sentinel:
+                raise KeyboardInterrupt
+            real_sleep(seconds)
+
+        monkeypatch.setattr("repro.cli.time.sleep", interrupting_sleep)
+        with pytest.raises(KeyboardInterrupt):
+            _run(
+                ["serve-cluster", "--port", "0", "--shards", "2",
+                 "-a", "age:dc:0.5", "--duration", str(sentinel)]
+            )
+        leaked = [
+            thread
+            for thread in threading.enumerate()
+            if not thread.daemon and thread.name.startswith("repro-")
+        ]
+        assert leaked == []
+
+    def test_serve_cluster_spawn_shards_runs_worker_processes(self, tmp_path):
+        code, output = _run(
+            ["serve-cluster", "--port", "0", "--spawn-shards", "2",
+             "-a", "age:dc:0.5", "--duration", "0.05",
+             "--wal-dir", str(tmp_path / "wal")]
+        )
+        assert code == 0
+        assert "statistics cluster listening on http://127.0.0.1:" in output
+        # The fleet line reports real processes, not in-process shards.
+        assert "shard-0 (pid " in output and "shard-1 (pid " in output
+        assert "worker-owned" in output
+        # Each worker opened its own WAL under the shared root.
+        assert (tmp_path / "wal" / "shard-0" / "wal.log").exists()
+        assert (tmp_path / "wal" / "shard-1" / "wal.log").exists()
+
 
 class TestDurableServe:
     def test_serve_wal_dir_recovers_catalog_across_restarts(self, tmp_path):

@@ -1,0 +1,145 @@
+"""Lifecycle/error-path tests for the ingest pipeline.
+
+Regression coverage for two shutdown-path bugs (this module runs under the
+dynamic lock-order monitor, see ``conftest.LOCKCHECK_MODULES``):
+
+* ``close()`` raced a concurrent ``close()``: the second caller could hit
+  ``self._flusher.join()`` after the first set ``self._flusher = None``
+  (``AttributeError`` out of a shutdown path), and nothing made the method
+  idempotent.
+* A ``KeyboardInterrupt`` (or any non-``Exception``) raised mid-flush escaped
+  *after* the buffer's runs had been detached, silently losing every value
+  that was never attempted -- only ``Exception`` took the requeue path.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import HistogramStore, IngestPipeline
+
+
+@pytest.fixture
+def store():
+    s = HistogramStore()
+    s.create("age", "dc", memory_kb=0.5)
+    return s
+
+
+class InterruptingStore:
+    """Store proxy whose first ``insert`` raises like a mid-apply Ctrl-C."""
+
+    def __init__(self, store, interrupts: int = 1) -> None:
+        self._store = store
+        self.interrupts = interrupts
+        self.insert_calls = 0
+
+    def insert(self, name, values, repartition_interval=None):
+        self.insert_calls += 1
+        if self.interrupts > 0:
+            self.interrupts -= 1
+            raise KeyboardInterrupt
+        return self._store.insert(
+            name, values, repartition_interval=repartition_interval
+        )
+
+    def delete(self, name, values):
+        return self._store.delete(name, values)
+
+
+class TestCloseIdempotent:
+    def test_close_twice_is_a_no_op(self, store):
+        pipeline = IngestPipeline(store, auto_flush_interval=0.01).start()
+        pipeline.submit("age", [1.0, 2.0])
+        pipeline.close()
+        pipeline.close()
+        assert store.total_count("age") == pytest.approx(2.0)
+
+    def test_close_without_start_drains(self, store):
+        pipeline = IngestPipeline(store)
+        pipeline.submit("age", [1.0])
+        pipeline.close()
+        assert store.total_count("age") == pytest.approx(1.0)
+
+    def test_concurrent_close_never_raises(self, store):
+        """Many threads racing ``close()`` (signal handler vs. atexit hook):
+        exactly one joins the flusher, nobody observes a half-torn-down
+        pipeline.  Pre-fix this intermittently raised ``AttributeError``
+        from ``None.join()``.
+        """
+        for _ in range(20):
+            pipeline = IngestPipeline(store, auto_flush_interval=0.005).start()
+            pipeline.submit("age", [1.0])
+            barrier = threading.Barrier(8)
+            errors = []
+
+            def racing_close():
+                barrier.wait()
+                try:
+                    pipeline.close()
+                except BaseException as error:  # noqa: BLE001 - the assertion
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=racing_close, name=f"closer-{i}")
+                for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert errors == []
+            assert pipeline.pending_count() == 0
+
+    def test_pipeline_restartable_after_close(self, store):
+        pipeline = IngestPipeline(store, auto_flush_interval=0.01)
+        pipeline.start()
+        pipeline.close()
+        pipeline.start()
+        pipeline.submit("age", [5.0])
+        deadline = time.time() + 10.0
+        while store.total_count("age") < 1.0 and time.time() < deadline:
+            time.sleep(0.01)
+        assert store.total_count("age") == pytest.approx(1.0)
+        pipeline.close()
+
+
+class TestInterruptMidFlush:
+    def test_interrupt_requeues_untouched_tail(self, store):
+        """A Ctrl-C in the middle of a flush drops only the interrupted run
+        (progress unknown -- the bounded-undercount policy) and requeues the
+        runs that were never attempted.  Pre-fix the whole detached tail was
+        silently lost.
+        """
+        store.insert("age", [1.0])  # so the surviving delete run has a target
+        inner = InterruptingStore(store)
+        pipeline = IngestPipeline(inner, max_batch=1_000_000)
+        # Alternating ops create three distinct runs in one buffer.
+        pipeline.submit("age", [1.5, 2.5])        # run 0: interrupted, dropped
+        pipeline.submit_delete("age", [1.0])      # run 1: must survive
+        pipeline.submit("age", [7.0, 8.0, 9.0])   # run 2: must survive
+        with pytest.raises(KeyboardInterrupt):
+            pipeline.flush("age")
+        assert pipeline.pending_count("age") == 4  # runs 1 + 2 requeued
+        # The drain finishes on the next call -- applied exactly once.
+        pipeline.flush("age")
+        assert pipeline.pending_count("age") == 0
+        assert inner.insert_calls == 2  # interrupted once, replayed run 2 once
+        # 1 pre-seeded - 1 deleted + 3 from run 2 (run 0's two values dropped)
+        assert store.total_count("age") == pytest.approx(3.0)
+        stats = pipeline.stats
+        assert stats["dropped_values"] == 2
+        assert stats["requeued_values"] == 4
+
+    def test_close_after_interrupted_flush_finishes_drain(self, store):
+        store.insert("age", [1.0])
+        inner = InterruptingStore(store)
+        pipeline = IngestPipeline(inner, max_batch=1_000_000)
+        pipeline.submit("age", [2.0])          # interrupted, dropped
+        pipeline.submit_delete("age", [1.0])   # drained by the second close
+        with pytest.raises(KeyboardInterrupt):
+            pipeline.close()
+        pipeline.close()
+        assert pipeline.pending_count("age") == 0
+        assert store.total_count("age") == pytest.approx(0.0)

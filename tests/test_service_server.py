@@ -153,6 +153,61 @@ class TestErrorHandling:
             client.query("age", [{"op": "mystery"}])
 
 
+class Test404BodyParsing:
+    """The client must never trust the 404 body's quoting.
+
+    Regression: the old parse was ``message.split("'")[1]``, which raised
+    ``IndexError`` on any body that contained the phrase ``unknown
+    attribute`` without a quoted name -- an old server, a proxy error page,
+    or a hostile upstream.  The structured ``name`` field wins, the quoted
+    token is the fallback, and the worst case degrades to the whole message.
+    """
+
+    @staticmethod
+    def _client_returning(status, body):
+        client = StatisticsClient("127.0.0.1", 1)
+        client._raw_request = lambda *args, **kwargs: (status, body)
+        return client
+
+    def test_server_sends_structured_name(self, client):
+        with pytest.raises(UnknownAttributeError) as excinfo:
+            client.estimate_range("missing", 0, 1)
+        assert excinfo.value.name == "missing"
+
+    def test_hostile_body_without_quotes_does_not_crash(self):
+        hostile = self._client_returning(
+            404, b'{"error": "unknown attribute but no quotes anywhere"}'
+        )
+        with pytest.raises(UnknownAttributeError) as excinfo:
+            hostile.total_count("whatever")
+        assert excinfo.value.name == "unknown attribute but no quotes anywhere"
+
+    def test_non_json_proxy_page_does_not_crash(self):
+        hostile = self._client_returning(
+            404, b"<html>unknown attribute -- gateway says no</html>"
+        )
+        with pytest.raises(UnknownAttributeError):
+            hostile.total_count("whatever")
+
+    def test_structured_name_beats_message_quoting(self):
+        body = json.dumps(
+            {"error": "unknown attribute 'decoy'", "name": "real'name"}
+        ).encode("utf-8")
+        hostile = self._client_returning(404, body)
+        with pytest.raises(UnknownAttributeError) as excinfo:
+            hostile.total_count("whatever")
+        assert excinfo.value.name == "real'name"
+
+    def test_legacy_body_falls_back_to_quoted_token(self):
+        body = json.dumps(
+            {"error": "unknown attribute 'age'; create it first"}
+        ).encode("utf-8")
+        legacy = self._client_returning(404, body)
+        with pytest.raises(UnknownAttributeError) as excinfo:
+            legacy.total_count("whatever")
+        assert excinfo.value.name == "age"
+
+
 class TestRawHttpSurface:
     def test_get_estimate_via_query_string(self, server):
         host, port = server.address

@@ -1,0 +1,192 @@
+"""Fault injection against REAL shard processes (the spawned fleet).
+
+The in-process fault-injection suite exercises the coordinator's failover
+logic with simulated outages (``FlakyShard``).  This module points the same
+scenarios at actual OS processes spawned by the
+:class:`~repro.cluster.supervisor.ShardSupervisor`: ``kill -9`` a worker,
+read through the outage, let the supervisor respawn it on the same port,
+and heal it with ``resync`` -- asserting bit-identical state, not just
+plausible counts.
+
+Marked ``slow``: each test pays real process spawn/teardown (a few seconds).
+The nightly CI job runs them; locally use ``pytest -m slow``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cluster import ClusterCoordinator, ShardRouter, ShardSupervisor
+from repro.exceptions import ShardUnavailableError
+
+pytestmark = pytest.mark.slow
+
+
+def _values(n, modulus=500):
+    return [float(v % modulus) for v in range(n)]
+
+
+@pytest.fixture
+def fleet(tmp_path):
+    """3 spawned shards with per-shard WALs, rf=2, replica reads on."""
+    supervisor = ShardSupervisor(
+        3, wal_root=tmp_path / "wal", restart=True, poll_interval=0.1
+    )
+    shards = supervisor.start()
+    router = ShardRouter([s.shard_id for s in shards], replication_factor=2)
+    coordinator = ClusterCoordinator(shards, router=router, replica_reads=True)
+    try:
+        yield supervisor, coordinator
+    finally:
+        coordinator.close()
+        supervisor.close()
+
+
+class TestSpawnedFleetBasics:
+    def test_ingest_and_estimates_cross_process(self, fleet):
+        supervisor, coordinator = fleet
+        coordinator.create("age", "dc", memory_kb=0.5)
+        coordinator.ingest("age", insert=_values(3000))
+        assert coordinator.total_count("age") == pytest.approx(3000.0)
+        estimate = coordinator.estimate_range("age", 0.0, 250.0)
+        assert estimate == pytest.approx(1500.0, rel=0.1)
+
+    def test_describe_reports_live_fleet(self, fleet):
+        supervisor, coordinator = fleet
+        described = supervisor.describe()
+        assert sorted(described) == ["shard-0", "shard-1", "shard-2"]
+        for info in described.values():
+            assert info["alive"] is True
+            assert info["restarts"] == 0
+            assert info["pid"] > 0
+
+    def test_close_leaves_no_processes(self, tmp_path):
+        supervisor = ShardSupervisor(2, wal_root=tmp_path / "wal")
+        supervisor.start()
+        pids = [supervisor.pid(sid) for sid in supervisor.shard_ids]
+        supervisor.close()
+        supervisor.close()  # idempotent
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+
+class TestKillNineFailover:
+    def test_reads_fail_over_while_a_worker_is_down(self, fleet):
+        supervisor, coordinator = fleet
+        coordinator.create("age", "dc", memory_kb=0.5)
+        coordinator.ingest("age", insert=_values(2000))
+        before = coordinator.total_count("age")
+
+        victim = coordinator.router.replicas_for("age")[0]
+        os.kill(supervisor.pid(victim), signal.SIGKILL)
+        # The primary is gone; the replica answers (connect retries + failover).
+        assert coordinator.total_count("age") == pytest.approx(before)
+
+    def test_supervisor_respawns_on_the_same_port(self, fleet):
+        supervisor, coordinator = fleet
+        victim = supervisor.shard_ids[0]
+        port_before = supervisor.port(victim)
+        os.kill(supervisor.pid(victim), signal.SIGKILL)
+        supervisor.wait_until_alive(victim, timeout=30.0)
+        described = supervisor.describe()
+        assert described[victim]["restarts"] == 1
+        assert described[victim]["port"] == port_before
+        assert any("exited" in event for event in described[victim]["events"])
+
+    def test_wal_recovery_is_bit_identical_after_kill_nine(self, fleet):
+        supervisor, coordinator = fleet
+        coordinator.create("age", "dc", memory_kb=0.5)
+        coordinator.ingest("age", insert=_values(1500))
+        primary = coordinator.router.replicas_for("age")[0]
+        shard = coordinator.shard(primary)
+        snapshot_before = shard.snapshot("age")
+
+        os.kill(supervisor.pid(primary), signal.SIGKILL)
+        supervisor.wait_until_alive(primary, timeout=30.0)
+        # The respawned worker replayed its own WAL: same state, bit for bit.
+        assert shard.snapshot("age") == snapshot_before
+
+    def test_resync_heals_a_wiped_replica_bit_identically(self, tmp_path):
+        # No WAL for the victim's data to survive on: a respawned worker
+        # comes back empty and only resync can heal it.
+        supervisor = ShardSupervisor(3, restart=True, poll_interval=0.1)
+        shards = supervisor.start()
+        router = ShardRouter([s.shard_id for s in shards], replication_factor=2)
+        coordinator = ClusterCoordinator(shards, router=router, replica_reads=True)
+        try:
+            coordinator.create("age", "dc", memory_kb=0.5)
+            coordinator.ingest("age", insert=_values(2500))
+            primary_id, follower_id = coordinator.router.replicas_for("age")
+            reference = coordinator.shard(primary_id).snapshot("age")
+
+            os.kill(supervisor.pid(follower_id), signal.SIGKILL)
+            supervisor.wait_until_alive(follower_id, timeout=30.0)
+            # Respawned without durable state: the attribute is gone.
+            assert coordinator.shard(follower_id).names() == []
+
+            healed = coordinator.resync(follower_id)
+            assert "age" in healed["resynced"]
+            healed_snapshot = coordinator.shard(follower_id).snapshot("age")
+            ref = {k: v for k, v in reference.items() if k != "generation"}
+            got = {k: v for k, v in healed_snapshot.items() if k != "generation"}
+            assert got == ref
+        finally:
+            coordinator.close()
+            supervisor.close()
+
+    def test_writes_surface_unavailable_when_all_replicas_down(self, tmp_path):
+        supervisor = ShardSupervisor(
+            2, wal_root=tmp_path / "wal", restart=False
+        )
+        shards = supervisor.start()
+        router = ShardRouter([s.shard_id for s in shards], replication_factor=1)
+        coordinator = ClusterCoordinator(shards, router=router)
+        try:
+            coordinator.create("age", "dc", memory_kb=0.5)
+            target = coordinator.router.replicas_for("age")[0]
+            os.kill(supervisor.pid(target), signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if not supervisor.describe()[target]["alive"]:
+                    break
+                time.sleep(0.05)
+            with pytest.raises(ShardUnavailableError):
+                coordinator.ingest("age", insert=[1.0])
+        finally:
+            coordinator.close()
+            supervisor.close()
+
+
+class TestRestartCap:
+    def test_restarts_stop_at_the_cap(self, tmp_path):
+        supervisor = ShardSupervisor(
+            1,
+            wal_root=tmp_path / "wal",
+            restart=True,
+            max_restarts=1,
+            poll_interval=0.05,
+        )
+        supervisor.start()
+        try:
+            shard_id = supervisor.shard_ids[0]
+            os.kill(supervisor.pid(shard_id), signal.SIGKILL)
+            supervisor.wait_until_alive(shard_id, timeout=30.0)
+            assert supervisor.describe()[shard_id]["restarts"] == 1
+            # Second murder: the cap is reached, the shard stays down.
+            os.kill(supervisor.pid(shard_id), signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                info = supervisor.describe()[shard_id]
+                if not info["alive"]:
+                    break
+                time.sleep(0.05)
+            info = supervisor.describe()[shard_id]
+            assert info["alive"] is False
+            assert info["restarts"] == 1
+        finally:
+            supervisor.close()

@@ -1,0 +1,353 @@
+"""Unit tests for the persistent binary shard transport.
+
+Covers the frame codec (WAL-style ``magic | length | crc32 | JSON``
+framing), the error-reconstruction whitelist, the pooled client's REP011
+retry discipline (connect-phase always retriable, post-wire only for
+idempotent ops), and the recording-proxy scatter fast path.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cluster import BinaryShardClient, BinaryShardServer, LocalShard, ProcessShard
+from repro.cluster.transport import (
+    IDEMPOTENT_OPS,
+    FrameError,
+    _FrameParser,
+    build_exception,
+    describe_exception,
+    encode_frame,
+    try_pipelined_scatter,
+)
+from repro.exceptions import (
+    DuplicateAttributeError,
+    ServiceError,
+    ShardUnavailableError,
+    UnknownAttributeError,
+)
+from repro.service import HistogramStore
+
+
+@pytest.fixture
+def server():
+    store = HistogramStore()
+    backend = LocalShard("shard-0", store)
+    with BinaryShardServer(backend) as running:
+        yield running
+    store.close()
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.address
+    c = BinaryShardClient(host, port, timeout=10.0, retries=2, retry_backoff=0.01)
+    yield c
+    c.close()
+
+
+@pytest.fixture
+def shard(client):
+    return ProcessShard("shard-0", client)
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        parser = _FrameParser()
+        parser.feed(encode_frame({"id": 1, "op": "ping", "args": {}}))
+        assert parser.pop() == {"id": 1, "op": "ping", "args": {}}
+        assert parser.pop() is None
+
+    def test_incremental_feed(self):
+        frame = encode_frame({"id": 2, "ok": True, "result": [1.5, 2.5]})
+        parser = _FrameParser()
+        for offset in range(len(frame)):
+            parser.feed(frame[offset : offset + 1])
+        assert parser.pop() == {"id": 2, "ok": True, "result": [1.5, 2.5]}
+
+    def test_two_frames_one_buffer(self):
+        parser = _FrameParser()
+        parser.feed(encode_frame({"id": 1}) + encode_frame({"id": 2}))
+        assert parser.pop() == {"id": 1}
+        assert parser.pop() == {"id": 2}
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_frame({"id": 1}))
+        frame[0:2] = b"WR"  # a WAL record is NOT a transport frame
+        parser = _FrameParser()
+        parser.feed(bytes(frame))
+        with pytest.raises(FrameError, match="magic"):
+            parser.pop()
+
+    def test_corrupt_payload_fails_crc(self):
+        frame = bytearray(encode_frame({"id": 1, "op": "ingest"}))
+        frame[-1] ^= 0xFF
+        parser = _FrameParser()
+        parser.feed(bytes(frame))
+        with pytest.raises(FrameError, match="crc32"):
+            parser.pop()
+
+    def test_oversize_length_rejected_before_buffering(self):
+        header = struct.Struct(">2sII").pack(b"SB", 1 << 30, 0)
+        parser = _FrameParser()
+        parser.feed(header)
+        with pytest.raises(FrameError, match="cap"):
+            parser.pop()
+
+    def test_non_object_payload_rejected(self):
+        body = b"[1,2,3]"
+        import zlib
+
+        frame = struct.Struct(">2sII").pack(b"SB", len(body), zlib.crc32(body)) + body
+        parser = _FrameParser()
+        parser.feed(frame)
+        with pytest.raises(FrameError, match="object"):
+            parser.pop()
+
+
+class TestErrorReconstruction:
+    def test_unknown_attribute_keeps_name(self):
+        info = describe_exception(UnknownAttributeError("age"))
+        rebuilt = build_exception(info)
+        assert isinstance(rebuilt, UnknownAttributeError)
+        assert rebuilt.name == "age"
+
+    def test_duplicate_attribute_keeps_name(self):
+        rebuilt = build_exception(describe_exception(DuplicateAttributeError("age")))
+        assert isinstance(rebuilt, DuplicateAttributeError)
+        assert rebuilt.name == "age"
+
+    def test_unlisted_type_degrades_to_service_error(self):
+        rebuilt = build_exception({"type": "SystemExit", "message": "nope"})
+        assert type(rebuilt) is ServiceError
+        assert "SystemExit" in str(rebuilt)
+
+    def test_empty_info_degrades_to_service_error(self):
+        assert isinstance(build_exception({}), ServiceError)
+
+
+class TestRoundTrip:
+    def test_create_ingest_query_stats(self, shard):
+        shard.create("age", "dc", memory_kb=0.5)
+        shard.ingest("age", insert=[float(v % 50) for v in range(500)])
+        stats = shard.stats("age")
+        assert stats["total_count"] == pytest.approx(500.0)
+        reply = shard.query("age", [{"op": "range", "low": 0.0, "high": 50.0}])
+        [estimate] = reply["results"]
+        assert estimate == pytest.approx(500.0, rel=0.05)
+        assert shard.names() == ["age"]
+        assert shard.health()["status"] == "ok"
+
+    def test_snapshot_restore_bit_identical(self, shard):
+        shard.create("age", "dc", memory_kb=0.5)
+        shard.ingest("age", insert=[float(v % 90) for v in range(700)])
+        snapshot = shard.snapshot("age")
+        shard.drop("age")
+        shard.create("age", "dc", memory_kb=0.5)
+        shard.restore("age", snapshot)
+        restored = shard.snapshot("age")
+        # Identical state; only the restored attribute's own mutation counter
+        # differs (create + restore each bump it).
+        assert {k: v for k, v in restored.items() if k != "generation"} == {
+            k: v for k, v in snapshot.items() if k != "generation"
+        }
+
+    def test_application_error_crosses_the_wire(self, shard):
+        with pytest.raises(UnknownAttributeError) as excinfo:
+            shard.stats("missing")
+        assert excinfo.value.name == "missing"
+
+    def test_generation_advances(self, shard):
+        shard.create("age", "dc", memory_kb=0.5)
+        before = shard.generation("age")
+        shard.ingest("age", insert=[1.0])
+        assert shard.generation("age") > before
+
+    def test_ping_answers_without_backend_dispatch(self, client):
+        assert client.call("ping")["status"] == "ok"
+
+    def test_unknown_op_rejected(self, client):
+        with pytest.raises(ServiceError, match="unknown shard op"):
+            client.call("shutdown")
+
+    def test_connection_pool_reuses_sockets(self, client):
+        client.call("ping")
+        connection = client.checkout()
+        client.checkin(connection)
+        assert client.checkout() is connection
+        client.checkin(connection)
+        for _ in range(5):
+            client.call("ping")
+        # Sequential calls never needed a second connection.
+        assert len(client._idle) == 1
+
+
+class TestRetryDiscipline:
+    def test_connect_phase_retries_then_raises(self):
+        # A port nothing listens on: every attempt fails in the connect
+        # phase, which is always retriable -- then the last error surfaces.
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        client = BinaryShardClient(
+            "127.0.0.1", port, timeout=1.0, retries=2, retry_backoff=0.01
+        )
+        with pytest.raises(OSError):
+            client.call("ingest", {"name": "age", "insert": [1.0]})
+        assert client.transport_stats["connect_retries"] == 3
+
+    def test_post_wire_failure_on_write_never_retries(self, server, client, shard):
+        shard.create("age", "dc", memory_kb=0.5)
+        # Poison the pooled connection: the next send/receive fails after
+        # the frame may have reached the wire.
+        connection = client.checkout()
+        client.checkin(connection)
+        connection._sock.close()
+        with pytest.raises(ShardUnavailableError):
+            shard.ingest("age", insert=[2.0])
+        # No silent replay happened: the value was never applied.
+        assert shard.stats("age")["total_count"] == pytest.approx(0.0)
+
+    def test_post_wire_failure_on_read_retries_on_fresh_connection(
+        self, server, client, shard
+    ):
+        shard.create("age", "dc", memory_kb=0.5)
+        connection = client.checkout()
+        client.checkin(connection)
+        connection._sock.close()
+        assert shard.names() == ["age"]  # retried transparently
+
+    def test_idempotent_op_set_is_reads_only(self):
+        assert "ingest" not in IDEMPOTENT_OPS
+        assert "restore" not in IDEMPOTENT_OPS
+        assert "create" not in IDEMPOTENT_OPS
+        assert "drop" not in IDEMPOTENT_OPS
+        assert {"names", "query", "stats", "snapshot", "health"} <= IDEMPOTENT_OPS
+
+    def test_client_close_is_idempotent(self, client):
+        client.call("ping")
+        client.close()
+        client.close()
+        with pytest.raises(FrameError, match="closed"):
+            client.checkout()
+
+
+class TestPipelinedScatter:
+    @pytest.fixture
+    def fleet(self):
+        stores = [HistogramStore() for _ in range(2)]
+        servers = []
+        shards = {}
+        clients = []
+        for index, store in enumerate(stores):
+            shard_id = f"shard-{index}"
+            server = BinaryShardServer(LocalShard(shard_id, store)).start()
+            servers.append(server)
+            host, port = server.address
+            client = BinaryShardClient(host, port, retry_backoff=0.01)
+            clients.append(client)
+            shards[shard_id] = ProcessShard(shard_id, client)
+        yield shards
+        for client in clients:
+            client.close()
+        for server in servers:
+            server.stop()
+        for store in stores:
+            store.close()
+
+    def test_simple_call_is_pipelined(self, fleet):
+        outcome = try_pipelined_scatter(fleet, lambda shard: shard.create("age", "dc"))
+        assert outcome is not None
+        assert set(outcome) == {"shard-0", "shard-1"}
+        assert all(ok for ok, _, _ in outcome.values())
+        names = try_pipelined_scatter(fleet, lambda shard: shard.names())
+        assert names is not None
+        assert [value for _, value, _ in names.values()] == [["age"], ["age"]]
+
+    def test_per_shard_payloads_are_recorded(self, fleet):
+        try_pipelined_scatter(fleet, lambda shard: shard.create("age", "dc"))
+        payloads = {"shard-0": [1.0, 2.0], "shard-1": [3.0]}
+        outcome = try_pipelined_scatter(
+            fleet,
+            lambda shard: shard.ingest("age", insert=payloads[shard.shard_id]),
+        )
+        assert outcome is not None
+        counts = try_pipelined_scatter(fleet, lambda shard: shard.stats("age"))
+        assert counts is not None
+        totals = {sid: value["total_count"] for sid, (_, value, _) in counts.items()}
+        assert totals == {"shard-0": pytest.approx(2.0), "shard-1": pytest.approx(1.0)}
+
+    def test_application_error_is_an_outcome_not_a_raise(self, fleet):
+        outcome = try_pipelined_scatter(fleet, lambda shard: shard.stats("missing"))
+        assert outcome is not None
+        for ok, value, _ in outcome.values():
+            assert not ok
+            assert isinstance(value, UnknownAttributeError)
+
+    def test_non_process_shard_falls_back(self, fleet):
+        mixed = dict(fleet)
+        mixed["local"] = LocalShard("local")
+        assert try_pipelined_scatter(mixed, lambda shard: shard.names()) is None
+
+    def test_multi_call_closure_falls_back(self, fleet):
+        def two_calls(shard):
+            shard.names()
+            return shard.health()
+
+        assert try_pipelined_scatter(fleet, two_calls) is None
+
+    def test_result_using_closure_falls_back(self, fleet):
+        assert try_pipelined_scatter(fleet, lambda shard: len(shard.names())) is None
+
+    def test_failing_closure_falls_back(self, fleet):
+        lookup = {}
+
+        def broken(shard):
+            return shard.ingest("age", insert=lookup[shard.shard_id])  # KeyError
+
+        assert try_pipelined_scatter(fleet, broken) is None
+
+    def test_dead_shard_is_an_unavailable_outcome(self, fleet):
+        try_pipelined_scatter(fleet, lambda shard: shard.create("age", "dc"))
+        # Kill shard-1's server; its pooled connection and reconnects fail.
+        client = fleet["shard-1"].client
+        client.close()
+        dead = BinaryShardClient(
+            client.host, 1, timeout=0.5, retries=0, retry_backoff=0.01
+        )
+        fleet["shard-1"] = ProcessShard("shard-1", dead)
+        outcome = try_pipelined_scatter(fleet, lambda shard: shard.names())
+        assert outcome is not None
+        ok0, value0, _ = outcome["shard-0"]
+        ok1, value1, _ = outcome["shard-1"]
+        assert ok0 and value0 == ["age"]
+        assert not ok1 and isinstance(value1, ShardUnavailableError)
+        dead.close()
+
+
+class TestConcurrentClients:
+    def test_parallel_calls_share_the_pool(self, server):
+        host, port = server.address
+        client = BinaryShardClient(host, port, pool_size=4, retry_backoff=0.01)
+        shard = ProcessShard("shard-0", client)
+        shard.create("age", "dc", memory_kb=0.5)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(10):
+                    shard.ingest("age", insert=[float(base * 100 + i)])
+            except Exception as error:  # noqa: BLE001 - the assertion
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert shard.stats("age")["total_count"] == pytest.approx(40.0)
+        client.close()
